@@ -1,0 +1,91 @@
+//! Perf-4 (rules D5/D6): early duplicate elimination — pushing `rdup`
+//! below `∪` and `rdupᵀ` below `∪ᵀ` pays off when the inputs carry many
+//! duplicates, because the union then processes fewer rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tqo_core::ops;
+use tqo_storage::{GenConfig, WorkloadGenerator};
+
+fn duplicated_snapshot(rows: usize, distinct: usize, seed: u64) -> tqo_core::Relation {
+    WorkloadGenerator::new(seed).conventional(rows, distinct).expect("ok")
+}
+
+fn duplicated_temporal(classes: usize, seed: u64) -> tqo_core::Relation {
+    WorkloadGenerator::new(seed)
+        .temporal(&GenConfig {
+            classes,
+            fragments_per_class: 8,
+            duplicate_prob: 0.6,
+            overlap_prob: 0.4,
+            ..GenConfig::default()
+        })
+        .expect("ok")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedup_pushdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+
+    // D5: rdup(r1 ∪ r2) vs rdup(r1) ∪ rdup(r2).
+    for rows in [400usize, 1600] {
+        let r1 = duplicated_snapshot(rows, rows / 20, 41);
+        let r2 = duplicated_snapshot(rows, rows / 20, 42);
+        group.bench_with_input(
+            BenchmarkId::new("d5_late_dedup", rows),
+            &(&r1, &r2),
+            |b, (r1, r2)| {
+                b.iter(|| {
+                    let u = ops::union_max(r1, r2).expect("ok");
+                    ops::rdup(&u).expect("ok").len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("d5_early_dedup", rows),
+            &(&r1, &r2),
+            |b, (r1, r2)| {
+                b.iter(|| {
+                    let d1 = ops::rdup(r1).expect("ok");
+                    let d2 = ops::rdup(r2).expect("ok");
+                    ops::union_max(&d1, &d2).expect("ok").len()
+                })
+            },
+        );
+    }
+
+    // D6: rdupᵀ(r1 ∪ᵀ r2) vs rdupᵀ(r1) ∪ᵀ rdupᵀ(r2) — here early dedup
+    // additionally shrinks the union's timeline work.
+    for classes in [20usize, 60] {
+        let r1 = duplicated_temporal(classes, 43);
+        let r2 = duplicated_temporal(classes, 44);
+        let rows = r1.len();
+        group.bench_with_input(
+            BenchmarkId::new("d6_late_dedup", rows),
+            &(&r1, &r2),
+            |b, (r1, r2)| {
+                b.iter(|| {
+                    let u = ops::union_t(r1, r2).expect("ok");
+                    ops::rdup_t(&u).expect("ok").len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("d6_early_dedup", rows),
+            &(&r1, &r2),
+            |b, (r1, r2)| {
+                b.iter(|| {
+                    let d1 = ops::rdup_t(r1).expect("ok");
+                    let d2 = ops::rdup_t(r2).expect("ok");
+                    ops::union_t(&d1, &d2).expect("ok").len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

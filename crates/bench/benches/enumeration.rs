@@ -1,0 +1,74 @@
+//! Figure 5's algorithm, measured: enumeration time and plan-space size as
+//! a function of the rule set (Figure 4 only vs the full catalogue) and of
+//! the query's result type (Definition 5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tqo_bench::{figure2a_plan, workload};
+use tqo_core::enumerate::{enumerate, EnumerationConfig};
+use tqo_core::equivalence::ResultType;
+use tqo_core::plan::LogicalPlan;
+use tqo_core::rules::RuleSet;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+
+    let catalog = workload(2, 3);
+    let list_plan = figure2a_plan(&catalog);
+    let multiset_plan = LogicalPlan {
+        root: list_plan.root.clone(),
+        result_type: ResultType::Multiset,
+        root_site: list_plan.root_site,
+    };
+    let set_plan = LogicalPlan {
+        root: list_plan.root.clone(),
+        result_type: ResultType::Set,
+        root_site: list_plan.root_site,
+    };
+
+    let fig4 = RuleSet::figure4();
+    let standard = RuleSet::standard();
+    let config = EnumerationConfig { max_plans: 50_000 };
+
+    for (label, plan) in [
+        ("list", &list_plan),
+        ("multiset", &multiset_plan),
+        ("set", &set_plan),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("figure4_rules", label),
+            plan,
+            |b, plan| b.iter(|| enumerate(plan, &fig4, config).expect("ok").plans.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("standard_rules", label),
+            plan,
+            |b, plan| b.iter(|| enumerate(plan, &standard, config).expect("ok").plans.len()),
+        );
+    }
+
+    // Print the plan-space sizes once (the "rows" of this experiment).
+    for (label, plan) in [
+        ("list", &list_plan),
+        ("multiset", &multiset_plan),
+        ("set", &set_plan),
+    ] {
+        let e4 = enumerate(plan, &fig4, config).expect("ok");
+        let es = enumerate(plan, &standard, config).expect("ok");
+        println!(
+            "plan space [{label}]: figure4={} standard={} (applications {} / {})",
+            e4.plans.len(),
+            es.plans.len(),
+            e4.applications,
+            es.applications
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Perf-1 (§2.1 claim): the optimized plan (Figure 2(b)) beats the initial
+//! plan (Figure 2(a)), and the gap grows with scale.
+//!
+//! Series: execution time of the initial vs the optimizer-chosen plan on
+//! the layered engine, over scaled EMPLOYEE/PROJECT workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tqo_bench::{figure2a_plan, workload};
+use tqo_core::optimizer::{optimize, OptimizerConfig};
+use tqo_core::rules::RuleSet;
+use tqo_stratum::Stratum;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_plan_quality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+
+    for scale in [2usize, 8, 32] {
+        let catalog = workload(scale, 42);
+        let initial = figure2a_plan(&catalog);
+        let optimized = optimize(
+            &initial,
+            &RuleSet::standard(),
+            &OptimizerConfig::default(),
+        )
+        .expect("optimization succeeds")
+        .best;
+        let stratum = Stratum::new(catalog);
+
+        group.bench_with_input(BenchmarkId::new("initial(2a)", scale), &scale, |b, _| {
+            b.iter(|| stratum.run(&initial).expect("runs").0.len())
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", scale), &scale, |b, _| {
+            b.iter(|| stratum.run(&optimized).expect("runs").0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 3's operations at scale: regular `rdup`, the faithful `rdupᵀ`
+//! (the paper's head/tail recursion, `O(n²)`), and the sweep `rdupᵀ`
+//! (`O(n log n)`, `≡SM` output) — the ablation behind the planner's
+//! algorithm choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tqo_bench::temporal_relation;
+use tqo_core::ops;
+use tqo_exec::operators::rdup_t_sweep;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_dedup");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+
+    for classes in [20usize, 80, 320] {
+        // 8 fragments per class, heavy overlap → plenty of snapshot dups.
+        let r = temporal_relation(classes, 8, 0.1, 0.5, 7);
+        let rows = r.len();
+
+        group.bench_with_input(BenchmarkId::new("rdup", rows), &r, |b, r| {
+            b.iter(|| ops::rdup(r).expect("runs").len())
+        });
+        group.bench_with_input(BenchmarkId::new("rdupT_faithful", rows), &r, |b, r| {
+            b.iter(|| ops::rdup_t(r).expect("runs").len())
+        });
+        group.bench_with_input(BenchmarkId::new("rdupT_sweep", rows), &r, |b, r| {
+            b.iter(|| rdup_t_sweep(r).expect("runs").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Optimizer-mode ablation (§7's heuristics discussion): exhaustive
+//! Figure 5 enumeration + cost selection vs greedy hill-climbing — plan
+//! quality (estimated cost) and optimization time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tqo_bench::{figure2a_plan, workload};
+use tqo_core::optimizer::{optimize, optimize_greedy, OptimizerConfig};
+use tqo_core::rules::RuleSet;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_modes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+
+    let catalog = workload(4, 5);
+    let plan = figure2a_plan(&catalog);
+    let rules = RuleSet::standard();
+    let cfg = OptimizerConfig::default();
+
+    group.bench_with_input(BenchmarkId::new("exhaustive", "fig2a"), &plan, |b, plan| {
+        b.iter(|| optimize(plan, &rules, &cfg).expect("ok").cost.0)
+    });
+    group.bench_with_input(BenchmarkId::new("greedy", "fig2a"), &plan, |b, plan| {
+        b.iter(|| optimize_greedy(plan, &rules, &cfg).expect("ok").cost.0)
+    });
+
+    // Report plan quality once.
+    let exhaustive = optimize(&plan, &rules, &cfg).expect("ok");
+    let greedy = optimize_greedy(&plan, &rules, &cfg).expect("ok");
+    let initial = cfg.cost_model.cost(&plan).expect("ok");
+    println!(
+        "plan cost: initial={:.0} greedy={:.0} exhaustive={:.0} ({} plans enumerated)",
+        initial.0,
+        greedy.cost.0,
+        exhaustive.cost.0,
+        exhaustive.enumeration.plans.len()
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Shared helpers for the benchmark harness (the benches themselves live
+//! in `benches/`, one per experiment of DESIGN.md's index).
+
+use tqo_core::equivalence::ResultType;
+use tqo_core::plan::{LogicalPlan, PlanBuilder};
+use tqo_core::sortspec::Order;
+use tqo_storage::{Catalog, GenConfig, WorkloadGenerator};
+
+/// A scaled Figure 1 workload (EMPLOYEE/PROJECT) with `scale × 10`
+/// employees, deterministic in the seed.
+pub fn workload(scale: usize, seed: u64) -> Catalog {
+    WorkloadGenerator::new(seed)
+        .figure1_workload(scale)
+        .expect("workload generation is infallible for valid configs")
+}
+
+/// The running-example plan (Figure 2(a)) over a catalog, with transfers.
+pub fn figure2a_plan(catalog: &Catalog) -> LogicalPlan {
+    let emp = PlanBuilder::scan("EMPLOYEE", catalog.base_props("EMPLOYEE").unwrap())
+        .project_cols(&["EmpName", "T1", "T2"])
+        .transfer_s()
+        .rdup_t();
+    let prj = PlanBuilder::scan("PROJECT", catalog.base_props("PROJECT").unwrap())
+        .project_cols(&["EmpName", "T1", "T2"])
+        .transfer_s();
+    let root = emp
+        .difference_t(prj)
+        .rdup_t()
+        .coalesce()
+        .sort(Order::asc(&["EmpName"]))
+        .node();
+    LogicalPlan::new(root, ResultType::List(Order::asc(&["EmpName"])))
+}
+
+/// A generated single-attribute temporal relation.
+pub fn temporal_relation(
+    classes: usize,
+    fragments: usize,
+    adjacency: f64,
+    overlap: f64,
+    seed: u64,
+) -> tqo_core::Relation {
+    WorkloadGenerator::new(seed)
+        .temporal(&GenConfig {
+            classes,
+            fragments_per_class: fragments,
+            adjacency_prob: adjacency,
+            overlap_prob: overlap,
+            ..GenConfig::default()
+        })
+        .expect("generation succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_runnable_plans() {
+        let cat = workload(1, 1);
+        let plan = figure2a_plan(&cat);
+        let result = tqo_core::interp::eval_plan(&plan, &cat.env()).unwrap();
+        let _ = result;
+        let r = temporal_relation(10, 5, 0.5, 0.2, 3);
+        assert_eq!(r.len(), 50);
+    }
+}

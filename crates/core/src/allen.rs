@@ -1,0 +1,255 @@
+//! Allen's interval relations as selection predicates.
+//!
+//! The paper's second class of temporal statements "explicitly manipulate
+//! values of (new) temporal abstract data types with convenient operations
+//! and predicates defined on them" (§1). This module provides those
+//! predicates: each of Allen's thirteen interval relations between a
+//! tuple's valid-time period `[T1, T2)` and a given period, as ordinary
+//! [`Expr`] trees over the reserved attributes — directly usable in `σ` and
+//! in SQL `WHERE` clauses, and subject to the same transformation rules as
+//! any other (time-sensitive) predicate.
+
+use crate::expr::{BinOp, Expr};
+use crate::schema::{T1, T2};
+use crate::time::Period;
+
+fn t1() -> Expr {
+    Expr::col(T1)
+}
+
+fn t2() -> Expr {
+    Expr::col(T2)
+}
+
+fn lit(v: i64) -> Expr {
+    Expr::lit(v)
+}
+
+fn cmp(op: BinOp, l: Expr, r: Expr) -> Expr {
+    Expr::bin(op, l, r)
+}
+
+/// `[T1,T2)` is strictly before `p` (ends before `p` starts).
+pub fn before(p: Period) -> Expr {
+    cmp(BinOp::Lt, t2(), lit(p.start))
+}
+
+/// `[T1,T2)` is strictly after `p`.
+pub fn after(p: Period) -> Expr {
+    cmp(BinOp::Gt, t1(), lit(p.end))
+}
+
+/// `[T1,T2)` meets `p` (ends exactly where `p` starts).
+pub fn meets(p: Period) -> Expr {
+    cmp(BinOp::Eq, t2(), lit(p.start))
+}
+
+/// `p` meets `[T1,T2)`.
+pub fn met_by(p: Period) -> Expr {
+    cmp(BinOp::Eq, t1(), lit(p.end))
+}
+
+/// The periods share at least one instant (the symmetric, composite
+/// "overlaps" of SQL's `OVERLAPS`, not Allen's strict overlap).
+pub fn intersects(p: Period) -> Expr {
+    Expr::and(
+        cmp(BinOp::Lt, t1(), lit(p.end)),
+        cmp(BinOp::Gt, t2(), lit(p.start)),
+    )
+}
+
+/// Allen's strict *overlaps*: starts before `p`, ends inside it.
+pub fn overlaps(p: Period) -> Expr {
+    Expr::and(
+        Expr::and(
+            cmp(BinOp::Lt, t1(), lit(p.start)),
+            cmp(BinOp::Gt, t2(), lit(p.start)),
+        ),
+        cmp(BinOp::Lt, t2(), lit(p.end)),
+    )
+}
+
+/// Allen's *overlapped-by*: `p` strictly overlaps `[T1,T2)`.
+pub fn overlapped_by(p: Period) -> Expr {
+    Expr::and(
+        Expr::and(
+            cmp(BinOp::Gt, t1(), lit(p.start)),
+            cmp(BinOp::Lt, t1(), lit(p.end)),
+        ),
+        cmp(BinOp::Gt, t2(), lit(p.end)),
+    )
+}
+
+/// Allen's *during*: strictly inside `p`.
+pub fn during(p: Period) -> Expr {
+    Expr::and(
+        cmp(BinOp::Gt, t1(), lit(p.start)),
+        cmp(BinOp::Lt, t2(), lit(p.end)),
+    )
+}
+
+/// Allen's *contains*: `p` strictly inside `[T1,T2)`.
+pub fn contains(p: Period) -> Expr {
+    Expr::and(
+        cmp(BinOp::Lt, t1(), lit(p.start)),
+        cmp(BinOp::Gt, t2(), lit(p.end)),
+    )
+}
+
+/// Allen's *starts*: same start, ends earlier.
+pub fn starts(p: Period) -> Expr {
+    Expr::and(
+        cmp(BinOp::Eq, t1(), lit(p.start)),
+        cmp(BinOp::Lt, t2(), lit(p.end)),
+    )
+}
+
+/// Allen's *started-by*: same start, ends later.
+pub fn started_by(p: Period) -> Expr {
+    Expr::and(
+        cmp(BinOp::Eq, t1(), lit(p.start)),
+        cmp(BinOp::Gt, t2(), lit(p.end)),
+    )
+}
+
+/// Allen's *finishes*: same end, starts later.
+pub fn finishes(p: Period) -> Expr {
+    Expr::and(
+        cmp(BinOp::Gt, t1(), lit(p.start)),
+        cmp(BinOp::Eq, t2(), lit(p.end)),
+    )
+}
+
+/// Allen's *finished-by*: same end, starts earlier.
+pub fn finished_by(p: Period) -> Expr {
+    Expr::and(
+        cmp(BinOp::Lt, t1(), lit(p.start)),
+        cmp(BinOp::Eq, t2(), lit(p.end)),
+    )
+}
+
+/// Allen's *equals*.
+pub fn equals(p: Period) -> Expr {
+    Expr::and(
+        cmp(BinOp::Eq, t1(), lit(p.start)),
+        cmp(BinOp::Eq, t2(), lit(p.end)),
+    )
+}
+
+/// The tuple's period contains the instant `t` — the snapshot predicate
+/// `T1 ≤ t < T2`.
+pub fn at_instant(t: crate::time::Instant) -> Expr {
+    Expr::and(
+        cmp(BinOp::Le, t1(), lit(t)),
+        cmp(BinOp::Gt, t2(), lit(t)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::select;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            vec![
+                tuple!["before", 1i64, 3i64],
+                tuple!["meets", 2i64, 5i64],
+                tuple!["overlaps", 3i64, 7i64],
+                tuple!["starts", 5i64, 8i64],
+                tuple!["during", 6i64, 9i64],
+                tuple!["finishes", 7i64, 10i64],
+                tuple!["equals", 5i64, 10i64],
+                tuple!["contains", 4i64, 11i64],
+                tuple!["started_by", 5i64, 12i64],
+                tuple!["overlapped_by", 8i64, 13i64],
+                tuple!["met_by", 10i64, 12i64],
+                tuple!["after", 11i64, 14i64],
+                tuple!["finished_by", 3i64, 10i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Each of Allen's thirteen relations picks out exactly its witness
+    /// tuple w.r.t. the reference period [5, 10).
+    #[test]
+    fn thirteen_relations_partition_the_witnesses() {
+        let p = Period::of(5, 10);
+        let r = rel();
+        let cases: Vec<(&str, Expr)> = vec![
+            ("before", before(p)),
+            ("meets", meets(p)),
+            ("overlaps", overlaps(p)),
+            ("starts", starts(p)),
+            ("during", during(p)),
+            ("finishes", finishes(p)),
+            ("equals", equals(p)),
+            ("contains", contains(p)),
+            ("started_by", started_by(p)),
+            ("overlapped_by", overlapped_by(p)),
+            ("met_by", met_by(p)),
+            ("after", after(p)),
+            ("finished_by", finished_by(p)),
+        ];
+        for (expect, pred) in cases {
+            let got = select(&r, &pred).unwrap();
+            assert_eq!(got.len(), 1, "{expect} must match exactly one tuple");
+            assert_eq!(got.tuples()[0].value(0).to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn relations_are_mutually_exclusive_and_exhaustive() {
+        // Any period stands in exactly one Allen relation to [5, 10).
+        let p = Period::of(5, 10);
+        let preds = [
+            before(p), meets(p), overlaps(p), starts(p), during(p), finishes(p),
+            equals(p), contains(p), started_by(p), overlapped_by(p), met_by(p),
+            after(p), finished_by(p),
+        ];
+        let schema = Schema::temporal(&[("E", DataType::Str)]);
+        for s in 0..14i64 {
+            for e in (s + 1)..15 {
+                let t = tuple!["x", s, e];
+                let hits: usize = preds
+                    .iter()
+                    .filter(|pr| pr.eval_predicate(&schema, &t).unwrap())
+                    .count();
+                assert_eq!(hits, 1, "period [{s},{e}) matched {hits} relations");
+            }
+        }
+    }
+
+    #[test]
+    fn intersects_is_the_union_of_the_nine_sharing_relations() {
+        let p = Period::of(5, 10);
+        let r = rel();
+        let got = select(&r, &intersects(p)).unwrap();
+        // Everything except before/meets/met_by/after.
+        assert_eq!(got.len(), 9);
+    }
+
+    #[test]
+    fn at_instant_matches_snapshot_membership() {
+        let r = rel();
+        for t in 0..15 {
+            let via_pred = select(&r, &at_instant(t)).unwrap();
+            let via_snapshot = r.snapshot(t).unwrap();
+            assert_eq!(via_pred.len(), via_snapshot.len(), "instant {t}");
+        }
+    }
+
+    #[test]
+    fn allen_predicates_are_time_sensitive_for_rule_purposes() {
+        // They reference T1/T2, so C3 must refuse to commute them with
+        // coalescing.
+        assert!(!during(Period::of(1, 5)).is_time_free());
+        assert!(!at_instant(3).is_time_free());
+    }
+}

@@ -1,0 +1,196 @@
+//! A cost model for enumerated plans.
+//!
+//! The paper defers "heuristics and cost estimation techniques" to future
+//! work (§7); this module supplies the missing layer so the enumeration of
+//! Figure 5 can drive an end-to-end optimizer. Costs are abstract work
+//! units derived from the cardinality estimates of the static properties
+//! (Table 1's cardinality column), with two site-dependent twists that the
+//! paper's example motivates (§2.1):
+//!
+//! * the DBMS evaluates conventional operations faster than the stratum
+//!   (the mature engine effect — "the sort operation was pushed down
+//!   because the DBMS sorts faster than the stratum"), and
+//! * transfers between the sites cost per row moved.
+//!
+//! Temporal operations have no DBMS implementation; a plan placing one in
+//! the DBMS is invalid ([`Cost::INVALID`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::plan::props::annotate;
+use crate::plan::{LogicalPlan, PlanNode, Site};
+
+/// Tunable parameters of the cost model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Multiplier for conventional operations evaluated in the DBMS
+    /// (< 1.0: the DBMS is faster).
+    pub dbms_factor: f64,
+    /// Multiplier for operations evaluated in the stratum.
+    pub stratum_factor: f64,
+    /// Cost per row crossing a transfer operation.
+    pub transfer_per_row: f64,
+    /// Fixed cost per transfer (connection/batch overhead).
+    pub transfer_setup: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            dbms_factor: 0.25,
+            stratum_factor: 1.0,
+            transfer_per_row: 2.0,
+            transfer_setup: 10.0,
+        }
+    }
+}
+
+/// A plan cost in abstract work units.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Cost(pub f64);
+
+impl Cost {
+    /// The cost of an inadmissible plan (e.g. a temporal operation placed
+    /// in the DBMS).
+    pub const INVALID: Cost = Cost(f64::INFINITY);
+
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+fn nlogn(n: f64) -> f64 {
+    n * (n.max(2.0)).log2()
+}
+
+impl CostModel {
+    /// Estimate the cost of a whole plan. Returns [`Cost::INVALID`] for
+    /// plans that place stratum-only operations in the DBMS.
+    pub fn cost(&self, plan: &LogicalPlan) -> Result<Cost> {
+        let ann = annotate(plan)?;
+        let mut total = 0.0;
+        for path in plan.root.paths() {
+            let node = plan.root.get(&path)?;
+            let props = &ann[&path];
+            let out_card = props.stat.card as f64;
+            let child_cards: Vec<f64> = (0..node.children().len())
+                .map(|i| {
+                    let mut p = path.clone();
+                    p.push(i);
+                    ann[&p].stat.card as f64
+                })
+                .collect();
+            let site = props.site;
+            if site == Site::Dbms && !node.is_dbms_supported() {
+                return Ok(Cost::INVALID);
+            }
+            let work = self.op_work(node, out_card, &child_cards);
+            let factor = match node {
+                PlanNode::TransferS { .. } | PlanNode::TransferD { .. } => 1.0,
+                _ => match site {
+                    Site::Dbms => self.dbms_factor,
+                    Site::Stratum => self.stratum_factor,
+                },
+            };
+            total += work * factor;
+        }
+        Ok(Cost(total))
+    }
+
+    /// Per-operation work in abstract units.
+    fn op_work(&self, node: &PlanNode, out_card: f64, child: &[f64]) -> f64 {
+        let c0 = child.first().copied().unwrap_or(0.0);
+        let c1 = child.get(1).copied().unwrap_or(0.0);
+        match node {
+            PlanNode::Scan { .. } => out_card,
+            PlanNode::Select { .. } | PlanNode::Project { .. } => c0,
+            PlanNode::UnionAll { .. } => c0 + c1,
+            PlanNode::UnionMax { .. } => c0 + c1,
+            PlanNode::Product { .. } => c0 * c1,
+            PlanNode::Difference { .. } => c0 + c1,
+            PlanNode::Aggregate { .. } => c0,
+            PlanNode::Rdup { .. } => c0,
+            PlanNode::Sort { .. } => nlogn(c0),
+            // Temporal operations: sort-sweep implementations.
+            PlanNode::ProductT { .. } => c0 * c1,
+            PlanNode::DifferenceT { .. } => nlogn(c0 + c1),
+            PlanNode::AggregateT { .. } => nlogn(c0) + out_card,
+            PlanNode::RdupT { .. } => nlogn(c0) + out_card,
+            PlanNode::UnionT { .. } => nlogn(c0 + c1),
+            PlanNode::Coalesce { .. } => nlogn(c0),
+            PlanNode::TransferS { .. } | PlanNode::TransferD { .. } => {
+                self.transfer_setup + self.transfer_per_row * c0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{BaseProps, PlanBuilder};
+    use crate::schema::Schema;
+    use crate::sortspec::Order;
+    use crate::value::DataType;
+
+    fn tscan(name: &str, card: u64) -> PlanBuilder {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        PlanBuilder::scan(name, BaseProps::unordered(s, card))
+    }
+
+    #[test]
+    fn dbms_sort_is_cheaper_than_stratum_sort() {
+        let model = CostModel::default();
+        // Stratum sorts after the transfer...
+        let stratum_sort = tscan("R", 10_000)
+            .transfer_s()
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
+        // ...or the DBMS sorts before it.
+        let dbms_sort = tscan("R", 10_000)
+            .sort(Order::asc(&["E"]))
+            .transfer_s()
+            .build_multiset();
+        let c1 = model.cost(&stratum_sort).unwrap();
+        let c2 = model.cost(&dbms_sort).unwrap();
+        assert!(c2 < c1, "DBMS sort {c2:?} should beat stratum sort {c1:?}");
+    }
+
+    #[test]
+    fn temporal_op_in_dbms_is_invalid() {
+        // TS(rdupT(R)): the rdupT sits below the transfer, i.e. in the DBMS.
+        let plan = tscan("R", 100).rdup_t().transfer_s().build_multiset();
+        let c = CostModel::default().cost(&plan).unwrap();
+        assert!(!c.is_valid());
+        // The same rdupT in the stratum is fine.
+        let ok = tscan("R", 100).transfer_s().rdup_t().build_multiset();
+        assert!(CostModel::default().cost(&ok).unwrap().is_valid());
+    }
+
+    #[test]
+    fn transfers_cost_per_row() {
+        let model = CostModel::default();
+        let once = tscan("R", 1000).transfer_s().build_multiset();
+        let twice = tscan("R", 1000).transfer_s().transfer_d().transfer_s().build_multiset();
+        let c1 = model.cost(&once).unwrap();
+        let c2 = model.cost(&twice).unwrap();
+        assert!(c2.0 > c1.0 + 2.0 * model.transfer_setup);
+    }
+
+    #[test]
+    fn smaller_intermediate_results_cost_less() {
+        let model = CostModel::default();
+        // Selecting before the product beats selecting after.
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let scan = |n: &str| PlanBuilder::scan(n, BaseProps::unordered(s.clone(), 1000));
+        let pred = crate::expr::Expr::eq(crate::expr::Expr::col("A"), crate::expr::Expr::lit(1i64));
+        let pred_p = crate::expr::Expr::eq(
+            crate::expr::Expr::col("1.A"),
+            crate::expr::Expr::lit(1i64),
+        );
+        let late = scan("R").product(scan("S")).select(pred_p).build_multiset();
+        let early = scan("R").select(pred).product(scan("S")).build_multiset();
+        assert!(model.cost(&early).unwrap() < model.cost(&late).unwrap());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by all algebra, planning, and optimization code.
+
+use std::fmt;
+
+/// Errors produced by schema validation, expression evaluation, operation
+/// application, and plan manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An attribute referenced by an expression or operation is not part of
+    /// the schema it is evaluated against.
+    UnknownAttribute { name: String, schema: String },
+    /// Two schemas that must agree (e.g. the arguments of a difference or
+    /// union) do not.
+    SchemaMismatch { left: String, right: String, context: &'static str },
+    /// A tuple does not conform to its relation's schema.
+    MalformedTuple { reason: String },
+    /// A temporal operation was applied to a relation without `T1`/`T2`.
+    NotTemporal { context: &'static str },
+    /// A conventional-only constraint was violated (e.g. a snapshot relation
+    /// may not contain attributes named `T1`/`T2`).
+    ReservedAttribute { name: String },
+    /// Type error during expression evaluation.
+    TypeError { expected: &'static str, found: String, context: &'static str },
+    /// Division by zero or a similar arithmetic fault.
+    Arithmetic { reason: &'static str },
+    /// A period with `start > end` or other temporal inconsistency.
+    InvalidPeriod { start: i64, end: i64 },
+    /// Plan-level structural error (bad child count, unknown node, ...).
+    Plan { reason: String },
+    /// SQL front-end errors are forwarded through this variant.
+    Parse { reason: String },
+    /// Catalog / storage errors forwarded from substrates.
+    Storage { reason: String },
+    /// Enumeration/optimizer budget exhausted.
+    BudgetExhausted { budget: usize },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownAttribute { name, schema } => {
+                write!(f, "unknown attribute `{name}` in schema [{schema}]")
+            }
+            Error::SchemaMismatch { left, right, context } => {
+                write!(f, "schema mismatch in {context}: [{left}] vs [{right}]")
+            }
+            Error::MalformedTuple { reason } => write!(f, "malformed tuple: {reason}"),
+            Error::NotTemporal { context } => {
+                write!(f, "{context} requires a temporal relation (attributes T1, T2)")
+            }
+            Error::ReservedAttribute { name } => {
+                write!(f, "attribute name `{name}` is reserved for temporal relations")
+            }
+            Error::TypeError { expected, found, context } => {
+                write!(f, "type error in {context}: expected {expected}, found {found}")
+            }
+            Error::Arithmetic { reason } => write!(f, "arithmetic error: {reason}"),
+            Error::InvalidPeriod { start, end } => {
+                write!(f, "invalid period [{start}, {end})")
+            }
+            Error::Plan { reason } => write!(f, "plan error: {reason}"),
+            Error::Parse { reason } => write!(f, "parse error: {reason}"),
+            Error::Storage { reason } => write!(f, "storage error: {reason}"),
+            Error::BudgetExhausted { budget } => {
+                write!(f, "plan enumeration budget of {budget} plans exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,111 @@
+//! Multiset difference `r1 \ r2`.
+//!
+//! Table 1: order `= Order(r1)`, cardinality between `n(r1) − n(r2)` and
+//! `n(r1)`, retains duplicates. Multiset semantics: a tuple occurring `k`
+//! times in `r1` and `m` times in `r2` occurs `max(0, k − m)` times in the
+//! result. To make the *list* result deterministic the earliest occurrences
+//! in `r1` are the ones removed — later occurrences survive, preserving the
+//! relative order of everything kept.
+//!
+//! For temporal arguments the conventional difference treats the time
+//! attributes as ordinary columns; like the other conventional operations
+//! with temporal counterparts, its result is a snapshot relation with the
+//! time attributes demoted to `1.T1`/`1.T2` (the Figure 3 convention).
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// Apply `\`: multiset difference, removing earliest occurrences.
+pub fn difference(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    r1.schema().check_union_compatible(r2.schema(), "difference")?;
+    let mut budget: HashMap<&Tuple, usize> = HashMap::with_capacity(r2.len());
+    for t in r2.tuples() {
+        *budget.entry(t).or_insert(0) += 1;
+    }
+    let mut out = Vec::with_capacity(r1.len());
+    for t in r1.tuples() {
+        match budget.get_mut(t) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.push(t.clone()),
+        }
+    }
+    let out_schema = if r1.schema().is_temporal() {
+        r1.schema().demote_time_attrs()
+    } else {
+        r1.schema().clone()
+    };
+    Ok(Relation::new_unchecked(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    #[test]
+    fn multiset_counts() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r1 = Relation::new(
+            s.clone(),
+            vec![tuple![1i64], tuple![1i64], tuple![2i64], tuple![1i64]],
+        )
+        .unwrap();
+        let r2 = Relation::new(s, vec![tuple![1i64], tuple![3i64]]).unwrap();
+        let got = difference(&r1, &r2).unwrap();
+        // One of the three 1s removed (the earliest), 2 kept.
+        assert_eq!(got.tuples(), &[tuple![1i64], tuple![2i64], tuple![1i64]]);
+    }
+
+    #[test]
+    fn removing_more_than_present_saturates() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r1 = Relation::new(s.clone(), vec![tuple![1i64]]).unwrap();
+        let r2 = Relation::new(s, vec![tuple![1i64], tuple![1i64]]).unwrap();
+        assert!(difference(&r1, &r2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn preserves_left_order() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r1 = Relation::new(
+            s.clone(),
+            vec![tuple![3i64], tuple![1i64], tuple![2i64]],
+        )
+        .unwrap();
+        let r2 = Relation::new(s, vec![tuple![1i64]]).unwrap();
+        let got = difference(&r1, &r2).unwrap();
+        assert_eq!(got.tuples(), &[tuple![3i64], tuple![2i64]]);
+    }
+
+    #[test]
+    fn temporal_args_demote_time_attrs() {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        let r1 = Relation::new(
+            s.clone(),
+            vec![tuple!["a", 1i64, 3i64], tuple!["b", 2i64, 4i64]],
+        )
+        .unwrap();
+        let r2 = Relation::new(s, vec![tuple!["a", 1i64, 3i64]]).unwrap();
+        let got = difference(&r1, &r2).unwrap();
+        assert_eq!(got.schema().names(), vec!["E", "1.T1", "1.T2"]);
+        assert!(!got.is_temporal());
+        assert_eq!(got.len(), 1);
+        // Identical explicit values but different periods are distinct tuples
+        // for the conventional difference.
+    }
+
+    #[test]
+    fn cardinality_bounds_of_table1() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r1 = Relation::new(s.clone(), vec![tuple![1i64], tuple![2i64], tuple![2i64]]).unwrap();
+        let r2 = Relation::new(s, vec![tuple![2i64], tuple![9i64]]).unwrap();
+        let got = difference(&r1, &r2).unwrap();
+        assert!(got.len() <= r1.len());
+        assert!(got.len() >= r1.len().saturating_sub(r2.len()));
+    }
+}

@@ -1,0 +1,43 @@
+//! The extended algebra operations (§2.4, Table 1).
+//!
+//! Every operation is a pure function from argument relation(s) to a result
+//! relation. The implementations are *specification-faithful*: they produce
+//! exactly the list (order and duplicates included) that the paper's
+//! λ-calculus definitions prescribe. Faster physical algorithms live in
+//! `tqo-exec`; they are validated against these reference implementations.
+//!
+//! | Operation | Function | Temporal counterpart |
+//! |-----------|----------|----------------------|
+//! | selection `σ_P` | [`select`] | — (snapshot-reducible as-is) |
+//! | projection `π_f` | [`project`] | — |
+//! | union ALL `⊔` | [`union_all`] | — |
+//! | Cartesian product `×` | [`product`] | [`temporal::product_t`] |
+//! | difference `\` | [`difference`] | [`temporal::difference_t`] |
+//! | aggregation `ξ` | [`aggregate`] | [`temporal::aggregate_t`] |
+//! | duplicate elimination `rdup` | [`rdup`] | [`temporal::rdup_t`] |
+//! | union `∪` | [`union_max`] | [`temporal::union_t`] |
+//! | sorting `sort_A` | [`sort`] | — |
+//! | coalescing `coalᵀ` | — | [`temporal::coalesce`] |
+
+pub mod aggregate;
+pub mod difference;
+pub mod product;
+pub mod project;
+pub mod rdup;
+pub mod select;
+pub mod sort;
+pub mod temporal;
+pub mod union;
+pub mod union_all;
+
+pub use aggregate::aggregate;
+pub use difference::difference;
+pub use product::product;
+pub use project::project;
+pub use rdup::rdup;
+pub use select::select;
+pub use sort::sort;
+pub use union::union_max;
+pub use union_all::union_all;
+
+pub use temporal::{aggregate_t, coalesce, difference_t, product_t, rdup_t, union_t};

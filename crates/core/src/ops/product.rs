@@ -1,0 +1,92 @@
+//! Cartesian product `r1 × r2`.
+//!
+//! Table 1: order `= Order(r1)`, cardinality `= n(r1) · n(r2)`, retains
+//! duplicates. Attribute names from the two sides are disambiguated with the
+//! `1.` / `2.` prefixes — rule C9 refers to the product attributes
+//! `1.T1, 1.T2, 2.T1, 2.T2` produced this way. Because the prefixes strip
+//! the reserved names, the result of the *conventional* product is always a
+//! snapshot relation, even for temporal arguments (the temporal counterpart
+//! `×ᵀ` additionally emits a fresh intersection period).
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// The output schema of `r1 × r2`: `1.`-prefixed left attributes followed by
+/// `2.`-prefixed right attributes.
+pub fn product_schema(left: &Schema, right: &Schema) -> Result<Schema> {
+    left.prefixed("1.").concat(&right.prefixed("2."))
+}
+
+/// Apply `×`: left-major nested loop, preserving the order of `r1`.
+pub fn product(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    let schema = product_schema(r1.schema(), r2.schema())?;
+    let mut out = Vec::with_capacity(r1.len().saturating_mul(r2.len()));
+    for t1 in r1.tuples() {
+        for t2 in r2.tuples() {
+            out.push(t1.concat(t2));
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    #[test]
+    fn left_major_order_and_prefixes() {
+        let r1 = Relation::new(
+            Schema::of(&[("A", DataType::Int)]),
+            vec![tuple![1i64], tuple![2i64]],
+        )
+        .unwrap();
+        let r2 = Relation::new(
+            Schema::of(&[("B", DataType::Str)]),
+            vec![tuple!["x"], tuple!["y"]],
+        )
+        .unwrap();
+        let got = product(&r1, &r2).unwrap();
+        assert_eq!(got.schema().names(), vec!["1.A", "2.B"]);
+        assert_eq!(
+            got.tuples(),
+            &[
+                tuple![1i64, "x"],
+                tuple![1i64, "y"],
+                tuple![2i64, "x"],
+                tuple![2i64, "y"],
+            ]
+        );
+    }
+
+    #[test]
+    fn temporal_arguments_become_snapshot() {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        let r = Relation::new(s.clone(), vec![tuple!["a", 1i64, 3i64]]).unwrap();
+        let got = product(&r, &r).unwrap();
+        assert!(!got.is_temporal());
+        assert_eq!(
+            got.schema().names(),
+            vec!["1.E", "1.T1", "1.T2", "2.E", "2.T1", "2.T2"]
+        );
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn empty_side_gives_empty_product() {
+        let r1 = Relation::new(Schema::of(&[("A", DataType::Int)]), vec![tuple![1i64]]).unwrap();
+        let r2 = Relation::empty(Schema::of(&[("B", DataType::Int)]));
+        assert!(product(&r1, &r2).unwrap().is_empty());
+        assert!(product(&r2, &r1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cardinality_is_product() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r1 = Relation::new(s.clone(), vec![tuple![1i64]; 3]).unwrap();
+        let r2 = Relation::new(Schema::of(&[("B", DataType::Int)]), vec![tuple![9i64]; 4]).unwrap();
+        assert_eq!(product(&r1, &r2).unwrap().len(), 12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Regular duplicate elimination `rdup(r)`.
+//!
+//! Table 1: order `= Order(r)`, cardinality `≤ n(r)`, eliminates duplicates.
+//! The first occurrence of each tuple is kept, preserving the argument's
+//! order. Applied to a temporal relation the result is a *snapshot* relation:
+//! the reserved time attributes are renamed `1.T1`/`1.T2` (Figure 3's `R2`),
+//! and duplicates are decided over the full tuple — two value-equivalent
+//! tuples with different periods are distinct.
+
+use std::collections::HashSet;
+
+use crate::error::Result;
+use crate::relation::Relation;
+
+/// Apply `rdup`: keep the first occurrence of each tuple.
+pub fn rdup(r: &Relation) -> Result<Relation> {
+    let mut seen = HashSet::with_capacity(r.len());
+    let mut out = Vec::with_capacity(r.len());
+    for t in r.tuples() {
+        if seen.insert(t) {
+            out.push(t.clone());
+        }
+    }
+    let out_schema = if r.schema().is_temporal() {
+        r.schema().demote_time_attrs()
+    } else {
+        r.schema().clone()
+    };
+    Ok(Relation::new_unchecked(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    #[test]
+    fn keeps_first_occurrence_order() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r = Relation::new(
+            s,
+            vec![tuple![3i64], tuple![1i64], tuple![3i64], tuple![2i64], tuple![1i64]],
+        )
+        .unwrap();
+        let got = rdup(&r).unwrap();
+        assert_eq!(got.tuples(), &[tuple![3i64], tuple![1i64], tuple![2i64]]);
+    }
+
+    #[test]
+    fn figure3_r2() {
+        // R1 = π_{EmpName,T1,T2}(EMPLOYEE); R2 = rdup(R1) drops only the
+        // exact duplicate (Anna, 2, 6) and demotes the time attributes.
+        let s = Schema::temporal(&[("EmpName", DataType::Str)]);
+        let r1 = Relation::new(
+            s,
+            vec![
+                tuple!["John", 1i64, 8i64],
+                tuple!["John", 6i64, 11i64],
+                tuple!["Anna", 2i64, 6i64],
+                tuple!["Anna", 2i64, 6i64],
+                tuple!["Anna", 6i64, 12i64],
+            ],
+        )
+        .unwrap();
+        let r2 = rdup(&r1).unwrap();
+        assert_eq!(r2.schema().names(), vec!["EmpName", "1.T1", "1.T2"]);
+        assert!(!r2.is_temporal());
+        assert_eq!(
+            r2.tuples(),
+            &[
+                tuple!["John", 1i64, 8i64],
+                tuple!["John", 6i64, 11i64],
+                tuple!["Anna", 2i64, 6i64],
+                tuple!["Anna", 6i64, 12i64],
+            ]
+        );
+    }
+
+    #[test]
+    fn idempotent_on_duplicate_free_input() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r = Relation::new(s, vec![tuple![1i64], tuple![2i64]]).unwrap();
+        let got = rdup(&r).unwrap();
+        assert_eq!(got.tuples(), r.tuples());
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = Relation::empty(Schema::of(&[("A", DataType::Int)]));
+        assert!(rdup(&r).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Selection `σ_P(r)`.
+//!
+//! Table 1: order `= Order(r)`, cardinality `≤ n(r)`, retains duplicates,
+//! retains coalescing. Selection has no temporal counterpart: evaluated on a
+//! temporal relation it is already snapshot-reducible when the predicate is
+//! time-free, and predicates *may* mention `T1`/`T2` to express the paper's
+//! second class of temporal statements (explicit manipulation of time
+//! values).
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::relation::Relation;
+
+/// Apply `σ_P`: keep, in order, every tuple satisfying the predicate.
+pub fn select(r: &Relation, predicate: &Expr) -> Result<Relation> {
+    let schema = r.schema().clone();
+    let mut out = Vec::new();
+    for t in r.tuples() {
+        if predicate.eval_predicate(&schema, t)? {
+            out.push(t.clone());
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                tuple![3i64, "x"],
+                tuple![1i64, "y"],
+                tuple![3i64, "x"],
+                tuple![2i64, "z"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keeps_order_and_duplicates() {
+        let r = rel();
+        let p = Expr::bin(BinOp::Ge, Expr::col("A"), Expr::lit(2i64));
+        let got = select(&r, &p).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[tuple![3i64, "x"], tuple![3i64, "x"], tuple![2i64, "z"]]
+        );
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = rel();
+        let p = Expr::bin(BinOp::Gt, Expr::col("A"), Expr::lit(100i64));
+        assert!(select(&r, &p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn temporal_predicate_on_period_attributes() {
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            vec![tuple!["a", 1i64, 5i64], tuple!["b", 4i64, 9i64]],
+        )
+        .unwrap();
+        // Tuples valid at time 2: T1 <= 2 < T2.
+        let p = Expr::and(
+            Expr::bin(BinOp::Le, Expr::col("T1"), Expr::lit(2i64)),
+            Expr::bin(BinOp::Gt, Expr::col("T2"), Expr::lit(2i64)),
+        );
+        let got = select(&r, &p).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.tuples()[0], tuple!["a", 1i64, 5i64]);
+        assert!(got.is_temporal());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let r = rel();
+        let p = Expr::eq(Expr::col("Z"), Expr::lit(1i64));
+        assert!(select(&r, &p).is_err());
+    }
+}

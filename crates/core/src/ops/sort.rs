@@ -1,0 +1,109 @@
+//! Sorting `sort_A(r)`.
+//!
+//! Table 1: order `= A` (or `Order(r)` when `A` is a prefix of `Order(r)`),
+//! cardinality `= n(r)`, retains duplicates, retains coalescing. The sort is
+//! *stable*, so tuples equal under `A` keep their relative order — which is
+//! precisely why the special case holds physically: a stable sort of an
+//! already-appropriately-sorted list is the identity.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::sortspec::Order;
+
+/// Apply `sort_A`: stable sort under the given order.
+pub fn sort(r: &Relation, order: &Order) -> Result<Relation> {
+    let schema = r.schema().clone();
+    // Resolve keys once up front so errors surface before sorting.
+    for key in order.keys() {
+        schema.resolve(&key.attr)?;
+    }
+    let mut tuples = r.tuples().to_vec();
+    // `sort_by` would hide evaluation errors; keys were validated above, and
+    // Value comparison itself is total, so the comparator cannot fail.
+    tuples.sort_by(|a, b| {
+        order
+            .compare(&schema, a, b)
+            .expect("sort keys validated against schema")
+    });
+    Ok(Relation::new_unchecked(schema, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::sortspec::{SortKey, SortDir};
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                tuple![2i64, "x"],
+                tuple![1i64, "z"],
+                tuple![2i64, "a"],
+                tuple![1i64, "a"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sorts_ascending() {
+        let got = sort(&rel(), &Order::asc(&["A", "B"])).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[
+                tuple![1i64, "a"],
+                tuple![1i64, "z"],
+                tuple![2i64, "a"],
+                tuple![2i64, "x"],
+            ]
+        );
+    }
+
+    #[test]
+    fn descending_keys() {
+        let got = sort(
+            &rel(),
+            &Order(vec![SortKey { attr: "A".into(), dir: SortDir::Desc }]),
+        )
+        .unwrap();
+        assert_eq!(got.tuples()[0].value(0), &crate::value::Value::Int(2));
+        assert_eq!(got.tuples()[3].value(0), &crate::value::Value::Int(1));
+    }
+
+    #[test]
+    fn stability_preserves_relative_order_of_equals() {
+        let got = sort(&rel(), &Order::asc(&["A"])).unwrap();
+        // Among the A=2 tuples, "x" came before "a" in the input.
+        assert_eq!(
+            got.tuples(),
+            &[
+                tuple![1i64, "z"],
+                tuple![1i64, "a"],
+                tuple![2i64, "x"],
+                tuple![2i64, "a"],
+            ]
+        );
+    }
+
+    #[test]
+    fn sorting_sorted_input_by_prefix_is_identity() {
+        let sorted = sort(&rel(), &Order::asc(&["A", "B"])).unwrap();
+        let resorted = sort(&sorted, &Order::asc(&["A"])).unwrap();
+        assert_eq!(resorted.tuples(), sorted.tuples());
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(sort(&rel(), &Order::asc(&["Z"])).is_err());
+    }
+
+    #[test]
+    fn empty_order_is_identity() {
+        let got = sort(&rel(), &Order::unordered()).unwrap();
+        assert_eq!(got.tuples(), rel().tuples());
+    }
+}

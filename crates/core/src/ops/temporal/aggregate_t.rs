@@ -1,0 +1,201 @@
+//! Temporal aggregation `ξᵀ_{G1..Gn; F1..Fm}(r)`.
+//!
+//! Snapshot-reducible to `ξ`: conceptually the aggregate is evaluated at
+//! every instant over the tuples then alive. The implementation computes,
+//! per group, the maximal *constant intervals* — intervals delimited by the
+//! group's period endpoints on which the set of live tuples does not change —
+//! and emits one result tuple per non-empty constant interval.
+//!
+//! Table 1: order `= Prefix(Order(r), GroupPairs)` (groups in
+//! first-occurrence order), cardinality `≤ 2 · n(r) − 1`, eliminates
+//! duplicates, destroys coalescing.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::expr::AggItem;
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema, T1, T2};
+use crate::time::Period;
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+
+/// The output schema of `ξᵀ`: grouping attributes, aggregate results, and
+/// the fresh period attributes.
+pub fn aggregate_t_schema(input: &Schema, group_by: &[String], aggs: &[AggItem]) -> Result<Schema> {
+    if !input.is_temporal() {
+        return Err(Error::NotTemporal { context: "temporal aggregation" });
+    }
+    let mut attrs = Vec::with_capacity(group_by.len() + aggs.len() + 2);
+    for g in group_by {
+        if g == T1 || g == T2 {
+            return Err(Error::ReservedAttribute { name: g.clone() });
+        }
+        let i = input.resolve(g)?;
+        attrs.push(input.attr(i).clone());
+    }
+    for agg in aggs {
+        attrs.push(Attribute::new(agg.alias.clone(), agg.output_type(input)?));
+    }
+    attrs.push(Attribute::new(T1, DataType::Time));
+    attrs.push(Attribute::new(T2, DataType::Time));
+    Schema::new(attrs)
+}
+
+/// Apply `ξᵀ`.
+pub fn aggregate_t(r: &Relation, group_by: &[String], aggs: &[AggItem]) -> Result<Relation> {
+    let out_schema = aggregate_t_schema(r.schema(), group_by, aggs)?;
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| r.schema().resolve(g))
+        .collect::<Result<_>>()?;
+
+    // Group tuple indices, keeping first-occurrence order of groups.
+    let mut group_order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, t) in r.tuples().iter().enumerate() {
+        let key: Vec<Value> = key_idx.iter().map(|&k| t.value(k).clone()).collect();
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                group_order.push(key);
+                Vec::new()
+            })
+            .push(i);
+    }
+
+    let mut out = Vec::new();
+    for key in group_order {
+        let indices = &groups[&key];
+        // Endpoints of this group's periods delimit the constant intervals.
+        let mut pts: Vec<i64> = Vec::with_capacity(indices.len() * 2);
+        let mut periods: Vec<Period> = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let p = r.tuples()[i].period(r.schema())?;
+            pts.push(p.start);
+            pts.push(p.end);
+            periods.push(p);
+        }
+        pts.sort_unstable();
+        pts.dedup();
+        for w in pts.windows(2) {
+            let interval = Period { start: w[0], end: w[1] };
+            let live: Vec<&Tuple> = indices
+                .iter()
+                .zip(&periods)
+                .filter(|(_, p)| p.contains(interval.start))
+                .map(|(&i, _)| &r.tuples()[i])
+                .collect();
+            if live.is_empty() {
+                continue; // a gap between this group's periods
+            }
+            let mut values = key.clone();
+            for agg in aggs {
+                values.push(agg.compute(r.schema(), &live)?);
+            }
+            values.push(Value::Time(interval.start));
+            values.push(Value::Time(interval.end));
+            out.push(Tuple::new(values));
+        }
+    }
+    Ok(Relation::new_unchecked(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AggFunc;
+    use crate::ops::aggregate::aggregate;
+    use crate::tuple;
+
+    fn dept_salaries() -> Relation {
+        Relation::new(
+            Schema::temporal(&[("Dept", DataType::Str), ("Salary", DataType::Int)]),
+            vec![
+                tuple!["Sales", 100i64, 1i64, 8i64],
+                tuple!["Sales", 200i64, 4i64, 10i64],
+                tuple!["Ads", 300i64, 2i64, 6i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constant_interval_sweep() {
+        let got = aggregate_t(
+            &dept_salaries(),
+            &["Dept".into()],
+            &[AggItem::new(AggFunc::Sum, Some("Salary"), "total")],
+        )
+        .unwrap();
+        assert_eq!(got.schema().names(), vec!["Dept", "total", "T1", "T2"]);
+        assert_eq!(
+            got.tuples(),
+            &[
+                tuple!["Sales", 100i64, 1i64, 4i64],
+                tuple!["Sales", 300i64, 4i64, 8i64],
+                tuple!["Sales", 200i64, 8i64, 10i64],
+                tuple!["Ads", 300i64, 2i64, 6i64],
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_reducible_to_aggregate() {
+        let r = dept_salaries();
+        let aggs = [
+            AggItem::count_star("n"),
+            AggItem::new(AggFunc::Max, Some("Salary"), "top"),
+        ];
+        let got = aggregate_t(&r, &["Dept".into()], &aggs).unwrap();
+        for t in 0..12 {
+            let snap = r.snapshot(t).unwrap();
+            let lhs = got.snapshot(t).unwrap();
+            let rhs = aggregate(&snap, &["Dept".into()], &aggs).unwrap();
+            assert_eq!(lhs.counts(), rhs.counts(), "at instant {t}");
+        }
+    }
+
+    #[test]
+    fn gaps_between_periods_produce_no_rows() {
+        let r = Relation::new(
+            Schema::temporal(&[("G", DataType::Str)]),
+            vec![tuple!["a", 1i64, 3i64], tuple!["a", 7i64, 9i64]],
+        )
+        .unwrap();
+        let got = aggregate_t(&r, &["G".into()], &[AggItem::count_star("n")]).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[tuple!["a", 1i64, 1i64, 3i64], tuple!["a", 1i64, 7i64, 9i64]]
+        );
+    }
+
+    #[test]
+    fn cardinality_bound_of_table1() {
+        let r = dept_salaries();
+        let got = aggregate_t(&r, &["Dept".into()], &[AggItem::count_star("n")]).unwrap();
+        assert!(got.len() < 2 * r.len());
+    }
+
+    #[test]
+    fn grouping_by_time_attrs_is_rejected() {
+        let r = dept_salaries();
+        assert!(aggregate_t(&r, &["T1".into()], &[]).is_err());
+    }
+
+    #[test]
+    fn grand_total_over_all_tuples() {
+        let got = aggregate_t(&dept_salaries(), &[], &[AggItem::count_star("n")]).unwrap();
+        // One group containing everything; intervals over 1..10.
+        assert_eq!(
+            got.tuples(),
+            &[
+                tuple![1i64, 1i64, 2i64],
+                tuple![2i64, 2i64, 4i64],
+                tuple![3i64, 4i64, 6i64],
+                tuple![2i64, 6i64, 8i64],
+                tuple![1i64, 8i64, 10i64],
+            ]
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Coalescing `coalᵀ(r)`.
+//!
+//! Merges value-equivalent tuples whose periods are *adjacent* (§2.4). The
+//! definition deliberately differs from Böhlen et al.'s, which also merges
+//! overlapping periods: by the minimality/orthogonality requirement of
+//! §2.2, overlap handling belongs to `rdupᵀ`, and Böhlen-style coalescing is
+//! obtained by the idiom `coalᵀ(rdupᵀ(r))`.
+//!
+//! Table 1: order `= Order(r) \ TimePairs`, cardinality `≤ n(r)`, *retains*
+//! duplicates (coalescing has no effect on exact duplicates — their periods
+//! are equal, not adjacent), and enforces coalescing.
+//!
+//! The merged tuple takes the position of the earlier participant, so the
+//! argument's tuple order is retained.
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// Apply `coalᵀ`: fixpoint of merging value-equivalent adjacent periods.
+pub fn coalesce(r: &Relation) -> Result<Relation> {
+    if !r.is_temporal() {
+        return Err(Error::NotTemporal { context: "coalescing" });
+    }
+    let schema = r.schema().clone();
+    let mut tuples: Vec<Tuple> = r.tuples().to_vec();
+    let mut keys: Vec<Vec<crate::value::Value>> =
+        tuples.iter().map(|t| t.explicit_values(&schema)).collect();
+
+    let mut i = 0;
+    while i < tuples.len() {
+        let period_i = tuples[i].period(&schema)?;
+        let partner = (i + 1..tuples.len()).find(|&j| {
+            keys[j] == keys[i]
+                && tuples[j]
+                    .period(&schema)
+                    .is_ok_and(|p| p.adjacent(&period_i))
+        });
+        match partner {
+            None => i += 1,
+            Some(j) => {
+                let merged = period_i
+                    .merge_adjacent(&tuples[j].period(&schema)?)
+                    .expect("partner chosen adjacent");
+                tuples[i] = tuples[i].with_period(&schema, merged)?;
+                tuples.remove(j);
+                keys.remove(j);
+                // Stay at `i`: the widened period may now be adjacent to
+                // further tuples.
+            }
+        }
+    }
+    Ok(Relation::new_unchecked(schema, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::temporal(&[("EmpName", DataType::Str)])
+    }
+
+    #[test]
+    fn merges_adjacent_periods() {
+        // Figure 3's R3 coalesced: Anna [2,6) + [6,12) merge; John's
+        // fragments [1,8) + [8,11) merge too.
+        let r = Relation::new(
+            schema(),
+            vec![
+                tuple!["John", 1i64, 8i64],
+                tuple!["John", 8i64, 11i64],
+                tuple!["Anna", 2i64, 6i64],
+                tuple!["Anna", 6i64, 12i64],
+            ],
+        )
+        .unwrap();
+        let got = coalesce(&r).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[tuple!["John", 1i64, 11i64], tuple!["Anna", 2i64, 12i64]]
+        );
+        assert!(got.is_coalesced().unwrap());
+    }
+
+    #[test]
+    fn does_not_merge_overlapping_periods() {
+        // Minimality: overlap is rdupᵀ's business.
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 6i64], tuple!["a", 4i64, 9i64]],
+        )
+        .unwrap();
+        let got = coalesce(&r).unwrap();
+        assert_eq!(got.tuples(), r.tuples());
+    }
+
+    #[test]
+    fn retains_exact_duplicates() {
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 3i64], tuple!["a", 1i64, 3i64]],
+        )
+        .unwrap();
+        let got = coalesce(&r).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn chains_of_adjacency_collapse_fully() {
+        let r = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 5i64, 7i64],
+                tuple!["a", 1i64, 3i64],
+                tuple!["a", 3i64, 5i64],
+            ],
+        )
+        .unwrap();
+        let got = coalesce(&r).unwrap();
+        assert_eq!(got.tuples(), &[tuple!["a", 1i64, 7i64]]);
+    }
+
+    #[test]
+    fn retains_argument_order() {
+        let r = Relation::new(
+            schema(),
+            vec![
+                tuple!["b", 1i64, 2i64],
+                tuple!["a", 1i64, 3i64],
+                tuple!["a", 3i64, 5i64],
+                tuple!["c", 9i64, 12i64],
+            ],
+        )
+        .unwrap();
+        let got = coalesce(&r).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[
+                tuple!["b", 1i64, 2i64],
+                tuple!["a", 1i64, 5i64],
+                tuple!["c", 9i64, 12i64],
+            ]
+        );
+    }
+
+    #[test]
+    fn value_inequivalent_adjacency_is_not_merged() {
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 3i64], tuple!["b", 3i64, 5i64]],
+        )
+        .unwrap();
+        let got = coalesce(&r).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn idempotent() {
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 3i64], tuple!["a", 3i64, 5i64]],
+        )
+        .unwrap();
+        let once = coalesce(&r).unwrap();
+        let twice = coalesce(&once).unwrap();
+        assert_eq!(once.tuples(), twice.tuples());
+    }
+
+    #[test]
+    fn snapshot_set_equivalence_with_argument() {
+        // Rule C2: coalᵀ(r) ≡ˢᴹ r — snapshots keep their multisets.
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 4i64], tuple!["a", 4i64, 8i64]],
+        )
+        .unwrap();
+        let got = coalesce(&r).unwrap();
+        for t in 0..10 {
+            assert_eq!(
+                got.snapshot(t).unwrap().counts(),
+                r.snapshot(t).unwrap().counts()
+            );
+        }
+    }
+
+    #[test]
+    fn requires_temporal_input() {
+        let snap = Relation::new(Schema::of(&[("A", DataType::Int)]), vec![tuple![1i64]]).unwrap();
+        assert!(coalesce(&snap).is_err());
+    }
+}

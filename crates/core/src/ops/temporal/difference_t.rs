@@ -1,0 +1,192 @@
+//! Temporal difference `r1 \ᵀ r2`.
+//!
+//! Snapshot-reducible to the multiset difference: at every instant `t`, a
+//! value-equivalence class with `cₗ` live tuples in `r1` and `cᵣ` in `r2`
+//! contributes `max(0, cₗ − cᵣ)` tuples to the snapshot of the result. The
+//! implementation sweeps a count timeline per class, so it is exact even
+//! when the left argument *does* contain snapshot duplicates (the paper's
+//! plans guard the left argument with `rdupᵀ`, which keeps the multiset
+//! semantics of the result well-defined; see §6's discussion of
+//! order-sensitive operations).
+//!
+//! Table 1: order `= Order(r1) \ TimePairs` (value-equivalence classes are
+//! emitted in first-occurrence order of `r1`, their fragments
+//! chronologically), retains duplicates, destroys coalescing. Table 1 states
+//! cardinality `≤ 2 · n(r1)`, the bound for the recursion in the paper's
+//! definition; a sweep over `k` right periods can fragment one left tuple
+//! into up to `k + 1` pieces, so the precise bound is `≤ n(r1) + n(r2)` —
+//! all results are snapshot-equivalent either way.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::time::CountTimeline;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Apply `\ᵀ`.
+pub fn difference_t(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    if !r1.is_temporal() || !r2.is_temporal() {
+        return Err(Error::NotTemporal { context: "temporal difference" });
+    }
+    r1.schema().check_union_compatible(r2.schema(), "temporal difference")?;
+    let schema = r1.schema().clone();
+
+    // Right-side periods per value-equivalence class.
+    let mut right: HashMap<Vec<Value>, Vec<crate::time::Period>> = HashMap::new();
+    for t in r2.tuples() {
+        right
+            .entry(t.explicit_values(r2.schema()))
+            .or_default()
+            .push(t.period(r2.schema())?);
+    }
+
+    let mut out: Vec<Tuple> = Vec::new();
+    for (key, indices) in r1.value_classes()? {
+        let mut tl = CountTimeline::new();
+        for &i in &indices {
+            tl.add(r1.tuples()[i].period(&schema)?, 1);
+        }
+        if let Some(periods) = right.get(&key) {
+            for p in periods {
+                tl.add(*p, -1);
+            }
+        }
+        // A representative left tuple of the class supplies explicit values.
+        let proto = &r1.tuples()[indices[0]];
+        for (period, count) in tl.constant_intervals() {
+            if count > 0 {
+                let fragment = proto.with_period(&schema, period)?;
+                for _ in 0..count {
+                    out.push(fragment.clone());
+                }
+            }
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::difference::difference;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::temporal(&[("E", DataType::Str)])
+    }
+
+    #[test]
+    fn subtracts_periods_per_class() {
+        let r1 = Relation::new(schema(), vec![tuple!["a", 1i64, 10i64]]).unwrap();
+        let r2 = Relation::new(
+            schema(),
+            vec![tuple!["a", 3i64, 5i64], tuple!["b", 1i64, 10i64]],
+        )
+        .unwrap();
+        let got = difference_t(&r1, &r2).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[tuple!["a", 1i64, 3i64], tuple!["a", 5i64, 10i64]]
+        );
+    }
+
+    #[test]
+    fn figure1_employee_minus_project() {
+        // The running example: employees in a department but on no project.
+        let emp_schema = Schema::temporal(&[("EmpName", DataType::Str)]);
+        let employees = Relation::new(
+            emp_schema.clone(),
+            vec![
+                // rdupᵀ(π_{EmpName,T1,T2}(EMPLOYEE)) — Figure 3's R3.
+                tuple!["John", 1i64, 8i64],
+                tuple!["John", 8i64, 11i64],
+                tuple!["Anna", 2i64, 6i64],
+                tuple!["Anna", 6i64, 12i64],
+            ],
+        )
+        .unwrap();
+        let projects = Relation::new(
+            emp_schema,
+            vec![
+                tuple!["John", 2i64, 3i64],
+                tuple!["John", 5i64, 6i64],
+                tuple!["John", 7i64, 8i64],
+                tuple!["John", 9i64, 10i64],
+                tuple!["Anna", 3i64, 4i64],
+                tuple!["Anna", 5i64, 6i64],
+                tuple!["Anna", 7i64, 8i64],
+                tuple!["Anna", 9i64, 10i64],
+            ],
+        )
+        .unwrap();
+        let got = difference_t(&employees, &projects).unwrap();
+        // Matches the Result relation of Figure 1 (grouped by class in
+        // first-occurrence order: John first, then Anna).
+        assert_eq!(
+            got.tuples(),
+            &[
+                tuple!["John", 1i64, 2i64],
+                tuple!["John", 3i64, 5i64],
+                tuple!["John", 6i64, 7i64],
+                tuple!["John", 8i64, 9i64],
+                tuple!["John", 10i64, 11i64],
+                tuple!["Anna", 2i64, 3i64],
+                tuple!["Anna", 4i64, 5i64],
+                tuple!["Anna", 6i64, 7i64],
+                tuple!["Anna", 8i64, 9i64],
+                tuple!["Anna", 10i64, 12i64],
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_reducible_to_multiset_difference() {
+        let r1 = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 1i64, 8i64],
+                tuple!["a", 4i64, 12i64], // snapshot duplicates on [4,8)
+                tuple!["b", 2i64, 6i64],
+            ],
+        )
+        .unwrap();
+        let r2 = Relation::new(
+            schema(),
+            vec![tuple!["a", 5i64, 9i64], tuple!["b", 1i64, 4i64]],
+        )
+        .unwrap();
+        let got = difference_t(&r1, &r2).unwrap();
+        for t in 0..13 {
+            let lhs = got.snapshot(t).unwrap();
+            let rhs = difference(&r1.snapshot(t).unwrap(), &r2.snapshot(t).unwrap()).unwrap();
+            assert_eq!(lhs.counts(), rhs.counts(), "at instant {t}");
+        }
+    }
+
+    #[test]
+    fn disjoint_right_side_is_identity_as_snapshots() {
+        let r1 = Relation::new(schema(), vec![tuple!["a", 1i64, 5i64]]).unwrap();
+        let r2 = Relation::new(schema(), vec![tuple!["a", 7i64, 9i64]]).unwrap();
+        let got = difference_t(&r1, &r2).unwrap();
+        assert_eq!(got.tuples(), r1.tuples());
+    }
+
+    #[test]
+    fn complete_subtraction_gives_empty() {
+        let r1 = Relation::new(schema(), vec![tuple!["a", 2i64, 5i64]]).unwrap();
+        let r2 = Relation::new(schema(), vec![tuple!["a", 1i64, 9i64]]).unwrap();
+        assert!(difference_t(&r1, &r2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn requires_temporal_args() {
+        let snap = Relation::new(Schema::of(&[("E", DataType::Str)]), vec![tuple!["a"]]).unwrap();
+        let temp = Relation::new(schema(), vec![tuple!["a", 1i64, 2i64]]).unwrap();
+        assert!(difference_t(&snap, &temp).is_err());
+        assert!(difference_t(&temp, &snap).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Temporal (max-) union `r1 ∪ᵀ r2`.
+//!
+//! Snapshot-reducible to `∪`: at every instant, a value-equivalence class
+//! occurs `max(cₗ, cᵣ)` times. All of `r1` is kept verbatim; for the right
+//! side, fragments are appended over the intervals where `cᵣ > cₗ`, each
+//! with multiplicity `cᵣ − cₗ`.
+//!
+//! Table 1: result unordered, cardinality between `n(r1)` and
+//! `n(r1) + 2·n(r2)`, retains duplicates, destroys coalescing.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::time::CountTimeline;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Apply `∪ᵀ`.
+pub fn union_t(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    if !r1.is_temporal() || !r2.is_temporal() {
+        return Err(Error::NotTemporal { context: "temporal union" });
+    }
+    r1.schema().check_union_compatible(r2.schema(), "temporal union")?;
+    let schema = r1.schema().clone();
+
+    // Left-side periods per class.
+    let mut left: HashMap<Vec<Value>, Vec<crate::time::Period>> = HashMap::new();
+    for t in r1.tuples() {
+        left.entry(t.explicit_values(&schema))
+            .or_default()
+            .push(t.period(&schema)?);
+    }
+
+    let mut out: Vec<Tuple> = r1.tuples().to_vec();
+    for (key, indices) in r2.value_classes()? {
+        let mut tl = CountTimeline::new();
+        for &i in &indices {
+            tl.add(r2.tuples()[i].period(r2.schema())?, 1);
+        }
+        if let Some(periods) = left.get(&key) {
+            for p in periods {
+                tl.add(*p, -1);
+            }
+        }
+        let proto = &r2.tuples()[indices[0]];
+        for (period, count) in tl.constant_intervals() {
+            if count > 0 {
+                let fragment = proto.with_period(&schema, period)?;
+                for _ in 0..count {
+                    out.push(fragment.clone());
+                }
+            }
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::union::union_max;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::temporal(&[("E", DataType::Str)])
+    }
+
+    #[test]
+    fn keeps_left_and_appends_right_surplus() {
+        let r1 = Relation::new(schema(), vec![tuple!["a", 1i64, 5i64]]).unwrap();
+        let r2 = Relation::new(schema(), vec![tuple!["a", 3i64, 8i64]]).unwrap();
+        let got = union_t(&r1, &r2).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[tuple!["a", 1i64, 5i64], tuple!["a", 5i64, 8i64]]
+        );
+    }
+
+    #[test]
+    fn snapshot_reducible_to_union() {
+        let r1 = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 1i64, 6i64],
+                tuple!["a", 4i64, 9i64],
+                tuple!["b", 2i64, 4i64],
+            ],
+        )
+        .unwrap();
+        let r2 = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 3i64, 11i64],
+                tuple!["a", 3i64, 5i64],
+                tuple!["c", 1i64, 3i64],
+            ],
+        )
+        .unwrap();
+        let got = union_t(&r1, &r2).unwrap();
+        for t in 0..12 {
+            let lhs = got.snapshot(t).unwrap();
+            let rhs = union_max(&r1.snapshot(t).unwrap(), &r2.snapshot(t).unwrap()).unwrap();
+            assert_eq!(lhs.counts(), rhs.counts(), "at instant {t}");
+        }
+    }
+
+    #[test]
+    fn right_only_class_survives_whole() {
+        let r1 = Relation::new(schema(), vec![tuple!["a", 1i64, 2i64]]).unwrap();
+        let r2 = Relation::new(schema(), vec![tuple!["z", 5i64, 9i64]]).unwrap();
+        let got = union_t(&r1, &r2).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[tuple!["a", 1i64, 2i64], tuple!["z", 5i64, 9i64]]
+        );
+    }
+
+    #[test]
+    fn cardinality_bounds_of_table1() {
+        let r1 = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 6i64], tuple!["b", 1i64, 3i64]],
+        )
+        .unwrap();
+        let r2 = Relation::new(
+            schema(),
+            vec![tuple!["a", 0i64, 9i64], tuple!["b", 2i64, 4i64]],
+        )
+        .unwrap();
+        let got = union_t(&r1, &r2).unwrap();
+        assert!(got.len() >= r1.len());
+        assert!(got.len() <= r1.len() + 2 * r2.len());
+    }
+
+    #[test]
+    fn covered_right_side_adds_nothing() {
+        let r1 = Relation::new(schema(), vec![tuple!["a", 1i64, 9i64]]).unwrap();
+        let r2 = Relation::new(schema(), vec![tuple!["a", 3i64, 7i64]]).unwrap();
+        let got = union_t(&r1, &r2).unwrap();
+        assert_eq!(got.tuples(), r1.tuples());
+    }
+}

@@ -1,0 +1,94 @@
+//! Multiset (max-) union `r1 ∪ r2`, after Albert's bag union.
+//!
+//! §2.4: "This operation includes a tuple in the result as many times as the
+//! tuple occurs in the argument relation that has the most occurrences of
+//! that tuple." Table 1: result is unordered, cardinality between `n(r1)`
+//! and `n(r1) + n(r2)`, *retains* duplicates — crucially, unlike
+//! `rdup(r1 ⊔ r2)`-style SQL UNION, `∪` generates no new duplicates when its
+//! arguments are duplicate-free, which is what licenses pushing duplicate
+//! elimination below it (rules D5/D6).
+//!
+//! Physical order: all of `r1`, then the surplus occurrences from `r2`.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// Apply `∪`: per-tuple occurrence count is `max(count₁, count₂)`.
+pub fn union_max(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    r1.schema().check_union_compatible(r2.schema(), "union")?;
+    let mut seen: HashMap<&Tuple, usize> = HashMap::with_capacity(r1.len());
+    for t in r1.tuples() {
+        *seen.entry(t).or_insert(0) += 1;
+    }
+    let mut out: Vec<Tuple> = r1.tuples().to_vec();
+    for t in r2.tuples() {
+        match seen.get_mut(t) {
+            Some(n) if *n > 0 => *n -= 1, // matched an existing occurrence
+            _ => out.push(t.clone()),     // surplus beyond r1's count
+        }
+    }
+    let out_schema = if r1.schema().is_temporal() {
+        r1.schema().demote_time_attrs()
+    } else {
+        r1.schema().clone()
+    };
+    Ok(Relation::new_unchecked(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    #[test]
+    fn max_semantics() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        // r1 has two 1s; r2 has three 1s and one 2 → result: three 1s, one 2.
+        let r1 = Relation::new(s.clone(), vec![tuple![1i64], tuple![1i64]]).unwrap();
+        let r2 = Relation::new(
+            s,
+            vec![tuple![1i64], tuple![2i64], tuple![1i64], tuple![1i64]],
+        )
+        .unwrap();
+        let got = union_max(&r1, &r2).unwrap();
+        let counts = got.counts();
+        assert_eq!(counts[&tuple![1i64]], 3);
+        assert_eq!(counts[&tuple![2i64]], 1);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn no_new_duplicates_from_duplicate_free_args() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r1 = Relation::new(s.clone(), vec![tuple![1i64], tuple![2i64]]).unwrap();
+        let r2 = Relation::new(s, vec![tuple![2i64], tuple![3i64]]).unwrap();
+        let got = union_max(&r1, &r2).unwrap();
+        assert!(!got.has_duplicates());
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn cardinality_bounds_of_table1() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r1 = Relation::new(s.clone(), vec![tuple![1i64], tuple![1i64], tuple![2i64]]).unwrap();
+        let r2 = Relation::new(s, vec![tuple![1i64], tuple![4i64]]).unwrap();
+        let got = union_max(&r1, &r2).unwrap();
+        assert!(got.len() >= r1.len());
+        assert!(got.len() <= r1.len() + r2.len());
+    }
+
+    #[test]
+    fn temporal_args_demote() {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        let r1 = Relation::new(s.clone(), vec![tuple!["a", 1i64, 3i64]]).unwrap();
+        let r2 = Relation::new(s, vec![tuple!["a", 3i64, 5i64]]).unwrap();
+        let got = union_max(&r1, &r2).unwrap();
+        assert_eq!(got.schema().names(), vec!["E", "1.T1", "1.T2"]);
+        assert_eq!(got.len(), 2);
+    }
+}

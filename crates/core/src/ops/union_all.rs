@@ -1,0 +1,69 @@
+//! Union ALL `r1 ⊔ r2`: concatenation.
+//!
+//! Table 1: result is *unordered*, cardinality `= n(r1) + n(r2)`, generates
+//! duplicates, destroys coalescing. "Union ALL simply concatenates its
+//! arguments" (§2.4) — the physical result is `r1` followed by `r2`, but the
+//! *guaranteed* order is empty, which is why commutativity of `⊔` is only a
+//! `≡M` rule.
+//!
+//! `⊔` has no temporal counterpart: concatenation is snapshot-reducible to
+//! itself.
+
+use crate::error::Result;
+use crate::relation::Relation;
+
+/// Apply `⊔`: concatenate the argument lists.
+pub fn union_all(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    r1.schema().check_union_compatible(r2.schema(), "union ALL")?;
+    let mut out = Vec::with_capacity(r1.len() + r2.len());
+    out.extend(r1.tuples().iter().cloned());
+    out.extend(r2.tuples().iter().cloned());
+    Ok(Relation::new_unchecked(r1.schema().clone(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    #[test]
+    fn concatenates() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r1 = Relation::new(s.clone(), vec![tuple![1i64], tuple![2i64]]).unwrap();
+        let r2 = Relation::new(s, vec![tuple![2i64], tuple![3i64]]).unwrap();
+        let got = union_all(&r1, &r2).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[tuple![1i64], tuple![2i64], tuple![2i64], tuple![3i64]]
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let r1 = Relation::new(Schema::of(&[("A", DataType::Int)]), vec![]).unwrap();
+        let r2 = Relation::new(Schema::of(&[("B", DataType::Int)]), vec![]).unwrap();
+        assert!(union_all(&r1, &r2).is_err());
+    }
+
+    #[test]
+    fn temporal_concatenation_stays_temporal() {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        let r1 = Relation::new(s.clone(), vec![tuple!["a", 1i64, 3i64]]).unwrap();
+        let r2 = Relation::new(s, vec![tuple!["a", 3i64, 5i64]]).unwrap();
+        let got = union_all(&r1, &r2).unwrap();
+        assert!(got.is_temporal());
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r = Relation::new(s.clone(), vec![tuple![1i64]]).unwrap();
+        let e = Relation::empty(s);
+        assert_eq!(union_all(&r, &e).unwrap().len(), 1);
+        assert_eq!(union_all(&e, &r).unwrap().len(), 1);
+        assert_eq!(union_all(&e, &e).unwrap().len(), 0);
+    }
+}

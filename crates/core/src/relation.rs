@@ -1,0 +1,356 @@
+//! Relations as *lists* of tuples (Definition 2.2).
+//!
+//! A relation schema instance is a finite sequence of tuples: duplicates are
+//! allowed and the order of tuples is significant. This is the central
+//! departure from multiset algebras (Garcia-Molina et al.) that enables the
+//! paper's integrated treatment of sorting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::time::{Instant, Period};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A list-based relation instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create a relation, validating every tuple against the schema.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Result<Relation> {
+        for t in &tuples {
+            t.conforms_to(&schema)?;
+            if schema.is_temporal() {
+                // Periods must be well-formed and non-empty.
+                let p = t.period(&schema)?;
+                if p.is_empty() {
+                    return Err(crate::error::Error::InvalidPeriod {
+                        start: p.start,
+                        end: p.end,
+                    });
+                }
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Create without validation — for operator implementations whose
+    /// construction guarantees conformance (debug builds still verify).
+    /// Callers outside this crate must uphold the schema invariants
+    /// themselves; prefer [`Relation::new`].
+    pub fn new_unchecked(schema: Schema, tuples: Vec<Tuple>) -> Relation {
+        #[cfg(debug_assertions)]
+        {
+            for t in &tuples {
+                debug_assert!(t.conforms_to(&schema).is_ok(), "nonconforming tuple {t}");
+            }
+        }
+        Relation { schema, tuples }
+    }
+
+    pub fn empty(schema: Schema) -> Relation {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Cardinality `n(r)`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn is_temporal(&self) -> bool {
+        self.schema.is_temporal()
+    }
+
+    /// Multiset view: tuple → occurrence count.
+    pub fn counts(&self) -> HashMap<&Tuple, usize> {
+        let mut m: HashMap<&Tuple, usize> = HashMap::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            *m.entry(t).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// True when the relation contains no (regular) duplicate tuples.
+    pub fn has_duplicates(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.tuples.len());
+        self.tuples.iter().any(|t| !seen.insert(t))
+    }
+
+    /// The snapshot `τ_t(r)` of a temporal relation at instant `t`: the
+    /// conventional relation holding the explicit values of every tuple whose
+    /// period contains `t`, in list order (§2.1).
+    pub fn snapshot(&self, t: Instant) -> Result<Relation> {
+        if !self.is_temporal() {
+            return Err(crate::error::Error::NotTemporal { context: "snapshot" });
+        }
+        let snap_schema = self.schema.snapshot_schema();
+        let value_idx = self.schema.value_indices();
+        let mut tuples = Vec::new();
+        for tup in &self.tuples {
+            if tup.period(&self.schema)?.contains(t) {
+                tuples.push(tup.project(&value_idx));
+            }
+        }
+        Ok(Relation { schema: snap_schema, tuples })
+    }
+
+    /// All period endpoints occurring in the relation, sorted and deduped.
+    /// Snapshot behaviour is constant between consecutive endpoints, so these
+    /// (or the midpoint sample from [`Relation::probe_instants`]) suffice to
+    /// decide snapshot equivalence.
+    pub fn endpoints(&self) -> Result<Vec<Instant>> {
+        if !self.is_temporal() {
+            return Err(crate::error::Error::NotTemporal { context: "endpoints" });
+        }
+        let mut pts = Vec::with_capacity(self.tuples.len() * 2);
+        for t in &self.tuples {
+            let p = t.period(&self.schema)?;
+            pts.push(p.start);
+            pts.push(p.end);
+        }
+        pts.sort_unstable();
+        pts.dedup();
+        Ok(pts)
+    }
+
+    /// Representative instants: one per maximal interval on which all
+    /// snapshots of `self` (and of any relation sharing these endpoints) are
+    /// constant — the interval start points — plus one instant before and
+    /// after everything.
+    pub fn probe_instants(&self) -> Result<Vec<Instant>> {
+        let pts = self.endpoints()?;
+        let mut probes = Vec::with_capacity(pts.len() + 2);
+        if let Some(first) = pts.first() {
+            probes.push(first - 1);
+        }
+        probes.extend(pts.iter().copied());
+        if let Some(last) = pts.last() {
+            probes.push(*last + 1);
+        }
+        Ok(probes)
+    }
+
+    /// True when some snapshot of the relation contains duplicates — the
+    /// precondition guarding rules D2, C8–C10 and the left argument of `\ᵀ`.
+    pub fn has_snapshot_duplicates(&self) -> Result<bool> {
+        if !self.is_temporal() {
+            return Err(crate::error::Error::NotTemporal {
+                context: "has_snapshot_duplicates",
+            });
+        }
+        // Group by explicit values, then sweep periods per group: a snapshot
+        // duplicate exists iff two periods of the same class overlap.
+        let mut classes: HashMap<Vec<Value>, Vec<Period>> = HashMap::new();
+        for t in &self.tuples {
+            classes
+                .entry(t.explicit_values(&self.schema))
+                .or_default()
+                .push(t.period(&self.schema)?);
+        }
+        for periods in classes.values_mut() {
+            periods.sort();
+            for w in periods.windows(2) {
+                if w[0].overlaps(&w[1]) {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// True when the relation is coalesced: no two value-equivalent tuples
+    /// have adjacent periods (the fixpoint condition of the paper's minimal
+    /// `coalᵀ`), and — because coalescing is only defined on relations
+    /// without snapshot duplicates in the strong sense — we check adjacency
+    /// only, leaving overlap to `has_snapshot_duplicates`.
+    pub fn is_coalesced(&self) -> Result<bool> {
+        if !self.is_temporal() {
+            return Err(crate::error::Error::NotTemporal { context: "is_coalesced" });
+        }
+        let mut classes: HashMap<Vec<Value>, Vec<Period>> = HashMap::new();
+        for t in &self.tuples {
+            classes
+                .entry(t.explicit_values(&self.schema))
+                .or_default()
+                .push(t.period(&self.schema)?);
+        }
+        for periods in classes.values() {
+            for (i, a) in periods.iter().enumerate() {
+                for b in &periods[i + 1..] {
+                    if a.adjacent(b) {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Group tuple indices by explicit values, preserving first-occurrence
+    /// order of the classes (useful for order-retaining temporal operations).
+    pub fn value_classes(&self) -> Result<Vec<(Vec<Value>, Vec<usize>)>> {
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, t) in self.tuples.iter().enumerate() {
+            let key = t.explicit_values(&self.schema);
+            let entry = map.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            });
+            entry.push(i);
+        }
+        Ok(order
+            .into_iter()
+            .map(|k| {
+                let idxs = map.remove(&k).expect("class recorded");
+                (k, idxs)
+            })
+            .collect())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    /// The EMPLOYEE relation of Figure 1.
+    pub(crate) fn employee() -> Relation {
+        let schema = Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)]);
+        Relation::new(
+            schema,
+            vec![
+                tuple!["John", "Sales", 1i64, 8i64],
+                tuple!["John", "Advertising", 6i64, 11i64],
+                tuple!["Anna", "Sales", 2i64, 6i64],
+                tuple!["Anna", "Advertising", 2i64, 6i64],
+                tuple!["Anna", "Sales", 6i64, 12i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_at_instant() {
+        let emp = employee();
+        let snap = emp.snapshot(6).unwrap();
+        // At time 6: John/Advertising [6,11), Anna/Sales [6,12) — John/Sales
+        // [1,8) also contains 6, Anna's [2,6) tuples do not.
+        assert_eq!(snap.len(), 3);
+        assert!(!snap.schema().is_temporal());
+        assert_eq!(snap.tuples()[0], tuple!["John", "Sales"]);
+        assert_eq!(snap.tuples()[1], tuple!["John", "Advertising"]);
+        assert_eq!(snap.tuples()[2], tuple!["Anna", "Sales"]);
+    }
+
+    #[test]
+    fn snapshot_duplicates_detected() {
+        let schema = Schema::temporal(&[("E", DataType::Str)]);
+        // John [1,8) and John [6,11) overlap → snapshot duplicates at 6,7.
+        let r = Relation::new(
+            schema.clone(),
+            vec![tuple!["John", 1i64, 8i64], tuple!["John", 6i64, 11i64]],
+        )
+        .unwrap();
+        assert!(r.has_snapshot_duplicates().unwrap());
+        let clean = Relation::new(
+            schema,
+            vec![tuple!["John", 1i64, 8i64], tuple!["John", 8i64, 11i64]],
+        )
+        .unwrap();
+        assert!(!clean.has_snapshot_duplicates().unwrap());
+    }
+
+    #[test]
+    fn coalescedness() {
+        let schema = Schema::temporal(&[("E", DataType::Str)]);
+        let uncoalesced = Relation::new(
+            schema.clone(),
+            vec![tuple!["Anna", 2i64, 6i64], tuple!["Anna", 6i64, 12i64]],
+        )
+        .unwrap();
+        assert!(!uncoalesced.is_coalesced().unwrap());
+        let coalesced = Relation::new(
+            schema.clone(),
+            vec![tuple!["Anna", 2i64, 12i64], tuple!["Bob", 2i64, 6i64]],
+        )
+        .unwrap();
+        assert!(coalesced.is_coalesced().unwrap());
+        // Overlap without adjacency is not an adjacency violation.
+        let overlapping = Relation::new(
+            schema,
+            vec![tuple!["Anna", 2i64, 8i64], tuple!["Anna", 6i64, 12i64]],
+        )
+        .unwrap();
+        assert!(overlapping.is_coalesced().unwrap());
+    }
+
+    #[test]
+    fn duplicates_and_counts() {
+        let schema = Schema::of(&[("A", DataType::Int)]);
+        let r = Relation::new(
+            schema,
+            vec![tuple![1i64], tuple![2i64], tuple![1i64]],
+        )
+        .unwrap();
+        assert!(r.has_duplicates());
+        let counts = r.counts();
+        assert_eq!(counts[&tuple![1i64]], 2);
+        assert_eq!(counts[&tuple![2i64]], 1);
+    }
+
+    #[test]
+    fn empty_periods_rejected() {
+        let schema = Schema::temporal(&[("E", DataType::Str)]);
+        assert!(Relation::new(schema, vec![tuple!["x", 5i64, 5i64]]).is_err());
+    }
+
+    #[test]
+    fn endpoints_sorted_deduped() {
+        let emp = employee();
+        assert_eq!(emp.endpoints().unwrap(), vec![1, 2, 6, 8, 11, 12]);
+    }
+
+    #[test]
+    fn value_classes_preserve_first_occurrence_order() {
+        let emp = employee();
+        let classes = emp.value_classes().unwrap();
+        assert_eq!(classes.len(), 4); // John/Sales, John/Adv, Anna/Sales, Anna/Adv
+        assert_eq!(classes[0].0[0], Value::Str("John".into()));
+        assert_eq!(classes[2].1, vec![2, 4]); // Anna/Sales occurs at rows 2 and 4
+    }
+}

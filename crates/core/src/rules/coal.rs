@@ -1,0 +1,570 @@
+//! Coalescing rules C1–C10 (Figure 4).
+//!
+//! C5–C9 are tagged `≡SM` — the Böhlen-style variants the paper derives
+//! from rule C2 — because the stronger `≡L` variants depend on the exact
+//! fragment layout of the technical report's operational definitions (see
+//! the module docs of [`crate::rules`]).
+
+use crate::equivalence::EquivalenceType;
+use crate::expr::ProjItem;
+use crate::plan::props::Annotations;
+use crate::plan::{Path, PlanNode};
+use crate::rules::{arc, props_at, Rule, RuleMatch};
+use crate::schema::{T1, T2};
+
+/// C1: `coalᵀ(r) ≡L r` when `r` is already coalesced.
+pub struct C1;
+
+impl Rule for C1 {
+    fn name(&self) -> &str {
+        "C1"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let Some(child) = props_at(ann, path, &[0]) {
+                if child.stat.coalesced && child.stat.is_temporal() {
+                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C2: `coalᵀ(r) ≡SM r` — coalescing never changes snapshots.
+pub struct C2;
+
+impl Rule for C2 {
+    fn name(&self) -> &str {
+        "C2"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::SnapshotMultiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+        }
+        vec![]
+    }
+}
+
+/// C3: `coalᵀ(σ_P(r)) ≡L σ_P(coalᵀ(r))` when `P` mentions neither `T1` nor
+/// `T2`. This is the left-to-right direction (pull the selection up).
+pub struct C3;
+
+impl Rule for C3 {
+    fn name(&self) -> &str {
+        "C3"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let PlanNode::Select { input: inner, predicate } = input.as_ref() {
+                if predicate.is_time_free() {
+                    let replacement = PlanNode::Select {
+                        input: arc(PlanNode::Coalesce { input: inner.clone() }),
+                        predicate: predicate.clone(),
+                    };
+                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C3 right-to-left: `σ_P(coalᵀ(r)) ≡L coalᵀ(σ_P(r))` (push the selection
+/// below coalescing — the direction a selection-first heuristic prefers).
+pub struct C3Rev;
+
+impl Rule for C3Rev {
+    fn name(&self) -> &str {
+        "C3-rev"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Select { input, predicate } = node {
+            if let PlanNode::Coalesce { input: inner } = input.as_ref() {
+                if predicate.is_time_free() {
+                    let replacement = PlanNode::Coalesce {
+                        input: arc(PlanNode::Select {
+                            input: inner.clone(),
+                            predicate: predicate.clone(),
+                        }),
+                    };
+                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C4: `π_f(coalᵀ(r)) ≡S π_f(r)` when no projection item mentions `T1`/`T2`
+/// — after projecting periods away, coalescing only affected multiplicity.
+pub struct C4;
+
+impl Rule for C4 {
+    fn name(&self) -> &str {
+        "C4"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Set
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Project { input, items } = node {
+            if let PlanNode::Coalesce { input: inner } = input.as_ref() {
+                if items.iter().all(|i| i.expr.is_time_free()) {
+                    let replacement =
+                        PlanNode::Project { input: inner.clone(), items: items.clone() };
+                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C5: `coalᵀ(coalᵀ(r1) ⊔ coalᵀ(r2)) ≡SM coalᵀ(r1 ⊔ r2)` — inner
+/// coalescings below a coalesced union ALL are redundant.
+pub struct C5;
+
+impl Rule for C5 {
+    fn name(&self) -> &str {
+        "C5"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::SnapshotMultiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let PlanNode::UnionAll { left, right } = input.as_ref() {
+                if let (PlanNode::Coalesce { input: l }, PlanNode::Coalesce { input: r }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let replacement = PlanNode::Coalesce {
+                        input: arc(PlanNode::UnionAll { left: l.clone(), right: r.clone() }),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0], vec![0, 1], vec![0, 0, 0], vec![0, 1, 0]],
+                    )];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C6: `coalᵀ(coalᵀ(r1) ∪ᵀ coalᵀ(r2)) ≡SM coalᵀ(r1 ∪ᵀ r2)`.
+pub struct C6;
+
+impl Rule for C6 {
+    fn name(&self) -> &str {
+        "C6"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::SnapshotMultiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let PlanNode::UnionT { left, right } = input.as_ref() {
+                if let (PlanNode::Coalesce { input: l }, PlanNode::Coalesce { input: r }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let replacement = PlanNode::Coalesce {
+                        input: arc(PlanNode::UnionT { left: l.clone(), right: r.clone() }),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0], vec![0, 1], vec![0, 0, 0], vec![0, 1, 0]],
+                    )];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C7: `coalᵀ(ξᵀ(coalᵀ(r))) ≡SM coalᵀ(ξᵀ(r))` — temporal aggregation sees
+/// only snapshots, so coalescing its input is redundant under a coalesced
+/// output.
+pub struct C7;
+
+impl Rule for C7 {
+    fn name(&self) -> &str {
+        "C7"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::SnapshotMultiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let PlanNode::AggregateT { input: agg_in, group_by, aggs } = input.as_ref() {
+                if let PlanNode::Coalesce { input: inner } = agg_in.as_ref() {
+                    let replacement = PlanNode::Coalesce {
+                        input: arc(PlanNode::AggregateT {
+                            input: inner.clone(),
+                            group_by: group_by.clone(),
+                            aggs: aggs.clone(),
+                        }),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0], vec![0, 0, 0]],
+                    )];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C8: `coalᵀ(π_{f..,T1,T2}(coalᵀ(r))) ≡SM coalᵀ(π_{f..,T1,T2}(r))` — the
+/// Böhlen variant (the paper's `≡L` variant additionally requires `r` free
+/// of snapshot duplicates).
+pub struct C8;
+
+impl Rule for C8 {
+    fn name(&self) -> &str {
+        "C8"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::SnapshotMultiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let PlanNode::Project { input: proj_in, items } = input.as_ref() {
+                let keeps_period = items
+                    .iter()
+                    .any(|i| i.is_identity() && i.alias == T1)
+                    && items.iter().any(|i| i.is_identity() && i.alias == T2);
+                if keeps_period {
+                    if let PlanNode::Coalesce { input: inner } = proj_in.as_ref() {
+                        let replacement = PlanNode::Coalesce {
+                            input: arc(PlanNode::Project {
+                                input: inner.clone(),
+                                items: items.clone(),
+                            }),
+                        };
+                        return vec![RuleMatch::new(
+                            replacement,
+                            vec![vec![], vec![0], vec![0, 0], vec![0, 0, 0]],
+                        )];
+                    }
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C9: `coalᵀ(π_A(r1 ×ᵀ r2)) ≡SM π_A(coalᵀ(r1) ×ᵀ coalᵀ(r2))` where
+/// `A = Ω(r1 ×ᵀ r2) \ {1.T1, 1.T2, 2.T1, 2.T2}` projects away the retained
+/// argument timestamps. Pushes coalescing into the join arguments.
+pub struct C9;
+
+/// Does `items` equal the identity projection onto every attribute of the
+/// `×ᵀ` output except the four retained timestamps?
+fn is_c9_projection(items: &[ProjItem], product_schema: &crate::schema::Schema) -> bool {
+    let retained = ["1.T1", "1.T2", "2.T1", "2.T2"];
+    let expected: Vec<&str> = product_schema
+        .names()
+        .into_iter()
+        .filter(|n| !retained.contains(n))
+        .collect();
+    items.len() == expected.len()
+        && items
+            .iter()
+            .zip(expected)
+            .all(|(item, name)| item.is_identity() && item.alias == name)
+}
+
+impl Rule for C9 {
+    fn name(&self) -> &str {
+        "C9"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::SnapshotMultiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let PlanNode::Project { input: proj_in, items } = input.as_ref() {
+                if let PlanNode::ProductT { left, right } = proj_in.as_ref() {
+                    let product_props = match props_at(ann, path, &[0, 0]) {
+                        Some(p) => p,
+                        None => return vec![],
+                    };
+                    if is_c9_projection(items, &product_props.stat.schema) {
+                        let replacement = PlanNode::Project {
+                            input: arc(PlanNode::ProductT {
+                                left: arc(PlanNode::Coalesce { input: left.clone() }),
+                                right: arc(PlanNode::Coalesce { input: right.clone() }),
+                            }),
+                            items: items.clone(),
+                        };
+                        return vec![RuleMatch::new(
+                            replacement,
+                            vec![vec![], vec![0], vec![0, 0], vec![0, 0, 0], vec![0, 0, 1]],
+                        )];
+                    }
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C10: `coalᵀ(r1 \ᵀ r2) ≡M coalᵀ(r1) \ᵀ coalᵀ(r2)` when `r1` has no
+/// duplicates in snapshots. Pushes coalescing below the temporal
+/// difference — profitable when coalescing shrinks the difference's inputs.
+pub struct C10;
+
+impl Rule for C10 {
+    fn name(&self) -> &str {
+        "C10"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Multiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let PlanNode::DifferenceT { left, right } = input.as_ref() {
+                let left_props = match props_at(ann, path, &[0, 0]) {
+                    Some(p) => p,
+                    None => return vec![],
+                };
+                if left_props.stat.snapshot_dup_free {
+                    let replacement = PlanNode::DifferenceT {
+                        left: arc(PlanNode::Coalesce { input: left.clone() }),
+                        right: arc(PlanNode::Coalesce { input: right.clone() }),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0], vec![0, 1]],
+                    )];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// C10 variant from §4.3's closing remark: "since periods need not be
+/// preserved in the right argument to temporal difference, the second
+/// coalescing on the right-hand side of the rule is not necessary" —
+/// `coalᵀ(r1 \ᵀ r2) ≡M coalᵀ(r1) \ᵀ r2` when `r1` is snapshot-dup-free.
+pub struct C10NoRight;
+
+impl Rule for C10NoRight {
+    fn name(&self) -> &str {
+        "C10-noright"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Multiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Coalesce { input } = node {
+            if let PlanNode::DifferenceT { left, right } = input.as_ref() {
+                let left_props = match props_at(ann, path, &[0, 0]) {
+                    Some(p) => p,
+                    None => return vec![],
+                };
+                if left_props.stat.snapshot_dup_free {
+                    let replacement = PlanNode::DifferenceT {
+                        left: arc(PlanNode::Coalesce { input: left.clone() }),
+                        right: right.clone(),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0], vec![0, 1]],
+                    )];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// All coalescing rules.
+pub fn rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(C1),
+        Box::new(C2),
+        Box::new(C3),
+        Box::new(C3Rev),
+        Box::new(C4),
+        Box::new(C5),
+        Box::new(C6),
+        Box::new(C7),
+        Box::new(C8),
+        Box::new(C9),
+        Box::new(C10),
+        Box::new(C10NoRight),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::props::annotate;
+    use crate::plan::{BaseProps, LogicalPlan, PlanBuilder};
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn temporal_scan(name: &str, clean: bool) -> PlanBuilder {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        let base = if clean { BaseProps::clean(s, 100) } else { BaseProps::unordered(s, 100) };
+        PlanBuilder::scan(name, base)
+    }
+
+    fn try_at_root(rule: &dyn Rule, plan: &LogicalPlan) -> Vec<RuleMatch> {
+        let ann = annotate(plan).unwrap();
+        rule.try_apply(&plan.root, &vec![], &ann)
+    }
+
+    #[test]
+    fn c1_requires_coalescedness() {
+        let dirty = temporal_scan("R", false).coalesce().build_multiset();
+        assert!(try_at_root(&C1, &dirty).is_empty());
+        let clean = temporal_scan("R", true).coalesce().build_multiset();
+        assert_eq!(try_at_root(&C1, &clean).len(), 1);
+        // Double coalescing: the outer one sees a coalesced input.
+        let double = temporal_scan("R", false).coalesce().coalesce().build_multiset();
+        assert_eq!(try_at_root(&C1, &double).len(), 1);
+    }
+
+    #[test]
+    fn c2_unconditional() {
+        let plan = temporal_scan("R", false).coalesce().build_multiset();
+        assert_eq!(try_at_root(&C2, &plan).len(), 1);
+    }
+
+    #[test]
+    fn c3_requires_time_free_predicate() {
+        let time_free = temporal_scan("R", false)
+            .select(Expr::eq(Expr::col("E"), Expr::lit("x")))
+            .coalesce()
+            .build_multiset();
+        assert_eq!(try_at_root(&C3, &time_free).len(), 1);
+        let timed = temporal_scan("R", false)
+            .select(Expr::lt(Expr::col("T1"), Expr::lit(5i64)))
+            .coalesce()
+            .build_multiset();
+        assert!(try_at_root(&C3, &timed).is_empty());
+    }
+
+    #[test]
+    fn c3_rev_mirrors_c3() {
+        let plan = temporal_scan("R", false)
+            .coalesce()
+            .select(Expr::eq(Expr::col("E"), Expr::lit("x")))
+            .build_multiset();
+        let m = try_at_root(&C3Rev, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "coalT");
+    }
+
+    #[test]
+    fn c4_requires_time_free_items() {
+        let good = temporal_scan("R", false).coalesce().project_cols(&["E"]).build_set();
+        assert_eq!(try_at_root(&C4, &good).len(), 1);
+        let bad = temporal_scan("R", false)
+            .coalesce()
+            .project_cols(&["E", "T1", "T2"])
+            .build_set();
+        assert!(try_at_root(&C4, &bad).is_empty());
+    }
+
+    #[test]
+    fn c5_absorbs_inner_coalescings() {
+        let plan = temporal_scan("A", false)
+            .coalesce()
+            .union_all(temporal_scan("B", false).coalesce())
+            .coalesce()
+            .build_multiset();
+        let m = try_at_root(&C5, &plan);
+        assert_eq!(m.len(), 1);
+        // Replacement: coalT(⊔(A, B)) with no inner coalescing.
+        assert_eq!(m[0].replacement.get(&[0, 0]).unwrap().op_name(), "scan");
+        assert_eq!(m[0].replacement.get(&[0, 1]).unwrap().op_name(), "scan");
+    }
+
+    #[test]
+    fn c9_matches_the_exact_projection() {
+        use crate::expr::ProjItem;
+        let product = temporal_scan("A", false).product_t(temporal_scan("B", false));
+        // The C9 projection: everything except the retained timestamps.
+        let items = vec![
+            ProjItem::col("1.E"),
+            ProjItem::col("2.E"),
+            ProjItem::col("T1"),
+            ProjItem::col("T2"),
+        ];
+        let plan = product.clone().project(items).coalesce().build_multiset();
+        let m = try_at_root(&C9, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "π");
+        assert_eq!(m[0].replacement.get(&[0, 0]).unwrap().op_name(), "coalT");
+        // A different projection does not match.
+        let other = product.project(vec![ProjItem::col("1.E"), ProjItem::col("T1"), ProjItem::col("T2")])
+            .coalesce()
+            .build_multiset();
+        assert!(try_at_root(&C9, &other).is_empty());
+    }
+
+    #[test]
+    fn c10_requires_left_snapshot_dup_freedom() {
+        let dirty = temporal_scan("A", false)
+            .difference_t(temporal_scan("B", false))
+            .coalesce()
+            .build_multiset();
+        assert!(try_at_root(&C10, &dirty).is_empty());
+        let clean = temporal_scan("A", false)
+            .rdup_t()
+            .difference_t(temporal_scan("B", false))
+            .coalesce()
+            .build_multiset();
+        let m = try_at_root(&C10, &clean);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "\\T");
+        assert_eq!(m[0].replacement.get(&[0]).unwrap().op_name(), "coalT");
+        assert_eq!(m[0].replacement.get(&[1]).unwrap().op_name(), "coalT");
+        // The no-right variant leaves the right argument alone.
+        let m2 = try_at_root(&C10NoRight, &clean);
+        assert_eq!(m2[0].replacement.get(&[1]).unwrap().op_name(), "scan");
+    }
+}

@@ -1,0 +1,317 @@
+//! Duplicate-elimination rules D1–D6 (Figure 4).
+
+use crate::equivalence::EquivalenceType;
+use crate::plan::props::Annotations;
+use crate::plan::{Path, PlanNode};
+use crate::rules::{arc, props_at, Rule, RuleMatch};
+
+/// D1: `rdup(r) ≡L r` when `r` has no duplicates. Restricted to
+/// non-temporal inputs — on temporal inputs `rdup` demotes the time
+/// attributes, so removing it would change the schema.
+pub struct D1;
+
+impl Rule for D1 {
+    fn name(&self) -> &str {
+        "D1"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Rdup { input } = node {
+            if let Some(child) = props_at(ann, path, &[0]) {
+                if child.stat.dup_free && !child.stat.is_temporal() {
+                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// D2: `rdupᵀ(r) ≡L r` when `r` has no duplicates in snapshots.
+pub struct D2;
+
+impl Rule for D2 {
+    fn name(&self) -> &str {
+        "D2"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::RdupT { input } = node {
+            if let Some(child) = props_at(ann, path, &[0]) {
+                if child.stat.snapshot_dup_free {
+                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// D3: `rdup(r) ≡S r` — duplicate elimination is invisible to set results.
+/// Non-temporal inputs only (schema safety, as for D1).
+pub struct D3;
+
+impl Rule for D3 {
+    fn name(&self) -> &str {
+        "D3"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Set
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Rdup { input } = node {
+            if let Some(child) = props_at(ann, path, &[0]) {
+                if !child.stat.is_temporal() {
+                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// D4: `rdupᵀ(r) ≡SS r` — temporal duplicate elimination is invisible to
+/// snapshot-set results (compare Figure 3's R1 and R3).
+pub struct D4;
+
+impl Rule for D4 {
+    fn name(&self) -> &str {
+        "D4"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::SnapshotSet
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::RdupT { input } = node {
+            return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+        }
+        vec![]
+    }
+}
+
+/// D5: `rdup(r1 ∪ r2) ≡L rdup(r1) ∪ rdup(r2)` — duplicate elimination
+/// pushes below max-union (which generates no duplicates of its own). This
+/// is the left-to-right direction.
+pub struct D5;
+
+impl Rule for D5 {
+    fn name(&self) -> &str {
+        "D5"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Rdup { input } = node {
+            if let PlanNode::UnionMax { left, right } = input.as_ref() {
+                let replacement = PlanNode::UnionMax {
+                    left: arc(PlanNode::Rdup { input: left.clone() }),
+                    right: arc(PlanNode::Rdup { input: right.clone() }),
+                };
+                return vec![RuleMatch::new(
+                    replacement,
+                    vec![vec![], vec![0], vec![0, 0], vec![0, 1]],
+                )];
+            }
+        }
+        vec![]
+    }
+}
+
+/// D5 right-to-left: `rdup(r1) ∪ rdup(r2) ≡L rdup(r1 ∪ r2)`.
+pub struct D5Rev;
+
+impl Rule for D5Rev {
+    fn name(&self) -> &str {
+        "D5-rev"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::UnionMax { left, right } = node {
+            if let (PlanNode::Rdup { input: l }, PlanNode::Rdup { input: r }) =
+                (left.as_ref(), right.as_ref())
+            {
+                let replacement = PlanNode::Rdup {
+                    input: arc(PlanNode::UnionMax { left: l.clone(), right: r.clone() }),
+                };
+                return vec![RuleMatch::new(
+                    replacement,
+                    vec![vec![], vec![0], vec![1], vec![0, 0], vec![1, 0]],
+                )];
+            }
+        }
+        vec![]
+    }
+}
+
+/// D6: `rdupᵀ(r1 ∪ᵀ r2) → rdupᵀ(r1) ∪ᵀ rdupᵀ(r2)`.
+///
+/// The paper claims `≡L` for its operational definitions; under the
+/// sweep-based definitions used here the two sides may fragment periods
+/// differently, so the verified tag is `≡SM` (see the module docs of
+/// [`crate::rules`]).
+pub struct D6;
+
+impl Rule for D6 {
+    fn name(&self) -> &str {
+        "D6"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::SnapshotMultiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::RdupT { input } = node {
+            if let PlanNode::UnionT { left, right } = input.as_ref() {
+                let replacement = PlanNode::UnionT {
+                    left: arc(PlanNode::RdupT { input: left.clone() }),
+                    right: arc(PlanNode::RdupT { input: right.clone() }),
+                };
+                return vec![RuleMatch::new(
+                    replacement,
+                    vec![vec![], vec![0], vec![0, 0], vec![0, 1]],
+                )];
+            }
+        }
+        vec![]
+    }
+}
+
+/// The six duplicate-elimination rules (D5 in both directions).
+pub fn rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(D1),
+        Box::new(D2),
+        Box::new(D3),
+        Box::new(D4),
+        Box::new(D5),
+        Box::new(D5Rev),
+        Box::new(D6),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::plan::props::annotate;
+    use crate::plan::{BaseProps, LogicalPlan, PlanBuilder};
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn temporal_scan(clean: bool) -> PlanBuilder {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        let base = if clean { BaseProps::clean(s, 100) } else { BaseProps::unordered(s, 100) };
+        PlanBuilder::scan("R", base)
+    }
+
+    fn snap_scan(dup_free: bool) -> PlanBuilder {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let mut base = BaseProps::unordered(s, 100);
+        base.dup_free = dup_free;
+        PlanBuilder::scan("S", base)
+    }
+
+    fn try_at_root(rule: &dyn Rule, plan: &LogicalPlan) -> Vec<RuleMatch> {
+        let ann = annotate(plan).unwrap();
+        rule.try_apply(&plan.root, &vec![], &ann)
+    }
+
+    #[test]
+    fn d1_requires_dup_freedom() {
+        let dirty = snap_scan(false).rdup().build_multiset();
+        assert!(try_at_root(&D1, &dirty).is_empty());
+        let clean = snap_scan(true).rdup().build_multiset();
+        let m = try_at_root(&D1, &clean);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "scan");
+        assert_eq!(m[0].matched, vec![vec![], vec![0]]);
+    }
+
+    #[test]
+    fn d2_requires_snapshot_dup_freedom() {
+        let dirty = temporal_scan(false).rdup_t().build_multiset();
+        assert!(try_at_root(&D2, &dirty).is_empty());
+        let clean = temporal_scan(true).rdup_t().build_multiset();
+        assert_eq!(try_at_root(&D2, &clean).len(), 1);
+        // Also fires on a second rdupᵀ (output of the first is sdf).
+        let double = temporal_scan(false).rdup_t().rdup_t().build_multiset();
+        assert_eq!(try_at_root(&D2, &double).len(), 1);
+    }
+
+    #[test]
+    fn d3_unconditional_on_snapshot_relations() {
+        let plan = snap_scan(false).rdup().build_set();
+        assert_eq!(try_at_root(&D3, &plan).len(), 1);
+        // But not on temporal relations (schema would change).
+        let t = temporal_scan(false).rdup().build_set();
+        assert!(try_at_root(&D3, &t).is_empty());
+    }
+
+    #[test]
+    fn d4_unconditional() {
+        let plan = temporal_scan(false).rdup_t().build_set();
+        assert_eq!(try_at_root(&D4, &plan).len(), 1);
+    }
+
+    #[test]
+    fn d5_pushes_rdup_below_union() {
+        let plan = snap_scan(false).union_max(snap_scan(false)).rdup().build_multiset();
+        let m = try_at_root(&D5, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "∪");
+        assert_eq!(m[0].replacement.get(&[0]).unwrap().op_name(), "rdup");
+        assert_eq!(m[0].replacement.get(&[1]).unwrap().op_name(), "rdup");
+    }
+
+    #[test]
+    fn d5_rev_pulls_rdup_above_union() {
+        let plan = snap_scan(false)
+            .rdup()
+            .union_max(snap_scan(false).rdup())
+            .build_multiset();
+        let m = try_at_root(&D5Rev, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "rdup");
+        assert_eq!(m[0].replacement.get(&[0]).unwrap().op_name(), "∪");
+    }
+
+    #[test]
+    fn d6_pushes_rdup_t_below_temporal_union() {
+        let plan = temporal_scan(false)
+            .union_t(temporal_scan(false))
+            .rdup_t()
+            .build_multiset();
+        let m = try_at_root(&D6, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "∪T");
+        assert_eq!(m[0].replacement.get(&[0]).unwrap().op_name(), "rdupT");
+    }
+
+    #[test]
+    fn rules_do_not_match_unrelated_nodes() {
+        let plan = temporal_scan(false).coalesce().build_multiset();
+        for rule in rules() {
+            assert!(try_at_root(rule.as_ref(), &plan).is_empty(), "{}", rule.name());
+        }
+    }
+}

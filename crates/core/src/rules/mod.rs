@@ -1,0 +1,197 @@
+//! Transformation rules (§4).
+//!
+//! Every rule is tagged with the **strongest equivalence type it preserves
+//! under this crate's operational semantics**. Each tag is enforced by the
+//! property-based rule-soundness suite (`tests/rule_soundness.rs`): applying
+//! the rule anywhere in a random plan must produce a plan whose evaluation
+//! is equivalent to the original's at the claimed type.
+//!
+//! Two tags are deliberately *weaker* than the paper's claims, because the
+//! paper's `≡L` claims depend on the exact operational definitions of its
+//! technical report, which fragment periods differently than the
+//! (snapshot-equivalent) sweep-based definitions used here:
+//!
+//! * D6 (`rdupᵀ` past `∪ᵀ`) is tagged `≡SM` (paper: `≡L`);
+//! * C5/C6/C7 (coalescing absorption) are tagged `≡SM` (paper: `≡L`) —
+//!   matching the Böhlen-style rules the paper itself derives from C2.
+//!
+//! A rule fires at a *location* (a path into the plan); Figure 5's
+//! applicability check then inspects the operation properties of all nodes
+//! the rule's left-hand side matched.
+
+pub mod coal;
+pub mod conventional;
+pub mod dup;
+pub mod sort;
+pub mod transfer;
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::equivalence::EquivalenceType;
+use crate::plan::props::{Annotations, NodeProps};
+use crate::plan::{Path, PlanNode};
+
+/// A successful rule match at some location.
+#[derive(Debug, Clone)]
+pub struct RuleMatch {
+    /// The replacement subtree for the location.
+    pub replacement: PlanNode,
+    /// Paths (relative to the location) of the operations matched by the
+    /// rule's left-hand side — the `∀op ∈ l` set of Figure 5.
+    pub matched: Vec<Path>,
+}
+
+impl RuleMatch {
+    pub fn new(replacement: PlanNode, matched: Vec<Path>) -> RuleMatch {
+        RuleMatch { replacement, matched }
+    }
+}
+
+/// A transformation rule.
+pub trait Rule: Send + Sync {
+    /// Rule identifier (e.g. `"D2"`, `"push-select-below-product-left"`).
+    fn name(&self) -> &str;
+
+    /// The strongest equivalence type the rule preserves.
+    fn equivalence(&self) -> EquivalenceType;
+
+    /// Attempt to match the subtree rooted at `node` (located at absolute
+    /// `path` in the annotated plan). Preconditions consult `ann` for the
+    /// static properties of subexpressions.
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch>;
+}
+
+impl fmt::Debug for dyn Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rule({} {})", self.name(), self.equivalence())
+    }
+}
+
+/// Look up the annotations of the node at `base ++ rel`.
+pub(crate) fn props_at<'a>(
+    ann: &'a Annotations,
+    base: &Path,
+    rel: &[usize],
+) -> Option<&'a NodeProps> {
+    let mut p = base.clone();
+    p.extend_from_slice(rel);
+    ann.get(&p)
+}
+
+/// Shorthand for wrapping children.
+pub(crate) fn arc(node: PlanNode) -> Arc<PlanNode> {
+    Arc::new(node)
+}
+
+/// A named collection of rules.
+pub struct RuleSet {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl RuleSet {
+    pub fn new(rules: Vec<Box<dyn Rule>>) -> RuleSet {
+        RuleSet { rules }
+    }
+
+    pub fn rules(&self) -> &[Box<dyn Rule>] {
+        &self.rules
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The full rule catalogue: duplicate-elimination, coalescing, sorting,
+    /// conventional, and transfer rules. All rules in this set are
+    /// *reducing or shifting* (none introduces operations out of thin air),
+    /// so Figure 5's enumeration terminates on it.
+    pub fn standard() -> RuleSet {
+        let mut rules: Vec<Box<dyn Rule>> = Vec::new();
+        rules.extend(dup::rules());
+        rules.extend(coal::rules());
+        rules.extend(sort::rules());
+        rules.extend(conventional::rules());
+        rules.extend(transfer::rules());
+        RuleSet { rules }
+    }
+
+    /// Only the rules named in Figure 4 (D1–D6, C1–C10, S1–S3).
+    pub fn figure4() -> RuleSet {
+        let mut rules: Vec<Box<dyn Rule>> = Vec::new();
+        rules.extend(dup::rules());
+        rules.extend(coal::rules());
+        rules.extend(sort::rules());
+        RuleSet { rules }
+    }
+
+    /// Find a rule by name.
+    pub fn by_name(&self, name: &str) -> Option<&dyn Rule> {
+        self.rules.iter().find(|r| r.name() == name).map(|b| b.as_ref())
+    }
+
+    /// Restrict the catalogue to rules of the given equivalence types —
+    /// e.g. `[EquivalenceType::List]` models a classical optimizer that
+    /// must preserve the exact list everywhere, the baseline the paper's
+    /// six-equivalence framework improves on.
+    pub fn restricted_to(self, types: &[EquivalenceType]) -> RuleSet {
+        RuleSet {
+            rules: self
+                .rules
+                .into_iter()
+                .filter(|r| types.contains(&r.equivalence()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.rules.iter().map(|r| r.name()).collect();
+        write!(f, "RuleSet{names:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_set_is_substantial_and_unique() {
+        let set = RuleSet::standard();
+        assert!(set.len() >= 25, "expected a substantial rule catalogue, got {}", set.len());
+        let mut names: Vec<&str> = set.rules().iter().map(|r| r.name()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate rule names");
+    }
+
+    #[test]
+    fn restriction_filters_by_type() {
+        let all = RuleSet::standard().len();
+        let list_only =
+            RuleSet::standard().restricted_to(&[EquivalenceType::List]);
+        assert!(!list_only.is_empty());
+        assert!(list_only.len() < all);
+        assert!(list_only
+            .rules()
+            .iter()
+            .all(|r| r.equivalence() == EquivalenceType::List));
+    }
+
+    #[test]
+    fn figure4_rules_all_present() {
+        let set = RuleSet::figure4();
+        for name in [
+            "D1", "D2", "D3", "D4", "D5", "D5-rev", "D6", "C1", "C2", "C3", "C3-rev", "C4",
+            "C5", "C6", "C7", "C9", "C10", "S1", "S2", "S3",
+        ] {
+            assert!(set.by_name(name).is_some(), "missing rule {name}");
+        }
+    }
+}

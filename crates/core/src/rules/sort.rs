@@ -1,0 +1,434 @@
+//! Sorting rules S1–S3 (Figure 4) plus the §4.4 sort-pushdown rules:
+//! "if we wish to sort the result of some operation, the sorting can be
+//! performed on the argument relation(s) for that operation if the
+//! operation does not destroy the ordering".
+
+use crate::equivalence::EquivalenceType;
+use crate::plan::props::Annotations;
+use crate::plan::{Path, PlanNode};
+use crate::rules::{arc, props_at, Rule, RuleMatch};
+use crate::sortspec::Order;
+
+/// S1: `sort_A(r) ≡L r` when `A` is a prefix of `Order(r)`.
+pub struct S1;
+
+impl Rule for S1 {
+    fn name(&self) -> &str {
+        "S1"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order } = node {
+            if let Some(child) = props_at(ann, path, &[0]) {
+                if order.is_prefix_of(&child.stat.order) {
+                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// S2: `sort_A(r) ≡M r` — sorting is invisible to multiset results.
+pub struct S2;
+
+impl Rule for S2 {
+    fn name(&self) -> &str {
+        "S2"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Multiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, .. } = node {
+            return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+        }
+        vec![]
+    }
+}
+
+/// S3: `sort_A(sort_B(r)) ≡L sort_A(r)` when `B` is a prefix of `A` —
+/// the inner sort is subsumed by the outer one.
+pub struct S3;
+
+impl Rule for S3 {
+    fn name(&self) -> &str {
+        "S3"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order: outer } = node {
+            if let PlanNode::Sort { input: inner_input, order: inner } = input.as_ref() {
+                if inner.is_prefix_of(outer) {
+                    let replacement =
+                        PlanNode::Sort { input: inner_input.clone(), order: outer.clone() };
+                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// §4.4 pushdown: `sort_A(σ_P(r)) ≡L σ_P(sort_A(r))` — a stable sort of a
+/// filtered list equals filtering the stably sorted list.
+pub struct SortPastSelect;
+
+impl Rule for SortPastSelect {
+    fn name(&self) -> &str {
+        "sort-past-select"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order } = node {
+            if let PlanNode::Select { input: inner, predicate } = input.as_ref() {
+                let replacement = PlanNode::Select {
+                    input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                    predicate: predicate.clone(),
+                };
+                return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+            }
+        }
+        vec![]
+    }
+}
+
+/// §4.4 pushdown: `sort_A(π(r)) ≡L π(sort_A(r))` when every sort key is an
+/// identity projection item (so the key exists below with the same name and
+/// values).
+pub struct SortPastProject;
+
+impl Rule for SortPastProject {
+    fn name(&self) -> &str {
+        "sort-past-project"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order } = node {
+            if let PlanNode::Project { input: inner, items } = input.as_ref() {
+                let all_keys_identity = order.keys().iter().all(|k| {
+                    items.iter().any(|i| i.is_identity() && i.alias == k.attr)
+                });
+                if all_keys_identity {
+                    let replacement = PlanNode::Project {
+                        input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                        items: items.clone(),
+                    };
+                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// §4.4 pushdown: `sort_A(coalᵀ(r)) ≡L coalᵀ(sort_A(r))` when the keys are
+/// time-free and the input is snapshot-duplicate-free (so the merge
+/// fixpoint is confluent) — coalescing retains its argument's order.
+pub struct SortPastCoalesce;
+
+impl Rule for SortPastCoalesce {
+    fn name(&self) -> &str {
+        "sort-past-coalesce"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order } = node {
+            if let PlanNode::Coalesce { input: inner } = input.as_ref() {
+                let time_free = order
+                    .keys()
+                    .iter()
+                    .all(|k| k.attr != crate::schema::T1 && k.attr != crate::schema::T2);
+                let inner_sdf = props_at(ann, path, &[0, 0])
+                    .is_some_and(|p| p.stat.snapshot_dup_free);
+                if time_free && inner_sdf {
+                    let replacement = PlanNode::Coalesce {
+                        input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// §4.4 pushdown: `sort_A(r1 \ᵀ r2) ≡L sort_A(r1) \ᵀ r2` for time-free
+/// keys — the temporal difference emits value-equivalence classes in the
+/// first-occurrence order of its left argument with chronological fragments
+/// inside each class, so stable-sorting the left argument and taking the
+/// difference produces exactly the stable sort of the difference.
+pub struct SortPastDifferenceT;
+
+impl Rule for SortPastDifferenceT {
+    fn name(&self) -> &str {
+        "sort-past-difference-t"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order } = node {
+            if let PlanNode::DifferenceT { left, right } = input.as_ref() {
+                let time_free = order
+                    .keys()
+                    .iter()
+                    .all(|k| k.attr != crate::schema::T1 && k.attr != crate::schema::T2);
+                if time_free {
+                    let replacement = PlanNode::DifferenceT {
+                        left: arc(PlanNode::Sort { input: left.clone(), order: order.clone() }),
+                        right: right.clone(),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0], vec![0, 1]],
+                    )];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// §4.4 pushdown: `sort_A(rdupᵀ(r)) ≡L rdupᵀ(sort_A(r))` for time-free
+/// keys. `rdupᵀ` trims strictly within value-equivalence classes, and a
+/// stable sort on time-free keys never reorders tuples *within* a class
+/// (equal explicit values imply equal keys), so trimming commutes with the
+/// sort exactly.
+pub struct SortPastRdupT;
+
+impl Rule for SortPastRdupT {
+    fn name(&self) -> &str {
+        "sort-past-rdup-t"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order } = node {
+            if let PlanNode::RdupT { input: inner } = input.as_ref() {
+                let time_free = order
+                    .keys()
+                    .iter()
+                    .all(|k| k.attr != crate::schema::T1 && k.attr != crate::schema::T2);
+                if time_free {
+                    let replacement = PlanNode::RdupT {
+                        input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                    };
+                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// §4.4 pushdown: `sort_A(r1 × r2) ≡L sort_{A'}(r1) × r2` when every key
+/// names a `1.`-prefixed left attribute (`A'` strips the prefix) — the
+/// left-major product order makes left-side sorting equivalent.
+pub struct SortPastProductLeft;
+
+impl Rule for SortPastProductLeft {
+    fn name(&self) -> &str {
+        "sort-past-product-left"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order } = node {
+            if let PlanNode::Product { left, right } = input.as_ref() {
+                if order.keys().iter().all(|k| k.attr.starts_with("1.")) {
+                    let stripped = Order::new(
+                        order
+                            .keys()
+                            .iter()
+                            .map(|k| crate::sortspec::SortKey {
+                                attr: k.attr["1.".len()..].to_owned(),
+                                dir: k.dir,
+                            })
+                            .collect(),
+                    );
+                    let replacement = PlanNode::Product {
+                        left: arc(PlanNode::Sort { input: left.clone(), order: stripped }),
+                        right: right.clone(),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0], vec![0, 1]],
+                    )];
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// All sorting rules.
+pub fn rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(S1),
+        Box::new(S2),
+        Box::new(S3),
+        Box::new(SortPastSelect),
+        Box::new(SortPastProject),
+        Box::new(SortPastCoalesce),
+        Box::new(SortPastRdupT),
+        Box::new(SortPastDifferenceT),
+        Box::new(SortPastProductLeft),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::props::annotate;
+    use crate::plan::{BaseProps, LogicalPlan, PlanBuilder};
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn scan(name: &str) -> PlanBuilder {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        PlanBuilder::scan(name, BaseProps::unordered(s, 100))
+    }
+
+    fn try_at_root(rule: &dyn Rule, plan: &LogicalPlan) -> Vec<RuleMatch> {
+        let ann = annotate(plan).unwrap();
+        rule.try_apply(&plan.root, &vec![], &ann)
+    }
+
+    #[test]
+    fn s1_fires_on_presorted_input() {
+        let plan = scan("R")
+            .sort(Order::asc(&["E", "T1"]))
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
+        let m = try_at_root(&S1, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "sort");
+        // Not on an unordered input.
+        let plain = scan("R").sort(Order::asc(&["E"])).build_multiset();
+        assert!(try_at_root(&S1, &plain).is_empty());
+    }
+
+    #[test]
+    fn s2_unconditional() {
+        let plan = scan("R").sort(Order::asc(&["E"])).build_multiset();
+        assert_eq!(try_at_root(&S2, &plan).len(), 1);
+    }
+
+    #[test]
+    fn s3_requires_inner_prefix_of_outer() {
+        let subsumed = scan("R")
+            .sort(Order::asc(&["E"]))
+            .sort(Order::asc(&["E", "T1"]))
+            .build_multiset();
+        let m = try_at_root(&S3, &subsumed);
+        assert_eq!(m.len(), 1);
+        // Single sort remains, with the outer order.
+        match &m[0].replacement {
+            PlanNode::Sort { order, input } => {
+                assert_eq!(*order, Order::asc(&["E", "T1"]));
+                assert_eq!(input.op_name(), "scan");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let unrelated = scan("R")
+            .sort(Order::asc(&["T1"]))
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
+        assert!(try_at_root(&S3, &unrelated).is_empty());
+    }
+
+    #[test]
+    fn sort_pushes_past_select_and_project() {
+        let p1 = scan("R")
+            .select(Expr::eq(Expr::col("E"), Expr::lit("x")))
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
+        assert_eq!(try_at_root(&SortPastSelect, &p1).len(), 1);
+
+        let p2 = scan("R")
+            .project_cols(&["E", "T1", "T2"])
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
+        assert_eq!(try_at_root(&SortPastProject, &p2).len(), 1);
+
+        // A computed sort key blocks the projection pushdown.
+        let p3 = scan("R")
+            .project(vec![crate::expr::ProjItem::new(Expr::col("E"), "X")])
+            .sort(Order::asc(&["X"]))
+            .build_multiset();
+        assert!(try_at_root(&SortPastProject, &p3).is_empty());
+    }
+
+    #[test]
+    fn sort_past_coalesce_needs_sdf_input() {
+        let dirty = scan("R").coalesce().sort(Order::asc(&["E"])).build_multiset();
+        assert!(try_at_root(&SortPastCoalesce, &dirty).is_empty());
+        let clean = scan("R").rdup_t().coalesce().sort(Order::asc(&["E"])).build_multiset();
+        let m = try_at_root(&SortPastCoalesce, &clean);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "coalT");
+    }
+
+    #[test]
+    fn sort_past_difference_t_time_free_only() {
+        let good = scan("A")
+            .difference_t(scan("B"))
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
+        assert_eq!(try_at_root(&SortPastDifferenceT, &good).len(), 1);
+        let timed = scan("A")
+            .difference_t(scan("B"))
+            .sort(Order::asc(&["T1"]))
+            .build_multiset();
+        assert!(try_at_root(&SortPastDifferenceT, &timed).is_empty());
+    }
+
+    #[test]
+    fn sort_past_product_strips_prefix() {
+        let plan = scan("A")
+            .product(scan("B"))
+            .sort(Order::asc(&["1.E"]))
+            .build_multiset();
+        let m = try_at_root(&SortPastProductLeft, &plan);
+        assert_eq!(m.len(), 1);
+        match m[0].replacement.get(&[0]).unwrap() {
+            PlanNode::Sort { order, .. } => assert_eq!(*order, Order::asc(&["E"])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

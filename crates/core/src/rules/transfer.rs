@@ -1,0 +1,291 @@
+//! Transfer rules (§4.5) for the stratum architecture.
+//!
+//! `Tˢ` moves a result from the DBMS to the stratum, `Tᴰ` the other way.
+//! Moving an operation across a transfer changes *where* it executes; since
+//! "we cannot be sure how the DBMS implementation of the operation will
+//! sort its result", such rules are `≡M` — except for `sort`, whose output
+//! order is the one guarantee a DBMS gives (the paper's explicit
+//! exception), making the sort-move rule `≡L`.
+//!
+//! Only operations with implementations on both sites may move
+//! ([`PlanNode::is_dbms_supported`]); temporal operations exist only in the
+//! stratum.
+
+use crate::equivalence::EquivalenceType;
+use crate::plan::props::Annotations;
+use crate::plan::{Path, PlanNode};
+use crate::rules::{arc, Rule, RuleMatch};
+
+/// `Tˢ(Tᴰ(r)) ≡M r` and `Tᴰ(Tˢ(r)) ≡M r` — a round trip moves no data.
+pub struct TransferRoundTrip;
+
+impl Rule for TransferRoundTrip {
+    fn name(&self) -> &str {
+        "transfer-round-trip"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Multiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        match node {
+            PlanNode::TransferS { input } => {
+                if let PlanNode::TransferD { input: inner } = input.as_ref() {
+                    return vec![RuleMatch::new(
+                        inner.as_ref().clone(),
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
+                }
+            }
+            PlanNode::TransferD { input } => {
+                if let PlanNode::TransferS { input: inner } = input.as_ref() {
+                    return vec![RuleMatch::new(
+                        inner.as_ref().clone(),
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
+                }
+            }
+            _ => {}
+        }
+        vec![]
+    }
+}
+
+/// Push `Tˢ` up across a unary DBMS-supported operation — i.e. move the
+/// operation *into* the DBMS: `op(Tˢ(r)) → Tˢ(op(r))`.
+pub struct PushIntoDbmsUnary;
+
+impl Rule for PushIntoDbmsUnary {
+    fn name(&self) -> &str {
+        "push-into-dbms-unary"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Multiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        // Sorts are handled by the ≡L rule below.
+        if matches!(node, PlanNode::Sort { .. }) || !node.is_dbms_supported() {
+            return vec![];
+        }
+        let children = node.children();
+        if children.len() != 1 {
+            return vec![];
+        }
+        if let PlanNode::TransferS { input } = children[0].as_ref() {
+            let moved = match node.with_children(vec![input.clone()]) {
+                Ok(m) => m,
+                Err(_) => return vec![],
+            };
+            let replacement = PlanNode::TransferS { input: arc(moved) };
+            return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+        }
+        vec![]
+    }
+}
+
+/// Move a `sort` into the DBMS: `sort_A(Tˢ(r)) ≡L Tˢ(sort_A(r))` — the
+/// paper's exception: a DBMS `sort` does guarantee its output order, so the
+/// move is exact. This is the rule behind Figure 6(b)'s "the sort operation
+/// was pushed down because the DBMS sorts faster than the stratum".
+pub struct PushSortIntoDbms;
+
+impl Rule for PushSortIntoDbms {
+    fn name(&self) -> &str {
+        "push-sort-into-dbms"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::List
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::Sort { input, order } = node {
+            if let PlanNode::TransferS { input: inner } = input.as_ref() {
+                let replacement = PlanNode::TransferS {
+                    input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                };
+                return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+            }
+        }
+        vec![]
+    }
+}
+
+/// Push `Tˢ` up across a binary DBMS-supported operation when *both*
+/// arguments arrive from the DBMS: `op(Tˢ(r1), Tˢ(r2)) → Tˢ(op(r1, r2))`.
+pub struct PushIntoDbmsBinary;
+
+impl Rule for PushIntoDbmsBinary {
+    fn name(&self) -> &str {
+        "push-into-dbms-binary"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Multiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if !node.is_dbms_supported() {
+            return vec![];
+        }
+        let children = node.children();
+        if children.len() != 2 {
+            return vec![];
+        }
+        if let (PlanNode::TransferS { input: l }, PlanNode::TransferS { input: r }) =
+            (children[0].as_ref(), children[1].as_ref())
+        {
+            let moved = match node.with_children(vec![l.clone(), r.clone()]) {
+                Ok(m) => m,
+                Err(_) => return vec![],
+            };
+            let replacement = PlanNode::TransferS { input: arc(moved) };
+            return vec![RuleMatch::new(
+                replacement,
+                vec![vec![], vec![0], vec![1], vec![0, 0], vec![1, 0]],
+            )];
+        }
+        vec![]
+    }
+}
+
+/// Pull an operation out of the DBMS into the stratum:
+/// `Tˢ(op(r)) → op(Tˢ(r))` for unary DBMS-supported `op` (the reverse of
+/// [`PushIntoDbmsUnary`]; which direction wins is a cost question).
+pub struct PullFromDbmsUnary;
+
+impl Rule for PullFromDbmsUnary {
+    fn name(&self) -> &str {
+        "pull-from-dbms-unary"
+    }
+
+    fn equivalence(&self) -> EquivalenceType {
+        EquivalenceType::Multiset
+    }
+
+    fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
+        if let PlanNode::TransferS { input } = node {
+            let inner = input.as_ref();
+            if !inner.is_dbms_supported() || matches!(inner, PlanNode::Scan { .. }) {
+                return vec![];
+            }
+            let children = inner.children();
+            if children.len() != 1 {
+                return vec![];
+            }
+            let lifted_child = arc(PlanNode::TransferS { input: children[0].clone() });
+            let moved = match inner.with_children(vec![lifted_child]) {
+                Ok(m) => m,
+                Err(_) => return vec![],
+            };
+            return vec![RuleMatch::new(moved, vec![vec![], vec![0], vec![0, 0]])];
+        }
+        vec![]
+    }
+}
+
+/// All transfer rules.
+pub fn rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(TransferRoundTrip),
+        Box::new(PushIntoDbmsUnary),
+        Box::new(PushSortIntoDbms),
+        Box::new(PushIntoDbmsBinary),
+        Box::new(PullFromDbmsUnary),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::props::annotate;
+    use crate::plan::{BaseProps, LogicalPlan, PlanBuilder};
+    use crate::schema::Schema;
+    use crate::sortspec::Order;
+    use crate::value::DataType;
+
+    fn scan(name: &str) -> PlanBuilder {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        PlanBuilder::scan(name, BaseProps::unordered(s, 100))
+    }
+
+    fn try_at_root(rule: &dyn Rule, plan: &LogicalPlan) -> Vec<RuleMatch> {
+        let ann = annotate(plan).unwrap();
+        rule.try_apply(&plan.root, &vec![], &ann)
+    }
+
+    #[test]
+    fn round_trip_cancels() {
+        let plan = scan("R").transfer_d().transfer_s().build_multiset();
+        let m = try_at_root(&TransferRoundTrip, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "scan");
+    }
+
+    #[test]
+    fn select_moves_into_dbms() {
+        let plan = scan("R")
+            .transfer_s()
+            .select(Expr::eq(Expr::col("E"), Expr::lit("x")))
+            .build_multiset();
+        let m = try_at_root(&PushIntoDbmsUnary, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "TS");
+        assert_eq!(m[0].replacement.get(&[0]).unwrap().op_name(), "σ");
+    }
+
+    #[test]
+    fn temporal_ops_never_move_into_dbms() {
+        let plan = scan("R").transfer_s().rdup_t().build_multiset();
+        assert!(try_at_root(&PushIntoDbmsUnary, &plan).is_empty());
+        let plan2 = scan("R").transfer_s().coalesce().build_multiset();
+        assert!(try_at_root(&PushIntoDbmsUnary, &plan2).is_empty());
+    }
+
+    #[test]
+    fn sort_moves_with_list_equivalence() {
+        let plan = scan("R").transfer_s().sort(Order::asc(&["E"])).build_multiset();
+        let m = try_at_root(&PushSortIntoDbms, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "TS");
+        assert_eq!(m[0].replacement.get(&[0]).unwrap().op_name(), "sort");
+        assert_eq!(PushSortIntoDbms.equivalence(), EquivalenceType::List);
+    }
+
+    #[test]
+    fn binary_move_requires_both_sides_from_dbms() {
+        let both = scan("A")
+            .transfer_s()
+            .union_all(scan("B").transfer_s())
+            .build_multiset();
+        assert_eq!(try_at_root(&PushIntoDbmsBinary, &both).len(), 1);
+        let one = scan("A").transfer_s().union_all(scan("B")).build_multiset();
+        assert!(try_at_root(&PushIntoDbmsBinary, &one).is_empty());
+    }
+
+    #[test]
+    fn pull_from_dbms_reverses_push() {
+        let plan = LogicalPlan::new(
+            PlanNode::TransferS {
+                input: std::sync::Arc::new(
+                    scan("R").select(Expr::eq(Expr::col("E"), Expr::lit("x"))).node(),
+                ),
+            },
+            crate::equivalence::ResultType::Multiset,
+        );
+        let m = try_at_root(&PullFromDbmsUnary, &plan);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].replacement.op_name(), "σ");
+        assert_eq!(m[0].replacement.get(&[0]).unwrap().op_name(), "TS");
+    }
+
+    #[test]
+    fn scans_stay_in_the_dbms() {
+        let plan = scan("R").transfer_s().build_multiset();
+        assert!(try_at_root(&PullFromDbmsUnary, &plan).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! Relation schemas (Definition 2.1) with the reserved temporal attributes.
+//!
+//! A schema is an ordered list of typed attributes. The attribute names `T1`
+//! and `T2` are reserved: a relation whose schema contains both (with the
+//! `Time` domain) is a *temporal* relation; a snapshot relation must not
+//! contain either (§2.3). Conventional operations applied to temporal
+//! arguments that produce snapshot results rename the time attributes with a
+//! `1.` prefix, exactly as in Figure 3.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+
+/// Reserved name of the period-start attribute.
+pub const T1: &str = "T1";
+/// Reserved name of the period-end attribute.
+pub const T2: &str = "T2";
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attribute {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Attribute {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Attribute {
+        Attribute { name: name.into(), dtype }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.dtype)
+    }
+}
+
+/// An ordered relation schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate attribute names and a reserved
+    /// attribute appearing with the wrong type.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Schema> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(Error::MalformedTuple {
+                    reason: format!("duplicate attribute name `{}` in schema", a.name),
+                });
+            }
+            if (a.name == T1 || a.name == T2) && a.dtype != DataType::Time {
+                return Err(Error::ReservedAttribute { name: a.name.clone() });
+            }
+        }
+        let s = Schema { attrs };
+        // T1 and T2 must appear together or not at all.
+        let has_t1 = s.index_of(T1).is_some();
+        let has_t2 = s.index_of(T2).is_some();
+        if has_t1 != has_t2 {
+            return Err(Error::ReservedAttribute {
+                name: if has_t1 { T2.into() } else { T1.into() },
+            });
+        }
+        Ok(s)
+    }
+
+    /// Convenience constructor for `(name, type)` pairs; panics on invalid
+    /// schemas (for statically known layouts in tests/examples).
+    pub fn of(pairs: &[(&str, DataType)]) -> Schema {
+        Schema::new(pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+            .expect("static schema must be valid")
+    }
+
+    /// A snapshot schema plus the reserved period attributes appended.
+    pub fn temporal(pairs: &[(&str, DataType)]) -> Schema {
+        let mut attrs: Vec<Attribute> =
+            pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect();
+        attrs.push(Attribute::new(T1, DataType::Time));
+        attrs.push(Attribute::new(T2, DataType::Time));
+        Schema::new(attrs).expect("static temporal schema must be valid")
+    }
+
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Position of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Position of an attribute, as an error-producing lookup.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| Error::UnknownAttribute {
+            name: name.to_owned(),
+            schema: self.to_string(),
+        })
+    }
+
+    pub fn attr(&self, i: usize) -> &Attribute {
+        &self.attrs[i]
+    }
+
+    /// True when the schema has both reserved period attributes.
+    pub fn is_temporal(&self) -> bool {
+        self.index_of(T1).is_some() && self.index_of(T2).is_some()
+    }
+
+    /// Index of `T1` in a temporal schema.
+    pub fn t1_index(&self) -> Option<usize> {
+        self.index_of(T1)
+    }
+
+    /// Index of `T2` in a temporal schema.
+    pub fn t2_index(&self) -> Option<usize> {
+        self.index_of(T2)
+    }
+
+    /// Indices of the non-temporal ("explicit") attributes, in order.
+    pub fn value_indices(&self) -> Vec<usize> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.name != T1 && a.name != T2)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The snapshot schema: all attributes except `T1`/`T2`.
+    pub fn snapshot_schema(&self) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|a| a.name != T1 && a.name != T2)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Rename the reserved time attributes `T1`/`T2` to `1.T1`/`1.T2`,
+    /// producing a snapshot schema that still carries the (now ordinary)
+    /// time columns — the convention of Figure 3 for conventional operations
+    /// applied to temporal relations.
+    pub fn demote_time_attrs(&self) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| {
+                    if a.name == T1 {
+                        Attribute::new("1.T1", DataType::Time)
+                    } else if a.name == T2 {
+                        Attribute::new("1.T2", DataType::Time)
+                    } else {
+                        a.clone()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Prefix every attribute name with `prefix` (e.g. `1.`), used by
+    /// Cartesian products to disambiguate the two sides (rule C9 refers to
+    /// the attributes `1.T1, 1.T2, 2.T1, 2.T2` produced this way).
+    pub fn prefixed(&self, prefix: &str) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| Attribute::new(format!("{prefix}{}", a.name), a.dtype))
+                .collect(),
+        }
+    }
+
+    /// Concatenate two schemas (assumed already disambiguated).
+    pub fn concat(&self, other: &Schema) -> Result<Schema> {
+        let mut attrs = self.attrs.clone();
+        attrs.extend(other.attrs.iter().cloned());
+        Schema::new(attrs)
+    }
+
+    /// True when two schemas are union-compatible: equal arity and pairwise
+    /// equal domains (attribute names must match too, as in the paper, where
+    /// difference/union arguments share a schema).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.attrs.len() == other.attrs.len()
+            && self
+                .attrs
+                .iter()
+                .zip(other.attrs.iter())
+                .all(|(a, b)| a.dtype == b.dtype && a.name == b.name)
+    }
+
+    /// Require union compatibility.
+    pub fn check_union_compatible(&self, other: &Schema, context: &'static str) -> Result<()> {
+        if self.union_compatible(other) {
+            Ok(())
+        } else {
+            Err(Error::SchemaMismatch {
+                left: self.to_string(),
+                right: other.to_string(),
+                context,
+            })
+        }
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in &self.attrs {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temporal_detection() {
+        let s = Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)]);
+        assert!(s.is_temporal());
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.t1_index(), Some(2));
+        assert_eq!(s.t2_index(), Some(3));
+        let snap = s.snapshot_schema();
+        assert!(!snap.is_temporal());
+        assert_eq!(snap.arity(), 2);
+    }
+
+    #[test]
+    fn reserved_names_must_have_time_type() {
+        assert!(Schema::new(vec![
+            Attribute::new(T1, DataType::Int),
+            Attribute::new(T2, DataType::Time)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn t1_t2_must_appear_together() {
+        assert!(Schema::new(vec![Attribute::new(T1, DataType::Time)]).is_err());
+        assert!(Schema::new(vec![Attribute::new(T2, DataType::Time)]).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(Schema::new(vec![
+            Attribute::new("A", DataType::Int),
+            Attribute::new("A", DataType::Str)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn demote_time_attrs_matches_figure3() {
+        let s = Schema::temporal(&[("EmpName", DataType::Str)]);
+        let d = s.demote_time_attrs();
+        assert_eq!(d.names(), vec!["EmpName", "1.T1", "1.T2"]);
+        assert!(!d.is_temporal());
+    }
+
+    #[test]
+    fn prefixing_disambiguates_products() {
+        let s = Schema::temporal(&[("A", DataType::Int)]);
+        let p = s.prefixed("1.");
+        assert_eq!(p.names(), vec!["1.A", "1.T1", "1.T2"]);
+        assert!(!p.is_temporal());
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = Schema::of(&[("X", DataType::Int), ("Y", DataType::Str)]);
+        let b = Schema::of(&[("X", DataType::Int), ("Y", DataType::Str)]);
+        let c = Schema::of(&[("X", DataType::Int), ("Z", DataType::Str)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn value_indices_skip_time() {
+        let s = Schema::temporal(&[("A", DataType::Int), ("B", DataType::Str)]);
+        assert_eq!(s.value_indices(), vec![0, 1]);
+    }
+}

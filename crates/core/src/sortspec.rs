@@ -1,0 +1,226 @@
+//! Sort orders: lists of `(attribute, direction)` pairs.
+//!
+//! Table 1 describes result orders with the function `Order(r)` returning
+//! such a list (e.g. `⟨A ASC, B DESC⟩`), the `Prefix` function returning the
+//! largest common prefix of two lists, and the `IsPrefixOf` predicate used by
+//! sorting rules S1/S3. This module implements that vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// Ascending or descending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortDir {
+    Asc,
+    Desc,
+}
+
+impl fmt::Display for SortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SortDir::Asc => "ASC",
+            SortDir::Desc => "DESC",
+        })
+    }
+}
+
+/// One sort key: attribute name plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SortKey {
+    pub attr: String,
+    pub dir: SortDir,
+}
+
+impl SortKey {
+    pub fn asc(attr: impl Into<String>) -> SortKey {
+        SortKey { attr: attr.into(), dir: SortDir::Asc }
+    }
+
+    pub fn desc(attr: impl Into<String>) -> SortKey {
+        SortKey { attr: attr.into(), dir: SortDir::Desc }
+    }
+}
+
+impl fmt::Display for SortKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.attr, self.dir)
+    }
+}
+
+/// A sort order; the empty order means "unordered".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Order(pub Vec<SortKey>);
+
+impl Order {
+    pub fn unordered() -> Order {
+        Order(Vec::new())
+    }
+
+    pub fn new(keys: Vec<SortKey>) -> Order {
+        Order(keys)
+    }
+
+    /// `⟨a ASC, b ASC, ...⟩` convenience constructor.
+    pub fn asc(attrs: &[&str]) -> Order {
+        Order(attrs.iter().map(|a| SortKey::asc(*a)).collect())
+    }
+
+    pub fn is_unordered(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn keys(&self) -> &[SortKey] {
+        &self.0
+    }
+
+    /// The paper's `IsPrefixOf(A, B)`: is `self` a prefix of `other`?
+    pub fn is_prefix_of(&self, other: &Order) -> bool {
+        self.0.len() <= other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a == b)
+    }
+
+    /// The paper's `Prefix(order, pairs)`: the largest prefix of `self` whose
+    /// attributes all appear among `kept` (used by projection and grouping to
+    /// derive the order of their result, Table 1).
+    pub fn prefix_on(&self, kept: &[String]) -> Order {
+        let mut out = Vec::new();
+        for k in &self.0 {
+            if kept.iter().any(|a| a == &k.attr) {
+                out.push(k.clone());
+            } else {
+                break;
+            }
+        }
+        Order(out)
+    }
+
+    /// Drop the reserved time attributes from the order (Table 1's
+    /// `Order(r) \ TimePairs`, the order surviving operations that rewrite
+    /// periods such as `\ᵀ`, `rdupᵀ`, `coalᵀ`).
+    pub fn without_time_attrs(&self) -> Order {
+        Order(
+            self.0
+                .iter()
+                .filter(|k| k.attr != crate::schema::T1 && k.attr != crate::schema::T2)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Rename every key via `f` (used when schemas are prefixed/demoted).
+    pub fn map_names(&self, f: impl Fn(&str) -> String) -> Order {
+        Order(
+            self.0
+                .iter()
+                .map(|k| SortKey { attr: f(&k.attr), dir: k.dir })
+                .collect(),
+        )
+    }
+
+    /// Compare two tuples under this order against `schema`.
+    pub fn compare(&self, schema: &Schema, a: &Tuple, b: &Tuple) -> Result<Ordering> {
+        for key in &self.0 {
+            let i = schema.resolve(&key.attr)?;
+            let ord = a.value(i).cmp(b.value(i));
+            let ord = match key.dir {
+                SortDir::Asc => ord,
+                SortDir::Desc => ord.reverse(),
+            };
+            if ord != Ordering::Equal {
+                return Ok(ord);
+            }
+        }
+        Ok(Ordering::Equal)
+    }
+
+    /// True when `tuples` is sorted under this order (stability not checked —
+    /// any sorted arrangement qualifies).
+    pub fn is_sorted(&self, schema: &Schema, tuples: &[Tuple]) -> Result<bool> {
+        for w in tuples.windows(2) {
+            if self.compare(schema, &w[0], &w[1])? == Ordering::Greater {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("⟨⟩");
+        }
+        f.write_str("⟨")?;
+        for (i, k) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        f.write_str("⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    #[test]
+    fn prefix_predicate() {
+        let ab = Order::asc(&["A", "B"]);
+        let a = Order::asc(&["A"]);
+        let b = Order::asc(&["B"]);
+        assert!(a.is_prefix_of(&ab));
+        assert!(ab.is_prefix_of(&ab));
+        assert!(!b.is_prefix_of(&ab));
+        assert!(!ab.is_prefix_of(&a));
+        assert!(Order::unordered().is_prefix_of(&a));
+    }
+
+    #[test]
+    fn direction_matters_for_prefix() {
+        let asc = Order::asc(&["A"]);
+        let desc = Order(vec![SortKey::desc("A")]);
+        assert!(!desc.is_prefix_of(&asc));
+    }
+
+    #[test]
+    fn prefix_on_projection() {
+        // Relation sorted on A, B, C projected on {A, C} is sorted on A
+        // (Table 1's example).
+        let order = Order::asc(&["A", "B", "C"]);
+        let kept = vec!["A".to_string(), "C".to_string()];
+        assert_eq!(order.prefix_on(&kept), Order::asc(&["A"]));
+    }
+
+    #[test]
+    fn without_time_attrs() {
+        let order = Order::asc(&["A", "T1", "B"]);
+        assert_eq!(order.without_time_attrs(), Order::asc(&["A", "B"]));
+    }
+
+    #[test]
+    fn compare_and_sorted_check() {
+        let schema = Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]);
+        let order = Order(vec![SortKey::asc("A"), SortKey::desc("B")]);
+        let t1 = tuple![1i64, "z"];
+        let t2 = tuple![1i64, "a"];
+        let t3 = tuple![2i64, "m"];
+        assert_eq!(order.compare(&schema, &t1, &t2).unwrap(), Ordering::Less);
+        assert!(order.is_sorted(&schema, &[t1.clone(), t2.clone(), t3.clone()]).unwrap());
+        assert!(!order.is_sorted(&schema, &[t2, t1, t3]).unwrap());
+    }
+
+    #[test]
+    fn unknown_attr_errors() {
+        let schema = Schema::of(&[("A", DataType::Int)]);
+        let order = Order::asc(&["Z"]);
+        assert!(order.compare(&schema, &tuple![1i64], &tuple![2i64]).is_err());
+    }
+}

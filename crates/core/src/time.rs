@@ -1,0 +1,323 @@
+//! The time domain `T` and closed-open periods.
+//!
+//! Following §2.2, temporal tuples carry fixed-width periods `[T1, T2)` and
+//! every operation definition refers only to period *endpoints*, which makes
+//! the algebra independent of the granularity of time (months in the paper's
+//! example, but any discrete, totally ordered domain works).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// An instant of the discrete time domain `T`.
+pub type Instant = i64;
+
+/// Smallest representable instant ("beginning of time").
+pub const TIME_MIN: Instant = i64::MIN / 4;
+/// Largest representable instant ("forever"). Kept away from `i64::MAX` so
+/// endpoint arithmetic cannot overflow.
+pub const TIME_MAX: Instant = i64::MAX / 4;
+
+/// A closed-open time period `[start, end)`.
+///
+/// The invariant `start <= end` is maintained by all constructors; a period
+/// with `start == end` is *empty* (contains no instants) and never appears in
+/// a valid temporal relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Period {
+    pub start: Instant,
+    pub end: Instant,
+}
+
+impl Period {
+    /// Construct a period, validating `start <= end`.
+    pub fn new(start: Instant, end: Instant) -> Result<Period> {
+        if start > end {
+            Err(Error::InvalidPeriod { start, end })
+        } else {
+            Ok(Period { start, end })
+        }
+    }
+
+    /// Construct a period; panics if `start > end`. For literals in tests and
+    /// examples where the bounds are statically evident.
+    pub fn of(start: Instant, end: Instant) -> Period {
+        Period::new(start, end).expect("period start must not exceed end")
+    }
+
+    /// The period spanning all of time.
+    pub fn always() -> Period {
+        Period { start: TIME_MIN, end: TIME_MAX }
+    }
+
+    /// True when the period contains no instants.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Number of instants in the period.
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// True when instant `t` lies within `[start, end)`.
+    pub fn contains(&self, t: Instant) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// True when `other` is fully contained in `self`.
+    pub fn contains_period(&self, other: &Period) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// True when the two periods share at least one instant.
+    pub fn overlaps(&self, other: &Period) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// True when the two periods are adjacent (meet exactly, in either
+    /// direction) without overlapping. This is the merge condition of the
+    /// paper's *minimal* coalescing operation (§2.4): value-equivalent tuples
+    /// with adjacent periods are merged; overlap handling is `rdupᵀ`'s job.
+    pub fn adjacent(&self, other: &Period) -> bool {
+        self.end == other.start || other.end == self.start
+    }
+
+    /// Intersection, or `None` when the periods do not overlap.
+    pub fn intersect(&self, other: &Period) -> Option<Period> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Period { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest period covering both arguments (used by merging).
+    pub fn hull(&self, other: &Period) -> Period {
+        Period {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Merge with an adjacent period. Returns `None` when not adjacent.
+    pub fn merge_adjacent(&self, other: &Period) -> Option<Period> {
+        if self.adjacent(other) {
+            Some(self.hull(other))
+        } else {
+            None
+        }
+    }
+
+    /// Temporal subtraction `self − other`: zero, one, or two periods, in
+    /// chronological order. This is the period arithmetic behind `\ᵀ` and the
+    /// `Changeᵀ` step of the paper's `rdupᵀ` definition (§2.5), which notes
+    /// the result "can contain zero, one, or two tuples".
+    pub fn subtract(&self, other: &Period) -> Vec<Period> {
+        if !self.overlaps(other) {
+            return vec![*self];
+        }
+        let mut out = Vec::with_capacity(2);
+        if self.start < other.start {
+            out.push(Period { start: self.start, end: other.start });
+        }
+        if other.end < self.end {
+            out.push(Period { start: other.end, end: self.end });
+        }
+        out
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Normalize a set of periods into a minimal, sorted list of disjoint,
+/// non-adjacent periods covering the same instants (the "union of periods"
+/// used when treating a value-equivalence class as a point set).
+pub fn normalize_periods(mut periods: Vec<Period>) -> Vec<Period> {
+    periods.retain(|p| !p.is_empty());
+    periods.sort();
+    let mut out: Vec<Period> = Vec::with_capacity(periods.len());
+    for p in periods {
+        match out.last_mut() {
+            Some(last) if p.start <= last.end => {
+                last.end = last.end.max(p.end);
+            }
+            _ => out.push(p),
+        }
+    }
+    out
+}
+
+/// A step function over time built from weighted period endpoints; used to
+/// implement the snapshot-reducible operations (`\ᵀ`, `ξᵀ`, `∪ᵀ`, `rdupᵀ`
+/// checks) exactly: at every instant the count of a value-equivalence class
+/// is the sum of weights of periods containing that instant.
+#[derive(Debug, Default, Clone)]
+pub struct CountTimeline {
+    /// (instant, delta) events.
+    events: Vec<(Instant, i64)>,
+}
+
+impl CountTimeline {
+    pub fn new() -> Self {
+        CountTimeline::default()
+    }
+
+    /// Add `weight` over `period`.
+    pub fn add(&mut self, period: Period, weight: i64) {
+        if period.is_empty() || weight == 0 {
+            return;
+        }
+        self.events.push((period.start, weight));
+        self.events.push((period.end, -weight));
+    }
+
+    /// Sweep the timeline producing maximal constant intervals with their
+    /// counts; intervals with count zero are skipped. Output is sorted and
+    /// disjoint (adjacent intervals have different counts).
+    pub fn constant_intervals(&self) -> Vec<(Period, i64)> {
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let mut events = self.events.clone();
+        events.sort();
+        let mut out: Vec<(Period, i64)> = Vec::new();
+        let mut count: i64 = 0;
+        let mut prev: Instant = events[0].0;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            if t != prev && count != 0 {
+                // Merge with previous interval if it continues with the same
+                // count (keeps output minimal).
+                match out.last_mut() {
+                    Some((p, c)) if *c == count && p.end == prev => p.end = t,
+                    _ => out.push((Period { start: prev, end: t }, count)),
+                }
+            }
+            let mut delta = 0;
+            while i < events.len() && events[i].0 == t {
+                delta += events[i].1;
+                i += 1;
+            }
+            count += delta;
+            prev = t;
+        }
+        debug_assert_eq!(count, 0, "timeline weights must cancel");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_order() {
+        assert!(Period::new(3, 1).is_err());
+        assert!(Period::new(1, 1).unwrap().is_empty());
+        assert!(!Period::of(1, 2).is_empty());
+    }
+
+    #[test]
+    fn containment_is_closed_open() {
+        let p = Period::of(2, 5);
+        assert!(!p.contains(1));
+        assert!(p.contains(2));
+        assert!(p.contains(4));
+        assert!(!p.contains(5));
+    }
+
+    #[test]
+    fn overlap_and_adjacency_are_disjoint_notions() {
+        let a = Period::of(1, 4);
+        let b = Period::of(4, 7);
+        assert!(!a.overlaps(&b));
+        assert!(a.adjacent(&b));
+        assert!(b.adjacent(&a));
+        let c = Period::of(3, 5);
+        assert!(a.overlaps(&c));
+        assert!(!a.adjacent(&c));
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(Period::of(1, 5).intersect(&Period::of(3, 8)), Some(Period::of(3, 5)));
+        assert_eq!(Period::of(1, 3).intersect(&Period::of(3, 8)), None);
+    }
+
+    #[test]
+    fn subtract_produces_zero_one_or_two_pieces() {
+        let p = Period::of(1, 10);
+        assert_eq!(p.subtract(&Period::of(1, 10)), vec![]);
+        assert_eq!(p.subtract(&Period::of(0, 4)), vec![Period::of(4, 10)]);
+        assert_eq!(p.subtract(&Period::of(7, 12)), vec![Period::of(1, 7)]);
+        assert_eq!(p.subtract(&Period::of(3, 6)), vec![Period::of(1, 3), Period::of(6, 10)]);
+        assert_eq!(p.subtract(&Period::of(10, 12)), vec![p]);
+    }
+
+    #[test]
+    fn paper_figure3_fragment() {
+        // John [6,11) minus John [1,8) leaves [8,11) — Figure 3's R3.
+        assert_eq!(Period::of(6, 11).subtract(&Period::of(1, 8)), vec![Period::of(8, 11)]);
+    }
+
+    #[test]
+    fn normalize_merges_overlap_and_adjacency() {
+        let out = normalize_periods(vec![
+            Period::of(5, 7),
+            Period::of(1, 3),
+            Period::of(3, 5),
+            Period::of(6, 9),
+            Period::of(12, 12),
+        ]);
+        assert_eq!(out, vec![Period::of(1, 9)]);
+    }
+
+    #[test]
+    fn timeline_counts() {
+        let mut tl = CountTimeline::new();
+        tl.add(Period::of(1, 5), 1);
+        tl.add(Period::of(3, 8), 1);
+        let got = tl.constant_intervals();
+        assert_eq!(
+            got,
+            vec![
+                (Period::of(1, 3), 1),
+                (Period::of(3, 5), 2),
+                (Period::of(5, 8), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn timeline_merges_equal_counts() {
+        let mut tl = CountTimeline::new();
+        tl.add(Period::of(1, 4), 1);
+        tl.add(Period::of(4, 9), 1);
+        assert_eq!(tl.constant_intervals(), vec![(Period::of(1, 9), 1)]);
+    }
+
+    #[test]
+    fn timeline_negative_weights() {
+        let mut tl = CountTimeline::new();
+        tl.add(Period::of(1, 9), 2);
+        tl.add(Period::of(3, 6), -3);
+        let got = tl.constant_intervals();
+        assert_eq!(
+            got,
+            vec![
+                (Period::of(1, 3), 2),
+                (Period::of(3, 6), -1),
+                (Period::of(6, 9), 2),
+            ]
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! Scalar values and their domains.
+//!
+//! The paper defines a relation schema as `(Ω, Δ, dom)` where `Δ` is a set of
+//! domains (Definition 2.1). We support the domains needed by the paper's
+//! examples and by SQL-style queries: integers, floats, strings, booleans, and
+//! the time domain `T` (kept distinct from `Int` so that the reserved
+//! temporal attributes `T1`/`T2` are recognizable by type as well as name).
+//!
+//! `Value` has a *total* order (`Null` sorts first, floats use IEEE total
+//! ordering) so relations-as-lists can always be sorted deterministically,
+//! and it is hashable so multiset comparisons can use hash maps.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Error, Result};
+use crate::time::Instant;
+
+/// The domain of an attribute (the paper's `Δ` members).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit IEEE floats with total ordering.
+    Float,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+    /// The time domain `T` (instants of the closed-open period encoding).
+    Time,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STRING",
+            DataType::Bool => "BOOL",
+            DataType::Time => "TIME",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar value. `Null` is a member of every domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Time(Instant),
+}
+
+impl Value {
+    /// The domain this value belongs to, or `None` for `Null` (which belongs
+    /// to all domains).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Time(_) => Some(DataType::Time),
+        }
+    }
+
+    /// True when the value is a member of `dtype` (`Null` always is).
+    /// `Int` and `Time` are mutually conformant: both are `i64` underneath,
+    /// compare equal, and hash identically — time literals in queries are
+    /// written as plain integers.
+    pub fn conforms_to(&self, dtype: DataType) -> bool {
+        match (self.data_type(), dtype) {
+            (None, _) => true,
+            (Some(DataType::Int), DataType::Time) | (Some(DataType::Time), DataType::Int) => true,
+            (Some(t), d) => t == d,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an integer, coercing `Time` (both are `i64` underneath).
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Time(t) => Ok(*t),
+            other => Err(Error::TypeError {
+                expected: "INT",
+                found: other.to_string(),
+                context: "as_int",
+            }),
+        }
+    }
+
+    /// Extract a float, widening integers.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Time(t) => Ok(*t as f64),
+            other => Err(Error::TypeError {
+                expected: "FLOAT",
+                found: other.to_string(),
+                context: "as_float",
+            }),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::TypeError {
+                expected: "BOOL",
+                found: other.to_string(),
+                context: "as_bool",
+            }),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::TypeError {
+                expected: "STRING",
+                found: other.to_string(),
+                context: "as_str",
+            }),
+        }
+    }
+
+    /// Extract a time instant, coercing `Int`.
+    pub fn as_time(&self) -> Result<Instant> {
+        match self {
+            Value::Time(t) => Ok(*t),
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::TypeError {
+                expected: "TIME",
+                found: other.to_string(),
+                context: "as_time",
+            }),
+        }
+    }
+
+    /// Rank used to order values of different variants; gives `Value` a
+    /// total order even across domains (needed only for determinism).
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Time(_) => 4,
+            Value::Str(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Time(a), Time(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Numeric cross-domain comparisons compare by value so that
+            // `Int(1) = Float(1.0)` holds, as in SQL.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(a), Time(b)) | (Time(a), Int(b)) => a.cmp(b),
+            _ => self.variant_rank().cmp(&other.variant_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Int, Time, and integral Floats that compare equal must hash
+            // equal; hash all numerics through the float bit pattern when the
+            // value is representable, otherwise through the integer.
+            Value::Int(i) | Value::Time(i) => {
+                state.write_u8(2);
+                i.hash(state);
+            }
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && *x >= i64::MIN as f64 && *x <= i64::MAX as f64
+                {
+                    state.write_u8(2);
+                    (*x as i64).hash(state);
+                } else {
+                    state.write_u8(3);
+                    x.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(5);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Time(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn total_order_across_variants_is_consistent() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Int(7),
+            Value::Float(2.5),
+            Value::Str("a".into()),
+            Value::Str("b".into()),
+            Value::Time(4),
+        ];
+        for a in &vals {
+            assert_eq!(a.cmp(a), Ordering::Equal);
+            for b in &vals {
+                assert_eq!(a.cmp(b), b.cmp(a).reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_cross_domain_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(Value::Int(3), Value::Time(3));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Time(3)));
+        assert_eq!(hash_of(&Value::Str("x".into())), hash_of(&Value::Str("x".into())));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str(String::new()));
+    }
+
+    #[test]
+    fn conforms_to_accepts_null_everywhere() {
+        for dt in [DataType::Int, DataType::Float, DataType::Str, DataType::Bool, DataType::Time] {
+            assert!(Value::Null.conforms_to(dt));
+        }
+        assert!(Value::Int(1).conforms_to(DataType::Int));
+        assert!(!Value::Int(1).conforms_to(DataType::Str));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Time(9).as_int().unwrap(), 9);
+        assert_eq!(Value::Int(9).as_time().unwrap(), 9);
+        assert_eq!(Value::Int(2).as_float().unwrap(), 2.0);
+        assert!(Value::Str("x".into()).as_int().is_err());
+        assert!(Value::Bool(true).as_bool().unwrap());
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(1.0) < nan);
+    }
+}

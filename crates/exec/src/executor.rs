@@ -1,0 +1,160 @@
+//! Physical plan execution with per-operator metrics.
+
+use std::time::Instant;
+
+use tqo_core::error::Result;
+use tqo_core::interp::Env;
+use tqo_core::ops;
+use tqo_core::plan::LogicalPlan;
+use tqo_core::relation::Relation;
+
+use crate::metrics::{ExecMetrics, OperatorMetrics};
+use crate::operators;
+use crate::physical::{
+    CoalesceAlgo, DifferenceTAlgo, PhysicalNode, PhysicalPlan, ProductTAlgo, RdupTAlgo,
+};
+use crate::planner::{lower, PlannerConfig};
+
+/// Execute a physical plan against an environment, collecting metrics.
+pub fn execute(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMetrics)> {
+    let mut metrics = ExecMetrics::default();
+    let result = run(&plan.root, env, &mut metrics)?;
+    Ok((result, metrics))
+}
+
+/// Lower a logical plan and execute it in one step.
+pub fn execute_logical(
+    plan: &LogicalPlan,
+    env: &Env,
+    config: PlannerConfig,
+) -> Result<(Relation, ExecMetrics)> {
+    let physical = lower(plan, config)?;
+    execute(&physical, env)
+}
+
+fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Relation> {
+    // Evaluate children first so the parent's timing excludes them.
+    let inputs: Vec<Relation> = node
+        .children()
+        .iter()
+        .map(|c| run(c, env, metrics))
+        .collect::<Result<_>>()?;
+
+    let started = Instant::now();
+    let out = match node {
+        PhysicalNode::Scan { name } => env.get(name)?.clone(),
+        PhysicalNode::Select { predicate, .. } => ops::select(&inputs[0], predicate)?,
+        PhysicalNode::Project { items, .. } => ops::project(&inputs[0], items)?,
+        PhysicalNode::UnionAll { .. } => ops::union_all(&inputs[0], &inputs[1])?,
+        PhysicalNode::Product { .. } => ops::product(&inputs[0], &inputs[1])?,
+        PhysicalNode::Difference { .. } => ops::difference(&inputs[0], &inputs[1])?,
+        PhysicalNode::Aggregate { group_by, aggs, .. } => {
+            ops::aggregate(&inputs[0], group_by, aggs)?
+        }
+        PhysicalNode::Rdup { .. } => ops::rdup(&inputs[0])?,
+        PhysicalNode::UnionMax { .. } => ops::union_max(&inputs[0], &inputs[1])?,
+        PhysicalNode::Sort { order, .. } => ops::sort(&inputs[0], order)?,
+        PhysicalNode::ProductT { algo, .. } => match algo {
+            ProductTAlgo::NestedLoop => ops::product_t(&inputs[0], &inputs[1])?,
+            ProductTAlgo::PlaneSweep => {
+                operators::product_t_plane_sweep(&inputs[0], &inputs[1])?
+            }
+        },
+        PhysicalNode::DifferenceT { algo, .. } => match algo {
+            DifferenceTAlgo::TimelineSweep => ops::difference_t(&inputs[0], &inputs[1])?,
+            DifferenceTAlgo::SubtractUnion => {
+                operators::difference_t_subtract_union(&inputs[0], &inputs[1])?
+            }
+        },
+        PhysicalNode::AggregateT { group_by, aggs, .. } => {
+            ops::aggregate_t(&inputs[0], group_by, aggs)?
+        }
+        PhysicalNode::RdupT { algo, .. } => match algo {
+            RdupTAlgo::Faithful => ops::rdup_t(&inputs[0])?,
+            RdupTAlgo::Sweep => operators::rdup_t_sweep(&inputs[0])?,
+        },
+        PhysicalNode::UnionT { .. } => ops::union_t(&inputs[0], &inputs[1])?,
+        PhysicalNode::Coalesce { algo, .. } => match algo {
+            CoalesceAlgo::Fixpoint => ops::coalesce(&inputs[0])?,
+            CoalesceAlgo::SortMerge => operators::coalesce_sort_merge(&inputs[0])?,
+        },
+        PhysicalNode::TransferS { .. } | PhysicalNode::TransferD { .. } => {
+            inputs.into_iter().next().expect("transfer has one child")
+        }
+    };
+    metrics.operators.push(OperatorMetrics {
+        label: node.label(),
+        rows_out: out.len(),
+        elapsed: started.elapsed(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::equivalence::ResultType;
+    use tqo_core::plan::PlanBuilder;
+    use tqo_core::sortspec::Order;
+    use tqo_storage::paper;
+
+    fn figure2a_plan(result_type: ResultType) -> LogicalPlan {
+        let cat = paper::catalog();
+        let emp = PlanBuilder::scan("EMPLOYEE", cat.base_props("EMPLOYEE").unwrap())
+            .project_cols(&["EmpName", "T1", "T2"])
+            .rdup_t();
+        let prj = PlanBuilder::scan("PROJECT", cat.base_props("PROJECT").unwrap())
+            .project_cols(&["EmpName", "T1", "T2"]);
+        let root = emp
+            .difference_t(prj)
+            .rdup_t()
+            .coalesce()
+            .sort(Order::asc(&["EmpName"]))
+            .node();
+        LogicalPlan::new(root, result_type)
+    }
+
+    #[test]
+    fn figure1_result_with_default_planner() {
+        let cat = paper::catalog();
+        let plan = figure2a_plan(ResultType::List(Order::asc(&["EmpName"])));
+        let (result, metrics) =
+            execute_logical(&plan, &cat.env(), PlannerConfig::default()).unwrap();
+        assert_eq!(result, paper::figure1_result());
+        assert!(!metrics.operators.is_empty());
+        assert_eq!(metrics.operators.last().unwrap().rows_out, 10);
+    }
+
+    #[test]
+    fn fast_and_faithful_agree_on_the_running_example() {
+        let cat = paper::catalog();
+        let env = cat.env();
+        let plan = figure2a_plan(ResultType::List(Order::asc(&["EmpName"])));
+        let (fast, _) = execute_logical(&plan, &env, PlannerConfig::default()).unwrap();
+        let (faithful, _) =
+            execute_logical(&plan, &env, PlannerConfig { allow_fast: false }).unwrap();
+        assert_eq!(fast, faithful);
+    }
+
+    #[test]
+    fn metrics_capture_operator_rows() {
+        let cat = paper::catalog();
+        let plan = PlanBuilder::scan("EMPLOYEE", cat.base_props("EMPLOYEE").unwrap())
+            .transfer_s()
+            .build_multiset();
+        let (_, metrics) =
+            execute_logical(&plan, &cat.env(), PlannerConfig::default()).unwrap();
+        assert_eq!(metrics.transferred_rows(), 5);
+    }
+
+    #[test]
+    fn matches_reference_interpreter() {
+        let cat = paper::catalog();
+        let env = cat.env();
+        let plan = figure2a_plan(ResultType::List(Order::asc(&["EmpName"])));
+        let via_interp = tqo_core::interp::eval_plan(&plan, &env).unwrap();
+        let (via_exec, _) =
+            execute_logical(&plan, &env, PlannerConfig { allow_fast: false }).unwrap();
+        assert_eq!(via_interp, via_exec);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tqo-exec — physical execution engine
+//!
+//! Lowers logical plans ([`tqo_core::plan::LogicalPlan`]) to physical plans
+//! and executes them. The point of the physical layer is *algorithm
+//! choice*: several operations have both a specification-faithful
+//! implementation (producing exactly the list the paper's definitions
+//! prescribe) and a faster algorithm whose output is only equivalent at a
+//! weaker level — usable precisely where the plan's operation properties
+//! (Table 2) say order or exact periods do not matter:
+//!
+//! | logical op | faithful | fast | fast output is |
+//! |------------|----------|------|----------------|
+//! | `rdupᵀ` | paper's head/tail recursion | per-class period-union sweep | `≡SM` to faithful |
+//! | `coalᵀ` | first-partner fixpoint | sort-merge per class | `≡M` (sdf input) |
+//! | `×ᵀ` | left-major nested loop | plane sweep | `≡M` |
+//! | `\ᵀ` | count-timeline sweep | per-tuple subtract-union | `≡SM` |
+//!
+//! The planner ([`planner::lower`]) consults the property annotations to
+//! pick the fastest admissible algorithm; [`executor::execute`] runs the
+//! physical plan collecting per-operator metrics.
+
+pub mod executor;
+pub mod metrics;
+pub mod operators;
+pub mod physical;
+pub mod planner;
+
+pub use executor::{execute, execute_logical};
+pub use metrics::{ExecMetrics, OperatorMetrics};
+pub use physical::{PhysicalNode, PhysicalPlan};
+pub use planner::{lower, PlannerConfig};

@@ -1,0 +1,86 @@
+//! Execution metrics: per-operator row counts and timings.
+
+use std::time::Duration;
+
+/// Metrics for one executed operator instance.
+#[derive(Debug, Clone)]
+pub struct OperatorMetrics {
+    /// Operator label (including the chosen algorithm).
+    pub label: String,
+    /// Output cardinality.
+    pub rows_out: usize,
+    /// Wall-clock time spent in this operator (children excluded).
+    pub elapsed: Duration,
+}
+
+/// Metrics for a whole plan execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    pub operators: Vec<OperatorMetrics>,
+}
+
+impl ExecMetrics {
+    /// Total operator time (sum of exclusive times).
+    pub fn total_time(&self) -> Duration {
+        self.operators.iter().map(|o| o.elapsed).sum()
+    }
+
+    /// Total rows produced across all operators (a rough work measure).
+    pub fn total_rows(&self) -> usize {
+        self.operators.iter().map(|o| o.rows_out).sum()
+    }
+
+    /// Rows moved through transfer operators — the stratum architecture's
+    /// communication volume.
+    pub fn transferred_rows(&self) -> usize {
+        self.operators
+            .iter()
+            .filter(|o| o.label.starts_with("transfer"))
+            .map(|o| o.rows_out)
+            .sum()
+    }
+
+    /// A compact per-operator report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for op in &self.operators {
+            out.push_str(&format!(
+                "{:<30} rows={:<8} time={:?}\n",
+                op.label, op.rows_out, op.elapsed
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let m = ExecMetrics {
+            operators: vec![
+                OperatorMetrics {
+                    label: "scan(R)".into(),
+                    rows_out: 100,
+                    elapsed: Duration::from_micros(5),
+                },
+                OperatorMetrics {
+                    label: "transfer-s".into(),
+                    rows_out: 100,
+                    elapsed: Duration::from_micros(2),
+                },
+                OperatorMetrics {
+                    label: "sort[stable]".into(),
+                    rows_out: 100,
+                    elapsed: Duration::from_micros(9),
+                },
+            ],
+        };
+        assert_eq!(m.total_rows(), 300);
+        assert_eq!(m.transferred_rows(), 100);
+        assert_eq!(m.total_time(), Duration::from_micros(16));
+        assert!(m.report().contains("transfer-s"));
+    }
+}

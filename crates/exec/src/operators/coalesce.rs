@@ -1,0 +1,129 @@
+//! Fast coalescing: per-class sort-merge.
+//!
+//! `O(n log n)` against the fixpoint's `O(n²)` worst case. Periods of each
+//! value-equivalence class are sorted by start and adjacent (not
+//! overlapping!) neighbours merged in one pass. For snapshot-duplicate-free
+//! inputs the merge relation is confluent, so the output is
+//! `≡M`-equivalent to the faithful fixpoint (same multiset, different
+//! order: classes in first-occurrence order, fragments chronological).
+
+use tqo_core::error::{Error, Result};
+use tqo_core::relation::Relation;
+use tqo_core::time::Period;
+use tqo_core::tuple::Tuple;
+
+/// Sort-merge `coalᵀ`.
+pub fn coalesce_sort_merge(r: &Relation) -> Result<Relation> {
+    if !r.is_temporal() {
+        return Err(Error::NotTemporal { context: "coalesce_sort_merge" });
+    }
+    let schema = r.schema().clone();
+    let mut out: Vec<Tuple> = Vec::with_capacity(r.len());
+    for (_, indices) in r.value_classes()? {
+        let mut periods: Vec<Period> = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            periods.push(r.tuples()[i].period(&schema)?);
+        }
+        periods.sort();
+        let proto = &r.tuples()[indices[0]];
+        let mut current: Option<Period> = None;
+        for p in periods {
+            match current {
+                None => current = Some(p),
+                Some(c) if c.end == p.start => current = Some(Period::of(c.start, p.end)),
+                Some(c) => {
+                    out.push(proto.with_period(&schema, c)?);
+                    current = Some(p);
+                }
+            }
+        }
+        if let Some(c) = current {
+            out.push(proto.with_period(&schema, c)?);
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::equivalence::equiv_multiset;
+    use tqo_core::ops::coalesce;
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::temporal(&[("E", DataType::Str)])
+    }
+
+    #[test]
+    fn merges_adjacent_not_overlapping() {
+        let r = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 3i64, 5i64],
+                tuple!["a", 1i64, 3i64],
+                tuple!["b", 1i64, 4i64],
+                tuple!["b", 2i64, 6i64], // overlap — must NOT merge
+            ],
+        )
+        .unwrap();
+        let got = coalesce_sort_merge(&r).unwrap();
+        assert_eq!(
+            got.tuples(),
+            &[
+                tuple!["a", 1i64, 5i64],
+                tuple!["b", 1i64, 4i64],
+                tuple!["b", 2i64, 6i64],
+            ]
+        );
+    }
+
+    #[test]
+    fn multiset_equivalent_to_faithful_on_sdf_input() {
+        let r = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 5i64, 7i64],
+                tuple!["a", 1i64, 3i64],
+                tuple!["a", 3i64, 5i64],
+                tuple!["b", 2i64, 4i64],
+                tuple!["b", 4i64, 9i64],
+            ],
+        )
+        .unwrap();
+        assert!(!r.has_snapshot_duplicates().unwrap());
+        let fast = coalesce_sort_merge(&r).unwrap();
+        let faithful = coalesce(&r).unwrap();
+        assert!(equiv_multiset(&fast, &faithful).unwrap());
+        assert!(fast.is_coalesced().unwrap());
+    }
+
+    #[test]
+    fn exact_duplicates_survive() {
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 3i64], tuple!["a", 1i64, 3i64]],
+        )
+        .unwrap();
+        let got = coalesce_sort_merge(&r).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn chain_collapses() {
+        let r = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 1i64, 2i64],
+                tuple!["a", 2i64, 3i64],
+                tuple!["a", 3i64, 4i64],
+                tuple!["a", 4i64, 5i64],
+            ],
+        )
+        .unwrap();
+        let got = coalesce_sort_merge(&r).unwrap();
+        assert_eq!(got.tuples(), &[tuple!["a", 1i64, 5i64]]);
+    }
+}

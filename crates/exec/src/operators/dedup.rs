@@ -1,0 +1,104 @@
+//! Fast temporal duplicate elimination: per-class period-union sweep.
+//!
+//! `O(n log n)` against the faithful algorithm's `O(n²)` worst case. The
+//! output is the *canonical* snapshot-dedup: per value-equivalence class,
+//! the maximal intervals covered by any of the class's periods, classes in
+//! first-occurrence order. This is `≡SM`-equivalent to the faithful
+//! `rdupᵀ` (both are snapshot-duplicate-free and have identical snapshots)
+//! but fragments periods differently — e.g. Figure 3's John becomes
+//! `[1,11)` here instead of the faithful `[1,8), [8,11)`.
+
+use tqo_core::error::{Error, Result};
+use tqo_core::relation::Relation;
+use tqo_core::time::normalize_periods;
+use tqo_core::tuple::Tuple;
+
+/// Canonical sweep-based `rdupᵀ`.
+pub fn rdup_t_sweep(r: &Relation) -> Result<Relation> {
+    if !r.is_temporal() {
+        return Err(Error::NotTemporal { context: "rdup_t_sweep" });
+    }
+    let schema = r.schema().clone();
+    let mut out: Vec<Tuple> = Vec::with_capacity(r.len());
+    for (_, indices) in r.value_classes()? {
+        let mut periods = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            periods.push(r.tuples()[i].period(&schema)?);
+        }
+        let proto = &r.tuples()[indices[0]];
+        for p in normalize_periods(periods) {
+            out.push(proto.with_period(&schema, p)?);
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::ops::rdup_t;
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::temporal(&[("E", DataType::Str)])
+    }
+
+    #[test]
+    fn figure3_input_canonical_output() {
+        let r1 = Relation::new(
+            schema(),
+            vec![
+                tuple!["John", 1i64, 8i64],
+                tuple!["John", 6i64, 11i64],
+                tuple!["Anna", 2i64, 6i64],
+                tuple!["Anna", 2i64, 6i64],
+                tuple!["Anna", 6i64, 12i64],
+            ],
+        )
+        .unwrap();
+        let got = rdup_t_sweep(&r1).unwrap();
+        // Canonical: maximal intervals (John merged, Anna merged).
+        assert_eq!(
+            got.tuples(),
+            &[tuple!["John", 1i64, 11i64], tuple!["Anna", 2i64, 12i64]]
+        );
+        assert!(!got.has_snapshot_duplicates().unwrap());
+    }
+
+    #[test]
+    fn snapshot_multiset_equivalent_to_faithful() {
+        let r = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 4i64, 6i64],
+                tuple!["a", 1i64, 10i64],
+                tuple!["b", 2i64, 5i64],
+                tuple!["b", 7i64, 9i64],
+                tuple!["a", 12i64, 14i64],
+            ],
+        )
+        .unwrap();
+        let fast = rdup_t_sweep(&r).unwrap();
+        let faithful = rdup_t(&r).unwrap();
+        assert!(tqo_core::equivalence::equiv_snapshot_multiset(&fast, &faithful).unwrap());
+    }
+
+    #[test]
+    fn disjoint_input_is_preserved_up_to_grouping() {
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 3i64], tuple!["a", 5i64, 7i64]],
+        )
+        .unwrap();
+        let got = rdup_t_sweep(&r).unwrap();
+        assert_eq!(got.tuples(), r.tuples());
+    }
+
+    #[test]
+    fn rejects_snapshot_relations() {
+        let r = Relation::new(Schema::of(&[("A", DataType::Int)]), vec![tuple![1i64]]).unwrap();
+        assert!(rdup_t_sweep(&r).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Ablation variant of temporal difference: per-tuple subtract-union.
+//!
+//! For every left tuple, subtract the normalized union of the right side's
+//! value-equivalent periods. For snapshot-duplicate-free left arguments
+//! this computes the same point set as the faithful count-timeline sweep
+//! but keeps the left argument's own fragment boundaries (the sweep merges
+//! adjacent equal-count fragments), so the result is `≡SM`-equivalent.
+//! Used by the ablation benches comparing `\ᵀ` algorithms.
+
+use std::collections::HashMap;
+
+use tqo_core::error::{Error, Result};
+use tqo_core::relation::Relation;
+use tqo_core::time::{normalize_periods, Period};
+use tqo_core::tuple::Tuple;
+use tqo_core::value::Value;
+
+/// Subtract-union `\ᵀ` (left argument must be free of snapshot
+/// duplicates; enforced).
+pub fn difference_t_subtract_union(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    if !r1.is_temporal() || !r2.is_temporal() {
+        return Err(Error::NotTemporal { context: "difference_t_subtract_union" });
+    }
+    r1.schema()
+        .check_union_compatible(r2.schema(), "difference_t_subtract_union")?;
+    if r1.has_snapshot_duplicates()? {
+        return Err(Error::Plan {
+            reason: "subtract-union temporal difference requires a snapshot-duplicate-free \
+                     left argument"
+                .into(),
+        });
+    }
+    // Right side: normalized period union per class.
+    let mut right: HashMap<Vec<Value>, Vec<Period>> = HashMap::new();
+    for t in r2.tuples() {
+        right
+            .entry(t.explicit_values(r2.schema()))
+            .or_default()
+            .push(t.period(r2.schema())?);
+    }
+    for periods in right.values_mut() {
+        *periods = normalize_periods(std::mem::take(periods));
+    }
+
+    let schema = r1.schema().clone();
+    let mut out: Vec<Tuple> = Vec::new();
+    for t in r1.tuples() {
+        let key = t.explicit_values(&schema);
+        let mut fragments = vec![t.period(&schema)?];
+        if let Some(subtrahends) = right.get(&key) {
+            for s in subtrahends {
+                let mut next = Vec::with_capacity(fragments.len() + 1);
+                for f in fragments {
+                    next.extend(f.subtract(s));
+                }
+                fragments = next;
+                if fragments.is_empty() {
+                    break;
+                }
+            }
+        }
+        for f in fragments {
+            out.push(t.with_period(&schema, f)?);
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::equivalence::equiv_snapshot_multiset;
+    use tqo_core::ops::difference_t;
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::temporal(&[("E", DataType::Str)])
+    }
+
+    #[test]
+    fn agrees_with_sweep_up_to_snapshots() {
+        let r1 = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 1i64, 8i64],
+                tuple!["a", 8i64, 12i64], // adjacent fragments preserved here
+                tuple!["b", 2i64, 6i64],
+            ],
+        )
+        .unwrap();
+        let r2 = Relation::new(
+            schema(),
+            vec![tuple!["a", 3i64, 5i64], tuple!["b", 0i64, 10i64]],
+        )
+        .unwrap();
+        let fast = difference_t_subtract_union(&r1, &r2).unwrap();
+        let faithful = difference_t(&r1, &r2).unwrap();
+        assert!(equiv_snapshot_multiset(&fast, &faithful).unwrap());
+        // Fragment boundaries are kept: [5,8) and [8,12) stay separate.
+        assert_eq!(
+            fast.tuples(),
+            &[
+                tuple!["a", 1i64, 3i64],
+                tuple!["a", 5i64, 8i64],
+                tuple!["a", 8i64, 12i64],
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_snapshot_duplicated_left() {
+        let dirty = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 5i64], tuple!["a", 3i64, 8i64]],
+        )
+        .unwrap();
+        let r2 = Relation::new(schema(), vec![tuple!["a", 2i64, 3i64]]).unwrap();
+        assert!(difference_t_subtract_union(&dirty, &r2).is_err());
+    }
+
+    #[test]
+    fn empty_right_is_identity() {
+        let r1 = Relation::new(schema(), vec![tuple!["a", 1i64, 5i64]]).unwrap();
+        let r2 = Relation::empty(schema());
+        let got = difference_t_subtract_union(&r1, &r2).unwrap();
+        assert_eq!(got.tuples(), r1.tuples());
+    }
+
+    #[test]
+    fn multi_subtrahend_fragmentation() {
+        let r1 = Relation::new(schema(), vec![tuple!["a", 0i64, 20i64]]).unwrap();
+        let r2 = Relation::new(
+            schema(),
+            vec![
+                tuple!["a", 2i64, 4i64],
+                tuple!["a", 6i64, 8i64],
+                tuple!["a", 10i64, 12i64],
+            ],
+        )
+        .unwrap();
+        let got = difference_t_subtract_union(&r1, &r2).unwrap();
+        assert_eq!(got.len(), 4);
+        let faithful = difference_t(&r1, &r2).unwrap();
+        assert!(equiv_snapshot_multiset(&got, &faithful).unwrap());
+    }
+}

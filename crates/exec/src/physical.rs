@@ -1,0 +1,182 @@
+//! Physical plans: logical operators bound to concrete algorithms.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tqo_core::expr::{AggItem, Expr, ProjItem};
+use tqo_core::sortspec::Order;
+
+/// Algorithm choice for `rdupᵀ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdupTAlgo {
+    /// The paper's head/tail recursion — exact list output, `O(n²)`.
+    Faithful,
+    /// Per-class period-union sweep — `≡SM` output, `O(n log n)`.
+    Sweep,
+}
+
+/// Algorithm choice for `coalᵀ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceAlgo {
+    /// First-partner fixpoint — exact list output, `O(n²)`.
+    Fixpoint,
+    /// Per-class sort-merge — `≡M` output (sdf input), `O(n log n)`.
+    SortMerge,
+}
+
+/// Algorithm choice for `×ᵀ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductTAlgo {
+    /// Left-major nested loop — exact list output, `O(n·m)`.
+    NestedLoop,
+    /// Endpoint plane sweep — `≡M` output, near `O(n log n + out)`.
+    PlaneSweep,
+}
+
+/// Algorithm choice for `\ᵀ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DifferenceTAlgo {
+    /// Count-timeline sweep — the reference semantics.
+    TimelineSweep,
+    /// Per-tuple subtract-union — `≡SM` output, requires an sdf left
+    /// argument (ablation algorithm).
+    SubtractUnion,
+}
+
+/// A physical operator tree. Parameters mirror
+/// [`tqo_core::plan::PlanNode`]; the temporal operators carry their chosen
+/// algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalNode {
+    Scan { name: String },
+    Select { input: Arc<PhysicalNode>, predicate: Expr },
+    Project { input: Arc<PhysicalNode>, items: Vec<ProjItem> },
+    UnionAll { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
+    Product { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
+    Difference { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
+    Aggregate { input: Arc<PhysicalNode>, group_by: Vec<String>, aggs: Vec<AggItem> },
+    Rdup { input: Arc<PhysicalNode> },
+    UnionMax { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
+    Sort { input: Arc<PhysicalNode>, order: Order },
+    ProductT { left: Arc<PhysicalNode>, right: Arc<PhysicalNode>, algo: ProductTAlgo },
+    DifferenceT { left: Arc<PhysicalNode>, right: Arc<PhysicalNode>, algo: DifferenceTAlgo },
+    AggregateT { input: Arc<PhysicalNode>, group_by: Vec<String>, aggs: Vec<AggItem> },
+    RdupT { input: Arc<PhysicalNode>, algo: RdupTAlgo },
+    UnionT { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
+    Coalesce { input: Arc<PhysicalNode>, algo: CoalesceAlgo },
+    /// Transfers execute as identity but are metered (rows moved).
+    TransferS { input: Arc<PhysicalNode> },
+    TransferD { input: Arc<PhysicalNode> },
+}
+
+impl PhysicalNode {
+    /// Operator label including the algorithm, for metrics and EXPLAIN.
+    pub fn label(&self) -> String {
+        match self {
+            PhysicalNode::Scan { name } => format!("scan({name})"),
+            PhysicalNode::Select { .. } => "select".into(),
+            PhysicalNode::Project { .. } => "project".into(),
+            PhysicalNode::UnionAll { .. } => "union-all".into(),
+            PhysicalNode::Product { .. } => "product".into(),
+            PhysicalNode::Difference { .. } => "difference".into(),
+            PhysicalNode::Aggregate { .. } => "aggregate".into(),
+            PhysicalNode::Rdup { .. } => "rdup[hash]".into(),
+            PhysicalNode::UnionMax { .. } => "union-max".into(),
+            PhysicalNode::Sort { .. } => "sort[stable]".into(),
+            PhysicalNode::ProductT { algo, .. } => format!("product-t[{algo:?}]"),
+            PhysicalNode::DifferenceT { algo, .. } => format!("difference-t[{algo:?}]"),
+            PhysicalNode::AggregateT { .. } => "aggregate-t[sweep]".into(),
+            PhysicalNode::RdupT { algo, .. } => format!("rdup-t[{algo:?}]"),
+            PhysicalNode::UnionT { .. } => "union-t".into(),
+            PhysicalNode::Coalesce { algo, .. } => format!("coalesce[{algo:?}]"),
+            PhysicalNode::TransferS { .. } => "transfer-s".into(),
+            PhysicalNode::TransferD { .. } => "transfer-d".into(),
+        }
+    }
+
+    pub fn children(&self) -> Vec<&Arc<PhysicalNode>> {
+        match self {
+            PhysicalNode::Scan { .. } => vec![],
+            PhysicalNode::Select { input, .. }
+            | PhysicalNode::Project { input, .. }
+            | PhysicalNode::Aggregate { input, .. }
+            | PhysicalNode::Rdup { input }
+            | PhysicalNode::Sort { input, .. }
+            | PhysicalNode::AggregateT { input, .. }
+            | PhysicalNode::RdupT { input, .. }
+            | PhysicalNode::Coalesce { input, .. }
+            | PhysicalNode::TransferS { input }
+            | PhysicalNode::TransferD { input } => vec![input],
+            PhysicalNode::UnionAll { left, right }
+            | PhysicalNode::Product { left, right }
+            | PhysicalNode::Difference { left, right }
+            | PhysicalNode::UnionMax { left, right }
+            | PhysicalNode::ProductT { left, right, .. }
+            | PhysicalNode::DifferenceT { left, right, .. }
+            | PhysicalNode::UnionT { left, right } => vec![left, right],
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+}
+
+/// A rooted physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    pub root: Arc<PhysicalNode>,
+}
+
+impl PhysicalPlan {
+    pub fn new(root: PhysicalNode) -> PhysicalPlan {
+        PhysicalPlan { root: Arc::new(root) }
+    }
+
+    /// Textual EXPLAIN of the physical tree.
+    pub fn explain(&self) -> String {
+        fn render(node: &PhysicalNode, indent: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(indent));
+            out.push_str(&node.label());
+            out.push('\n');
+            for c in node.children() {
+                render(c, indent + 1, out);
+            }
+        }
+        let mut out = String::new();
+        render(&self.root, 0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_include_algorithms() {
+        let scan = Arc::new(PhysicalNode::Scan { name: "R".into() });
+        let n = PhysicalNode::RdupT { input: scan, algo: RdupTAlgo::Sweep };
+        assert_eq!(n.label(), "rdup-t[Sweep]");
+        assert_eq!(n.size(), 2);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let scan = Arc::new(PhysicalNode::Scan { name: "R".into() });
+        let plan = PhysicalPlan::new(PhysicalNode::Coalesce {
+            input: Arc::new(PhysicalNode::RdupT { input: scan, algo: RdupTAlgo::Faithful }),
+            algo: CoalesceAlgo::SortMerge,
+        });
+        let text = plan.explain();
+        assert!(text.contains("coalesce[SortMerge]"));
+        assert!(text.contains("  rdup-t[Faithful]"));
+        assert!(text.contains("    scan(R)"));
+    }
+}

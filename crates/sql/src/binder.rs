@@ -1,0 +1,540 @@
+//! Binder: AST → logical plan.
+//!
+//! Besides name resolution, the binder realizes Definition 5.1: the
+//! outermost `ORDER BY` / `DISTINCT` of the statement determine the
+//! [`ResultType`] attached to the produced plan — the contract every
+//! transformation the optimizer applies must preserve.
+//!
+//! `VALIDTIME` blocks bind to the temporal operations; the `COALESCE`
+//! clause binds to the `rdupᵀ; coalᵀ` idiom.
+
+use std::collections::BTreeSet;
+
+use tqo_core::error::{Error, Result};
+use tqo_core::equivalence::ResultType;
+use tqo_core::expr::{AggItem, BinOp, Expr, ProjItem};
+use tqo_core::plan::{LogicalPlan, PlanBuilder, PlanNode};
+use tqo_core::schema::{Schema, T1, T2};
+use tqo_core::sortspec::{Order, SortKey};
+use tqo_storage::Catalog;
+
+use crate::ast::*;
+
+/// Bind a parsed statement against a catalog.
+pub fn bind(stmt: &Statement, catalog: &Catalog) -> Result<LogicalPlan> {
+    let (node, _) = bind_statement(stmt, catalog)?;
+
+    // Definition 5.1: the outermost clauses fix the result type.
+    let (node, result_type) = match stmt {
+        Statement::OrderBy { keys, .. } => {
+            let order = Order::new(
+                keys.iter()
+                    .map(|k| SortKey { attr: k.column.clone(), dir: k.dir })
+                    .collect(),
+            );
+            let sorted = PlanNode::Sort { input: std::sync::Arc::new(node), order: order.clone() };
+            (sorted, ResultType::List(order))
+        }
+        _ if stmt.outermost_distinct() => (node, ResultType::Set),
+        _ => (node, ResultType::Multiset),
+    };
+
+    Ok(LogicalPlan::new(node, result_type))
+}
+
+fn bind_statement(stmt: &Statement, catalog: &Catalog) -> Result<(PlanNode, bool)> {
+    match stmt {
+        Statement::Select(q) => bind_select(q, catalog),
+        Statement::OrderBy { inner, .. } => bind_statement(inner, catalog),
+        Statement::Except { left, right, all } => {
+            let (l, lt) = bind_statement(left, catalog)?;
+            let (r, rt) = bind_statement(right, catalog)?;
+            let temporal = lt || rt;
+            let mk = |l: PlanNode, r: PlanNode| {
+                if temporal {
+                    PlanNode::DifferenceT {
+                        left: std::sync::Arc::new(l),
+                        right: std::sync::Arc::new(r),
+                    }
+                } else {
+                    PlanNode::Difference {
+                        left: std::sync::Arc::new(l),
+                        right: std::sync::Arc::new(r),
+                    }
+                }
+            };
+            if *all {
+                Ok((mk(l, r), temporal))
+            } else {
+                // SQL EXCEPT (without ALL): set semantics — deduplicate both
+                // sides first so membership alone decides.
+                let dedup = |n: PlanNode| {
+                    if temporal {
+                        PlanNode::RdupT { input: std::sync::Arc::new(n) }
+                    } else {
+                        PlanNode::Rdup { input: std::sync::Arc::new(n) }
+                    }
+                };
+                Ok((mk(dedup(l), dedup(r)), temporal))
+            }
+        }
+        Statement::Union { left, right, all } => {
+            let (l, lt) = bind_statement(left, catalog)?;
+            let (r, rt) = bind_statement(right, catalog)?;
+            let temporal = lt || rt;
+            let concat = PlanNode::UnionAll {
+                left: std::sync::Arc::new(l),
+                right: std::sync::Arc::new(r),
+            };
+            if *all {
+                Ok((concat, temporal))
+            } else if temporal {
+                Ok((PlanNode::RdupT { input: std::sync::Arc::new(concat) }, true))
+            } else {
+                Ok((PlanNode::Rdup { input: std::sync::Arc::new(concat) }, false))
+            }
+        }
+    }
+}
+
+/// Name-resolution scope: the FROM tables with their output prefixes.
+struct Scope {
+    /// (visible name, attribute prefix in the plan output, schema).
+    tables: Vec<(String, String, Schema)>,
+    /// Whether the scope's plan output carries fresh `T1`/`T2` (temporal
+    /// product or single temporal table).
+    has_fresh_period: bool,
+}
+
+impl Scope {
+    /// Resolve `qualifier.name` to the plan-output attribute name.
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<String> {
+        if let Some(q) = qualifier {
+            let (_, prefix, schema) = self
+                .tables
+                .iter()
+                .find(|(vis, _, _)| vis == q)
+                .ok_or_else(|| Error::Parse { reason: format!("unknown table `{q}`") })?;
+            if schema.index_of(name).is_none() {
+                return Err(Error::UnknownAttribute {
+                    name: format!("{q}.{name}"),
+                    schema: schema.to_string(),
+                });
+            }
+            return Ok(format!("{prefix}{name}"));
+        }
+        // Fresh period attributes of a temporal product resolve unqualified.
+        if (name == T1 || name == T2) && self.has_fresh_period {
+            return Ok(name.to_owned());
+        }
+        let mut hits = Vec::new();
+        for (vis, prefix, schema) in &self.tables {
+            if schema.index_of(name).is_some() {
+                hits.push((vis.clone(), format!("{prefix}{name}")));
+            }
+        }
+        match hits.len() {
+            0 => Err(Error::UnknownAttribute {
+                name: name.to_owned(),
+                schema: self
+                    .tables
+                    .iter()
+                    .map(|(v, _, _)| v.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            }),
+            1 => Ok(hits.pop().expect("one hit").1),
+            _ => Err(Error::Parse {
+                reason: format!(
+                    "ambiguous column `{name}` (in {})",
+                    hits.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>().join(" and ")
+                ),
+            }),
+        }
+    }
+}
+
+fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
+    if q.from.is_empty() {
+        return Err(Error::Parse { reason: "FROM clause required".into() });
+    }
+    if q.from.len() > 2 {
+        return Err(Error::Parse {
+            reason: "at most two tables per SELECT block are supported; nest set \
+                     operations or views for more"
+                .into(),
+        });
+    }
+
+    // FROM: scans, possibly combined by a (temporal) product.
+    let mut scans = Vec::new();
+    for t in &q.from {
+        let base = catalog.base_props(&t.name)?;
+        scans.push((t.visible_name().to_owned(), base));
+    }
+
+    let (mut node, scope) = if scans.len() == 1 {
+        let (vis, base) = scans.pop().expect("one scan");
+        let schema = base.schema.clone();
+        let temporal = schema.is_temporal();
+        let node = PlanBuilder::scan(q.from[0].name.clone(), base).node();
+        (
+            node,
+            Scope {
+                tables: vec![(vis, String::new(), schema)],
+                has_fresh_period: temporal,
+            },
+        )
+    } else {
+        let (vis2, base2) = scans.pop().expect("two scans");
+        let (vis1, base1) = scans.pop().expect("two scans");
+        let (s1, s2) = (base1.schema.clone(), base2.schema.clone());
+        let left = PlanBuilder::scan(q.from[0].name.clone(), base1);
+        let right = PlanBuilder::scan(q.from[1].name.clone(), base2);
+        if q.valid_time {
+            if !s1.is_temporal() || !s2.is_temporal() {
+                return Err(Error::NotTemporal { context: "VALIDTIME product" });
+            }
+            let node = left.product_t(right).node();
+            (
+                node,
+                Scope {
+                    tables: vec![(vis1, "1.".into(), s1), (vis2, "2.".into(), s2)],
+                    has_fresh_period: true,
+                },
+            )
+        } else {
+            let node = left.product(right).node();
+            (
+                node,
+                Scope {
+                    tables: vec![(vis1, "1.".into(), s1), (vis2, "2.".into(), s2)],
+                    has_fresh_period: false,
+                },
+            )
+        }
+    };
+
+    // WHERE.
+    if let Some(pred) = &q.predicate {
+        let predicate = bind_scalar(pred, &scope)?;
+        node = PlanNode::Select { input: std::sync::Arc::new(node), predicate };
+    }
+
+    // Aggregation?
+    let has_aggs = q
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr: SqlExpr::Agg { .. }, .. }));
+    if !q.group_by.is_empty() || has_aggs {
+        node = bind_aggregate(q, node, &scope)?;
+        let temporal_out = q.valid_time;
+        // DISTINCT over an aggregation is a no-op (groups are unique).
+        let node = maybe_coalesce(q, node)?;
+        return Ok((node, temporal_out));
+    }
+
+    // Plain projection.
+    let is_wildcard = matches!(q.items.as_slice(), [SelectItem::Wildcard]);
+    if !is_wildcard {
+        let mut items = Vec::new();
+        let mut names_seen: BTreeSet<String> = BTreeSet::new();
+        for (i, item) in q.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(Error::Parse {
+                        reason: "`*` cannot be mixed with explicit select items".into(),
+                    })
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = bind_scalar(expr, &scope)?;
+                    let name = match alias {
+                        Some(a) => a.clone(),
+                        None => match &bound {
+                            Expr::Col(c) => c.clone(),
+                            _ => format!("col{i}"),
+                        },
+                    };
+                    names_seen.insert(name.clone());
+                    items.push(ProjItem::new(bound, name));
+                }
+            }
+        }
+        // VALIDTIME: carry the period through the projection.
+        if q.valid_time && scope.has_fresh_period {
+            if !names_seen.contains(T1) {
+                items.push(ProjItem::col(T1));
+            }
+            if !names_seen.contains(T2) {
+                items.push(ProjItem::col(T2));
+            }
+        }
+        node = PlanNode::Project { input: std::sync::Arc::new(node), items };
+    }
+
+    // DISTINCT.
+    if q.distinct {
+        node = if q.valid_time {
+            PlanNode::RdupT { input: std::sync::Arc::new(node) }
+        } else {
+            PlanNode::Rdup { input: std::sync::Arc::new(node) }
+        };
+    }
+
+    let node = maybe_coalesce(q, node)?;
+    Ok((node, q.valid_time))
+}
+
+/// The `COALESCE` clause: bind the Böhlen idiom `coalᵀ(rdupᵀ(·))` unless a
+/// `rdupᵀ` is already on top (the `DISTINCT COALESCE` case).
+fn maybe_coalesce(q: &SelectQuery, node: PlanNode) -> Result<PlanNode> {
+    if !q.coalesce {
+        return Ok(node);
+    }
+    if !q.valid_time {
+        return Err(Error::Parse {
+            reason: "COALESCE requires a VALIDTIME query".into(),
+        });
+    }
+    let deduped = if matches!(node, PlanNode::RdupT { .. }) {
+        node
+    } else {
+        PlanNode::RdupT { input: std::sync::Arc::new(node) }
+    };
+    Ok(PlanNode::Coalesce { input: std::sync::Arc::new(deduped) })
+}
+
+fn bind_aggregate(q: &SelectQuery, input: PlanNode, scope: &Scope) -> Result<PlanNode> {
+    let group_by: Vec<String> = q
+        .group_by
+        .iter()
+        .map(|g| scope.resolve(None, g))
+        .collect::<Result<_>>()?;
+
+    let mut aggs = Vec::new();
+    for (i, item) in q.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(Error::Parse {
+                    reason: "`*` is not allowed in a grouped select list".into(),
+                })
+            }
+            SelectItem::Expr { expr: SqlExpr::Agg { func, arg }, alias } => {
+                let arg_name = match arg {
+                    None => None,
+                    Some(e) => match e.as_ref() {
+                        SqlExpr::Column { qualifier, name } => {
+                            Some(scope.resolve(qualifier.as_deref(), name)?)
+                        }
+                        other => {
+                            return Err(Error::Parse {
+                                reason: format!(
+                                    "aggregate arguments must be plain columns, found {other:?}"
+                                ),
+                            })
+                        }
+                    },
+                };
+                let name = alias.clone().unwrap_or_else(|| format!("agg{i}"));
+                aggs.push(AggItem { func: *func, arg: arg_name, alias: name });
+            }
+            SelectItem::Expr { expr: SqlExpr::Column { qualifier, name }, .. } => {
+                let resolved = scope.resolve(qualifier.as_deref(), name)?;
+                if !group_by.contains(&resolved) {
+                    return Err(Error::Parse {
+                        reason: format!("column `{name}` must appear in GROUP BY"),
+                    });
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                return Err(Error::Parse {
+                    reason: format!(
+                        "grouped select items must be grouping columns or aggregates, \
+                         found {expr:?}"
+                    ),
+                })
+            }
+        }
+    }
+
+    Ok(if q.valid_time {
+        PlanNode::AggregateT { input: std::sync::Arc::new(input), group_by, aggs }
+    } else {
+        PlanNode::Aggregate { input: std::sync::Arc::new(input), group_by, aggs }
+    })
+}
+
+fn bind_scalar(expr: &SqlExpr, scope: &Scope) -> Result<Expr> {
+    Ok(match expr {
+        SqlExpr::Column { qualifier, name } => {
+            Expr::Col(scope.resolve(qualifier.as_deref(), name)?)
+        }
+        SqlExpr::Int(v) => Expr::lit(*v),
+        SqlExpr::Float(v) => Expr::lit(*v),
+        SqlExpr::Str(s) => Expr::lit(s.as_str()),
+        SqlExpr::Bool(b) => Expr::lit(*b),
+        SqlExpr::Null => Expr::Lit(tqo_core::value::Value::Null),
+        SqlExpr::Not(e) => Expr::not(bind_scalar(e, scope)?),
+        SqlExpr::IsNull { expr, negated } => {
+            let inner = Expr::IsNull(Box::new(bind_scalar(expr, scope)?));
+            if *negated {
+                Expr::not(inner)
+            } else {
+                inner
+            }
+        }
+        SqlExpr::Binary { op, left, right } => {
+            let op = match op {
+                SqlBinOp::Eq => BinOp::Eq,
+                SqlBinOp::Ne => BinOp::Ne,
+                SqlBinOp::Lt => BinOp::Lt,
+                SqlBinOp::Le => BinOp::Le,
+                SqlBinOp::Gt => BinOp::Gt,
+                SqlBinOp::Ge => BinOp::Ge,
+                SqlBinOp::And => BinOp::And,
+                SqlBinOp::Or => BinOp::Or,
+                SqlBinOp::Add => BinOp::Add,
+                SqlBinOp::Sub => BinOp::Sub,
+                SqlBinOp::Mul => BinOp::Mul,
+                SqlBinOp::Div => BinOp::Div,
+            };
+            Expr::bin(op, bind_scalar(left, scope)?, bind_scalar(right, scope)?)
+        }
+        SqlExpr::Agg { .. } => {
+            return Err(Error::Parse {
+                reason: "aggregate calls are only allowed in the select list of a grouped \
+                         query"
+                    .into(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use tqo_core::interp::eval_plan;
+    use tqo_storage::paper;
+
+    fn run(sql: &str) -> (LogicalPlan, tqo_core::Relation) {
+        let cat = paper::catalog();
+        let stmt = parse(sql).unwrap();
+        let plan = bind(&stmt, &cat).unwrap();
+        let result = eval_plan(&plan, &cat.env()).unwrap();
+        (plan, result)
+    }
+
+    #[test]
+    fn running_example_produces_figure1_result() {
+        let (plan, result) = run(
+            "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+             EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+             COALESCE ORDER BY EmpName",
+        );
+        let _ = plan;
+        assert_eq!(result, paper::figure1_result());
+    }
+
+    #[test]
+    fn result_types_per_definition_5_1() {
+        let cat = paper::catalog();
+        let mk = |sql: &str| bind(&parse(sql).unwrap(), &cat).unwrap().result_type;
+        assert!(matches!(mk("SELECT EmpName FROM EMPLOYEE"), ResultType::Multiset));
+        assert!(matches!(mk("SELECT DISTINCT EmpName FROM EMPLOYEE"), ResultType::Set));
+        assert!(matches!(
+            mk("SELECT EmpName FROM EMPLOYEE ORDER BY EmpName"),
+            ResultType::List(_)
+        ));
+        // DISTINCT + ORDER BY: list wins.
+        assert!(matches!(
+            mk("SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName"),
+            ResultType::List(_)
+        ));
+    }
+
+    #[test]
+    fn conventional_projection_drops_period() {
+        let (_, result) = run("SELECT EmpName FROM EMPLOYEE");
+        assert!(!result.is_temporal());
+        assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn validtime_projection_keeps_period() {
+        let (_, result) = run("VALIDTIME SELECT EmpName FROM EMPLOYEE");
+        assert!(result.is_temporal());
+        assert_eq!(result.schema().names(), vec!["EmpName", "T1", "T2"]);
+    }
+
+    #[test]
+    fn two_table_validtime_join() {
+        let (_, result) = run(
+            "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p \
+             WHERE e.EmpName = p.EmpName",
+        );
+        assert!(result.is_temporal());
+        // Overlap join: every (employee, project) row pair of the same
+        // person with overlapping periods.
+        assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn where_on_period_attributes() {
+        let (_, result) =
+            run("VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE T1 >= 2 AND T2 <= 6");
+        // Only Anna's [2,6) rows qualify.
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let (_, result) =
+            run("SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept");
+        assert_eq!(result.schema().names(), vec!["Dept", "n"]);
+        assert_eq!(result.len(), 2); // Sales, Advertising
+    }
+
+    #[test]
+    fn validtime_aggregation_is_temporal() {
+        let (_, result) =
+            run("VALIDTIME SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept");
+        assert!(result.is_temporal());
+        assert_eq!(result.schema().names(), vec!["Dept", "n", "T1", "T2"]);
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns_error() {
+        let cat = paper::catalog();
+        let err = bind(
+            &parse("SELECT EmpName FROM EMPLOYEE e, PROJECT p").unwrap(),
+            &cat,
+        );
+        assert!(err.is_err(), "EmpName is ambiguous");
+        let err2 = bind(&parse("SELECT Nope FROM EMPLOYEE").unwrap(), &cat);
+        assert!(err2.is_err());
+        let err3 = bind(&parse("SELECT EmpName FROM NOPE").unwrap(), &cat);
+        assert!(err3.is_err());
+    }
+
+    #[test]
+    fn coalesce_requires_validtime() {
+        let cat = paper::catalog();
+        let err = bind(&parse("SELECT EmpName FROM EMPLOYEE COALESCE").unwrap(), &cat);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn union_variants() {
+        let (_, all) = run(
+            "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION ALL \
+             VALIDTIME SELECT EmpName FROM PROJECT",
+        );
+        assert_eq!(all.len(), 13);
+        let (_, distinct) = run(
+            "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
+             VALIDTIME SELECT EmpName FROM PROJECT",
+        );
+        assert!(!distinct.has_snapshot_duplicates().unwrap());
+    }
+}

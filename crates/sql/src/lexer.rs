@@ -1,0 +1,317 @@
+//! Tokenizer for the temporal SQL dialect.
+
+use std::fmt;
+
+use tqo_core::error::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords (case-insensitive in the source).
+    Select,
+    Distinct,
+    From,
+    Where,
+    Group,
+    By,
+    Order,
+    Asc,
+    Desc,
+    And,
+    Or,
+    Not,
+    As,
+    Is,
+    Null,
+    Union,
+    Except,
+    All,
+    True,
+    False,
+    // Temporal extensions.
+    ValidTime,
+    Coalesce,
+    // Literals and identifiers.
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Punctuation and operators.
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(v) => write!(f, "integer {v}"),
+            Token::Float(v) => write!(f, "float {v}"),
+            Token::Str(s) => write!(f, "string '{s}'"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<Token> {
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Token::Select,
+        "DISTINCT" => Token::Distinct,
+        "FROM" => Token::From,
+        "WHERE" => Token::Where,
+        "GROUP" => Token::Group,
+        "BY" => Token::By,
+        "ORDER" => Token::Order,
+        "ASC" => Token::Asc,
+        "DESC" => Token::Desc,
+        "AND" => Token::And,
+        "OR" => Token::Or,
+        "NOT" => Token::Not,
+        "AS" => Token::As,
+        "IS" => Token::Is,
+        "NULL" => Token::Null,
+        "UNION" => Token::Union,
+        "EXCEPT" => Token::Except,
+        "ALL" => Token::All,
+        "TRUE" => Token::True,
+        "FALSE" => Token::False,
+        "VALIDTIME" => Token::ValidTime,
+        "COALESCE" => Token::Coalesce,
+        _ => return None,
+    })
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Line comments: `-- …`
+                if chars.get(i + 1) == Some(&'-') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(Error::Parse { reason: "stray `!`".into() });
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(Error::Parse {
+                                reason: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    let v = text.parse::<f64>().map_err(|e| Error::Parse {
+                        reason: format!("bad float literal `{text}`: {e}"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let text: String = chars[start..i].iter().collect();
+                    let v = text.parse::<i64>().map_err(|e| Error::Parse {
+                        reason: format!("bad integer literal `{text}`: {e}"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match keyword(&word) {
+                    Some(tok) => tokens.push(tok),
+                    None => tokens.push(Token::Ident(word)),
+                }
+            }
+            other => {
+                return Err(Error::Parse { reason: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = tokenize("select DISTINCT From validtime").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Select, Token::Distinct, Token::From, Token::ValidTime]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        let toks = tokenize("42 3.25 'it''s'").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(42), Token::Float(3.25), Token::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("<= >= <> != < > = + - * /").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- the works\n A").unwrap();
+        assert_eq!(toks, vec![Token::Select, Token::Ident("A".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("!").is_err());
+    }
+
+    #[test]
+    fn qualified_names() {
+        let toks = tokenize("EMPLOYEE.EmpName").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("EMPLOYEE".into()),
+                Token::Dot,
+                Token::Ident("EmpName".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # tqo-sql — a temporal SQL front end
+//!
+//! A small SQL dialect exercising the paper's Definition 5.1: the presence
+//! of `ORDER BY` / `DISTINCT` at the outermost level of a query determines
+//! the result type (list / set / multiset) and thereby which transformation
+//! rules the optimizer may apply.
+//!
+//! Temporal extensions (all strict extensions of the conventional syntax,
+//! per the stratum philosophy of §1):
+//!
+//! * `VALIDTIME SELECT …` — sequenced semantics: products, differences,
+//!   unions, aggregations, and `DISTINCT` map to their snapshot-reducible
+//!   temporal counterparts (`×ᵀ`, `\ᵀ`, `∪ᵀ`, `ξᵀ`, `rdupᵀ`), and the
+//!   period attributes are carried through.
+//! * a trailing `COALESCE` clause — the result is coalesced; the binder
+//!   emits the `rdupᵀ; coalᵀ` idiom (§2.4: Böhlen-style coalescing equals
+//!   temporal duplicate elimination followed by minimal coalescing).
+//! * predicates may reference `T1`/`T2` directly (the paper's second class
+//!   of temporal statements).
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`binder`] →
+//! [`tqo_core::plan::LogicalPlan`]. The [`unparser`] renders DBMS-bound
+//! subplans back to SQL text (what a stratum would ship to the underlying
+//! DBMS).
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+pub mod unparser;
+
+use tqo_core::error::Result;
+use tqo_core::plan::LogicalPlan;
+use tqo_storage::Catalog;
+
+/// Parse and bind a query in one step.
+pub fn compile(query: &str, catalog: &Catalog) -> Result<LogicalPlan> {
+    let statement = parser::parse(query)?;
+    binder::bind(&statement, catalog)
+}
+
+/// EXPLAIN: compile a query and render its logical plan annotated with
+/// static properties, execution sites, and the three operation properties
+/// of Table 2 (`[OrderRequired DuplicatesRelevant PeriodPreserving]`).
+pub fn explain(query: &str, catalog: &Catalog) -> Result<String> {
+    let plan = compile(query, catalog)?;
+    tqo_core::plan::display::annotated_to_string(&plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::equivalence::ResultType;
+    use tqo_storage::paper;
+
+    #[test]
+    fn explain_renders_annotated_plan() {
+        let cat = paper::catalog();
+        let text = explain(
+            "VALIDTIME SELECT EmpName FROM EMPLOYEE COALESCE ORDER BY EmpName",
+            &cat,
+        )
+        .unwrap();
+        assert!(text.contains("coalT"), "{text}");
+        assert!(text.contains("[T T T]") || text.contains("[- T T]"), "{text}");
+        assert!(text.contains("@stratum"));
+    }
+
+    #[test]
+    fn end_to_end_compile_and_run() {
+        let cat = paper::catalog();
+        let plan = compile(
+            "VALIDTIME SELECT EmpName FROM EMPLOYEE ORDER BY EmpName",
+            &cat,
+        )
+        .unwrap();
+        assert!(matches!(plan.result_type, ResultType::List(_)));
+        let result = tqo_core::interp::eval_plan(&plan, &cat.env()).unwrap();
+        assert!(result.is_temporal());
+        assert_eq!(result.len(), 5);
+    }
+}

@@ -1,0 +1,139 @@
+//! Unparser: render DBMS-supported plan subtrees back to SQL text.
+//!
+//! In the layered architecture the parts of a plan below `Tˢ` operations
+//! "are expressed in the language supported by the DBMS, e.g., SQL, and are
+//! then passed to the DBMS, which will perform its own optimization"
+//! (§2.1). The simulated DBMS in `tqo-stratum` executes plan subtrees
+//! directly; this unparser produces the SQL a real deployment would ship,
+//! and is used by the stratum's EXPLAIN output.
+//!
+//! One operation has no standard SQL spelling: the max-union `∪` is
+//! rendered as the dialect comment `UNION MAX`.
+
+use tqo_core::error::{Error, Result};
+use tqo_core::plan::PlanNode;
+
+/// Render a DBMS-supported subtree to SQL. Errors on stratum-only
+/// (temporal) operations.
+pub fn to_sql(node: &PlanNode) -> Result<String> {
+    Ok(match node {
+        PlanNode::Scan { name, .. } => format!("SELECT * FROM {name}"),
+        PlanNode::Select { input, predicate } => {
+            format!("SELECT * FROM ({}) AS q WHERE {}", to_sql(input)?, predicate)
+        }
+        PlanNode::Project { input, items } => {
+            let cols: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+            format!("SELECT {} FROM ({}) AS q", cols.join(", "), to_sql(input)?)
+        }
+        PlanNode::UnionAll { left, right } => {
+            format!("({}) UNION ALL ({})", to_sql(left)?, to_sql(right)?)
+        }
+        PlanNode::UnionMax { left, right } => {
+            // No standard SQL equivalent; dialect extension.
+            format!("({}) UNION MAX ({})", to_sql(left)?, to_sql(right)?)
+        }
+        PlanNode::Difference { left, right } => {
+            format!("({}) EXCEPT ALL ({})", to_sql(left)?, to_sql(right)?)
+        }
+        PlanNode::Product { left, right } => {
+            format!(
+                "SELECT * FROM ({}) AS t1, ({}) AS t2",
+                to_sql(left)?,
+                to_sql(right)?
+            )
+        }
+        PlanNode::Aggregate { input, group_by, aggs } => {
+            let mut cols: Vec<String> = group_by.clone();
+            cols.extend(aggs.iter().map(|a| a.to_string()));
+            let mut sql = format!("SELECT {} FROM ({}) AS q", cols.join(", "), to_sql(input)?);
+            if !group_by.is_empty() {
+                sql.push_str(&format!(" GROUP BY {}", group_by.join(", ")));
+            }
+            sql
+        }
+        PlanNode::Rdup { input } => {
+            format!("SELECT DISTINCT * FROM ({}) AS q", to_sql(input)?)
+        }
+        PlanNode::Sort { input, order } => {
+            let keys: Vec<String> = order
+                .keys()
+                .iter()
+                .map(|k| format!("{} {}", k.attr, k.dir))
+                .collect();
+            format!("{} ORDER BY {}", to_sql(input)?, keys.join(", "))
+        }
+        other => {
+            return Err(Error::Plan {
+                reason: format!(
+                    "operation {} has no SQL rendering (stratum-only)",
+                    other.op_name()
+                ),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::expr::Expr;
+    use tqo_core::plan::{BaseProps, PlanBuilder};
+    use tqo_core::schema::Schema;
+    use tqo_core::sortspec::Order;
+    use tqo_core::value::DataType;
+
+    fn scan(name: &str) -> PlanBuilder {
+        let s = Schema::temporal(&[("EmpName", DataType::Str)]);
+        PlanBuilder::scan(name, BaseProps::unordered(s, 10))
+    }
+
+    #[test]
+    fn renders_select_where_order() {
+        let node = scan("EMPLOYEE")
+            .select(Expr::eq(Expr::col("EmpName"), Expr::lit("John")))
+            .sort(Order::asc(&["EmpName"]))
+            .node();
+        let sql = to_sql(&node).unwrap();
+        assert_eq!(
+            sql,
+            "SELECT * FROM (SELECT * FROM EMPLOYEE) AS q WHERE (EmpName = 'John') \
+             ORDER BY EmpName ASC"
+        );
+    }
+
+    #[test]
+    fn renders_projection_and_distinct() {
+        let node = scan("EMPLOYEE").project_cols(&["EmpName", "T1", "T2"]).rdup().node();
+        let sql = to_sql(&node).unwrap();
+        assert!(sql.starts_with("SELECT DISTINCT * FROM (SELECT EmpName, T1, T2"));
+    }
+
+    #[test]
+    fn renders_set_operations() {
+        let node = scan("A").difference(scan("B")).node();
+        let sql = to_sql(&node).unwrap();
+        assert_eq!(sql, "(SELECT * FROM A) EXCEPT ALL (SELECT * FROM B)");
+    }
+
+    #[test]
+    fn temporal_operations_are_rejected() {
+        let node = scan("A").rdup_t().node();
+        assert!(to_sql(&node).is_err());
+        let node2 = scan("A").coalesce().node();
+        assert!(to_sql(&node2).is_err());
+    }
+
+    #[test]
+    fn aggregate_rendering() {
+        use tqo_core::expr::{AggFunc, AggItem};
+        let node = scan("EMPLOYEE")
+            .aggregate(
+                vec!["EmpName".into()],
+                vec![AggItem::new(AggFunc::Count, None, "n")],
+            )
+            .node();
+        let sql = to_sql(&node).unwrap();
+        assert!(sql.contains("GROUP BY EmpName"));
+        assert!(sql.contains("COUNT(*) AS n"));
+    }
+}

@@ -1,0 +1,132 @@
+//! A thread-safe catalog of named tables.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use tqo_core::error::{Error, Result};
+use tqo_core::interp::Env;
+use tqo_core::plan::BaseProps;
+use tqo_core::relation::Relation;
+
+use crate::table::Table;
+
+/// A shared, concurrently readable catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Arc<RwLock<HashMap<String, Arc<Table>>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or overwrite) a table built from a relation.
+    pub fn register(&self, name: impl Into<String>, relation: Relation) -> Result<()> {
+        let name = name.into();
+        let table = Table::new(name.clone(), relation)?;
+        self.tables.write().insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Drop a table; errors when absent.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::Storage { reason: format!("unknown table `{name}`") })
+    }
+
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::Storage { reason: format!("unknown table `{name}`") })
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Base properties for planning a scan of `name`.
+    pub fn base_props(&self, name: &str) -> Result<BaseProps> {
+        Ok(self.get(name)?.props().clone())
+    }
+
+    /// Sorted table names.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Materialize the catalog as an interpreter environment.
+    pub fn env(&self) -> Env {
+        let mut env = Env::new();
+        for (name, table) in self.tables.read().iter() {
+            env.insert(name.clone(), table.relation().clone());
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            vec![tuple!["a", 1i64, 5i64]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_get_drop() {
+        let cat = Catalog::new();
+        cat.register("T", rel()).unwrap();
+        assert!(cat.contains("T"));
+        assert_eq!(cat.get("T").unwrap().len(), 1);
+        assert_eq!(cat.names(), vec!["T".to_string()]);
+        cat.drop_table("T").unwrap();
+        assert!(!cat.contains("T"));
+        assert!(cat.drop_table("T").is_err());
+        assert!(cat.get("T").is_err());
+    }
+
+    #[test]
+    fn base_props_reflect_data() {
+        let cat = Catalog::new();
+        cat.register("T", rel()).unwrap();
+        let props = cat.base_props("T").unwrap();
+        assert!(props.snapshot_dup_free);
+        assert_eq!(props.card, 1);
+    }
+
+    #[test]
+    fn env_contains_all_tables() {
+        let cat = Catalog::new();
+        cat.register("A", rel()).unwrap();
+        cat.register("B", rel()).unwrap();
+        let env = cat.env();
+        assert!(env.get("A").is_ok());
+        assert!(env.get("B").is_ok());
+        assert!(env.get("C").is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cat = Catalog::new();
+        let clone = cat.clone();
+        cat.register("T", rel()).unwrap();
+        assert!(clone.contains("T"));
+    }
+}

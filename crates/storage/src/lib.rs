@@ -1,0 +1,27 @@
+//! # tqo-storage — catalog, tables, statistics, workload generators
+//!
+//! The storage substrate under the optimizer and execution engine:
+//!
+//! * [`catalog`] — a thread-safe catalog of named tables carrying declared
+//!   invariants ([`tqo_core::plan::BaseProps`]) and measured statistics.
+//! * [`table`] — a stored relation plus maintenance operations.
+//! * [`stats`] — per-table and per-column statistics feeding cardinality
+//!   estimation.
+//! * [`generator`] — seeded synthetic data generators reproducing the shape
+//!   of the paper's EMPLOYEE/PROJECT workload at any scale, with tunable
+//!   fragmentation (coalescing potential), overlap (snapshot duplicates),
+//!   and duplication knobs.
+//! * [`paper`] — the exact relations of the paper's Figure 1, used by the
+//!   figure-reproduction tests and the quickstart examples.
+
+pub mod catalog;
+pub mod mutation;
+pub mod generator;
+pub mod paper;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use generator::{GenConfig, WorkloadGenerator};
+pub use stats::TableStats;
+pub use table::Table;

@@ -1,0 +1,253 @@
+//! Sequenced temporal modifications (§7's modification extension).
+//!
+//! Valid-time tables are modified *sequenced*: an insertion, deletion, or
+//! update applies over an applicability period `[T1, T2)` and must leave
+//! the history outside that period untouched. Deletion therefore subtracts
+//! the period from matching tuples (splitting straddling tuples in two,
+//! exactly the `Changeᵀ` arithmetic of `rdupᵀ`), and update rewrites only
+//! the covered fragments.
+//!
+//! All functions are pure (`Relation → Relation`); [`crate::table::Table`]
+//! wrappers re-derive the stored invariants afterwards.
+
+use tqo_core::error::{Error, Result};
+use tqo_core::expr::Expr;
+use tqo_core::relation::Relation;
+use tqo_core::time::Period;
+use tqo_core::tuple::Tuple;
+
+/// Sequenced INSERT: append a tuple valid over `period`.
+pub fn insert_sequenced(
+    relation: &Relation,
+    values: Vec<tqo_core::value::Value>,
+    period: Period,
+) -> Result<Relation> {
+    if !relation.is_temporal() {
+        return Err(Error::NotTemporal { context: "sequenced insert" });
+    }
+    if period.is_empty() {
+        return Err(Error::InvalidPeriod { start: period.start, end: period.end });
+    }
+    let mut all = relation.tuples().to_vec();
+    let mut v = values;
+    v.push(tqo_core::value::Value::Time(period.start));
+    v.push(tqo_core::value::Value::Time(period.end));
+    all.push(Tuple::new(v));
+    Relation::new(relation.schema().clone(), all)
+}
+
+/// Sequenced DELETE: remove the validity of every tuple satisfying
+/// `predicate` over `period`. Tuples whose periods straddle the deletion
+/// window are split; fully covered tuples disappear.
+pub fn delete_sequenced(
+    relation: &Relation,
+    predicate: &Expr,
+    period: Period,
+) -> Result<Relation> {
+    if !relation.is_temporal() {
+        return Err(Error::NotTemporal { context: "sequenced delete" });
+    }
+    let schema = relation.schema().clone();
+    let mut out = Vec::with_capacity(relation.len());
+    for t in relation.tuples() {
+        if !predicate.eval_predicate(&schema, t)? {
+            out.push(t.clone());
+            continue;
+        }
+        for fragment in t.period(&schema)?.subtract(&period) {
+            out.push(t.with_period(&schema, fragment)?);
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+/// Sequenced UPDATE: for every tuple satisfying `predicate`, replace the
+/// explicit values over the intersection with `period` via `apply`; the
+/// uncovered fragments keep the old values.
+pub fn update_sequenced(
+    relation: &Relation,
+    predicate: &Expr,
+    period: Period,
+    apply: impl Fn(&Tuple) -> Result<Tuple>,
+) -> Result<Relation> {
+    if !relation.is_temporal() {
+        return Err(Error::NotTemporal { context: "sequenced update" });
+    }
+    let schema = relation.schema().clone();
+    let mut out = Vec::with_capacity(relation.len() + 4);
+    for t in relation.tuples() {
+        let p = t.period(&schema)?;
+        let covered = p.intersect(&period);
+        if !predicate.eval_predicate(&schema, t)? || covered.is_none() {
+            out.push(t.clone());
+            continue;
+        }
+        let covered = covered.expect("checked above");
+        // Old values outside the window…
+        for fragment in p.subtract(&period) {
+            out.push(t.with_period(&schema, fragment)?);
+        }
+        // …new values inside it.
+        let updated = apply(t)?;
+        if updated.arity() != t.arity() {
+            return Err(Error::MalformedTuple {
+                reason: "sequenced update must preserve arity".into(),
+            });
+        }
+        out.push(updated.with_period(&schema, covered)?);
+    }
+    Relation::new(schema, out)
+}
+
+impl crate::table::Table {
+    /// Sequenced INSERT on a stored table.
+    pub fn insert_sequenced(
+        &mut self,
+        values: Vec<tqo_core::value::Value>,
+        period: Period,
+    ) -> Result<()> {
+        let next = insert_sequenced(self.relation(), values, period)?;
+        self.replace(next)
+    }
+
+    /// Sequenced DELETE on a stored table.
+    pub fn delete_sequenced(&mut self, predicate: &Expr, period: Period) -> Result<()> {
+        let next = delete_sequenced(self.relation(), predicate, period)?;
+        self.replace(next)
+    }
+
+    /// Sequenced UPDATE on a stored table.
+    pub fn update_sequenced(
+        &mut self,
+        predicate: &Expr,
+        period: Period,
+        apply: impl Fn(&Tuple) -> Result<Tuple>,
+    ) -> Result<()> {
+        let next = update_sequenced(self.relation(), predicate, period, apply)?;
+        self.replace(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple;
+    use tqo_core::value::{DataType, Value};
+
+    fn dept() -> Relation {
+        Relation::new(
+            Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)]),
+            vec![
+                tuple!["John", "Sales", 1i64, 8i64],
+                tuple!["Anna", "Ads", 2i64, 6i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn is_john() -> Expr {
+        Expr::eq(Expr::col("EmpName"), Expr::lit("John"))
+    }
+
+    #[test]
+    fn insert_appends_with_period() {
+        let r = insert_sequenced(
+            &dept(),
+            vec![Value::Str("Mia".into()), Value::Str("Sales".into())],
+            Period::of(4, 9),
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tuples()[2], tuple!["Mia", "Sales", 4i64, 9i64]);
+        // Empty periods and snapshot relations are rejected.
+        assert!(insert_sequenced(&dept(), vec![], Period::of(4, 4)).is_err());
+    }
+
+    #[test]
+    fn delete_splits_straddling_tuples() {
+        let r = delete_sequenced(&dept(), &is_john(), Period::of(3, 5)).unwrap();
+        // John [1,8) minus [3,5) → [1,3) and [5,8); Anna untouched.
+        assert_eq!(
+            r.tuples(),
+            &[
+                tuple!["John", "Sales", 1i64, 3i64],
+                tuple!["John", "Sales", 5i64, 8i64],
+                tuple!["Anna", "Ads", 2i64, 6i64],
+            ]
+        );
+    }
+
+    #[test]
+    fn delete_removes_fully_covered_tuples() {
+        let r = delete_sequenced(&dept(), &is_john(), Period::of(0, 10)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0], tuple!["Anna", "Ads", 2i64, 6i64]);
+    }
+
+    #[test]
+    fn delete_outside_validity_is_noop() {
+        let r = delete_sequenced(&dept(), &is_john(), Period::of(20, 30)).unwrap();
+        assert_eq!(r.tuples(), dept().tuples());
+    }
+
+    #[test]
+    fn update_rewrites_only_the_covered_window() {
+        let schema = dept().schema().clone();
+        let r = update_sequenced(&dept(), &is_john(), Period::of(3, 5), |t| {
+            let mut t = t.clone();
+            t.set_value(schema.resolve("Dept").unwrap(), Value::Str("Ads".into()));
+            Ok(t)
+        })
+        .unwrap();
+        // John: old Sales on [1,3) and [5,8), new Ads on [3,5).
+        let mut rows: Vec<String> = r.tuples().iter().map(|t| t.to_string()).collect();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                "(Anna, Ads, 2, 6)",
+                "(John, Ads, 3, 5)",
+                "(John, Sales, 1, 3)",
+                "(John, Sales, 5, 8)",
+            ]
+        );
+        // The update is snapshot-sound: at every instant John is in exactly
+        // one department.
+        assert!(!r.has_snapshot_duplicates().unwrap());
+    }
+
+    #[test]
+    fn table_wrappers_maintain_invariants() {
+        let mut table = crate::table::Table::new("D", dept()).unwrap();
+        assert!(table.props().snapshot_dup_free);
+        table
+            .insert_sequenced(
+                vec![Value::Str("John".into()), Value::Str("Sales".into())],
+                Period::of(6, 12),
+            )
+            .unwrap();
+        // John now has overlapping Sales periods → property re-derived.
+        assert!(!table.props().snapshot_dup_free);
+        table
+            .delete_sequenced(&is_john(), Period::of(0, 30))
+            .unwrap();
+        assert_eq!(table.len(), 1);
+        assert!(table.props().snapshot_dup_free);
+    }
+
+    #[test]
+    fn update_preserving_history_roundtrip() {
+        // Delete then re-insert equals update with identity (as snapshots).
+        let r = dept();
+        let updated = update_sequenced(&r, &is_john(), Period::of(2, 4), |t| Ok(t.clone()))
+            .unwrap();
+        for t in 0..10 {
+            assert_eq!(
+                updated.snapshot(t).unwrap().counts(),
+                r.snapshot(t).unwrap().counts(),
+                "instant {t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The exact relations of the paper's Figure 1, and the expected results of
+//! Figures 1 and 3 — the ground truth for the figure-reproduction tests.
+
+use tqo_core::relation::Relation;
+use tqo_core::schema::Schema;
+use tqo_core::tuple;
+use tqo_core::value::DataType;
+
+use crate::catalog::Catalog;
+
+/// Schema of the EMPLOYEE relation: `(EmpName, Dept, T1, T2)`.
+pub fn employee_schema() -> Schema {
+    Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)])
+}
+
+/// Schema of the PROJECT relation: `(EmpName, Prj, T1, T2)`.
+pub fn project_schema() -> Schema {
+    Schema::temporal(&[("EmpName", DataType::Str), ("Prj", DataType::Str)])
+}
+
+/// Figure 1's EMPLOYEE relation.
+pub fn employee() -> Relation {
+    Relation::new(
+        employee_schema(),
+        vec![
+            tuple!["John", "Sales", 1i64, 8i64],
+            tuple!["John", "Advertising", 6i64, 11i64],
+            tuple!["Anna", "Sales", 2i64, 6i64],
+            tuple!["Anna", "Advertising", 2i64, 6i64],
+            tuple!["Anna", "Sales", 6i64, 12i64],
+        ],
+    )
+    .expect("static relation is valid")
+}
+
+/// Figure 1's PROJECT relation.
+pub fn project() -> Relation {
+    Relation::new(
+        project_schema(),
+        vec![
+            tuple!["John", "P1", 2i64, 3i64],
+            tuple!["John", "P2", 5i64, 6i64],
+            tuple!["John", "P1", 7i64, 8i64],
+            tuple!["John", "P3", 9i64, 10i64],
+            tuple!["Anna", "P2", 3i64, 4i64],
+            tuple!["Anna", "P2", 5i64, 6i64],
+            tuple!["Anna", "P3", 7i64, 8i64],
+            tuple!["Anna", "P3", 9i64, 10i64],
+        ],
+    )
+    .expect("static relation is valid")
+}
+
+/// Figure 1's Result relation: "which employees worked in a department but
+/// not on any project, and when" — sorted, coalesced, without snapshot
+/// duplicates.
+pub fn figure1_result() -> Relation {
+    Relation::new(
+        Schema::temporal(&[("EmpName", DataType::Str)]),
+        vec![
+            tuple!["Anna", 2i64, 3i64],
+            tuple!["Anna", 4i64, 5i64],
+            tuple!["Anna", 6i64, 7i64],
+            tuple!["Anna", 8i64, 9i64],
+            tuple!["Anna", 10i64, 12i64],
+            tuple!["John", 1i64, 2i64],
+            tuple!["John", 3i64, 5i64],
+            tuple!["John", 6i64, 7i64],
+            tuple!["John", 8i64, 9i64],
+            tuple!["John", 10i64, 11i64],
+        ],
+    )
+    .expect("static relation is valid")
+}
+
+/// Figure 3's `R1 = π_{EmpName,T1,T2}(EMPLOYEE)`.
+pub fn figure3_r1() -> Relation {
+    Relation::new(
+        Schema::temporal(&[("EmpName", DataType::Str)]),
+        vec![
+            tuple!["John", 1i64, 8i64],
+            tuple!["John", 6i64, 11i64],
+            tuple!["Anna", 2i64, 6i64],
+            tuple!["Anna", 2i64, 6i64],
+            tuple!["Anna", 6i64, 12i64],
+        ],
+    )
+    .expect("static relation is valid")
+}
+
+/// Figure 3's `R2 = rdup(R1)` — a snapshot relation with demoted time
+/// attributes.
+pub fn figure3_r2() -> Relation {
+    Relation::new(
+        Schema::of(&[
+            ("EmpName", DataType::Str),
+            ("1.T1", DataType::Time),
+            ("1.T2", DataType::Time),
+        ]),
+        vec![
+            tuple!["John", 1i64, 8i64],
+            tuple!["John", 6i64, 11i64],
+            tuple!["Anna", 2i64, 6i64],
+            tuple!["Anna", 6i64, 12i64],
+        ],
+    )
+    .expect("static relation is valid")
+}
+
+/// Figure 3's `R3 = rdupᵀ(R1)` — note John's trimmed second period.
+pub fn figure3_r3() -> Relation {
+    Relation::new(
+        Schema::temporal(&[("EmpName", DataType::Str)]),
+        vec![
+            tuple!["John", 1i64, 8i64],
+            tuple!["John", 8i64, 11i64],
+            tuple!["Anna", 2i64, 6i64],
+            tuple!["Anna", 6i64, 12i64],
+        ],
+    )
+    .expect("static relation is valid")
+}
+
+/// A catalog pre-loaded with Figure 1's EMPLOYEE and PROJECT.
+pub fn catalog() -> Catalog {
+    let cat = Catalog::new();
+    cat.register("EMPLOYEE", employee()).expect("valid");
+    cat.register("PROJECT", project()).expect("valid");
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relations_have_expected_sizes() {
+        assert_eq!(employee().len(), 5);
+        assert_eq!(project().len(), 8);
+        assert_eq!(figure1_result().len(), 10);
+        assert_eq!(figure3_r1().len(), 5);
+        assert_eq!(figure3_r2().len(), 4);
+        assert_eq!(figure3_r3().len(), 4);
+    }
+
+    #[test]
+    fn figure3_relations_relate_as_the_paper_says() {
+        use tqo_core::ops::{rdup, rdup_t};
+        assert_eq!(rdup(&figure3_r1()).unwrap(), figure3_r2());
+        assert_eq!(rdup_t(&figure3_r1()).unwrap(), figure3_r3());
+    }
+
+    #[test]
+    fn catalog_is_loaded() {
+        let cat = catalog();
+        assert!(cat.contains("EMPLOYEE"));
+        assert!(cat.contains("PROJECT"));
+        // EMPLOYEE itself is snapshot-dup-free (John's overlapping rows
+        // differ on Dept); snapshot duplicates only arise after projecting
+        // onto EmpName — which is why Figure 2(a) needs the lower rdupᵀ.
+        assert!(cat.base_props("EMPLOYEE").unwrap().snapshot_dup_free);
+        assert!(tqo_core::ops::project(
+            &employee(),
+            &[
+                tqo_core::expr::ProjItem::col("EmpName"),
+                tqo_core::expr::ProjItem::col("T1"),
+                tqo_core::expr::ProjItem::col("T2")
+            ]
+        )
+        .unwrap()
+        .has_snapshot_duplicates()
+        .unwrap());
+    }
+}

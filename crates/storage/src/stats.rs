@@ -1,0 +1,154 @@
+//! Table statistics for cardinality estimation.
+
+use std::collections::HashSet;
+
+use tqo_core::error::Result;
+use tqo_core::relation::Relation;
+use tqo_core::time::{Instant, Period};
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    pub name: String,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Number of NULLs.
+    pub nulls: usize,
+}
+
+/// Statistics for one stored relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub rows: usize,
+    pub columns: Vec<ColumnStats>,
+    /// For temporal relations: the covered time range.
+    pub time_range: Option<Period>,
+    /// For temporal relations: average period duration.
+    pub avg_duration: Option<f64>,
+    /// For temporal relations: the maximum number of value-equivalent
+    /// tuples alive at one instant — the "snapshot duplicate degree".
+    pub max_class_overlap: usize,
+}
+
+impl TableStats {
+    pub fn compute(relation: &Relation) -> Result<TableStats> {
+        let schema = relation.schema();
+        let mut columns = Vec::with_capacity(schema.arity());
+        for (i, attr) in schema.attrs().iter().enumerate() {
+            let mut distinct = HashSet::new();
+            let mut nulls = 0usize;
+            for t in relation.tuples() {
+                let v = t.value(i);
+                if v.is_null() {
+                    nulls += 1;
+                } else {
+                    distinct.insert(v);
+                }
+            }
+            columns.push(ColumnStats { name: attr.name.clone(), distinct: distinct.len(), nulls });
+        }
+
+        let (time_range, avg_duration, max_class_overlap) = if relation.is_temporal() {
+            let mut lo: Option<Instant> = None;
+            let mut hi: Option<Instant> = None;
+            let mut total: i64 = 0;
+            for t in relation.tuples() {
+                let p = t.period(schema)?;
+                lo = Some(lo.map_or(p.start, |v| v.min(p.start)));
+                hi = Some(hi.map_or(p.end, |v| v.max(p.end)));
+                total += p.duration();
+            }
+            let range = match (lo, hi) {
+                (Some(a), Some(b)) => Some(Period::of(a, b)),
+                _ => None,
+            };
+            let avg = if relation.is_empty() {
+                None
+            } else {
+                Some(total as f64 / relation.len() as f64)
+            };
+            // Max simultaneous value-equivalent tuples.
+            let mut max_overlap = 0usize;
+            for (_, indices) in relation.value_classes()? {
+                let mut events: Vec<(Instant, i32)> = Vec::with_capacity(indices.len() * 2);
+                for &i in &indices {
+                    let p = relation.tuples()[i].period(schema)?;
+                    events.push((p.start, 1));
+                    events.push((p.end, -1));
+                }
+                events.sort_unstable();
+                let mut live = 0i32;
+                for (_, d) in events {
+                    live += d;
+                    max_overlap = max_overlap.max(live as usize);
+                }
+            }
+            (range, avg, max_overlap)
+        } else {
+            (None, None, 0)
+        };
+
+        Ok(TableStats {
+            rows: relation.len(),
+            columns,
+            time_range,
+            avg_duration,
+            max_class_overlap,
+        })
+    }
+
+    /// Distinct count for a named column, if known.
+    pub fn distinct(&self, column: &str) -> Option<usize> {
+        self.columns.iter().find(|c| c.name == column).map(|c| c.distinct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    #[test]
+    fn computes_column_and_time_stats() {
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            vec![
+                tuple!["a", 1i64, 5i64],
+                tuple!["a", 3i64, 9i64],
+                tuple!["b", 2i64, 4i64],
+            ],
+        )
+        .unwrap();
+        let s = TableStats::compute(&r).unwrap();
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct("E"), Some(2));
+        assert_eq!(s.time_range, Some(Period::of(1, 9)));
+        assert_eq!(s.avg_duration, Some(4.0));
+        assert_eq!(s.max_class_overlap, 2); // a's periods overlap on [3,5)
+    }
+
+    #[test]
+    fn snapshot_relation_has_no_time_stats() {
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int)]),
+            vec![tuple![1i64], tuple![1i64], tuple![2i64]],
+        )
+        .unwrap();
+        let s = TableStats::compute(&r).unwrap();
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct("A"), Some(2));
+        assert!(s.time_range.is_none());
+        assert_eq!(s.max_class_overlap, 0);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(Schema::temporal(&[("E", DataType::Str)]));
+        let s = TableStats::compute(&r).unwrap();
+        assert_eq!(s.rows, 0);
+        assert!(s.time_range.is_none());
+        assert!(s.avg_duration.is_none());
+    }
+}

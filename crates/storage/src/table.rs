@@ -1,0 +1,152 @@
+//! Stored tables: a relation plus its declared invariants.
+
+use tqo_core::error::{Error, Result};
+use tqo_core::plan::BaseProps;
+use tqo_core::relation::Relation;
+use tqo_core::tuple::Tuple;
+
+use crate::stats::TableStats;
+
+/// A stored relation. The declared [`BaseProps`] are *verified* on
+/// construction and after every mutation, so `Scan` nodes embedding them
+/// can be trusted by the optimizer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    relation: Relation,
+    props: BaseProps,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Create a table, deriving honest base properties from the data:
+    /// duplicate-freedom, snapshot-duplicate-freedom, and coalescedness are
+    /// measured, not assumed.
+    pub fn new(name: impl Into<String>, relation: Relation) -> Result<Table> {
+        let name = name.into();
+        let props = derive_props(&relation)?;
+        let stats = TableStats::compute(&relation)?;
+        Ok(Table { name, relation, props, stats })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    pub fn props(&self) -> &BaseProps {
+        &self.props
+    }
+
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// Append tuples, revalidating and re-deriving properties.
+    pub fn insert(&mut self, tuples: Vec<Tuple>) -> Result<()> {
+        let mut all = self.relation.tuples().to_vec();
+        all.extend(tuples);
+        let relation = Relation::new(self.relation.schema().clone(), all)?;
+        self.props = derive_props(&relation)?;
+        self.stats = TableStats::compute(&relation)?;
+        self.relation = relation;
+        Ok(())
+    }
+
+    /// Replace the contents wholesale.
+    pub fn replace(&mut self, relation: Relation) -> Result<()> {
+        if !relation.schema().union_compatible(self.relation.schema()) {
+            return Err(Error::SchemaMismatch {
+                left: self.relation.schema().to_string(),
+                right: relation.schema().to_string(),
+                context: "table replace",
+            });
+        }
+        self.props = derive_props(&relation)?;
+        self.stats = TableStats::compute(&relation)?;
+        self.relation = relation;
+        Ok(())
+    }
+}
+
+/// Measure the honest base properties of a relation.
+pub fn derive_props(relation: &Relation) -> Result<BaseProps> {
+    let temporal = relation.is_temporal();
+    Ok(BaseProps {
+        schema: relation.schema().clone(),
+        order: tqo_core::sortspec::Order::unordered(),
+        dup_free: !relation.has_duplicates(),
+        snapshot_dup_free: if temporal {
+            !relation.has_snapshot_duplicates()?
+        } else {
+            !relation.has_duplicates()
+        },
+        coalesced: if temporal { relation.is_coalesced()? } else { true },
+        card: relation.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::temporal(&[("E", DataType::Str)])
+    }
+
+    #[test]
+    fn props_are_measured() {
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 5i64], tuple!["a", 3i64, 8i64]],
+        )
+        .unwrap();
+        let t = Table::new("T", r).unwrap();
+        assert!(t.props().dup_free);
+        assert!(!t.props().snapshot_dup_free); // overlap at [3,5)
+        assert!(t.props().coalesced);
+        assert_eq!(t.props().card, 2);
+    }
+
+    #[test]
+    fn insert_revalidates() {
+        let r = Relation::new(schema(), vec![tuple!["a", 1i64, 5i64]]).unwrap();
+        let mut t = Table::new("T", r).unwrap();
+        assert!(t.props().snapshot_dup_free);
+        t.insert(vec![tuple!["a", 2i64, 4i64]]).unwrap();
+        assert!(!t.props().snapshot_dup_free);
+        assert_eq!(t.len(), 2);
+        // Bad tuples are rejected and leave the table untouched.
+        assert!(t.insert(vec![tuple!["x", 9i64, 3i64]]).is_err());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replace_checks_schema() {
+        let r = Relation::new(schema(), vec![tuple!["a", 1i64, 5i64]]).unwrap();
+        let mut t = Table::new("T", r).unwrap();
+        let other = Relation::new(
+            Schema::of(&[("X", DataType::Int)]),
+            vec![tuple![1i64]],
+        )
+        .unwrap();
+        assert!(t.replace(other).is_err());
+        let ok = Relation::new(schema(), vec![tuple!["b", 2i64, 3i64]]).unwrap();
+        t.replace(ok).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! The stratum executor: runs layered plans, delegating DBMS fragments to
+//! the simulated DBMS and moving rows across the serialized wire.
+//!
+//! Stratum-side operators are the *thin layer's* implementations: the
+//! specification-faithful temporal operators plus a simple hand-rolled
+//! stable merge sort — deliberately less engineered than the DBMS's
+//! operators, preserving the paper's premise that "the DBMS sorts faster
+//! than the stratum" (§2.1).
+
+use std::cmp::Ordering;
+use std::time::{Duration, Instant};
+
+use tqo_core::error::{Error, Result};
+use tqo_core::ops;
+use tqo_core::plan::{LogicalPlan, PlanNode};
+use tqo_core::relation::Relation;
+use tqo_core::sortspec::Order;
+use tqo_core::tuple::Tuple;
+use tqo_storage::Catalog;
+
+use crate::dbms::SimulatedDbms;
+use crate::splitter::{make_layered, validate_layered};
+use crate::wire;
+
+/// Execution metrics of one layered query.
+#[derive(Debug, Clone, Default)]
+pub struct StratumMetrics {
+    /// Time spent inside the DBMS (fragment execution).
+    pub dbms_time: Duration,
+    /// Time spent in stratum operators.
+    pub stratum_time: Duration,
+    /// Bytes moved across transfers.
+    pub transfer_bytes: usize,
+    /// Rows moved across transfers.
+    pub transferred_rows: usize,
+    /// Number of DBMS fragments executed.
+    pub fragments: usize,
+}
+
+impl StratumMetrics {
+    pub fn total_time(&self) -> Duration {
+        self.dbms_time + self.stratum_time
+    }
+}
+
+/// The layered engine.
+#[derive(Debug, Clone)]
+pub struct Stratum {
+    dbms: SimulatedDbms,
+}
+
+impl Stratum {
+    pub fn new(catalog: Catalog) -> Stratum {
+        Stratum { dbms: SimulatedDbms::new(catalog) }
+    }
+
+    pub fn dbms(&self) -> &SimulatedDbms {
+        &self.dbms
+    }
+
+    /// Execute a layered plan (validated first).
+    pub fn run(&self, plan: &LogicalPlan) -> Result<(Relation, StratumMetrics)> {
+        validate_layered(plan)?;
+        let mut metrics = StratumMetrics::default();
+        let result = self.eval(&plan.root, &mut metrics)?;
+        Ok((result, metrics))
+    }
+
+    /// Compile a SQL query, wrap its scans in transfers, and execute.
+    pub fn run_sql(&self, sql: &str) -> Result<(Relation, StratumMetrics)> {
+        let plan = tqo_sql::compile(sql, self.dbms.catalog())?;
+        let layered = make_layered(&plan)?;
+        self.run(&layered)
+    }
+
+    /// Compile, layer, optimize (enumeration + cost), and execute. Returns
+    /// the chosen plan alongside the result.
+    pub fn run_sql_optimized(
+        &self,
+        sql: &str,
+    ) -> Result<(Relation, StratumMetrics, LogicalPlan)> {
+        let plan = tqo_sql::compile(sql, self.dbms.catalog())?;
+        let layered = make_layered(&plan)?;
+        let optimized = tqo_core::optimizer::optimize(
+            &layered,
+            &tqo_core::rules::RuleSet::standard(),
+            &tqo_core::optimizer::OptimizerConfig::default(),
+        )?;
+        let (result, metrics) = self.run(&optimized.best)?;
+        Ok((result, metrics, optimized.best))
+    }
+
+    fn eval(&self, node: &PlanNode, metrics: &mut StratumMetrics) -> Result<Relation> {
+        match node {
+            // DBMS boundary: ship the fragment, wire the rows back.
+            PlanNode::TransferS { input } => {
+                let (result, stats) = self.dbms.execute(input)?;
+                metrics.dbms_time += stats.elapsed;
+                metrics.fragments += 1;
+                let (decoded, bytes) = wire::transfer(&result)?;
+                metrics.transfer_bytes += bytes;
+                metrics.transferred_rows += decoded.len();
+                Ok(decoded)
+            }
+            PlanNode::TransferD { .. } => Err(Error::Plan {
+                reason: "Tᴰ execution (shipping stratum results into the DBMS) is not \
+                         supported by the simulated DBMS; keep stratum results in the \
+                         stratum"
+                    .into(),
+            }),
+            PlanNode::Scan { name, .. } => Err(Error::Plan {
+                reason: format!(
+                    "scan of `{name}` reached the stratum executor; wrap scans in Tˢ \
+                     (make_layered)"
+                ),
+            }),
+            _ => {
+                // Children first (their own timings recorded separately).
+                let mut inputs = Vec::with_capacity(node.children().len());
+                for c in node.children() {
+                    inputs.push(self.eval(c, metrics)?);
+                }
+                let started = Instant::now();
+                let out = self.eval_local(node, &inputs)?;
+                metrics.stratum_time += started.elapsed();
+                Ok(out)
+            }
+        }
+    }
+
+    /// Stratum-side operator implementations.
+    fn eval_local(&self, node: &PlanNode, inputs: &[Relation]) -> Result<Relation> {
+        Ok(match node {
+            PlanNode::Select { predicate, .. } => ops::select(&inputs[0], predicate)?,
+            PlanNode::Project { items, .. } => ops::project(&inputs[0], items)?,
+            PlanNode::UnionAll { .. } => ops::union_all(&inputs[0], &inputs[1])?,
+            PlanNode::Product { .. } => ops::product(&inputs[0], &inputs[1])?,
+            PlanNode::Difference { .. } => ops::difference(&inputs[0], &inputs[1])?,
+            PlanNode::Aggregate { group_by, aggs, .. } => {
+                ops::aggregate(&inputs[0], group_by, aggs)?
+            }
+            PlanNode::Rdup { .. } => ops::rdup(&inputs[0])?,
+            PlanNode::UnionMax { .. } => ops::union_max(&inputs[0], &inputs[1])?,
+            PlanNode::Sort { order, .. } => stratum_sort(&inputs[0], order)?,
+            PlanNode::ProductT { .. } => ops::product_t(&inputs[0], &inputs[1])?,
+            PlanNode::DifferenceT { .. } => ops::difference_t(&inputs[0], &inputs[1])?,
+            PlanNode::AggregateT { group_by, aggs, .. } => {
+                ops::aggregate_t(&inputs[0], group_by, aggs)?
+            }
+            PlanNode::RdupT { .. } => ops::rdup_t(&inputs[0])?,
+            PlanNode::UnionT { .. } => ops::union_t(&inputs[0], &inputs[1])?,
+            PlanNode::Coalesce { .. } => ops::coalesce(&inputs[0])?,
+            PlanNode::Scan { .. }
+            | PlanNode::TransferS { .. }
+            | PlanNode::TransferD { .. } => unreachable!("handled in eval"),
+        })
+    }
+}
+
+/// The stratum's sort: a plain top-down stable merge sort. Semantically
+/// identical to the DBMS sort (stable, same comparator) but without the
+/// engineering of a mature engine — the measured asymmetry behind the
+/// `push-sort-into-dbms` rule's profitability.
+pub fn stratum_sort(r: &Relation, order: &Order) -> Result<Relation> {
+    let schema = r.schema().clone();
+    for key in order.keys() {
+        schema.resolve(&key.attr)?;
+    }
+    let mut tuples = r.tuples().to_vec();
+    let mut scratch = tuples.clone();
+    let cmp = |a: &Tuple, b: &Tuple| -> Ordering {
+        order.compare(&schema, a, b).expect("keys validated")
+    };
+    merge_sort(&mut tuples, &mut scratch, &cmp);
+    Ok(Relation::new_unchecked(schema, tuples))
+}
+
+fn merge_sort<F: Fn(&Tuple, &Tuple) -> Ordering>(
+    data: &mut [Tuple],
+    scratch: &mut [Tuple],
+    cmp: &F,
+) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let mid = n / 2;
+    let (left, right) = data.split_at_mut(mid);
+    let (sl, sr) = scratch.split_at_mut(mid);
+    merge_sort(left, sl, cmp);
+    merge_sort(right, sr, cmp);
+    // Merge into scratch, then copy back (simple, allocation-free after the
+    // initial clone, but with the extra copy a mature implementation
+    // avoids).
+    let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+    while i < mid && j < n {
+        // `data` is split; index via the two halves.
+        let take_left = {
+            let a = &data[..mid][i];
+            let b = &data[mid..][j - mid];
+            cmp(a, b) != Ordering::Greater
+        };
+        if take_left {
+            scratch[k] = data[..mid][i].clone();
+            i += 1;
+        } else {
+            scratch[k] = data[mid..][j - mid].clone();
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < mid {
+        scratch[k] = data[..mid][i].clone();
+        i += 1;
+        k += 1;
+    }
+    while j < n {
+        scratch[k] = data[mid..][j - mid].clone();
+        j += 1;
+        k += 1;
+    }
+    data.clone_from_slice(&scratch[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_storage::paper;
+
+    #[test]
+    fn running_example_end_to_end() {
+        let stratum = Stratum::new(paper::catalog());
+        let (result, metrics) = stratum
+            .run_sql(
+                "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+                 EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+                 COALESCE ORDER BY EmpName",
+            )
+            .unwrap();
+        assert_eq!(result, paper::figure1_result());
+        assert_eq!(metrics.fragments, 2);
+        assert!(metrics.transfer_bytes > 0);
+        assert_eq!(metrics.transferred_rows, 13); // 5 + 8 base rows
+    }
+
+    #[test]
+    fn optimized_run_agrees_with_unoptimized() {
+        let stratum = Stratum::new(paper::catalog());
+        let sql = "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+                   EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+                   COALESCE ORDER BY EmpName";
+        let (plain, _) = stratum.run_sql(sql).unwrap();
+        let (optimized, _, chosen) = stratum.run_sql_optimized(sql).unwrap();
+        assert_eq!(plain, optimized);
+        // The optimizer kept the plan layered and valid.
+        validate_layered(&chosen).unwrap();
+    }
+
+    #[test]
+    fn stratum_sort_is_stable_and_correct() {
+        use tqo_core::schema::Schema;
+        use tqo_core::sortspec::Order;
+        use tqo_core::tuple;
+        use tqo_core::value::DataType;
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                tuple![2i64, "x"],
+                tuple![1i64, "b"],
+                tuple![2i64, "a"],
+                tuple![1i64, "a"],
+            ],
+        )
+        .unwrap();
+        let order = Order::asc(&["A"]);
+        let ours = stratum_sort(&r, &order).unwrap();
+        let reference = ops::sort(&r, &order).unwrap();
+        assert_eq!(ours, reference);
+    }
+
+    #[test]
+    fn unlayered_plans_are_rejected() {
+        let stratum = Stratum::new(paper::catalog());
+        let plan = tqo_sql::compile("SELECT EmpName FROM EMPLOYEE", stratum.dbms().catalog())
+            .unwrap();
+        assert!(stratum.run(&plan).is_err());
+    }
+
+    #[test]
+    fn conventional_sql_through_the_layer() {
+        let stratum = Stratum::new(paper::catalog());
+        let (result, metrics) = stratum
+            .run_sql("SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept")
+            .unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(metrics.fragments, 1);
+    }
+}

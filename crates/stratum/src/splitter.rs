@@ -1,0 +1,163 @@
+//! Plan splitting for the layered architecture.
+//!
+//! A *layered* plan executes its leaves in the DBMS: every scan must sit
+//! below a `Tˢ` transfer. [`make_layered`] establishes that shape for a
+//! plan produced by the SQL binder (which is site-agnostic);
+//! [`validate_layered`] checks it; [`fragments`] lists the DBMS-bound
+//! subtrees with the SQL the stratum would ship for each.
+
+use std::sync::Arc;
+
+use tqo_core::error::{Error, Result};
+use tqo_core::plan::{LogicalPlan, Path, PlanNode, Site};
+
+/// A DBMS-bound plan fragment.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Path of the `Tˢ` node owning the fragment.
+    pub transfer_path: Path,
+    /// The fragment root (the transfer's child).
+    pub root: Arc<PlanNode>,
+    /// SQL rendering of the fragment.
+    pub sql: Option<String>,
+}
+
+/// Wrap every scan that is not already inside a DBMS region with `Tˢ`,
+/// making the plan executable by the layered engine.
+pub fn make_layered(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    let sites: std::collections::HashMap<Path, Site> =
+        plan.root.sites(plan.root_site).into_iter().collect();
+    // Collect scan paths needing a transfer, deepest-first so replacement
+    // paths stay valid.
+    let mut targets: Vec<Path> = plan
+        .root
+        .paths()
+        .into_iter()
+        .filter(|p| {
+            matches!(plan.root.get(p), Ok(PlanNode::Scan { .. }))
+                && sites[p] == Site::Stratum
+        })
+        .collect();
+    targets.sort_by_key(|p| std::cmp::Reverse(p.len()));
+    let mut root = plan.root.as_ref().clone();
+    for path in targets {
+        let scan = root.get(&path)?.clone();
+        let wrapped = PlanNode::TransferS { input: Arc::new(scan) };
+        root = root.replace(&path, wrapped)?;
+    }
+    Ok(plan.with_root(root))
+}
+
+/// Check the layered-execution invariants: scans only in the DBMS, temporal
+/// operations only in the stratum, transfers consistent with sites.
+pub fn validate_layered(plan: &LogicalPlan) -> Result<()> {
+    for (path, site) in plan.root.sites(plan.root_site) {
+        let node = plan.root.get(&path)?;
+        match site {
+            Site::Dbms if !node.is_dbms_supported() => {
+                return Err(Error::Plan {
+                    reason: format!(
+                        "{} at {path:?} is placed in the DBMS but has no DBMS implementation",
+                        node.op_name()
+                    ),
+                })
+            }
+            Site::Stratum if matches!(node, PlanNode::Scan { .. }) => {
+                return Err(Error::Plan {
+                    reason: format!(
+                        "scan at {path:?} executes in the stratum; base tables live in the DBMS"
+                    ),
+                })
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// The DBMS-bound fragments of a layered plan (one per `Tˢ` whose subtree
+/// is in the DBMS).
+pub fn fragments(plan: &LogicalPlan) -> Result<Vec<Fragment>> {
+    let sites: std::collections::HashMap<Path, Site> =
+        plan.root.sites(plan.root_site).into_iter().collect();
+    let mut out = Vec::new();
+    for path in plan.root.paths() {
+        if let Ok(PlanNode::TransferS { input }) = plan.root.get(&path) {
+            // Only outermost DBMS boundaries: the transfer itself must run
+            // in the stratum.
+            if sites[&path] == Site::Stratum {
+                out.push(Fragment {
+                    transfer_path: path,
+                    root: input.clone(),
+                    sql: tqo_sql::unparser::to_sql(input).ok(),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::plan::PlanBuilder;
+    use tqo_core::sortspec::Order;
+    use tqo_storage::paper;
+
+    fn binder_plan() -> LogicalPlan {
+        let cat = paper::catalog();
+        tqo_sql::compile(
+            "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+             EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+             COALESCE ORDER BY EmpName",
+            &cat,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn make_layered_wraps_all_scans() {
+        let plan = binder_plan();
+        assert!(validate_layered(&plan).is_err());
+        let layered = make_layered(&plan).unwrap();
+        validate_layered(&layered).unwrap();
+        // Two scans → two transfers → two fragments.
+        let frags = fragments(&layered).unwrap();
+        assert_eq!(frags.len(), 2);
+        for f in &frags {
+            assert!(f.sql.as_deref().unwrap().contains("SELECT"));
+        }
+    }
+
+    #[test]
+    fn make_layered_is_idempotent() {
+        let layered = make_layered(&binder_plan()).unwrap();
+        let twice = make_layered(&layered).unwrap();
+        assert_eq!(layered.root, twice.root);
+    }
+
+    #[test]
+    fn validate_rejects_temporal_in_dbms() {
+        let cat = paper::catalog();
+        let plan = PlanBuilder::scan("EMPLOYEE", cat.base_props("EMPLOYEE").unwrap())
+            .rdup_t()
+            .transfer_s()
+            .build_multiset();
+        assert!(validate_layered(&plan).is_err());
+    }
+
+    #[test]
+    fn fragments_grow_when_ops_move_into_dbms() {
+        let cat = paper::catalog();
+        // sort inside the DBMS fragment.
+        let plan = PlanBuilder::scan("EMPLOYEE", cat.base_props("EMPLOYEE").unwrap())
+            .sort(Order::asc(&["EmpName"]))
+            .transfer_s()
+            .rdup_t()
+            .build_multiset();
+        validate_layered(&plan).unwrap();
+        let frags = fragments(&plan).unwrap();
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].sql.as_deref().unwrap().contains("ORDER BY"));
+    }
+}

@@ -1,0 +1,81 @@
+//! The layered (stratum) architecture in action: fragment SQL shipped to
+//! the simulated DBMS, wire volume, and the effect of pushing work into
+//! the DBMS.
+//!
+//! ```sh
+//! cargo run --example stratum_layer
+//! ```
+
+use tqo_core::plan::PlanBuilder;
+use tqo_core::sortspec::Order;
+use tqo_storage::WorkloadGenerator;
+use tqo_stratum::{fragments, make_layered, Stratum};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A generated EMPLOYEE/PROJECT workload, 40 employees.
+    let catalog = WorkloadGenerator::new(42).figure1_workload(4)?;
+    println!(
+        "workload: EMPLOYEE {} rows, PROJECT {} rows\n",
+        catalog.get("EMPLOYEE")?.len(),
+        catalog.get("PROJECT")?.len()
+    );
+
+    let sql = "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+               EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+               COALESCE ORDER BY EmpName";
+    let plan = tqo_sql::compile(sql, &catalog)?;
+    let layered = make_layered(&plan)?;
+
+    println!("=== DBMS-bound fragments and their SQL ===\n");
+    for f in fragments(&layered)? {
+        println!(
+            "fragment at {:?}:\n  {}\n",
+            f.transfer_path,
+            f.sql.as_deref().unwrap_or("<no SQL rendering>")
+        );
+    }
+
+    let stratum = Stratum::new(catalog.clone());
+    let (result, metrics) = stratum.run(&layered)?;
+    println!("=== Unoptimized layered execution ===");
+    println!(
+        "rows={} fragments={} transferred_rows={} wire_bytes={}",
+        result.len(),
+        metrics.fragments,
+        metrics.transferred_rows,
+        metrics.transfer_bytes
+    );
+    println!("dbms={:?} stratum={:?}\n", metrics.dbms_time, metrics.stratum_time);
+
+    // With the optimizer: the sort should move into the DBMS, redundant
+    // operations disappear.
+    let (result_opt, metrics_opt, chosen) = stratum.run_sql_optimized(sql)?;
+    println!("=== Optimized layered execution ===");
+    println!(
+        "rows={} fragments={} transferred_rows={} wire_bytes={}",
+        result_opt.len(),
+        metrics_opt.fragments,
+        metrics_opt.transferred_rows,
+        metrics_opt.transfer_bytes
+    );
+    println!("dbms={:?} stratum={:?}\n", metrics_opt.dbms_time, metrics_opt.stratum_time);
+    println!("chosen plan:\n{}", tqo_core::plan::display::plan_to_string(&chosen.root));
+
+    // Demonstrate the sort-site asymmetry directly (the paper's §2.1:
+    // "the DBMS sorts faster than the stratum").
+    println!("=== Sort placement microbenchmark (one execution each) ===");
+    let base = catalog.base_props("EMPLOYEE")?;
+    let sort_in_stratum = PlanBuilder::scan("EMPLOYEE", base.clone())
+        .transfer_s()
+        .sort(Order::asc(&["EmpName"]))
+        .build_list(Order::asc(&["EmpName"]));
+    let sort_in_dbms = PlanBuilder::scan("EMPLOYEE", base)
+        .sort(Order::asc(&["EmpName"]))
+        .transfer_s()
+        .build_list(Order::asc(&["EmpName"]));
+    let (_, m1) = stratum.run(&sort_in_stratum)?;
+    let (_, m2) = stratum.run(&sort_in_dbms)?;
+    println!("stratum sort: dbms={:?} stratum={:?}", m1.dbms_time, m1.stratum_time);
+    println!("dbms sort:    dbms={:?} stratum={:?}", m2.dbms_time, m2.stratum_time);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Temporal aggregation `ξᵀ`: the department-headcount timeline, evaluated
+//! "conceptually at each point of time" (§2.2's first class of temporal
+//! statements), plus the coalescing rule C7 in action.
+//!
+//! ```sh
+//! cargo run --example temporal_aggregation
+//! ```
+
+use tqo_core::expr::{AggFunc, AggItem};
+use tqo_core::ops;
+use tqo_storage::paper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let employee = paper::employee();
+    println!("EMPLOYEE:\n{employee}");
+
+    // Headcount per department over time.
+    let headcount = ops::aggregate_t(
+        &employee,
+        &["Dept".to_string()],
+        &[AggItem::count_star("headcount")],
+    )?;
+    println!("ξᵀ_Dept; COUNT(*) (headcount timeline):\n{headcount}");
+
+    // Verify a snapshot by hand: at month 6, Sales has John [1,8) and
+    // Anna [6,12) → 2; Advertising has John [6,11) → 1.
+    let snap = headcount.snapshot(6)?;
+    println!("snapshot at t=6:\n{snap}");
+
+    // Earliest hire per department, as a timeline.
+    let earliest = ops::aggregate_t(
+        &employee,
+        &["Dept".to_string()],
+        &[
+            AggItem::new(AggFunc::Min, Some("T1"), "first_start"),
+            AggItem::count_star("n"),
+        ],
+    )?;
+    println!("ξᵀ_Dept; MIN(T1), COUNT(*):\n{earliest}");
+
+    // Grand-total headcount across the company.
+    let total = ops::aggregate_t(&employee, &[], &[AggItem::count_star("n")])?;
+    println!("company-wide headcount timeline:\n{total}");
+
+    // Aggregation fragments at every group endpoint; coalescing merges the
+    // adjacent fragments whose values agree — this is why plans put coalᵀ
+    // above ξᵀ, and why rule C7 can drop a coalescing *below* it.
+    let coalesced = ops::coalesce(&ops::rdup_t(&total)?)?;
+    println!("coalesced:\n{coalesced}");
+
+    assert!(coalesced.len() <= total.len());
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! An interactive temporal-SQL shell over the layered engine.
+//!
+//! ```sh
+//! cargo run --example temporal_shell            # interactive
+//! echo 'SELECT EmpName FROM EMPLOYEE' | cargo run --example temporal_shell
+//! ```
+//!
+//! Commands:
+//! * plain temporal SQL — compiled, layered, optimized, executed;
+//! * `\tables` — list catalog tables with their measured invariants;
+//! * `\explain <sql>` — annotated logical plan (Figure 6 property vectors);
+//! * `\fragments <sql>` — the SQL shipped to the DBMS per `Tˢ` fragment;
+//! * `\plans <sql>` — size of the Figure 5 plan space for the query;
+//! * `\quit` — exit.
+//!
+//! The catalog starts pre-loaded with the paper's EMPLOYEE and PROJECT.
+
+use std::io::{self, BufRead, Write};
+
+use tqo_core::enumerate::{enumerate, EnumerationConfig};
+use tqo_core::rules::RuleSet;
+use tqo_storage::paper;
+use tqo_stratum::{fragments, make_layered, Stratum};
+
+fn main() -> io::Result<()> {
+    let catalog = paper::catalog();
+    let stratum = Stratum::new(catalog.clone());
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+
+    writeln!(out, "tqo temporal shell — EMPLOYEE and PROJECT are loaded.")?;
+    writeln!(out, "try: VALIDTIME SELECT EmpName FROM EMPLOYEE COALESCE ORDER BY EmpName")?;
+    write!(out, "tqo> ")?;
+    out.flush()?;
+
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let input = line.trim();
+        if input.is_empty() {
+            write!(out, "tqo> ")?;
+            out.flush()?;
+            continue;
+        }
+        if input == "\\quit" || input == "\\q" {
+            break;
+        }
+        let result = dispatch(input, &catalog, &stratum);
+        match result {
+            Ok(text) => writeln!(out, "{text}")?,
+            Err(e) => writeln!(out, "error: {e}")?,
+        }
+        write!(out, "tqo> ")?;
+        out.flush()?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+fn dispatch(
+    input: &str,
+    catalog: &tqo_storage::Catalog,
+    stratum: &Stratum,
+) -> Result<String, Box<dyn std::error::Error>> {
+    if input == "\\tables" {
+        let mut text = String::new();
+        for name in catalog.names() {
+            let table = catalog.get(&name)?;
+            let p = table.props();
+            text.push_str(&format!(
+                "{name}: {} rows [{}] dup_free={} snapshot_dup_free={} coalesced={}\n",
+                table.len(),
+                p.schema,
+                p.dup_free,
+                p.snapshot_dup_free,
+                p.coalesced
+            ));
+        }
+        return Ok(text);
+    }
+    if let Some(sql) = input.strip_prefix("\\explain ") {
+        return Ok(tqo_sql::explain(sql, catalog)?);
+    }
+    if let Some(sql) = input.strip_prefix("\\fragments ") {
+        let plan = tqo_sql::compile(sql, catalog)?;
+        let layered = make_layered(&plan)?;
+        let mut text = String::new();
+        for f in fragments(&layered)? {
+            text.push_str(&format!(
+                "at {:?}:\n  {}\n",
+                f.transfer_path,
+                f.sql.as_deref().unwrap_or("<stratum-only fragment>")
+            ));
+        }
+        return Ok(text);
+    }
+    if let Some(sql) = input.strip_prefix("\\plans ") {
+        let plan = tqo_sql::compile(sql, catalog)?;
+        let layered = make_layered(&plan)?;
+        let e = enumerate(
+            &layered,
+            &RuleSet::standard(),
+            EnumerationConfig { max_plans: 20_000 },
+        )?;
+        return Ok(format!(
+            "{} equivalent plans ({} rule applications{})",
+            e.plans.len(),
+            e.applications,
+            if e.truncated { ", truncated" } else { "" }
+        ));
+    }
+
+    // Plain SQL: compile → layer → optimize → run.
+    let (result, metrics, _) = stratum.run_sql_optimized(input)?;
+    Ok(format!(
+        "{result}({} rows; {} fragments, {} rows / {} bytes transferred; dbms {:?}, stratum {:?})",
+        result.len(),
+        metrics.fragments,
+        metrics.transferred_rows,
+        metrics.transfer_bytes,
+        metrics.dbms_time,
+        metrics.stratum_time
+    ))
+}

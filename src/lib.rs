@@ -1,0 +1,23 @@
+//! # tqo — temporal query optimization
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *Slivinskas, Jensen, Snodgrass: "Query Plans for Conventional and
+//! Temporal Queries Involving Duplicates and Ordering"* (ICDE 2000).
+//!
+//! * [`core`] — the list-based conventional + temporal algebra, equivalence
+//!   types, transformation rules, plan enumeration, and cost-based
+//!   optimizer.
+//! * [`storage`] — catalog, in-memory tables, statistics, and synthetic
+//!   workload generators.
+//! * [`exec`] — the physical execution engine with multiple algorithms per
+//!   logical operation.
+//! * [`sql`] — a temporal SQL front end implementing Definition 5.1's
+//!   mapping from DISTINCT/ORDER BY to result types.
+//! * [`stratum`] — the layered architecture: a simulated conventional DBMS
+//!   plus the stratum executor and plan splitter.
+
+pub use tqo_core as core;
+pub use tqo_exec as exec;
+pub use tqo_sql as sql;
+pub use tqo_storage as storage;
+pub use tqo_stratum as stratum;

@@ -1,0 +1,73 @@
+//! Shared proptest strategies and helpers for the integration test suites.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+
+use tqo_core::relation::Relation;
+use tqo_core::schema::Schema;
+use tqo_core::tuple::Tuple;
+use tqo_core::value::{DataType, Value};
+
+/// Schema of random temporal relations: `(E: Str, T1, T2)`.
+pub fn temporal_schema() -> Schema {
+    Schema::temporal(&[("E", DataType::Str)])
+}
+
+/// Schema of random snapshot relations: `(A: Int, B: Str)`.
+pub fn snapshot_schema() -> Schema {
+    Schema::of(&[("A", DataType::Int), ("B", DataType::Str)])
+}
+
+/// A random temporal relation over `classes` distinct values with up to
+/// `max_rows` rows; periods live in a small range so overlaps, adjacencies,
+/// and duplicates all occur with useful frequency.
+pub fn arb_temporal(classes: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(
+        (0..classes, 0i64..24, 1i64..8),
+        0..=max_rows,
+    )
+    .prop_map(move |rows| {
+        let tuples = rows
+            .into_iter()
+            .map(|(c, start, dur)| {
+                Tuple::new(vec![
+                    Value::Str(format!("v{c}")),
+                    Value::Time(start),
+                    Value::Time(start + dur),
+                ])
+            })
+            .collect();
+        Relation::new(temporal_schema(), tuples).expect("generated periods are valid")
+    })
+}
+
+/// A random snapshot relation with small value domains (so duplicates are
+/// common).
+pub fn arb_snapshot(max_rows: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0i64..6, 0usize..4), 0..=max_rows).prop_map(|rows| {
+        let tuples = rows
+            .into_iter()
+            .map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Str(format!("s{b}"))]))
+            .collect();
+        Relation::new(snapshot_schema(), tuples).expect("generated rows are valid")
+    })
+}
+
+/// All instants worth probing for a set of relations (shared endpoints ± 1).
+pub fn probes(relations: &[&Relation]) -> Vec<i64> {
+    let mut pts = Vec::new();
+    for r in relations {
+        pts.extend(r.endpoints().expect("temporal"));
+    }
+    pts.sort_unstable();
+    pts.dedup();
+    let mut out = Vec::with_capacity(pts.len() + 2);
+    if let Some(first) = pts.first() {
+        out.push(first - 1);
+    }
+    out.extend(pts.iter().copied());
+    if let Some(last) = pts.last() {
+        out.push(last + 1);
+    }
+    out
+}

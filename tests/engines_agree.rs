@@ -1,0 +1,161 @@
+//! Cross-engine agreement: the reference interpreter, the physical
+//! execution engine (fast and faithful planner modes), and the layered
+//! stratum engine must agree on every query — exactly for faithful modes,
+//! and up to the query's result type for modes using fast algorithms.
+
+mod common;
+
+use common::{arb_temporal, arb_snapshot};
+use proptest::prelude::*;
+
+use tqo_core::interp::eval_plan;
+use tqo_core::relation::Relation;
+use tqo_exec::{execute_logical, PlannerConfig};
+use tqo_storage::{paper, Catalog};
+use tqo_stratum::{make_layered, Stratum};
+
+const QUERIES: &[&str] = &[
+    "SELECT EmpName FROM EMPLOYEE",
+    "SELECT DISTINCT EmpName FROM EMPLOYEE",
+    "SELECT EmpName, Dept FROM EMPLOYEE ORDER BY EmpName, Dept DESC",
+    "SELECT Dept, COUNT(*) AS n, MIN(T1) AS lo FROM EMPLOYEE GROUP BY Dept",
+    "SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE T1 >= 2 AND Dept = 'Sales'",
+    "VALIDTIME SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+    "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE COALESCE ORDER BY EmpName",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+     EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+     COALESCE ORDER BY EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION ALL \
+     VALIDTIME SELECT EmpName FROM PROJECT",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
+     VALIDTIME SELECT EmpName FROM PROJECT ORDER BY EmpName",
+    "SELECT EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT",
+];
+
+fn agree_on_catalog(catalog: &Catalog) {
+    let env = catalog.env();
+    let stratum = Stratum::new(catalog.clone());
+    for sql in QUERIES {
+        let plan = tqo_sql::compile(sql, catalog).unwrap();
+        let reference = eval_plan(&plan, &env).unwrap();
+
+        // Faithful physical engine: exact agreement.
+        let (faithful, _) =
+            execute_logical(&plan, &env, PlannerConfig { allow_fast: false }).unwrap();
+        assert_eq!(faithful, reference, "faithful engine diverges on {sql}");
+
+        // Fast physical engine: agreement at the query's result type.
+        let (fast, _) = execute_logical(&plan, &env, PlannerConfig::default()).unwrap();
+        assert!(
+            plan.result_type.admits(&reference, &fast).unwrap(),
+            "fast engine violates ≡SQL on {sql}"
+        );
+
+        // Layered stratum engine.
+        let layered = make_layered(&plan).unwrap();
+        let (via_stratum, metrics) = stratum.run(&layered).unwrap();
+        assert_eq!(via_stratum, reference, "stratum diverges on {sql}");
+        assert!(metrics.fragments >= 1);
+
+        // Layered + optimizer.
+        let (optimized, _, _) = stratum.run_sql_optimized(sql).unwrap();
+        assert!(
+            plan.result_type.admits(&reference, &optimized).unwrap(),
+            "optimized stratum violates ≡SQL on {sql}"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_the_paper_catalog() {
+    agree_on_catalog(&paper::catalog());
+}
+
+#[test]
+fn engines_agree_on_generated_workloads() {
+    for seed in [1u64, 7, 23] {
+        let catalog = tqo_storage::WorkloadGenerator::new(seed)
+            .figure1_workload(2)
+            .unwrap();
+        agree_on_catalog(&catalog);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random relations through a random choice of the query pool.
+    #[test]
+    fn engines_agree_on_random_relations(
+        emp in arb_temporal(4, 12),
+        prj in arb_temporal(4, 10),
+        s in arb_snapshot(10),
+        query_idx in 0usize..4,
+    ) {
+        // Rebuild relations under the catalog's expected schemas.
+        use tqo_core::schema::Schema;
+        use tqo_core::tuple::Tuple;
+        use tqo_core::value::{DataType, Value};
+        let emp_schema =
+            Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)]);
+        let emp_rel = Relation::new(
+            emp_schema,
+            emp.tuples()
+                .iter()
+                .map(|t| {
+                    Tuple::new(vec![
+                        t.value(0).clone(),
+                        Value::Str("D".into()),
+                        t.value(1).clone(),
+                        t.value(2).clone(),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let prj_schema =
+            Schema::temporal(&[("EmpName", DataType::Str), ("Prj", DataType::Str)]);
+        let prj_rel = Relation::new(
+            prj_schema,
+            prj.tuples()
+                .iter()
+                .map(|t| {
+                    Tuple::new(vec![
+                        t.value(0).clone(),
+                        Value::Str("P".into()),
+                        t.value(1).clone(),
+                        t.value(2).clone(),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let _ = s;
+        let catalog = Catalog::new();
+        catalog.register("EMPLOYEE", emp_rel).unwrap();
+        catalog.register("PROJECT", prj_rel).unwrap();
+
+        let queries = [
+            "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+             EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+             COALESCE ORDER BY EmpName",
+            "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
+             VALIDTIME SELECT EmpName FROM PROJECT ORDER BY EmpName",
+            "VALIDTIME SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+            "SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName",
+        ];
+        let sql = queries[query_idx];
+        let env = catalog.env();
+        let plan = tqo_sql::compile(sql, &catalog).unwrap();
+        let reference = eval_plan(&plan, &env).unwrap();
+        let (fast, _) = execute_logical(&plan, &env, PlannerConfig::default()).unwrap();
+        prop_assert!(plan.result_type.admits(&reference, &fast).unwrap());
+        let stratum = Stratum::new(catalog.clone());
+        let (via_stratum, _) = stratum.run(&make_layered(&plan).unwrap()).unwrap();
+        prop_assert_eq!(via_stratum, reference);
+    }
+}

@@ -1,0 +1,166 @@
+//! Theorem 3.1: the implication lattice of the six equivalence types,
+//! property-tested on random relation pairs — whenever a stronger
+//! equivalence holds between two relations, every implied equivalence holds
+//! too; and the non-implications are witnessed by concrete pairs.
+
+mod common;
+
+use common::arb_temporal;
+use proptest::prelude::*;
+
+use tqo_core::equivalence::*;
+use tqo_core::ops;
+use tqo_core::relation::Relation;
+use tqo_core::schema::Schema;
+use tqo_core::sortspec::Order;
+use tqo_core::tuple;
+use tqo_core::value::DataType;
+
+/// Check all implications of Theorem 3.1 for a given pair.
+fn assert_lattice(r1: &Relation, r2: &Relation) -> Result<(), TestCaseError> {
+    let l = equiv_list(r1, r2).unwrap();
+    let m = equiv_multiset(r1, r2).unwrap();
+    let s = equiv_set(r1, r2).unwrap();
+    let sl = equiv_snapshot_list(r1, r2).unwrap();
+    let sm = equiv_snapshot_multiset(r1, r2).unwrap();
+    let ss = equiv_snapshot_set(r1, r2).unwrap();
+    // Horizontal implications.
+    prop_assert!(!l || m, "≡L must imply ≡M");
+    prop_assert!(!m || s, "≡M must imply ≡S");
+    prop_assert!(!sl || sm, "≡SL must imply ≡SM");
+    prop_assert!(!sm || ss, "≡SM must imply ≡SS");
+    // Vertical implications (temporal relations).
+    if r1.is_temporal() && r2.is_temporal() {
+        prop_assert!(!l || sl, "≡L must imply ≡SL");
+        prop_assert!(!m || sm, "≡M must imply ≡SM");
+        prop_assert!(!s || ss, "≡S must imply ≡SS");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn lattice_holds_for_random_pairs(
+        r1 in arb_temporal(3, 10),
+        r2 in arb_temporal(3, 10),
+    ) {
+        assert_lattice(&r1, &r2)?;
+    }
+
+    #[test]
+    fn lattice_holds_for_derived_pairs(r in arb_temporal(3, 12)) {
+        // Pairs related by operations that preserve specific levels.
+        let sorted = ops::sort(&r, &Order::asc(&["T1"])).unwrap();
+        assert_lattice(&r, &sorted)?;
+        let deduped = ops::rdup_t(&r).unwrap();
+        assert_lattice(&r, &deduped)?;
+        let coalesced = ops::coalesce(&r).unwrap();
+        assert_lattice(&r, &coalesced)?;
+        assert_lattice(&r, &r)?;
+    }
+
+    #[test]
+    fn sorting_yields_multiset_equivalence(r in arb_temporal(3, 12)) {
+        let sorted = ops::sort(&r, &Order::asc(&["E", "T1"])).unwrap();
+        prop_assert!(equiv_multiset(&r, &sorted).unwrap());
+        prop_assert!(equiv_snapshot_multiset(&r, &sorted).unwrap());
+    }
+
+    #[test]
+    fn coalescing_yields_snapshot_multiset_equivalence(r in arb_temporal(3, 12)) {
+        let coalesced = ops::coalesce(&r).unwrap();
+        prop_assert!(equiv_snapshot_multiset(&r, &coalesced).unwrap());
+    }
+
+    #[test]
+    fn rdup_t_yields_snapshot_set_equivalence(r in arb_temporal(3, 12)) {
+        // Rule D4's semantic content.
+        let deduped = ops::rdup_t(&r).unwrap();
+        prop_assert!(equiv_snapshot_set(&r, &deduped).unwrap());
+    }
+
+    #[test]
+    fn strongest_equivalence_is_consistent(
+        r1 in arb_temporal(3, 8),
+        r2 in arb_temporal(3, 8),
+    ) {
+        // If `strongest_equivalence` names a type, that type holds; all
+        // types implied by it hold as well.
+        if let Some(t) = strongest_equivalence(&r1, &r2).unwrap() {
+            prop_assert!(t.holds(&r1, &r2).unwrap());
+            for u in tqo_core::equivalence::EquivalenceType::ALL {
+                if t.implies(u) && (!u.is_snapshot() || (r1.is_temporal() && r2.is_temporal()))
+                {
+                    prop_assert!(u.holds(&r1, &r2).unwrap(), "{} should imply {}", t, u);
+                }
+            }
+        }
+    }
+}
+
+/// §3's worked example: each arrow of the lattice is strict (there are
+/// pairs separating every adjacent pair of types).
+#[test]
+fn lattice_arrows_are_strict() {
+    let schema = Schema::temporal(&[("E", DataType::Str)]);
+    let mk = |rows: &[(&str, i64, i64)]| {
+        Relation::new(
+            schema.clone(),
+            rows.iter().map(|(v, s, e)| tuple![*v, *s, *e]).collect(),
+        )
+        .unwrap()
+    };
+
+    // ≡M but not ≡L: same multiset, different order.
+    let a = mk(&[("x", 1, 3), ("y", 1, 3)]);
+    let b = mk(&[("y", 1, 3), ("x", 1, 3)]);
+    assert!(equiv_multiset(&a, &b).unwrap() && !equiv_list(&a, &b).unwrap());
+
+    // ≡S but not ≡M: different duplicate counts.
+    let c = mk(&[("x", 1, 3), ("x", 1, 3)]);
+    let d = mk(&[("x", 1, 3)]);
+    assert!(equiv_set(&c, &d).unwrap() && !equiv_multiset(&c, &d).unwrap());
+
+    // ≡SL but not ≡L (and not even ≡S): different period fragmentation,
+    // same snapshots in the same per-instant order.
+    let e = mk(&[("x", 1, 5)]);
+    let f = mk(&[("x", 1, 3), ("x", 3, 5)]);
+    assert!(equiv_snapshot_list(&e, &f).unwrap());
+    assert!(!equiv_list(&e, &f).unwrap());
+    assert!(!equiv_set(&e, &f).unwrap());
+
+    // ≡SM but not ≡SL: snapshots equal as multisets, differently ordered.
+    let g = mk(&[("x", 1, 3), ("y", 1, 3)]);
+    let h = mk(&[("y", 1, 3), ("x", 1, 3)]);
+    assert!(equiv_snapshot_multiset(&g, &h).unwrap());
+    // (g/h are also ≡M; the SL distinction needs the *snapshot order*.)
+    assert!(!equiv_snapshot_list(&g, &h).unwrap());
+
+    // ≡SS but not ≡SM: snapshot duplicate counts differ.
+    let i = mk(&[("x", 1, 5), ("x", 2, 4)]);
+    let j = mk(&[("x", 1, 5)]);
+    assert!(equiv_snapshot_set(&i, &j).unwrap());
+    assert!(!equiv_snapshot_multiset(&i, &j).unwrap());
+}
+
+/// The implication relation itself is a partial order (reflexive,
+/// antisymmetric on the six types, transitive).
+#[test]
+fn implies_is_a_partial_order() {
+    use tqo_core::equivalence::EquivalenceType;
+    for a in EquivalenceType::ALL {
+        assert!(a.implies(a));
+        for b in EquivalenceType::ALL {
+            if a != b && a.implies(b) {
+                assert!(!b.implies(a), "{a} and {b} must not imply each other");
+            }
+            for c in EquivalenceType::ALL {
+                if a.implies(b) && b.implies(c) {
+                    assert!(a.implies(c), "transitivity {a} ⇒ {b} ⇒ {c}");
+                }
+            }
+        }
+    }
+}

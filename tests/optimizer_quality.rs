@@ -1,0 +1,141 @@
+//! Optimizer quality across generated workloads: the cost-based selection
+//! over Figure 5's enumeration must improve the running example's plan,
+//! greedy descent must land between the initial plan and the exhaustive
+//! optimum, and every chosen plan must still compute the right answer.
+
+use tqo_core::cost::CostModel;
+use tqo_core::interp::eval_plan;
+use tqo_core::optimizer::{optimize, optimize_greedy, OptimizerConfig};
+use tqo_core::plan::{LogicalPlan, PlanBuilder};
+use tqo_core::equivalence::ResultType;
+use tqo_core::rules::RuleSet;
+use tqo_core::sortspec::Order;
+use tqo_storage::{Catalog, WorkloadGenerator};
+use tqo_stratum::Stratum;
+
+fn figure2a(catalog: &Catalog) -> LogicalPlan {
+    let emp = PlanBuilder::scan("EMPLOYEE", catalog.base_props("EMPLOYEE").unwrap())
+        .project_cols(&["EmpName", "T1", "T2"])
+        .transfer_s()
+        .rdup_t();
+    let prj = PlanBuilder::scan("PROJECT", catalog.base_props("PROJECT").unwrap())
+        .project_cols(&["EmpName", "T1", "T2"])
+        .transfer_s();
+    let root = emp
+        .difference_t(prj)
+        .rdup_t()
+        .coalesce()
+        .sort(Order::asc(&["EmpName"]))
+        .node();
+    LogicalPlan::new(root, ResultType::List(Order::asc(&["EmpName"])))
+}
+
+#[test]
+fn optimizer_strictly_improves_the_running_example() {
+    let rules = RuleSet::standard();
+    let cfg = OptimizerConfig::default();
+    for seed in [1u64, 5, 9, 13] {
+        let catalog = WorkloadGenerator::new(seed).figure1_workload(3).unwrap();
+        let initial = figure2a(&catalog);
+        let initial_cost = cfg.cost_model.cost(&initial).unwrap();
+
+        let exhaustive = optimize(&initial, &rules, &cfg).unwrap();
+        let greedy = optimize_greedy(&initial, &rules, &cfg).unwrap();
+
+        assert!(
+            exhaustive.cost.0 < initial_cost.0,
+            "seed {seed}: exhaustive {:?} should beat initial {:?}",
+            exhaustive.cost,
+            initial_cost
+        );
+        assert!(greedy.cost.0 < initial_cost.0, "seed {seed}: greedy must improve");
+        assert!(
+            exhaustive.cost <= greedy.cost,
+            "seed {seed}: exhaustive must be at least as good as greedy"
+        );
+
+        // Semantics preserved (≡L,⟨EmpName ASC⟩).
+        let env = catalog.env();
+        let reference = eval_plan(&initial, &env).unwrap();
+        for plan in [&exhaustive.best, &greedy.best] {
+            let result = eval_plan(plan, &env).unwrap();
+            assert!(
+                initial.result_type.admits(&reference, &result).unwrap(),
+                "seed {seed}: optimized plan changed the result"
+            );
+        }
+
+        // The chosen plan still runs on the layered engine.
+        let stratum = Stratum::new(catalog.clone());
+        let (via_stratum, _) = stratum.run(&exhaustive.best).unwrap();
+        assert!(initial.result_type.admits(&reference, &via_stratum).unwrap());
+    }
+}
+
+#[test]
+fn cost_model_orders_obvious_pairs_correctly() {
+    let model = CostModel::default();
+    let catalog = WorkloadGenerator::new(2).figure1_workload(4).unwrap();
+    let base = catalog.base_props("EMPLOYEE").unwrap();
+
+    // Projection before transfer beats projection after (fewer bytes... the
+    // model charges per row, and the projected row count is the same — but
+    // dedup before transfer genuinely reduces rows).
+    let dedup_after = PlanBuilder::scan("EMPLOYEE", base.clone())
+        .transfer_s()
+        .rdup()
+        .build_multiset();
+    let dedup_before = PlanBuilder::scan("EMPLOYEE", base.clone())
+        .rdup()
+        .transfer_s()
+        .build_multiset();
+    // rdup halves nothing in the estimate (card unchanged) — but the DBMS
+    // evaluates it cheaper than the stratum.
+    assert!(model.cost(&dedup_before).unwrap() <= model.cost(&dedup_after).unwrap());
+
+    // Selection in the DBMS (halving the estimate) reduces transfer volume.
+    let pred = tqo_core::expr::Expr::eq(
+        tqo_core::expr::Expr::col("Dept"),
+        tqo_core::expr::Expr::lit("d0"),
+    );
+    let select_after = PlanBuilder::scan("EMPLOYEE", base.clone())
+        .transfer_s()
+        .select(pred.clone())
+        .build_multiset();
+    let select_before = PlanBuilder::scan("EMPLOYEE", base)
+        .select(pred)
+        .transfer_s()
+        .build_multiset();
+    assert!(model.cost(&select_before).unwrap() < model.cost(&select_after).unwrap());
+}
+
+#[test]
+fn optimized_plan_reduces_measured_transfer_volume() {
+    // The optimizer pushes the selection into the DBMS; the wire then moves
+    // fewer rows — measured, not estimated.
+    let catalog = WorkloadGenerator::new(8).figure1_workload(6).unwrap();
+    let base = catalog.base_props("EMPLOYEE").unwrap();
+    let pred = tqo_core::expr::Expr::eq(
+        tqo_core::expr::Expr::col("Dept"),
+        tqo_core::expr::Expr::lit("d0"),
+    );
+    let initial = PlanBuilder::scan("EMPLOYEE", base)
+        .transfer_s()
+        .select(pred)
+        .rdup()
+        .build_multiset();
+    let optimized = optimize(&initial, &RuleSet::standard(), &OptimizerConfig::default())
+        .unwrap()
+        .best;
+
+    let stratum = Stratum::new(catalog);
+    let (r1, m1) = stratum.run(&initial).unwrap();
+    let (r2, m2) = stratum.run(&optimized).unwrap();
+    assert!(initial.result_type.admits(&r1, &r2).unwrap());
+    assert!(
+        m2.transferred_rows < m1.transferred_rows,
+        "optimized {} rows vs initial {} rows",
+        m2.transferred_rows,
+        m1.transferred_rows
+    );
+}

@@ -1,0 +1,211 @@
+//! Reproduction of every figure of the paper, as executable checks.
+//!
+//! * Figure 1 — the EMPLOYEE/PROJECT relations and the query result.
+//! * Figure 2 — the initial plan (a), the optimized plan (b), and their
+//!   agreement.
+//! * Figure 3 — `rdup` vs `rdupᵀ` on the projected EMPLOYEE relation.
+//! * Figure 6 — the property vectors `[OrderRequired DuplicatesRelevant
+//!   PeriodPreserving]` of the derivation's plans, and the five-step rule
+//!   derivation from (a) to (b).
+
+use tqo_core::enumerate::{enumerate, EnumerationConfig};
+use tqo_core::interp::eval_plan;
+use tqo_core::ops;
+use tqo_core::plan::props::annotate;
+use tqo_core::plan::{LogicalPlan, PlanBuilder, PlanNode};
+use tqo_core::rules::RuleSet;
+use tqo_core::sortspec::Order;
+use tqo_storage::paper;
+
+/// Figure 2(a): the initial algebra expression for "which employees worked
+/// in a department, but not on any project, and when", with the transfers
+/// of the layered architecture.
+fn figure2a() -> LogicalPlan {
+    let cat = paper::catalog();
+    let emp = PlanBuilder::scan("EMPLOYEE", cat.base_props("EMPLOYEE").unwrap())
+        .project_cols(&["EmpName", "T1", "T2"])
+        .transfer_s()
+        .rdup_t();
+    let prj = PlanBuilder::scan("PROJECT", cat.base_props("PROJECT").unwrap())
+        .project_cols(&["EmpName", "T1", "T2"])
+        .transfer_s();
+    emp.difference_t(prj)
+        .rdup_t()
+        .coalesce()
+        .sort(Order::asc(&["EmpName"]))
+        .build_list(Order::asc(&["EmpName"]))
+}
+
+/// Figure 2(b)/6(b): the optimized plan — sort pushed into the DBMS on the
+/// EMPLOYEE branch, coalescing before the difference, no redundant
+/// operations.
+fn figure2b() -> LogicalPlan {
+    let cat = paper::catalog();
+    let emp = PlanBuilder::scan("EMPLOYEE", cat.base_props("EMPLOYEE").unwrap())
+        .project_cols(&["EmpName", "T1", "T2"])
+        .sort(Order::asc(&["EmpName"]))
+        .transfer_s()
+        .rdup_t()
+        .coalesce();
+    let prj = PlanBuilder::scan("PROJECT", cat.base_props("PROJECT").unwrap())
+        .project_cols(&["EmpName", "T1", "T2"])
+        .transfer_s();
+    emp.difference_t(prj).build_list(Order::asc(&["EmpName"]))
+}
+
+#[test]
+fn figure1_relations_and_result() {
+    assert_eq!(paper::employee().len(), 5);
+    assert_eq!(paper::project().len(), 8);
+    let env = paper::catalog().env();
+    let result = eval_plan(&figure2a(), &env).unwrap();
+    assert_eq!(result, paper::figure1_result());
+}
+
+#[test]
+fn figure2b_computes_the_same_result() {
+    let env = paper::catalog().env();
+    let a = eval_plan(&figure2a(), &env).unwrap();
+    let b = eval_plan(&figure2b(), &env).unwrap();
+    // The user asked for ORDER BY EmpName: the two plans agree under
+    // ≡L,A (Definition 5.1) — and here, in fact, exactly.
+    assert_eq!(a, b);
+}
+
+#[test]
+fn figure3_rdup_vs_rdup_t() {
+    let r1 = ops::project(
+        &paper::employee(),
+        &[
+            tqo_core::expr::ProjItem::col("EmpName"),
+            tqo_core::expr::ProjItem::col("T1"),
+            tqo_core::expr::ProjItem::col("T2"),
+        ],
+    )
+    .unwrap();
+    assert_eq!(r1, paper::figure3_r1());
+    assert_eq!(ops::rdup(&r1).unwrap(), paper::figure3_r2());
+    assert_eq!(ops::rdup_t(&r1).unwrap(), paper::figure3_r3());
+}
+
+#[test]
+fn figure3_equivalences_of_section3() {
+    use tqo_core::equivalence::*;
+    let r1 = paper::figure3_r1();
+    let r3 = paper::figure3_r3();
+    assert!(!equiv_list(&r1, &r3).unwrap());
+    assert!(!equiv_multiset(&r1, &r3).unwrap());
+    assert!(!equiv_set(&r1, &r3).unwrap());
+    assert!(!equiv_snapshot_list(&r1, &r3).unwrap());
+    assert!(!equiv_snapshot_multiset(&r1, &r3).unwrap());
+    assert!(equiv_snapshot_set(&r1, &r3).unwrap());
+}
+
+#[test]
+fn figure2a_region_structure_as_described_in_section5() {
+    let plan = figure2a();
+    let ann = annotate(&plan).unwrap();
+    // Root sort requires order; everything below does not.
+    assert!(ann[&vec![]].flags.order_required);
+    for (path, props) in &ann {
+        if !path.is_empty() {
+            assert!(!props.flags.order_required, "order required at {path:?}");
+        }
+    }
+    // Below the top rdupT (under coalT), duplicates are irrelevant…
+    let diff_path = vec![0, 0, 0];
+    assert_eq!(plan.root.get(&diff_path).unwrap().op_name(), "\\T");
+    assert!(!ann[&diff_path].flags.duplicates_relevant);
+    // …but the lower-left rdupT makes them relevant again on the left
+    // branch of the temporal difference.
+    assert!(ann[&vec![0, 0, 0, 0]].flags.duplicates_relevant);
+    // The right branch of the difference needs nothing at all.
+    let right = &ann[&vec![0, 0, 0, 1]].flags;
+    assert!(!right.order_required && !right.duplicates_relevant && !right.period_preserving);
+    // Below coalescing, periods need not be preserved.
+    assert!(!ann[&vec![0, 0]].flags.period_preserving);
+}
+
+#[test]
+fn figure6_derivation_steps_replay() {
+    // §6's worked derivation: push Tˢ down (move rdupᵀ &c. to the stratum
+    // is already the case in 2(a)), remove the top rdupᵀ (D2), push
+    // coalescing below the difference (C10), drop the right-hand
+    // coalescing (C2), push the sort down and into the DBMS.
+    let env = paper::catalog().env();
+    let initial = figure2a();
+    let reference = eval_plan(&initial, &env).unwrap();
+
+    let enumeration = enumerate(
+        &initial,
+        &RuleSet::standard(),
+        EnumerationConfig { max_plans: 20_000 },
+    )
+    .unwrap();
+
+    // The enumeration must contain a plan of the 2(b) shape: no rdupT at
+    // the root region, coalesce on the left branch of the difference, and
+    // a sort inside the DBMS (below a TransferS).
+    let mut found_2b_shape = false;
+    for p in &enumeration.plans {
+        let root = &p.plan.root;
+        let is_diff_root = matches!(root.as_ref(), PlanNode::DifferenceT { .. });
+        if !is_diff_root {
+            continue;
+        }
+        let left_is_coal = matches!(root.get(&[0]), Ok(PlanNode::Coalesce { .. }));
+        let has_dbms_sort = root.paths().iter().any(|path| {
+            matches!(root.get(path), Ok(PlanNode::TransferS { input })
+                if matches!(input.as_ref(), PlanNode::Sort { .. }))
+        });
+        if left_is_coal && has_dbms_sort {
+            found_2b_shape = true;
+            // And it evaluates to the Figure 1 result under ≡L,A.
+            let result = eval_plan(&p.plan, &env).unwrap();
+            assert!(initial.result_type.admits(&reference, &result).unwrap());
+        }
+    }
+    assert!(
+        found_2b_shape,
+        "enumeration should derive a Figure 2(b)-shaped plan; got {} plans",
+        enumeration.plans.len()
+    );
+}
+
+#[test]
+fn figure6_property_vectors_of_2b() {
+    let plan = figure2b();
+    let ann = annotate(&plan).unwrap();
+    // Root \T with a list result: [T T T].
+    assert_eq!(ann[&vec![]].flags.vector(), "[T T T]");
+    // The coalesce on the left branch preserves the required order
+    // (coalᵀ retains its argument's order), duplicates and periods.
+    assert_eq!(ann[&vec![0]].flags.vector(), "[T T T]");
+    // Below the rdupT on the left branch: duplicates irrelevant.
+    assert!(!ann[&vec![0, 0, 0]].flags.duplicates_relevant);
+    // Right branch: free region.
+    assert_eq!(ann[&vec![1]].flags.vector(), "[- - -]");
+    // The DBMS sort guarantees delivery order (static props).
+    let sort_path = vec![0, 0, 0, 0];
+    assert_eq!(plan.root.get(&sort_path).unwrap().op_name(), "sort");
+    assert_eq!(
+        ann[&sort_path].stat.order,
+        Order::asc(&["EmpName"])
+    );
+}
+
+#[test]
+fn optimizer_chooses_a_plan_at_least_as_good_as_2a() {
+    let cfg = tqo_core::optimizer::OptimizerConfig::default();
+    let initial = figure2a();
+    let out =
+        tqo_core::optimizer::optimize(&initial, &RuleSet::standard(), &cfg).unwrap();
+    let initial_cost = cfg.cost_model.cost(&initial).unwrap();
+    assert!(out.cost <= initial_cost);
+    // And the chosen plan still computes the Figure 1 result (under the
+    // query's ≡L,A contract).
+    let env = paper::catalog().env();
+    let reference = eval_plan(&initial, &env).unwrap();
+    let chosen = eval_plan(&out.best, &env).unwrap();
+    assert!(initial.result_type.admits(&reference, &chosen).unwrap());
+}

@@ -1,0 +1,179 @@
+//! Soundness of the bottom-up static property inference (the Table 1
+//! columns): whatever `annotate` claims about a plan's output — guaranteed
+//! order, duplicate-freedom, snapshot-duplicate-freedom, coalescedness —
+//! must hold for the actually evaluated result. (Cardinality is an
+//! estimate and deliberately not asserted.)
+//!
+//! Random plans are built from schema-preserving operations over random
+//! temporal relations, so arbitrarily deep compositions are exercised.
+
+mod common;
+
+use common::arb_temporal;
+use proptest::prelude::*;
+
+use tqo_core::equivalence::ResultType;
+use tqo_core::expr::Expr;
+use tqo_core::interp::{eval_plan, Env};
+use tqo_core::plan::props::annotate;
+use tqo_core::plan::{LogicalPlan, PlanNode};
+use tqo_core::relation::Relation;
+use tqo_core::sortspec::Order;
+use tqo_storage::table::derive_props;
+use std::sync::Arc;
+
+/// One random schema-preserving operator layer.
+#[derive(Debug, Clone)]
+enum Layer {
+    Select(bool), // time-free or timed predicate
+    Sort(u8),
+    RdupT,
+    Coalesce,
+    DifferenceT, // against the secondary relation
+    UnionT,
+    UnionAll,
+}
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        any::<bool>().prop_map(Layer::Select),
+        (0u8..3).prop_map(Layer::Sort),
+        Just(Layer::RdupT),
+        Just(Layer::Coalesce),
+        Just(Layer::DifferenceT),
+        Just(Layer::UnionT),
+        Just(Layer::UnionAll),
+    ]
+}
+
+fn apply_layer(node: PlanNode, layer: &Layer, other: &Relation) -> PlanNode {
+    let input = Arc::new(node);
+    match layer {
+        Layer::Select(time_free) => {
+            let predicate = if *time_free {
+                Expr::eq(Expr::col("E"), Expr::lit("v1"))
+            } else {
+                Expr::lt(Expr::col("T1"), Expr::lit(12i64))
+            };
+            PlanNode::Select { input, predicate }
+        }
+        Layer::Sort(k) => {
+            let order = match k {
+                0 => Order::asc(&["E"]),
+                1 => Order::asc(&["T1"]),
+                _ => Order::asc(&["E", "T1", "T2"]),
+            };
+            PlanNode::Sort { input, order }
+        }
+        Layer::RdupT => PlanNode::RdupT { input },
+        Layer::Coalesce => PlanNode::Coalesce { input },
+        Layer::DifferenceT => PlanNode::DifferenceT {
+            left: input,
+            right: Arc::new(PlanNode::Scan {
+                name: "OTHER".into(),
+                base: derive_props(other).unwrap(),
+            }),
+        },
+        Layer::UnionT => PlanNode::UnionT {
+            left: input,
+            right: Arc::new(PlanNode::Scan {
+                name: "OTHER".into(),
+                base: derive_props(other).unwrap(),
+            }),
+        },
+        Layer::UnionAll => PlanNode::UnionAll {
+            left: input,
+            right: Arc::new(PlanNode::Scan {
+                name: "OTHER".into(),
+                base: derive_props(other).unwrap(),
+            }),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn inferred_properties_hold_on_evaluation(
+        base in arb_temporal(3, 10),
+        other in arb_temporal(3, 8),
+        layers in prop::collection::vec(arb_layer(), 1..5),
+    ) {
+        let mut node = PlanNode::Scan {
+            name: "BASE".into(),
+            base: derive_props(&base).unwrap(),
+        };
+        for layer in &layers {
+            node = apply_layer(node, layer, &other);
+        }
+        let plan = LogicalPlan::new(node, ResultType::Multiset);
+        let env = Env::new()
+            .with("BASE", base.clone())
+            .with("OTHER", other.clone());
+
+        let ann = annotate(&plan).unwrap();
+        let claimed = &ann[&vec![]].stat;
+        let result = eval_plan(&plan, &env).unwrap();
+
+        // Schema claim is exact.
+        prop_assert!(claimed.schema.union_compatible(result.schema()),
+            "schema claim {} vs actual {}", claimed.schema, result.schema());
+
+        // Order claim: the result must be sorted under the claimed order.
+        prop_assert!(
+            claimed.order.is_sorted(result.schema(), result.tuples()).unwrap(),
+            "claimed order {} violated; layers {:?}\nresult:\n{}",
+            claimed.order, layers, result
+        );
+
+        // Duplicate-freedom claim.
+        if claimed.dup_free {
+            prop_assert!(!result.has_duplicates(),
+                "claimed dup-free violated; layers {:?}", layers);
+        }
+
+        // Snapshot-duplicate-freedom and coalescedness (temporal outputs).
+        if result.is_temporal() {
+            if claimed.snapshot_dup_free {
+                prop_assert!(!result.has_snapshot_duplicates().unwrap(),
+                    "claimed snapshot-dup-free violated; layers {:?}", layers);
+            }
+            if claimed.coalesced {
+                prop_assert!(result.is_coalesced().unwrap(),
+                    "claimed coalesced violated; layers {:?}", layers);
+            }
+        }
+    }
+
+    #[test]
+    fn inferred_properties_hold_below_transfers(
+        base in arb_temporal(3, 10),
+        sorted in any::<bool>(),
+    ) {
+        // DBMS-side results: order is claimed only under a DBMS sort.
+        let scan = PlanNode::Scan { name: "BASE".into(), base: derive_props(&base).unwrap() };
+        let inner = if sorted {
+            PlanNode::Sort { input: Arc::new(scan), order: Order::asc(&["E"]) }
+        } else {
+            PlanNode::Select {
+                input: Arc::new(scan),
+                predicate: Expr::eq(Expr::col("E"), Expr::col("E")),
+            }
+        };
+        let plan = LogicalPlan::new(
+            PlanNode::TransferS { input: Arc::new(inner) },
+            ResultType::Multiset,
+        );
+        let ann = annotate(&plan).unwrap();
+        let claimed = &ann[&vec![]].stat;
+        if sorted {
+            prop_assert_eq!(claimed.order.clone(), Order::asc(&["E"]));
+        } else {
+            prop_assert!(claimed.order.is_unordered());
+        }
+        let env = Env::new().with("BASE", base);
+        let result = eval_plan(&plan, &env).unwrap();
+        prop_assert!(claimed.order.is_sorted(result.schema(), result.tuples()).unwrap());
+    }
+}

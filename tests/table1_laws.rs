@@ -1,0 +1,217 @@
+//! Table 1 as executable laws: for every operation, the claimed result
+//! order, cardinality bounds, duplicate behaviour, and coalescing behaviour
+//! are property-tested on random inputs.
+
+mod common;
+
+use common::{arb_snapshot, arb_temporal};
+use proptest::prelude::*;
+
+use tqo_core::expr::{AggItem, Expr, ProjItem};
+use tqo_core::ops;
+use tqo_core::sortspec::Order;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // ── σ: order = Order(r), card ≤ n(r), retains duplicates & coalescing.
+    #[test]
+    fn selection_laws(r in arb_temporal(4, 12)) {
+        let p = Expr::eq(Expr::col("E"), Expr::lit("v0"));
+        let out = ops::select(&r, &p).unwrap();
+        prop_assert!(out.len() <= r.len());
+        // Order retained: the output is a subsequence of the input.
+        let mut it = r.tuples().iter();
+        for t in out.tuples() {
+            prop_assert!(it.any(|x| x == t), "output must be a subsequence");
+        }
+        // Retains duplicate-freedom and coalescedness.
+        if !r.has_duplicates() {
+            prop_assert!(!out.has_duplicates());
+        }
+        if r.is_coalesced().unwrap() {
+            prop_assert!(out.is_coalesced().unwrap());
+        }
+        if !r.has_snapshot_duplicates().unwrap() {
+            prop_assert!(!out.has_snapshot_duplicates().unwrap());
+        }
+    }
+
+    // ── π: order = Prefix(Order(r), items), card = n(r), generates dups,
+    //       destroys coalescing.
+    #[test]
+    fn projection_laws(r in arb_temporal(4, 12)) {
+        let out = ops::project(
+            &r,
+            &[ProjItem::col("E"), ProjItem::col("T1"), ProjItem::col("T2")],
+        )
+        .unwrap();
+        prop_assert_eq!(out.len(), r.len());
+        // Sorted input stays sorted on projected prefix.
+        let sorted = ops::sort(&r, &Order::asc(&["E"])).unwrap();
+        let proj = ops::project(&sorted, &[ProjItem::col("E")]).unwrap();
+        prop_assert!(Order::asc(&["E"]).is_sorted(proj.schema(), proj.tuples()).unwrap());
+    }
+
+    // ── ⊔: card = n1 + n2.
+    #[test]
+    fn union_all_laws(r1 in arb_temporal(3, 10), r2 in arb_temporal(3, 10)) {
+        let out = ops::union_all(&r1, &r2).unwrap();
+        prop_assert_eq!(out.len(), r1.len() + r2.len());
+    }
+
+    // ── ×: order = Order(r1) (left-major), card = n1·n2, retains dups.
+    #[test]
+    fn product_laws(r1 in arb_snapshot(6), r2 in arb_snapshot(6)) {
+        let out = ops::product(&r1, &r2).unwrap();
+        prop_assert_eq!(out.len(), r1.len() * r2.len());
+        let d1 = ops::rdup(&r1).unwrap();
+        let d2 = ops::rdup(&r2).unwrap();
+        let clean = ops::product(&d1, &d2).unwrap();
+        prop_assert!(!clean.has_duplicates(), "product of dup-free args is dup-free");
+    }
+
+    // ── \: n1 − n2 ≤ card ≤ n1, retains duplicates.
+    #[test]
+    fn difference_laws(r1 in arb_snapshot(12), r2 in arb_snapshot(12)) {
+        let out = ops::difference(&r1, &r2).unwrap();
+        prop_assert!(out.len() <= r1.len());
+        prop_assert!(out.len() >= r1.len().saturating_sub(r2.len()));
+        if !r1.has_duplicates() {
+            prop_assert!(!out.has_duplicates());
+        }
+    }
+
+    // ── ξ: card ≤ n(r), eliminates duplicates.
+    #[test]
+    fn aggregation_laws(r in arb_snapshot(12)) {
+        prop_assume!(!r.is_empty());
+        let out = ops::aggregate(&r, &["B".into()], &[AggItem::count_star("n")]).unwrap();
+        prop_assert!(out.len() <= r.len());
+        prop_assert!(!out.has_duplicates());
+    }
+
+    // ── rdup: card ≤ n(r), eliminates duplicates, retains order.
+    #[test]
+    fn rdup_laws(r in arb_snapshot(14)) {
+        let out = ops::rdup(&r).unwrap();
+        prop_assert!(out.len() <= r.len());
+        prop_assert!(!out.has_duplicates());
+        // Idempotent.
+        let twice = ops::rdup(&out).unwrap();
+        prop_assert_eq!(out.tuples(), twice.tuples());
+    }
+
+    // ── ×ᵀ: card ≤ n1·n2, retains dups (on dup-free args), destroys
+    //        coalescing.
+    #[test]
+    fn product_t_laws(r1 in arb_temporal(3, 8), r2 in arb_temporal(3, 8)) {
+        let out = ops::product_t(&r1, &r2).unwrap();
+        prop_assert!(out.len() <= r1.len() * r2.len());
+        let d1 = ops::rdup_t(&r1).unwrap();
+        let d2 = ops::rdup_t(&r2).unwrap();
+        let clean = ops::product_t(&d1, &d2).unwrap();
+        prop_assert!(!clean.has_duplicates());
+    }
+
+    // ── \ᵀ: with a snapshot-dup-free left argument (the case the paper's
+    //        plans guarantee via rdupᵀ): card ≤ n1 + n2, output sdf.
+    //        (Table 1's 2·n1 bound is specific to the recursion in the
+    //        paper's operational definition; the count-timeline sweep can
+    //        fragment differently — see ops::temporal::difference_t docs.)
+    #[test]
+    fn difference_t_laws(r1 in arb_temporal(3, 10), r2 in arb_temporal(3, 10)) {
+        let clean_left = ops::rdup_t(&r1).unwrap();
+        let out = ops::difference_t(&clean_left, &r2).unwrap();
+        prop_assert!(!out.has_snapshot_duplicates().unwrap());
+        prop_assert!(out.len() <= clean_left.len() + r2.len());
+        // Subtracting from an sdf left argument never increases per-point
+        // membership, so the result is also regular-duplicate-free.
+        prop_assert!(!out.has_duplicates());
+    }
+
+    // ── ξᵀ: card ≤ 2n − 1, eliminates duplicates.
+    #[test]
+    fn aggregate_t_laws(r in arb_temporal(3, 12)) {
+        prop_assume!(!r.is_empty());
+        let out = ops::aggregate_t(&r, &["E".into()], &[AggItem::count_star("n")]).unwrap();
+        prop_assert!(out.len() < 2 * r.len());
+        prop_assert!(!out.has_duplicates());
+        prop_assert!(!out.has_snapshot_duplicates().unwrap());
+    }
+
+    // ── rdupᵀ: card ≤ 2n − 1, eliminates (snapshot) duplicates, idempotent.
+    #[test]
+    fn rdup_t_laws(r in arb_temporal(3, 12)) {
+        let out = ops::rdup_t(&r).unwrap();
+        if !r.is_empty() {
+            prop_assert!(out.len() < 2 * r.len());
+        }
+        prop_assert!(!out.has_duplicates());
+        prop_assert!(!out.has_snapshot_duplicates().unwrap());
+        let twice = ops::rdup_t(&out).unwrap();
+        prop_assert_eq!(out.tuples(), twice.tuples());
+    }
+
+    // ── ∪: n1 ≤ card ≤ n1 + n2, retains duplicates.
+    #[test]
+    fn union_max_laws(r1 in arb_snapshot(10), r2 in arb_snapshot(10)) {
+        let out = ops::union_max(&r1, &r2).unwrap();
+        prop_assert!(out.len() >= r1.len().max(r2.len()));
+        prop_assert!(out.len() <= r1.len() + r2.len());
+        let d1 = ops::rdup(&r1).unwrap();
+        let d2 = ops::rdup(&r2).unwrap();
+        let clean = ops::union_max(&d1, &d2).unwrap();
+        prop_assert!(!clean.has_duplicates(), "∪ generates no duplicates (D5's licence)");
+    }
+
+    // ── ∪ᵀ: card ≥ n1 always; the n1 + 2·n2 upper bound of Table 1 holds
+    //        on snapshot-dup-free inputs (multiplicity > 1 lets the sweep
+    //        fragment further; same caveat as `\ᵀ`).
+    #[test]
+    fn union_t_laws(r1 in arb_temporal(3, 10), r2 in arb_temporal(3, 10)) {
+        let out = ops::union_t(&r1, &r2).unwrap();
+        prop_assert!(out.len() >= r1.len());
+        let c1 = ops::rdup_t(&r1).unwrap();
+        let c2 = ops::rdup_t(&r2).unwrap();
+        let clean = ops::union_t(&c1, &c2).unwrap();
+        prop_assert!(clean.len() <= c1.len() + 2 * c2.len());
+        prop_assert!(!clean.has_snapshot_duplicates().unwrap());
+    }
+
+    // ── sort: card = n(r), retains duplicates & coalescing, sorted output,
+    //          stable.
+    #[test]
+    fn sort_laws(r in arb_temporal(4, 12)) {
+        let order = Order::asc(&["E", "T1"]);
+        let out = ops::sort(&r, &order).unwrap();
+        prop_assert_eq!(out.len(), r.len());
+        prop_assert!(order.is_sorted(out.schema(), out.tuples()).unwrap());
+        if r.is_coalesced().unwrap() {
+            prop_assert!(out.is_coalesced().unwrap());
+        }
+        // Sorting by a prefix of an existing order is the identity.
+        let again = ops::sort(&out, &Order::asc(&["E"])).unwrap();
+        prop_assert_eq!(out.tuples(), again.tuples());
+    }
+
+    // ── coalᵀ: card ≤ n(r), retains duplicates, enforces coalescing,
+    //           idempotent.
+    #[test]
+    fn coalesce_laws(r in arb_temporal(3, 12)) {
+        let out = ops::coalesce(&r).unwrap();
+        prop_assert!(out.len() <= r.len());
+        prop_assert!(out.is_coalesced().unwrap());
+        let twice = ops::coalesce(&out).unwrap();
+        prop_assert_eq!(out.tuples(), twice.tuples());
+        // On snapshot-dup-free inputs coalescing "retains" duplicates: it
+        // never creates new ones (with snapshot duplicates present, merging
+        // two adjacent periods *can* produce an exact copy of a third
+        // tuple — see plan::props::derive_one).
+        if !r.has_snapshot_duplicates().unwrap() {
+            let n_dups_in = r.len() - ops::rdup(&r).unwrap().len();
+            let n_dups_out = out.len() - ops::rdup(&out).unwrap().len();
+            prop_assert!(n_dups_out <= n_dups_in);
+        }
+    }
+}
