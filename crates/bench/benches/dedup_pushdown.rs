@@ -8,7 +8,9 @@ use tqo_core::ops;
 use tqo_storage::{GenConfig, WorkloadGenerator};
 
 fn duplicated_snapshot(rows: usize, distinct: usize, seed: u64) -> tqo_core::Relation {
-    WorkloadGenerator::new(seed).conventional(rows, distinct).expect("ok")
+    WorkloadGenerator::new(seed)
+        .conventional(rows, distinct)
+        .expect("ok")
 }
 
 fn duplicated_temporal(classes: usize, seed: u64) -> tqo_core::Relation {

@@ -38,11 +38,9 @@ fn bench(c: &mut Criterion) {
         ("multiset", &multiset_plan),
         ("set", &set_plan),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("figure4_rules", label),
-            plan,
-            |b, plan| b.iter(|| enumerate(plan, &fig4, config).expect("ok").plans.len()),
-        );
+        group.bench_with_input(BenchmarkId::new("figure4_rules", label), plan, |b, plan| {
+            b.iter(|| enumerate(plan, &fig4, config).expect("ok").plans.len())
+        });
         group.bench_with_input(
             BenchmarkId::new("standard_rules", label),
             plan,

@@ -35,8 +35,7 @@ fn bench(c: &mut Criterion) {
     let cfg = OptimizerConfig::default();
 
     for (label, plan) in [("list", &list_plan), ("multiset", &multiset_plan)] {
-        let list_only =
-            RuleSet::standard().restricted_to(&[EquivalenceType::List]);
+        let list_only = RuleSet::standard().restricted_to(&[EquivalenceType::List]);
         let full = RuleSet::standard();
 
         group.bench_with_input(
@@ -44,11 +43,9 @@ fn bench(c: &mut Criterion) {
             plan,
             |b, plan| b.iter(|| optimize(plan, &list_only, &cfg).expect("ok").cost.0),
         );
-        group.bench_with_input(
-            BenchmarkId::new("optimize_full", label),
-            plan,
-            |b, plan| b.iter(|| optimize(plan, &full, &cfg).expect("ok").cost.0),
-        );
+        group.bench_with_input(BenchmarkId::new("optimize_full", label), plan, |b, plan| {
+            b.iter(|| optimize(plan, &full, &cfg).expect("ok").cost.0)
+        });
 
         // Report the plan-quality gap once.
         let lo = optimize(plan, &list_only, &cfg).expect("ok");

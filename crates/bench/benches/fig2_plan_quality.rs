@@ -20,13 +20,9 @@ fn bench(c: &mut Criterion) {
     for scale in [2usize, 8, 32] {
         let catalog = workload(scale, 42);
         let initial = figure2a_plan(&catalog);
-        let optimized = optimize(
-            &initial,
-            &RuleSet::standard(),
-            &OptimizerConfig::default(),
-        )
-        .expect("optimization succeeds")
-        .best;
+        let optimized = optimize(&initial, &RuleSet::standard(), &OptimizerConfig::default())
+            .expect("optimization succeeds")
+            .best;
         let stratum = Stratum::new(catalog);
 
         group.bench_with_input(BenchmarkId::new("initial(2a)", scale), &scale, |b, _| {

@@ -33,11 +33,9 @@ fn bench(c: &mut Criterion) {
             .build_list(order);
 
         let stratum = Stratum::new(catalog);
-        group.bench_with_input(
-            BenchmarkId::new("sort_in_stratum", rows),
-            &rows,
-            |b, _| b.iter(|| stratum.run(&sort_in_stratum).expect("runs").0.len()),
-        );
+        group.bench_with_input(BenchmarkId::new("sort_in_stratum", rows), &rows, |b, _| {
+            b.iter(|| stratum.run(&sort_in_stratum).expect("runs").0.len())
+        });
         group.bench_with_input(BenchmarkId::new("sort_in_dbms", rows), &rows, |b, _| {
             b.iter(|| stratum.run(&sort_in_dbms).expect("runs").0.len())
         });

@@ -18,19 +18,32 @@ fn bench(c: &mut Criterion) {
 
     let r = temporal_relation(60, 8, 0.3, 0.3, 5); // 480 rows
     let r2 = temporal_relation(60, 4, 0.2, 0.2, 6); // 240 rows
-    let s = WorkloadGenerator::new(9).conventional(480, 40).expect("gen");
-    let s2 = WorkloadGenerator::new(10).conventional(240, 40).expect("gen");
+    let s = WorkloadGenerator::new(9)
+        .conventional(480, 40)
+        .expect("gen");
+    let s2 = WorkloadGenerator::new(10)
+        .conventional(240, 40)
+        .expect("gen");
 
     let pred = Expr::eq(Expr::col("E"), Expr::lit("v7"));
     let items = [ProjItem::col("E"), ProjItem::col("T1"), ProjItem::col("T2")];
-    let aggs = [AggItem::count_star("n"), AggItem::new(AggFunc::Min, Some("T1"), "lo")];
+    let aggs = [
+        AggItem::count_star("n"),
+        AggItem::new(AggFunc::Min, Some("T1"), "lo"),
+    ];
 
-    group.bench_function("select", |b| b.iter(|| ops::select(&r, &pred).expect("ok").len()));
-    group.bench_function("project", |b| b.iter(|| ops::project(&r, &items).expect("ok").len()));
+    group.bench_function("select", |b| {
+        b.iter(|| ops::select(&r, &pred).expect("ok").len())
+    });
+    group.bench_function("project", |b| {
+        b.iter(|| ops::project(&r, &items).expect("ok").len())
+    });
     group.bench_function("union_all", |b| {
         b.iter(|| ops::union_all(&r, &r2).expect("ok").len())
     });
-    group.bench_function("product", |b| b.iter(|| ops::product(&s, &s2).expect("ok").len()));
+    group.bench_function("product", |b| {
+        b.iter(|| ops::product(&s, &s2).expect("ok").len())
+    });
     group.bench_function("difference", |b| {
         b.iter(|| ops::difference(&s, &s2).expect("ok").len())
     });
@@ -59,11 +72,19 @@ fn bench(c: &mut Criterion) {
         b.iter(|| ops::difference_t(&r, &r2).expect("ok").len())
     });
     group.bench_function("aggregate_t", |b| {
-        b.iter(|| ops::aggregate_t(&r, &["E".into()], &aggs).expect("ok").len())
+        b.iter(|| {
+            ops::aggregate_t(&r, &["E".into()], &aggs)
+                .expect("ok")
+                .len()
+        })
     });
     group.bench_function("rdup_t", |b| b.iter(|| ops::rdup_t(&r).expect("ok").len()));
-    group.bench_function("union_t", |b| b.iter(|| ops::union_t(&r, &r2).expect("ok").len()));
-    group.bench_function("coalesce", |b| b.iter(|| ops::coalesce(&r).expect("ok").len()));
+    group.bench_function("union_t", |b| {
+        b.iter(|| ops::union_t(&r, &r2).expect("ok").len())
+    });
+    group.bench_function("coalesce", |b| {
+        b.iter(|| ops::coalesce(&r).expect("ok").len())
+    });
 
     // The comparison binary op (Expr evaluation) as the baseline unit.
     group.bench_function("predicate_eval_baseline", |b| {

@@ -17,53 +17,49 @@ fn bench(c: &mut Criterion) {
     // Scaling in the number of groups (few fragments each).
     for classes in [20usize, 80, 320] {
         let r = temporal_relation(classes, 6, 0.2, 0.4, 21);
-        group.bench_with_input(
-            BenchmarkId::new("many_groups", r.len()),
-            &r,
-            |b, r| {
-                b.iter(|| {
-                    ops::aggregate_t(r, &["E".into()], &[AggItem::count_star("n")])
-                        .expect("ok")
-                        .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("many_groups", r.len()), &r, |b, r| {
+            b.iter(|| {
+                ops::aggregate_t(r, &["E".into()], &[AggItem::count_star("n")])
+                    .expect("ok")
+                    .len()
+            })
+        });
     }
 
     // Scaling in fragments per group (few groups): the per-group sweep is
     // quadratic in the group's live set in the worst case.
     for fragments in [10usize, 40, 160] {
         let r = temporal_relation(4, fragments, 0.1, 0.8, 22);
-        group.bench_with_input(
-            BenchmarkId::new("deep_groups", r.len()),
-            &r,
-            |b, r| {
-                b.iter(|| {
-                    ops::aggregate_t(r, &["E".into()], &[AggItem::count_star("n")])
-                        .expect("ok")
-                        .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("deep_groups", r.len()), &r, |b, r| {
+            b.iter(|| {
+                ops::aggregate_t(r, &["E".into()], &[AggItem::count_star("n")])
+                    .expect("ok")
+                    .len()
+            })
+        });
     }
 
     // Aggregate-function mix on a fixed input.
     let r = temporal_relation(60, 8, 0.2, 0.4, 23);
     for (label, aggs) in [
         ("count", vec![AggItem::count_star("n")]),
-        ("min_max", vec![
-            AggItem::new(AggFunc::Min, Some("T1"), "lo"),
-            AggItem::new(AggFunc::Max, Some("T2"), "hi"),
-        ]),
+        (
+            "min_max",
+            vec![
+                AggItem::new(AggFunc::Min, Some("T1"), "lo"),
+                AggItem::new(AggFunc::Max, Some("T2"), "hi"),
+            ],
+        ),
         ("grand_total", vec![AggItem::count_star("n")]),
     ] {
-        let group_by: Vec<String> =
-            if label == "grand_total" { vec![] } else { vec!["E".into()] };
-        group.bench_with_input(
-            BenchmarkId::new("functions", label),
-            &r,
-            |b, r| b.iter(|| ops::aggregate_t(r, &group_by, &aggs).expect("ok").len()),
-        );
+        let group_by: Vec<String> = if label == "grand_total" {
+            vec![]
+        } else {
+            vec!["E".into()]
+        };
+        group.bench_with_input(BenchmarkId::new("functions", label), &r, |b, r| {
+            b.iter(|| ops::aggregate_t(r, &group_by, &aggs).expect("ok").len())
+        });
     }
     group.finish();
 }

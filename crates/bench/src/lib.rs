@@ -32,6 +32,34 @@ pub fn figure2a_plan(catalog: &Catalog) -> LogicalPlan {
     LogicalPlan::new(root, ResultType::List(Order::asc(&["EmpName"])))
 }
 
+/// A widening chain of `width` temporal-union legs, each scanning through
+/// a transfer, capped by dedup/coalesce/sort — the shape whose exhaustive
+/// Figure 5 closure grows multiplicatively with `width` (transfer
+/// placements × dedup positions × sort positions) while the memo's
+/// expression count grows with the sum. The `memo_search` bench widens it
+/// until the enumerator's plan budget walls.
+pub fn union_chain_plan(width: usize, card: u64) -> LogicalPlan {
+    use tqo_core::plan::BaseProps;
+    use tqo_core::schema::Schema;
+    use tqo_core::value::DataType;
+    let scan = |i: usize| {
+        PlanBuilder::scan(
+            format!("R{i}"),
+            BaseProps::unordered(Schema::temporal(&[("E", DataType::Str)]), card),
+        )
+        .transfer_s()
+    };
+    let mut chain = scan(0);
+    for i in 1..width.max(1) {
+        chain = chain.union_t(scan(i));
+    }
+    chain
+        .rdup_t()
+        .coalesce()
+        .sort(Order::asc(&["E"]))
+        .build_list(Order::asc(&["E"]))
+}
+
 /// A generated single-attribute temporal relation.
 pub fn temporal_relation(
     classes: usize,

@@ -139,10 +139,7 @@ pub fn equals(p: Period) -> Expr {
 /// The tuple's period contains the instant `t` — the snapshot predicate
 /// `T1 ≤ t < T2`.
 pub fn at_instant(t: crate::time::Instant) -> Expr {
-    Expr::and(
-        cmp(BinOp::Le, t1(), lit(t)),
-        cmp(BinOp::Gt, t2(), lit(t)),
-    )
+    Expr::and(cmp(BinOp::Le, t1(), lit(t)), cmp(BinOp::Gt, t2(), lit(t)))
 }
 
 #[cfg(test)]
@@ -209,9 +206,19 @@ mod tests {
         // Any period stands in exactly one Allen relation to [5, 10).
         let p = Period::of(5, 10);
         let preds = [
-            before(p), meets(p), overlaps(p), starts(p), during(p), finishes(p),
-            equals(p), contains(p), started_by(p), overlapped_by(p), met_by(p),
-            after(p), finished_by(p),
+            before(p),
+            meets(p),
+            overlaps(p),
+            starts(p),
+            during(p),
+            finishes(p),
+            equals(p),
+            contains(p),
+            started_by(p),
+            overlapped_by(p),
+            met_by(p),
+            after(p),
+            finished_by(p),
         ];
         let schema = Schema::temporal(&[("E", DataType::Str)]);
         for s in 0..14i64 {

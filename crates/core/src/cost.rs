@@ -81,21 +81,37 @@ impl CostModel {
                     ann[&p].stat.card as f64
                 })
                 .collect();
-            let site = props.site;
-            if site == Site::Dbms && !node.is_dbms_supported() {
-                return Ok(Cost::INVALID);
+            match self.node_cost(node, out_card, &child_cards, props.site) {
+                Some(work) => total += work,
+                None => return Ok(Cost::INVALID),
             }
-            let work = self.op_work(node, out_card, &child_cards);
-            let factor = match node {
-                PlanNode::TransferS { .. } | PlanNode::TransferD { .. } => 1.0,
-                _ => match site {
-                    Site::Dbms => self.dbms_factor,
-                    Site::Stratum => self.stratum_factor,
-                },
-            };
-            total += work * factor;
         }
         Ok(Cost(total))
+    }
+
+    /// Cost contribution of a single node at `site` — the summand of
+    /// [`CostModel::cost`], shared with the memo optimizer's extraction so
+    /// both strategies price plans identically. `None` marks an invalid
+    /// placement (a stratum-only operation inside the DBMS).
+    pub(crate) fn node_cost(
+        &self,
+        node: &PlanNode,
+        out_card: f64,
+        child_cards: &[f64],
+        site: Site,
+    ) -> Option<f64> {
+        if site == Site::Dbms && !node.is_dbms_supported() {
+            return None;
+        }
+        let work = self.op_work(node, out_card, child_cards);
+        let factor = match node {
+            PlanNode::TransferS { .. } | PlanNode::TransferD { .. } => 1.0,
+            _ => match site {
+                Site::Dbms => self.dbms_factor,
+                Site::Stratum => self.stratum_factor,
+            },
+        };
+        Some(work * factor)
     }
 
     /// Per-operation work in abstract units.
@@ -172,7 +188,11 @@ mod tests {
     fn transfers_cost_per_row() {
         let model = CostModel::default();
         let once = tscan("R", 1000).transfer_s().build_multiset();
-        let twice = tscan("R", 1000).transfer_s().transfer_d().transfer_s().build_multiset();
+        let twice = tscan("R", 1000)
+            .transfer_s()
+            .transfer_d()
+            .transfer_s()
+            .build_multiset();
         let c1 = model.cost(&once).unwrap();
         let c2 = model.cost(&twice).unwrap();
         assert!(c2.0 > c1.0 + 2.0 * model.transfer_setup);
@@ -185,10 +205,8 @@ mod tests {
         let s = Schema::of(&[("A", DataType::Int)]);
         let scan = |n: &str| PlanBuilder::scan(n, BaseProps::unordered(s.clone(), 1000));
         let pred = crate::expr::Expr::eq(crate::expr::Expr::col("A"), crate::expr::Expr::lit(1i64));
-        let pred_p = crate::expr::Expr::eq(
-            crate::expr::Expr::col("1.A"),
-            crate::expr::Expr::lit(1i64),
-        );
+        let pred_p =
+            crate::expr::Expr::eq(crate::expr::Expr::col("1.A"), crate::expr::Expr::lit(1i64));
         let late = scan("R").product(scan("S")).select(pred_p).build_multiset();
         let early = scan("R").select(pred).product(scan("S")).build_multiset();
         assert!(model.cost(&early).unwrap() < model.cost(&late).unwrap());

@@ -99,7 +99,9 @@ pub fn applicable(
     matched_relative.iter().all(|rel| {
         let mut abs = location.clone();
         abs.extend_from_slice(rel);
-        let Some(props) = ann.get(&abs) else { return false };
+        let Some(props) = ann.get(&abs) else {
+            return false;
+        };
         let f = props.flags;
         match eq {
             EquivalenceType::List => true,
@@ -125,7 +127,10 @@ pub fn enumerate(
     let mut truncated = false;
     let mut applications = 0usize;
 
-    plans.push(EnumeratedPlan { plan: initial.clone(), derivation: None });
+    plans.push(EnumeratedPlan {
+        plan: initial.clone(),
+        derivation: None,
+    });
     seen.insert(initial.root.clone(), 0);
 
     let mut i = 0;
@@ -196,7 +201,11 @@ pub fn enumerate(
         i += 1;
     }
 
-    Ok(Enumeration { plans, truncated, applications })
+    Ok(Enumeration {
+        plans,
+        truncated,
+        applications,
+    })
 }
 
 #[cfg(test)]
@@ -209,7 +218,11 @@ mod tests {
 
     fn tscan(name: &str, clean: bool) -> PlanBuilder {
         let s = Schema::temporal(&[("E", DataType::Str)]);
-        let base = if clean { BaseProps::clean(s, 100) } else { BaseProps::unordered(s, 100) };
+        let base = if clean {
+            BaseProps::clean(s, 100)
+        } else {
+            BaseProps::unordered(s, 100)
+        };
         PlanBuilder::scan(name, base)
     }
 
@@ -259,7 +272,11 @@ mod tests {
         // coalT(rdupT(rdupT(R))): the inner rdupT is redundant; D2 (≡L)
         // fires anywhere, but C2 (≡SM) also fires on nodes below the
         // coalesce because its input is snapshot-dup-free.
-        let plan = tscan("R", false).rdup_t().coalesce().coalesce().build_multiset();
+        let plan = tscan("R", false)
+            .rdup_t()
+            .coalesce()
+            .coalesce()
+            .build_multiset();
         let e = enumerate(&plan, &RuleSet::figure4(), EnumerationConfig::default()).unwrap();
         // C1 (outer coalesce of coalesced input) fires at the root; C2 for
         // the inner coalesce fires below the outer one.
@@ -305,10 +322,7 @@ mod tests {
 
     #[test]
     fn derivation_chains_reconstruct() {
-        let plan = tscan("R", false)
-            .rdup_t()
-            .rdup_t()
-            .build_multiset();
+        let plan = tscan("R", false).rdup_t().rdup_t().build_multiset();
         let e = enumerate(&plan, &RuleSet::figure4(), EnumerationConfig::default()).unwrap();
         // Find the fully reduced plan (D2 removes the outer rdupT).
         let (idx, _) = e

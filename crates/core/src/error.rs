@@ -11,7 +11,11 @@ pub enum Error {
     UnknownAttribute { name: String, schema: String },
     /// Two schemas that must agree (e.g. the arguments of a difference or
     /// union) do not.
-    SchemaMismatch { left: String, right: String, context: &'static str },
+    SchemaMismatch {
+        left: String,
+        right: String,
+        context: &'static str,
+    },
     /// A tuple does not conform to its relation's schema.
     MalformedTuple { reason: String },
     /// A temporal operation was applied to a relation without `T1`/`T2`.
@@ -20,7 +24,11 @@ pub enum Error {
     /// may not contain attributes named `T1`/`T2`).
     ReservedAttribute { name: String },
     /// Type error during expression evaluation.
-    TypeError { expected: &'static str, found: String, context: &'static str },
+    TypeError {
+        expected: &'static str,
+        found: String,
+        context: &'static str,
+    },
     /// Division by zero or a similar arithmetic fault.
     Arithmetic { reason: &'static str },
     /// A period with `start > end` or other temporal inconsistency.
@@ -41,18 +49,35 @@ impl fmt::Display for Error {
             Error::UnknownAttribute { name, schema } => {
                 write!(f, "unknown attribute `{name}` in schema [{schema}]")
             }
-            Error::SchemaMismatch { left, right, context } => {
+            Error::SchemaMismatch {
+                left,
+                right,
+                context,
+            } => {
                 write!(f, "schema mismatch in {context}: [{left}] vs [{right}]")
             }
             Error::MalformedTuple { reason } => write!(f, "malformed tuple: {reason}"),
             Error::NotTemporal { context } => {
-                write!(f, "{context} requires a temporal relation (attributes T1, T2)")
+                write!(
+                    f,
+                    "{context} requires a temporal relation (attributes T1, T2)"
+                )
             }
             Error::ReservedAttribute { name } => {
-                write!(f, "attribute name `{name}` is reserved for temporal relations")
+                write!(
+                    f,
+                    "attribute name `{name}` is reserved for temporal relations"
+                )
             }
-            Error::TypeError { expected, found, context } => {
-                write!(f, "type error in {context}: expected {expected}, found {found}")
+            Error::TypeError {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type error in {context}: expected {expected}, found {found}"
+                )
             }
             Error::Arithmetic { reason } => write!(f, "arithmetic error: {reason}"),
             Error::InvalidPeriod { start, end } => {

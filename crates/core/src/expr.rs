@@ -34,7 +34,10 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     pub fn is_logical(self) -> bool {
@@ -69,7 +72,11 @@ pub enum Expr {
     /// Literal value.
     Lit(Value),
     /// Binary operation.
-    Bin { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Bin {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Logical negation.
     Not(Box<Expr>),
     /// NULL test.
@@ -86,7 +93,11 @@ impl Expr {
     }
 
     pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Bin { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     pub fn eq(left: Expr, right: Expr) -> Expr {
@@ -219,7 +230,9 @@ impl Expr {
                             BinOp::Mul => a.wrapping_mul(b),
                             BinOp::Div => {
                                 if b == 0 {
-                                    return Err(Error::Arithmetic { reason: "division by zero" });
+                                    return Err(Error::Arithmetic {
+                                        reason: "division by zero",
+                                    });
                                 }
                                 a / b
                             }
@@ -235,7 +248,9 @@ impl Expr {
                             BinOp::Mul => a * b,
                             BinOp::Div => {
                                 if b == 0.0 {
-                                    return Err(Error::Arithmetic { reason: "division by zero" });
+                                    return Err(Error::Arithmetic {
+                                        reason: "division by zero",
+                                    });
                                 }
                                 a / b
                             }
@@ -304,12 +319,18 @@ pub struct ProjItem {
 
 impl ProjItem {
     pub fn new(expr: Expr, alias: impl Into<String>) -> ProjItem {
-        ProjItem { expr, alias: alias.into() }
+        ProjItem {
+            expr,
+            alias: alias.into(),
+        }
     }
 
     /// A plain column kept under its own name.
     pub fn col(name: &str) -> ProjItem {
-        ProjItem { expr: Expr::col(name), alias: name.to_owned() }
+        ProjItem {
+            expr: Expr::col(name),
+            alias: name.to_owned(),
+        }
     }
 
     /// True for `alias == column` pass-through items.
@@ -361,11 +382,19 @@ pub struct AggItem {
 
 impl AggItem {
     pub fn new(func: AggFunc, arg: Option<&str>, alias: impl Into<String>) -> AggItem {
-        AggItem { func, arg: arg.map(str::to_owned), alias: alias.into() }
+        AggItem {
+            func,
+            arg: arg.map(str::to_owned),
+            alias: alias.into(),
+        }
     }
 
     pub fn count_star(alias: impl Into<String>) -> AggItem {
-        AggItem { func: AggFunc::Count, arg: None, alias: alias.into() }
+        AggItem {
+            func: AggFunc::Count,
+            arg: None,
+            alias: alias.into(),
+        }
     }
 
     /// Output type of the aggregate.
@@ -407,7 +436,11 @@ impl AggItem {
                     best = Some(match best {
                         None => v,
                         Some(b) => {
-                            let keep_new = if self.func == AggFunc::Min { v < b } else { v > b };
+                            let keep_new = if self.func == AggFunc::Min {
+                                v < b
+                            } else {
+                                v > b
+                            };
                             if keep_new {
                                 v
                             } else {
@@ -567,23 +600,33 @@ mod tests {
             Value::Int(3)
         );
         assert_eq!(
-            AggItem::new(AggFunc::Count, Some("V"), "n").compute(&s, &group).unwrap(),
+            AggItem::new(AggFunc::Count, Some("V"), "n")
+                .compute(&s, &group)
+                .unwrap(),
             Value::Int(2)
         );
         assert_eq!(
-            AggItem::new(AggFunc::Sum, Some("V"), "s").compute(&s, &group).unwrap(),
+            AggItem::new(AggFunc::Sum, Some("V"), "s")
+                .compute(&s, &group)
+                .unwrap(),
             Value::Int(6)
         );
         assert_eq!(
-            AggItem::new(AggFunc::Min, Some("V"), "m").compute(&s, &group).unwrap(),
+            AggItem::new(AggFunc::Min, Some("V"), "m")
+                .compute(&s, &group)
+                .unwrap(),
             Value::Int(1)
         );
         assert_eq!(
-            AggItem::new(AggFunc::Max, Some("V"), "m").compute(&s, &group).unwrap(),
+            AggItem::new(AggFunc::Max, Some("V"), "m")
+                .compute(&s, &group)
+                .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
-            AggItem::new(AggFunc::Avg, Some("V"), "a").compute(&s, &group).unwrap(),
+            AggItem::new(AggFunc::Avg, Some("V"), "a")
+                .compute(&s, &group)
+                .unwrap(),
             Value::Float(3.0)
         );
     }
@@ -592,9 +635,14 @@ mod tests {
     fn empty_group_aggregates() {
         let s = Schema::of(&[("V", DataType::Int)]);
         let group: Vec<&Tuple> = vec![];
-        assert_eq!(AggItem::count_star("n").compute(&s, &group).unwrap(), Value::Int(0));
         assert_eq!(
-            AggItem::new(AggFunc::Sum, Some("V"), "s").compute(&s, &group).unwrap(),
+            AggItem::count_star("n").compute(&s, &group).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            AggItem::new(AggFunc::Sum, Some("V"), "s")
+                .compute(&s, &group)
+                .unwrap(),
             Value::Null
         );
     }

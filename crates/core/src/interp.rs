@@ -40,9 +40,9 @@ impl Env {
     }
 
     pub fn get(&self, name: &str) -> Result<&Relation> {
-        self.relations
-            .get(name)
-            .ok_or_else(|| Error::Storage { reason: format!("unknown base relation `{name}`") })
+        self.relations.get(name).ok_or_else(|| Error::Storage {
+            reason: format!("unknown base relation `{name}`"),
+        })
     }
 
     pub fn names(&self) -> Vec<&str> {
@@ -68,30 +68,28 @@ pub fn eval(node: &PlanNode, env: &Env) -> Result<Relation> {
         }
         PlanNode::Select { input, predicate } => ops::select(&eval(input, env)?, predicate),
         PlanNode::Project { input, items } => ops::project(&eval(input, env)?, items),
-        PlanNode::UnionAll { left, right } => {
-            ops::union_all(&eval(left, env)?, &eval(right, env)?)
-        }
+        PlanNode::UnionAll { left, right } => ops::union_all(&eval(left, env)?, &eval(right, env)?),
         PlanNode::Product { left, right } => ops::product(&eval(left, env)?, &eval(right, env)?),
         PlanNode::Difference { left, right } => {
             ops::difference(&eval(left, env)?, &eval(right, env)?)
         }
-        PlanNode::Aggregate { input, group_by, aggs } => {
-            ops::aggregate(&eval(input, env)?, group_by, aggs)
-        }
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => ops::aggregate(&eval(input, env)?, group_by, aggs),
         PlanNode::Rdup { input } => ops::rdup(&eval(input, env)?),
-        PlanNode::UnionMax { left, right } => {
-            ops::union_max(&eval(left, env)?, &eval(right, env)?)
-        }
+        PlanNode::UnionMax { left, right } => ops::union_max(&eval(left, env)?, &eval(right, env)?),
         PlanNode::Sort { input, order } => ops::sort(&eval(input, env)?, order),
-        PlanNode::ProductT { left, right } => {
-            ops::product_t(&eval(left, env)?, &eval(right, env)?)
-        }
+        PlanNode::ProductT { left, right } => ops::product_t(&eval(left, env)?, &eval(right, env)?),
         PlanNode::DifferenceT { left, right } => {
             ops::difference_t(&eval(left, env)?, &eval(right, env)?)
         }
-        PlanNode::AggregateT { input, group_by, aggs } => {
-            ops::aggregate_t(&eval(input, env)?, group_by, aggs)
-        }
+        PlanNode::AggregateT {
+            input,
+            group_by,
+            aggs,
+        } => ops::aggregate_t(&eval(input, env)?, group_by, aggs),
         PlanNode::RdupT { input } => ops::rdup_t(&eval(input, env)?),
         PlanNode::UnionT { left, right } => ops::union_t(&eval(left, env)?, &eval(right, env)?),
         PlanNode::Coalesce { input } => ops::coalesce(&eval(input, env)?),
@@ -197,8 +195,8 @@ mod tests {
 
     #[test]
     fn transfers_are_identity() {
-        let p1 = PlanBuilder::scan("EMPLOYEE", BaseProps::unordered(emp_schema(), 5))
-            .build_multiset();
+        let p1 =
+            PlanBuilder::scan("EMPLOYEE", BaseProps::unordered(emp_schema(), 5)).build_multiset();
         let p2 = PlanBuilder::scan("EMPLOYEE", BaseProps::unordered(emp_schema(), 5))
             .transfer_s()
             .build_multiset();
@@ -214,8 +212,8 @@ mod tests {
 
     #[test]
     fn scan_schema_mismatch_detected() {
-        let p = PlanBuilder::scan("EMPLOYEE", BaseProps::unordered(prj_schema(), 5))
-            .build_multiset();
+        let p =
+            PlanBuilder::scan("EMPLOYEE", BaseProps::unordered(prj_schema(), 5)).build_multiset();
         assert!(eval_plan(&p, &env()).is_err());
     }
 }

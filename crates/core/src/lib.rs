@@ -29,22 +29,23 @@
 //!   engine in `tqo-exec` is validated against).
 
 pub mod allen;
-pub mod error;
-pub mod value;
-pub mod time;
-pub mod schema;
-pub mod tuple;
-pub mod relation;
-pub mod sortspec;
-pub mod expr;
-pub mod ops;
-pub mod equivalence;
-pub mod plan;
-pub mod rules;
-pub mod enumerate;
 pub mod cost;
-pub mod optimizer;
+pub mod enumerate;
+pub mod equivalence;
+pub mod error;
+pub mod expr;
 pub mod interp;
+pub mod memo;
+pub mod ops;
+pub mod optimizer;
+pub mod plan;
+pub mod relation;
+pub mod rules;
+pub mod schema;
+pub mod sortspec;
+pub mod time;
+pub mod tuple;
+pub mod value;
 
 pub use error::{Error, Result};
 pub use relation::Relation;

@@ -1,0 +1,215 @@
+//! The memo optimizer's public entry point: explore, then extract.
+
+use std::sync::Arc;
+
+use crate::cost::{Cost, CostModel};
+use crate::enumerate::RuleApplication;
+use crate::error::{Error, Result};
+use crate::memo::extract::Extractor;
+use crate::memo::group::{Memo, MemoCtx};
+use crate::memo::task::{Explorer, Task};
+use crate::memo::MemoConfig;
+use crate::plan::props::PropsFlags;
+use crate::plan::LogicalPlan;
+use crate::rules::RuleSet;
+
+/// Search-space counters for comparing against the exhaustive enumerator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoStats {
+    /// Distinct equivalence groups after merging.
+    pub groups: usize,
+    /// Distinct expressions — the memo's materialization footprint, the
+    /// analogue of the enumerator's `plans.len()`.
+    pub exprs: usize,
+    /// Exploration tasks executed.
+    pub tasks: usize,
+    /// Concrete bindings materialized for rule matching.
+    pub bindings: usize,
+    /// Rule applications attempted.
+    pub applications: usize,
+    /// True when a budget stopped exploration early.
+    pub truncated: bool,
+}
+
+/// The memo optimizer's output.
+#[derive(Debug)]
+pub struct MemoResult {
+    /// The cheapest admissible plan found.
+    pub best: LogicalPlan,
+    /// Its estimated cost under the supplied model.
+    pub cost: Cost,
+    /// Rule applications realized in `best`, relative to its root
+    /// (`parent` indices are not meaningful for memo search and are 0).
+    pub derivation: Vec<RuleApplication>,
+    pub stats: MemoStats,
+}
+
+/// Optimize `initial` by memo search: build the group/expression table,
+/// close it under `rules` with the Figure 5 admissibility gating, and
+/// extract the cheapest plan against `cost_model`, pruned by the initial
+/// plan's cost.
+pub fn memo_search(
+    initial: &LogicalPlan,
+    rules: &RuleSet,
+    cost_model: &CostModel,
+    config: MemoConfig,
+) -> Result<MemoResult> {
+    let mut memo = Memo::new();
+    let root_expr = memo
+        .insert_subtree(&initial.root, config.max_exprs)
+        .ok_or_else(|| Error::Plan {
+            reason: format!(
+                "memo expression budget {} cannot hold the initial plan",
+                config.max_exprs
+            ),
+        })?;
+    let root_ctx = MemoCtx {
+        flags: PropsFlags::for_result_type(&initial.result_type),
+        site: initial.root_site,
+    };
+
+    let mut explorer = Explorer::new(memo, rules, config);
+    explorer.schedule(Task {
+        expr: root_expr,
+        ctx: root_ctx,
+    });
+    explorer.run()?;
+
+    let explore_stats = explorer.stats;
+    let mut memo = explorer.memo;
+
+    // Branch-and-bound anchor: the input plan is always available, so no
+    // optimal plan costs more.
+    let upper = match cost_model.cost(initial)? {
+        c if c.is_valid() => c.0,
+        _ => f64::INFINITY,
+    };
+
+    let stats_snapshot = |memo: &Memo, truncated: bool| MemoStats {
+        groups: memo.group_count(),
+        exprs: memo.expr_count(),
+        tasks: explore_stats.tasks,
+        bindings: explore_stats.bindings,
+        applications: explore_stats.applications,
+        truncated,
+    };
+
+    let (best, converged) =
+        Extractor::new(&mut memo, cost_model, config).best(root_expr, root_ctx, upper)?;
+    let truncated = explore_stats.truncated || !converged;
+    match best {
+        Some(entry) => {
+            let stats = stats_snapshot(&memo, truncated);
+            Ok(MemoResult {
+                best: LogicalPlan {
+                    root: Arc::clone(&entry.node),
+                    result_type: initial.result_type.clone(),
+                    root_site: initial.root_site,
+                },
+                cost: Cost(entry.cost),
+                derivation: entry.derivation,
+                stats,
+            })
+        }
+        // No admissible extraction (e.g. the input plan itself prices as
+        // invalid): fall back to the input, like the exhaustive optimizer
+        // whose enumeration always contains plan 0.
+        None => Ok(MemoResult {
+            best: initial.clone(),
+            cost: cost_model.cost(initial)?,
+            derivation: Vec::new(),
+            stats: stats_snapshot(&memo, truncated),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{BaseProps, PlanBuilder};
+    use crate::schema::Schema;
+    use crate::sortspec::Order;
+    use crate::value::DataType;
+
+    fn tscan(name: &str, card: u64) -> PlanBuilder {
+        let s = Schema::temporal(&[("E", DataType::Str)]);
+        PlanBuilder::scan(name, BaseProps::unordered(s, card))
+    }
+
+    #[test]
+    fn memo_reduces_redundant_rdup_t() {
+        let plan = tscan("R", 1000).rdup_t().rdup_t().build_multiset();
+        let out = memo_search(
+            &plan,
+            &RuleSet::standard(),
+            &CostModel::default(),
+            MemoConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            out.best.root.size() < plan.root.size(),
+            "best: {:?}",
+            out.best.root
+        );
+        assert!(!out.derivation.is_empty());
+    }
+
+    #[test]
+    fn memo_never_worse_than_input() {
+        let plan = tscan("A", 1000)
+            .rdup_t()
+            .difference_t(tscan("B", 1000))
+            .rdup_t()
+            .coalesce()
+            .sort(Order::asc(&["E"]))
+            .build_list(Order::asc(&["E"]));
+        let model = CostModel::default();
+        let input_cost = model.cost(&plan).unwrap();
+        let out = memo_search(&plan, &RuleSet::standard(), &model, MemoConfig::default()).unwrap();
+        assert!(out.cost <= input_cost);
+        assert!(out.cost.is_valid());
+    }
+
+    #[test]
+    fn memo_respects_list_context() {
+        // A list query must keep its sort.
+        let plan = tscan("R", 100)
+            .sort(Order::asc(&["E"]))
+            .build_list(Order::asc(&["E"]));
+        let out = memo_search(
+            &plan,
+            &RuleSet::figure4(),
+            &CostModel::default(),
+            MemoConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.best.root.op_name(), "sort");
+        // The same plan as a multiset query may drop it.
+        let plan2 = tscan("R", 100).sort(Order::asc(&["E"])).build_multiset();
+        let out2 = memo_search(
+            &plan2,
+            &RuleSet::figure4(),
+            &CostModel::default(),
+            MemoConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out2.best.root.op_name(), "scan");
+    }
+
+    #[test]
+    fn memo_prefers_dbms_sort() {
+        let plan = tscan("R", 100_000)
+            .transfer_s()
+            .sort(Order::asc(&["E"]))
+            .build_list(Order::asc(&["E"]));
+        let out = memo_search(
+            &plan,
+            &RuleSet::standard(),
+            &CostModel::default(),
+            MemoConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.best.root.op_name(), "TS");
+        assert_eq!(out.best.root.get(&[0]).unwrap().op_name(), "sort");
+    }
+}

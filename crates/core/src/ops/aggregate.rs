@@ -41,7 +41,9 @@ pub fn aggregate_schema(input: &Schema, group_by: &[String], aggs: &[AggItem]) -
 /// Apply `ξ`: group by the named attributes and fold the aggregates.
 pub fn aggregate(r: &Relation, group_by: &[String], aggs: &[AggItem]) -> Result<Relation> {
     if group_by.is_empty() && aggs.is_empty() {
-        return Err(Error::Plan { reason: "aggregation needs groups or aggregates".into() });
+        return Err(Error::Plan {
+            reason: "aggregation needs groups or aggregates".into(),
+        });
     }
     let out_schema = aggregate_schema(r.schema(), group_by, aggs)?;
     let key_idx: Vec<usize> = group_by
@@ -70,7 +72,10 @@ pub fn aggregate(r: &Relation, group_by: &[String], aggs: &[AggItem]) -> Result<
         for agg in aggs {
             values.push(agg.compute(r.schema(), &[])?);
         }
-        return Ok(Relation::new_unchecked(out_schema, vec![Tuple::new(values)]));
+        return Ok(Relation::new_unchecked(
+            out_schema,
+            vec![Tuple::new(values)],
+        ));
     }
 
     let mut out = Vec::with_capacity(group_order.len());
@@ -163,11 +168,7 @@ mod tests {
     #[test]
     fn grouping_by_time_attr_demotes() {
         let s = Schema::temporal(&[("E", DataType::Str)]);
-        let r = Relation::new(
-            s,
-            vec![tuple!["a", 1i64, 3i64], tuple!["b", 1i64, 4i64]],
-        )
-        .unwrap();
+        let r = Relation::new(s, vec![tuple!["a", 1i64, 3i64], tuple!["b", 1i64, 4i64]]).unwrap();
         let got = aggregate(&r, &["T1".into()], &[AggItem::count_star("n")]).unwrap();
         assert_eq!(got.schema().names(), vec!["1.T1", "n"]);
         assert!(!got.is_temporal());

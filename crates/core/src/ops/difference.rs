@@ -20,7 +20,8 @@ use crate::tuple::Tuple;
 
 /// Apply `\`: multiset difference, removing earliest occurrences.
 pub fn difference(r1: &Relation, r2: &Relation) -> Result<Relation> {
-    r1.schema().check_union_compatible(r2.schema(), "difference")?;
+    r1.schema()
+        .check_union_compatible(r2.schema(), "difference")?;
     let mut budget: HashMap<&Tuple, usize> = HashMap::with_capacity(r2.len());
     for t in r2.tuples() {
         *budget.entry(t).or_insert(0) += 1;
@@ -72,11 +73,7 @@ mod tests {
     #[test]
     fn preserves_left_order() {
         let s = Schema::of(&[("A", DataType::Int)]);
-        let r1 = Relation::new(
-            s.clone(),
-            vec![tuple![3i64], tuple![1i64], tuple![2i64]],
-        )
-        .unwrap();
+        let r1 = Relation::new(s.clone(), vec![tuple![3i64], tuple![1i64], tuple![2i64]]).unwrap();
         let r2 = Relation::new(s, vec![tuple![1i64]]).unwrap();
         let got = difference(&r1, &r2).unwrap();
         assert_eq!(got.tuples(), &[tuple![3i64], tuple![2i64]]);

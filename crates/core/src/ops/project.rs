@@ -16,7 +16,10 @@ use crate::tuple::Tuple;
 pub fn project_schema(input: &Schema, items: &[ProjItem]) -> Result<Schema> {
     let mut attrs = Vec::with_capacity(items.len());
     for item in items {
-        attrs.push(Attribute::new(item.alias.clone(), item.expr.infer_type(input)?));
+        attrs.push(Attribute::new(
+            item.alias.clone(),
+            item.expr.infer_type(input)?,
+        ));
     }
     Schema::new(attrs)
 }
@@ -24,7 +27,9 @@ pub fn project_schema(input: &Schema, items: &[ProjItem]) -> Result<Schema> {
 /// Apply `π`: evaluate every item against every tuple, in order.
 pub fn project(r: &Relation, items: &[ProjItem]) -> Result<Relation> {
     if items.is_empty() {
-        return Err(Error::Plan { reason: "projection needs at least one item".into() });
+        return Err(Error::Plan {
+            reason: "projection needs at least one item".into(),
+        });
     }
     let out_schema = project_schema(r.schema(), items)?;
     let mut out = Vec::with_capacity(r.len());
@@ -66,7 +71,11 @@ mod tests {
         // R1 = π_{EmpName,T1,T2}(EMPLOYEE): generates a duplicate Anna tuple.
         let r1 = project(
             &employee(),
-            &[ProjItem::col("EmpName"), ProjItem::col("T1"), ProjItem::col("T2")],
+            &[
+                ProjItem::col("EmpName"),
+                ProjItem::col("T1"),
+                ProjItem::col("T2"),
+            ],
         )
         .unwrap();
         assert!(r1.is_temporal());
@@ -122,7 +131,10 @@ mod tests {
     #[test]
     fn keeping_only_t1_without_t2_is_rejected() {
         // A schema with T1 but not T2 violates the reserved-attribute rule.
-        let got = project(&employee(), &[ProjItem::col("EmpName"), ProjItem::col("T1")]);
+        let got = project(
+            &employee(),
+            &[ProjItem::col("EmpName"), ProjItem::col("T1")],
+        );
         assert!(got.is_err());
     }
 }

@@ -41,7 +41,13 @@ mod tests {
         let s = Schema::of(&[("A", DataType::Int)]);
         let r = Relation::new(
             s,
-            vec![tuple![3i64], tuple![1i64], tuple![3i64], tuple![2i64], tuple![1i64]],
+            vec![
+                tuple![3i64],
+                tuple![1i64],
+                tuple![3i64],
+                tuple![2i64],
+                tuple![1i64],
+            ],
         )
         .unwrap();
         let got = rdup(&r).unwrap();

@@ -32,7 +32,7 @@ pub fn sort(r: &Relation, order: &Order) -> Result<Relation> {
 mod tests {
     use super::*;
     use crate::schema::Schema;
-    use crate::sortspec::{SortKey, SortDir};
+    use crate::sortspec::{SortDir, SortKey};
     use crate::tuple;
     use crate::value::DataType;
 
@@ -67,7 +67,10 @@ mod tests {
     fn descending_keys() {
         let got = sort(
             &rel(),
-            &Order(vec![SortKey { attr: "A".into(), dir: SortDir::Desc }]),
+            &Order(vec![SortKey {
+                attr: "A".into(),
+                dir: SortDir::Desc,
+            }]),
         )
         .unwrap();
         assert_eq!(got.tuples()[0].value(0), &crate::value::Value::Int(2));

@@ -24,7 +24,9 @@ use crate::value::{DataType, Value};
 /// the fresh period attributes.
 pub fn aggregate_t_schema(input: &Schema, group_by: &[String], aggs: &[AggItem]) -> Result<Schema> {
     if !input.is_temporal() {
-        return Err(Error::NotTemporal { context: "temporal aggregation" });
+        return Err(Error::NotTemporal {
+            context: "temporal aggregation",
+        });
     }
     let mut attrs = Vec::with_capacity(group_by.len() + aggs.len() + 2);
     for g in group_by {
@@ -79,7 +81,10 @@ pub fn aggregate_t(r: &Relation, group_by: &[String], aggs: &[AggItem]) -> Resul
         pts.sort_unstable();
         pts.dedup();
         for w in pts.windows(2) {
-            let interval = Period { start: w[0], end: w[1] };
+            let interval = Period {
+                start: w[0],
+                end: w[1],
+            };
             let live: Vec<&Tuple> = indices
                 .iter()
                 .zip(&periods)

@@ -20,7 +20,9 @@ use crate::tuple::Tuple;
 /// Apply `coalᵀ`: fixpoint of merging value-equivalent adjacent periods.
 pub fn coalesce(r: &Relation) -> Result<Relation> {
     if !r.is_temporal() {
-        return Err(Error::NotTemporal { context: "coalescing" });
+        return Err(Error::NotTemporal {
+            context: "coalescing",
+        });
     }
     let schema = r.schema().clone();
     let mut tuples: Vec<Tuple> = r.tuples().to_vec();

@@ -28,9 +28,12 @@ use crate::value::Value;
 /// Apply `\ᵀ`.
 pub fn difference_t(r1: &Relation, r2: &Relation) -> Result<Relation> {
     if !r1.is_temporal() || !r2.is_temporal() {
-        return Err(Error::NotTemporal { context: "temporal difference" });
+        return Err(Error::NotTemporal {
+            context: "temporal difference",
+        });
     }
-    r1.schema().check_union_compatible(r2.schema(), "temporal difference")?;
+    r1.schema()
+        .check_union_compatible(r2.schema(), "temporal difference")?;
     let schema = r1.schema().clone();
 
     // Right-side periods per value-equivalence class.

@@ -20,7 +20,9 @@ use crate::value::{DataType, Value};
 /// The output schema of `r1 ×ᵀ r2`.
 pub fn product_t_schema(left: &Schema, right: &Schema) -> Result<Schema> {
     if !left.is_temporal() || !right.is_temporal() {
-        return Err(Error::NotTemporal { context: "temporal product" });
+        return Err(Error::NotTemporal {
+            context: "temporal product",
+        });
     }
     let mut attrs = left.prefixed("1.").attrs().to_vec();
     attrs.extend(right.prefixed("2.").attrs().iter().cloned());

@@ -23,7 +23,9 @@ use crate::tuple::Tuple;
 /// Apply `rdupᵀ`.
 pub fn rdup_t(r: &Relation) -> Result<Relation> {
     if !r.is_temporal() {
-        return Err(Error::NotTemporal { context: "temporal duplicate elimination" });
+        return Err(Error::NotTemporal {
+            context: "temporal duplicate elimination",
+        });
     }
     let schema = r.schema().clone();
     let mut tuples: Vec<Tuple> = r.tuples().to_vec();
@@ -36,8 +38,12 @@ pub fn rdup_t(r: &Relation) -> Result<Relation> {
     while i < tuples.len() {
         let head_period = tuples[i].period(&schema)?;
         // Overᵀ: the first later value-equivalent tuple overlapping the head.
-        let over = (i + 1..tuples.len())
-            .find(|&j| keys[j] == keys[i] && tuples[j].period(&schema).is_ok_and(|p| p.overlaps(&head_period)));
+        let over = (i + 1..tuples.len()).find(|&j| {
+            keys[j] == keys[i]
+                && tuples[j]
+                    .period(&schema)
+                    .is_ok_and(|p| p.overlaps(&head_period))
+        });
         match over {
             None => i += 1,
             Some(j) => {

@@ -19,9 +19,12 @@ use crate::value::Value;
 /// Apply `∪ᵀ`.
 pub fn union_t(r1: &Relation, r2: &Relation) -> Result<Relation> {
     if !r1.is_temporal() || !r2.is_temporal() {
-        return Err(Error::NotTemporal { context: "temporal union" });
+        return Err(Error::NotTemporal {
+            context: "temporal union",
+        });
     }
-    r1.schema().check_union_compatible(r2.schema(), "temporal union")?;
+    r1.schema()
+        .check_union_compatible(r2.schema(), "temporal union")?;
     let schema = r1.schema().clone();
 
     // Left-side periods per class.

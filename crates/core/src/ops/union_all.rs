@@ -14,7 +14,8 @@ use crate::relation::Relation;
 
 /// Apply `⊔`: concatenate the argument lists.
 pub fn union_all(r1: &Relation, r2: &Relation) -> Result<Relation> {
-    r1.schema().check_union_compatible(r2.schema(), "union ALL")?;
+    r1.schema()
+        .check_union_compatible(r2.schema(), "union ALL")?;
     let mut out = Vec::with_capacity(r1.len() + r2.len());
     out.extend(r1.tuples().iter().cloned());
     out.extend(r2.tuples().iter().cloned());

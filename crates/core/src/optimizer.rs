@@ -4,13 +4,30 @@
 use crate::cost::{Cost, CostModel};
 use crate::enumerate::{enumerate, Enumeration, EnumerationConfig, RuleApplication};
 use crate::error::Result;
+use crate::memo::{memo_search, MemoConfig, MemoStats};
 use crate::plan::LogicalPlan;
 use crate::rules::RuleSet;
+
+/// Which plan-search engine drives the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Figure 5's exhaustive closure: every equivalent plan materialized,
+    /// deduplicated structurally, capped by `max_plans`. The oracle the
+    /// memo strategy is validated against.
+    #[default]
+    Exhaustive,
+    /// Cascades-style memo search ([`crate::memo`]): shared subtrees,
+    /// context-gated groups, branch-and-bound extraction. Scales to rule
+    /// closures whose materialized form exceeds any plan budget.
+    Memo,
+}
 
 /// Optimizer configuration.
 #[derive(Debug, Clone, Default)]
 pub struct OptimizerConfig {
+    pub strategy: SearchStrategy,
     pub enumeration: EnumerationConfig,
+    pub memo: MemoConfig,
     pub cost_model: CostModel,
 }
 
@@ -21,20 +38,40 @@ pub struct Optimized {
     pub best: LogicalPlan,
     /// Its estimated cost.
     pub cost: Cost,
-    /// Index of the best plan within the enumeration.
+    /// Index of the best plan within the enumeration (0 for non-exhaustive
+    /// strategies, whose searches are not index-addressable).
     pub best_index: usize,
     /// The rule applications that derived the best plan from the initial
     /// one.
     pub derivation: Vec<RuleApplication>,
-    /// The full enumeration (for inspection; plan 0 is the input).
+    /// True when a search budget stopped the closure early: `best` is the
+    /// best plan *found*, not necessarily the best plan overall.
+    pub truncated: bool,
+    /// Memo search-space counters (memo strategy only).
+    pub memo: Option<MemoStats>,
+    /// The full enumeration (for inspection; plan 0 is the input). Empty
+    /// for non-exhaustive strategies.
     pub enumeration: Enumeration,
 }
 
-/// Enumerate equivalent plans and return the cheapest admissible one.
+/// Optimize with the configured [`SearchStrategy`].
 ///
-/// The initial plan is always part of the enumeration, so as long as it is
-/// itself admissible the optimizer can never do worse than the input.
+/// The initial plan is always part of the search space, so as long as it
+/// is itself admissible the optimizer can never do worse than the input.
 pub fn optimize(
+    initial: &LogicalPlan,
+    rules: &RuleSet,
+    config: &OptimizerConfig,
+) -> Result<Optimized> {
+    match config.strategy {
+        SearchStrategy::Exhaustive => optimize_exhaustive(initial, rules, config),
+        SearchStrategy::Memo => optimize_memo(initial, rules, config),
+    }
+}
+
+/// Enumerate equivalent plans (Figure 5) and return the cheapest
+/// admissible one.
+pub fn optimize_exhaustive(
     initial: &LogicalPlan,
     rules: &RuleSet,
     config: &OptimizerConfig,
@@ -55,7 +92,31 @@ pub fn optimize(
         cost: best_cost,
         best_index,
         derivation,
+        truncated: enumeration.truncated,
+        memo: None,
         enumeration,
+    })
+}
+
+/// Optimize by memo search (see [`crate::memo`]).
+pub fn optimize_memo(
+    initial: &LogicalPlan,
+    rules: &RuleSet,
+    config: &OptimizerConfig,
+) -> Result<Optimized> {
+    let result = memo_search(initial, rules, &config.cost_model, config.memo)?;
+    Ok(Optimized {
+        best: result.best,
+        cost: result.cost,
+        best_index: 0,
+        derivation: result.derivation,
+        truncated: result.stats.truncated,
+        memo: Some(result.stats),
+        enumeration: Enumeration {
+            plans: Vec::new(),
+            truncated: false,
+            applications: 0,
+        },
     })
 }
 
@@ -96,8 +157,10 @@ pub fn optimize_greedy(
                     // Mirror the enumerator's sdf guard for snapshot-type
                     // rewrites (see enumerate.rs).
                     if rule.equivalence().is_snapshot() {
-                        let was_sdf =
-                            ann.get(&path).map(|p| p.stat.snapshot_dup_free).unwrap_or(false);
+                        let was_sdf = ann
+                            .get(&path)
+                            .map(|p| p.stat.snapshot_dup_free)
+                            .unwrap_or(false);
                         let now_sdf = annotate(&candidate)
                             .ok()
                             .and_then(|a| a.get(&path).map(|p| p.stat.snapshot_dup_free))
@@ -110,8 +173,7 @@ pub fn optimize_greedy(
                         Ok(c) => c,
                         Err(_) => continue,
                     };
-                    if cost < current_cost && best.as_ref().is_none_or(|(b, _, _)| cost < *b)
-                    {
+                    if cost < current_cost && best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
                         best = Some((
                             cost,
                             candidate,
@@ -141,7 +203,13 @@ pub fn optimize_greedy(
         cost: current_cost,
         best_index: 0,
         derivation,
-        enumeration: Enumeration { plans: Vec::new(), truncated: false, applications: 0 },
+        truncated: false,
+        memo: None,
+        enumeration: Enumeration {
+            plans: Vec::new(),
+            truncated: false,
+            applications: 0,
+        },
     })
 }
 

@@ -33,7 +33,12 @@ pub struct PlanBuilder {
 impl PlanBuilder {
     /// Start from a base-relation scan.
     pub fn scan(name: impl Into<String>, base: BaseProps) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::Scan { name: name.into(), base } }
+        PlanBuilder {
+            node: PlanNode::Scan {
+                name: name.into(),
+                base,
+            },
+        }
     }
 
     /// Start from an arbitrary subtree.
@@ -42,11 +47,21 @@ impl PlanBuilder {
     }
 
     pub fn select(self, predicate: Expr) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::Select { input: Arc::new(self.node), predicate } }
+        PlanBuilder {
+            node: PlanNode::Select {
+                input: Arc::new(self.node),
+                predicate,
+            },
+        }
     }
 
     pub fn project(self, items: Vec<ProjItem>) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::Project { input: Arc::new(self.node), items } }
+        PlanBuilder {
+            node: PlanNode::Project {
+                input: Arc::new(self.node),
+                items,
+            },
+        }
     }
 
     /// Project onto plain columns by name.
@@ -56,45 +71,73 @@ impl PlanBuilder {
 
     pub fn union_all(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
-            node: PlanNode::UnionAll { left: Arc::new(self.node), right: Arc::new(right.node) },
+            node: PlanNode::UnionAll {
+                left: Arc::new(self.node),
+                right: Arc::new(right.node),
+            },
         }
     }
 
     pub fn product(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
-            node: PlanNode::Product { left: Arc::new(self.node), right: Arc::new(right.node) },
+            node: PlanNode::Product {
+                left: Arc::new(self.node),
+                right: Arc::new(right.node),
+            },
         }
     }
 
     pub fn difference(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
-            node: PlanNode::Difference { left: Arc::new(self.node), right: Arc::new(right.node) },
+            node: PlanNode::Difference {
+                left: Arc::new(self.node),
+                right: Arc::new(right.node),
+            },
         }
     }
 
     pub fn aggregate(self, group_by: Vec<String>, aggs: Vec<AggItem>) -> PlanBuilder {
         PlanBuilder {
-            node: PlanNode::Aggregate { input: Arc::new(self.node), group_by, aggs },
+            node: PlanNode::Aggregate {
+                input: Arc::new(self.node),
+                group_by,
+                aggs,
+            },
         }
     }
 
     pub fn rdup(self) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::Rdup { input: Arc::new(self.node) } }
+        PlanBuilder {
+            node: PlanNode::Rdup {
+                input: Arc::new(self.node),
+            },
+        }
     }
 
     pub fn union_max(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
-            node: PlanNode::UnionMax { left: Arc::new(self.node), right: Arc::new(right.node) },
+            node: PlanNode::UnionMax {
+                left: Arc::new(self.node),
+                right: Arc::new(right.node),
+            },
         }
     }
 
     pub fn sort(self, order: Order) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::Sort { input: Arc::new(self.node), order } }
+        PlanBuilder {
+            node: PlanNode::Sort {
+                input: Arc::new(self.node),
+                order,
+            },
+        }
     }
 
     pub fn product_t(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
-            node: PlanNode::ProductT { left: Arc::new(self.node), right: Arc::new(right.node) },
+            node: PlanNode::ProductT {
+                left: Arc::new(self.node),
+                right: Arc::new(right.node),
+            },
         }
     }
 
@@ -109,22 +152,37 @@ impl PlanBuilder {
 
     pub fn aggregate_t(self, group_by: Vec<String>, aggs: Vec<AggItem>) -> PlanBuilder {
         PlanBuilder {
-            node: PlanNode::AggregateT { input: Arc::new(self.node), group_by, aggs },
+            node: PlanNode::AggregateT {
+                input: Arc::new(self.node),
+                group_by,
+                aggs,
+            },
         }
     }
 
     pub fn rdup_t(self) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::RdupT { input: Arc::new(self.node) } }
+        PlanBuilder {
+            node: PlanNode::RdupT {
+                input: Arc::new(self.node),
+            },
+        }
     }
 
     pub fn union_t(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
-            node: PlanNode::UnionT { left: Arc::new(self.node), right: Arc::new(right.node) },
+            node: PlanNode::UnionT {
+                left: Arc::new(self.node),
+                right: Arc::new(right.node),
+            },
         }
     }
 
     pub fn coalesce(self) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::Coalesce { input: Arc::new(self.node) } }
+        PlanBuilder {
+            node: PlanNode::Coalesce {
+                input: Arc::new(self.node),
+            },
+        }
     }
 
     /// The join idiom of §2.4: Cartesian product followed by a selection
@@ -142,12 +200,20 @@ impl PlanBuilder {
 
     /// Transfer the result from the DBMS to the stratum (`Tˢ`).
     pub fn transfer_s(self) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::TransferS { input: Arc::new(self.node) } }
+        PlanBuilder {
+            node: PlanNode::TransferS {
+                input: Arc::new(self.node),
+            },
+        }
     }
 
     /// Transfer the result from the stratum to the DBMS (`Tᴰ`).
     pub fn transfer_d(self) -> PlanBuilder {
-        PlanBuilder { node: PlanNode::TransferD { input: Arc::new(self.node) } }
+        PlanBuilder {
+            node: PlanNode::TransferD {
+                input: Arc::new(self.node),
+            },
+        }
     }
 
     /// The bare subtree.

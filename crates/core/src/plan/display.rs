@@ -117,7 +117,9 @@ mod tests {
     fn annotated_output_contains_property_vectors() {
         let s = Schema::temporal(&[("E", DataType::Str)]);
         let plan = LogicalPlan::new(
-            PlanBuilder::scan("A", BaseProps::unordered(s, 10)).rdup_t().node(),
+            PlanBuilder::scan("A", BaseProps::unordered(s, 10))
+                .rdup_t()
+                .node(),
             ResultType::Multiset,
         );
         let text = annotated_to_string(&plan).unwrap();

@@ -51,33 +51,68 @@ pub enum PlanNode {
     /// Base-relation access.
     Scan { name: String, base: BaseProps },
     /// Selection `σ_P`.
-    Select { input: Arc<PlanNode>, predicate: Expr },
+    Select {
+        input: Arc<PlanNode>,
+        predicate: Expr,
+    },
     /// Projection `π_{f1..fn}`.
-    Project { input: Arc<PlanNode>, items: Vec<ProjItem> },
+    Project {
+        input: Arc<PlanNode>,
+        items: Vec<ProjItem>,
+    },
     /// Union ALL `⊔`.
-    UnionAll { left: Arc<PlanNode>, right: Arc<PlanNode> },
+    UnionAll {
+        left: Arc<PlanNode>,
+        right: Arc<PlanNode>,
+    },
     /// Cartesian product `×`.
-    Product { left: Arc<PlanNode>, right: Arc<PlanNode> },
+    Product {
+        left: Arc<PlanNode>,
+        right: Arc<PlanNode>,
+    },
     /// Multiset difference `\`.
-    Difference { left: Arc<PlanNode>, right: Arc<PlanNode> },
+    Difference {
+        left: Arc<PlanNode>,
+        right: Arc<PlanNode>,
+    },
     /// Aggregation `ξ`.
-    Aggregate { input: Arc<PlanNode>, group_by: Vec<String>, aggs: Vec<AggItem> },
+    Aggregate {
+        input: Arc<PlanNode>,
+        group_by: Vec<String>,
+        aggs: Vec<AggItem>,
+    },
     /// Duplicate elimination `rdup`.
     Rdup { input: Arc<PlanNode> },
     /// Max-union `∪`.
-    UnionMax { left: Arc<PlanNode>, right: Arc<PlanNode> },
+    UnionMax {
+        left: Arc<PlanNode>,
+        right: Arc<PlanNode>,
+    },
     /// Sorting `sort_A`.
     Sort { input: Arc<PlanNode>, order: Order },
     /// Temporal Cartesian product `×ᵀ`.
-    ProductT { left: Arc<PlanNode>, right: Arc<PlanNode> },
+    ProductT {
+        left: Arc<PlanNode>,
+        right: Arc<PlanNode>,
+    },
     /// Temporal difference `\ᵀ`.
-    DifferenceT { left: Arc<PlanNode>, right: Arc<PlanNode> },
+    DifferenceT {
+        left: Arc<PlanNode>,
+        right: Arc<PlanNode>,
+    },
     /// Temporal aggregation `ξᵀ`.
-    AggregateT { input: Arc<PlanNode>, group_by: Vec<String>, aggs: Vec<AggItem> },
+    AggregateT {
+        input: Arc<PlanNode>,
+        group_by: Vec<String>,
+        aggs: Vec<AggItem>,
+    },
     /// Temporal duplicate elimination `rdupᵀ`.
     RdupT { input: Arc<PlanNode> },
     /// Temporal max-union `∪ᵀ`.
-    UnionT { left: Arc<PlanNode>, right: Arc<PlanNode> },
+    UnionT {
+        left: Arc<PlanNode>,
+        right: Arc<PlanNode>,
+    },
     /// Coalescing `coalᵀ`.
     Coalesce { input: Arc<PlanNode> },
     /// Transfer DBMS → stratum (`Tˢ`): the subtree below executes in the
@@ -150,39 +185,62 @@ impl PlanNode {
         }
         let mut next = || new.remove(0);
         Ok(match self {
-            PlanNode::Scan { name, base } => {
-                PlanNode::Scan { name: name.clone(), base: base.clone() }
-            }
-            PlanNode::Select { predicate, .. } => {
-                PlanNode::Select { input: next(), predicate: predicate.clone() }
-            }
-            PlanNode::Project { items, .. } => {
-                PlanNode::Project { input: next(), items: items.clone() }
-            }
-            PlanNode::UnionAll { .. } => PlanNode::UnionAll { left: next(), right: next() },
-            PlanNode::Product { .. } => PlanNode::Product { left: next(), right: next() },
-            PlanNode::Difference { .. } => PlanNode::Difference { left: next(), right: next() },
+            PlanNode::Scan { name, base } => PlanNode::Scan {
+                name: name.clone(),
+                base: base.clone(),
+            },
+            PlanNode::Select { predicate, .. } => PlanNode::Select {
+                input: next(),
+                predicate: predicate.clone(),
+            },
+            PlanNode::Project { items, .. } => PlanNode::Project {
+                input: next(),
+                items: items.clone(),
+            },
+            PlanNode::UnionAll { .. } => PlanNode::UnionAll {
+                left: next(),
+                right: next(),
+            },
+            PlanNode::Product { .. } => PlanNode::Product {
+                left: next(),
+                right: next(),
+            },
+            PlanNode::Difference { .. } => PlanNode::Difference {
+                left: next(),
+                right: next(),
+            },
             PlanNode::Aggregate { group_by, aggs, .. } => PlanNode::Aggregate {
                 input: next(),
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
             },
             PlanNode::Rdup { .. } => PlanNode::Rdup { input: next() },
-            PlanNode::UnionMax { .. } => PlanNode::UnionMax { left: next(), right: next() },
-            PlanNode::Sort { order, .. } => {
-                PlanNode::Sort { input: next(), order: order.clone() }
-            }
-            PlanNode::ProductT { .. } => PlanNode::ProductT { left: next(), right: next() },
-            PlanNode::DifferenceT { .. } => {
-                PlanNode::DifferenceT { left: next(), right: next() }
-            }
+            PlanNode::UnionMax { .. } => PlanNode::UnionMax {
+                left: next(),
+                right: next(),
+            },
+            PlanNode::Sort { order, .. } => PlanNode::Sort {
+                input: next(),
+                order: order.clone(),
+            },
+            PlanNode::ProductT { .. } => PlanNode::ProductT {
+                left: next(),
+                right: next(),
+            },
+            PlanNode::DifferenceT { .. } => PlanNode::DifferenceT {
+                left: next(),
+                right: next(),
+            },
             PlanNode::AggregateT { group_by, aggs, .. } => PlanNode::AggregateT {
                 input: next(),
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
             },
             PlanNode::RdupT { .. } => PlanNode::RdupT { input: next() },
-            PlanNode::UnionT { .. } => PlanNode::UnionT { left: next(), right: next() },
+            PlanNode::UnionT { .. } => PlanNode::UnionT {
+                left: next(),
+                right: next(),
+            },
             PlanNode::Coalesce { .. } => PlanNode::Coalesce { input: next() },
             PlanNode::TransferS { .. } => PlanNode::TransferS { input: next() },
             PlanNode::TransferD { .. } => PlanNode::TransferD { input: next() },
@@ -198,7 +256,9 @@ impl PlanNode {
                 .get(i)
                 .copied()
                 .map(|c| c.as_ref())
-                .ok_or_else(|| Error::Plan { reason: format!("dangling path index {i}") })?;
+                .ok_or_else(|| Error::Plan {
+                    reason: format!("dangling path index {i}"),
+                })?;
         }
         Ok(node)
     }
@@ -211,14 +271,20 @@ impl PlanNode {
         }
         let (head, rest) = (path[0], &path[1..]);
         let children = self.children();
-        let target = children
-            .get(head)
-            .ok_or_else(|| Error::Plan { reason: format!("dangling path index {head}") })?;
+        let target = children.get(head).ok_or_else(|| Error::Plan {
+            reason: format!("dangling path index {head}"),
+        })?;
         let replaced = target.replace(rest, subtree)?;
         let new_children: Vec<Arc<PlanNode>> = children
             .iter()
             .enumerate()
-            .map(|(i, c)| if i == head { Arc::new(replaced.clone()) } else { Arc::clone(c) })
+            .map(|(i, c)| {
+                if i == head {
+                    Arc::new(replaced.clone())
+                } else {
+                    Arc::clone(c)
+                }
+            })
             .collect();
         self.with_children(new_children)
     }
@@ -316,7 +382,11 @@ pub struct LogicalPlan {
 
 impl LogicalPlan {
     pub fn new(root: PlanNode, result_type: crate::equivalence::ResultType) -> LogicalPlan {
-        LogicalPlan { root: Arc::new(root), result_type, root_site: Site::Stratum }
+        LogicalPlan {
+            root: Arc::new(root),
+            result_type,
+            root_site: Site::Stratum,
+        }
     }
 
     pub fn with_root(&self, root: PlanNode) -> LogicalPlan {
@@ -344,7 +414,9 @@ mod tests {
     fn sample() -> PlanNode {
         PlanNode::Sort {
             input: Arc::new(PlanNode::DifferenceT {
-                left: Arc::new(PlanNode::RdupT { input: Arc::new(scan("EMP")) }),
+                left: Arc::new(PlanNode::RdupT {
+                    input: Arc::new(scan("EMP")),
+                }),
                 right: Arc::new(scan("PROJ")),
             }),
             order: Order::asc(&["E"]),
@@ -357,13 +429,7 @@ mod tests {
         let paths = p.paths();
         assert_eq!(
             paths,
-            vec![
-                vec![],
-                vec![0],
-                vec![0, 0],
-                vec![0, 0, 0],
-                vec![0, 1],
-            ]
+            vec![vec![], vec![0], vec![0, 0], vec![0, 0, 0], vec![0, 1],]
         );
         assert_eq!(p.size(), 5);
         assert_eq!(p.depth(), 4);
@@ -403,7 +469,9 @@ mod tests {
     fn sites_flip_at_transfers() {
         // sort(TS(scan)) with root in the stratum: scan runs in the DBMS.
         let p = PlanNode::Sort {
-            input: Arc::new(PlanNode::TransferS { input: Arc::new(scan("EMP")) }),
+            input: Arc::new(PlanNode::TransferS {
+                input: Arc::new(scan("EMP")),
+            }),
             order: Order::asc(&["E"]),
         };
         let sites = p.sites(Site::Stratum);
@@ -415,15 +483,27 @@ mod tests {
 
     #[test]
     fn order_sensitivity_classification() {
-        assert!(PlanNode::RdupT { input: Arc::new(scan("E")) }.is_order_sensitive());
-        assert!(!PlanNode::Rdup { input: Arc::new(scan("E")) }.is_order_sensitive());
+        assert!(PlanNode::RdupT {
+            input: Arc::new(scan("E"))
+        }
+        .is_order_sensitive());
+        assert!(!PlanNode::Rdup {
+            input: Arc::new(scan("E"))
+        }
+        .is_order_sensitive());
     }
 
     #[test]
     fn dbms_support_classification() {
         assert!(scan("E").is_dbms_supported());
-        assert!(PlanNode::Sort { input: Arc::new(scan("E")), order: Order::unordered() }
-            .is_dbms_supported());
-        assert!(!PlanNode::Coalesce { input: Arc::new(scan("E")) }.is_dbms_supported());
+        assert!(PlanNode::Sort {
+            input: Arc::new(scan("E")),
+            order: Order::unordered()
+        }
+        .is_dbms_supported());
+        assert!(!PlanNode::Coalesce {
+            input: Arc::new(scan("E"))
+        }
+        .is_dbms_supported());
     }
 }

@@ -159,27 +159,49 @@ pub type Annotations = HashMap<Path, NodeProps>;
 /// Annotate every node of a plan with static properties, operation
 /// properties, and execution site.
 pub fn annotate(plan: &LogicalPlan) -> Result<Annotations> {
+    let root_flags = PropsFlags::for_result_type(&plan.result_type);
+    annotate_with(&plan.root, root_flags, plan.root_site)
+}
+
+/// Annotate a subtree as if it were rooted at a location with the given
+/// operation-property `root_flags` and execution `root_site`.
+///
+/// `annotate` is the whole-plan special case (root flags from the query's
+/// result type); the memo optimizer uses this form directly, treating each
+/// group's context as the root of its extracted fragment.
+pub fn annotate_with(
+    root: &PlanNode,
+    root_flags: PropsFlags,
+    root_site: Site,
+) -> Result<Annotations> {
     let mut out: HashMap<Path, NodeProps> = HashMap::new();
 
     // Pass 1: sites, top-down.
-    let sites: HashMap<Path, Site> = plan.root.sites(plan.root_site).into_iter().collect();
+    let sites: HashMap<Path, Site> = root.sites(root_site).into_iter().collect();
 
     // Pass 2: static props, bottom-up.
     let mut stats: HashMap<Path, StaticProps> = HashMap::new();
-    compute_static(&plan.root, &mut Vec::new(), &sites, &mut stats)?;
+    compute_static(root, &mut Vec::new(), &sites, &mut stats)?;
 
     // Pass 3: operation properties, top-down.
-    let root_flags = PropsFlags::for_result_type(&plan.result_type);
-    let mut stack: Vec<(Path, &PlanNode, PropsFlags)> =
-        vec![(Vec::new(), plan.root.as_ref(), root_flags)];
+    let mut stack: Vec<(Path, &PlanNode, PropsFlags)> = vec![(Vec::new(), root, root_flags)];
     while let Some((path, node, flags)) = stack.pop() {
-        let child_flags = child_flags_of(node, &path, flags, &stats);
-        for (i, (c, cf)) in node.children().iter().zip(child_flags).enumerate() {
+        let child_stats: Vec<&StaticProps> = (0..node.children().len())
+            .map(|i| {
+                let mut p = path.clone();
+                p.push(i);
+                &stats[&p]
+            })
+            .collect();
+        let cf = child_flags(node, flags, &child_stats);
+        for (i, (c, cf)) in node.children().iter().zip(cf).enumerate() {
             let mut p = path.clone();
             p.push(i);
             stack.push((p, c, cf));
         }
-        let stat = stats.remove(&path).expect("static props computed for every node");
+        let stat = stats
+            .remove(&path)
+            .expect("static props computed for every node");
         let site = sites[&path];
         out.insert(path, NodeProps { stat, flags, site });
     }
@@ -214,8 +236,9 @@ fn compute_static(
     Ok(props)
 }
 
-/// Table 1, one operation at a time.
-fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
+/// Table 1, one operation at a time. `pub(crate)` so the memo optimizer's
+/// extraction derives composed-plan properties with the same rules.
+pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
     Ok(match node {
         PlanNode::Scan { base, .. } => StaticProps {
             schema: base.schema.clone(),
@@ -226,7 +249,11 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
             } else {
                 base.dup_free
             },
-            coalesced: if base.schema.is_temporal() { base.coalesced } else { true },
+            coalesced: if base.schema.is_temporal() {
+                base.coalesced
+            } else {
+                true
+            },
             card: base.card,
         },
 
@@ -253,7 +280,7 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
                 .collect();
             StaticProps {
                 order: c.order.prefix_on(&kept),
-                dup_free: false,        // π generates duplicates
+                dup_free: false, // π generates duplicates
                 snapshot_dup_free: false,
                 coalesced: !schema.is_temporal(), // π destroys coalescing
                 card: c.card,
@@ -263,7 +290,8 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
 
         PlanNode::UnionAll { .. } => {
             let (c1, c2) = (&child[0], &child[1]);
-            c1.schema.check_union_compatible(&c2.schema, "union ALL plan")?;
+            c1.schema
+                .check_union_compatible(&c2.schema, "union ALL plan")?;
             StaticProps {
                 schema: c1.schema.clone(),
                 order: Order::unordered(),
@@ -290,10 +318,14 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
 
         PlanNode::Difference { .. } => {
             let (c1, c2) = (&child[0], &child[1]);
-            c1.schema.check_union_compatible(&c2.schema, "difference plan")?;
+            c1.schema
+                .check_union_compatible(&c2.schema, "difference plan")?;
             let temporal_in = c1.schema.is_temporal();
-            let schema =
-                if temporal_in { c1.schema.demote_time_attrs() } else { c1.schema.clone() };
+            let schema = if temporal_in {
+                c1.schema.demote_time_attrs()
+            } else {
+                c1.schema.clone()
+            };
             let order = if temporal_in {
                 c1.order.map_names(demote_name)
             } else {
@@ -326,8 +358,11 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
         PlanNode::Rdup { .. } => {
             let c = &child[0];
             let temporal_in = c.schema.is_temporal();
-            let schema =
-                if temporal_in { c.schema.demote_time_attrs() } else { c.schema.clone() };
+            let schema = if temporal_in {
+                c.schema.demote_time_attrs()
+            } else {
+                c.schema.clone()
+            };
             let order = if temporal_in {
                 c.order.map_names(demote_name)
             } else {
@@ -347,8 +382,11 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
             let (c1, c2) = (&child[0], &child[1]);
             c1.schema.check_union_compatible(&c2.schema, "union plan")?;
             let temporal_in = c1.schema.is_temporal();
-            let schema =
-                if temporal_in { c1.schema.demote_time_attrs() } else { c1.schema.clone() };
+            let schema = if temporal_in {
+                c1.schema.demote_time_attrs()
+            } else {
+                c1.schema.clone()
+            };
             let dup_free = c1.dup_free && c2.dup_free;
             StaticProps {
                 schema,
@@ -364,8 +402,11 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
             let c = &child[0];
             // Special case of Table 1: when A is a prefix of Order(r), the
             // stable sort is the identity and Order(r) survives.
-            let out_order =
-                if order.is_prefix_of(&c.order) { c.order.clone() } else { order.clone() };
+            let out_order = if order.is_prefix_of(&c.order) {
+                c.order.clone()
+            } else {
+                order.clone()
+            };
             StaticProps {
                 schema: c.schema.clone(),
                 order: out_order,
@@ -395,9 +436,12 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
         PlanNode::DifferenceT { .. } => {
             let (c1, c2) = (&child[0], &child[1]);
             if !c1.schema.is_temporal() || !c2.schema.is_temporal() {
-                return Err(Error::NotTemporal { context: "temporal difference plan" });
+                return Err(Error::NotTemporal {
+                    context: "temporal difference plan",
+                });
             }
-            c1.schema.check_union_compatible(&c2.schema, "temporal difference plan")?;
+            c1.schema
+                .check_union_compatible(&c2.schema, "temporal difference plan")?;
             StaticProps {
                 schema: c1.schema.clone(),
                 order: c1.order.without_time_attrs(),
@@ -424,7 +468,9 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
         PlanNode::RdupT { .. } => {
             let c = &child[0];
             if !c.schema.is_temporal() {
-                return Err(Error::NotTemporal { context: "rdupT plan" });
+                return Err(Error::NotTemporal {
+                    context: "rdupT plan",
+                });
             }
             StaticProps {
                 schema: c.schema.clone(),
@@ -439,9 +485,12 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
         PlanNode::UnionT { .. } => {
             let (c1, c2) = (&child[0], &child[1]);
             if !c1.schema.is_temporal() || !c2.schema.is_temporal() {
-                return Err(Error::NotTemporal { context: "temporal union plan" });
+                return Err(Error::NotTemporal {
+                    context: "temporal union plan",
+                });
             }
-            c1.schema.check_union_compatible(&c2.schema, "temporal union plan")?;
+            c1.schema
+                .check_union_compatible(&c2.schema, "temporal union plan")?;
             StaticProps {
                 schema: c1.schema.clone(),
                 order: Order::unordered(),
@@ -459,7 +508,9 @@ fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
         PlanNode::Coalesce { .. } => {
             let c = &child[0];
             if !c.schema.is_temporal() {
-                return Err(Error::NotTemporal { context: "coalescing plan" });
+                return Err(Error::NotTemporal {
+                    context: "coalescing plan",
+                });
             }
             StaticProps {
                 schema: c.schema.clone(),
@@ -489,18 +540,15 @@ fn demote_name(n: &str) -> String {
     }
 }
 
-/// Top-down flag relaxation per operator (§5.2's shaded regions).
-fn child_flags_of(
+/// Top-down flag relaxation per operator (§5.2's shaded regions), given the
+/// already-derived static properties of the node's children. Public so the
+/// memo optimizer can propagate the same contexts group by group.
+pub fn child_flags(
     node: &PlanNode,
-    path: &Path,
     f: PropsFlags,
-    stats: &HashMap<Path, StaticProps>,
+    child_stats: &[&StaticProps],
 ) -> Vec<PropsFlags> {
-    let child_stat = |i: usize| {
-        let mut p = path.clone();
-        p.push(i);
-        &stats[&p]
-    };
+    let child_stat = |i: usize| child_stats[i];
     // Conventional operations applied to *temporal* inputs treat the
     // period endpoints as data: replacing their input with a merely
     // snapshot-equivalent relation changes their output beyond snapshot
@@ -523,16 +571,14 @@ fn child_flags_of(
             let input_temporal = child_stat(0).schema.is_temporal();
             // Items computing over the period endpoints expose them as data.
             let computes_over_time = items.iter().any(|i| {
-                !(i.is_identity() && (i.alias == T1 || i.alias == T2))
-                    && !i.expr.is_time_free()
+                !(i.is_identity() && (i.alias == T1 || i.alias == T2)) && !i.expr.is_time_free()
             });
             // Dropping the period turns fragmentation into multiplicity:
             // snapshot-equivalent inputs give only set-equivalent outputs,
             // fine exactly when duplicates are irrelevant above.
             let keeps_period = items.iter().any(|i| i.is_identity() && i.alias == T1)
                 && items.iter().any(|i| i.is_identity() && i.alias == T2);
-            let fragmentation_counts =
-                input_temporal && !keeps_period && f.duplicates_relevant;
+            let fragmentation_counts = input_temporal && !keeps_period && f.duplicates_relevant;
             vec![PropsFlags {
                 period_preserving: f.period_preserving
                     || computes_over_time
@@ -546,7 +592,10 @@ fn child_flags_of(
         // Below a sort, order is not required; sorting by the period
         // endpoints does not read them as data in a snapshot-relevant way
         // (it only permutes, and order is already not required below).
-        PlanNode::Sort { .. } => vec![PropsFlags { order_required: false, ..f }],
+        PlanNode::Sort { .. } => vec![PropsFlags {
+            order_required: false,
+            ..f
+        }],
 
         // Below temporal duplicate elimination, duplicates are not
         // relevant. The conventional rdup over a temporal input compares
@@ -560,7 +609,10 @@ fn child_flags_of(
             }]
         }
         PlanNode::RdupT { .. } => {
-            vec![PropsFlags { duplicates_relevant: false, ..f }]
+            vec![PropsFlags {
+                duplicates_relevant: false,
+                ..f
+            }]
         }
 
         // Below coalescing, periods need not be preserved — provided the
@@ -569,7 +621,10 @@ fn child_flags_of(
         // arguments (§5.2).
         PlanNode::Coalesce { .. } => {
             let input_sdf = child_stat(0).snapshot_dup_free;
-            vec![PropsFlags { period_preserving: f.period_preserving && !input_sdf, ..f }]
+            vec![PropsFlags {
+                period_preserving: f.period_preserving && !input_sdf,
+                ..f
+            }]
         }
 
         // Aggregation results depend on exact duplicate counts and (for ξᵀ)
@@ -624,7 +679,10 @@ fn child_flags_of(
         PlanNode::DifferenceT { .. } => {
             let left_sdf = child_stat(0).snapshot_dup_free;
             vec![
-                PropsFlags { duplicates_relevant: true, ..f },
+                PropsFlags {
+                    duplicates_relevant: true,
+                    ..f
+                },
                 PropsFlags {
                     order_required: false,
                     duplicates_relevant: !left_sdf,
@@ -636,13 +694,18 @@ fn child_flags_of(
         // Products: the result order derives from the left argument. The
         // conventional product demotes temporal sides' periods into data.
         PlanNode::Product { .. } => {
-            let left_pp =
-                f.period_preserving || child_stat(0).schema.is_temporal();
-            let right_pp =
-                f.period_preserving || child_stat(1).schema.is_temporal();
+            let left_pp = f.period_preserving || child_stat(0).schema.is_temporal();
+            let right_pp = f.period_preserving || child_stat(1).schema.is_temporal();
             vec![
-                PropsFlags { period_preserving: left_pp, ..f },
-                PropsFlags { order_required: false, period_preserving: right_pp, ..f },
+                PropsFlags {
+                    period_preserving: left_pp,
+                    ..f
+                },
+                PropsFlags {
+                    order_required: false,
+                    period_preserving: right_pp,
+                    ..f
+                },
             ]
         }
         // ×ᵀ retains its arguments' timestamps as output data (`1.T1` …),
@@ -651,8 +714,15 @@ fn child_flags_of(
         // below (rule C9, which hides the retained timestamps behind a
         // projection, is gated at its own location instead).
         PlanNode::ProductT { .. } => vec![
-            PropsFlags { period_preserving: true, ..f },
-            PropsFlags { order_required: false, period_preserving: true, ..f },
+            PropsFlags {
+                period_preserving: true,
+                ..f
+            },
+            PropsFlags {
+                order_required: false,
+                period_preserving: true,
+                ..f
+            },
         ],
 
         // Unions produce unordered results: order is never required below.
@@ -669,7 +739,10 @@ fn child_flags_of(
             vec![cf, cf]
         }
         PlanNode::UnionAll { .. } | PlanNode::UnionT { .. } => {
-            let cf = PropsFlags { order_required: false, ..f };
+            let cf = PropsFlags {
+                order_required: false,
+                ..f
+            };
             vec![cf, cf]
         }
     }
@@ -689,13 +762,18 @@ mod tests {
         } else {
             BaseProps::unordered(schema, 1000)
         };
-        PlanNode::Scan { name: name.into(), base }
+        PlanNode::Scan {
+            name: name.into(),
+            base,
+        }
     }
 
     #[test]
     fn rdup_t_establishes_snapshot_dup_freedom() {
         let plan = LogicalPlan::new(
-            PlanNode::RdupT { input: Arc::new(scan("EMP", false)) },
+            PlanNode::RdupT {
+                input: Arc::new(scan("EMP", false)),
+            },
             ResultType::Multiset,
         );
         let ann = annotate(&plan).unwrap();
@@ -709,7 +787,9 @@ mod tests {
     fn coalesce_enforces_coalescing_and_keeps_dup_freedom() {
         let plan = LogicalPlan::new(
             PlanNode::Coalesce {
-                input: Arc::new(PlanNode::RdupT { input: Arc::new(scan("EMP", false)) }),
+                input: Arc::new(PlanNode::RdupT {
+                    input: Arc::new(scan("EMP", false)),
+                }),
             },
             ResultType::Multiset,
         );
@@ -726,7 +806,10 @@ mod tests {
             order: Order::asc(&["EmpName", "Dept"]),
         };
         let plan = LogicalPlan::new(
-            PlanNode::Sort { input: Arc::new(sorted), order: Order::asc(&["EmpName"]) },
+            PlanNode::Sort {
+                input: Arc::new(sorted),
+                order: Order::asc(&["EmpName"]),
+            },
             ResultType::Multiset,
         );
         let ann = annotate(&plan).unwrap();
@@ -738,7 +821,9 @@ mod tests {
     fn order_required_cleared_below_sort() {
         let plan = LogicalPlan::new(
             PlanNode::Sort {
-                input: Arc::new(PlanNode::RdupT { input: Arc::new(scan("EMP", false)) }),
+                input: Arc::new(PlanNode::RdupT {
+                    input: Arc::new(scan("EMP", false)),
+                }),
                 order: Order::asc(&["EmpName"]),
             },
             ResultType::List(Order::asc(&["EmpName"])),
@@ -752,7 +837,9 @@ mod tests {
     #[test]
     fn duplicates_irrelevant_below_rdup_t() {
         let plan = LogicalPlan::new(
-            PlanNode::RdupT { input: Arc::new(scan("EMP", false)) },
+            PlanNode::RdupT {
+                input: Arc::new(scan("EMP", false)),
+            },
             ResultType::Multiset,
         );
         let ann = annotate(&plan).unwrap();
@@ -764,7 +851,9 @@ mod tests {
     fn periods_not_preserved_below_coalesce_of_sdf_input() {
         let plan = LogicalPlan::new(
             PlanNode::Coalesce {
-                input: Arc::new(PlanNode::RdupT { input: Arc::new(scan("EMP", false)) }),
+                input: Arc::new(PlanNode::RdupT {
+                    input: Arc::new(scan("EMP", false)),
+                }),
             },
             ResultType::Multiset,
         );
@@ -779,7 +868,9 @@ mod tests {
     #[test]
     fn periods_preserved_below_coalesce_of_dirty_input() {
         let plan = LogicalPlan::new(
-            PlanNode::Coalesce { input: Arc::new(scan("EMP", false)) },
+            PlanNode::Coalesce {
+                input: Arc::new(scan("EMP", false)),
+            },
             ResultType::Multiset,
         );
         let ann = annotate(&plan).unwrap();
@@ -792,7 +883,9 @@ mod tests {
         // neither order, duplicates, nor periods — §5.3's example.
         let plan = LogicalPlan::new(
             PlanNode::DifferenceT {
-                left: Arc::new(PlanNode::RdupT { input: Arc::new(scan("EMP", false)) }),
+                left: Arc::new(PlanNode::RdupT {
+                    input: Arc::new(scan("EMP", false)),
+                }),
                 right: Arc::new(scan("PROJ", false)),
             },
             ResultType::Multiset,
@@ -875,14 +968,20 @@ mod tests {
         use crate::expr::ProjItem;
         let proj = |name: &str| PlanNode::Project {
             input: Arc::new(scan(name, false)),
-            items: vec![ProjItem::col("EmpName"), ProjItem::col("T1"), ProjItem::col("T2")],
+            items: vec![
+                ProjItem::col("EmpName"),
+                ProjItem::col("T1"),
+                ProjItem::col("T2"),
+            ],
         };
         let plan = LogicalPlan::new(
             PlanNode::Sort {
                 input: Arc::new(PlanNode::Coalesce {
                     input: Arc::new(PlanNode::RdupT {
                         input: Arc::new(PlanNode::DifferenceT {
-                            left: Arc::new(PlanNode::RdupT { input: Arc::new(proj("EMP")) }),
+                            left: Arc::new(PlanNode::RdupT {
+                                input: Arc::new(proj("EMP")),
+                            }),
                             right: Arc::new(proj("PROJ")),
                         }),
                     }),

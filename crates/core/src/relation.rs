@@ -56,7 +56,10 @@ impl Relation {
     }
 
     pub fn empty(schema: Schema) -> Relation {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -104,7 +107,9 @@ impl Relation {
     /// period contains `t`, in list order (§2.1).
     pub fn snapshot(&self, t: Instant) -> Result<Relation> {
         if !self.is_temporal() {
-            return Err(crate::error::Error::NotTemporal { context: "snapshot" });
+            return Err(crate::error::Error::NotTemporal {
+                context: "snapshot",
+            });
         }
         let snap_schema = self.schema.snapshot_schema();
         let value_idx = self.schema.value_indices();
@@ -114,7 +119,10 @@ impl Relation {
                 tuples.push(tup.project(&value_idx));
             }
         }
-        Ok(Relation { schema: snap_schema, tuples })
+        Ok(Relation {
+            schema: snap_schema,
+            tuples,
+        })
     }
 
     /// All period endpoints occurring in the relation, sorted and deduped.
@@ -123,7 +131,9 @@ impl Relation {
     /// decide snapshot equivalence.
     pub fn endpoints(&self) -> Result<Vec<Instant>> {
         if !self.is_temporal() {
-            return Err(crate::error::Error::NotTemporal { context: "endpoints" });
+            return Err(crate::error::Error::NotTemporal {
+                context: "endpoints",
+            });
         }
         let mut pts = Vec::with_capacity(self.tuples.len() * 2);
         for t in &self.tuples {
@@ -188,7 +198,9 @@ impl Relation {
     /// only, leaving overlap to `has_snapshot_duplicates`.
     pub fn is_coalesced(&self) -> Result<bool> {
         if !self.is_temporal() {
-            return Err(crate::error::Error::NotTemporal { context: "is_coalesced" });
+            return Err(crate::error::Error::NotTemporal {
+                context: "is_coalesced",
+            });
         }
         let mut classes: HashMap<Vec<Value>, Vec<Period>> = HashMap::new();
         for t in &self.tuples {
@@ -322,11 +334,7 @@ mod tests {
     #[test]
     fn duplicates_and_counts() {
         let schema = Schema::of(&[("A", DataType::Int)]);
-        let r = Relation::new(
-            schema,
-            vec![tuple![1i64], tuple![2i64], tuple![1i64]],
-        )
-        .unwrap();
+        let r = Relation::new(schema, vec![tuple![1i64], tuple![2i64], tuple![1i64]]).unwrap();
         assert!(r.has_duplicates());
         let counts = r.counts();
         assert_eq!(counts[&tuple![1i64]], 2);

@@ -28,7 +28,10 @@ impl Rule for C1 {
         if let PlanNode::Coalesce { input } = node {
             if let Some(child) = props_at(ann, path, &[0]) {
                 if child.stat.coalesced && child.stat.is_temporal() {
-                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                    return vec![RuleMatch::new(
+                        input.as_ref().clone(),
+                        vec![vec![], vec![0]],
+                    )];
                 }
             }
         }
@@ -50,7 +53,10 @@ impl Rule for C2 {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Coalesce { input } = node {
-            return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+            return vec![RuleMatch::new(
+                input.as_ref().clone(),
+                vec![vec![], vec![0]],
+            )];
         }
         vec![]
     }
@@ -71,13 +77,22 @@ impl Rule for C3 {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Coalesce { input } = node {
-            if let PlanNode::Select { input: inner, predicate } = input.as_ref() {
+            if let PlanNode::Select {
+                input: inner,
+                predicate,
+            } = input.as_ref()
+            {
                 if predicate.is_time_free() {
                     let replacement = PlanNode::Select {
-                        input: arc(PlanNode::Coalesce { input: inner.clone() }),
+                        input: arc(PlanNode::Coalesce {
+                            input: inner.clone(),
+                        }),
                         predicate: predicate.clone(),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
             }
         }
@@ -108,7 +123,10 @@ impl Rule for C3Rev {
                             predicate: predicate.clone(),
                         }),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
             }
         }
@@ -133,9 +151,14 @@ impl Rule for C4 {
         if let PlanNode::Project { input, items } = node {
             if let PlanNode::Coalesce { input: inner } = input.as_ref() {
                 if items.iter().all(|i| i.expr.is_time_free()) {
-                    let replacement =
-                        PlanNode::Project { input: inner.clone(), items: items.clone() };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    let replacement = PlanNode::Project {
+                        input: inner.clone(),
+                        items: items.clone(),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
             }
         }
@@ -163,11 +186,21 @@ impl Rule for C5 {
                     (left.as_ref(), right.as_ref())
                 {
                     let replacement = PlanNode::Coalesce {
-                        input: arc(PlanNode::UnionAll { left: l.clone(), right: r.clone() }),
+                        input: arc(PlanNode::UnionAll {
+                            left: l.clone(),
+                            right: r.clone(),
+                        }),
                     };
                     return vec![RuleMatch::new(
                         replacement,
-                        vec![vec![], vec![0], vec![0, 0], vec![0, 1], vec![0, 0, 0], vec![0, 1, 0]],
+                        vec![
+                            vec![],
+                            vec![0],
+                            vec![0, 0],
+                            vec![0, 1],
+                            vec![0, 0, 0],
+                            vec![0, 1, 0],
+                        ],
                     )];
                 }
             }
@@ -195,11 +228,21 @@ impl Rule for C6 {
                     (left.as_ref(), right.as_ref())
                 {
                     let replacement = PlanNode::Coalesce {
-                        input: arc(PlanNode::UnionT { left: l.clone(), right: r.clone() }),
+                        input: arc(PlanNode::UnionT {
+                            left: l.clone(),
+                            right: r.clone(),
+                        }),
                     };
                     return vec![RuleMatch::new(
                         replacement,
-                        vec![vec![], vec![0], vec![0, 0], vec![0, 1], vec![0, 0, 0], vec![0, 1, 0]],
+                        vec![
+                            vec![],
+                            vec![0],
+                            vec![0, 0],
+                            vec![0, 1],
+                            vec![0, 0, 0],
+                            vec![0, 1, 0],
+                        ],
                     )];
                 }
             }
@@ -224,7 +267,12 @@ impl Rule for C7 {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Coalesce { input } = node {
-            if let PlanNode::AggregateT { input: agg_in, group_by, aggs } = input.as_ref() {
+            if let PlanNode::AggregateT {
+                input: agg_in,
+                group_by,
+                aggs,
+            } = input.as_ref()
+            {
                 if let PlanNode::Coalesce { input: inner } = agg_in.as_ref() {
                     let replacement = PlanNode::Coalesce {
                         input: arc(PlanNode::AggregateT {
@@ -260,10 +308,12 @@ impl Rule for C8 {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Coalesce { input } = node {
-            if let PlanNode::Project { input: proj_in, items } = input.as_ref() {
-                let keeps_period = items
-                    .iter()
-                    .any(|i| i.is_identity() && i.alias == T1)
+            if let PlanNode::Project {
+                input: proj_in,
+                items,
+            } = input.as_ref()
+            {
+                let keeps_period = items.iter().any(|i| i.is_identity() && i.alias == T1)
                     && items.iter().any(|i| i.is_identity() && i.alias == T2);
                 if keeps_period {
                     if let PlanNode::Coalesce { input: inner } = proj_in.as_ref() {
@@ -317,7 +367,11 @@ impl Rule for C9 {
 
     fn try_apply(&self, node: &PlanNode, path: &Path, ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Coalesce { input } = node {
-            if let PlanNode::Project { input: proj_in, items } = input.as_ref() {
+            if let PlanNode::Project {
+                input: proj_in,
+                items,
+            } = input.as_ref()
+            {
                 if let PlanNode::ProductT { left, right } = proj_in.as_ref() {
                     let product_props = match props_at(ann, path, &[0, 0]) {
                         Some(p) => p,
@@ -326,8 +380,12 @@ impl Rule for C9 {
                     if is_c9_projection(items, &product_props.stat.schema) {
                         let replacement = PlanNode::Project {
                             input: arc(PlanNode::ProductT {
-                                left: arc(PlanNode::Coalesce { input: left.clone() }),
-                                right: arc(PlanNode::Coalesce { input: right.clone() }),
+                                left: arc(PlanNode::Coalesce {
+                                    input: left.clone(),
+                                }),
+                                right: arc(PlanNode::Coalesce {
+                                    input: right.clone(),
+                                }),
                             }),
                             items: items.clone(),
                         };
@@ -366,8 +424,12 @@ impl Rule for C10 {
                 };
                 if left_props.stat.snapshot_dup_free {
                     let replacement = PlanNode::DifferenceT {
-                        left: arc(PlanNode::Coalesce { input: left.clone() }),
-                        right: arc(PlanNode::Coalesce { input: right.clone() }),
+                        left: arc(PlanNode::Coalesce {
+                            input: left.clone(),
+                        }),
+                        right: arc(PlanNode::Coalesce {
+                            input: right.clone(),
+                        }),
                     };
                     return vec![RuleMatch::new(
                         replacement,
@@ -404,7 +466,9 @@ impl Rule for C10NoRight {
                 };
                 if left_props.stat.snapshot_dup_free {
                     let replacement = PlanNode::DifferenceT {
-                        left: arc(PlanNode::Coalesce { input: left.clone() }),
+                        left: arc(PlanNode::Coalesce {
+                            input: left.clone(),
+                        }),
                         right: right.clone(),
                     };
                     return vec![RuleMatch::new(
@@ -447,7 +511,11 @@ mod tests {
 
     fn temporal_scan(name: &str, clean: bool) -> PlanBuilder {
         let s = Schema::temporal(&[("E", DataType::Str)]);
-        let base = if clean { BaseProps::clean(s, 100) } else { BaseProps::unordered(s, 100) };
+        let base = if clean {
+            BaseProps::clean(s, 100)
+        } else {
+            BaseProps::unordered(s, 100)
+        };
         PlanBuilder::scan(name, base)
     }
 
@@ -463,7 +531,10 @@ mod tests {
         let clean = temporal_scan("R", true).coalesce().build_multiset();
         assert_eq!(try_at_root(&C1, &clean).len(), 1);
         // Double coalescing: the outer one sees a coalesced input.
-        let double = temporal_scan("R", false).coalesce().coalesce().build_multiset();
+        let double = temporal_scan("R", false)
+            .coalesce()
+            .coalesce()
+            .build_multiset();
         assert_eq!(try_at_root(&C1, &double).len(), 1);
     }
 
@@ -500,7 +571,10 @@ mod tests {
 
     #[test]
     fn c4_requires_time_free_items() {
-        let good = temporal_scan("R", false).coalesce().project_cols(&["E"]).build_set();
+        let good = temporal_scan("R", false)
+            .coalesce()
+            .project_cols(&["E"])
+            .build_set();
         assert_eq!(try_at_root(&C4, &good).len(), 1);
         let bad = temporal_scan("R", false)
             .coalesce()
@@ -540,7 +614,12 @@ mod tests {
         assert_eq!(m[0].replacement.op_name(), "π");
         assert_eq!(m[0].replacement.get(&[0, 0]).unwrap().op_name(), "coalT");
         // A different projection does not match.
-        let other = product.project(vec![ProjItem::col("1.E"), ProjItem::col("T1"), ProjItem::col("T2")])
+        let other = product
+            .project(vec![
+                ProjItem::col("1.E"),
+                ProjItem::col("T1"),
+                ProjItem::col("T2"),
+            ])
             .coalesce()
             .build_multiset();
         assert!(try_at_root(&C9, &other).is_empty());

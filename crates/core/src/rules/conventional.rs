@@ -24,8 +24,16 @@ impl Rule for SelectCommute {
     }
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
-        if let PlanNode::Select { input, predicate: p } = node {
-            if let PlanNode::Select { input: inner, predicate: q } = input.as_ref() {
+        if let PlanNode::Select {
+            input,
+            predicate: p,
+        } = node
+        {
+            if let PlanNode::Select {
+                input: inner,
+                predicate: q,
+            } = input.as_ref()
+            {
                 // Avoid generating both orders twice for identical predicates.
                 if p == q {
                     return vec![];
@@ -37,7 +45,10 @@ impl Rule for SelectCommute {
                     }),
                     predicate: q.clone(),
                 };
-                return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                return vec![RuleMatch::new(
+                    replacement,
+                    vec![vec![], vec![0], vec![0, 0]],
+                )];
             }
         }
         vec![]
@@ -59,7 +70,11 @@ impl Rule for SelectPastProject {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Select { input, predicate } = node {
-            if let PlanNode::Project { input: inner, items } = input.as_ref() {
+            if let PlanNode::Project {
+                input: inner,
+                items,
+            } = input.as_ref()
+            {
                 let pushable = predicate
                     .attrs()
                     .iter()
@@ -72,7 +87,10 @@ impl Rule for SelectPastProject {
                         }),
                         items: items.clone(),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
             }
         }
@@ -107,22 +125,46 @@ impl SelectIntoProduct {
     ) -> Vec<RuleMatch> {
         let mut out = Vec::new();
         if let Some(p1) = strip_side(predicate, "1.") {
-            let new_left = arc(PlanNode::Select { input: left.clone(), predicate: p1 });
+            let new_left = arc(PlanNode::Select {
+                input: left.clone(),
+                predicate: p1,
+            });
             let product = if temporal {
-                PlanNode::ProductT { left: new_left, right: right.clone() }
+                PlanNode::ProductT {
+                    left: new_left,
+                    right: right.clone(),
+                }
             } else {
-                PlanNode::Product { left: new_left, right: right.clone() }
+                PlanNode::Product {
+                    left: new_left,
+                    right: right.clone(),
+                }
             };
-            out.push(RuleMatch::new(product, vec![vec![], vec![0], vec![0, 0], vec![0, 1]]));
+            out.push(RuleMatch::new(
+                product,
+                vec![vec![], vec![0], vec![0, 0], vec![0, 1]],
+            ));
         }
         if let Some(p2) = strip_side(predicate, "2.") {
-            let new_right = arc(PlanNode::Select { input: right.clone(), predicate: p2 });
+            let new_right = arc(PlanNode::Select {
+                input: right.clone(),
+                predicate: p2,
+            });
             let product = if temporal {
-                PlanNode::ProductT { left: left.clone(), right: new_right }
+                PlanNode::ProductT {
+                    left: left.clone(),
+                    right: new_right,
+                }
             } else {
-                PlanNode::Product { left: left.clone(), right: new_right }
+                PlanNode::Product {
+                    left: left.clone(),
+                    right: new_right,
+                }
             };
-            out.push(RuleMatch::new(product, vec![vec![], vec![0], vec![0, 0], vec![0, 1]]));
+            out.push(RuleMatch::new(
+                product,
+                vec![vec![], vec![0], vec![0, 0], vec![0, 1]],
+            ));
         }
         let _ = node;
         out
@@ -169,15 +211,31 @@ impl Rule for SelectIntoUnion {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Select { input, predicate } = node {
-            let mk = |l: &std::sync::Arc<PlanNode>, r: &std::sync::Arc<PlanNode>, temporal_union: u8| {
-                let sl = arc(PlanNode::Select { input: l.clone(), predicate: predicate.clone() });
-                let sr = arc(PlanNode::Select { input: r.clone(), predicate: predicate.clone() });
-                match temporal_union {
-                    0 => PlanNode::UnionAll { left: sl, right: sr },
-                    1 => PlanNode::UnionMax { left: sl, right: sr },
-                    _ => PlanNode::UnionT { left: sl, right: sr },
-                }
-            };
+            let mk =
+                |l: &std::sync::Arc<PlanNode>, r: &std::sync::Arc<PlanNode>, temporal_union: u8| {
+                    let sl = arc(PlanNode::Select {
+                        input: l.clone(),
+                        predicate: predicate.clone(),
+                    });
+                    let sr = arc(PlanNode::Select {
+                        input: r.clone(),
+                        predicate: predicate.clone(),
+                    });
+                    match temporal_union {
+                        0 => PlanNode::UnionAll {
+                            left: sl,
+                            right: sr,
+                        },
+                        1 => PlanNode::UnionMax {
+                            left: sl,
+                            right: sr,
+                        },
+                        _ => PlanNode::UnionT {
+                            left: sl,
+                            right: sr,
+                        },
+                    }
+                };
             // Guard against the demoted-name mismatch: `∪` and `\` rename
             // `T1`/`T2` to `1.T1`/`1.T2` on temporal inputs, so a predicate
             // over the demoted names cannot be evaluated below them.
@@ -295,7 +353,10 @@ impl Rule for SelectPastRdup {
                             predicate: predicate.clone(),
                         }),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
                 PlanNode::RdupT { input: inner } if predicate.is_time_free() => {
                     let replacement = PlanNode::RdupT {
@@ -304,7 +365,10 @@ impl Rule for SelectPastRdup {
                             predicate: predicate.clone(),
                         }),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
                 _ => {}
             }
@@ -332,9 +396,11 @@ impl Rule for SelectPastAggregate {
         if let PlanNode::Select { input, predicate } = node {
             let attrs = predicate.attrs();
             match input.as_ref() {
-                PlanNode::Aggregate { input: inner, group_by, aggs }
-                    if attrs.iter().all(|a| group_by.contains(a)) =>
-                {
+                PlanNode::Aggregate {
+                    input: inner,
+                    group_by,
+                    aggs,
+                } if attrs.iter().all(|a| group_by.contains(a)) => {
                     let replacement = PlanNode::Aggregate {
                         input: arc(PlanNode::Select {
                             input: inner.clone(),
@@ -343,11 +409,16 @@ impl Rule for SelectPastAggregate {
                         group_by: group_by.clone(),
                         aggs: aggs.clone(),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
-                PlanNode::AggregateT { input: inner, group_by, aggs }
-                    if attrs.iter().all(|a| group_by.contains(a)) =>
-                {
+                PlanNode::AggregateT {
+                    input: inner,
+                    group_by,
+                    aggs,
+                } if attrs.iter().all(|a| group_by.contains(a)) => {
                     let replacement = PlanNode::AggregateT {
                         input: arc(PlanNode::Select {
                             input: inner.clone(),
@@ -356,7 +427,10 @@ impl Rule for SelectPastAggregate {
                         group_by: group_by.clone(),
                         aggs: aggs.clone(),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
                 _ => {}
             }
@@ -380,26 +454,36 @@ impl Rule for ProjectCompose {
     }
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
-        if let PlanNode::Project { input, items: outer } = node {
-            if let PlanNode::Project { input: inner_input, items: inner } = input.as_ref() {
+        if let PlanNode::Project {
+            input,
+            items: outer,
+        } = node
+        {
+            if let PlanNode::Project {
+                input: inner_input,
+                items: inner,
+            } = input.as_ref()
+            {
                 let mut composed = Vec::with_capacity(outer.len());
                 for item in outer {
                     match &item.expr {
-                        Expr::Col(name) => {
-                            match inner.iter().find(|i| &i.alias == name) {
-                                Some(src) => composed.push(ProjItem::new(
-                                    src.expr.clone(),
-                                    item.alias.clone(),
-                                )),
-                                None => return vec![],
+                        Expr::Col(name) => match inner.iter().find(|i| &i.alias == name) {
+                            Some(src) => {
+                                composed.push(ProjItem::new(src.expr.clone(), item.alias.clone()))
                             }
-                        }
+                            None => return vec![],
+                        },
                         _ => return vec![], // computed outer items: skip
                     }
                 }
-                let replacement =
-                    PlanNode::Project { input: inner_input.clone(), items: composed };
-                return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                let replacement = PlanNode::Project {
+                    input: inner_input.clone(),
+                    items: composed,
+                };
+                return vec![RuleMatch::new(
+                    replacement,
+                    vec![vec![], vec![0], vec![0, 0]],
+                )];
             }
         }
         vec![]
@@ -424,14 +508,16 @@ impl Rule for RdupIntoProduct {
         if let PlanNode::Rdup { input } = node {
             if let PlanNode::Product { left, right } = input.as_ref() {
                 // Schema safety: rdup on temporal inputs demotes names.
-                let l_temporal = props_at(ann, path, &[0, 0])
-                    .is_none_or(|p| p.stat.is_temporal());
-                let r_temporal = props_at(ann, path, &[0, 1])
-                    .is_none_or(|p| p.stat.is_temporal());
+                let l_temporal = props_at(ann, path, &[0, 0]).is_none_or(|p| p.stat.is_temporal());
+                let r_temporal = props_at(ann, path, &[0, 1]).is_none_or(|p| p.stat.is_temporal());
                 if !l_temporal && !r_temporal {
                     let replacement = PlanNode::Product {
-                        left: arc(PlanNode::Rdup { input: left.clone() }),
-                        right: arc(PlanNode::Rdup { input: right.clone() }),
+                        left: arc(PlanNode::Rdup {
+                            input: left.clone(),
+                        }),
+                        right: arc(PlanNode::Rdup {
+                            input: right.clone(),
+                        }),
                     };
                     return vec![RuleMatch::new(
                         replacement,
@@ -458,7 +544,10 @@ impl Rule for UnionAllCommute {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::UnionAll { left, right } = node {
-            let replacement = PlanNode::UnionAll { left: right.clone(), right: left.clone() };
+            let replacement = PlanNode::UnionAll {
+                left: right.clone(),
+                right: left.clone(),
+            };
             return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![1]])];
         }
         vec![]
@@ -482,7 +571,10 @@ impl Rule for UnionAllAssocLeft {
             if let PlanNode::UnionAll { left: a, right: b } = left.as_ref() {
                 let replacement = PlanNode::UnionAll {
                     left: a.clone(),
-                    right: arc(PlanNode::UnionAll { left: b.clone(), right: right.clone() }),
+                    right: arc(PlanNode::UnionAll {
+                        left: b.clone(),
+                        right: right.clone(),
+                    }),
                 };
                 return vec![RuleMatch::new(
                     replacement,
@@ -508,7 +600,10 @@ impl Rule for UnionMaxCommute {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::UnionMax { left, right } = node {
-            let replacement = PlanNode::UnionMax { left: right.clone(), right: left.clone() };
+            let replacement = PlanNode::UnionMax {
+                left: right.clone(),
+                right: left.clone(),
+            };
             return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![1]])];
         }
         vec![]
@@ -531,7 +626,10 @@ impl Rule for UnionTCommute {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::UnionT { left, right } = node {
-            let replacement = PlanNode::UnionT { left: right.clone(), right: left.clone() };
+            let replacement = PlanNode::UnionT {
+                left: right.clone(),
+                right: left.clone(),
+            };
             return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![1]])];
         }
         vec![]
@@ -547,10 +645,16 @@ fn remap_items(left_schema: &Schema, right_schema: &Schema) -> Vec<ProjItem> {
     // Swapped output:  1.<right attrs>, 2.<left attrs>.
     let mut items = Vec::with_capacity(left_schema.arity() + right_schema.arity());
     for a in left_schema.attrs() {
-        items.push(ProjItem::new(Expr::col(format!("2.{}", a.name)), format!("1.{}", a.name)));
+        items.push(ProjItem::new(
+            Expr::col(format!("2.{}", a.name)),
+            format!("1.{}", a.name),
+        ));
     }
     for a in right_schema.attrs() {
-        items.push(ProjItem::new(Expr::col(format!("1.{}", a.name)), format!("2.{}", a.name)));
+        items.push(ProjItem::new(
+            Expr::col(format!("1.{}", a.name)),
+            format!("2.{}", a.name),
+        ));
     }
     items
 }
@@ -572,7 +676,10 @@ impl Rule for ProductCommute {
             };
             let items = remap_items(&lp.stat.schema, &rp.stat.schema);
             let replacement = PlanNode::Project {
-                input: arc(PlanNode::Product { left: right.clone(), right: left.clone() }),
+                input: arc(PlanNode::Product {
+                    left: right.clone(),
+                    right: left.clone(),
+                }),
                 items,
             };
             return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![1]])];
@@ -606,7 +713,10 @@ impl Rule for ProductTCommute {
             items.push(ProjItem::col(crate::schema::T1));
             items.push(ProjItem::col(crate::schema::T2));
             let replacement = PlanNode::Project {
-                input: arc(PlanNode::ProductT { left: right.clone(), right: left.clone() }),
+                input: arc(PlanNode::ProductT {
+                    left: right.clone(),
+                    right: left.clone(),
+                }),
                 items,
             };
             return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![1]])];
@@ -665,7 +775,10 @@ mod tests {
 
     #[test]
     fn select_commute_swaps() {
-        let plan = scan("R").select(pred("A", 1)).select(pred("A", 2)).build_multiset();
+        let plan = scan("R")
+            .select(pred("A", 1))
+            .select(pred("A", 2))
+            .build_multiset();
         let m = try_at_root(&SelectCommute, &plan);
         assert_eq!(m.len(), 1);
         match &m[0].replacement {
@@ -693,7 +806,10 @@ mod tests {
 
     #[test]
     fn select_into_union_distributes() {
-        let plan = scan("R").union_all(scan("S")).select(pred("A", 0)).build_multiset();
+        let plan = scan("R")
+            .union_all(scan("S"))
+            .select(pred("A", 0))
+            .build_multiset();
         let m = try_at_root(&SelectIntoUnion, &plan);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].replacement.op_name(), "⊔");
@@ -719,12 +835,18 @@ mod tests {
     fn select_past_aggregate_on_group_keys_only() {
         use crate::expr::{AggFunc, AggItem};
         let good = scan("R")
-            .aggregate(vec!["B".into()], vec![AggItem::new(AggFunc::Sum, Some("A"), "s")])
+            .aggregate(
+                vec!["B".into()],
+                vec![AggItem::new(AggFunc::Sum, Some("A"), "s")],
+            )
             .select(Expr::eq(Expr::col("B"), Expr::lit("x")))
             .build_multiset();
         assert_eq!(try_at_root(&SelectPastAggregate, &good).len(), 1);
         let bad = scan("R")
-            .aggregate(vec!["B".into()], vec![AggItem::new(AggFunc::Sum, Some("A"), "s")])
+            .aggregate(
+                vec!["B".into()],
+                vec![AggItem::new(AggFunc::Sum, Some("A"), "s")],
+            )
             .select(pred("s", 10))
             .build_multiset();
         assert!(try_at_root(&SelectPastAggregate, &bad).is_empty());

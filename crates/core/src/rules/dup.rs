@@ -23,7 +23,10 @@ impl Rule for D1 {
         if let PlanNode::Rdup { input } = node {
             if let Some(child) = props_at(ann, path, &[0]) {
                 if child.stat.dup_free && !child.stat.is_temporal() {
-                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                    return vec![RuleMatch::new(
+                        input.as_ref().clone(),
+                        vec![vec![], vec![0]],
+                    )];
                 }
             }
         }
@@ -47,7 +50,10 @@ impl Rule for D2 {
         if let PlanNode::RdupT { input } = node {
             if let Some(child) = props_at(ann, path, &[0]) {
                 if child.stat.snapshot_dup_free {
-                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                    return vec![RuleMatch::new(
+                        input.as_ref().clone(),
+                        vec![vec![], vec![0]],
+                    )];
                 }
             }
         }
@@ -72,7 +78,10 @@ impl Rule for D3 {
         if let PlanNode::Rdup { input } = node {
             if let Some(child) = props_at(ann, path, &[0]) {
                 if !child.stat.is_temporal() {
-                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                    return vec![RuleMatch::new(
+                        input.as_ref().clone(),
+                        vec![vec![], vec![0]],
+                    )];
                 }
             }
         }
@@ -95,7 +104,10 @@ impl Rule for D4 {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::RdupT { input } = node {
-            return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+            return vec![RuleMatch::new(
+                input.as_ref().clone(),
+                vec![vec![], vec![0]],
+            )];
         }
         vec![]
     }
@@ -119,8 +131,12 @@ impl Rule for D5 {
         if let PlanNode::Rdup { input } = node {
             if let PlanNode::UnionMax { left, right } = input.as_ref() {
                 let replacement = PlanNode::UnionMax {
-                    left: arc(PlanNode::Rdup { input: left.clone() }),
-                    right: arc(PlanNode::Rdup { input: right.clone() }),
+                    left: arc(PlanNode::Rdup {
+                        input: left.clone(),
+                    }),
+                    right: arc(PlanNode::Rdup {
+                        input: right.clone(),
+                    }),
                 };
                 return vec![RuleMatch::new(
                     replacement,
@@ -150,7 +166,10 @@ impl Rule for D5Rev {
                 (left.as_ref(), right.as_ref())
             {
                 let replacement = PlanNode::Rdup {
-                    input: arc(PlanNode::UnionMax { left: l.clone(), right: r.clone() }),
+                    input: arc(PlanNode::UnionMax {
+                        left: l.clone(),
+                        right: r.clone(),
+                    }),
                 };
                 return vec![RuleMatch::new(
                     replacement,
@@ -183,8 +202,12 @@ impl Rule for D6 {
         if let PlanNode::RdupT { input } = node {
             if let PlanNode::UnionT { left, right } = input.as_ref() {
                 let replacement = PlanNode::UnionT {
-                    left: arc(PlanNode::RdupT { input: left.clone() }),
-                    right: arc(PlanNode::RdupT { input: right.clone() }),
+                    left: arc(PlanNode::RdupT {
+                        input: left.clone(),
+                    }),
+                    right: arc(PlanNode::RdupT {
+                        input: right.clone(),
+                    }),
                 };
                 return vec![RuleMatch::new(
                     replacement,
@@ -212,7 +235,7 @@ pub fn rules() -> Vec<Box<dyn Rule>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::plan::props::annotate;
     use crate::plan::{BaseProps, LogicalPlan, PlanBuilder};
     use crate::schema::Schema;
@@ -220,7 +243,11 @@ mod tests {
 
     fn temporal_scan(clean: bool) -> PlanBuilder {
         let s = Schema::temporal(&[("E", DataType::Str)]);
-        let base = if clean { BaseProps::clean(s, 100) } else { BaseProps::unordered(s, 100) };
+        let base = if clean {
+            BaseProps::clean(s, 100)
+        } else {
+            BaseProps::unordered(s, 100)
+        };
         PlanBuilder::scan("R", base)
     }
 
@@ -275,7 +302,10 @@ mod tests {
 
     #[test]
     fn d5_pushes_rdup_below_union() {
-        let plan = snap_scan(false).union_max(snap_scan(false)).rdup().build_multiset();
+        let plan = snap_scan(false)
+            .union_max(snap_scan(false))
+            .rdup()
+            .build_multiset();
         let m = try_at_root(&D5, &plan);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].replacement.op_name(), "∪");
@@ -311,7 +341,11 @@ mod tests {
     fn rules_do_not_match_unrelated_nodes() {
         let plan = temporal_scan(false).coalesce().build_multiset();
         for rule in rules() {
-            assert!(try_at_root(rule.as_ref(), &plan).is_empty(), "{}", rule.name());
+            assert!(
+                try_at_root(rule.as_ref(), &plan).is_empty(),
+                "{}",
+                rule.name()
+            );
         }
     }
 }

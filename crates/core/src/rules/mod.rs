@@ -44,7 +44,10 @@ pub struct RuleMatch {
 
 impl RuleMatch {
     pub fn new(replacement: PlanNode, matched: Vec<Path>) -> RuleMatch {
-        RuleMatch { replacement, matched }
+        RuleMatch {
+            replacement,
+            matched,
+        }
     }
 }
 
@@ -131,7 +134,10 @@ impl RuleSet {
 
     /// Find a rule by name.
     pub fn by_name(&self, name: &str) -> Option<&dyn Rule> {
-        self.rules.iter().find(|r| r.name() == name).map(|b| b.as_ref())
+        self.rules
+            .iter()
+            .find(|r| r.name() == name)
+            .map(|b| b.as_ref())
     }
 
     /// Restrict the catalogue to rules of the given equivalence types —
@@ -163,7 +169,11 @@ mod tests {
     #[test]
     fn standard_set_is_substantial_and_unique() {
         let set = RuleSet::standard();
-        assert!(set.len() >= 25, "expected a substantial rule catalogue, got {}", set.len());
+        assert!(
+            set.len() >= 25,
+            "expected a substantial rule catalogue, got {}",
+            set.len()
+        );
         let mut names: Vec<&str> = set.rules().iter().map(|r| r.name()).collect();
         let before = names.len();
         names.sort_unstable();
@@ -174,8 +184,7 @@ mod tests {
     #[test]
     fn restriction_filters_by_type() {
         let all = RuleSet::standard().len();
-        let list_only =
-            RuleSet::standard().restricted_to(&[EquivalenceType::List]);
+        let list_only = RuleSet::standard().restricted_to(&[EquivalenceType::List]);
         assert!(!list_only.is_empty());
         assert!(list_only.len() < all);
         assert!(list_only
@@ -188,8 +197,8 @@ mod tests {
     fn figure4_rules_all_present() {
         let set = RuleSet::figure4();
         for name in [
-            "D1", "D2", "D3", "D4", "D5", "D5-rev", "D6", "C1", "C2", "C3", "C3-rev", "C4",
-            "C5", "C6", "C7", "C9", "C10", "S1", "S2", "S3",
+            "D1", "D2", "D3", "D4", "D5", "D5-rev", "D6", "C1", "C2", "C3", "C3-rev", "C4", "C5",
+            "C6", "C7", "C9", "C10", "S1", "S2", "S3",
         ] {
             assert!(set.by_name(name).is_some(), "missing rule {name}");
         }

@@ -25,7 +25,10 @@ impl Rule for S1 {
         if let PlanNode::Sort { input, order } = node {
             if let Some(child) = props_at(ann, path, &[0]) {
                 if order.is_prefix_of(&child.stat.order) {
-                    return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+                    return vec![RuleMatch::new(
+                        input.as_ref().clone(),
+                        vec![vec![], vec![0]],
+                    )];
                 }
             }
         }
@@ -47,7 +50,10 @@ impl Rule for S2 {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Sort { input, .. } = node {
-            return vec![RuleMatch::new(input.as_ref().clone(), vec![vec![], vec![0]])];
+            return vec![RuleMatch::new(
+                input.as_ref().clone(),
+                vec![vec![], vec![0]],
+            )];
         }
         vec![]
     }
@@ -67,12 +73,25 @@ impl Rule for S3 {
     }
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
-        if let PlanNode::Sort { input, order: outer } = node {
-            if let PlanNode::Sort { input: inner_input, order: inner } = input.as_ref() {
+        if let PlanNode::Sort {
+            input,
+            order: outer,
+        } = node
+        {
+            if let PlanNode::Sort {
+                input: inner_input,
+                order: inner,
+            } = input.as_ref()
+            {
                 if inner.is_prefix_of(outer) {
-                    let replacement =
-                        PlanNode::Sort { input: inner_input.clone(), order: outer.clone() };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    let replacement = PlanNode::Sort {
+                        input: inner_input.clone(),
+                        order: outer.clone(),
+                    };
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
             }
         }
@@ -95,12 +114,22 @@ impl Rule for SortPastSelect {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Sort { input, order } = node {
-            if let PlanNode::Select { input: inner, predicate } = input.as_ref() {
+            if let PlanNode::Select {
+                input: inner,
+                predicate,
+            } = input.as_ref()
+            {
                 let replacement = PlanNode::Select {
-                    input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                    input: arc(PlanNode::Sort {
+                        input: inner.clone(),
+                        order: order.clone(),
+                    }),
                     predicate: predicate.clone(),
                 };
-                return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                return vec![RuleMatch::new(
+                    replacement,
+                    vec![vec![], vec![0], vec![0, 0]],
+                )];
             }
         }
         vec![]
@@ -123,16 +152,27 @@ impl Rule for SortPastProject {
 
     fn try_apply(&self, node: &PlanNode, _path: &Path, _ann: &Annotations) -> Vec<RuleMatch> {
         if let PlanNode::Sort { input, order } = node {
-            if let PlanNode::Project { input: inner, items } = input.as_ref() {
-                let all_keys_identity = order.keys().iter().all(|k| {
-                    items.iter().any(|i| i.is_identity() && i.alias == k.attr)
-                });
+            if let PlanNode::Project {
+                input: inner,
+                items,
+            } = input.as_ref()
+            {
+                let all_keys_identity = order
+                    .keys()
+                    .iter()
+                    .all(|k| items.iter().any(|i| i.is_identity() && i.alias == k.attr));
                 if all_keys_identity {
                     let replacement = PlanNode::Project {
-                        input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                        input: arc(PlanNode::Sort {
+                            input: inner.clone(),
+                            order: order.clone(),
+                        }),
                         items: items.clone(),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
             }
         }
@@ -161,11 +201,14 @@ impl Rule for SortPastCoalesce {
                     .keys()
                     .iter()
                     .all(|k| k.attr != crate::schema::T1 && k.attr != crate::schema::T2);
-                let inner_sdf = props_at(ann, path, &[0, 0])
-                    .is_some_and(|p| p.stat.snapshot_dup_free);
+                let inner_sdf =
+                    props_at(ann, path, &[0, 0]).is_some_and(|p| p.stat.snapshot_dup_free);
                 if time_free && inner_sdf {
                     let replacement = PlanNode::Coalesce {
-                        input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                        input: arc(PlanNode::Sort {
+                            input: inner.clone(),
+                            order: order.clone(),
+                        }),
                     };
                     return vec![RuleMatch::new(
                         replacement,
@@ -203,7 +246,10 @@ impl Rule for SortPastDifferenceT {
                     .all(|k| k.attr != crate::schema::T1 && k.attr != crate::schema::T2);
                 if time_free {
                     let replacement = PlanNode::DifferenceT {
-                        left: arc(PlanNode::Sort { input: left.clone(), order: order.clone() }),
+                        left: arc(PlanNode::Sort {
+                            input: left.clone(),
+                            order: order.clone(),
+                        }),
                         right: right.clone(),
                     };
                     return vec![RuleMatch::new(
@@ -242,9 +288,15 @@ impl Rule for SortPastRdupT {
                     .all(|k| k.attr != crate::schema::T1 && k.attr != crate::schema::T2);
                 if time_free {
                     let replacement = PlanNode::RdupT {
-                        input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                        input: arc(PlanNode::Sort {
+                            input: inner.clone(),
+                            order: order.clone(),
+                        }),
                     };
-                    return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                    return vec![RuleMatch::new(
+                        replacement,
+                        vec![vec![], vec![0], vec![0, 0]],
+                    )];
                 }
             }
         }
@@ -281,7 +333,10 @@ impl Rule for SortPastProductLeft {
                             .collect(),
                     );
                     let replacement = PlanNode::Product {
-                        left: arc(PlanNode::Sort { input: left.clone(), order: stripped }),
+                        left: arc(PlanNode::Sort {
+                            input: left.clone(),
+                            order: stripped,
+                        }),
                         right: right.clone(),
                     };
                     return vec![RuleMatch::new(
@@ -396,9 +451,16 @@ mod tests {
 
     #[test]
     fn sort_past_coalesce_needs_sdf_input() {
-        let dirty = scan("R").coalesce().sort(Order::asc(&["E"])).build_multiset();
+        let dirty = scan("R")
+            .coalesce()
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
         assert!(try_at_root(&SortPastCoalesce, &dirty).is_empty());
-        let clean = scan("R").rdup_t().coalesce().sort(Order::asc(&["E"])).build_multiset();
+        let clean = scan("R")
+            .rdup_t()
+            .coalesce()
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
         let m = try_at_root(&SortPastCoalesce, &clean);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].replacement.op_name(), "coalT");

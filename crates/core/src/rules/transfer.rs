@@ -80,7 +80,10 @@ impl Rule for PushIntoDbmsUnary {
                 Err(_) => return vec![],
             };
             let replacement = PlanNode::TransferS { input: arc(moved) };
-            return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+            return vec![RuleMatch::new(
+                replacement,
+                vec![vec![], vec![0], vec![0, 0]],
+            )];
         }
         vec![]
     }
@@ -105,9 +108,15 @@ impl Rule for PushSortIntoDbms {
         if let PlanNode::Sort { input, order } = node {
             if let PlanNode::TransferS { input: inner } = input.as_ref() {
                 let replacement = PlanNode::TransferS {
-                    input: arc(PlanNode::Sort { input: inner.clone(), order: order.clone() }),
+                    input: arc(PlanNode::Sort {
+                        input: inner.clone(),
+                        order: order.clone(),
+                    }),
                 };
-                return vec![RuleMatch::new(replacement, vec![vec![], vec![0], vec![0, 0]])];
+                return vec![RuleMatch::new(
+                    replacement,
+                    vec![vec![], vec![0], vec![0, 0]],
+                )];
             }
         }
         vec![]
@@ -176,7 +185,9 @@ impl Rule for PullFromDbmsUnary {
             if children.len() != 1 {
                 return vec![];
             }
-            let lifted_child = arc(PlanNode::TransferS { input: children[0].clone() });
+            let lifted_child = arc(PlanNode::TransferS {
+                input: children[0].clone(),
+            });
             let moved = match inner.with_children(vec![lifted_child]) {
                 Ok(m) => m,
                 Err(_) => return vec![],
@@ -248,7 +259,10 @@ mod tests {
 
     #[test]
     fn sort_moves_with_list_equivalence() {
-        let plan = scan("R").transfer_s().sort(Order::asc(&["E"])).build_multiset();
+        let plan = scan("R")
+            .transfer_s()
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
         let m = try_at_root(&PushSortIntoDbms, &plan);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].replacement.op_name(), "TS");
@@ -272,7 +286,9 @@ mod tests {
         let plan = LogicalPlan::new(
             PlanNode::TransferS {
                 input: std::sync::Arc::new(
-                    scan("R").select(Expr::eq(Expr::col("E"), Expr::lit("x"))).node(),
+                    scan("R")
+                        .select(Expr::eq(Expr::col("E"), Expr::lit("x")))
+                        .node(),
                 ),
             },
             crate::equivalence::ResultType::Multiset,

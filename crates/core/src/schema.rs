@@ -27,7 +27,10 @@ pub struct Attribute {
 
 impl Attribute {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Attribute {
-        Attribute { name: name.into(), dtype }
+        Attribute {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -54,7 +57,9 @@ impl Schema {
                 });
             }
             if (a.name == T1 || a.name == T2) && a.dtype != DataType::Time {
-                return Err(Error::ReservedAttribute { name: a.name.clone() });
+                return Err(Error::ReservedAttribute {
+                    name: a.name.clone(),
+                });
             }
         }
         let s = Schema { attrs };
@@ -78,8 +83,7 @@ impl Schema {
 
     /// A snapshot schema plus the reserved period attributes appended.
     pub fn temporal(pairs: &[(&str, DataType)]) -> Schema {
-        let mut attrs: Vec<Attribute> =
-            pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect();
+        let mut attrs: Vec<Attribute> = pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect();
         attrs.push(Attribute::new(T1, DataType::Time));
         attrs.push(Attribute::new(T2, DataType::Time));
         Schema::new(attrs).expect("static temporal schema must be valid")

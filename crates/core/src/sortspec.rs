@@ -38,11 +38,17 @@ pub struct SortKey {
 
 impl SortKey {
     pub fn asc(attr: impl Into<String>) -> SortKey {
-        SortKey { attr: attr.into(), dir: SortDir::Asc }
+        SortKey {
+            attr: attr.into(),
+            dir: SortDir::Asc,
+        }
     }
 
     pub fn desc(attr: impl Into<String>) -> SortKey {
-        SortKey { attr: attr.into(), dir: SortDir::Desc }
+        SortKey {
+            attr: attr.into(),
+            dir: SortDir::Desc,
+        }
     }
 }
 
@@ -116,7 +122,10 @@ impl Order {
         Order(
             self.0
                 .iter()
-                .map(|k| SortKey { attr: f(&k.attr), dir: k.dir })
+                .map(|k| SortKey {
+                    attr: f(&k.attr),
+                    dir: k.dir,
+                })
                 .collect(),
         )
     }
@@ -213,7 +222,9 @@ mod tests {
         let t2 = tuple![1i64, "a"];
         let t3 = tuple![2i64, "m"];
         assert_eq!(order.compare(&schema, &t1, &t2).unwrap(), Ordering::Less);
-        assert!(order.is_sorted(&schema, &[t1.clone(), t2.clone(), t3.clone()]).unwrap());
+        assert!(order
+            .is_sorted(&schema, &[t1.clone(), t2.clone(), t3.clone()])
+            .unwrap());
         assert!(!order.is_sorted(&schema, &[t2, t1, t3]).unwrap());
     }
 
@@ -221,6 +232,8 @@ mod tests {
     fn unknown_attr_errors() {
         let schema = Schema::of(&[("A", DataType::Int)]);
         let order = Order::asc(&["Z"]);
-        assert!(order.compare(&schema, &tuple![1i64], &tuple![2i64]).is_err());
+        assert!(order
+            .compare(&schema, &tuple![1i64], &tuple![2i64])
+            .is_err());
     }
 }

@@ -48,7 +48,10 @@ impl Period {
 
     /// The period spanning all of time.
     pub fn always() -> Period {
-        Period { start: TIME_MIN, end: TIME_MAX }
+        Period {
+            start: TIME_MIN,
+            end: TIME_MAX,
+        }
     }
 
     /// True when the period contains no instants.
@@ -122,10 +125,16 @@ impl Period {
         }
         let mut out = Vec::with_capacity(2);
         if self.start < other.start {
-            out.push(Period { start: self.start, end: other.start });
+            out.push(Period {
+                start: self.start,
+                end: other.start,
+            });
         }
         if other.end < self.end {
-            out.push(Period { start: other.end, end: self.end });
+            out.push(Period {
+                start: other.end,
+                end: self.end,
+            });
         }
         out
     }
@@ -199,7 +208,13 @@ impl CountTimeline {
                 // count (keeps output minimal).
                 match out.last_mut() {
                     Some((p, c)) if *c == count && p.end == prev => p.end = t,
-                    _ => out.push((Period { start: prev, end: t }, count)),
+                    _ => out.push((
+                        Period {
+                            start: prev,
+                            end: t,
+                        },
+                        count,
+                    )),
                 }
             }
             let mut delta = 0;
@@ -249,7 +264,10 @@ mod tests {
 
     #[test]
     fn intersection() {
-        assert_eq!(Period::of(1, 5).intersect(&Period::of(3, 8)), Some(Period::of(3, 5)));
+        assert_eq!(
+            Period::of(1, 5).intersect(&Period::of(3, 8)),
+            Some(Period::of(3, 5))
+        );
         assert_eq!(Period::of(1, 3).intersect(&Period::of(3, 8)), None);
     }
 
@@ -259,14 +277,20 @@ mod tests {
         assert_eq!(p.subtract(&Period::of(1, 10)), vec![]);
         assert_eq!(p.subtract(&Period::of(0, 4)), vec![Period::of(4, 10)]);
         assert_eq!(p.subtract(&Period::of(7, 12)), vec![Period::of(1, 7)]);
-        assert_eq!(p.subtract(&Period::of(3, 6)), vec![Period::of(1, 3), Period::of(6, 10)]);
+        assert_eq!(
+            p.subtract(&Period::of(3, 6)),
+            vec![Period::of(1, 3), Period::of(6, 10)]
+        );
         assert_eq!(p.subtract(&Period::of(10, 12)), vec![p]);
     }
 
     #[test]
     fn paper_figure3_fragment() {
         // John [6,11) minus John [1,8) leaves [8,11) — Figure 3's R3.
-        assert_eq!(Period::of(6, 11).subtract(&Period::of(1, 8)), vec![Period::of(8, 11)]);
+        assert_eq!(
+            Period::of(6, 11).subtract(&Period::of(1, 8)),
+            vec![Period::of(8, 11)]
+        );
     }
 
     #[test]

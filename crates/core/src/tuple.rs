@@ -67,7 +67,11 @@ impl Tuple {
     pub fn period(&self, schema: &Schema) -> Result<Period> {
         let (i1, i2) = match (schema.t1_index(), schema.t2_index()) {
             (Some(i1), Some(i2)) => (i1, i2),
-            _ => return Err(Error::NotTemporal { context: "Tuple::period" }),
+            _ => {
+                return Err(Error::NotTemporal {
+                    context: "Tuple::period",
+                })
+            }
         };
         Period::new(self.values[i1].as_time()?, self.values[i2].as_time()?)
     }
@@ -76,7 +80,11 @@ impl Tuple {
     pub fn with_period(&self, schema: &Schema, p: Period) -> Result<Tuple> {
         let (i1, i2) = match (schema.t1_index(), schema.t2_index()) {
             (Some(i1), Some(i2)) => (i1, i2),
-            _ => return Err(Error::NotTemporal { context: "Tuple::with_period" }),
+            _ => {
+                return Err(Error::NotTemporal {
+                    context: "Tuple::with_period",
+                })
+            }
         };
         let mut values = self.values.clone();
         values[i1] = Value::Time(p.start);

@@ -213,7 +213,10 @@ impl Hash for Value {
                 i.hash(state);
             }
             Value::Float(x) => {
-                if x.fract() == 0.0 && x.is_finite() && *x >= i64::MIN as f64 && *x <= i64::MAX as f64
+                if x.fract() == 0.0
+                    && x.is_finite()
+                    && *x >= i64::MIN as f64
+                    && *x <= i64::MAX as f64
                 {
                     state.write_u8(2);
                     (*x as i64).hash(state);
@@ -317,7 +320,10 @@ mod tests {
     fn equal_values_hash_equal() {
         assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
         assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Time(3)));
-        assert_eq!(hash_of(&Value::Str("x".into())), hash_of(&Value::Str("x".into())));
+        assert_eq!(
+            hash_of(&Value::Str("x".into())),
+            hash_of(&Value::Str("x".into()))
+        );
     }
 
     #[test]
@@ -329,7 +335,13 @@ mod tests {
 
     #[test]
     fn conforms_to_accepts_null_everywhere() {
-        for dt in [DataType::Int, DataType::Float, DataType::Str, DataType::Bool, DataType::Time] {
+        for dt in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Bool,
+            DataType::Time,
+        ] {
             assert!(Value::Null.conforms_to(dt));
         }
         assert!(Value::Int(1).conforms_to(DataType::Int));

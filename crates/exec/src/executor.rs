@@ -56,9 +56,7 @@ fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Rela
         PhysicalNode::Sort { order, .. } => ops::sort(&inputs[0], order)?,
         PhysicalNode::ProductT { algo, .. } => match algo {
             ProductTAlgo::NestedLoop => ops::product_t(&inputs[0], &inputs[1])?,
-            ProductTAlgo::PlaneSweep => {
-                operators::product_t_plane_sweep(&inputs[0], &inputs[1])?
-            }
+            ProductTAlgo::PlaneSweep => operators::product_t_plane_sweep(&inputs[0], &inputs[1])?,
         },
         PhysicalNode::DifferenceT { algo, .. } => match algo {
             DifferenceTAlgo::TimelineSweep => ops::difference_t(&inputs[0], &inputs[1])?,
@@ -131,8 +129,15 @@ mod tests {
         let env = cat.env();
         let plan = figure2a_plan(ResultType::List(Order::asc(&["EmpName"])));
         let (fast, _) = execute_logical(&plan, &env, PlannerConfig::default()).unwrap();
-        let (faithful, _) =
-            execute_logical(&plan, &env, PlannerConfig { allow_fast: false }).unwrap();
+        let (faithful, _) = execute_logical(
+            &plan,
+            &env,
+            PlannerConfig {
+                allow_fast: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(fast, faithful);
     }
 
@@ -142,8 +147,7 @@ mod tests {
         let plan = PlanBuilder::scan("EMPLOYEE", cat.base_props("EMPLOYEE").unwrap())
             .transfer_s()
             .build_multiset();
-        let (_, metrics) =
-            execute_logical(&plan, &cat.env(), PlannerConfig::default()).unwrap();
+        let (_, metrics) = execute_logical(&plan, &cat.env(), PlannerConfig::default()).unwrap();
         assert_eq!(metrics.transferred_rows(), 5);
     }
 
@@ -153,8 +157,15 @@ mod tests {
         let env = cat.env();
         let plan = figure2a_plan(ResultType::List(Order::asc(&["EmpName"])));
         let via_interp = tqo_core::interp::eval_plan(&plan, &env).unwrap();
-        let (via_exec, _) =
-            execute_logical(&plan, &env, PlannerConfig { allow_fast: false }).unwrap();
+        let (via_exec, _) = execute_logical(
+            &plan,
+            &env,
+            PlannerConfig {
+                allow_fast: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(via_interp, via_exec);
     }
 }

@@ -15,7 +15,9 @@ use tqo_core::tuple::Tuple;
 /// Sort-merge `coalᵀ`.
 pub fn coalesce_sort_merge(r: &Relation) -> Result<Relation> {
     if !r.is_temporal() {
-        return Err(Error::NotTemporal { context: "coalesce_sort_merge" });
+        return Err(Error::NotTemporal {
+            context: "coalesce_sort_merge",
+        });
     }
     let schema = r.schema().clone();
     let mut out: Vec<Tuple> = Vec::with_capacity(r.len());

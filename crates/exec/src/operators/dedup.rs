@@ -16,7 +16,9 @@ use tqo_core::tuple::Tuple;
 /// Canonical sweep-based `rdupᵀ`.
 pub fn rdup_t_sweep(r: &Relation) -> Result<Relation> {
     if !r.is_temporal() {
-        return Err(Error::NotTemporal { context: "rdup_t_sweep" });
+        return Err(Error::NotTemporal {
+            context: "rdup_t_sweep",
+        });
     }
     let schema = r.schema().clone();
     let mut out: Vec<Tuple> = Vec::with_capacity(r.len());

@@ -19,7 +19,9 @@ use tqo_core::value::Value;
 /// duplicates; enforced).
 pub fn difference_t_subtract_union(r1: &Relation, r2: &Relation) -> Result<Relation> {
     if !r1.is_temporal() || !r2.is_temporal() {
-        return Err(Error::NotTemporal { context: "difference_t_subtract_union" });
+        return Err(Error::NotTemporal {
+            context: "difference_t_subtract_union",
+        });
     }
     r1.schema()
         .check_union_compatible(r2.schema(), "difference_t_subtract_union")?;

@@ -88,9 +88,7 @@ mod tests {
         let schema = Schema::temporal(&[(name, DataType::Str)]);
         Relation::new(
             schema,
-            rows.iter()
-                .map(|(v, s, e)| tuple![*v, *s, *e])
-                .collect(),
+            rows.iter().map(|(v, s, e)| tuple![*v, *s, *e]).collect(),
         )
         .unwrap()
     }
@@ -133,7 +131,9 @@ mod tests {
             let schema = Schema::temporal(&[(name, DataType::Str)]);
             Relation::new(
                 schema,
-                rows.iter().map(|(v, s, e)| tuple![v.as_str(), *s, *e]).collect(),
+                rows.iter()
+                    .map(|(v, s, e)| tuple![v.as_str(), *s, *e])
+                    .collect(),
             )
             .unwrap()
         };

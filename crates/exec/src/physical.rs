@@ -48,25 +48,79 @@ pub enum DifferenceTAlgo {
 /// algorithm.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalNode {
-    Scan { name: String },
-    Select { input: Arc<PhysicalNode>, predicate: Expr },
-    Project { input: Arc<PhysicalNode>, items: Vec<ProjItem> },
-    UnionAll { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
-    Product { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
-    Difference { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
-    Aggregate { input: Arc<PhysicalNode>, group_by: Vec<String>, aggs: Vec<AggItem> },
-    Rdup { input: Arc<PhysicalNode> },
-    UnionMax { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
-    Sort { input: Arc<PhysicalNode>, order: Order },
-    ProductT { left: Arc<PhysicalNode>, right: Arc<PhysicalNode>, algo: ProductTAlgo },
-    DifferenceT { left: Arc<PhysicalNode>, right: Arc<PhysicalNode>, algo: DifferenceTAlgo },
-    AggregateT { input: Arc<PhysicalNode>, group_by: Vec<String>, aggs: Vec<AggItem> },
-    RdupT { input: Arc<PhysicalNode>, algo: RdupTAlgo },
-    UnionT { left: Arc<PhysicalNode>, right: Arc<PhysicalNode> },
-    Coalesce { input: Arc<PhysicalNode>, algo: CoalesceAlgo },
+    Scan {
+        name: String,
+    },
+    Select {
+        input: Arc<PhysicalNode>,
+        predicate: Expr,
+    },
+    Project {
+        input: Arc<PhysicalNode>,
+        items: Vec<ProjItem>,
+    },
+    UnionAll {
+        left: Arc<PhysicalNode>,
+        right: Arc<PhysicalNode>,
+    },
+    Product {
+        left: Arc<PhysicalNode>,
+        right: Arc<PhysicalNode>,
+    },
+    Difference {
+        left: Arc<PhysicalNode>,
+        right: Arc<PhysicalNode>,
+    },
+    Aggregate {
+        input: Arc<PhysicalNode>,
+        group_by: Vec<String>,
+        aggs: Vec<AggItem>,
+    },
+    Rdup {
+        input: Arc<PhysicalNode>,
+    },
+    UnionMax {
+        left: Arc<PhysicalNode>,
+        right: Arc<PhysicalNode>,
+    },
+    Sort {
+        input: Arc<PhysicalNode>,
+        order: Order,
+    },
+    ProductT {
+        left: Arc<PhysicalNode>,
+        right: Arc<PhysicalNode>,
+        algo: ProductTAlgo,
+    },
+    DifferenceT {
+        left: Arc<PhysicalNode>,
+        right: Arc<PhysicalNode>,
+        algo: DifferenceTAlgo,
+    },
+    AggregateT {
+        input: Arc<PhysicalNode>,
+        group_by: Vec<String>,
+        aggs: Vec<AggItem>,
+    },
+    RdupT {
+        input: Arc<PhysicalNode>,
+        algo: RdupTAlgo,
+    },
+    UnionT {
+        left: Arc<PhysicalNode>,
+        right: Arc<PhysicalNode>,
+    },
+    Coalesce {
+        input: Arc<PhysicalNode>,
+        algo: CoalesceAlgo,
+    },
     /// Transfers execute as identity but are metered (rows moved).
-    TransferS { input: Arc<PhysicalNode> },
-    TransferD { input: Arc<PhysicalNode> },
+    TransferS {
+        input: Arc<PhysicalNode>,
+    },
+    TransferD {
+        input: Arc<PhysicalNode>,
+    },
 }
 
 impl PhysicalNode {
@@ -130,7 +184,9 @@ pub struct PhysicalPlan {
 
 impl PhysicalPlan {
     pub fn new(root: PhysicalNode) -> PhysicalPlan {
-        PhysicalPlan { root: Arc::new(root) }
+        PhysicalPlan {
+            root: Arc::new(root),
+        }
     }
 
     /// Textual EXPLAIN of the physical tree.
@@ -162,7 +218,10 @@ mod tests {
     #[test]
     fn labels_include_algorithms() {
         let scan = Arc::new(PhysicalNode::Scan { name: "R".into() });
-        let n = PhysicalNode::RdupT { input: scan, algo: RdupTAlgo::Sweep };
+        let n = PhysicalNode::RdupT {
+            input: scan,
+            algo: RdupTAlgo::Sweep,
+        };
         assert_eq!(n.label(), "rdup-t[Sweep]");
         assert_eq!(n.size(), 2);
     }
@@ -171,7 +230,10 @@ mod tests {
     fn explain_renders_tree() {
         let scan = Arc::new(PhysicalNode::Scan { name: "R".into() });
         let plan = PhysicalPlan::new(PhysicalNode::Coalesce {
-            input: Arc::new(PhysicalNode::RdupT { input: scan, algo: RdupTAlgo::Faithful }),
+            input: Arc::new(PhysicalNode::RdupT {
+                input: scan,
+                algo: RdupTAlgo::Faithful,
+            }),
             algo: CoalesceAlgo::SortMerge,
         });
         let text = plan.explain();

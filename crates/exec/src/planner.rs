@@ -9,8 +9,10 @@
 use std::sync::Arc;
 
 use tqo_core::error::Result;
+use tqo_core::optimizer::{optimize, Optimized, OptimizerConfig, SearchStrategy};
 use tqo_core::plan::props::{annotate, Annotations};
 use tqo_core::plan::{LogicalPlan, Path, PlanNode};
+use tqo_core::rules::RuleSet;
 
 use crate::physical::{
     CoalesceAlgo, DifferenceTAlgo, PhysicalNode, PhysicalPlan, ProductTAlgo, RdupTAlgo,
@@ -23,11 +25,17 @@ pub struct PlannerConfig {
     /// license them. With `false`, every operator is lowered to its
     /// specification-faithful algorithm — the A/B baseline.
     pub allow_fast: bool,
+    /// Plan-search engine used by [`optimize_and_lower`]: the exhaustive
+    /// Figure 5 closure or the memo optimizer.
+    pub strategy: SearchStrategy,
 }
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { allow_fast: true }
+        PlannerConfig {
+            allow_fast: true,
+            strategy: SearchStrategy::default(),
+        }
     }
 }
 
@@ -36,6 +44,22 @@ pub fn lower(plan: &LogicalPlan, config: PlannerConfig) -> Result<PhysicalPlan> 
     let ann = annotate(plan)?;
     let root = lower_node(&plan.root, &mut Vec::new(), &ann, config)?;
     Ok(PhysicalPlan::new(root))
+}
+
+/// Optimize a logical plan with the configured search strategy, then lower
+/// the winner to a physical plan.
+pub fn optimize_and_lower(
+    plan: &LogicalPlan,
+    rules: &RuleSet,
+    config: PlannerConfig,
+) -> Result<(PhysicalPlan, Optimized)> {
+    let optimizer_config = OptimizerConfig {
+        strategy: config.strategy,
+        ..OptimizerConfig::default()
+    };
+    let optimized = optimize(plan, rules, &optimizer_config)?;
+    let physical = lower(&optimized.best, config)?;
+    Ok((physical, optimized))
 }
 
 fn lower_node(
@@ -62,27 +86,40 @@ fn lower_node(
 
     Ok(match node {
         PlanNode::Scan { name, .. } => PhysicalNode::Scan { name: name.clone() },
-        PlanNode::Select { predicate, .. } => {
-            PhysicalNode::Select { input: next(), predicate: predicate.clone() }
-        }
-        PlanNode::Project { items, .. } => {
-            PhysicalNode::Project { input: next(), items: items.clone() }
-        }
-        PlanNode::UnionAll { .. } => PhysicalNode::UnionAll { left: next(), right: next() },
-        PlanNode::Product { .. } => PhysicalNode::Product { left: next(), right: next() },
-        PlanNode::Difference { .. } => {
-            PhysicalNode::Difference { left: next(), right: next() }
-        }
+        PlanNode::Select { predicate, .. } => PhysicalNode::Select {
+            input: next(),
+            predicate: predicate.clone(),
+        },
+        PlanNode::Project { items, .. } => PhysicalNode::Project {
+            input: next(),
+            items: items.clone(),
+        },
+        PlanNode::UnionAll { .. } => PhysicalNode::UnionAll {
+            left: next(),
+            right: next(),
+        },
+        PlanNode::Product { .. } => PhysicalNode::Product {
+            left: next(),
+            right: next(),
+        },
+        PlanNode::Difference { .. } => PhysicalNode::Difference {
+            left: next(),
+            right: next(),
+        },
         PlanNode::Aggregate { group_by, aggs, .. } => PhysicalNode::Aggregate {
             input: next(),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
         },
         PlanNode::Rdup { .. } => PhysicalNode::Rdup { input: next() },
-        PlanNode::UnionMax { .. } => PhysicalNode::UnionMax { left: next(), right: next() },
-        PlanNode::Sort { order, .. } => {
-            PhysicalNode::Sort { input: next(), order: order.clone() }
-        }
+        PlanNode::UnionMax { .. } => PhysicalNode::UnionMax {
+            left: next(),
+            right: next(),
+        },
+        PlanNode::Sort { order, .. } => PhysicalNode::Sort {
+            input: next(),
+            order: order.clone(),
+        },
         PlanNode::ProductT { .. } => {
             // Plane sweep reorders the output pairs: needs ¬OrderRequired.
             let algo = if config.allow_fast && !flags.order_required {
@@ -90,7 +127,11 @@ fn lower_node(
             } else {
                 ProductTAlgo::NestedLoop
             };
-            PhysicalNode::ProductT { left: next(), right: next(), algo }
+            PhysicalNode::ProductT {
+                left: next(),
+                right: next(),
+                algo,
+            }
         }
         PlanNode::DifferenceT { .. } => PhysicalNode::DifferenceT {
             left: next(),
@@ -105,15 +146,20 @@ fn lower_node(
         PlanNode::RdupT { .. } => {
             // The sweep canonicalizes periods (≡SM): needs ¬OrderRequired
             // and ¬PeriodPreserving.
-            let algo = if config.allow_fast && !flags.order_required && !flags.period_preserving
-            {
+            let algo = if config.allow_fast && !flags.order_required && !flags.period_preserving {
                 RdupTAlgo::Sweep
             } else {
                 RdupTAlgo::Faithful
             };
-            PhysicalNode::RdupT { input: next(), algo }
+            PhysicalNode::RdupT {
+                input: next(),
+                algo,
+            }
         }
-        PlanNode::UnionT { .. } => PhysicalNode::UnionT { left: next(), right: next() },
+        PlanNode::UnionT { .. } => PhysicalNode::UnionT {
+            left: next(),
+            right: next(),
+        },
         PlanNode::Coalesce { .. } => {
             // Sort-merge reorders (≡M) and is multiset-exact only for
             // snapshot-dup-free inputs; otherwise it needs the snapshot
@@ -127,7 +173,10 @@ fn lower_node(
             } else {
                 CoalesceAlgo::Fixpoint
             };
-            PhysicalNode::Coalesce { input: next(), algo }
+            PhysicalNode::Coalesce {
+                input: next(),
+                algo,
+            }
         }
         PlanNode::TransferS { .. } => PhysicalNode::TransferS { input: next() },
         PlanNode::TransferD { .. } => PhysicalNode::TransferD { input: next() },
@@ -153,7 +202,11 @@ mod tests {
         // not be preserved, order is not required → sweep.
         let plan = tscan("R").rdup_t().coalesce().build_multiset();
         let phys = lower(&plan, PlannerConfig::default()).unwrap();
-        assert!(phys.explain().contains("rdup-t[Sweep]"), "{}", phys.explain());
+        assert!(
+            phys.explain().contains("rdup-t[Sweep]"),
+            "{}",
+            phys.explain()
+        );
         assert!(phys.explain().contains("coalesce[SortMerge]"));
     }
 
@@ -168,9 +221,45 @@ mod tests {
     #[test]
     fn faithful_everything_when_fast_disabled() {
         let plan = tscan("R").rdup_t().coalesce().build_multiset();
-        let phys = lower(&plan, PlannerConfig { allow_fast: false }).unwrap();
+        let phys = lower(
+            &plan,
+            PlannerConfig {
+                allow_fast: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(phys.explain().contains("rdup-t[Faithful]"));
         assert!(phys.explain().contains("coalesce[Fixpoint]"));
+    }
+
+    #[test]
+    fn optimize_and_lower_agrees_across_strategies() {
+        use tqo_core::rules::RuleSet;
+        let plan = tscan("R").rdup_t().rdup_t().coalesce().build_multiset();
+        let rules = RuleSet::standard();
+        let (phys_ex, opt_ex) = optimize_and_lower(
+            &plan,
+            &rules,
+            PlannerConfig {
+                strategy: SearchStrategy::Exhaustive,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (phys_memo, opt_memo) = optimize_and_lower(
+            &plan,
+            &rules,
+            PlannerConfig {
+                strategy: SearchStrategy::Memo,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((opt_ex.cost.0 - opt_memo.cost.0).abs() <= 1e-9 * opt_ex.cost.0.max(1.0));
+        // Both strategies eliminated the redundant rdupT before lowering.
+        assert!(phys_ex.explain().matches("rdup-t").count() <= 1);
+        assert!(phys_memo.explain().matches("rdup-t").count() <= 1);
     }
 
     #[test]

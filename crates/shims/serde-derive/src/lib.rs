@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The vendored registry is unavailable in this build environment, and
+//! nothing in the workspace actually serializes — the derives on core types
+//! only declare the *capability*. These stand-ins accept the same syntax
+//! (including `#[serde(...)]` helper attributes) and expand to nothing, so
+//! the annotated code compiles unchanged against the real serde later.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as no-op derive macros so
+//! `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compile
+//! without the real crate. Swap this path dependency for crates.io serde to
+//! get actual serialization — no source changes needed in the workspace.
+
+pub use serde_derive_shim::{Deserialize, Serialize};

@@ -7,18 +7,31 @@ use tqo_core::sortspec::SortDir;
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlExpr {
     /// `name` or `table.name`.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     Int(i64),
     Float(f64),
     Str(String),
     Bool(bool),
     Null,
-    Binary { op: SqlBinOp, left: Box<SqlExpr>, right: Box<SqlExpr> },
+    Binary {
+        op: SqlBinOp,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
     Not(Box<SqlExpr>),
-    IsNull { expr: Box<SqlExpr>, negated: bool },
+    IsNull {
+        expr: Box<SqlExpr>,
+        negated: bool,
+    },
     /// `COUNT(*)`, `SUM(col)`, … — only legal in the select list of a
     /// grouped query.
-    Agg { func: AggFunc, arg: Option<Box<SqlExpr>> },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<SqlExpr>>,
+    },
 }
 
 /// Binary operators.
@@ -44,7 +57,10 @@ pub enum SelectItem {
     /// `*`.
     Wildcard,
     /// `expr [AS alias]`.
-    Expr { expr: SqlExpr, alias: Option<String> },
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
 }
 
 /// One `ORDER BY` key.
@@ -90,11 +106,22 @@ pub struct SelectQuery {
 pub enum Statement {
     Select(SelectQuery),
     /// `left EXCEPT [ALL] right`.
-    Except { left: Box<Statement>, right: Box<Statement>, all: bool },
+    Except {
+        left: Box<Statement>,
+        right: Box<Statement>,
+        all: bool,
+    },
     /// `left UNION [ALL] right`.
-    Union { left: Box<Statement>, right: Box<Statement>, all: bool },
+    Union {
+        left: Box<Statement>,
+        right: Box<Statement>,
+        all: bool,
+    },
     /// `inner ORDER BY keys` (outermost only).
-    OrderBy { inner: Box<Statement>, keys: Vec<OrderItem> },
+    OrderBy {
+        inner: Box<Statement>,
+        keys: Vec<OrderItem>,
+    },
 }
 
 impl Statement {
@@ -130,7 +157,10 @@ mod tests {
             valid_time,
             distinct,
             items: vec![SelectItem::Wildcard],
-            from: vec![TableRef { name: "R".into(), alias: None }],
+            from: vec![TableRef {
+                name: "R".into(),
+                alias: None,
+            }],
             predicate: None,
             group_by: vec![],
             coalesce: false,
@@ -152,16 +182,25 @@ mod tests {
     fn outermost_distinct_through_order_by() {
         let s = Statement::OrderBy {
             inner: Box::new(simple(false, true)),
-            keys: vec![OrderItem { column: "A".into(), dir: SortDir::Asc }],
+            keys: vec![OrderItem {
+                column: "A".into(),
+                dir: SortDir::Asc,
+            }],
         };
         assert!(s.outermost_distinct());
     }
 
     #[test]
     fn table_visible_name() {
-        let t = TableRef { name: "EMPLOYEE".into(), alias: Some("e".into()) };
+        let t = TableRef {
+            name: "EMPLOYEE".into(),
+            alias: Some("e".into()),
+        };
         assert_eq!(t.visible_name(), "e");
-        let u = TableRef { name: "EMPLOYEE".into(), alias: None };
+        let u = TableRef {
+            name: "EMPLOYEE".into(),
+            alias: None,
+        };
         assert_eq!(u.visible_name(), "EMPLOYEE");
     }
 }

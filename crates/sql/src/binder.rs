@@ -10,8 +10,8 @@
 
 use std::collections::BTreeSet;
 
-use tqo_core::error::{Error, Result};
 use tqo_core::equivalence::ResultType;
+use tqo_core::error::{Error, Result};
 use tqo_core::expr::{AggItem, BinOp, Expr, ProjItem};
 use tqo_core::plan::{LogicalPlan, PlanBuilder, PlanNode};
 use tqo_core::schema::{Schema, T1, T2};
@@ -29,10 +29,16 @@ pub fn bind(stmt: &Statement, catalog: &Catalog) -> Result<LogicalPlan> {
         Statement::OrderBy { keys, .. } => {
             let order = Order::new(
                 keys.iter()
-                    .map(|k| SortKey { attr: k.column.clone(), dir: k.dir })
+                    .map(|k| SortKey {
+                        attr: k.column.clone(),
+                        dir: k.dir,
+                    })
                     .collect(),
             );
-            let sorted = PlanNode::Sort { input: std::sync::Arc::new(node), order: order.clone() };
+            let sorted = PlanNode::Sort {
+                input: std::sync::Arc::new(node),
+                order: order.clone(),
+            };
             (sorted, ResultType::List(order))
         }
         _ if stmt.outermost_distinct() => (node, ResultType::Set),
@@ -70,9 +76,13 @@ fn bind_statement(stmt: &Statement, catalog: &Catalog) -> Result<(PlanNode, bool
                 // sides first so membership alone decides.
                 let dedup = |n: PlanNode| {
                     if temporal {
-                        PlanNode::RdupT { input: std::sync::Arc::new(n) }
+                        PlanNode::RdupT {
+                            input: std::sync::Arc::new(n),
+                        }
                     } else {
-                        PlanNode::Rdup { input: std::sync::Arc::new(n) }
+                        PlanNode::Rdup {
+                            input: std::sync::Arc::new(n),
+                        }
                     }
                 };
                 Ok((mk(dedup(l), dedup(r)), temporal))
@@ -89,9 +99,19 @@ fn bind_statement(stmt: &Statement, catalog: &Catalog) -> Result<(PlanNode, bool
             if *all {
                 Ok((concat, temporal))
             } else if temporal {
-                Ok((PlanNode::RdupT { input: std::sync::Arc::new(concat) }, true))
+                Ok((
+                    PlanNode::RdupT {
+                        input: std::sync::Arc::new(concat),
+                    },
+                    true,
+                ))
             } else {
-                Ok((PlanNode::Rdup { input: std::sync::Arc::new(concat) }, false))
+                Ok((
+                    PlanNode::Rdup {
+                        input: std::sync::Arc::new(concat),
+                    },
+                    false,
+                ))
             }
         }
     }
@@ -110,11 +130,13 @@ impl Scope {
     /// Resolve `qualifier.name` to the plan-output attribute name.
     fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<String> {
         if let Some(q) = qualifier {
-            let (_, prefix, schema) = self
-                .tables
-                .iter()
-                .find(|(vis, _, _)| vis == q)
-                .ok_or_else(|| Error::Parse { reason: format!("unknown table `{q}`") })?;
+            let (_, prefix, schema) =
+                self.tables
+                    .iter()
+                    .find(|(vis, _, _)| vis == q)
+                    .ok_or_else(|| Error::Parse {
+                        reason: format!("unknown table `{q}`"),
+                    })?;
             if schema.index_of(name).is_none() {
                 return Err(Error::UnknownAttribute {
                     name: format!("{q}.{name}"),
@@ -147,7 +169,10 @@ impl Scope {
             _ => Err(Error::Parse {
                 reason: format!(
                     "ambiguous column `{name}` (in {})",
-                    hits.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>().join(" and ")
+                    hits.iter()
+                        .map(|(v, _)| v.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" and ")
                 ),
             }),
         }
@@ -156,7 +181,9 @@ impl Scope {
 
 fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
     if q.from.is_empty() {
-        return Err(Error::Parse { reason: "FROM clause required".into() });
+        return Err(Error::Parse {
+            reason: "FROM clause required".into(),
+        });
     }
     if q.from.len() > 2 {
         return Err(Error::Parse {
@@ -193,7 +220,9 @@ fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
         let right = PlanBuilder::scan(q.from[1].name.clone(), base2);
         if q.valid_time {
             if !s1.is_temporal() || !s2.is_temporal() {
-                return Err(Error::NotTemporal { context: "VALIDTIME product" });
+                return Err(Error::NotTemporal {
+                    context: "VALIDTIME product",
+                });
             }
             let node = left.product_t(right).node();
             (
@@ -218,14 +247,22 @@ fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
     // WHERE.
     if let Some(pred) = &q.predicate {
         let predicate = bind_scalar(pred, &scope)?;
-        node = PlanNode::Select { input: std::sync::Arc::new(node), predicate };
+        node = PlanNode::Select {
+            input: std::sync::Arc::new(node),
+            predicate,
+        };
     }
 
     // Aggregation?
-    let has_aggs = q
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Expr { expr: SqlExpr::Agg { .. }, .. }));
+    let has_aggs = q.items.iter().any(|i| {
+        matches!(
+            i,
+            SelectItem::Expr {
+                expr: SqlExpr::Agg { .. },
+                ..
+            }
+        )
+    });
     if !q.group_by.is_empty() || has_aggs {
         node = bind_aggregate(q, node, &scope)?;
         let temporal_out = q.valid_time;
@@ -269,15 +306,22 @@ fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
                 items.push(ProjItem::col(T2));
             }
         }
-        node = PlanNode::Project { input: std::sync::Arc::new(node), items };
+        node = PlanNode::Project {
+            input: std::sync::Arc::new(node),
+            items,
+        };
     }
 
     // DISTINCT.
     if q.distinct {
         node = if q.valid_time {
-            PlanNode::RdupT { input: std::sync::Arc::new(node) }
+            PlanNode::RdupT {
+                input: std::sync::Arc::new(node),
+            }
         } else {
-            PlanNode::Rdup { input: std::sync::Arc::new(node) }
+            PlanNode::Rdup {
+                input: std::sync::Arc::new(node),
+            }
         };
     }
 
@@ -299,9 +343,13 @@ fn maybe_coalesce(q: &SelectQuery, node: PlanNode) -> Result<PlanNode> {
     let deduped = if matches!(node, PlanNode::RdupT { .. }) {
         node
     } else {
-        PlanNode::RdupT { input: std::sync::Arc::new(node) }
+        PlanNode::RdupT {
+            input: std::sync::Arc::new(node),
+        }
     };
-    Ok(PlanNode::Coalesce { input: std::sync::Arc::new(deduped) })
+    Ok(PlanNode::Coalesce {
+        input: std::sync::Arc::new(deduped),
+    })
 }
 
 fn bind_aggregate(q: &SelectQuery, input: PlanNode, scope: &Scope) -> Result<PlanNode> {
@@ -319,7 +367,10 @@ fn bind_aggregate(q: &SelectQuery, input: PlanNode, scope: &Scope) -> Result<Pla
                     reason: "`*` is not allowed in a grouped select list".into(),
                 })
             }
-            SelectItem::Expr { expr: SqlExpr::Agg { func, arg }, alias } => {
+            SelectItem::Expr {
+                expr: SqlExpr::Agg { func, arg },
+                alias,
+            } => {
                 let arg_name = match arg {
                     None => None,
                     Some(e) => match e.as_ref() {
@@ -336,9 +387,16 @@ fn bind_aggregate(q: &SelectQuery, input: PlanNode, scope: &Scope) -> Result<Pla
                     },
                 };
                 let name = alias.clone().unwrap_or_else(|| format!("agg{i}"));
-                aggs.push(AggItem { func: *func, arg: arg_name, alias: name });
+                aggs.push(AggItem {
+                    func: *func,
+                    arg: arg_name,
+                    alias: name,
+                });
             }
-            SelectItem::Expr { expr: SqlExpr::Column { qualifier, name }, .. } => {
+            SelectItem::Expr {
+                expr: SqlExpr::Column { qualifier, name },
+                ..
+            } => {
                 let resolved = scope.resolve(qualifier.as_deref(), name)?;
                 if !group_by.contains(&resolved) {
                     return Err(Error::Parse {
@@ -358,9 +416,17 @@ fn bind_aggregate(q: &SelectQuery, input: PlanNode, scope: &Scope) -> Result<Pla
     }
 
     Ok(if q.valid_time {
-        PlanNode::AggregateT { input: std::sync::Arc::new(input), group_by, aggs }
+        PlanNode::AggregateT {
+            input: std::sync::Arc::new(input),
+            group_by,
+            aggs,
+        }
     } else {
-        PlanNode::Aggregate { input: std::sync::Arc::new(input), group_by, aggs }
+        PlanNode::Aggregate {
+            input: std::sync::Arc::new(input),
+            group_by,
+            aggs,
+        }
     })
 }
 
@@ -427,11 +493,9 @@ mod tests {
 
     #[test]
     fn running_example_produces_figure1_result() {
-        let (plan, result) = run(
-            "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+        let (plan, result) = run("VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
              EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
-             COALESCE ORDER BY EmpName",
-        );
+             COALESCE ORDER BY EmpName");
         let _ = plan;
         assert_eq!(result, paper::figure1_result());
     }
@@ -440,8 +504,14 @@ mod tests {
     fn result_types_per_definition_5_1() {
         let cat = paper::catalog();
         let mk = |sql: &str| bind(&parse(sql).unwrap(), &cat).unwrap().result_type;
-        assert!(matches!(mk("SELECT EmpName FROM EMPLOYEE"), ResultType::Multiset));
-        assert!(matches!(mk("SELECT DISTINCT EmpName FROM EMPLOYEE"), ResultType::Set));
+        assert!(matches!(
+            mk("SELECT EmpName FROM EMPLOYEE"),
+            ResultType::Multiset
+        ));
+        assert!(matches!(
+            mk("SELECT DISTINCT EmpName FROM EMPLOYEE"),
+            ResultType::Set
+        ));
         assert!(matches!(
             mk("SELECT EmpName FROM EMPLOYEE ORDER BY EmpName"),
             ResultType::List(_)
@@ -469,10 +539,8 @@ mod tests {
 
     #[test]
     fn two_table_validtime_join() {
-        let (_, result) = run(
-            "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p \
-             WHERE e.EmpName = p.EmpName",
-        );
+        let (_, result) = run("VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p \
+             WHERE e.EmpName = p.EmpName");
         assert!(result.is_temporal());
         // Overlap join: every (employee, project) row pair of the same
         // person with overlapping periods.
@@ -481,24 +549,21 @@ mod tests {
 
     #[test]
     fn where_on_period_attributes() {
-        let (_, result) =
-            run("VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE T1 >= 2 AND T2 <= 6");
+        let (_, result) = run("VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE T1 >= 2 AND T2 <= 6");
         // Only Anna's [2,6) rows qualify.
         assert_eq!(result.len(), 2);
     }
 
     #[test]
     fn group_by_aggregation() {
-        let (_, result) =
-            run("SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept");
+        let (_, result) = run("SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept");
         assert_eq!(result.schema().names(), vec!["Dept", "n"]);
         assert_eq!(result.len(), 2); // Sales, Advertising
     }
 
     #[test]
     fn validtime_aggregation_is_temporal() {
-        let (_, result) =
-            run("VALIDTIME SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept");
+        let (_, result) = run("VALIDTIME SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept");
         assert!(result.is_temporal());
         assert_eq!(result.schema().names(), vec!["Dept", "n", "T1", "T2"]);
     }
@@ -520,21 +585,20 @@ mod tests {
     #[test]
     fn coalesce_requires_validtime() {
         let cat = paper::catalog();
-        let err = bind(&parse("SELECT EmpName FROM EMPLOYEE COALESCE").unwrap(), &cat);
+        let err = bind(
+            &parse("SELECT EmpName FROM EMPLOYEE COALESCE").unwrap(),
+            &cat,
+        );
         assert!(err.is_err());
     }
 
     #[test]
     fn union_variants() {
-        let (_, all) = run(
-            "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION ALL \
-             VALIDTIME SELECT EmpName FROM PROJECT",
-        );
+        let (_, all) = run("VALIDTIME SELECT EmpName FROM EMPLOYEE UNION ALL \
+             VALIDTIME SELECT EmpName FROM PROJECT");
         assert_eq!(all.len(), 13);
-        let (_, distinct) = run(
-            "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
-             VALIDTIME SELECT EmpName FROM PROJECT",
-        );
+        let (_, distinct) = run("VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
+             VALIDTIME SELECT EmpName FROM PROJECT");
         assert!(!distinct.has_snapshot_duplicates().unwrap());
     }
 }

@@ -171,7 +171,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     tokens.push(Token::Ne);
                     i += 2;
                 } else {
-                    return Err(Error::Parse { reason: "stray `!`".into() });
+                    return Err(Error::Parse {
+                        reason: "stray `!`".into(),
+                    });
                 }
             }
             '\'' => {
@@ -227,9 +229,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 let word: String = chars[start..i].iter().collect();
@@ -239,7 +239,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             other => {
-                return Err(Error::Parse { reason: format!("unexpected character `{other}`") })
+                return Err(Error::Parse {
+                    reason: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -255,7 +257,12 @@ mod tests {
         let toks = tokenize("select DISTINCT From validtime").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Select, Token::Distinct, Token::From, Token::ValidTime]
+            vec![
+                Token::Select,
+                Token::Distinct,
+                Token::From,
+                Token::ValidTime
+            ]
         );
     }
 
@@ -264,7 +271,11 @@ mod tests {
         let toks = tokenize("42 3.25 'it''s'").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Int(42), Token::Float(3.25), Token::Str("it's".into())]
+            vec![
+                Token::Int(42),
+                Token::Float(3.25),
+                Token::Str("it's".into())
+            ]
         );
     }
 

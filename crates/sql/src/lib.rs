@@ -62,7 +62,10 @@ mod tests {
         )
         .unwrap();
         assert!(text.contains("coalT"), "{text}");
-        assert!(text.contains("[T T T]") || text.contains("[- T T]"), "{text}");
+        assert!(
+            text.contains("[T T T]") || text.contains("[- T T]"),
+            "{text}"
+        );
         assert!(text.contains("@stratum"));
     }
 

@@ -106,7 +106,10 @@ impl Parser {
                     break;
                 }
             }
-            return Ok(Statement::OrderBy { inner: Box::new(inner), keys });
+            return Ok(Statement::OrderBy {
+                inner: Box::new(inner),
+                keys,
+            });
         }
         Ok(inner)
     }
@@ -159,7 +162,11 @@ impl Parser {
         } else {
             loop {
                 let expr = self.expr()?;
-                let alias = if self.eat(&Token::As) { Some(self.ident()?) } else { None };
+                let alias = if self.eat(&Token::As) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 items.push(SelectItem::Expr { expr, alias });
                 if !self.eat(&Token::Comma) {
                     break;
@@ -184,7 +191,11 @@ impl Parser {
             }
         }
 
-        let predicate = if self.eat(&Token::Where) { Some(self.expr()?) } else { None };
+        let predicate = if self.eat(&Token::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat(&Token::Group) {
@@ -199,7 +210,15 @@ impl Parser {
 
         let coalesce = self.eat(&Token::Coalesce);
 
-        Ok(SelectQuery { valid_time, distinct, items, from, predicate, group_by, coalesce })
+        Ok(SelectQuery {
+            valid_time,
+            distinct,
+            items,
+            from,
+            predicate,
+            group_by,
+            coalesce,
+        })
     }
 
     // Expressions, lowest precedence first.
@@ -255,13 +274,20 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.additive()?;
-            return Ok(SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) });
+            return Ok(SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
         // IS [NOT] NULL postfix.
         if self.eat(&Token::Is) {
             let negated = self.eat(&Token::Not);
             self.expect(Token::Null)?;
-            return Ok(SqlExpr::IsNull { expr: Box::new(left), negated });
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         Ok(left)
     }
@@ -276,7 +302,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.multiplicative()?;
-            left = SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -291,7 +321,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.primary()?;
-            left = SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -353,9 +387,15 @@ impl Parser {
                 // Qualified column?
                 if self.eat(&Token::Dot) {
                     let col = self.ident()?;
-                    return Ok(SqlExpr::Column { qualifier: Some(name), name: col });
+                    return Ok(SqlExpr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
                 }
-                Ok(SqlExpr::Column { qualifier: None, name })
+                Ok(SqlExpr::Column {
+                    qualifier: None,
+                    name,
+                })
             }
             other => Err(Error::Parse {
                 reason: format!(
@@ -382,7 +422,10 @@ mod tests {
         match &stmt {
             Statement::OrderBy { inner, keys } => {
                 assert_eq!(keys.len(), 1);
-                assert!(matches!(inner.as_ref(), Statement::Except { all: true, .. }));
+                assert!(matches!(
+                    inner.as_ref(),
+                    Statement::Except { all: true, .. }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -405,14 +448,19 @@ mod tests {
 
     #[test]
     fn parses_group_by_and_aggregates() {
-        let stmt = parse("SELECT Dept, COUNT(*) AS n, SUM(Sal) AS s FROM E GROUP BY Dept")
-            .unwrap();
+        let stmt = parse("SELECT Dept, COUNT(*) AS n, SUM(Sal) AS s FROM E GROUP BY Dept").unwrap();
         match stmt {
             Statement::Select(q) => {
                 assert_eq!(q.group_by, vec!["Dept".to_string()]);
                 assert!(matches!(
                     q.items[1],
-                    SelectItem::Expr { expr: SqlExpr::Agg { func: AggFunc::Count, .. }, .. }
+                    SelectItem::Expr {
+                        expr: SqlExpr::Agg {
+                            func: AggFunc::Count,
+                            ..
+                        },
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -430,9 +478,8 @@ mod tests {
 
     #[test]
     fn parses_table_aliases_and_qualified_columns() {
-        let stmt =
-            parse("SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName")
-                .unwrap();
+        let stmt = parse("SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName")
+            .unwrap();
         match stmt {
             Statement::Select(q) => {
                 assert_eq!(q.from.len(), 2);
@@ -448,7 +495,9 @@ mod tests {
         // Just ensure it parses into the expected top-level OR.
         match stmt {
             Statement::Select(q) => match q.predicate.unwrap() {
-                SqlExpr::Binary { op: SqlBinOp::Or, .. } => {}
+                SqlExpr::Binary {
+                    op: SqlBinOp::Or, ..
+                } => {}
                 other => panic!("unexpected {other:?}"),
             },
             other => panic!("unexpected {other:?}"),
@@ -466,8 +515,7 @@ mod tests {
 
     #[test]
     fn parenthesized_set_operations() {
-        let stmt = parse("(SELECT * FROM A UNION SELECT * FROM B) EXCEPT SELECT * FROM C")
-            .unwrap();
+        let stmt = parse("(SELECT * FROM A UNION SELECT * FROM B) EXCEPT SELECT * FROM C").unwrap();
         assert!(matches!(stmt, Statement::Except { all: false, .. }));
     }
 

@@ -19,7 +19,11 @@ pub fn to_sql(node: &PlanNode) -> Result<String> {
     Ok(match node {
         PlanNode::Scan { name, .. } => format!("SELECT * FROM {name}"),
         PlanNode::Select { input, predicate } => {
-            format!("SELECT * FROM ({}) AS q WHERE {}", to_sql(input)?, predicate)
+            format!(
+                "SELECT * FROM ({}) AS q WHERE {}",
+                to_sql(input)?,
+                predicate
+            )
         }
         PlanNode::Project { input, items } => {
             let cols: Vec<String> = items.iter().map(|i| i.to_string()).collect();
@@ -42,7 +46,11 @@ pub fn to_sql(node: &PlanNode) -> Result<String> {
                 to_sql(right)?
             )
         }
-        PlanNode::Aggregate { input, group_by, aggs } => {
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let mut cols: Vec<String> = group_by.clone();
             cols.extend(aggs.iter().map(|a| a.to_string()));
             let mut sql = format!("SELECT {} FROM ({}) AS q", cols.join(", "), to_sql(input)?);
@@ -103,7 +111,10 @@ mod tests {
 
     #[test]
     fn renders_projection_and_distinct() {
-        let node = scan("EMPLOYEE").project_cols(&["EmpName", "T1", "T2"]).rdup().node();
+        let node = scan("EMPLOYEE")
+            .project_cols(&["EmpName", "T1", "T2"])
+            .rdup()
+            .node();
         let sql = to_sql(&node).unwrap();
         assert!(sql.starts_with("SELECT DISTINCT * FROM (SELECT EmpName, T1, T2"));
     }

@@ -37,7 +37,9 @@ impl Catalog {
             .write()
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| Error::Storage { reason: format!("unknown table `{name}`") })
+            .ok_or_else(|| Error::Storage {
+                reason: format!("unknown table `{name}`"),
+            })
     }
 
     pub fn get(&self, name: &str) -> Result<Arc<Table>> {
@@ -45,7 +47,9 @@ impl Catalog {
             .read()
             .get(name)
             .cloned()
-            .ok_or_else(|| Error::Storage { reason: format!("unknown table `{name}`") })
+            .ok_or_else(|| Error::Storage {
+                reason: format!("unknown table `{name}`"),
+            })
     }
 
     pub fn contains(&self, name: &str) -> bool {

@@ -105,7 +105,9 @@ pub struct WorkloadGenerator {
 
 impl WorkloadGenerator {
     pub fn new(seed: u64) -> WorkloadGenerator {
-        WorkloadGenerator { rng: StdRng::seed_from_u64(seed) }
+        WorkloadGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Generate the period list for one class.
@@ -141,14 +143,16 @@ impl WorkloadGenerator {
 
     /// An EMPLOYEE-shaped relation `(EmpName, Dept, T1, T2)`.
     pub fn employees(&mut self, cfg: &GenConfig, depts: usize) -> Result<Relation> {
-        let schema =
-            Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)]);
+        let schema = Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)]);
         let mut dept_of = Vec::with_capacity(cfg.classes);
         for _ in 0..cfg.classes {
             dept_of.push(format!("d{}", self.rng.gen_range(0..depts.max(1))));
         }
         self.temporal_with_values(cfg, schema, |i| {
-            vec![Value::Str(format!("emp{i}")), Value::Str(dept_of[i].clone())]
+            vec![
+                Value::Str(format!("emp{i}")),
+                Value::Str(dept_of[i].clone()),
+            ]
         })
     }
 
@@ -171,7 +175,10 @@ impl WorkloadGenerator {
         if participants.is_empty() && employees > 0 {
             participants.push(0);
         }
-        let cfg = GenConfig { classes: participants.len(), ..cfg.clone() };
+        let cfg = GenConfig {
+            classes: participants.len(),
+            ..cfg.clone()
+        };
         let mut prj_of = Vec::with_capacity(participants.len());
         for _ in 0..participants.len() {
             prj_of.push(format!("P{}", self.rng.gen_range(0..projects.max(1))));
@@ -251,7 +258,10 @@ impl WorkloadGenerator {
         };
         let cat = Catalog::new();
         cat.register("EMPLOYEE", self.employees(&emp_cfg, 1 + employees / 10)?)?;
-        cat.register("PROJECT", self.projects(&prj_cfg, employees, 3 + employees / 5, 0.8)?)?;
+        cat.register(
+            "PROJECT",
+            self.projects(&prj_cfg, employees, 3 + employees / 5, 0.8)?,
+        )?;
         Ok(cat)
     }
 }

@@ -15,8 +15,8 @@
 //!   figure-reproduction tests and the quickstart examples.
 
 pub mod catalog;
-pub mod mutation;
 pub mod generator;
+pub mod mutation;
 pub mod paper;
 pub mod stats;
 pub mod table;

@@ -23,10 +23,15 @@ pub fn insert_sequenced(
     period: Period,
 ) -> Result<Relation> {
     if !relation.is_temporal() {
-        return Err(Error::NotTemporal { context: "sequenced insert" });
+        return Err(Error::NotTemporal {
+            context: "sequenced insert",
+        });
     }
     if period.is_empty() {
-        return Err(Error::InvalidPeriod { start: period.start, end: period.end });
+        return Err(Error::InvalidPeriod {
+            start: period.start,
+            end: period.end,
+        });
     }
     let mut all = relation.tuples().to_vec();
     let mut v = values;
@@ -39,13 +44,11 @@ pub fn insert_sequenced(
 /// Sequenced DELETE: remove the validity of every tuple satisfying
 /// `predicate` over `period`. Tuples whose periods straddle the deletion
 /// window are split; fully covered tuples disappear.
-pub fn delete_sequenced(
-    relation: &Relation,
-    predicate: &Expr,
-    period: Period,
-) -> Result<Relation> {
+pub fn delete_sequenced(relation: &Relation, predicate: &Expr, period: Period) -> Result<Relation> {
     if !relation.is_temporal() {
-        return Err(Error::NotTemporal { context: "sequenced delete" });
+        return Err(Error::NotTemporal {
+            context: "sequenced delete",
+        });
     }
     let schema = relation.schema().clone();
     let mut out = Vec::with_capacity(relation.len());
@@ -71,7 +74,9 @@ pub fn update_sequenced(
     apply: impl Fn(&Tuple) -> Result<Tuple>,
 ) -> Result<Relation> {
     if !relation.is_temporal() {
-        return Err(Error::NotTemporal { context: "sequenced update" });
+        return Err(Error::NotTemporal {
+            context: "sequenced update",
+        });
     }
     let schema = relation.schema().clone();
     let mut out = Vec::with_capacity(relation.len() + 4);
@@ -240,8 +245,8 @@ mod tests {
     fn update_preserving_history_roundtrip() {
         // Delete then re-insert equals update with identity (as snapshots).
         let r = dept();
-        let updated = update_sequenced(&r, &is_john(), Period::of(2, 4), |t| Ok(t.clone()))
-            .unwrap();
+        let updated =
+            update_sequenced(&r, &is_john(), Period::of(2, 4), |t| Ok(t.clone())).unwrap();
         for t in 0..10 {
             assert_eq!(
                 updated.snapshot(t).unwrap().counts(),

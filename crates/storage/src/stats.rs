@@ -45,7 +45,11 @@ impl TableStats {
                     distinct.insert(v);
                 }
             }
-            columns.push(ColumnStats { name: attr.name.clone(), distinct: distinct.len(), nulls });
+            columns.push(ColumnStats {
+                name: attr.name.clone(),
+                distinct: distinct.len(),
+                nulls,
+            });
         }
 
         let (time_range, avg_duration, max_class_overlap) = if relation.is_temporal() {
@@ -99,7 +103,10 @@ impl TableStats {
 
     /// Distinct count for a named column, if known.
     pub fn distinct(&self, column: &str) -> Option<usize> {
-        self.columns.iter().find(|c| c.name == column).map(|c| c.distinct)
+        self.columns
+            .iter()
+            .find(|c| c.name == column)
+            .map(|c| c.distinct)
     }
 }
 

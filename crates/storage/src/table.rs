@@ -26,7 +26,12 @@ impl Table {
         let name = name.into();
         let props = derive_props(&relation)?;
         let stats = TableStats::compute(&relation)?;
-        Ok(Table { name, relation, props, stats })
+        Ok(Table {
+            name,
+            relation,
+            props,
+            stats,
+        })
     }
 
     pub fn name(&self) -> &str {
@@ -92,7 +97,11 @@ pub fn derive_props(relation: &Relation) -> Result<BaseProps> {
         } else {
             !relation.has_duplicates()
         },
-        coalesced: if temporal { relation.is_coalesced()? } else { true },
+        coalesced: if temporal {
+            relation.is_coalesced()?
+        } else {
+            true
+        },
         card: relation.len() as u64,
     })
 }
@@ -139,11 +148,7 @@ mod tests {
     fn replace_checks_schema() {
         let r = Relation::new(schema(), vec![tuple!["a", 1i64, 5i64]]).unwrap();
         let mut t = Table::new("T", r).unwrap();
-        let other = Relation::new(
-            Schema::of(&[("X", DataType::Int)]),
-            vec![tuple![1i64]],
-        )
-        .unwrap();
+        let other = Relation::new(Schema::of(&[("X", DataType::Int)]), vec![tuple![1i64]]).unwrap();
         assert!(t.replace(other).is_err());
         let ok = Relation::new(schema(), vec![tuple!["b", 2i64, 3i64]]).unwrap();
         t.replace(ok).unwrap();

@@ -73,9 +73,11 @@ impl SimulatedDbms {
             PlanNode::Difference { left, right } => {
                 ops::difference(&self.eval(left)?, &self.eval(right)?)?
             }
-            PlanNode::Aggregate { input, group_by, aggs } => {
-                ops::aggregate(&self.eval(input)?, group_by, aggs)?
-            }
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => ops::aggregate(&self.eval(input)?, group_by, aggs)?,
             PlanNode::Rdup { input } => ops::rdup(&self.eval(input)?)?,
             PlanNode::UnionMax { left, right } => {
                 ops::union_max(&self.eval(left)?, &self.eval(right)?)?
@@ -113,7 +115,11 @@ mod tests {
         let (result, stats) = dbms.execute(&fragment).unwrap();
         assert_eq!(result.len(), 5);
         assert_eq!(stats.rows_out, 5);
-        assert!(stats.sql.as_deref().unwrap().contains("ORDER BY EmpName ASC"));
+        assert!(stats
+            .sql
+            .as_deref()
+            .unwrap()
+            .contains("ORDER BY EmpName ASC"));
     }
 
     #[test]
@@ -133,7 +139,10 @@ mod tests {
         let dbms = SimulatedDbms::new(cat.clone());
         let mut props = BaseProps::unordered(paper::employee_schema(), 999);
         props.card = 999; // wrong estimate, execution unaffected
-        let fragment = PlanNode::Scan { name: "EMPLOYEE".into(), base: props };
+        let fragment = PlanNode::Scan {
+            name: "EMPLOYEE".into(),
+            base: props,
+        };
         let (result, _) = dbms.execute(&fragment).unwrap();
         assert_eq!(result.len(), 5);
     }

@@ -47,11 +47,26 @@ impl StratumMetrics {
 #[derive(Debug, Clone)]
 pub struct Stratum {
     dbms: SimulatedDbms,
+    optimizer: tqo_core::optimizer::OptimizerConfig,
 }
 
 impl Stratum {
     pub fn new(catalog: Catalog) -> Stratum {
-        Stratum { dbms: SimulatedDbms::new(catalog) }
+        Stratum {
+            dbms: SimulatedDbms::new(catalog),
+            optimizer: tqo_core::optimizer::OptimizerConfig::default(),
+        }
+    }
+
+    /// Select the plan-search engine `run_sql_optimized` uses (exhaustive
+    /// Figure 5 closure by default; memo search for production shapes the
+    /// closure cannot materialize).
+    pub fn with_search_strategy(
+        mut self,
+        strategy: tqo_core::optimizer::SearchStrategy,
+    ) -> Stratum {
+        self.optimizer.strategy = strategy;
+        self
     }
 
     pub fn dbms(&self) -> &SimulatedDbms {
@@ -75,16 +90,13 @@ impl Stratum {
 
     /// Compile, layer, optimize (enumeration + cost), and execute. Returns
     /// the chosen plan alongside the result.
-    pub fn run_sql_optimized(
-        &self,
-        sql: &str,
-    ) -> Result<(Relation, StratumMetrics, LogicalPlan)> {
+    pub fn run_sql_optimized(&self, sql: &str) -> Result<(Relation, StratumMetrics, LogicalPlan)> {
         let plan = tqo_sql::compile(sql, self.dbms.catalog())?;
         let layered = make_layered(&plan)?;
         let optimized = tqo_core::optimizer::optimize(
             &layered,
             &tqo_core::rules::RuleSet::standard(),
-            &tqo_core::optimizer::OptimizerConfig::default(),
+            &self.optimizer,
         )?;
         let (result, metrics) = self.run(&optimized.best)?;
         Ok((result, metrics, optimized.best))
@@ -150,9 +162,9 @@ impl Stratum {
             PlanNode::RdupT { .. } => ops::rdup_t(&inputs[0])?,
             PlanNode::UnionT { .. } => ops::union_t(&inputs[0], &inputs[1])?,
             PlanNode::Coalesce { .. } => ops::coalesce(&inputs[0])?,
-            PlanNode::Scan { .. }
-            | PlanNode::TransferS { .. }
-            | PlanNode::TransferD { .. } => unreachable!("handled in eval"),
+            PlanNode::Scan { .. } | PlanNode::TransferS { .. } | PlanNode::TransferD { .. } => {
+                unreachable!("handled in eval")
+            }
         })
     }
 }
@@ -257,6 +269,30 @@ mod tests {
     }
 
     #[test]
+    fn memo_strategy_runs_the_layer_end_to_end() {
+        use tqo_core::optimizer::SearchStrategy;
+        let sql = "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+                   EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+                   COALESCE ORDER BY EmpName";
+        let exhaustive = Stratum::new(paper::catalog());
+        let memo = Stratum::new(paper::catalog()).with_search_strategy(SearchStrategy::Memo);
+        let (r1, _, chosen1) = exhaustive.run_sql_optimized(sql).unwrap();
+        let (r2, _, chosen2) = memo.run_sql_optimized(sql).unwrap();
+        // Same answer, both layered-valid, and equally cheap plans.
+        assert_eq!(r1, r2);
+        assert_eq!(r1, paper::figure1_result());
+        validate_layered(&chosen1).unwrap();
+        validate_layered(&chosen2).unwrap();
+        let model = tqo_core::cost::CostModel::default();
+        let c1 = model.cost(&chosen1).unwrap();
+        let c2 = model.cost(&chosen2).unwrap();
+        assert!(
+            (c1.0 - c2.0).abs() <= 1e-9 * c1.0.max(1.0),
+            "{c1:?} vs {c2:?}"
+        );
+    }
+
+    #[test]
     fn stratum_sort_is_stable_and_correct() {
         use tqo_core::schema::Schema;
         use tqo_core::sortspec::Order;
@@ -281,8 +317,8 @@ mod tests {
     #[test]
     fn unlayered_plans_are_rejected() {
         let stratum = Stratum::new(paper::catalog());
-        let plan = tqo_sql::compile("SELECT EmpName FROM EMPLOYEE", stratum.dbms().catalog())
-            .unwrap();
+        let plan =
+            tqo_sql::compile("SELECT EmpName FROM EMPLOYEE", stratum.dbms().catalog()).unwrap();
         assert!(stratum.run(&plan).is_err());
     }
 

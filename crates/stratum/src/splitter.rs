@@ -34,15 +34,16 @@ pub fn make_layered(plan: &LogicalPlan) -> Result<LogicalPlan> {
         .paths()
         .into_iter()
         .filter(|p| {
-            matches!(plan.root.get(p), Ok(PlanNode::Scan { .. }))
-                && sites[p] == Site::Stratum
+            matches!(plan.root.get(p), Ok(PlanNode::Scan { .. })) && sites[p] == Site::Stratum
         })
         .collect();
     targets.sort_by_key(|p| std::cmp::Reverse(p.len()));
     let mut root = plan.root.as_ref().clone();
     for path in targets {
         let scan = root.get(&path)?.clone();
-        let wrapped = PlanNode::TransferS { input: Arc::new(scan) };
+        let wrapped = PlanNode::TransferS {
+            input: Arc::new(scan),
+        };
         root = root.replace(&path, wrapped)?;
     }
     Ok(plan.with_root(root))

@@ -42,25 +42,58 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
 
 fn get_value(buf: &mut Bytes) -> Result<Value> {
     if buf.remaining() < 1 {
-        return Err(Error::Storage { reason: "wire: truncated value tag".into() });
+        return Err(Error::Storage {
+            reason: "wire: truncated value tag".into(),
+        });
     }
+    // Fixed-size payloads are guarded too: the Buf accessors panic on
+    // underflow (as in the real bytes crate), and a truncated wire must
+    // surface as an Err, never a panic.
+    let need = |buf: &Bytes, n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            return Err(Error::Storage {
+                reason: "wire: truncated value payload".into(),
+            });
+        }
+        Ok(())
+    };
     Ok(match buf.get_u8() {
         0 => Value::Null,
-        1 => Value::Bool(buf.get_u8() != 0),
-        2 => Value::Int(buf.get_i64()),
-        3 => Value::Float(buf.get_f64()),
-        4 => Value::Time(buf.get_i64()),
+        1 => {
+            need(buf, 1)?;
+            Value::Bool(buf.get_u8() != 0)
+        }
+        2 => {
+            need(buf, 8)?;
+            Value::Int(buf.get_i64())
+        }
+        3 => {
+            need(buf, 8)?;
+            Value::Float(buf.get_f64())
+        }
+        4 => {
+            need(buf, 8)?;
+            Value::Time(buf.get_i64())
+        }
         5 => {
+            need(buf, 4)?;
             let len = buf.get_u32() as usize;
             if buf.remaining() < len {
-                return Err(Error::Storage { reason: "wire: truncated string".into() });
+                return Err(Error::Storage {
+                    reason: "wire: truncated string".into(),
+                });
             }
             let bytes = buf.copy_to_bytes(len);
-            let s = std::str::from_utf8(&bytes)
-                .map_err(|e| Error::Storage { reason: format!("wire: bad utf8: {e}") })?;
+            let s = std::str::from_utf8(&bytes).map_err(|e| Error::Storage {
+                reason: format!("wire: bad utf8: {e}"),
+            })?;
             Value::Str(s.to_owned())
         }
-        tag => return Err(Error::Storage { reason: format!("wire: unknown tag {tag}") }),
+        tag => {
+            return Err(Error::Storage {
+                reason: format!("wire: unknown tag {tag}"),
+            })
+        }
     })
 }
 
@@ -80,12 +113,17 @@ pub fn encode(relation: &Relation) -> Bytes {
 /// Deserialize tuples against a known schema.
 pub fn decode(schema: &Schema, mut bytes: Bytes) -> Result<Relation> {
     if bytes.remaining() < 8 {
-        return Err(Error::Storage { reason: "wire: truncated header".into() });
+        return Err(Error::Storage {
+            reason: "wire: truncated header".into(),
+        });
     }
     let arity = bytes.get_u32() as usize;
     if arity != schema.arity() {
         return Err(Error::Storage {
-            reason: format!("wire: arity {arity} does not match schema {}", schema.arity()),
+            reason: format!(
+                "wire: arity {arity} does not match schema {}",
+                schema.arity()
+            ),
         });
     }
     let rows = bytes.get_u32() as usize;
@@ -137,8 +175,10 @@ mod tests {
     fn nulls_bools_floats() {
         let r = Relation::new(
             Schema::of(&[("A", DataType::Float), ("B", DataType::Bool)]),
-            vec![Tuple::new(vec![Value::Null, Value::Bool(true)]),
-                 Tuple::new(vec![Value::Float(2.5), Value::Bool(false)])],
+            vec![
+                Tuple::new(vec![Value::Null, Value::Bool(true)]),
+                Tuple::new(vec![Value::Float(2.5), Value::Bool(false)]),
+            ],
         )
         .unwrap();
         let (decoded, _) = transfer(&r).unwrap();
@@ -147,11 +187,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_detected() {
-        let r = Relation::new(
-            Schema::of(&[("A", DataType::Int)]),
-            vec![tuple![1i64]],
-        )
-        .unwrap();
+        let r = Relation::new(Schema::of(&[("A", DataType::Int)]), vec![tuple![1i64]]).unwrap();
         let bytes = encode(&r);
         let wrong = Schema::of(&[("A", DataType::Int), ("B", DataType::Int)]);
         assert!(decode(&wrong, bytes).is_err());
@@ -159,14 +195,30 @@ mod tests {
 
     #[test]
     fn truncated_payload_detected() {
-        let r = Relation::new(
-            Schema::of(&[("A", DataType::Str)]),
-            vec![tuple!["hello"]],
-        )
-        .unwrap();
+        let r = Relation::new(Schema::of(&[("A", DataType::Str)]), vec![tuple!["hello"]]).unwrap();
         let bytes = encode(&r);
         let cut = bytes.slice(0..bytes.len() - 3);
         assert!(decode(r.schema(), cut).is_err());
+    }
+
+    #[test]
+    fn truncated_fixed_size_payloads_error_not_panic() {
+        // Cut mid-i64, mid-f64, mid-bool, and mid-length-prefix: every
+        // fixed-size read must surface a clean Err.
+        let int_rel =
+            Relation::new(Schema::of(&[("A", DataType::Int)]), vec![tuple![42i64]]).unwrap();
+        let float_rel = Relation::new(
+            Schema::of(&[("F", DataType::Float)]),
+            vec![Tuple::new(vec![Value::Float(1.5)])],
+        )
+        .unwrap();
+        for r in [&int_rel, &float_rel] {
+            let bytes = encode(r);
+            for cut_at in 9..bytes.len() {
+                let cut = bytes.slice(0..cut_at);
+                assert!(decode(r.schema(), cut).is_err(), "cut at {cut_at}");
+            }
+        }
     }
 
     #[test]

@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )?;
     println!("R1 = π(EMPLOYEE):\n{r1}");
-    println!("R2 = rdup(R1) — time attributes demoted:\n{}", ops::rdup(&r1)?);
-    println!("R3 = rdupT(R1) — John's second period trimmed to [8,11):\n{}", ops::rdup_t(&r1)?);
+    println!(
+        "R2 = rdup(R1) — time attributes demoted:\n{}",
+        ops::rdup(&r1)?
+    );
+    println!(
+        "R3 = rdupT(R1) — John's second period trimmed to [8,11):\n{}",
+        ops::rdup_t(&r1)?
+    );
 
     // ── Figure 2(a): the initial plan, with transfers.
     let initial = {
@@ -81,9 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result_best = eval_plan(&out.best, &env)?;
     println!("=== Result (Figure 1) ===\n{result_initial}");
     assert_eq!(result_initial, paper::figure1_result());
-    assert!(initial
-        .result_type
-        .admits(&result_initial, &result_best)?);
+    assert!(initial.result_type.admits(&result_initial, &result_best)?);
     println!("optimized plan agrees under ≡L,⟨EmpName ASC⟩ ✓");
     Ok(())
 }

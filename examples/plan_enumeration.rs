@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("rule catalogue: {} rules\n", rules.len());
 
     for (label, rt) in [
-        ("ORDER BY EmpName (list result)", ResultType::List(Order::asc(&["EmpName"]))),
-        ("no ORDER BY / DISTINCT (multiset result)", ResultType::Multiset),
+        (
+            "ORDER BY EmpName (list result)",
+            ResultType::List(Order::asc(&["EmpName"])),
+        ),
+        (
+            "no ORDER BY / DISTINCT (multiset result)",
+            ResultType::Multiset,
+        ),
         ("DISTINCT only (set result)", ResultType::Set),
     ] {
         let plan = running_example(rt);
@@ -53,8 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let idx = e.plans.len().saturating_sub(1);
             let chain = e.derivation_chain(idx);
             if !chain.is_empty() {
-                let steps: Vec<String> =
-                    chain.iter().map(|a| format!("{}({})", a.rule, a.equivalence)).collect();
+                let steps: Vec<String> = chain
+                    .iter()
+                    .map(|a| format!("{}({})", a.rule, a.equivalence))
+                    .collect();
                 println!("  deepest derivation: {}", steps.join(" → "));
             }
         }
@@ -69,5 +77,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "with only Figure 4's rules (D1–D6, C1–C10, S1–S3): {} plans",
         e.plans.len()
     );
+
+    // The same space through the memo optimizer: instead of materializing
+    // every equivalent plan, equivalent subplans share a *group* and the
+    // cross product of per-region variants is never built. Both strategies
+    // must pick equally cheap plans — the memo just gets there without the
+    // plan wall.
+    use tqo_core::optimizer::{optimize, OptimizerConfig, SearchStrategy};
+    println!("\n=== exhaustive vs memo search ===");
+    let plan = running_example(ResultType::List(Order::asc(&["EmpName"])));
+    let exhaustive = optimize(&plan, &rules, &OptimizerConfig::default())?;
+    let memo = optimize(
+        &plan,
+        &rules,
+        &OptimizerConfig {
+            strategy: SearchStrategy::Memo,
+            ..Default::default()
+        },
+    )?;
+    let stats = memo.memo.expect("memo strategy reports stats");
+    println!(
+        "exhaustive: best cost {:.0} out of {} materialized plans",
+        exhaustive.cost.0,
+        exhaustive.enumeration.plans.len()
+    );
+    println!(
+        "memo:       best cost {:.0} out of {} expressions in {} groups \
+         ({} rule applications)",
+        memo.cost.0, stats.exprs, stats.groups, stats.applications
+    );
+    let memo_rules: Vec<String> = memo
+        .derivation
+        .iter()
+        .map(|a| format!("{}({})", a.rule, a.equivalence))
+        .collect();
+    println!("memo derivation of the winner: {}", memo_rules.join(" → "));
     Ok(())
 }

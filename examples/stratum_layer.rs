@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics.transferred_rows,
         metrics.transfer_bytes
     );
-    println!("dbms={:?} stratum={:?}\n", metrics.dbms_time, metrics.stratum_time);
+    println!(
+        "dbms={:?} stratum={:?}\n",
+        metrics.dbms_time, metrics.stratum_time
+    );
 
     // With the optimizer: the sort should move into the DBMS, redundant
     // operations disappear.
@@ -58,8 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics_opt.transferred_rows,
         metrics_opt.transfer_bytes
     );
-    println!("dbms={:?} stratum={:?}\n", metrics_opt.dbms_time, metrics_opt.stratum_time);
-    println!("chosen plan:\n{}", tqo_core::plan::display::plan_to_string(&chosen.root));
+    println!(
+        "dbms={:?} stratum={:?}\n",
+        metrics_opt.dbms_time, metrics_opt.stratum_time
+    );
+    println!(
+        "chosen plan:\n{}",
+        tqo_core::plan::display::plan_to_string(&chosen.root)
+    );
 
     // Demonstrate the sort-site asymmetry directly (the paper's §2.1:
     // "the DBMS sorts faster than the stratum").
@@ -75,7 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build_list(Order::asc(&["EmpName"]));
     let (_, m1) = stratum.run(&sort_in_stratum)?;
     let (_, m2) = stratum.run(&sort_in_dbms)?;
-    println!("stratum sort: dbms={:?} stratum={:?}", m1.dbms_time, m1.stratum_time);
-    println!("dbms sort:    dbms={:?} stratum={:?}", m2.dbms_time, m2.stratum_time);
+    println!(
+        "stratum sort: dbms={:?} stratum={:?}",
+        m1.dbms_time, m1.stratum_time
+    );
+    println!(
+        "dbms sort:    dbms={:?} stratum={:?}",
+        m2.dbms_time, m2.stratum_time
+    );
     Ok(())
 }

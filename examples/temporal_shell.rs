@@ -29,7 +29,10 @@ fn main() -> io::Result<()> {
     let mut out = io::stdout();
 
     writeln!(out, "tqo temporal shell — EMPLOYEE and PROJECT are loaded.")?;
-    writeln!(out, "try: VALIDTIME SELECT EmpName FROM EMPLOYEE COALESCE ORDER BY EmpName")?;
+    writeln!(
+        out,
+        "try: VALIDTIME SELECT EmpName FROM EMPLOYEE COALESCE ORDER BY EmpName"
+    )?;
     write!(out, "tqo> ")?;
     out.flush()?;
 

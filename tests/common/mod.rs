@@ -3,8 +3,11 @@
 
 use proptest::prelude::*;
 
+use tqo_core::expr::Expr;
+use tqo_core::plan::{BaseProps, LogicalPlan, PlanBuilder};
 use tqo_core::relation::Relation;
 use tqo_core::schema::Schema;
+use tqo_core::sortspec::Order;
 use tqo_core::tuple::Tuple;
 use tqo_core::value::{DataType, Value};
 
@@ -22,11 +25,7 @@ pub fn snapshot_schema() -> Schema {
 /// `max_rows` rows; periods live in a small range so overlaps, adjacencies,
 /// and duplicates all occur with useful frequency.
 pub fn arb_temporal(classes: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(
-        (0..classes, 0i64..24, 1i64..8),
-        0..=max_rows,
-    )
-    .prop_map(move |rows| {
+    prop::collection::vec((0..classes, 0i64..24, 1i64..8), 0..=max_rows).prop_map(move |rows| {
         let tuples = rows
             .into_iter()
             .map(|(c, start, dur)| {
@@ -51,6 +50,102 @@ pub fn arb_snapshot(max_rows: usize) -> impl Strategy<Value = Relation> {
             .collect();
         Relation::new(snapshot_schema(), tuples).expect("generated rows are valid")
     })
+}
+
+/// A temporal scan over declared (not measured) base properties, as the
+/// optimizer fixtures use: `(E: Str, T1, T2)` with `card` rows.
+pub fn fixture_tscan(name: &str, card: u64, clean: bool) -> PlanBuilder {
+    let schema = Schema::temporal(&[("E", DataType::Str)]);
+    let base = if clean {
+        BaseProps::clean(schema, card)
+    } else {
+        BaseProps::unordered(schema, card)
+    };
+    PlanBuilder::scan(name, base)
+}
+
+/// A snapshot scan `(A: Int, B: Str)` with `card` rows.
+pub fn fixture_sscan(name: &str, card: u64) -> PlanBuilder {
+    let schema = Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]);
+    PlanBuilder::scan(name, BaseProps::unordered(schema, card))
+}
+
+/// The optimizer fixture pool: plan shapes exercising every region of the
+/// rule space (dedup, coalescing, sorting, conventional pushdowns,
+/// transfers) under all three result types, sized so the exhaustive
+/// Figure 5 closure finishes. Shared by the memo-vs-exhaustive agreement
+/// suite and the optimizer-quality suite.
+pub fn optimizer_fixtures(scale: u64) -> Vec<LogicalPlan> {
+    let t = |n: &str| fixture_tscan(n, scale, false);
+    let tc = |n: &str| fixture_tscan(n, scale, true);
+    let s = |n: &str| fixture_sscan(n, scale);
+    let by_e = || Order::asc(&["E"]);
+    let time_free = || Expr::eq(Expr::col("E"), Expr::lit("v0"));
+
+    vec![
+        // The running example (Figure 2a) as list, multiset, and set.
+        t("EMP")
+            .project_cols(&["E", "T1", "T2"])
+            .transfer_s()
+            .rdup_t()
+            .difference_t(t("PRJ").project_cols(&["E", "T1", "T2"]).transfer_s())
+            .rdup_t()
+            .coalesce()
+            .sort(by_e())
+            .build_list(by_e()),
+        t("EMP")
+            .transfer_s()
+            .rdup_t()
+            .difference_t(t("PRJ").transfer_s())
+            .rdup_t()
+            .coalesce()
+            .build_multiset(),
+        t("EMP")
+            .transfer_s()
+            .rdup_t()
+            .difference_t(t("PRJ").transfer_s())
+            .coalesce()
+            .build_set(),
+        // Sort placement and elimination.
+        t("R").sort(by_e()).build_multiset(),
+        t("R").sort(by_e()).build_list(by_e()),
+        t("R").transfer_s().sort(by_e()).build_list(by_e()),
+        t("R").sort(by_e()).transfer_s().build_list(by_e()),
+        // Duplicate-elimination chains.
+        t("R").rdup_t().rdup_t().build_multiset(),
+        tc("R").rdup_t().build_multiset(),
+        t("R").rdup_t().coalesce().build_multiset(),
+        t("R").coalesce().coalesce().build_multiset(),
+        t("A").union_t(t("B")).rdup_t().build_set(),
+        // Temporal difference region structure (§5.3).
+        t("A")
+            .rdup_t()
+            .difference_t(t("B").rdup_t())
+            .coalesce()
+            .build_multiset(),
+        t("A").difference_t(t("B").sort(by_e())).build_multiset(),
+        // Conventional pushdowns across a product.
+        s("S1")
+            .product(s("S2"))
+            .select(Expr::eq(Expr::col("1.A"), Expr::lit(1i64)))
+            .build_multiset(),
+        s("S1").product(s("S2")).rdup().build_set(),
+        // Selection over temporal operations.
+        t("R").rdup_t().select(time_free()).build_multiset(),
+        t("R").coalesce().select(time_free()).build_multiset(),
+        // Transfers: round trips and placement.
+        t("R")
+            .transfer_s()
+            .transfer_d()
+            .transfer_s()
+            .build_multiset(),
+        t("R")
+            .transfer_s()
+            .rdup_t()
+            .coalesce()
+            .sort(by_e())
+            .build_list(by_e()),
+    ]
 }
 
 /// All instants worth probing for a set of relations (shared endpoints ± 1).

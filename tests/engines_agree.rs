@@ -5,7 +5,7 @@
 
 mod common;
 
-use common::{arb_temporal, arb_snapshot};
+use common::{arb_snapshot, arb_temporal};
 use proptest::prelude::*;
 
 use tqo_core::interp::eval_plan;
@@ -44,8 +44,15 @@ fn agree_on_catalog(catalog: &Catalog) {
         let reference = eval_plan(&plan, &env).unwrap();
 
         // Faithful physical engine: exact agreement.
-        let (faithful, _) =
-            execute_logical(&plan, &env, PlannerConfig { allow_fast: false }).unwrap();
+        let (faithful, _) = execute_logical(
+            &plan,
+            &env,
+            PlannerConfig {
+                allow_fast: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(faithful, reference, "faithful engine diverges on {sql}");
 
         // Fast physical engine: agreement at the query's result type.

@@ -8,7 +8,7 @@
 
 mod common;
 
-use common::{arb_temporal, arb_snapshot};
+use common::{arb_snapshot, arb_temporal};
 use proptest::prelude::*;
 
 use tqo_core::enumerate::{enumerate, EnumerationConfig};
@@ -182,18 +182,22 @@ proptest! {
 #[test]
 fn enumeration_is_deterministic_and_terminates() {
     let mut g = tqo_storage::WorkloadGenerator::new(7);
-    let t1 = g.temporal(&tqo_storage::GenConfig {
-        classes: 4,
-        fragments_per_class: 3,
-        overlap_prob: 0.3,
-        ..Default::default()
-    })
-    .unwrap();
+    let t1 = g
+        .temporal(&tqo_storage::GenConfig {
+            classes: 4,
+            fragments_per_class: 3,
+            overlap_prob: 0.3,
+            ..Default::default()
+        })
+        .unwrap();
     let t2 = g.temporal(&tqo_storage::GenConfig::clean(3, 3)).unwrap();
     let plan = running_example(&t1, &t2, ResultType::List(Order::asc(&["E"])));
     let e1 = enumerate(&plan, &RuleSet::standard(), EnumerationConfig::default()).unwrap();
     let e2 = enumerate(&plan, &RuleSet::standard(), EnumerationConfig::default()).unwrap();
-    assert!(!e1.truncated, "closure should be finite under the standard rules");
+    assert!(
+        !e1.truncated,
+        "closure should be finite under the standard rules"
+    );
     assert_eq!(e1.plans.len(), e2.plans.len());
     for (a, b) in e1.plans.iter().zip(&e2.plans) {
         assert_eq!(a.plan.root, b.plan.root);
@@ -207,7 +211,12 @@ fn enumeration_is_deterministic_and_terminates() {
         e1.plans.len()
     );
     let multiset = running_example(&t1, &t2, ResultType::Multiset);
-    let em = enumerate(&multiset, &RuleSet::standard(), EnumerationConfig::default()).unwrap();
+    let em = enumerate(
+        &multiset,
+        &RuleSet::standard(),
+        EnumerationConfig::default(),
+    )
+    .unwrap();
     assert!(
         em.plans.len() > e1.plans.len(),
         "multiset query should admit more plans ({} vs {})",

@@ -1,0 +1,208 @@
+//! Memo-vs-exhaustive agreement: on every fixture the exhaustive Figure 5
+//! closure can finish, the memo strategy must find an equally cheap plan;
+//! on fixtures where the closure truncates, the memo must close the space
+//! anyway and do at least as well as the truncated oracle. Every
+//! memo-extracted plan must be admissible under the plan property
+//! machinery (it annotates cleanly, prices as valid, and its recomputed
+//! cost matches what the extractor claimed).
+
+mod common;
+
+use common::{fixture_tscan, optimizer_fixtures};
+use proptest::prelude::*;
+
+use tqo_core::cost::CostModel;
+use tqo_core::optimizer::{optimize, OptimizerConfig, SearchStrategy};
+use tqo_core::plan::props::annotate;
+use tqo_core::plan::LogicalPlan;
+use tqo_core::rules::RuleSet;
+use tqo_core::sortspec::Order;
+
+fn exhaustive_config() -> OptimizerConfig {
+    OptimizerConfig {
+        strategy: SearchStrategy::Exhaustive,
+        ..OptimizerConfig::default()
+    }
+}
+
+fn memo_config() -> OptimizerConfig {
+    OptimizerConfig {
+        strategy: SearchStrategy::Memo,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// Relative tolerance for cost comparison: both strategies sum identical
+/// per-node terms, but in different association orders.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Check one fixture under one rule set. Returns an error message naming
+/// the violation (proptest-compatible), `Ok(solved)` otherwise, where
+/// `solved` says whether the exhaustive oracle finished.
+fn check_fixture(plan: &LogicalPlan, rules: &RuleSet) -> Result<bool, String> {
+    let exhaustive =
+        optimize(plan, rules, &exhaustive_config()).map_err(|e| format!("exhaustive: {e:?}"))?;
+    let memo = optimize(plan, rules, &memo_config()).map_err(|e| format!("memo: {e:?}"))?;
+    if memo.truncated {
+        return Err("memo budgets must cover every fixture".into());
+    }
+
+    // Admissibility of the extracted plan under the property machinery.
+    annotate(&memo.best).map_err(|e| format!("memo plan fails to annotate: {e:?}"))?;
+    let repriced = CostModel::default()
+        .cost(&memo.best)
+        .map_err(|e| format!("memo plan fails to price: {e:?}"))?;
+    if !repriced.is_valid() && exhaustive.cost.is_valid() {
+        return Err("memo plan placed a stratum-only op in the DBMS".into());
+    }
+    if repriced.is_valid() && !close(repriced.0, memo.cost.0) {
+        return Err(format!(
+            "extractor accounting disagrees with CostModel: {} vs {}",
+            repriced.0, memo.cost.0
+        ));
+    }
+
+    if exhaustive.truncated {
+        // The oracle saw a prefix of the space; the memo saw all of it and
+        // must do at least as well.
+        if memo.cost.0 > exhaustive.cost.0 * (1.0 + 1e-9) {
+            return Err(format!(
+                "memo={} worse than truncated exhaustive={}",
+                memo.cost.0, exhaustive.cost.0
+            ));
+        }
+        Ok(false)
+    } else {
+        // Equality; two infinities (no valid plan exists under this rule
+        // set, e.g. a transfer round trip with transfer rules disabled)
+        // also agree.
+        let both_invalid = !exhaustive.cost.is_valid() && !memo.cost.is_valid();
+        if !both_invalid && !close(exhaustive.cost.0, memo.cost.0) {
+            return Err(format!(
+                "strategies disagree: exhaustive={} memo={} on {:?}",
+                exhaustive.cost.0, memo.cost.0, plan.root
+            ));
+        }
+        Ok(true)
+    }
+}
+
+#[test]
+fn memo_agrees_with_exhaustive_on_all_fixtures() {
+    let rules = RuleSet::standard();
+    let mut solved = 0;
+    for (i, plan) in optimizer_fixtures(1000).iter().enumerate() {
+        match check_fixture(plan, &rules) {
+            Ok(true) => solved += 1,
+            Ok(false) => {}
+            Err(e) => panic!("fixture {i}: {e}"),
+        }
+    }
+    // The pool must mostly consist of exhaustively solvable fixtures, or
+    // the equality check proves little.
+    assert!(
+        solved >= 15,
+        "only {solved} fixtures were exhaustively solvable"
+    );
+}
+
+#[test]
+fn memo_agrees_under_figure4_rules_only() {
+    let rules = RuleSet::figure4();
+    for (i, plan) in optimizer_fixtures(1000).iter().enumerate() {
+        if let Err(e) = check_fixture(plan, &rules) {
+            panic!("fixture {i}: {e}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Agreement is scale-independent: base cardinalities shift which plan
+    /// wins (transfer costs vs operator costs), never whether the
+    /// strategies agree.
+    #[test]
+    fn memo_agrees_across_cardinalities(scale in prop::sample::select(vec![
+        1u64, 10, 250, 5_000, 80_000, 2_000_000,
+    ]), idx in 0usize..20) {
+        let rules = RuleSet::standard();
+        let fixtures = optimizer_fixtures(scale);
+        let plan = &fixtures[idx % fixtures.len()];
+        if let Err(e) = check_fixture(plan, &rules) {
+            return Err(format!("scale {scale} fixture {idx}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn memo_survives_shapes_where_enumeration_truncates() {
+    // A widening chain of temporal unions below dedup/coalesce/sort: each
+    // extra leaf multiplies the exhaustive closure (transfer placements ×
+    // dedup positions × sort positions) until the 4096-plan budget stops
+    // it. The memo's expression count grows with the *sum* of variants.
+    let rules = RuleSet::standard();
+    let mut chain = fixture_tscan("R0", 500, false).transfer_s();
+    for i in 1..10 {
+        chain = chain.union_t(fixture_tscan(&format!("R{i}"), 500, false).transfer_s());
+    }
+    let plan = chain
+        .rdup_t()
+        .coalesce()
+        .sort(Order::asc(&["E"]))
+        .build_list(Order::asc(&["E"]));
+
+    let exhaustive = optimize(&plan, &rules, &exhaustive_config()).expect("exhaustive");
+    assert!(
+        exhaustive.truncated,
+        "expected the exhaustive budget to truncate; closure had {} plans",
+        exhaustive.enumeration.plans.len()
+    );
+
+    let memo = optimize(&plan, &rules, &memo_config()).expect("memo");
+    assert!(
+        !memo.truncated,
+        "memo should close this space without truncation"
+    );
+    annotate(&memo.best).expect("memo plan annotates");
+    // The memo saw the whole space; the truncated oracle saw a prefix. The
+    // memo must do at least as well, with far fewer materialized
+    // expressions than the enumerator's plan count.
+    assert!(
+        memo.cost.0 <= exhaustive.cost.0 * (1.0 + 1e-9),
+        "memo={} worse than truncated exhaustive={}",
+        memo.cost.0,
+        exhaustive.cost.0
+    );
+    let stats = memo.memo.expect("memo stats");
+    assert!(
+        stats.exprs < exhaustive.enumeration.plans.len(),
+        "memo materialized {} exprs vs {} enumerated plans",
+        stats.exprs,
+        exhaustive.enumeration.plans.len()
+    );
+}
+
+#[test]
+fn memo_derivations_name_real_rules() {
+    let rules = RuleSet::standard();
+    for plan in optimizer_fixtures(1000) {
+        let memo = optimize(&plan, &rules, &memo_config()).expect("memo");
+        for app in &memo.derivation {
+            assert!(
+                rules.by_name(&app.rule).is_some(),
+                "derivation names unknown rule {}",
+                app.rule
+            );
+        }
+        // A changed plan must carry a derivation.
+        if memo.best.root != plan.root {
+            assert!(
+                !memo.derivation.is_empty(),
+                "rewritten plan with empty derivation"
+            );
+        }
+    }
+}

@@ -4,10 +4,10 @@
 //! optimum, and every chosen plan must still compute the right answer.
 
 use tqo_core::cost::CostModel;
+use tqo_core::equivalence::ResultType;
 use tqo_core::interp::eval_plan;
 use tqo_core::optimizer::{optimize, optimize_greedy, OptimizerConfig};
 use tqo_core::plan::{LogicalPlan, PlanBuilder};
-use tqo_core::equivalence::ResultType;
 use tqo_core::rules::RuleSet;
 use tqo_core::sortspec::Order;
 use tqo_storage::{Catalog, WorkloadGenerator};
@@ -48,7 +48,10 @@ fn optimizer_strictly_improves_the_running_example() {
             exhaustive.cost,
             initial_cost
         );
-        assert!(greedy.cost.0 < initial_cost.0, "seed {seed}: greedy must improve");
+        assert!(
+            greedy.cost.0 < initial_cost.0,
+            "seed {seed}: greedy must improve"
+        );
         assert!(
             exhaustive.cost <= greedy.cost,
             "seed {seed}: exhaustive must be at least as good as greedy"
@@ -68,7 +71,10 @@ fn optimizer_strictly_improves_the_running_example() {
         // The chosen plan still runs on the layered engine.
         let stratum = Stratum::new(catalog.clone());
         let (via_stratum, _) = stratum.run(&exhaustive.best).unwrap();
-        assert!(initial.result_type.admits(&reference, &via_stratum).unwrap());
+        assert!(initial
+            .result_type
+            .admits(&reference, &via_stratum)
+            .unwrap());
     }
 }
 

@@ -188,18 +188,14 @@ fn figure6_property_vectors_of_2b() {
     // The DBMS sort guarantees delivery order (static props).
     let sort_path = vec![0, 0, 0, 0];
     assert_eq!(plan.root.get(&sort_path).unwrap().op_name(), "sort");
-    assert_eq!(
-        ann[&sort_path].stat.order,
-        Order::asc(&["EmpName"])
-    );
+    assert_eq!(ann[&sort_path].stat.order, Order::asc(&["EmpName"]));
 }
 
 #[test]
 fn optimizer_chooses_a_plan_at_least_as_good_as_2a() {
     let cfg = tqo_core::optimizer::OptimizerConfig::default();
     let initial = figure2a();
-    let out =
-        tqo_core::optimizer::optimize(&initial, &RuleSet::standard(), &cfg).unwrap();
+    let out = tqo_core::optimizer::optimize(&initial, &RuleSet::standard(), &cfg).unwrap();
     let initial_cost = cfg.cost_model.cost(&initial).unwrap();
     assert!(out.cost <= initial_cost);
     // And the chosen plan still computes the Figure 1 result (under the

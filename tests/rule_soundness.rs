@@ -40,11 +40,7 @@ fn shapes(
     let s = |n: &str| scan_of(n, if n == "S1R" { s1 } else { s2 });
     let time_free_pred = Expr::eq(Expr::col("E"), Expr::lit("v0"));
     let timed_pred = Expr::lt(Expr::col("T1"), Expr::lit(9i64));
-    let snap_pred = Expr::bin(
-        tqo_core::expr::BinOp::Gt,
-        Expr::col("A"),
-        Expr::lit(2i64),
-    );
+    let snap_pred = Expr::bin(tqo_core::expr::BinOp::Gt, Expr::col("A"), Expr::lit(2i64));
 
     vec![
         // Duplicate-elimination shapes.
@@ -93,17 +89,38 @@ fn shapes(
         t("T1R").difference_t(t("T2R")).coalesce().node(),
         // Sorting shapes.
         t("T1R").sort(Order::asc(&["E"])).node(),
-        t("T1R").sort(Order::asc(&["E", "T1"])).sort(Order::asc(&["E"])).node(),
-        t("T1R").sort(Order::asc(&["E"])).sort(Order::asc(&["E", "T1"])).node(),
-        t("T1R").select(time_free_pred.clone()).sort(Order::asc(&["E"])).node(),
-        t("T1R").project_cols(&["E", "T1", "T2"]).sort(Order::asc(&["E"])).node(),
+        t("T1R")
+            .sort(Order::asc(&["E", "T1"]))
+            .sort(Order::asc(&["E"]))
+            .node(),
+        t("T1R")
+            .sort(Order::asc(&["E"]))
+            .sort(Order::asc(&["E", "T1"]))
+            .node(),
+        t("T1R")
+            .select(time_free_pred.clone())
+            .sort(Order::asc(&["E"]))
+            .node(),
+        t("T1R")
+            .project_cols(&["E", "T1", "T2"])
+            .sort(Order::asc(&["E"]))
+            .node(),
         t("T1R").rdup_t().coalesce().sort(Order::asc(&["E"])).node(),
         t("T1R").rdup_t().sort(Order::asc(&["E"])).node(),
-        t("T1R").difference_t(t("T2R")).sort(Order::asc(&["E"])).node(),
+        t("T1R")
+            .difference_t(t("T2R"))
+            .sort(Order::asc(&["E"]))
+            .node(),
         s("S1R").product(s("S2R")).sort(Order::asc(&["1.A"])).node(),
         // Conventional shapes.
-        s("S1R").select(snap_pred.clone()).select(Expr::eq(Expr::col("B"), Expr::lit("s1"))).node(),
-        s("S1R").project_cols(&["A", "B"]).select(snap_pred.clone()).node(),
+        s("S1R")
+            .select(snap_pred.clone())
+            .select(Expr::eq(Expr::col("B"), Expr::lit("s1")))
+            .node(),
+        s("S1R")
+            .project_cols(&["A", "B"])
+            .select(snap_pred.clone())
+            .node(),
         s("S1R")
             .product(s("S2R"))
             .select(Expr::bin(
@@ -116,11 +133,26 @@ fn shapes(
             .product(s("S2R"))
             .select(Expr::eq(Expr::col("2.B"), Expr::lit("s0")))
             .node(),
-        s("S1R").union_all(s("S2R")).select(snap_pred.clone()).node(),
-        s("S1R").union_max(s("S2R")).select(snap_pred.clone()).node(),
-        t("T1R").union_t(t("T2R")).select(time_free_pred.clone()).node(),
-        s("S1R").difference(s("S2R")).select(snap_pred.clone()).node(),
-        t("T1R").difference_t(t("T2R")).select(time_free_pred.clone()).node(),
+        s("S1R")
+            .union_all(s("S2R"))
+            .select(snap_pred.clone())
+            .node(),
+        s("S1R")
+            .union_max(s("S2R"))
+            .select(snap_pred.clone())
+            .node(),
+        t("T1R")
+            .union_t(t("T2R"))
+            .select(time_free_pred.clone())
+            .node(),
+        s("S1R")
+            .difference(s("S2R"))
+            .select(snap_pred.clone())
+            .node(),
+        t("T1R")
+            .difference_t(t("T2R"))
+            .select(time_free_pred.clone())
+            .node(),
         s("S1R").rdup().select(snap_pred.clone()).node(),
         t("T1R").rdup_t().select(time_free_pred.clone()).node(),
         s("S1R")
@@ -156,7 +188,10 @@ fn shapes(
         t("T1R").transfer_s().transfer_d().node(),
         t("T1R").transfer_s().select(time_free_pred).node(),
         t("T1R").transfer_s().sort(Order::asc(&["E"])).node(),
-        t("T1R").transfer_s().union_all(t("T2R").transfer_s()).node(),
+        t("T1R")
+            .transfer_s()
+            .union_all(t("T2R").transfer_s())
+            .node(),
         PlanNode::TransferS {
             input: std::sync::Arc::new(t("T1R").select(timed_pred).node()),
         },
@@ -270,7 +305,10 @@ fn every_rule_fires_somewhere() {
     for shape in [
         scan_of("CLEAN", &clean).rdup().node(),
         scan_of("COAL", &coalesced).coalesce().node(),
-        scan_of("COAL", &coalesced).sort(Order::asc(&["E"])).coalesce().node(),
+        scan_of("COAL", &coalesced)
+            .sort(Order::asc(&["E"]))
+            .coalesce()
+            .node(),
     ] {
         let plan = LogicalPlan::new(shape, ResultType::Multiset);
         let ann = annotate(&plan).unwrap();

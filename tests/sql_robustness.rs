@@ -66,9 +66,9 @@ fn malformed_inputs_produce_clean_errors() {
         "SELECT * FROM",
         "SELECT * FROM NoSuchTable",
         "SELECT NoSuchColumn FROM EMPLOYEE",
-        "SELECT EmpName FROM EMPLOYEE, PROJECT",     // ambiguous
+        "SELECT EmpName FROM EMPLOYEE, PROJECT", // ambiguous
         "SELECT * FROM EMPLOYEE, PROJECT, EMPLOYEE", // >2 tables
-        "SELECT EmpName FROM EMPLOYEE COALESCE",     // COALESCE without VALIDTIME
+        "SELECT EmpName FROM EMPLOYEE COALESCE", // COALESCE without VALIDTIME
         "SELECT COUNT(*) FROM",
         "SELECT * FROM EMPLOYEE WHERE",
         "SELECT * FROM EMPLOYEE ORDER BY",

@@ -12,6 +12,7 @@ mod common;
 use common::arb_temporal;
 use proptest::prelude::*;
 
+use std::sync::Arc;
 use tqo_core::equivalence::ResultType;
 use tqo_core::expr::Expr;
 use tqo_core::interp::{eval_plan, Env};
@@ -20,7 +21,6 @@ use tqo_core::plan::{LogicalPlan, PlanNode};
 use tqo_core::relation::Relation;
 use tqo_core::sortspec::Order;
 use tqo_storage::table::derive_props;
-use std::sync::Arc;
 
 /// One random schema-preserving operator layer.
 #[derive(Debug, Clone)]
