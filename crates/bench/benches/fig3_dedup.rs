@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use tqo_bench::temporal_relation;
+use tqo_core::columnar::ColumnarRelation;
 use tqo_core::ops;
+use tqo_exec::batch::kernels;
 use tqo_exec::operators::rdup_t_sweep;
 
 fn bench(c: &mut Criterion) {
@@ -19,6 +21,7 @@ fn bench(c: &mut Criterion) {
         // 8 fragments per class, heavy overlap → plenty of snapshot dups.
         let r = temporal_relation(classes, 8, 0.1, 0.5, 7);
         let rows = r.len();
+        let cr = ColumnarRelation::from_relation(&r).expect("columnar");
 
         group.bench_with_input(BenchmarkId::new("rdup", rows), &r, |b, r| {
             b.iter(|| ops::rdup(r).expect("runs").len())
@@ -29,6 +32,15 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rdupT_sweep", rows), &r, |b, r| {
             b.iter(|| rdup_t_sweep(r).expect("runs").len())
         });
+        // The same sweep as a columnar kernel over period columns.
+        group.bench_with_input(BenchmarkId::new("rdupT_sweep_batch", rows), &cr, |b, cr| {
+            b.iter(|| kernels::rdup_t_sweep(cr).expect("runs").rows())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rdupT_sweep_batch_to_rows", rows),
+            &cr,
+            |b, cr| b.iter(|| kernels::rdup_t_sweep(cr).expect("runs").to_relation().len()),
+        );
     }
     group.finish();
 }

@@ -94,6 +94,48 @@ fn bench(c: &mut Criterion) {
         b.iter(|| p.eval_predicate(&schema, &t).expect("ok"))
     });
 
+    // Batch-engine counterparts of the hot operators: the same work as
+    // columnar kernels / vectorized selection over pre-transposed inputs.
+    {
+        use std::sync::Arc;
+        use tqo_core::columnar::ColumnarRelation;
+        use tqo_exec::batch::{exprs, kernels, Batch};
+        let cr = ColumnarRelation::from_relation(&r).expect("columnar");
+        let cs = ColumnarRelation::from_relation(&s).expect("columnar");
+
+        group.bench_function("select_batch", |b| {
+            let compiled = exprs::compile(&pred, r.schema()).expect("total fragment");
+            let batch = Batch::slice(&cr, 0, cr.rows());
+            b.iter(|| exprs::filter(&compiled, &batch).len())
+        });
+        group.bench_function("rdup_t_sweep_batch", |b| {
+            b.iter(|| kernels::rdup_t_sweep(&cr).expect("ok").rows())
+        });
+        group.bench_function("aggregate_batch", |b| {
+            let group_by = ["B".to_owned()];
+            let aggs = [AggItem::new(AggFunc::Sum, Some("A"), "sum")];
+            let out = Arc::new(
+                tqo_core::ops::aggregate::aggregate_schema(cs.schema(), &group_by, &aggs)
+                    .expect("schema"),
+            );
+            b.iter(|| {
+                kernels::aggregate(&cs, &group_by, &aggs, out.clone())
+                    .expect("ok")
+                    .rows()
+            })
+        });
+        group.bench_function("sort_batch", |b| {
+            b.iter(|| {
+                kernels::sort_indices(&cr, &Order::asc(&["E", "T1"]))
+                    .expect("ok")
+                    .len()
+            })
+        });
+        group.bench_function("coalesce_sort_merge_batch", |b| {
+            b.iter(|| kernels::coalesce_sort_merge(&cr).expect("ok").rows())
+        });
+    }
+
     group.finish();
 }
 

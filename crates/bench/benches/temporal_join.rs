@@ -57,6 +57,31 @@ fn bench(c: &mut Criterion) {
             &(&sparse_l, &sparse_r),
             |b, (l, r)| b.iter(|| product_t_plane_sweep(l, r).expect("ok").len()),
         );
+
+        // The same plane sweep as a columnar kernel over period columns.
+        use std::sync::Arc;
+        use tqo_core::columnar::ColumnarRelation;
+        use tqo_exec::batch::kernels;
+        let out_schema = Arc::new(
+            tqo_core::ops::temporal::product_t::product_t_schema(
+                sparse_l.schema(),
+                sparse_r.schema(),
+            )
+            .expect("schema"),
+        );
+        let cl = ColumnarRelation::from_relation(&sparse_l).expect("columnar");
+        let crr = ColumnarRelation::from_relation(&sparse_r).expect("columnar");
+        group.bench_with_input(
+            BenchmarkId::new("plane_sweep_batch/sparse", sparse_l.len()),
+            &(&cl, &crr),
+            |b, (l, r)| {
+                b.iter(|| {
+                    kernels::product_t_sweep(l, r, out_schema.clone())
+                        .expect("ok")
+                        .rows()
+                })
+            },
+        );
     }
     group.finish();
 }

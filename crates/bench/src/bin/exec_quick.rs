@@ -1,0 +1,107 @@
+//! Quick-mode exec throughput: runs the row-vs-batch cases a few times
+//! each and writes `BENCH_exec.json` (rows/sec per operator and engine)
+//! to the current directory — the start of the perf trajectory CI tracks.
+//!
+//! Usage: `exec_quick [rows] [output-path]`; `EXEC_QUICK_ROWS` overrides
+//! the default of 100_000 rows.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use tqo_bench::exec_throughput_workload;
+use tqo_core::interp::Env;
+use tqo_exec::{execute_mode, ExecMode, PhysicalPlan};
+
+const ITERS: usize = 5;
+
+/// Best wall-clock and best root-operator-exclusive time over `ITERS`
+/// runs. The operator time (scan and result-sink excluded on both
+/// engines) is the apples-to-apples measure of the operator itself; wall
+/// time additionally pays each engine's materialization overheads.
+fn best_of(plan: &PhysicalPlan, env: &Env, mode: ExecMode) -> (Duration, Duration, usize) {
+    let mut best_wall = Duration::MAX;
+    let mut best_op = Duration::MAX;
+    let mut out_rows = 0;
+    for _ in 0..ITERS {
+        let started = Instant::now();
+        let (result, metrics) = execute_mode(plan, env, mode).expect("benchmark plan executes");
+        let wall = started.elapsed();
+        let op = metrics
+            .operators
+            .last()
+            .map(|o| o.elapsed)
+            .unwrap_or_default();
+        out_rows = result.len();
+        best_wall = best_wall.min(wall);
+        best_op = best_op.min(op);
+    }
+    (best_wall, best_op, out_rows)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args
+        .next()
+        .or_else(|| std::env::var("EXEC_QUICK_ROWS").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_exec.json".into());
+
+    let (env, cases) = exec_throughput_workload(rows, 17);
+    // Warm the columnar cache so batch numbers measure the pipeline, not
+    // the one-time base-table transpose.
+    for case in &cases {
+        execute_mode(&case.plan, &env, ExecMode::Batch).expect("warms");
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"exec_throughput\",").unwrap();
+    writeln!(json, "  \"rows\": {rows},").unwrap();
+    writeln!(json, "  \"iters\": {ITERS},").unwrap();
+    writeln!(json, "  \"cases\": [").unwrap();
+    eprintln!(
+        "{:<22} {:>10} {:>14} {:>14} {:>9} {:>9}",
+        "case", "out_rows", "row rows/s", "batch rows/s", "op x", "wall x"
+    );
+    for (i, case) in cases.iter().enumerate() {
+        let (row_wall, row_op, out_rows) = best_of(&case.plan, &env, ExecMode::Row);
+        let (batch_wall, batch_op, batch_rows) = best_of(&case.plan, &env, ExecMode::Batch);
+        assert_eq!(out_rows, batch_rows, "engines must agree on {}", case.name);
+        let per_sec = |d: Duration| case.rows as f64 / d.as_secs_f64().max(1e-9);
+        let op_speedup = row_op.as_secs_f64() / batch_op.as_secs_f64().max(1e-9);
+        let wall_speedup = row_wall.as_secs_f64() / batch_wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "{:<22} {:>10} {:>14.0} {:>14.0} {:>8.2}x {:>8.2}x",
+            case.name,
+            out_rows,
+            per_sec(row_op),
+            per_sec(batch_op),
+            op_speedup,
+            wall_speedup
+        );
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", case.name).unwrap();
+        writeln!(json, "      \"rows_in\": {},", case.rows).unwrap();
+        writeln!(json, "      \"rows_out\": {out_rows},").unwrap();
+        writeln!(json, "      \"row_op_ms\": {:.3},", ms(row_op)).unwrap();
+        writeln!(json, "      \"batch_op_ms\": {:.3},", ms(batch_op)).unwrap();
+        writeln!(json, "      \"row_wall_ms\": {:.3},", ms(row_wall)).unwrap();
+        writeln!(json, "      \"batch_wall_ms\": {:.3},", ms(batch_wall)).unwrap();
+        writeln!(json, "      \"row_rows_per_sec\": {:.0},", per_sec(row_op)).unwrap();
+        writeln!(
+            json,
+            "      \"batch_rows_per_sec\": {:.0},",
+            per_sec(batch_op)
+        )
+        .unwrap();
+        writeln!(json, "      \"op_speedup\": {op_speedup:.3},").unwrap();
+        writeln!(json, "      \"wall_speedup\": {wall_speedup:.3}").unwrap();
+        writeln!(json, "    }}{}", if i + 1 < cases.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, json).expect("write BENCH_exec.json");
+    eprintln!("wrote {out_path}");
+}

@@ -60,6 +60,204 @@ pub fn union_chain_plan(width: usize, card: u64) -> LogicalPlan {
         .build_list(Order::asc(&["E"]))
 }
 
+/// One row-vs-batch execution comparison: a single-operator physical plan
+/// over named base relations. Shared by `benches/exec_throughput.rs` and
+/// the quick-mode `exec_quick` binary (BENCH_exec.json).
+pub struct ExecCase {
+    pub name: &'static str,
+    pub plan: tqo_exec::PhysicalPlan,
+    /// Input rows the operator consumes (for rows/sec reporting).
+    pub rows: usize,
+}
+
+/// The exec-throughput workload: `rows`-scaled base tables plus one case
+/// per hot operator. All cases run under both engines against the same
+/// environment; the environment's columnar cache is shared, so batch-mode
+/// iterations measure the pipeline, not the one-time transpose.
+pub fn exec_throughput_workload(rows: usize, seed: u64) -> (tqo_core::interp::Env, Vec<ExecCase>) {
+    use std::sync::Arc;
+    use tqo_core::expr::{AggFunc, AggItem, BinOp, Expr};
+    use tqo_core::interp::Env;
+    use tqo_exec::physical::{
+        CoalesceAlgo, DifferenceTAlgo, PhysicalNode, ProductTAlgo, RdupTAlgo,
+    };
+    use tqo_exec::PhysicalPlan;
+
+    let rows = rows.max(64);
+    let mut generator = WorkloadGenerator::new(seed);
+    let mut env = Env::new();
+    // A six-attribute, duplicate-heavy fact table: `rows` samples drawn
+    // from a pool of `rows/8` distinct rows. Wide rows are where
+    // row-at-a-time hashing/cloning costs scale with arity while the
+    // columnar engine's per-column work stays flat.
+    env.insert("S", wide_dup_table(rows, (rows / 8).max(4), seed));
+    // Sparse temporal tables: short periods, gaps scaled to the table
+    // size so temporal density (tuples alive per instant) stays constant
+    // — the plane sweep's active sets stay small and join output stays
+    // near-linear in the input.
+    let sparse = |classes: usize| GenConfig {
+        classes: classes.max(2),
+        fragments_per_class: 4,
+        mean_duration: 3,
+        mean_gap: (rows as i64 / 4).max(40),
+        ..GenConfig::default()
+    };
+    env.insert(
+        "TL",
+        generator.temporal(&sparse(rows / 4)).expect("generation"),
+    );
+    env.insert(
+        "TR",
+        generator.temporal(&sparse(rows / 8)).expect("generation"),
+    );
+    // Overlap-heavy (snapshot duplicates) and adjacency-heavy
+    // (coalescible) temporal tables.
+    env.insert(
+        "TOV",
+        generator
+            .temporal(&GenConfig {
+                classes: (rows / 8).max(2),
+                fragments_per_class: 8,
+                overlap_prob: 0.5,
+                ..GenConfig::default()
+            })
+            .expect("generation"),
+    );
+    env.insert(
+        "TFRAG",
+        generator
+            .temporal(&GenConfig {
+                classes: (rows / 8).max(2),
+                fragments_per_class: 8,
+                adjacency_prob: 0.9,
+                mean_gap: 3,
+                ..GenConfig::default()
+            })
+            .expect("generation"),
+    );
+
+    let scan = |name: &str| Arc::new(PhysicalNode::Scan { name: name.into() });
+    let len = |name: &str| env.get(name).expect("registered").len();
+    let cases = vec![
+        ExecCase {
+            name: "select",
+            plan: PhysicalPlan::new(PhysicalNode::Select {
+                input: scan("TOV"),
+                predicate: Expr::and(
+                    Expr::eq(Expr::col("E"), Expr::lit("e7")),
+                    Expr::bin(BinOp::Ge, Expr::col("T1"), Expr::lit(0i64)),
+                ),
+            }),
+            rows: len("TOV"),
+        },
+        ExecCase {
+            name: "rdup_hash",
+            plan: PhysicalPlan::new(PhysicalNode::Rdup { input: scan("S") }),
+            rows: len("S"),
+        },
+        ExecCase {
+            name: "aggregate_group",
+            plan: PhysicalPlan::new(PhysicalNode::Aggregate {
+                input: scan("S"),
+                group_by: vec!["A".into(), "B".into()],
+                aggs: vec![
+                    AggItem::count_star("n"),
+                    AggItem::new(AggFunc::Sum, Some("C"), "sum"),
+                    AggItem::new(AggFunc::Min, Some("D"), "lo"),
+                ],
+            }),
+            rows: len("S"),
+        },
+        ExecCase {
+            name: "sort",
+            plan: PhysicalPlan::new(PhysicalNode::Sort {
+                input: scan("S"),
+                order: Order::asc(&["A", "B"]),
+            }),
+            rows: len("S"),
+        },
+        ExecCase {
+            name: "product_t_sweep",
+            plan: PhysicalPlan::new(PhysicalNode::ProductT {
+                left: scan("TL"),
+                right: scan("TR"),
+                algo: ProductTAlgo::PlaneSweep,
+            }),
+            rows: len("TL") + len("TR"),
+        },
+        ExecCase {
+            name: "difference_t",
+            plan: PhysicalPlan::new(PhysicalNode::DifferenceT {
+                left: scan("TL"),
+                right: scan("TR"),
+                algo: DifferenceTAlgo::TimelineSweep,
+            }),
+            rows: len("TL") + len("TR"),
+        },
+        ExecCase {
+            name: "rdup_t_sweep",
+            plan: PhysicalPlan::new(PhysicalNode::RdupT {
+                input: scan("TOV"),
+                algo: RdupTAlgo::Sweep,
+            }),
+            rows: len("TOV"),
+        },
+        ExecCase {
+            name: "coalesce_sort_merge",
+            plan: PhysicalPlan::new(PhysicalNode::Coalesce {
+                input: scan("TFRAG"),
+                algo: CoalesceAlgo::SortMerge,
+            }),
+            rows: len("TFRAG"),
+        },
+    ];
+    (env, cases)
+}
+
+/// A six-attribute conventional relation `(A: Int, B: Str, C: Int,
+/// D: Float, E: Str, F: Int)` whose `rows` tuples are drawn (with heavy
+/// repetition) from a pool of `distinct` unique rows; deterministic in
+/// the seed. `F` carries the pool index, so the pool rows are pairwise
+/// distinct and `rdup`'s output cardinality is the number of pool rows
+/// actually sampled.
+pub fn wide_dup_table(rows: usize, distinct: usize, seed: u64) -> tqo_core::Relation {
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple::Tuple;
+    use tqo_core::value::{DataType, Value};
+    let schema = Schema::of(&[
+        ("A", DataType::Int),
+        ("B", DataType::Str),
+        ("C", DataType::Int),
+        ("D", DataType::Float),
+        ("E", DataType::Str),
+        ("F", DataType::Int),
+    ]);
+    let pool: Vec<Tuple> = (0..distinct as i64)
+        .map(|j| {
+            Tuple::new(vec![
+                Value::Int(j % 997),
+                Value::from(format!("s{}", j % 331)),
+                Value::Int(j.wrapping_mul(7) % 10_000),
+                Value::Float(j as f64 * 0.5),
+                Value::from(format!("tag{}", j % 89)),
+                Value::Int(j),
+            ])
+        })
+        .collect();
+    let mut pick = seed | 1;
+    let tuples = (0..rows)
+        .map(|_| {
+            // Weyl-style multiplicative scramble: deterministic, uniform
+            // enough for a duplication benchmark.
+            pick = pick
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            pool[(pick >> 33) as usize % pool.len()].clone()
+        })
+        .collect();
+    tqo_core::Relation::new(schema, tuples).expect("wide table is valid")
+}
+
 /// A generated single-attribute temporal relation.
 pub fn temporal_relation(
     classes: usize,

@@ -1,0 +1,691 @@
+//! Columnar relation storage: one typed vector per attribute.
+//!
+//! The row layout ([`crate::relation::Relation`]) stores every tuple as its
+//! own `Vec<Value>`; each value is a 24-byte tagged enum and every operator
+//! touch costs an allocation or an enum dispatch. This module provides the
+//! column-major counterpart the batch execution engine in `tqo-exec` runs
+//! on: attribute values are unboxed into native vectors (`T1`/`T2` become
+//! plain `i64` columns), nulls live in an optional side mask, and strings
+//! are shared `Arc<str>`s so gathering rows bumps refcounts instead of
+//! copying payloads.
+//!
+//! Row-level semantics (hashing, equality, ordering) exactly mirror
+//! [`Value`]'s: within a column the declared [`DataType`] fixes the variant
+//! (with `Int`/`Time` interchangeable, both stored as `i64`), so native
+//! comparisons agree with `Value::cmp` and native equality with
+//! `Value::eq`. Converting a `Relation` to columns and back yields a
+//! relation equal (`==`) to the original.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+
+/// The unboxed payload of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<Arc<str>>),
+    Time(Vec<i64>),
+}
+
+/// One attribute's values, with an optional null mask (`None` = no nulls).
+/// Null slots hold the dtype's default in the data vector.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    nulls: Option<Vec<bool>>,
+}
+
+/// Cheap 64-bit value mixer (one multiply): hash *quality* only needs to
+/// spread table slots — equality is always verified against the stored
+/// row, so collisions cost a comparison, never correctness.
+#[inline]
+pub fn mix64(z: u64) -> u64 {
+    let z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^ (z >> 29)
+}
+
+/// Combine a finalized value hash into a row hash.
+#[inline]
+pub fn hash_combine(h: u64, k: u64) -> u64 {
+    h.rotate_left(26) ^ k
+}
+
+const NULL_HASH: u64 = 0x9ae1_6a3b_2f90_404f;
+
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    // Eight bytes at a time (fx-style), length folded in so prefixes of
+    // padded chunks don't collide trivially.
+    let bytes = s.as_bytes();
+    let mut h = 0x517c_c1b7_2722_0a95_u64 ^ bytes.len() as u64;
+    for chunk in bytes.chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        h = (h ^ u64::from_le_bytes(buf)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    h
+}
+
+impl Column {
+    /// An empty column of the given type with reserved capacity.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Column {
+        let data = match dtype {
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+            DataType::Time => ColumnData::Time(Vec::with_capacity(cap)),
+        };
+        Column { data, nulls: None }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) | ColumnData::Time(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn dtype(&self) -> DataType {
+        match &self.data {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Time(_) => DataType::Time,
+        }
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n[i])
+    }
+
+    pub fn has_nulls(&self) -> bool {
+        self.nulls.is_some()
+    }
+
+    /// The raw `i64` data of an `Int`/`Time` column without nulls — the
+    /// zero-cost view the temporal kernels sweep over.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        if self.nulls.is_some() {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) | ColumnData::Time(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `f64` data of a `Float` column without nulls.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        if self.nulls.is_some() {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Reconstruct the row-layout value at `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Time(v) => Value::Time(v[i]),
+        }
+    }
+
+    /// The string at `i` (must be a non-null `Str` slot).
+    pub fn str_at(&self, i: usize) -> &str {
+        match &self.data {
+            ColumnData::Str(v) => &v[i],
+            _ => panic!("str_at on non-string column"),
+        }
+    }
+
+    fn mark_null(&mut self, at: usize) {
+        let len = self.len().max(at + 1);
+        let nulls = self.nulls.get_or_insert_with(Vec::new);
+        nulls.resize(len, false);
+        nulls[at] = true;
+    }
+
+    fn push_null_mark(&mut self, is_null: bool) {
+        if let Some(n) = &mut self.nulls {
+            n.push(is_null);
+        } else if is_null {
+            let mut n = vec![false; self.len()];
+            n.push(true);
+            self.nulls = Some(n);
+        }
+    }
+
+    /// Append a row-layout value; errors when it does not belong to the
+    /// column's domain (`Int` and `Time` are mutually conformant, nulls
+    /// belong everywhere).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        let at = self.len();
+        match (&mut self.data, v) {
+            (_, Value::Null) => {
+                match &mut self.data {
+                    ColumnData::Int(d) | ColumnData::Time(d) => d.push(0),
+                    ColumnData::Float(d) => d.push(0.0),
+                    ColumnData::Bool(d) => d.push(false),
+                    ColumnData::Str(d) => d.push(Arc::from("")),
+                }
+                self.mark_null(at);
+                return Ok(());
+            }
+            (ColumnData::Int(d), Value::Int(x))
+            | (ColumnData::Int(d), Value::Time(x))
+            | (ColumnData::Time(d), Value::Int(x))
+            | (ColumnData::Time(d), Value::Time(x)) => d.push(*x),
+            (ColumnData::Float(d), Value::Float(x)) => d.push(*x),
+            (ColumnData::Bool(d), Value::Bool(x)) => d.push(*x),
+            (ColumnData::Str(d), Value::Str(x)) => d.push(x.clone()),
+            _ => {
+                return Err(Error::TypeError {
+                    expected: "column dtype",
+                    found: v.to_string(),
+                    context: "Column::push",
+                })
+            }
+        }
+        self.push_null_mark(false);
+        Ok(())
+    }
+
+    /// Append row `i` of `other` (same dtype family required).
+    pub fn push_from(&mut self, other: &Column, i: usize) {
+        if other.is_null(i) {
+            match &mut self.data {
+                ColumnData::Int(d) | ColumnData::Time(d) => d.push(0),
+                ColumnData::Float(d) => d.push(0.0),
+                ColumnData::Bool(d) => d.push(false),
+                ColumnData::Str(d) => d.push(Arc::from("")),
+            }
+            let at = self.len() - 1;
+            self.mark_null(at);
+            return;
+        }
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int(d), ColumnData::Int(s))
+            | (ColumnData::Int(d), ColumnData::Time(s))
+            | (ColumnData::Time(d), ColumnData::Int(s))
+            | (ColumnData::Time(d), ColumnData::Time(s)) => d.push(s[i]),
+            (ColumnData::Float(d), ColumnData::Float(s)) => d.push(s[i]),
+            (ColumnData::Bool(d), ColumnData::Bool(s)) => d.push(s[i]),
+            (ColumnData::Str(d), ColumnData::Str(s)) => d.push(s[i].clone()),
+            _ => panic!("push_from across incompatible column dtypes"),
+        }
+        self.push_null_mark(false);
+    }
+
+    /// Append a contiguous physical range of `other` (same dtype family),
+    /// vectorized per column rather than per row.
+    pub fn extend_range(&mut self, other: &Column, start: usize, end: usize) {
+        let pre_len = self.len();
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int(d), ColumnData::Int(s))
+            | (ColumnData::Int(d), ColumnData::Time(s))
+            | (ColumnData::Time(d), ColumnData::Int(s))
+            | (ColumnData::Time(d), ColumnData::Time(s)) => d.extend_from_slice(&s[start..end]),
+            (ColumnData::Float(d), ColumnData::Float(s)) => d.extend_from_slice(&s[start..end]),
+            (ColumnData::Bool(d), ColumnData::Bool(s)) => d.extend_from_slice(&s[start..end]),
+            (ColumnData::Str(d), ColumnData::Str(s)) => d.extend_from_slice(&s[start..end]),
+            _ => panic!("extend_range across incompatible column dtypes"),
+        }
+        match &other.nulls {
+            None => {
+                if let Some(n) = &mut self.nulls {
+                    n.resize(pre_len + (end - start), false);
+                }
+            }
+            Some(theirs) => {
+                let n = self.nulls.get_or_insert_with(Vec::new);
+                n.resize(pre_len, false);
+                n.extend_from_slice(&theirs[start..end]);
+            }
+        }
+    }
+
+    /// Append the given physical rows of `other` (same dtype family).
+    pub fn extend_idx(&mut self, other: &Column, idx: &[u32]) {
+        let pre_len = self.len();
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int(d), ColumnData::Int(s))
+            | (ColumnData::Int(d), ColumnData::Time(s))
+            | (ColumnData::Time(d), ColumnData::Int(s))
+            | (ColumnData::Time(d), ColumnData::Time(s)) => {
+                d.extend(idx.iter().map(|&i| s[i as usize]));
+            }
+            (ColumnData::Float(d), ColumnData::Float(s)) => {
+                d.extend(idx.iter().map(|&i| s[i as usize]));
+            }
+            (ColumnData::Bool(d), ColumnData::Bool(s)) => {
+                d.extend(idx.iter().map(|&i| s[i as usize]));
+            }
+            (ColumnData::Str(d), ColumnData::Str(s)) => {
+                d.extend(idx.iter().map(|&i| s[i as usize].clone()));
+            }
+            _ => panic!("extend_idx across incompatible column dtypes"),
+        }
+        match &other.nulls {
+            None => {
+                if let Some(n) = &mut self.nulls {
+                    n.resize(pre_len + idx.len(), false);
+                }
+            }
+            Some(theirs) => {
+                let n = self.nulls.get_or_insert_with(Vec::new);
+                n.resize(pre_len, false);
+                n.extend(idx.iter().map(|&i| theirs[i as usize]));
+            }
+        }
+    }
+
+    /// Push a raw instant (for freshly computed period columns).
+    pub fn push_time(&mut self, t: i64) {
+        match &mut self.data {
+            ColumnData::Int(d) | ColumnData::Time(d) => d.push(t),
+            _ => panic!("push_time on non-time column"),
+        }
+        self.push_null_mark(false);
+    }
+
+    /// Gather the given physical rows into a fresh column.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        let mut out = Column::with_capacity(self.dtype(), idx.len());
+        match (&self.data, &mut out.data) {
+            (ColumnData::Int(s), ColumnData::Int(d))
+            | (ColumnData::Time(s), ColumnData::Time(d)) => {
+                d.extend(idx.iter().map(|&i| s[i as usize]));
+            }
+            (ColumnData::Float(s), ColumnData::Float(d)) => {
+                d.extend(idx.iter().map(|&i| s[i as usize]));
+            }
+            (ColumnData::Bool(s), ColumnData::Bool(d)) => {
+                d.extend(idx.iter().map(|&i| s[i as usize]));
+            }
+            (ColumnData::Str(s), ColumnData::Str(d)) => {
+                d.extend(idx.iter().map(|&i| s[i as usize].clone()));
+            }
+            _ => unreachable!("with_capacity preserves dtype"),
+        }
+        if let Some(nulls) = &self.nulls {
+            if idx.iter().any(|&i| nulls[i as usize]) {
+                out.nulls = Some(idx.iter().map(|&i| nulls[i as usize]).collect());
+            }
+        }
+        out
+    }
+
+    /// Finalized hash of the value at `i`, consistent with row equality:
+    /// equal rows (under [`rows_eq`]) hash equal.
+    #[inline]
+    pub fn hash_at(&self, i: usize) -> u64 {
+        if self.is_null(i) {
+            return NULL_HASH;
+        }
+        match &self.data {
+            ColumnData::Int(v) | ColumnData::Time(v) => mix64(v[i] as u64),
+            ColumnData::Float(v) => mix64(v[i].to_bits()),
+            ColumnData::Bool(v) => mix64(v[i] as u64 + 1),
+            ColumnData::Str(v) => mix64(hash_str(&v[i])),
+        }
+    }
+
+    /// Combine this column's contribution into per-row hashes for a
+    /// contiguous physical range (`hashes.len()` rows starting at
+    /// `start`). One dtype dispatch per call, not per row.
+    pub fn hash_range(&self, start: usize, hashes: &mut [u64]) {
+        match (&self.data, &self.nulls) {
+            (ColumnData::Int(v) | ColumnData::Time(v), None) => {
+                for (k, h) in hashes.iter_mut().enumerate() {
+                    *h = hash_combine(*h, mix64(v[start + k] as u64));
+                }
+            }
+            (ColumnData::Float(v), None) => {
+                for (k, h) in hashes.iter_mut().enumerate() {
+                    *h = hash_combine(*h, mix64(v[start + k].to_bits()));
+                }
+            }
+            (ColumnData::Str(v), None) => {
+                for (k, h) in hashes.iter_mut().enumerate() {
+                    *h = hash_combine(*h, mix64(hash_str(&v[start + k])));
+                }
+            }
+            _ => {
+                for (k, h) in hashes.iter_mut().enumerate() {
+                    *h = hash_combine(*h, self.hash_at(start + k));
+                }
+            }
+        }
+    }
+
+    /// Combine this column's contribution into per-row hashes for an
+    /// explicit index list.
+    pub fn hash_idx(&self, idx: &[u32], hashes: &mut [u64]) {
+        match (&self.data, &self.nulls) {
+            (ColumnData::Int(v) | ColumnData::Time(v), None) => {
+                for (k, h) in hashes.iter_mut().enumerate() {
+                    *h = hash_combine(*h, mix64(v[idx[k] as usize] as u64));
+                }
+            }
+            (ColumnData::Float(v), None) => {
+                for (k, h) in hashes.iter_mut().enumerate() {
+                    *h = hash_combine(*h, mix64(v[idx[k] as usize].to_bits()));
+                }
+            }
+            (ColumnData::Str(v), None) => {
+                for (k, h) in hashes.iter_mut().enumerate() {
+                    *h = hash_combine(*h, mix64(hash_str(&v[idx[k] as usize])));
+                }
+            }
+            _ => {
+                for (k, h) in hashes.iter_mut().enumerate() {
+                    *h = hash_combine(*h, self.hash_at(idx[k] as usize));
+                }
+            }
+        }
+    }
+
+    /// Row equality between two columns of the same dtype family, matching
+    /// `Value::eq` (nulls equal each other, floats by total order).
+    #[inline]
+    pub fn eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
+        match (self.is_null(i), other.is_null(j)) {
+            (true, true) => return true,
+            (false, false) => {}
+            _ => return false,
+        }
+        match (&self.data, &other.data) {
+            (
+                ColumnData::Int(a) | ColumnData::Time(a),
+                ColumnData::Int(b) | ColumnData::Time(b),
+            ) => a[i] == b[j],
+            (ColumnData::Float(a), ColumnData::Float(b)) => a[i].to_bits() == b[j].to_bits(),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a[i] == b[j],
+            // Strings flowing through the engine share allocations (one
+            // `Arc` per distinct source string), so pointer identity
+            // settles most comparisons without touching the bytes.
+            (ColumnData::Str(a), ColumnData::Str(b)) => Arc::ptr_eq(&a[i], &b[j]) || a[i] == b[j],
+            _ => panic!("eq_at across incompatible column dtypes"),
+        }
+    }
+
+    /// Row ordering between two columns of the same dtype family, matching
+    /// `Value::cmp` (null first, floats by total order).
+    #[inline]
+    pub fn cmp_at(&self, i: usize, other: &Column, j: usize) -> Ordering {
+        match (self.is_null(i), other.is_null(j)) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {}
+        }
+        match (&self.data, &other.data) {
+            (
+                ColumnData::Int(a) | ColumnData::Time(a),
+                ColumnData::Int(b) | ColumnData::Time(b),
+            ) => a[i].cmp(&b[j]),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a[i].total_cmp(&b[j]),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a[i].cmp(&b[j]),
+            (ColumnData::Str(a), ColumnData::Str(b)) => {
+                if Arc::ptr_eq(&a[i], &b[j]) {
+                    Ordering::Equal
+                } else {
+                    a[i].cmp(&b[j])
+                }
+            }
+            _ => panic!("cmp_at across incompatible column dtypes"),
+        }
+    }
+
+    /// Ordering between the value at `i` and a row-layout value, matching
+    /// `Value::cmp` (used by vectorized comparisons against literals).
+    pub fn cmp_value(&self, i: usize, v: &Value) -> Ordering {
+        // Null handling is the caller's job (SQL comparisons against null
+        // are null, not ordered); this is pure ordering, null-first.
+        self.value(i).cmp(v)
+    }
+}
+
+/// A whole relation in column-major layout. Columns are individually
+/// shareable (`Arc`) so projections and batch views are zero-copy.
+#[derive(Debug, Clone)]
+pub struct ColumnarRelation {
+    schema: Arc<Schema>,
+    columns: Vec<Arc<Column>>,
+    rows: usize,
+}
+
+impl ColumnarRelation {
+    /// Assemble from parts; all columns must share one length.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Arc<Column>>) -> ColumnarRelation {
+        let rows = columns.first().map_or(0, |c| c.len());
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        debug_assert_eq!(schema.arity(), columns.len());
+        ColumnarRelation {
+            schema,
+            columns,
+            rows,
+        }
+    }
+
+    /// An empty columnar relation of a schema.
+    pub fn empty(schema: Arc<Schema>) -> ColumnarRelation {
+        let columns = schema
+            .attrs()
+            .iter()
+            .map(|a| Arc::new(Column::with_capacity(a.dtype, 0)))
+            .collect();
+        ColumnarRelation::new(schema, columns)
+    }
+
+    /// Transpose a row-layout relation. Conformance is already guaranteed
+    /// by `Relation`'s invariants, so this cannot fail on valid input.
+    pub fn from_relation(r: &Relation) -> Result<ColumnarRelation> {
+        let schema = Arc::new(r.schema().clone());
+        let mut columns: Vec<Column> = schema
+            .attrs()
+            .iter()
+            .map(|a| Column::with_capacity(a.dtype, r.len()))
+            .collect();
+        for t in r.tuples() {
+            for (c, v) in columns.iter_mut().zip(t.values()) {
+                c.push(v)?;
+            }
+        }
+        Ok(ColumnarRelation {
+            schema,
+            columns: columns.into_iter().map(Arc::new).collect(),
+            rows: r.len(),
+        })
+    }
+
+    /// Transpose back to the row layout. The result compares equal (`==`)
+    /// to the relation this was built from.
+    pub fn to_relation(&self) -> Relation {
+        let mut tuples = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let values = self.columns.iter().map(|c| c.value(i)).collect();
+            tuples.push(Tuple::new(values));
+        }
+        Relation::new_unchecked((*self.schema).clone(), tuples)
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    pub fn column(&self, i: usize) -> &Arc<Column> {
+        &self.columns[i]
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The `T1`/`T2` columns of a temporal relation as raw `i64` slices.
+    pub fn period_columns(&self) -> Result<(&[i64], &[i64])> {
+        let (Some(i1), Some(i2)) = (self.schema.t1_index(), self.schema.t2_index()) else {
+            return Err(Error::NotTemporal {
+                context: "ColumnarRelation::period_columns",
+            });
+        };
+        match (self.columns[i1].as_i64(), self.columns[i2].as_i64()) {
+            (Some(a), Some(b)) => Ok((a, b)),
+            _ => Err(Error::TypeError {
+                expected: "non-null TIME",
+                found: "null period endpoint".into(),
+                context: "ColumnarRelation::period_columns",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn employee() -> Relation {
+        Relation::new(
+            Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)]),
+            vec![
+                tuple!["John", "Sales", 1i64, 8i64],
+                tuple!["John", "Advertising", 6i64, 11i64],
+                tuple!["Anna", "Sales", 2i64, 6i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_equality() {
+        let r = employee();
+        let c = ColumnarRelation::from_relation(&r).unwrap();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.to_relation(), r);
+    }
+
+    #[test]
+    fn period_columns_are_raw_i64() {
+        let c = ColumnarRelation::from_relation(&employee()).unwrap();
+        let (t1, t2) = c.period_columns().unwrap();
+        assert_eq!(t1, &[1, 6, 2]);
+        assert_eq!(t2, &[8, 11, 6]);
+    }
+
+    #[test]
+    fn int_and_time_variants_normalize() {
+        // tuple! writes Int values into Time columns; the columnar form
+        // stores raw i64 and reconstructs Time, which compares equal.
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            vec![tuple!["a", 1i64, 5i64]],
+        )
+        .unwrap();
+        let c = ColumnarRelation::from_relation(&r).unwrap();
+        assert_eq!(c.to_relation(), r);
+    }
+
+    #[test]
+    fn nulls_round_trip_and_compare() {
+        let s = Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]);
+        let r = Relation::new(
+            s,
+            vec![
+                Tuple::new(vec![Value::Null, Value::from("x")]),
+                Tuple::new(vec![Value::Int(3), Value::Null]),
+            ],
+        )
+        .unwrap();
+        let c = ColumnarRelation::from_relation(&r).unwrap();
+        assert!(c.column(0).is_null(0));
+        assert!(!c.column(0).is_null(1));
+        assert_eq!(c.to_relation(), r);
+        // Null equals null, hashes agree with equality.
+        assert!(c.column(0).eq_at(0, c.column(1), 1));
+        assert_eq!(c.column(0).hash_at(0), c.column(1).hash_at(1));
+    }
+
+    #[test]
+    fn hash_eq_cmp_match_value_semantics() {
+        let s = Schema::of(&[("F", DataType::Float)]);
+        let r = Relation::new(
+            s,
+            vec![
+                tuple![1.5f64],
+                tuple![1.5f64],
+                tuple![f64::NAN],
+                tuple![f64::NAN],
+            ],
+        )
+        .unwrap();
+        let c = ColumnarRelation::from_relation(&r).unwrap();
+        let col = c.column(0);
+        assert!(col.eq_at(0, col, 1));
+        assert_eq!(col.hash_at(2), col.hash_at(3));
+        assert!(col.eq_at(2, col, 3));
+        assert_eq!(col.cmp_at(0, col, 2), Ordering::Less); // NaN sorts last
+    }
+
+    #[test]
+    fn gather_preserves_values_and_nulls() {
+        let s = Schema::of(&[("A", DataType::Int)]);
+        let r = Relation::new(
+            s,
+            vec![tuple![10i64], Tuple::new(vec![Value::Null]), tuple![30i64]],
+        )
+        .unwrap();
+        let c = ColumnarRelation::from_relation(&r).unwrap();
+        let g = c.column(0).gather(&[2, 1, 0]);
+        assert_eq!(g.value(0), Value::Int(30));
+        assert_eq!(g.value(1), Value::Null);
+        assert_eq!(g.value(2), Value::Int(10));
+    }
+
+    #[test]
+    fn push_rejects_wrong_domain() {
+        let mut c = Column::with_capacity(DataType::Str, 1);
+        assert!(c.push(&Value::Int(1)).is_err());
+        assert!(c.push(&Value::Null).is_ok());
+        let mut i = Column::with_capacity(DataType::Int, 1);
+        assert!(i.push(&Value::Time(4)).is_ok()); // Int/Time conformant
+    }
+}

@@ -13,16 +13,31 @@
 //! models; the reference interpreter is fully deterministic).
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
+use crate::columnar::ColumnarRelation;
 use crate::error::{Error, Result};
 use crate::ops;
 use crate::plan::{LogicalPlan, PlanNode};
 use crate::relation::Relation;
 
+// name → (the relation the transpose was built from, the transpose).
+// Entries carry the source relation so a clone that rebound the name can
+// never be served a stale transpose (storage identity is checked on every
+// hit).
+type ColumnarCache = HashMap<String, (Relation, Arc<ColumnarRelation>)>;
+
 /// A set of named base relations.
+///
+/// Besides the row-layout relations, the environment lazily caches each
+/// base relation's columnar transpose (shared across clones), so repeated
+/// batch-mode executions of plans over the same tables pay the
+/// row-to-column conversion once.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
     relations: HashMap<String, Relation>,
+    // Shared across clones of this environment.
+    columnar: Arc<Mutex<ColumnarCache>>,
 }
 
 impl Env {
@@ -31,18 +46,36 @@ impl Env {
     }
 
     pub fn with(mut self, name: impl Into<String>, relation: Relation) -> Env {
-        self.relations.insert(name.into(), relation);
+        self.insert(name, relation);
         self
     }
 
     pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
-        self.relations.insert(name.into(), relation);
+        let name = name.into();
+        // Invalidate any cached transpose of an overwritten binding.
+        self.columnar.lock().expect("env cache lock").remove(&name);
+        self.relations.insert(name, relation);
     }
 
     pub fn get(&self, name: &str) -> Result<&Relation> {
         self.relations.get(name).ok_or_else(|| Error::Storage {
             reason: format!("unknown base relation `{name}`"),
         })
+    }
+
+    /// The columnar transpose of a base relation, converted on first use
+    /// and cached (shared by all clones of this environment).
+    pub fn columnar(&self, name: &str) -> Result<Arc<ColumnarRelation>> {
+        let r = self.get(name)?;
+        let mut cache = self.columnar.lock().expect("env cache lock");
+        if let Some((source, c)) = cache.get(name) {
+            if source.shares_tuples(r) {
+                return Ok(c.clone());
+            }
+        }
+        let c = Arc::new(ColumnarRelation::from_relation(r)?);
+        cache.insert(name.to_owned(), (r.clone(), c.clone()));
+        Ok(c)
     }
 
     pub fn names(&self) -> Vec<&str> {

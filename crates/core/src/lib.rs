@@ -27,8 +27,12 @@
 //! * [`interp`] — a direct interpreter evaluating logical plans against a
 //!   set of named base relations (the semantic ground truth the execution
 //!   engine in `tqo-exec` is validated against).
+//! * [`columnar`] — column-major relation storage (typed vectors, null
+//!   masks, shared strings), the data layout of `tqo-exec`'s vectorized
+//!   batch engine.
 
 pub mod allen;
+pub mod columnar;
 pub mod cost;
 pub mod enumerate;
 pub mod equivalence;

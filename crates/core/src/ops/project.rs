@@ -7,9 +7,9 @@
 //! relation.
 
 use crate::error::{Error, Result};
-use crate::expr::ProjItem;
+use crate::expr::{Expr, ProjItem};
 use crate::relation::Relation;
-use crate::schema::{Attribute, Schema};
+use crate::schema::{Attribute, Schema, T1, T2};
 use crate::tuple::Tuple;
 
 /// Compute the output schema of a projection without materializing it.
@@ -22,6 +22,20 @@ pub fn project_schema(input: &Schema, items: &[ProjItem]) -> Result<Schema> {
         ));
     }
     Schema::new(attrs)
+}
+
+/// True when the projection passes the argument's period attributes through
+/// untouched: every output attribute named `T1`/`T2` is the identity
+/// reference to the same-named input attribute. Such projections cannot
+/// invert or empty a period, so the (already validated) input guarantees a
+/// valid output — the check `Relation::new` performs per tuple is redundant.
+pub fn periods_passthrough(items: &[ProjItem]) -> bool {
+    items.iter().all(|item| {
+        if item.alias != T1 && item.alias != T2 {
+            return true;
+        }
+        matches!(&item.expr, Expr::Col(c) if *c == item.alias)
+    })
 }
 
 /// Apply `π`: evaluate every item against every tuple, in order.
@@ -40,9 +54,15 @@ pub fn project(r: &Relation, items: &[ProjItem]) -> Result<Relation> {
         }
         out.push(Tuple::new(values));
     }
-    // Projections that keep the period attributes must keep periods valid;
-    // computed period endpoints could be inverted, so validate.
-    Relation::new(out_schema, out)
+    // Computed period endpoints could be inverted or empty, so projections
+    // that *compute* T1/T2 must validate; identity pass-through of the
+    // period attributes (the overwhelmingly common case) is statically
+    // valid and skips the per-tuple re-validation.
+    if out_schema.is_temporal() && !periods_passthrough(items) {
+        Relation::new(out_schema, out)
+    } else {
+        Ok(Relation::new_unchecked(out_schema, out))
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::Result;
 use crate::schema::Schema;
@@ -16,10 +17,15 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 
 /// A list-based relation instance.
+///
+/// The tuple payload sits behind an `Arc`: cloning a relation — which the
+/// execution engines do for every `Scan` — shares storage instead of
+/// deep-copying it. Relations are immutable after construction, so the
+/// sharing is never observable.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Relation {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    tuples: Arc<Vec<Tuple>>,
 }
 
 impl Relation {
@@ -38,27 +44,37 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation { schema, tuples })
+        Ok(Relation {
+            schema,
+            tuples: Arc::new(tuples),
+        })
     }
 
     /// Create without validation — for operator implementations whose
-    /// construction guarantees conformance (debug builds still verify).
-    /// Callers outside this crate must uphold the schema invariants
-    /// themselves; prefer [`Relation::new`].
+    /// construction guarantees conformance and period well-formedness
+    /// (debug builds still verify both). Callers outside this crate must
+    /// uphold the schema invariants themselves; prefer [`Relation::new`].
     pub fn new_unchecked(schema: Schema, tuples: Vec<Tuple>) -> Relation {
         #[cfg(debug_assertions)]
         {
             for t in &tuples {
                 debug_assert!(t.conforms_to(&schema).is_ok(), "nonconforming tuple {t}");
+                if schema.is_temporal() {
+                    let p = t.period(&schema).expect("temporal tuple has a period");
+                    debug_assert!(!p.is_empty(), "empty period {p} in {t}");
+                }
             }
         }
-        Relation { schema, tuples }
+        Relation {
+            schema,
+            tuples: Arc::new(tuples),
+        }
     }
 
     pub fn empty(schema: Schema) -> Relation {
         Relation {
             schema,
-            tuples: Vec::new(),
+            tuples: Arc::new(Vec::new()),
         }
     }
 
@@ -71,7 +87,13 @@ impl Relation {
     }
 
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+        Arc::try_unwrap(self.tuples).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// True when the two relations share the same tuple storage (the
+    /// zero-copy guarantee behind cheap `Scan` clones).
+    pub fn shares_tuples(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.tuples, &other.tuples)
     }
 
     /// Cardinality `n(r)`.
@@ -90,7 +112,7 @@ impl Relation {
     /// Multiset view: tuple → occurrence count.
     pub fn counts(&self) -> HashMap<&Tuple, usize> {
         let mut m: HashMap<&Tuple, usize> = HashMap::with_capacity(self.tuples.len());
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             *m.entry(t).or_insert(0) += 1;
         }
         m
@@ -114,14 +136,14 @@ impl Relation {
         let snap_schema = self.schema.snapshot_schema();
         let value_idx = self.schema.value_indices();
         let mut tuples = Vec::new();
-        for tup in &self.tuples {
+        for tup in self.tuples.iter() {
             if tup.period(&self.schema)?.contains(t) {
                 tuples.push(tup.project(&value_idx));
             }
         }
         Ok(Relation {
             schema: snap_schema,
-            tuples,
+            tuples: Arc::new(tuples),
         })
     }
 
@@ -136,7 +158,7 @@ impl Relation {
             });
         }
         let mut pts = Vec::with_capacity(self.tuples.len() * 2);
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             let p = t.period(&self.schema)?;
             pts.push(p.start);
             pts.push(p.end);
@@ -174,7 +196,7 @@ impl Relation {
         // Group by explicit values, then sweep periods per group: a snapshot
         // duplicate exists iff two periods of the same class overlap.
         let mut classes: HashMap<Vec<Value>, Vec<Period>> = HashMap::new();
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             classes
                 .entry(t.explicit_values(&self.schema))
                 .or_default()
@@ -203,7 +225,7 @@ impl Relation {
             });
         }
         let mut classes: HashMap<Vec<Value>, Vec<Period>> = HashMap::new();
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             classes
                 .entry(t.explicit_values(&self.schema))
                 .or_default()
@@ -247,7 +269,7 @@ impl Relation {
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "[{}]", self.schema)?;
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::time::Instant;
@@ -47,12 +48,16 @@ impl fmt::Display for DataType {
 }
 
 /// A scalar value. `Null` is a member of every domain.
+///
+/// Strings are shared (`Arc<str>`): cloning a value — and thus copying
+/// tuples between operators, or converting between row and columnar
+/// layouts — bumps a refcount instead of reallocating the payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Value {
     Null,
     Int(i64),
     Float(f64),
-    Str(String),
+    Str(Arc<str>),
     Bool(bool),
     Time(Instant),
 }
@@ -254,12 +259,18 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }
@@ -330,7 +341,7 @@ mod tests {
     fn null_sorts_first() {
         assert!(Value::Null < Value::Bool(false));
         assert!(Value::Null < Value::Int(i64::MIN));
-        assert!(Value::Null < Value::Str(String::new()));
+        assert!(Value::Null < Value::Str(Arc::from("")));
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Vectorized predicate evaluation.
+//!
+//! [`compile`] translates a predicate [`Expr`] into a small column-indexed
+//! program evaluated batch-at-a-time. Only the *total* fragment of the
+//! expression language is compiled — comparisons between columns and
+//! literals, `AND`/`OR`/`NOT`, `IS NULL`, and boolean columns — i.e.
+//! expressions whose evaluation can never raise (no arithmetic, no
+//! `as_bool` coercions, all attributes resolved). Everything else returns
+//! `None` and the select operator falls back to row-at-a-time
+//! `Expr::eval_predicate`, preserving the row engine's error behaviour
+//! (including its short-circuit evaluation order) exactly.
+//!
+//! Null semantics replicate `Expr::eval` *literally* — including its
+//! non-Kleene corner: `FALSE AND NULL` is `FALSE` only when the false
+//! operand is on the left (the right side is reached only after the left
+//! failed to short-circuit, and any null operand then nulls the result).
+
+use std::cmp::Ordering;
+
+use tqo_core::expr::{BinOp, Expr};
+use tqo_core::schema::Schema;
+use tqo_core::value::{DataType, Value};
+
+use super::Batch;
+
+/// A compiled predicate over column indices.
+#[derive(Debug, Clone)]
+pub enum Pred {
+    /// `col <op> col`.
+    CmpCols(BinOp, usize, usize),
+    /// `col <op> literal`.
+    CmpColLit(BinOp, usize, Value),
+    /// `literal <op> col`.
+    CmpLitCol(BinOp, Value, usize),
+    /// `literal <op> literal` (constant-folded at eval time).
+    CmpLits(BinOp, Value, Value),
+    /// A boolean column used directly as a predicate.
+    BoolCol(usize),
+    /// A boolean (or null) literal.
+    BoolLit(Option<bool>),
+    /// `<col> IS NULL`.
+    IsNullCol(usize),
+    /// `<literal> IS NULL`.
+    IsNullLit(bool),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+/// A vector of three-valued booleans: `vals[i]` is meaningful where
+/// `nulls` is absent or `!nulls[i]`.
+pub struct BoolVec {
+    pub vals: Vec<bool>,
+    pub nulls: Option<Vec<bool>>,
+}
+
+impl BoolVec {
+    fn new(n: usize) -> BoolVec {
+        BoolVec {
+            vals: vec![false; n],
+            nulls: None,
+        }
+    }
+
+    #[inline]
+    fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n[i])
+    }
+
+    #[inline]
+    fn set_null(&mut self, i: usize) {
+        self.nulls
+            .get_or_insert_with(|| vec![false; self.vals.len()])[i] = true;
+    }
+}
+
+/// Compile `expr` for batches of `schema`; `None` when the expression
+/// leaves the total fragment (the caller falls back to row evaluation).
+pub fn compile(expr: &Expr, schema: &Schema) -> Option<Pred> {
+    match expr {
+        Expr::Bin { op, left, right } if op.is_comparison() => {
+            match (operand(left, schema)?, operand(right, schema)?) {
+                (Operand::Col(l), Operand::Col(r)) => {
+                    // Column-vs-column runs on the native `cmp_at`, which is
+                    // only defined within a dtype family; cross-family
+                    // comparisons (Value::cmp is total over those too) fall
+                    // back to row evaluation.
+                    let (lt, rt) = (schema.attr(l).dtype, schema.attr(r).dtype);
+                    let time_like = |t: DataType| matches!(t, DataType::Int | DataType::Time);
+                    if lt == rt || (time_like(lt) && time_like(rt)) {
+                        Some(Pred::CmpCols(*op, l, r))
+                    } else {
+                        None
+                    }
+                }
+                (Operand::Col(l), Operand::Lit(v)) => Some(Pred::CmpColLit(*op, l, v)),
+                (Operand::Lit(v), Operand::Col(r)) => Some(Pred::CmpLitCol(*op, v, r)),
+                (Operand::Lit(a), Operand::Lit(b)) => Some(Pred::CmpLits(*op, a, b)),
+            }
+        }
+        Expr::Bin { op, left, right } if *op == BinOp::And => Some(Pred::And(
+            Box::new(compile(left, schema)?),
+            Box::new(compile(right, schema)?),
+        )),
+        Expr::Bin { op, left, right } if *op == BinOp::Or => Some(Pred::Or(
+            Box::new(compile(left, schema)?),
+            Box::new(compile(right, schema)?),
+        )),
+        Expr::Not(e) => Some(Pred::Not(Box::new(compile(e, schema)?))),
+        Expr::IsNull(e) => match operand(e, schema)? {
+            Operand::Col(i) => Some(Pred::IsNullCol(i)),
+            Operand::Lit(v) => Some(Pred::IsNullLit(v.is_null())),
+        },
+        Expr::Col(name) => {
+            let i = schema.index_of(name)?;
+            (schema.attr(i).dtype == DataType::Bool).then_some(Pred::BoolCol(i))
+        }
+        Expr::Lit(Value::Bool(b)) => Some(Pred::BoolLit(Some(*b))),
+        Expr::Lit(Value::Null) => Some(Pred::BoolLit(None)),
+        _ => None,
+    }
+}
+
+enum Operand {
+    Col(usize),
+    Lit(Value),
+}
+
+fn operand(expr: &Expr, schema: &Schema) -> Option<Operand> {
+    match expr {
+        Expr::Col(name) => schema.index_of(name).map(Operand::Col),
+        Expr::Lit(v) => Some(Operand::Lit(v.clone())),
+        _ => None,
+    }
+}
+
+#[inline]
+fn apply(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("compiled comparisons are comparisons"),
+    }
+}
+
+/// Evaluate a compiled predicate over a batch's logical rows.
+pub fn eval(pred: &Pred, batch: &Batch) -> BoolVec {
+    let n = batch.num_rows();
+    let mut out = BoolVec::new(n);
+    match pred {
+        Pred::CmpCols(op, l, r) => {
+            let (lc, rc) = (batch.column(*l), batch.column(*r));
+            for (k, i) in batch.rows().enumerate() {
+                if lc.is_null(i) || rc.is_null(i) {
+                    out.set_null(k);
+                } else {
+                    out.vals[k] = apply(*op, lc.cmp_at(i, rc, i));
+                }
+            }
+        }
+        Pred::CmpColLit(op, l, v) => {
+            let lc = batch.column(*l);
+            if v.is_null() {
+                out.nulls = Some(vec![true; n]);
+            } else if let (Some(data), Ok(lit)) = (lc.as_i64(), v.as_int()) {
+                // Fast path: non-null Int/Time column vs integer literal.
+                for (k, i) in batch.rows().enumerate() {
+                    out.vals[k] = apply(*op, data[i].cmp(&lit));
+                }
+            } else {
+                for (k, i) in batch.rows().enumerate() {
+                    if lc.is_null(i) {
+                        out.set_null(k);
+                    } else {
+                        out.vals[k] = apply(*op, lc.cmp_value(i, v));
+                    }
+                }
+            }
+        }
+        Pred::CmpLitCol(op, v, r) => {
+            let rc = batch.column(*r);
+            if v.is_null() {
+                out.nulls = Some(vec![true; n]);
+            } else {
+                for (k, i) in batch.rows().enumerate() {
+                    if rc.is_null(i) {
+                        out.set_null(k);
+                    } else {
+                        out.vals[k] = apply(*op, rc.cmp_value(i, v).reverse());
+                    }
+                }
+            }
+        }
+        Pred::CmpLits(op, a, b) => {
+            if a.is_null() || b.is_null() {
+                out.nulls = Some(vec![true; n]);
+            } else {
+                let v = apply(*op, a.cmp(b));
+                out.vals.fill(v);
+            }
+        }
+        Pred::BoolCol(c) => {
+            let col = batch.column(*c);
+            for (k, i) in batch.rows().enumerate() {
+                if col.is_null(i) {
+                    out.set_null(k);
+                } else if let Value::Bool(b) = col.value(i) {
+                    out.vals[k] = b;
+                }
+            }
+        }
+        Pred::BoolLit(Some(b)) => out.vals.fill(*b),
+        Pred::BoolLit(None) => out.nulls = Some(vec![true; n]),
+        Pred::IsNullCol(c) => {
+            let col = batch.column(*c);
+            for (k, i) in batch.rows().enumerate() {
+                out.vals[k] = col.is_null(i);
+            }
+        }
+        Pred::IsNullLit(b) => out.vals.fill(*b),
+        Pred::And(l, r) => {
+            let lv = eval(l, batch);
+            let rv = eval(r, batch);
+            for k in 0..n {
+                // Mirror Expr::eval: left == FALSE short-circuits; any
+                // remaining null operand nulls the result.
+                if !lv.is_null(k) && !lv.vals[k] {
+                    out.vals[k] = false;
+                } else if lv.is_null(k) || rv.is_null(k) {
+                    out.set_null(k);
+                } else {
+                    out.vals[k] = lv.vals[k] && rv.vals[k];
+                }
+            }
+        }
+        Pred::Or(l, r) => {
+            let lv = eval(l, batch);
+            let rv = eval(r, batch);
+            for k in 0..n {
+                if !lv.is_null(k) && lv.vals[k] {
+                    out.vals[k] = true;
+                } else if lv.is_null(k) || rv.is_null(k) {
+                    out.set_null(k);
+                } else {
+                    out.vals[k] = lv.vals[k] || rv.vals[k];
+                }
+            }
+        }
+        Pred::Not(e) => {
+            let ev = eval(e, batch);
+            for k in 0..n {
+                if ev.is_null(k) {
+                    out.set_null(k);
+                } else {
+                    out.vals[k] = !ev.vals[k];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Filter a batch: physical indices of rows where the predicate is true
+/// (`NULL` counts as not satisfied, as in SQL `WHERE`).
+pub fn filter(pred: &Pred, batch: &Batch) -> Vec<u32> {
+    let bv = eval(pred, batch);
+    let mut kept = Vec::with_capacity(batch.num_rows());
+    for (k, i) in batch.rows().enumerate() {
+        if bv.vals[k] && !bv.is_null(k) {
+            kept.push(i as u32);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tqo_core::columnar::ColumnarRelation;
+    use tqo_core::relation::Relation;
+    use tqo_core::tuple::Tuple;
+    use tqo_core::{tuple, Schema};
+
+    fn batch() -> Batch {
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                tuple![3i64, "x"],
+                Tuple::new(vec![Value::Null, Value::from("y")]),
+                tuple![7i64, "x"],
+                tuple![5i64, "z"],
+            ],
+        )
+        .unwrap();
+        let c = ColumnarRelation::from_relation(&r).unwrap();
+        Batch::slice(&c, 0, 4)
+    }
+
+    fn sch() -> Schema {
+        Schema::of(&[("A", DataType::Int), ("B", DataType::Str)])
+    }
+
+    #[test]
+    fn agrees_with_row_eval_on_the_total_fragment() {
+        let b = batch();
+        let rel = super::super::concat(Arc::new(sch()), std::slice::from_ref(&b)).to_relation();
+        let exprs = [
+            Expr::bin(BinOp::Ge, Expr::col("A"), Expr::lit(5i64)),
+            Expr::eq(Expr::col("B"), Expr::lit("x")),
+            Expr::and(
+                Expr::bin(BinOp::Gt, Expr::col("A"), Expr::lit(2i64)),
+                Expr::eq(Expr::col("B"), Expr::lit("x")),
+            ),
+            Expr::or(
+                Expr::eq(Expr::col("B"), Expr::lit("z")),
+                Expr::bin(BinOp::Lt, Expr::col("A"), Expr::lit(4i64)),
+            ),
+            Expr::not(Expr::eq(Expr::col("B"), Expr::lit("x"))),
+            Expr::IsNull(Box::new(Expr::col("A"))),
+            Expr::not(Expr::IsNull(Box::new(Expr::col("A")))),
+        ];
+        for e in &exprs {
+            let pred = compile(e, &sch()).expect("total fragment compiles");
+            let got = filter(&pred, &b);
+            let want: Vec<u32> = rel
+                .tuples()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| e.eval_predicate(&sch(), t).unwrap())
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "on {e}");
+        }
+    }
+
+    #[test]
+    fn replicates_non_kleene_null_and() {
+        // NOT(NULL AND FALSE): Expr::eval yields NULL (→ kept out), not
+        // TRUE as Kleene logic would.
+        let e = Expr::not(Expr::and(
+            Expr::eq(Expr::col("A"), Expr::lit(1i64)), // NULL on row 1
+            Expr::eq(Expr::col("B"), Expr::lit("nope")), // FALSE everywhere
+        ));
+        let b = batch();
+        let pred = compile(&e, &sch()).unwrap();
+        let got = filter(&pred, &b);
+        let rel = super::super::concat(Arc::new(sch()), &[b]).to_relation();
+        let want: Vec<u32> = rel
+            .tuples()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| e.eval_predicate(&sch(), t).unwrap())
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+        // Rows with non-null A pass (NOT(FALSE) = TRUE); row 1's NULL AND
+        // FALSE is NULL — not FALSE as Kleene logic would have it — so
+        // NOT(...) stays NULL and row 1 is excluded.
+        assert_eq!(got, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn arithmetic_and_unknown_columns_do_not_compile() {
+        let s = sch();
+        assert!(compile(&Expr::bin(BinOp::Add, Expr::col("A"), Expr::lit(1i64)), &s).is_none());
+        assert!(compile(&Expr::eq(Expr::col("Z"), Expr::lit(1i64)), &s).is_none());
+        // Non-bool column as predicate does not compile either.
+        assert!(compile(&Expr::col("A"), &s).is_none());
+    }
+
+    #[test]
+    fn cross_dtype_column_comparisons_fall_back() {
+        // Value::cmp is total across variants (Int vs Str compares by
+        // variant rank, Int vs Float numerically); the native column
+        // comparison is not, so these must not compile — the select
+        // operator's row fallback handles them.
+        let s = Schema::of(&[
+            ("A", DataType::Int),
+            ("B", DataType::Str),
+            ("D", DataType::Float),
+            ("T", DataType::Time),
+        ]);
+        assert!(compile(&Expr::lt(Expr::col("A"), Expr::col("B")), &s).is_none());
+        assert!(compile(&Expr::lt(Expr::col("A"), Expr::col("D")), &s).is_none());
+        // Int/Time are one family: native comparison is defined.
+        assert!(compile(&Expr::lt(Expr::col("A"), Expr::col("T")), &s).is_some());
+        assert!(compile(&Expr::eq(Expr::col("B"), Expr::col("B")), &s).is_some());
+    }
+}

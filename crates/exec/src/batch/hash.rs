@@ -1,0 +1,284 @@
+//! Row-oriented hash machinery for the batch operators.
+//!
+//! [`RowTable`] is a linear-probing table keyed by precomputed 64-bit row
+//! hashes; collisions are resolved by a caller-supplied equality closure
+//! over the backing columns, so the table itself never touches values.
+//! Insertion order assigns dense entry ids (`0, 1, 2, …`), which the
+//! operators use directly as group / distinct-row / class identifiers —
+//! first-occurrence order falls out for free.
+//!
+//! [`KeyStore`] accumulates the key columns of inserted rows so later rows
+//! (possibly from other batches or the probe side of a binary operator)
+//! can be compared against entry ids.
+
+use std::sync::Arc;
+
+use tqo_core::columnar::Column;
+use tqo_core::schema::Schema;
+
+const EMPTY: u32 = u32::MAX;
+
+/// A linear-probing hash table over externally stored rows.
+#[derive(Debug)]
+pub struct RowTable {
+    slots: Vec<u32>,
+    hashes: Vec<u64>,
+    payloads: Vec<i64>,
+    mask: usize,
+}
+
+impl Default for RowTable {
+    fn default() -> Self {
+        RowTable::with_capacity(16)
+    }
+}
+
+impl RowTable {
+    pub fn with_capacity(n: usize) -> RowTable {
+        let cap = (n * 8 / 7 + 1).next_power_of_two().max(16);
+        RowTable {
+            slots: vec![EMPTY; cap],
+            hashes: Vec::with_capacity(n),
+            payloads: Vec::with_capacity(n),
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Find the entry with this hash satisfying `eq`, or insert a new one
+    /// with `payload`. Returns `(entry_id, inserted)`.
+    #[inline]
+    pub fn find_or_insert(
+        &mut self,
+        hash: u64,
+        mut eq: impl FnMut(u32) -> bool,
+        payload: i64,
+    ) -> (u32, bool) {
+        if (self.hashes.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut i = hash as usize & self.mask;
+        loop {
+            let e = self.slots[i];
+            if e == EMPTY {
+                let id = self.hashes.len() as u32;
+                self.slots[i] = id;
+                self.hashes.push(hash);
+                self.payloads.push(payload);
+                return (id, true);
+            }
+            if self.hashes[e as usize] == hash && eq(e) {
+                return (e, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Find an existing entry without inserting.
+    #[inline]
+    pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mut i = hash as usize & self.mask;
+        loop {
+            let e = self.slots[i];
+            if e == EMPTY {
+                return None;
+            }
+            if self.hashes[e as usize] == hash && eq(e) {
+                return Some(e);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    pub fn payload(&self, id: u32) -> i64 {
+        self.payloads[id as usize]
+    }
+
+    #[inline]
+    pub fn payload_mut(&mut self, id: u32) -> &mut i64 {
+        &mut self.payloads[id as usize]
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        for (id, h) in self.hashes.iter().enumerate() {
+            let mut i = *h as usize & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = id as u32;
+        }
+    }
+}
+
+/// Densely stored key rows, one column per key attribute, appended in
+/// entry-id order so `store row id == RowTable entry id`.
+#[derive(Debug)]
+pub struct KeyStore {
+    columns: Vec<Column>,
+}
+
+impl KeyStore {
+    /// A store for the given key attributes of `schema`.
+    pub fn for_keys(schema: &Schema, key_idx: &[usize]) -> KeyStore {
+        KeyStore {
+            columns: key_idx
+                .iter()
+                .map(|&i| Column::with_capacity(schema.attr(i).dtype, 64))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn column(&self, k: usize) -> &Column {
+        &self.columns[k]
+    }
+
+    /// Append physical row `row` of the given source columns (`key_idx`
+    /// selects the key columns, parallel to this store's layout).
+    pub fn push_row(&mut self, cols: &[Arc<Column>], key_idx: &[usize], row: usize) {
+        for (store_col, &src) in self.columns.iter_mut().zip(key_idx) {
+            store_col.push_from(&cols[src], row);
+        }
+    }
+
+    /// Compare stored row `id` against physical row `row` of `cols`.
+    #[inline]
+    pub fn eq_row(&self, id: u32, cols: &[Arc<Column>], key_idx: &[usize], row: usize) -> bool {
+        self.columns
+            .iter()
+            .zip(key_idx)
+            .all(|(store_col, &src)| store_col.eq_at(id as usize, &cols[src], row))
+    }
+
+    /// Hash physical row `row` of `cols` over the key columns.
+    #[inline]
+    pub fn hash_row(cols: &[Arc<Column>], key_idx: &[usize], row: usize) -> u64 {
+        let mut h = 0u64;
+        for &src in key_idx {
+            h = tqo_core::columnar::hash_combine(h, cols[src].hash_at(row));
+        }
+        h
+    }
+}
+
+/// Hash a whole batch's live rows over the key columns, column-at-a-time
+/// (one dtype dispatch per column per batch instead of per row). Output
+/// is in logical row order, parallel to `batch.rows()`.
+pub fn hash_batch(batch: &super::Batch, key_idx: &[usize]) -> Vec<u64> {
+    let mut hashes = vec![0u64; batch.num_rows()];
+    for &src in key_idx {
+        let col = batch.column(src);
+        match batch.sel() {
+            super::Sel::Range(s, _) => col.hash_range(*s, &mut hashes),
+            super::Sel::Rows(rows) => col.hash_idx(rows, &mut hashes),
+        }
+    }
+    hashes
+}
+
+/// Hash all rows of a columnar relation over the key columns.
+pub fn hash_all(cols: &[Arc<Column>], key_idx: &[usize], rows: usize) -> Vec<u64> {
+    let mut hashes = vec![0u64; rows];
+    for &src in key_idx {
+        cols[src].hash_range(0, &mut hashes);
+    }
+    hashes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::columnar::ColumnarRelation;
+    use tqo_core::relation::Relation;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    #[test]
+    fn distinct_rows_get_dense_first_occurrence_ids() {
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                tuple![1i64, "x"],
+                tuple![2i64, "y"],
+                tuple![1i64, "x"],
+                tuple![1i64, "y"],
+            ],
+        )
+        .unwrap();
+        let c = ColumnarRelation::from_relation(&r).unwrap();
+        let cols = c.columns().to_vec();
+        let keys = [0usize, 1usize];
+        let mut table = RowTable::default();
+        let mut store = KeyStore::for_keys(c.schema(), &keys);
+        let mut ids = Vec::new();
+        for row in 0..c.rows() {
+            let h = KeyStore::hash_row(&cols, &keys, row);
+            let (id, inserted) = table.find_or_insert(h, |e| store.eq_row(e, &cols, &keys, row), 0);
+            if inserted {
+                store.push_row(&cols, &keys, row);
+            }
+            ids.push(id);
+        }
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+        assert_eq!(table.len(), 3);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int)]),
+            (0..1000i64).map(|i| tuple![i % 400]).collect(),
+        )
+        .unwrap();
+        let c = ColumnarRelation::from_relation(&r).unwrap();
+        let cols = c.columns().to_vec();
+        let keys = [0usize];
+        let mut table = RowTable::default();
+        let mut store = KeyStore::for_keys(c.schema(), &keys);
+        for row in 0..c.rows() {
+            let h = KeyStore::hash_row(&cols, &keys, row);
+            let (_, inserted) = table.find_or_insert(h, |e| store.eq_row(e, &cols, &keys, row), 1);
+            if inserted {
+                store.push_row(&cols, &keys, row);
+            }
+        }
+        assert_eq!(table.len(), 400);
+    }
+
+    #[test]
+    fn payloads_are_mutable() {
+        let mut table = RowTable::default();
+        let (id, inserted) = table.find_or_insert(42, |_| true, 5);
+        assert!(inserted);
+        *table.payload_mut(id) -= 2;
+        assert_eq!(table.payload(id), 3);
+        let (id2, inserted2) = table.find_or_insert(42, |_| true, 0);
+        assert!(!inserted2);
+        assert_eq!(id2, id);
+    }
+}

@@ -1,0 +1,769 @@
+//! Columnar kernels for the pipeline-breaking operators.
+//!
+//! Each kernel consumes fully materialized [`ColumnarRelation`]s and is
+//! **list-exact** against the corresponding row implementation in
+//! `tqo_core::ops` / `crate::operators`: same rows, same order, so the two
+//! engines can be compared with `==`. The temporal kernels never touch
+//! `Value`s on their hot path — periods are swept as raw `i64` columns,
+//! value-equivalence classes are formed over column-wise row hashes, and
+//! output rows are assembled with per-column gathers.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use tqo_core::columnar::{Column, ColumnarRelation};
+use tqo_core::error::{Error, Result};
+use tqo_core::expr::{AggFunc, AggItem};
+use tqo_core::schema::Schema;
+use tqo_core::sortspec::{Order, SortDir};
+use tqo_core::time::{normalize_periods, CountTimeline, Period};
+use tqo_core::value::DataType;
+
+use super::hash::{KeyStore, RowTable};
+
+/// Stable sort permutation of `input` under `order` (ties keep input
+/// order, matching the row engine's stable `sort_by`).
+pub fn sort_indices(input: &ColumnarRelation, order: &Order) -> Result<Vec<u32>> {
+    let mut keys = Vec::with_capacity(order.keys().len());
+    for k in order.keys() {
+        keys.push((input.schema().resolve(&k.attr)?, k.dir));
+    }
+    let mut idx: Vec<u32> = (0..input.rows() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        for &(c, dir) in &keys {
+            let col = input.column(c);
+            let ord = col.cmp_at(a as usize, col, b as usize);
+            let ord = match dir {
+                SortDir::Asc => ord,
+                SortDir::Desc => ord.reverse(),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(idx)
+}
+
+/// Value-equivalence classes (or grouping classes) of a relation over a
+/// set of key columns, in first-occurrence order.
+pub struct ClassIndex {
+    table: RowTable,
+    store: KeyStore,
+    key_idx: Vec<usize>,
+    /// First member row of each class.
+    pub protos: Vec<u32>,
+    /// Member rows of each class, in input order.
+    pub members: Vec<Vec<u32>>,
+    /// Class id of every input row (row-major accumulation).
+    pub class_of_row: Vec<u32>,
+}
+
+impl ClassIndex {
+    /// Build the index over `key_idx` columns of `input`.
+    pub fn build(input: &ColumnarRelation, key_idx: Vec<usize>) -> ClassIndex {
+        let cols = input.columns().to_vec();
+        let hashes = super::hash::hash_all(&cols, &key_idx, input.rows());
+        let mut table = RowTable::with_capacity(input.rows());
+        let mut store = KeyStore::for_keys(input.schema(), &key_idx);
+        let mut protos = Vec::new();
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut class_of_row = Vec::with_capacity(input.rows());
+        for (row, &h) in hashes.iter().enumerate() {
+            let (id, inserted) =
+                table.find_or_insert(h, |e| store.eq_row(e, &cols, &key_idx, row), 0);
+            if inserted {
+                store.push_row(&cols, &key_idx, row);
+                protos.push(row as u32);
+                members.push(Vec::new());
+            }
+            members[id as usize].push(row as u32);
+            class_of_row.push(id);
+        }
+        ClassIndex {
+            table,
+            store,
+            key_idx,
+            protos,
+            members,
+            class_of_row,
+        }
+    }
+
+    /// Class id of physical `row` of `cols` (same key layout), if present.
+    pub fn find(&self, cols: &[Arc<Column>], row: usize) -> Option<u32> {
+        let h = KeyStore::hash_row(cols, &self.key_idx, row);
+        self.table
+            .find(h, |e| self.store.eq_row(e, cols, &self.key_idx, row))
+    }
+
+    pub fn len(&self) -> usize {
+        self.protos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.protos.is_empty()
+    }
+}
+
+/// Assemble an output relation for per-class temporal kernels: for each
+/// emitted fragment, the explicit attributes come from a prototype row of
+/// `input` and the period from parallel `t1`/`t2` vectors.
+fn emit_fragments(
+    input: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    proto_rows: &[u32],
+    t1: Vec<i64>,
+    t2: Vec<i64>,
+) -> ColumnarRelation {
+    let (i1, i2) = (
+        out_schema.t1_index().expect("temporal output"),
+        out_schema.t2_index().expect("temporal output"),
+    );
+    let mut columns = Vec::with_capacity(out_schema.arity());
+    for (c, col) in input.columns().iter().enumerate() {
+        if c == i1 {
+            let mut t = Column::with_capacity(DataType::Time, t1.len());
+            for v in &t1 {
+                t.push_time(*v);
+            }
+            columns.push(Arc::new(t));
+        } else if c == i2 {
+            let mut t = Column::with_capacity(DataType::Time, t2.len());
+            for v in &t2 {
+                t.push_time(*v);
+            }
+            columns.push(Arc::new(t));
+        } else {
+            columns.push(Arc::new(col.gather(proto_rows)));
+        }
+    }
+    ColumnarRelation::new(out_schema, columns)
+}
+
+/// Hash-grouped aggregation, list-exact against `tqo_core::ops::aggregate`
+/// (groups in first-occurrence order, identical null/overflow semantics).
+pub fn aggregate(
+    input: &ColumnarRelation,
+    group_by: &[String],
+    aggs: &[AggItem],
+    out_schema: Arc<Schema>,
+) -> Result<ColumnarRelation> {
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| input.schema().resolve(g))
+        .collect::<Result<_>>()?;
+    let classes = ClassIndex::build(input, key_idx.clone());
+
+    // Grand-total aggregation over an empty relation still yields one row.
+    if group_by.is_empty() && input.is_empty() {
+        let mut columns = Vec::with_capacity(aggs.len());
+        for agg in aggs {
+            let dtype = agg.output_type(input.schema())?;
+            let mut col = Column::with_capacity(dtype, 1);
+            col.push(&agg.compute(input.schema(), &[])?)?;
+            columns.push(Arc::new(col));
+        }
+        return Ok(ColumnarRelation::new(out_schema, columns));
+    }
+
+    let groups = classes.len();
+    let mut columns: Vec<Arc<Column>> = Vec::with_capacity(out_schema.arity());
+    for &k in &key_idx {
+        columns.push(Arc::new(input.column(k).gather(&classes.protos)));
+    }
+    for agg in aggs {
+        columns.push(Arc::new(accumulate(input, &classes, agg, groups)?));
+    }
+    Ok(ColumnarRelation::new(out_schema, columns))
+}
+
+/// One aggregate over all groups, matching `AggItem::compute` exactly.
+/// Accumulation is row-major (one pass over the input, `O(groups)` state)
+/// with vectorized fast paths for null-free numeric columns; null-bearing
+/// or exotic inputs take the generic per-value path with identical
+/// semantics.
+fn accumulate(
+    input: &ColumnarRelation,
+    classes: &ClassIndex,
+    agg: &AggItem,
+    groups: usize,
+) -> Result<Column> {
+    let arg = match &agg.arg {
+        Some(a) => Some(input.schema().resolve(a)?),
+        None => None,
+    };
+    let out_dtype = agg.output_type(input.schema())?;
+    let gid = &classes.class_of_row;
+    let mut out = Column::with_capacity(out_dtype, groups);
+    match agg.func {
+        AggFunc::Count => {
+            let mut n = vec![0i64; groups];
+            match arg {
+                None => {
+                    for &g in gid {
+                        n[g as usize] += 1;
+                    }
+                }
+                Some(c) => {
+                    let col = input.column(c);
+                    for (row, &g) in gid.iter().enumerate() {
+                        if !col.is_null(row) {
+                            n[g as usize] += 1;
+                        }
+                    }
+                }
+            }
+            for v in n {
+                out.push(&tqo_core::Value::Int(v))?;
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let col = input.column(arg.expect("validated by output_type"));
+            let min = agg.func == AggFunc::Min;
+            // Best row per group; i64::MAX = none seen. Strict comparisons
+            // keep the earliest row on ties, as the row engine does.
+            let mut best = vec![u32::MAX; groups];
+            if let Some(data) = col.as_i64() {
+                for (row, &g) in gid.iter().enumerate() {
+                    let b = best[g as usize];
+                    if b == u32::MAX
+                        || (min && data[row] < data[b as usize])
+                        || (!min && data[row] > data[b as usize])
+                    {
+                        best[g as usize] = row as u32;
+                    }
+                }
+            } else {
+                for (row, &g) in gid.iter().enumerate() {
+                    if col.is_null(row) {
+                        continue;
+                    }
+                    let b = best[g as usize];
+                    let keep_new = b == u32::MAX || {
+                        let ord = col.cmp_at(row, col, b as usize);
+                        if min {
+                            ord == Ordering::Less
+                        } else {
+                            ord == Ordering::Greater
+                        }
+                    };
+                    if keep_new {
+                        best[g as usize] = row as u32;
+                    }
+                }
+            }
+            for b in best {
+                if b == u32::MAX {
+                    out.push(&tqo_core::Value::Null)?;
+                } else {
+                    out.push_from(col, b as usize);
+                }
+            }
+        }
+        AggFunc::Sum => {
+            let col = input.column(arg.expect("validated by output_type"));
+            if let Some(data) = col.as_i64() {
+                // Null-free Int/Time column: integer sums, every group has
+                // at least one member.
+                let mut acc = vec![0i64; groups];
+                for (row, &g) in gid.iter().enumerate() {
+                    acc[g as usize] += data[row];
+                }
+                for v in acc {
+                    out.push(&tqo_core::Value::Int(v))?;
+                }
+            } else if let Some(data) = col.as_f64() {
+                let mut acc = vec![0.0f64; groups];
+                for (row, &g) in gid.iter().enumerate() {
+                    acc[g as usize] += data[row];
+                }
+                for v in acc {
+                    out.push(&tqo_core::Value::Float(v))?;
+                }
+            } else {
+                let mut acc_i = vec![0i64; groups];
+                let mut acc_f = vec![0.0f64; groups];
+                let mut any = vec![false; groups];
+                let mut float = vec![false; groups];
+                for (row, &g) in gid.iter().enumerate() {
+                    let g = g as usize;
+                    match col.value(row) {
+                        tqo_core::Value::Null => {}
+                        tqo_core::Value::Int(v) | tqo_core::Value::Time(v) => {
+                            acc_i[g] += v;
+                            acc_f[g] += v as f64;
+                            any[g] = true;
+                        }
+                        tqo_core::Value::Float(v) => {
+                            acc_f[g] += v;
+                            float[g] = true;
+                            any[g] = true;
+                        }
+                        other => {
+                            return Err(Error::TypeError {
+                                expected: "numeric",
+                                found: other.to_string(),
+                                context: "SUM",
+                            })
+                        }
+                    }
+                }
+                for g in 0..groups {
+                    let v = if !any[g] {
+                        tqo_core::Value::Null
+                    } else if float[g] {
+                        tqo_core::Value::Float(acc_f[g])
+                    } else {
+                        tqo_core::Value::Int(acc_i[g])
+                    };
+                    out.push(&v)?;
+                }
+            }
+        }
+        AggFunc::Avg => {
+            let col = input.column(arg.expect("validated by output_type"));
+            let mut sum = vec![0.0f64; groups];
+            let mut n = vec![0usize; groups];
+            if let Some(data) = col.as_i64() {
+                for (row, &g) in gid.iter().enumerate() {
+                    sum[g as usize] += data[row] as f64;
+                    n[g as usize] += 1;
+                }
+            } else if let Some(data) = col.as_f64() {
+                for (row, &g) in gid.iter().enumerate() {
+                    sum[g as usize] += data[row];
+                    n[g as usize] += 1;
+                }
+            } else {
+                for (row, &g) in gid.iter().enumerate() {
+                    let v = col.value(row);
+                    if v.is_null() {
+                        continue;
+                    }
+                    sum[g as usize] += v.as_float()?;
+                    n[g as usize] += 1;
+                }
+            }
+            for g in 0..groups {
+                let v = if n[g] == 0 {
+                    tqo_core::Value::Null
+                } else {
+                    tqo_core::Value::Float(sum[g] / n[g] as f64)
+                };
+                out.push(&v)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Left-major Cartesian product (`×`), list-exact against
+/// `tqo_core::ops::product`.
+pub fn product(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+) -> ColumnarRelation {
+    let (n, m) = (left.rows(), right.rows());
+    let mut lidx = Vec::with_capacity(n * m);
+    let mut ridx = Vec::with_capacity(n * m);
+    for i in 0..n as u32 {
+        for j in 0..m as u32 {
+            lidx.push(i);
+            ridx.push(j);
+        }
+    }
+    let mut columns = Vec::with_capacity(out_schema.arity());
+    columns.extend(left.columns().iter().map(|c| Arc::new(c.gather(&lidx))));
+    columns.extend(right.columns().iter().map(|c| Arc::new(c.gather(&ridx))));
+    ColumnarRelation::new(out_schema, columns)
+}
+
+fn product_t_output(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    lidx: Vec<u32>,
+    ridx: Vec<u32>,
+    t1: Vec<i64>,
+    t2: Vec<i64>,
+) -> ColumnarRelation {
+    let mut columns = Vec::with_capacity(out_schema.arity());
+    columns.extend(left.columns().iter().map(|c| Arc::new(c.gather(&lidx))));
+    columns.extend(right.columns().iter().map(|c| Arc::new(c.gather(&ridx))));
+    let mut c1 = Column::with_capacity(DataType::Time, t1.len());
+    let mut c2 = Column::with_capacity(DataType::Time, t2.len());
+    for v in t1 {
+        c1.push_time(v);
+    }
+    for v in t2 {
+        c2.push_time(v);
+    }
+    columns.push(Arc::new(c1));
+    columns.push(Arc::new(c2));
+    ColumnarRelation::new(out_schema, columns)
+}
+
+/// Faithful `×ᵀ`: left-major nested loop over period-overlapping pairs,
+/// list-exact against `tqo_core::ops::product_t`.
+pub fn product_t_nested(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+) -> Result<ColumnarRelation> {
+    let (ls, le) = left.period_columns()?;
+    let (rs, re) = right.period_columns()?;
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    let mut t1 = Vec::new();
+    let mut t2 = Vec::new();
+    for i in 0..left.rows() {
+        for j in 0..right.rows() {
+            let s = ls[i].max(rs[j]);
+            let e = le[i].min(re[j]);
+            if s < e {
+                lidx.push(i as u32);
+                ridx.push(j as u32);
+                t1.push(s);
+                t2.push(e);
+            }
+        }
+    }
+    Ok(product_t_output(
+        left, right, out_schema, lidx, ridx, t1, t2,
+    ))
+}
+
+/// Fast `×ᵀ`: endpoint plane sweep over the period columns, list-exact
+/// against `crate::operators::product_t_plane_sweep` (same stable sort,
+/// same tie-breaking, same active-list order).
+pub fn product_t_sweep(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+) -> Result<ColumnarRelation> {
+    let (ls, le) = left.period_columns()?;
+    let (rs, re) = right.period_columns()?;
+    let mut lev: Vec<(i64, i64, u32)> =
+        (0..left.rows()).map(|i| (ls[i], le[i], i as u32)).collect();
+    let mut rev: Vec<(i64, i64, u32)> = (0..right.rows())
+        .map(|j| (rs[j], re[j], j as u32))
+        .collect();
+    lev.sort_by_key(|&(s, e, _)| (s, e));
+    rev.sort_by_key(|&(s, e, _)| (s, e));
+
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    let mut t1 = Vec::new();
+    let mut t2 = Vec::new();
+    let mut active_l: Vec<(i64, i64, u32)> = Vec::new();
+    let mut active_r: Vec<(i64, i64, u32)> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lev.len() || j < rev.len() {
+        let take_left = match (lev.get(i), rev.get(j)) {
+            (Some(l), Some(r)) => (l.0, l.1) <= (r.0, r.1),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_left {
+            let (s, e, li) = lev[i];
+            i += 1;
+            active_r.retain(|&(_, rend, _)| rend > s);
+            for &(ras, rae, ri) in &active_r {
+                let ps = s.max(ras);
+                let pe = e.min(rae);
+                if ps < pe {
+                    lidx.push(li);
+                    ridx.push(ri);
+                    t1.push(ps);
+                    t2.push(pe);
+                }
+            }
+            active_l.push((s, e, li));
+        } else {
+            let (s, e, ri) = rev[j];
+            j += 1;
+            active_l.retain(|&(_, lend, _)| lend > s);
+            for &(las, lae, li) in &active_l {
+                let ps = s.max(las);
+                let pe = e.min(lae);
+                if ps < pe {
+                    lidx.push(li);
+                    ridx.push(ri);
+                    t1.push(ps);
+                    t2.push(pe);
+                }
+            }
+            active_r.push((s, e, ri));
+        }
+    }
+    Ok(product_t_output(
+        left, right, out_schema, lidx, ridx, t1, t2,
+    ))
+}
+
+/// `\ᵀ` via per-class count timelines, list-exact against
+/// `tqo_core::ops::difference_t`.
+pub fn difference_t(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+) -> Result<ColumnarRelation> {
+    left.schema()
+        .check_union_compatible(right.schema(), "temporal difference")?;
+    let (ls, le) = left.period_columns()?;
+    let (rs, re) = right.period_columns()?;
+    let classes = ClassIndex::build(left, left.schema().value_indices());
+
+    let mut timelines: Vec<CountTimeline> = vec![CountTimeline::new(); classes.len()];
+    for (class, members) in classes.members.iter().enumerate() {
+        for &i in members {
+            timelines[class].add(Period::of(ls[i as usize], le[i as usize]), 1);
+        }
+    }
+    let rcols = right.columns().to_vec();
+    for j in 0..right.rows() {
+        if let Some(class) = classes.find(&rcols, j) {
+            timelines[class as usize].add(Period::of(rs[j], re[j]), -1);
+        }
+    }
+
+    let mut protos = Vec::new();
+    let mut t1 = Vec::new();
+    let mut t2 = Vec::new();
+    for (class, tl) in timelines.iter().enumerate() {
+        let proto = classes.protos[class];
+        for (period, count) in tl.constant_intervals() {
+            for _ in 0..count.max(0) {
+                protos.push(proto);
+                t1.push(period.start);
+                t2.push(period.end);
+            }
+        }
+    }
+    Ok(emit_fragments(left, out_schema, &protos, t1, t2))
+}
+
+/// Sweep `rdupᵀ`: per-class period union, list-exact against
+/// `crate::operators::rdup_t_sweep`.
+pub fn rdup_t_sweep(input: &ColumnarRelation) -> Result<ColumnarRelation> {
+    let (s, e) = input.period_columns()?;
+    let classes = ClassIndex::build(input, input.schema().value_indices());
+    let mut protos = Vec::new();
+    let mut t1 = Vec::new();
+    let mut t2 = Vec::new();
+    for (class, members) in classes.members.iter().enumerate() {
+        let periods: Vec<Period> = members
+            .iter()
+            .map(|&i| Period::of(s[i as usize], e[i as usize]))
+            .collect();
+        for p in normalize_periods(periods) {
+            protos.push(classes.protos[class]);
+            t1.push(p.start);
+            t2.push(p.end);
+        }
+    }
+    Ok(emit_fragments(
+        input,
+        input.schema().clone(),
+        &protos,
+        t1,
+        t2,
+    ))
+}
+
+/// Sort-merge `coalᵀ`: per-class sorted adjacency merge, list-exact
+/// against `crate::operators::coalesce_sort_merge`.
+pub fn coalesce_sort_merge(input: &ColumnarRelation) -> Result<ColumnarRelation> {
+    let (s, e) = input.period_columns()?;
+    let classes = ClassIndex::build(input, input.schema().value_indices());
+    let mut protos = Vec::new();
+    let mut t1 = Vec::new();
+    let mut t2 = Vec::new();
+    for (class, members) in classes.members.iter().enumerate() {
+        let mut periods: Vec<Period> = members
+            .iter()
+            .map(|&i| Period::of(s[i as usize], e[i as usize]))
+            .collect();
+        periods.sort();
+        let proto = classes.protos[class];
+        let mut current: Option<Period> = None;
+        for p in periods {
+            match current {
+                None => current = Some(p),
+                Some(c) if c.end == p.start => current = Some(Period::of(c.start, p.end)),
+                Some(c) => {
+                    protos.push(proto);
+                    t1.push(c.start);
+                    t2.push(c.end);
+                    current = Some(p);
+                }
+            }
+        }
+        if let Some(c) = current {
+            protos.push(proto);
+            t1.push(c.start);
+            t2.push(c.end);
+        }
+    }
+    Ok(emit_fragments(
+        input,
+        input.schema().clone(),
+        &protos,
+        t1,
+        t2,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::expr::AggFunc;
+    use tqo_core::ops;
+    use tqo_core::relation::Relation;
+    use tqo_core::tuple;
+
+    fn cr(r: &Relation) -> ColumnarRelation {
+        ColumnarRelation::from_relation(r).unwrap()
+    }
+
+    fn temporal(rows: &[(&str, i64, i64)]) -> Relation {
+        Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            rows.iter().map(|&(v, s, e)| tuple![v, s, e]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sort_matches_row_sort_exactly() {
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                tuple![2i64, "x"],
+                tuple![1i64, "z"],
+                tuple![2i64, "a"],
+                tuple![1i64, "a"],
+            ],
+        )
+        .unwrap();
+        let order = Order::asc(&["A"]);
+        let c = cr(&r);
+        let idx = sort_indices(&c, &order).unwrap();
+        let cols: Vec<_> = c
+            .columns()
+            .iter()
+            .map(|col| Arc::new(col.gather(&idx)))
+            .collect();
+        let got = ColumnarRelation::new(c.schema().clone(), cols).to_relation();
+        assert_eq!(got, ops::sort(&r, &order).unwrap());
+    }
+
+    #[test]
+    fn aggregate_matches_row_aggregate_exactly() {
+        let r = Relation::new(
+            Schema::of(&[("G", DataType::Str), ("V", DataType::Int)]),
+            vec![
+                tuple!["b", 1i64],
+                tuple!["a", 2i64],
+                tuple!["b", 3i64],
+                tuple!["a", 4i64],
+            ],
+        )
+        .unwrap();
+        let aggs = [
+            AggItem::count_star("n"),
+            AggItem::new(AggFunc::Sum, Some("V"), "s"),
+            AggItem::new(AggFunc::Min, Some("V"), "lo"),
+            AggItem::new(AggFunc::Max, Some("V"), "hi"),
+            AggItem::new(AggFunc::Avg, Some("V"), "avg"),
+        ];
+        let group = ["G".to_owned()];
+        let want = ops::aggregate(&r, &group, &aggs).unwrap();
+        let out_schema = Arc::new(
+            tqo_core::ops::aggregate::aggregate_schema(r.schema(), &group, &aggs).unwrap(),
+        );
+        let got = aggregate(&cr(&r), &group, &aggs, out_schema)
+            .unwrap()
+            .to_relation();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grand_total_on_empty_matches() {
+        let r = Relation::empty(Schema::of(&[("V", DataType::Int)]));
+        let aggs = [AggItem::count_star("n")];
+        let want = ops::aggregate(&r, &[], &aggs).unwrap();
+        let out_schema =
+            Arc::new(tqo_core::ops::aggregate::aggregate_schema(r.schema(), &[], &aggs).unwrap());
+        let got = aggregate(&cr(&r), &[], &aggs, out_schema)
+            .unwrap()
+            .to_relation();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn product_t_kernels_match_row_algorithms_exactly() {
+        let l = temporal(&[("a", 1, 5), ("b", 4, 9), ("c", 10, 12), ("a", 2, 7)]);
+        let r = temporal(&[("x", 3, 6), ("y", 8, 12), ("z", 1, 2)]);
+        let out_schema = Arc::new(
+            tqo_core::ops::temporal::product_t::product_t_schema(l.schema(), r.schema()).unwrap(),
+        );
+        let nested = product_t_nested(&cr(&l), &cr(&r), out_schema.clone())
+            .unwrap()
+            .to_relation();
+        assert_eq!(nested, ops::product_t(&l, &r).unwrap());
+        let sweep = product_t_sweep(&cr(&l), &cr(&r), out_schema)
+            .unwrap()
+            .to_relation();
+        assert_eq!(
+            sweep,
+            crate::operators::product_t_plane_sweep(&l, &r).unwrap()
+        );
+    }
+
+    #[test]
+    fn difference_t_matches_timeline_sweep_exactly() {
+        let l = temporal(&[("a", 1, 8), ("a", 4, 12), ("b", 2, 6), ("c", 1, 3)]);
+        let r = temporal(&[("a", 5, 9), ("b", 1, 4), ("z", 0, 20)]);
+        let got = difference_t(&cr(&l), &cr(&r), Arc::new(l.schema().clone()))
+            .unwrap()
+            .to_relation();
+        assert_eq!(got, ops::difference_t(&l, &r).unwrap());
+    }
+
+    #[test]
+    fn temporal_unary_kernels_match_row_algorithms_exactly() {
+        let r = temporal(&[
+            ("a", 4, 6),
+            ("a", 1, 10),
+            ("b", 2, 5),
+            ("b", 5, 9),
+            ("a", 12, 14),
+        ]);
+        let got = rdup_t_sweep(&cr(&r)).unwrap().to_relation();
+        assert_eq!(got, crate::operators::rdup_t_sweep(&r).unwrap());
+        let got = coalesce_sort_merge(&cr(&r)).unwrap().to_relation();
+        assert_eq!(got, crate::operators::coalesce_sort_merge(&r).unwrap());
+    }
+
+    #[test]
+    fn product_matches_row_product() {
+        let a = Relation::new(
+            Schema::of(&[("A", DataType::Int)]),
+            vec![tuple![1i64], tuple![2i64]],
+        )
+        .unwrap();
+        let b = Relation::new(
+            Schema::of(&[("B", DataType::Str)]),
+            vec![tuple!["x"], tuple!["y"]],
+        )
+        .unwrap();
+        let out_schema =
+            Arc::new(tqo_core::ops::product::product_schema(a.schema(), b.schema()).unwrap());
+        let got = product(&cr(&a), &cr(&b), out_schema).to_relation();
+        assert_eq!(got, ops::product(&a, &b).unwrap());
+    }
+}

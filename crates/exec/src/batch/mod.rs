@@ -1,0 +1,316 @@
+//! The vectorized batch execution engine.
+//!
+//! Where the row engine ([`crate::executor::execute_row`]) walks the
+//! physical tree materializing a full `Relation` per operator, this engine
+//! streams **batches** — column-major windows of ~[`BATCH_SIZE`] rows over
+//! shared [`Column`] vectors — through a pipeline of
+//! [`pipeline::BatchOperator`]s:
+//!
+//! * a [`Batch`] never owns rows it did not create: it holds `Arc`s to its
+//!   source columns plus a *selection* ([`Sel`]) naming the live rows, so
+//!   `select` and column-keeping `project` are pure selection-vector /
+//!   schema manipulation with zero row copies;
+//! * streaming operators (scan, select, project, union-all, hash `rdup`,
+//!   hash `difference`, transfers) forward batches as they arrive;
+//! * pipeline breakers (sort, aggregation, products, the temporal
+//!   sweeps) gather their input into a [`ColumnarRelation`], run a
+//!   columnar kernel from [`kernels`], and stream the result back out in
+//!   batches.
+//!
+//! Every batch operator is list-exact against its row counterpart: for the
+//! same physical plan, the batch engine produces a `Relation` equal (`==`)
+//! to the row engine's, so the planner's Table 2 property gating applies
+//! unchanged to both engines.
+
+pub mod exprs;
+pub mod hash;
+pub mod kernels;
+pub mod pipeline;
+
+use std::sync::Arc;
+
+use tqo_core::columnar::{Column, ColumnarRelation};
+use tqo_core::schema::Schema;
+
+/// Target logical rows per batch.
+pub const BATCH_SIZE: usize = 1024;
+
+/// The live rows of a batch, in output order, as *physical* indices into
+/// the batch's columns.
+#[derive(Debug, Clone)]
+pub enum Sel {
+    /// A contiguous physical window `[start, end)`.
+    Range(usize, usize),
+    /// An explicit, ordered index list.
+    Rows(Arc<Vec<u32>>),
+}
+
+impl Sel {
+    pub fn len(&self) -> usize {
+        match self {
+            Sel::Range(s, e) => e - s,
+            Sel::Rows(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Iterator over a selection's physical row indices.
+pub enum RowIter<'a> {
+    Range(std::ops::Range<usize>),
+    Rows(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            RowIter::Range(r) => r.next(),
+            RowIter::Rows(it) => it.next().map(|&i| i as usize),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIter::Range(r) => r.size_hint(),
+            RowIter::Rows(it) => it.size_hint(),
+        }
+    }
+}
+
+/// A column-major chunk of rows flowing through the pipeline.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    schema: Arc<Schema>,
+    columns: Vec<Arc<Column>>,
+    sel: Sel,
+}
+
+impl Batch {
+    /// A batch over freshly built columns (all rows live).
+    pub fn from_columns(schema: Arc<Schema>, columns: Vec<Arc<Column>>) -> Batch {
+        let rows = columns.first().map_or(0, |c| c.len());
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        Batch {
+            schema,
+            columns,
+            sel: Sel::Range(0, rows),
+        }
+    }
+
+    /// A zero-copy window `[start, end)` over a columnar relation.
+    pub fn slice(table: &ColumnarRelation, start: usize, end: usize) -> Batch {
+        debug_assert!(start <= end && end <= table.rows());
+        Batch {
+            schema: table.schema().clone(),
+            columns: table.columns().to_vec(),
+            sel: Sel::Range(start, end),
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    pub fn column(&self, i: usize) -> &Arc<Column> {
+        &self.columns[i]
+    }
+
+    pub fn sel(&self) -> &Sel {
+        &self.sel
+    }
+
+    /// Logical row count.
+    pub fn num_rows(&self) -> usize {
+        self.sel.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// Iterate the live physical row indices, in logical order.
+    pub fn rows(&self) -> RowIter<'_> {
+        match &self.sel {
+            Sel::Range(s, e) => RowIter::Range(*s..*e),
+            Sel::Rows(v) => RowIter::Rows(v.iter()),
+        }
+    }
+
+    /// The same columns under a narrowed selection (zero row copies). The
+    /// indices must be physical and already in output order.
+    pub fn with_sel_rows(&self, rows: Vec<u32>) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            sel: Sel::Rows(Arc::new(rows)),
+        }
+    }
+
+    /// The same rows under a different (same-arity) schema — renames such
+    /// as the `rdup` time-attribute demotion are pure metadata.
+    pub fn with_schema(&self, schema: Arc<Schema>) -> Batch {
+        debug_assert_eq!(schema.arity(), self.schema.arity());
+        Batch {
+            schema,
+            columns: self.columns.clone(),
+            sel: self.sel.clone(),
+        }
+    }
+
+    /// Keep a subset of columns under a new schema (zero row copies).
+    pub fn project_columns(&self, schema: Arc<Schema>, indices: &[usize]) -> Batch {
+        Batch {
+            schema,
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+            sel: self.sel.clone(),
+        }
+    }
+
+    /// Densify: one column vector per attribute with exactly the live rows.
+    /// Full-range batches are returned as shared `Arc`s (no copy).
+    pub fn compact_columns(&self) -> Vec<Arc<Column>> {
+        match &self.sel {
+            Sel::Range(0, e) if self.columns.first().map_or(*e == 0, |c| c.len() == *e) => {
+                self.columns.clone()
+            }
+            Sel::Range(s, e) => {
+                let idx: Vec<u32> = (*s as u32..*e as u32).collect();
+                self.columns
+                    .iter()
+                    .map(|c| Arc::new(c.gather(&idx)))
+                    .collect()
+            }
+            Sel::Rows(rows) => self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.gather(rows)))
+                .collect(),
+        }
+    }
+}
+
+/// True when the batches are contiguous ascending windows over one shared
+/// set of columns, jointly covering it completely — the shape a scan (or
+/// any pass-through above it) produces. Reassembling such a stream is
+/// free: the shared columns *are* the result.
+fn tiles_shared_columns(batches: &[Batch]) -> bool {
+    let Some(first) = batches.first() else {
+        return false;
+    };
+    let total = first.columns().first().map_or(0, |c| c.len());
+    let mut expected = 0usize;
+    for b in batches {
+        let Sel::Range(s, e) = b.sel else {
+            return false;
+        };
+        if s != expected
+            || b.columns().len() != first.columns().len()
+            || !b
+                .columns()
+                .iter()
+                .zip(first.columns())
+                .all(|(a, c)| Arc::ptr_eq(a, c))
+        {
+            return false;
+        }
+        expected = e;
+    }
+    expected == total
+}
+
+/// Materialize a batch stream into a single columnar relation — the
+/// pipeline-breaker entry point and the sink of the driver.
+pub fn concat(schema: Arc<Schema>, batches: &[Batch]) -> ColumnarRelation {
+    if batches.len() == 1 {
+        let cols = batches[0].compact_columns();
+        return ColumnarRelation::new(schema, cols);
+    }
+    if tiles_shared_columns(batches) {
+        return ColumnarRelation::new(schema, batches[0].columns().to_vec());
+    }
+    let total: usize = batches.iter().map(Batch::num_rows).sum();
+    let mut builders: Vec<Column> = schema
+        .attrs()
+        .iter()
+        .map(|a| Column::with_capacity(a.dtype, total))
+        .collect();
+    for b in batches {
+        for (out, col) in builders.iter_mut().zip(b.columns()) {
+            match &b.sel {
+                Sel::Range(s, e) => out.extend_range(col, *s, *e),
+                Sel::Rows(rows) => out.extend_idx(col, rows),
+            }
+        }
+    }
+    ColumnarRelation::new(schema, builders.into_iter().map(Arc::new).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::relation::Relation;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    fn table() -> ColumnarRelation {
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                tuple![1i64, "x"],
+                tuple![2i64, "y"],
+                tuple![3i64, "z"],
+                tuple![4i64, "w"],
+            ],
+        )
+        .unwrap();
+        ColumnarRelation::from_relation(&r).unwrap()
+    }
+
+    #[test]
+    fn slices_share_columns() {
+        let t = table();
+        let b = Batch::slice(&t, 1, 3);
+        assert_eq!(b.num_rows(), 2);
+        assert!(Arc::ptr_eq(b.column(0), t.column(0)));
+        assert_eq!(b.rows().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn selection_narrows_without_copy() {
+        let t = table();
+        let b = Batch::slice(&t, 0, 4).with_sel_rows(vec![3, 0]);
+        assert_eq!(b.num_rows(), 2);
+        assert!(Arc::ptr_eq(b.column(1), t.column(1)));
+        assert_eq!(b.rows().collect::<Vec<_>>(), vec![3, 0]);
+    }
+
+    #[test]
+    fn concat_rebuilds_selected_rows_in_order() {
+        let t = table();
+        let b1 = Batch::slice(&t, 0, 4).with_sel_rows(vec![2]);
+        let b2 = Batch::slice(&t, 0, 2);
+        let out = concat(t.schema().clone(), &[b1, b2]);
+        let rel = out.to_relation();
+        assert_eq!(
+            rel.tuples(),
+            &[tuple![3i64, "z"], tuple![1i64, "x"], tuple![2i64, "y"]]
+        );
+    }
+
+    #[test]
+    fn concat_of_single_full_batch_is_zero_copy() {
+        let t = table();
+        let out = concat(t.schema().clone(), &[Batch::slice(&t, 0, 4)]);
+        assert!(Arc::ptr_eq(out.column(0), t.column(0)));
+    }
+}

@@ -1,0 +1,1016 @@
+//! The streaming operator pipeline: `open` / `next_batch` / `close`.
+//!
+//! [`build`] translates a [`PhysicalNode`] tree into a tree of
+//! [`BatchOperator`]s. Streaming operators (scan, select, project,
+//! union-all, hash `rdup`, hash `difference`, transfers) forward ~1024-row
+//! batches as they arrive; pipeline breakers materialize their inputs and
+//! call the columnar kernels. Operators whose faithful algorithms are
+//! inherently row-oriented (the paper's head/tail recursions, `ξᵀ`, `∪ᵀ`)
+//! fall back to the row implementations behind a materialize boundary, so
+//! every physical plan executes under either engine with identical
+//! results.
+//!
+//! Every operator is wrapped in a [`Metered`] shell that accumulates
+//! inclusive wall-clock time, output rows, and batch counts into a shared
+//! sink; the driver converts inclusive to exclusive times using the tree
+//! shape and reports the same post-order [`OperatorMetrics`] sequence the
+//! row engine produces.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tqo_core::columnar::ColumnarRelation;
+use tqo_core::error::{Error, Result};
+use tqo_core::expr::{Expr, ProjItem};
+use tqo_core::interp::Env;
+use tqo_core::ops;
+use tqo_core::relation::Relation;
+use tqo_core::schema::Schema;
+use tqo_core::sortspec::Order;
+use tqo_core::tuple::Tuple;
+
+use crate::metrics::{ExecMetrics, OperatorMetrics};
+use crate::physical::{
+    CoalesceAlgo, DifferenceTAlgo, PhysicalNode, PhysicalPlan, ProductTAlgo, RdupTAlgo,
+};
+
+use super::exprs::{self, Pred};
+use super::hash::{KeyStore, RowTable};
+use super::kernels;
+use super::{concat, Batch, BATCH_SIZE};
+
+/// A pull-based operator producing column-major batches.
+pub trait BatchOperator {
+    /// Output schema, known before any batch is produced.
+    fn out_schema(&self) -> Arc<Schema>;
+    /// Prepare: open children, build blocking state.
+    fn open(&mut self) -> Result<()>;
+    /// The next non-empty batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<Batch>>;
+    /// Release resources (best effort; infallible).
+    fn close(&mut self);
+}
+
+type BoxOp = Box<dyn BatchOperator>;
+
+// ---------------------------------------------------------------------------
+// Metrics plumbing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct NodeStats {
+    label: String,
+    children: Vec<usize>,
+    rows_out: usize,
+    batches: usize,
+    inclusive: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Sink {
+    nodes: Vec<NodeStats>,
+}
+
+type SharedSink = Rc<RefCell<Sink>>;
+
+/// Wraps an operator, attributing wall-clock time and row counts to its
+/// node in the shared sink. Child calls nest inside the parent's timed
+/// sections, so recorded times are inclusive; the driver subtracts.
+struct Metered {
+    inner: BoxOp,
+    id: usize,
+    sink: SharedSink,
+}
+
+impl BatchOperator for Metered {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.inner.out_schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        let started = Instant::now();
+        let result = self.inner.open();
+        self.sink.borrow_mut().nodes[self.id].inclusive += started.elapsed();
+        result
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let started = Instant::now();
+        let result = self.inner.next_batch();
+        let elapsed = started.elapsed();
+        let mut sink = self.sink.borrow_mut();
+        let node = &mut sink.nodes[self.id];
+        node.inclusive += elapsed;
+        if let Ok(Some(b)) = &result {
+            node.rows_out += b.num_rows();
+            node.batches += 1;
+        }
+        result
+    }
+
+    fn close(&mut self) {
+        let started = Instant::now();
+        self.inner.close();
+        self.sink.borrow_mut().nodes[self.id].inclusive += started.elapsed();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------------
+
+/// Source: zero-copy windows over the environment's cached columnar table.
+struct ScanOp {
+    table: Arc<ColumnarRelation>,
+    pos: usize,
+}
+
+impl BatchOperator for ScanOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.table.schema().clone()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.pos >= self.table.rows() {
+            return Ok(None);
+        }
+        let end = (self.pos + BATCH_SIZE).min(self.table.rows());
+        let b = Batch::slice(&self.table, self.pos, end);
+        self.pos = end;
+        Ok(Some(b))
+    }
+
+    fn close(&mut self) {}
+}
+
+/// Selection: selection-vector manipulation, zero row copies. Compiled
+/// predicates run vectorized; anything outside the total fragment falls
+/// back to row-at-a-time `eval_predicate` with identical semantics.
+struct FilterOp {
+    child: BoxOp,
+    predicate: Expr,
+    compiled: Option<Pred>,
+    schema: Arc<Schema>,
+}
+
+/// Materialize one logical row of a batch as a row-layout tuple (slow
+/// paths only: predicate/projection fallbacks).
+fn row_tuple(batch: &Batch, phys: usize) -> Tuple {
+    Tuple::new(batch.columns().iter().map(|c| c.value(phys)).collect())
+}
+
+impl BatchOperator for FilterOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.child.next_batch()? else {
+                return Ok(None);
+            };
+            let kept = match &self.compiled {
+                Some(pred) => exprs::filter(pred, &batch),
+                None => {
+                    let mut kept = Vec::with_capacity(batch.num_rows());
+                    for i in batch.rows() {
+                        let t = row_tuple(&batch, i);
+                        if self.predicate.eval_predicate(&self.schema, &t)? {
+                            kept.push(i as u32);
+                        }
+                    }
+                    kept
+                }
+            };
+            if !kept.is_empty() {
+                return Ok(Some(batch.with_sel_rows(kept)));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+/// Projection. Column-reference projections reuse the child's column
+/// `Arc`s under the new schema (zero row copies); computed items densify.
+struct ProjectOp {
+    child: BoxOp,
+    items: Vec<ProjItem>,
+    out_schema: Arc<Schema>,
+    /// Column index per item when every item is a plain reference.
+    col_refs: Option<Vec<usize>>,
+    /// Re-validate periods (output temporal, periods not passed through).
+    validate: bool,
+}
+
+impl ProjectOp {
+    fn validate_periods(&self, batch: &Batch) -> Result<()> {
+        let (Some(i1), Some(i2)) = (self.out_schema.t1_index(), self.out_schema.t2_index()) else {
+            return Ok(());
+        };
+        let (c1, c2) = (batch.column(i1), batch.column(i2));
+        for i in batch.rows() {
+            let start = c1.value(i).as_time()?;
+            let end = c2.value(i).as_time()?;
+            if start >= end {
+                return Err(Error::InvalidPeriod { start, end });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BatchOperator for ProjectOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.out_schema.clone()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let Some(batch) = self.child.next_batch()? else {
+            return Ok(None);
+        };
+        let out = match &self.col_refs {
+            Some(indices) => batch.project_columns(self.out_schema.clone(), indices),
+            None => {
+                // Computed items: densify, evaluating tuple-major (per row,
+                // items in order) exactly as the row engine does, so a plan
+                // with several fallible items surfaces the same first error
+                // under either engine.
+                let child_schema = self.child.out_schema();
+                let mut columns: Vec<tqo_core::columnar::Column> = self
+                    .items
+                    .iter()
+                    .enumerate()
+                    .map(|(k, _)| {
+                        tqo_core::columnar::Column::with_capacity(
+                            self.out_schema.attr(k).dtype,
+                            batch.num_rows(),
+                        )
+                    })
+                    .collect();
+                for i in batch.rows() {
+                    let t = row_tuple(&batch, i);
+                    for (k, item) in self.items.iter().enumerate() {
+                        columns[k].push(&item.expr.eval(&child_schema, &t)?)?;
+                    }
+                }
+                Batch::from_columns(
+                    self.out_schema.clone(),
+                    columns.into_iter().map(Arc::new).collect(),
+                )
+            }
+        };
+        if self.validate {
+            self.validate_periods(&out)?;
+        }
+        Ok(Some(out))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+/// Union ALL: left's batches, then right's.
+struct UnionAllOp {
+    left: BoxOp,
+    right: BoxOp,
+    schema: Arc<Schema>,
+    on_right: bool,
+}
+
+impl BatchOperator for UnionAllOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.on_right = false;
+        self.left.open()?;
+        self.right.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if !self.on_right {
+            if let Some(b) = self.left.next_batch()? {
+                return Ok(Some(b.with_schema(self.schema.clone())));
+            }
+            self.on_right = true;
+        }
+        Ok(self
+            .right
+            .next_batch()?
+            .map(|b| b.with_schema(self.schema.clone())))
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+    }
+}
+
+/// Hash `rdup`: streaming first-occurrence filter over column-wise row
+/// hashes. Kept rows are emitted as selection views of the input batch;
+/// their key values are appended to a dense store for cross-batch
+/// equality.
+struct RdupOp {
+    child: BoxOp,
+    out_schema: Arc<Schema>,
+    key_idx: Vec<usize>,
+    table: RowTable,
+    store: KeyStore,
+}
+
+impl BatchOperator for RdupOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.out_schema.clone()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.table = RowTable::default();
+        self.store = KeyStore::for_keys(&self.child.out_schema(), &self.key_idx);
+        self.child.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.child.next_batch()? else {
+                return Ok(None);
+            };
+            let cols = batch.columns();
+            let hashes = super::hash::hash_batch(&batch, &self.key_idx);
+            let mut kept = Vec::new();
+            for (k, i) in batch.rows().enumerate() {
+                let (_, inserted) = self.table.find_or_insert(
+                    hashes[k],
+                    |e| self.store.eq_row(e, cols, &self.key_idx, i),
+                    0,
+                );
+                if inserted {
+                    self.store.push_row(cols, &self.key_idx, i);
+                    kept.push(i as u32);
+                }
+            }
+            if !kept.is_empty() {
+                return Ok(Some(
+                    batch
+                        .with_sel_rows(kept)
+                        .with_schema(self.out_schema.clone()),
+                ));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+/// Hash multiset difference: the right side is built into a count table at
+/// `open`; left batches stream through, consuming counts, and survivors
+/// are emitted as selection views (earliest occurrences are the ones
+/// removed, as in the row engine).
+struct DifferenceOp {
+    left: BoxOp,
+    right: BoxOp,
+    out_schema: Arc<Schema>,
+    key_idx: Vec<usize>,
+    table: RowTable,
+    store: KeyStore,
+}
+
+impl BatchOperator for DifferenceOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.out_schema.clone()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+        self.table = RowTable::default();
+        self.store = KeyStore::for_keys(&self.right.out_schema(), &self.key_idx);
+        while let Some(batch) = self.right.next_batch()? {
+            let cols = batch.columns();
+            let hashes = super::hash::hash_batch(&batch, &self.key_idx);
+            for (k, i) in batch.rows().enumerate() {
+                let (id, inserted) = self.table.find_or_insert(
+                    hashes[k],
+                    |e| self.store.eq_row(e, cols, &self.key_idx, i),
+                    0,
+                );
+                if inserted {
+                    self.store.push_row(cols, &self.key_idx, i);
+                }
+                *self.table.payload_mut(id) += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.left.next_batch()? else {
+                return Ok(None);
+            };
+            let cols = batch.columns();
+            let hashes = super::hash::hash_batch(&batch, &self.key_idx);
+            let mut kept = Vec::with_capacity(batch.num_rows());
+            for (k, i) in batch.rows().enumerate() {
+                let hit = self
+                    .table
+                    .find(hashes[k], |e| self.store.eq_row(e, cols, &self.key_idx, i));
+                match hit {
+                    Some(id) if self.table.payload(id) > 0 => {
+                        *self.table.payload_mut(id) -= 1;
+                    }
+                    _ => kept.push(i as u32),
+                }
+            }
+            if !kept.is_empty() {
+                return Ok(Some(
+                    batch
+                        .with_sel_rows(kept)
+                        .with_schema(self.out_schema.clone()),
+                ));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+    }
+}
+
+/// Transfers execute as identity but are metered.
+struct TransferOp {
+    child: BoxOp,
+}
+
+impl BatchOperator for TransferOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.child.out_schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        self.child.next_batch()
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers
+// ---------------------------------------------------------------------------
+
+/// What a blocking operator computes once its inputs are materialized.
+enum BlockKind {
+    /// Stable sort; emits selection views over the materialized input.
+    Sort(Order),
+    Aggregate {
+        group_by: Vec<String>,
+        aggs: Vec<tqo_core::expr::AggItem>,
+    },
+    Product,
+    ProductTNested,
+    ProductTSweep,
+    DifferenceT,
+    RdupTSweep,
+    CoalesceSortMerge,
+    /// Materialize to row layout and run the reference implementation —
+    /// the compatibility path for the inherently row-oriented faithful
+    /// algorithms.
+    RowOp(PhysicalNode),
+}
+
+struct BlockingOp {
+    children: Vec<BoxOp>,
+    kind: BlockKind,
+    out_schema: Arc<Schema>,
+    out: Option<ColumnarRelation>,
+    /// For `Sort`: the permutation, emitted chunk-wise as selections.
+    perm: Option<Vec<u32>>,
+    pos: usize,
+}
+
+fn drain(child: &mut BoxOp) -> Result<ColumnarRelation> {
+    let schema = child.out_schema();
+    let mut batches = Vec::new();
+    while let Some(b) = child.next_batch()? {
+        if !b.is_empty() {
+            batches.push(b);
+        }
+    }
+    Ok(concat(schema, &batches))
+}
+
+impl BlockingOp {
+    fn compute(&mut self) -> Result<()> {
+        let mut inputs = Vec::with_capacity(self.children.len());
+        for c in &mut self.children {
+            inputs.push(drain(c)?);
+        }
+        match &self.kind {
+            BlockKind::Sort(order) => {
+                let input = inputs.pop().expect("sort has one child");
+                self.perm = Some(kernels::sort_indices(&input, order)?);
+                self.out = Some(input);
+            }
+            BlockKind::Aggregate { group_by, aggs } => {
+                let input = inputs.pop().expect("aggregate has one child");
+                self.out = Some(kernels::aggregate(
+                    &input,
+                    group_by,
+                    aggs,
+                    self.out_schema.clone(),
+                )?);
+            }
+            BlockKind::Product => {
+                let right = inputs.pop().expect("binary");
+                let left = inputs.pop().expect("binary");
+                self.out = Some(kernels::product(&left, &right, self.out_schema.clone()));
+            }
+            BlockKind::ProductTNested => {
+                let right = inputs.pop().expect("binary");
+                let left = inputs.pop().expect("binary");
+                self.out = Some(kernels::product_t_nested(
+                    &left,
+                    &right,
+                    self.out_schema.clone(),
+                )?);
+            }
+            BlockKind::ProductTSweep => {
+                let right = inputs.pop().expect("binary");
+                let left = inputs.pop().expect("binary");
+                self.out = Some(kernels::product_t_sweep(
+                    &left,
+                    &right,
+                    self.out_schema.clone(),
+                )?);
+            }
+            BlockKind::DifferenceT => {
+                let right = inputs.pop().expect("binary");
+                let left = inputs.pop().expect("binary");
+                self.out = Some(kernels::difference_t(
+                    &left,
+                    &right,
+                    self.out_schema.clone(),
+                )?);
+            }
+            BlockKind::RdupTSweep => {
+                let input = inputs.pop().expect("unary");
+                self.out = Some(kernels::rdup_t_sweep(&input)?);
+            }
+            BlockKind::CoalesceSortMerge => {
+                let input = inputs.pop().expect("unary");
+                self.out = Some(kernels::coalesce_sort_merge(&input)?);
+            }
+            BlockKind::RowOp(node) => {
+                let rels: Vec<Relation> =
+                    inputs.iter().map(ColumnarRelation::to_relation).collect();
+                let result = crate::executor::apply_row_op(node, &rels)?;
+                self.out = Some(ColumnarRelation::from_relation(&result)?);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BatchOperator for BlockingOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.out_schema.clone()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        for c in &mut self.children {
+            c.open()?;
+        }
+        self.pos = 0;
+        self.compute()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let out = self.out.as_ref().expect("opened");
+        let total = self.perm.as_ref().map_or(out.rows(), Vec::len);
+        if self.pos >= total {
+            return Ok(None);
+        }
+        let end = (self.pos + BATCH_SIZE).min(total);
+        let batch = match &self.perm {
+            Some(perm) => Batch::slice(out, 0, out.rows())
+                .with_sel_rows(perm[self.pos..end].to_vec())
+                .with_schema(self.out_schema.clone()),
+            None => Batch::slice(out, self.pos, end).with_schema(self.out_schema.clone()),
+        };
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {
+        self.out = None;
+        self.perm = None;
+        for c in &mut self.children {
+            c.close();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan translation
+// ---------------------------------------------------------------------------
+
+fn demoted(schema: &Schema) -> Arc<Schema> {
+    if schema.is_temporal() {
+        Arc::new(schema.demote_time_attrs())
+    } else {
+        Arc::new(schema.clone())
+    }
+}
+
+fn require_temporal(schema: &Schema, context: &'static str) -> Result<()> {
+    if schema.is_temporal() {
+        Ok(())
+    } else {
+        Err(Error::NotTemporal { context })
+    }
+}
+
+fn register(sink: &SharedSink, label: String, children: Vec<usize>) -> usize {
+    let mut s = sink.borrow_mut();
+    let id = s.nodes.len();
+    s.nodes.push(NodeStats {
+        label,
+        children,
+        ..NodeStats::default()
+    });
+    id
+}
+
+fn metered(op: BoxOp, id: usize, sink: &SharedSink) -> BoxOp {
+    Box::new(Metered {
+        inner: op,
+        id,
+        sink: sink.clone(),
+    })
+}
+
+fn blocking(children: Vec<BoxOp>, kind: BlockKind, out_schema: Arc<Schema>) -> BoxOp {
+    Box::new(BlockingOp {
+        children,
+        kind,
+        out_schema,
+        out: None,
+        perm: None,
+        pos: 0,
+    })
+}
+
+/// Build the operator tree for a physical node. Returns the (metered)
+/// operator and its node id; ids are assigned post-order so the driver's
+/// metrics sequence matches the row engine's.
+fn build(node: &PhysicalNode, env: &Env, sink: &SharedSink) -> Result<(BoxOp, usize)> {
+    let mut child_ops = Vec::new();
+    let mut child_ids = Vec::new();
+    for c in node.children() {
+        let (op, id) = build(c, env, sink)?;
+        child_ops.push(op);
+        child_ids.push(id);
+    }
+    let mut kids = child_ops.into_iter();
+    let mut next = || kids.next().expect("child built");
+
+    let op: BoxOp = match node {
+        PhysicalNode::Scan { name } => Box::new(ScanOp {
+            table: env.columnar(name)?,
+            pos: 0,
+        }),
+        PhysicalNode::Select { predicate, .. } => {
+            let child = next();
+            let schema = child.out_schema();
+            let compiled = exprs::compile(predicate, &schema);
+            Box::new(FilterOp {
+                child,
+                predicate: predicate.clone(),
+                compiled,
+                schema,
+            })
+        }
+        PhysicalNode::Project { items, .. } => {
+            let child = next();
+            if items.is_empty() {
+                return Err(Error::Plan {
+                    reason: "projection needs at least one item".into(),
+                });
+            }
+            let child_schema = child.out_schema();
+            let out_schema = Arc::new(ops::project::project_schema(&child_schema, items)?);
+            let col_refs: Option<Vec<usize>> = items
+                .iter()
+                .map(|item| match &item.expr {
+                    Expr::Col(name) => child_schema.index_of(name),
+                    _ => None,
+                })
+                .collect();
+            let validate = out_schema.is_temporal() && !ops::project::periods_passthrough(items);
+            Box::new(ProjectOp {
+                child,
+                items: items.clone(),
+                out_schema,
+                col_refs,
+                validate,
+            })
+        }
+        PhysicalNode::UnionAll { .. } => {
+            let left = next();
+            let right = next();
+            left.out_schema()
+                .check_union_compatible(&right.out_schema(), "union ALL")?;
+            let schema = left.out_schema();
+            Box::new(UnionAllOp {
+                left,
+                right,
+                schema,
+                on_right: false,
+            })
+        }
+        PhysicalNode::Product { .. } => {
+            let left = next();
+            let right = next();
+            let out = Arc::new(ops::product::product_schema(
+                &left.out_schema(),
+                &right.out_schema(),
+            )?);
+            blocking(vec![left, right], BlockKind::Product, out)
+        }
+        PhysicalNode::Difference { .. } => {
+            let left = next();
+            let right = next();
+            let ls = left.out_schema();
+            ls.check_union_compatible(&right.out_schema(), "difference")?;
+            let key_idx = (0..ls.arity()).collect();
+            let out_schema = demoted(&ls);
+            Box::new(DifferenceOp {
+                left,
+                right,
+                out_schema,
+                key_idx,
+                table: RowTable::default(),
+                store: KeyStore::for_keys(&Schema::default(), &[]),
+            })
+        }
+        PhysicalNode::Aggregate { group_by, aggs, .. } => {
+            let child = next();
+            let out = Arc::new(ops::aggregate::aggregate_schema(
+                &child.out_schema(),
+                group_by,
+                aggs,
+            )?);
+            if group_by.is_empty() && aggs.is_empty() {
+                return Err(Error::Plan {
+                    reason: "aggregation needs groups or aggregates".into(),
+                });
+            }
+            blocking(
+                vec![child],
+                BlockKind::Aggregate {
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                },
+                out,
+            )
+        }
+        PhysicalNode::Rdup { .. } => {
+            let child = next();
+            let schema = child.out_schema();
+            let key_idx = (0..schema.arity()).collect();
+            let out_schema = demoted(&schema);
+            Box::new(RdupOp {
+                child,
+                out_schema,
+                key_idx,
+                table: RowTable::default(),
+                store: KeyStore::for_keys(&Schema::default(), &[]),
+            })
+        }
+        PhysicalNode::UnionMax { .. } => {
+            let left = next();
+            let right = next();
+            let ls = left.out_schema();
+            ls.check_union_compatible(&right.out_schema(), "union")?;
+            let out = demoted(&ls);
+            blocking(vec![left, right], BlockKind::RowOp(node.clone()), out)
+        }
+        PhysicalNode::Sort { order, .. } => {
+            let child = next();
+            let schema = child.out_schema();
+            for key in order.keys() {
+                schema.resolve(&key.attr)?;
+            }
+            blocking(vec![child], BlockKind::Sort(order.clone()), schema)
+        }
+        PhysicalNode::ProductT { algo, .. } => {
+            let left = next();
+            let right = next();
+            let out = Arc::new(ops::temporal::product_t::product_t_schema(
+                &left.out_schema(),
+                &right.out_schema(),
+            )?);
+            let kind = match algo {
+                ProductTAlgo::NestedLoop => BlockKind::ProductTNested,
+                ProductTAlgo::PlaneSweep => BlockKind::ProductTSweep,
+            };
+            blocking(vec![left, right], kind, out)
+        }
+        PhysicalNode::DifferenceT { algo, .. } => {
+            let left = next();
+            let right = next();
+            let ls = left.out_schema();
+            require_temporal(&ls, "temporal difference")?;
+            require_temporal(&right.out_schema(), "temporal difference")?;
+            let kind = match algo {
+                DifferenceTAlgo::TimelineSweep => BlockKind::DifferenceT,
+                DifferenceTAlgo::SubtractUnion => BlockKind::RowOp(node.clone()),
+            };
+            blocking(vec![left, right], kind, ls)
+        }
+        PhysicalNode::AggregateT { group_by, aggs, .. } => {
+            let child = next();
+            let out = Arc::new(ops::temporal::aggregate_t::aggregate_t_schema(
+                &child.out_schema(),
+                group_by,
+                aggs,
+            )?);
+            blocking(vec![child], BlockKind::RowOp(node.clone()), out)
+        }
+        PhysicalNode::RdupT { algo, .. } => {
+            let child = next();
+            let schema = child.out_schema();
+            require_temporal(&schema, "temporal duplicate elimination")?;
+            let kind = match algo {
+                RdupTAlgo::Faithful => BlockKind::RowOp(node.clone()),
+                RdupTAlgo::Sweep => BlockKind::RdupTSweep,
+            };
+            blocking(vec![child], kind, schema)
+        }
+        PhysicalNode::UnionT { .. } => {
+            let left = next();
+            let right = next();
+            let ls = left.out_schema();
+            require_temporal(&ls, "temporal union")?;
+            require_temporal(&right.out_schema(), "temporal union")?;
+            ls.check_union_compatible(&right.out_schema(), "temporal union")?;
+            blocking(vec![left, right], BlockKind::RowOp(node.clone()), ls)
+        }
+        PhysicalNode::Coalesce { algo, .. } => {
+            let child = next();
+            let schema = child.out_schema();
+            require_temporal(&schema, "coalescing")?;
+            let kind = match algo {
+                CoalesceAlgo::Fixpoint => BlockKind::RowOp(node.clone()),
+                CoalesceAlgo::SortMerge => BlockKind::CoalesceSortMerge,
+            };
+            blocking(vec![child], kind, schema)
+        }
+        PhysicalNode::TransferS { .. } | PhysicalNode::TransferD { .. } => {
+            Box::new(TransferOp { child: next() })
+        }
+    };
+    let id = register(sink, node.label(), child_ids);
+    Ok((metered(op, id, sink), id))
+}
+
+/// Execute a physical plan through the batch pipeline.
+pub fn execute_batch(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMetrics)> {
+    let sink: SharedSink = Rc::new(RefCell::new(Sink::default()));
+    let (mut root, _) = build(&plan.root, env, &sink)?;
+    root.open()?;
+    let schema = root.out_schema();
+    let mut batches = Vec::new();
+    while let Some(b) = root.next_batch()? {
+        if !b.is_empty() {
+            batches.push(b);
+        }
+    }
+    root.close();
+    let result = concat(schema, &batches).to_relation();
+
+    let sink = sink.borrow();
+    let mut operators = Vec::with_capacity(sink.nodes.len());
+    for node in &sink.nodes {
+        let child_time: Duration = node.children.iter().map(|&c| sink.nodes[c].inclusive).sum();
+        let rows_in: usize = node.children.iter().map(|&c| sink.nodes[c].rows_out).sum();
+        operators.push(OperatorMetrics {
+            label: node.label.clone(),
+            rows_in,
+            rows_out: node.rows_out,
+            batches: node.batches,
+            elapsed: node.inclusive.saturating_sub(child_time),
+        });
+    }
+    Ok((result, ExecMetrics { operators }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::value::DataType;
+    use tqo_core::Value;
+
+    fn env() -> Env {
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            (0..2500i64)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::from(format!("v{}", i % 40)),
+                        Value::Time(i % 19),
+                        Value::Time(i % 19 + 1 + (i % 3)),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        Env::new().with("R", r)
+    }
+
+    fn plan(root: PhysicalNode) -> PhysicalPlan {
+        PhysicalPlan::new(root)
+    }
+
+    fn scan(name: &str) -> Arc<PhysicalNode> {
+        Arc::new(PhysicalNode::Scan { name: name.into() })
+    }
+
+    #[test]
+    fn scan_streams_in_batch_size_chunks() {
+        let e = env();
+        let (result, metrics) =
+            execute_batch(&plan(PhysicalNode::Scan { name: "R".into() }), &e).unwrap();
+        assert_eq!(result.len(), 2500);
+        assert_eq!(result, *e.get("R").unwrap());
+        assert_eq!(metrics.operators.len(), 1);
+        assert_eq!(metrics.operators[0].batches, 3); // 1024 + 1024 + 452
+        assert_eq!(metrics.operators[0].rows_out, 2500);
+    }
+
+    #[test]
+    fn mixed_dtype_predicate_agrees_with_row_engine() {
+        // `T1 < E` compares Time against Str — total under Value::cmp, so
+        // the row engine evaluates it; the batch engine must fall back to
+        // row evaluation rather than hitting the native comparator.
+        let e = env();
+        let p = plan(PhysicalNode::Select {
+            input: scan("R"),
+            predicate: Expr::lt(Expr::col("T1"), Expr::col("E")),
+        });
+        let (batch_result, _) = execute_batch(&p, &e).unwrap();
+        let (row_result, _) = crate::executor::execute_row(&p, &e).unwrap();
+        assert_eq!(batch_result, row_result);
+    }
+
+    #[test]
+    fn metrics_mirror_row_engine_ordering() {
+        let e = env();
+        let root = PhysicalNode::RdupT {
+            input: Arc::new(PhysicalNode::Select {
+                input: scan("R"),
+                predicate: Expr::eq(Expr::col("E"), Expr::lit("v7")),
+            }),
+            algo: RdupTAlgo::Sweep,
+        };
+        let p = plan(root);
+        let (batch_result, bm) = execute_batch(&p, &e).unwrap();
+        let (row_result, rm) = crate::executor::execute_row(&p, &e).unwrap();
+        assert_eq!(batch_result, row_result);
+        let blabels: Vec<_> = bm.operators.iter().map(|o| o.label.clone()).collect();
+        let rlabels: Vec<_> = rm.operators.iter().map(|o| o.label.clone()).collect();
+        assert_eq!(blabels, rlabels);
+        assert_eq!(
+            bm.operators.iter().map(|o| o.rows_out).collect::<Vec<_>>(),
+            rm.operators.iter().map(|o| o.rows_out).collect::<Vec<_>>(),
+        );
+    }
+}

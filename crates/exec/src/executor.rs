@@ -1,4 +1,14 @@
 //! Physical plan execution with per-operator metrics.
+//!
+//! Two engines execute the same physical plans:
+//!
+//! * [`ExecMode::Batch`] (the default) — the vectorized pipeline of
+//!   [`crate::batch`]: columnar batches stream through the operator tree,
+//!   base tables are read through the environment's shared columnar cache,
+//!   and only pipeline breakers materialize.
+//! * [`ExecMode::Row`] — the original materialize-everything tree walk,
+//!   retained as the semantic baseline; `tests/engines_agree.rs` holds
+//!   both engines (and the interpreter) to identical results.
 
 use std::time::Instant;
 
@@ -15,34 +25,57 @@ use crate::physical::{
 };
 use crate::planner::{lower, PlannerConfig};
 
-/// Execute a physical plan against an environment, collecting metrics.
+/// Which engine executes a physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Row-at-a-time tree walk, materializing every intermediate result.
+    Row,
+    /// Vectorized columnar pipeline (~1024-row batches).
+    #[default]
+    Batch,
+}
+
+/// Execute a physical plan with the default (batch) engine.
 pub fn execute(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMetrics)> {
+    execute_mode(plan, env, ExecMode::default())
+}
+
+/// Execute a physical plan with an explicit engine choice.
+pub fn execute_mode(
+    plan: &PhysicalPlan,
+    env: &Env,
+    mode: ExecMode,
+) -> Result<(Relation, ExecMetrics)> {
+    match mode {
+        ExecMode::Row => execute_row(plan, env),
+        ExecMode::Batch => crate::batch::pipeline::execute_batch(plan, env),
+    }
+}
+
+/// Execute a physical plan with the row-at-a-time engine.
+pub fn execute_row(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMetrics)> {
     let mut metrics = ExecMetrics::default();
     let result = run(&plan.root, env, &mut metrics)?;
     Ok((result, metrics))
 }
 
-/// Lower a logical plan and execute it in one step.
+/// Lower a logical plan and execute it in one step (engine chosen by
+/// `config.mode`).
 pub fn execute_logical(
     plan: &LogicalPlan,
     env: &Env,
     config: PlannerConfig,
 ) -> Result<(Relation, ExecMetrics)> {
     let physical = lower(plan, config)?;
-    execute(&physical, env)
+    execute_mode(&physical, env, config.mode)
 }
 
-fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Relation> {
-    // Evaluate children first so the parent's timing excludes them.
-    let inputs: Vec<Relation> = node
-        .children()
-        .iter()
-        .map(|c| run(c, env, metrics))
-        .collect::<Result<_>>()?;
-
-    let started = Instant::now();
-    let out = match node {
-        PhysicalNode::Scan { name } => env.get(name)?.clone(),
+/// Apply one physical operator to materialized inputs using the row
+/// algorithms — the row engine's dispatch, shared with the batch
+/// pipeline's fallback path so both engines agree by construction.
+pub(crate) fn apply_row_op(node: &PhysicalNode, inputs: &[Relation]) -> Result<Relation> {
+    Ok(match node {
+        PhysicalNode::Scan { .. } => unreachable!("scans are handled by the engines"),
         PhysicalNode::Select { predicate, .. } => ops::select(&inputs[0], predicate)?,
         PhysicalNode::Project { items, .. } => ops::project(&inputs[0], items)?,
         PhysicalNode::UnionAll { .. } => ops::union_all(&inputs[0], &inputs[1])?,
@@ -76,13 +109,30 @@ fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Rela
             CoalesceAlgo::Fixpoint => ops::coalesce(&inputs[0])?,
             CoalesceAlgo::SortMerge => operators::coalesce_sort_merge(&inputs[0])?,
         },
-        PhysicalNode::TransferS { .. } | PhysicalNode::TransferD { .. } => {
-            inputs.into_iter().next().expect("transfer has one child")
-        }
+        PhysicalNode::TransferS { .. } | PhysicalNode::TransferD { .. } => inputs[0].clone(),
+    })
+}
+
+fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Relation> {
+    // Evaluate children first so the parent's timing excludes them.
+    let inputs: Vec<Relation> = node
+        .children()
+        .iter()
+        .map(|c| run(c, env, metrics))
+        .collect::<Result<_>>()?;
+    let rows_in = inputs.iter().map(Relation::len).sum();
+
+    let started = Instant::now();
+    let out = match node {
+        // Arc-backed storage makes this clone a refcount bump, not a copy.
+        PhysicalNode::Scan { name } => env.get(name)?.clone(),
+        other => apply_row_op(other, &inputs)?,
     };
     metrics.operators.push(OperatorMetrics {
         label: node.label(),
+        rows_in,
         rows_out: out.len(),
+        batches: 1,
         elapsed: started.elapsed(),
     });
     Ok(out)
@@ -149,6 +199,7 @@ mod tests {
             .build_multiset();
         let (_, metrics) = execute_logical(&plan, &cat.env(), PlannerConfig::default()).unwrap();
         assert_eq!(metrics.transferred_rows(), 5);
+        assert!(metrics.operators.iter().all(|o| o.batches >= 1));
     }
 
     #[test]
@@ -167,5 +218,39 @@ mod tests {
         )
         .unwrap();
         assert_eq!(via_interp, via_exec);
+    }
+
+    #[test]
+    fn both_engines_agree_on_both_planner_modes() {
+        let cat = paper::catalog();
+        let env = cat.env();
+        let plan = figure2a_plan(ResultType::Multiset);
+        for allow_fast in [true, false] {
+            let physical = lower(
+                &plan,
+                PlannerConfig {
+                    allow_fast,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let (row, _) = execute_row(&physical, &env).unwrap();
+            let (batch, _) = execute_mode(&physical, &env, ExecMode::Batch).unwrap();
+            assert_eq!(row, batch, "engines diverge (allow_fast={allow_fast})");
+        }
+    }
+
+    #[test]
+    fn scan_shares_base_table_storage() {
+        let cat = paper::catalog();
+        let env = cat.env();
+        let plan = PhysicalPlan::new(PhysicalNode::Scan {
+            name: "EMPLOYEE".into(),
+        });
+        let (result, _) = execute_row(&plan, &env).unwrap();
+        assert!(
+            result.shares_tuples(env.get("EMPLOYEE").unwrap()),
+            "scan must not deep-copy base table storage"
+        );
     }
 }

@@ -18,14 +18,24 @@
 //! The planner ([`planner::lower`]) consults the property annotations to
 //! pick the fastest admissible algorithm; [`executor::execute`] runs the
 //! physical plan collecting per-operator metrics.
+//!
+//! Two engines execute physical plans ([`executor::ExecMode`]): the
+//! vectorized batch pipeline in [`batch`] (default — columnar ~1024-row
+//! batches, selection vectors, column-wise hashing, period-column
+//! sweeps) and the row-at-a-time materializing walk
+//! ([`executor::execute_row`], the semantic baseline). For any one
+//! physical plan the two produce identical relations.
 
+pub mod batch;
 pub mod executor;
 pub mod metrics;
 pub mod operators;
 pub mod physical;
 pub mod planner;
 
-pub use executor::{execute, execute_logical};
+pub use batch::pipeline::BatchOperator;
+pub use batch::Batch;
+pub use executor::{execute, execute_logical, execute_mode, execute_row, ExecMode};
 pub use metrics::{ExecMetrics, OperatorMetrics};
 pub use physical::{PhysicalNode, PhysicalPlan};
 pub use planner::{lower, PlannerConfig};

@@ -1,4 +1,4 @@
-//! Execution metrics: per-operator row counts and timings.
+//! Execution metrics: per-operator row counts, batch counts, and timings.
 
 use std::time::Duration;
 
@@ -7,10 +7,26 @@ use std::time::Duration;
 pub struct OperatorMetrics {
     /// Operator label (including the chosen algorithm).
     pub label: String,
+    /// Input cardinality (sum over the operator's inputs).
+    pub rows_in: usize,
     /// Output cardinality.
     pub rows_out: usize,
+    /// Batches produced (1 for the row engine's materialized output).
+    pub batches: usize,
     /// Wall-clock time spent in this operator (children excluded).
     pub elapsed: Duration,
+}
+
+impl OperatorMetrics {
+    /// Output throughput in rows per second (0 when the timer saw nothing,
+    /// which happens for sub-resolution operators on empty inputs).
+    pub fn rows_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.rows_out as f64 / secs
+    }
 }
 
 /// Metrics for a whole plan execution.
@@ -40,13 +56,19 @@ impl ExecMetrics {
             .sum()
     }
 
-    /// A compact per-operator report.
+    /// A compact per-operator report with throughput, so benches and the
+    /// stratum engine can see where time actually goes.
     pub fn report(&self) -> String {
         let mut out = String::new();
         for op in &self.operators {
             out.push_str(&format!(
-                "{:<30} rows={:<8} time={:?}\n",
-                op.label, op.rows_out, op.elapsed
+                "{:<30} rows_in={:<8} rows_out={:<8} batches={:<5} time={:<12?} {:>12.0} rows/s\n",
+                op.label,
+                op.rows_in,
+                op.rows_out,
+                op.batches,
+                op.elapsed,
+                op.rows_per_sec(),
             ));
         }
         out
@@ -63,17 +85,23 @@ mod tests {
             operators: vec![
                 OperatorMetrics {
                     label: "scan(R)".into(),
+                    rows_in: 0,
                     rows_out: 100,
+                    batches: 1,
                     elapsed: Duration::from_micros(5),
                 },
                 OperatorMetrics {
                     label: "transfer-s".into(),
+                    rows_in: 100,
                     rows_out: 100,
+                    batches: 1,
                     elapsed: Duration::from_micros(2),
                 },
                 OperatorMetrics {
                     label: "sort[stable]".into(),
+                    rows_in: 100,
                     rows_out: 100,
+                    batches: 1,
                     elapsed: Duration::from_micros(9),
                 },
             ],
@@ -82,5 +110,26 @@ mod tests {
         assert_eq!(m.transferred_rows(), 100);
         assert_eq!(m.total_time(), Duration::from_micros(16));
         assert!(m.report().contains("transfer-s"));
+        assert!(m.report().contains("rows/s"));
+    }
+
+    #[test]
+    fn throughput_is_rows_over_time() {
+        let op = OperatorMetrics {
+            label: "rdup[hash]".into(),
+            rows_in: 2000,
+            rows_out: 1000,
+            batches: 2,
+            elapsed: Duration::from_millis(100),
+        };
+        assert!((op.rows_per_sec() - 10_000.0).abs() < 1e-6);
+        let idle = OperatorMetrics {
+            label: "noop".into(),
+            rows_in: 0,
+            rows_out: 0,
+            batches: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(idle.rows_per_sec(), 0.0);
     }
 }

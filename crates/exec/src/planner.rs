@@ -28,6 +28,9 @@ pub struct PlannerConfig {
     /// Plan-search engine used by [`optimize_and_lower`]: the exhaustive
     /// Figure 5 closure or the memo optimizer.
     pub strategy: SearchStrategy,
+    /// Execution engine [`crate::executor::execute_logical`] dispatches to
+    /// (vectorized batch pipeline by default).
+    pub mode: crate::executor::ExecMode,
 }
 
 impl Default for PlannerConfig {
@@ -35,6 +38,7 @@ impl Default for PlannerConfig {
         PlannerConfig {
             allow_fast: true,
             strategy: SearchStrategy::default(),
+            mode: crate::executor::ExecMode::default(),
         }
     }
 }

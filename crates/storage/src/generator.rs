@@ -138,7 +138,7 @@ impl WorkloadGenerator {
     pub fn temporal(&mut self, cfg: &GenConfig) -> Result<Relation> {
         let schema = Schema::temporal(&[("E", DataType::Str)]);
         let names: Vec<String> = (0..cfg.classes).map(|i| format!("e{i}")).collect();
-        self.temporal_with_values(cfg, schema, |i| vec![Value::Str(names[i].clone())])
+        self.temporal_with_values(cfg, schema, |i| vec![Value::Str(names[i].clone().into())])
     }
 
     /// An EMPLOYEE-shaped relation `(EmpName, Dept, T1, T2)`.
@@ -150,8 +150,8 @@ impl WorkloadGenerator {
         }
         self.temporal_with_values(cfg, schema, |i| {
             vec![
-                Value::Str(format!("emp{i}")),
-                Value::Str(dept_of[i].clone()),
+                Value::Str(format!("emp{i}").into()),
+                Value::Str(dept_of[i].clone().into()),
             ]
         })
     }
@@ -185,8 +185,8 @@ impl WorkloadGenerator {
         }
         self.temporal_with_values(&cfg, schema, |i| {
             vec![
-                Value::Str(format!("emp{}", participants[i])),
-                Value::Str(prj_of[i].clone()),
+                Value::Str(format!("emp{}", participants[i]).into()),
+                Value::Str(prj_of[i].clone().into()),
             ]
         })
     }
@@ -231,7 +231,7 @@ impl WorkloadGenerator {
         for _ in 0..rows {
             let a = self.rng.gen_range(0..distinct_a.max(1)) as i64;
             let b = format!("s{}", self.rng.gen_range(0..distinct_a.max(1)));
-            tuples.push(Tuple::new(vec![Value::Int(a), Value::Str(b)]));
+            tuples.push(Tuple::new(vec![Value::Int(a), Value::Str(b.into())]));
         }
         Relation::new(schema, tuples)
     }

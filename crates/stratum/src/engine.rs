@@ -1,21 +1,28 @@
 //! The stratum executor: runs layered plans, delegating DBMS fragments to
 //! the simulated DBMS and moving rows across the serialized wire.
 //!
-//! Stratum-side operators are the *thin layer's* implementations: the
-//! specification-faithful temporal operators plus a simple hand-rolled
-//! stable merge sort — deliberately less engineered than the DBMS's
-//! operators, preserving the paper's premise that "the DBMS sorts faster
-//! than the stratum" (§2.1).
+//! Stratum-side operators are the *thin layer's* implementations. By
+//! default the stratum's local operator tree — everything above the
+//! transfers — is handed to `tqo-exec`'s vectorized batch pipeline in one
+//! piece (faithful algorithms only, so results are bit-identical to the
+//! reference interpreter); [`ExecMode::Row`] retains the original
+//! node-at-a-time walk over the specification-faithful operators plus a
+//! simple hand-rolled stable merge sort — deliberately less engineered
+//! than the DBMS's operators, preserving the paper's premise that "the
+//! DBMS sorts faster than the stratum" (§2.1).
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tqo_core::error::{Error, Result};
+use tqo_core::interp::Env;
 use tqo_core::ops;
-use tqo_core::plan::{LogicalPlan, PlanNode};
+use tqo_core::plan::{BaseProps, LogicalPlan, PlanNode};
 use tqo_core::relation::Relation;
 use tqo_core::sortspec::Order;
 use tqo_core::tuple::Tuple;
+use tqo_exec::ExecMode;
 use tqo_storage::Catalog;
 
 use crate::dbms::SimulatedDbms;
@@ -48,6 +55,7 @@ impl StratumMetrics {
 pub struct Stratum {
     dbms: SimulatedDbms,
     optimizer: tqo_core::optimizer::OptimizerConfig,
+    exec_mode: ExecMode,
 }
 
 impl Stratum {
@@ -55,6 +63,7 @@ impl Stratum {
         Stratum {
             dbms: SimulatedDbms::new(catalog),
             optimizer: tqo_core::optimizer::OptimizerConfig::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -69,6 +78,14 @@ impl Stratum {
         self
     }
 
+    /// Select the engine executing the stratum's local operator tree: the
+    /// vectorized batch pipeline (default) or the legacy row-at-a-time
+    /// walk.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Stratum {
+        self.exec_mode = mode;
+        self
+    }
+
     pub fn dbms(&self) -> &SimulatedDbms {
         &self.dbms
     }
@@ -77,8 +94,89 @@ impl Stratum {
     pub fn run(&self, plan: &LogicalPlan) -> Result<(Relation, StratumMetrics)> {
         validate_layered(plan)?;
         let mut metrics = StratumMetrics::default();
-        let result = self.eval(&plan.root, &mut metrics)?;
+        let result = match self.exec_mode {
+            ExecMode::Row => self.eval(&plan.root, &mut metrics)?,
+            ExecMode::Batch => self.eval_pipelined(plan, &mut metrics)?,
+        };
         Ok((result, metrics))
+    }
+
+    /// Batch-mode evaluation: execute every DBMS fragment (bottom of the
+    /// layered plan), bind the wired results as synthetic base relations,
+    /// and run the entire stratum-local operator tree through the
+    /// vectorized batch pipeline in one piece. Faithful algorithms only —
+    /// the stratum's semantics stay those of the reference operators.
+    fn eval_pipelined(&self, plan: &LogicalPlan, metrics: &mut StratumMetrics) -> Result<Relation> {
+        // The root may itself be a transfer (fully-pushed plans).
+        if let PlanNode::TransferS { input } = &*plan.root {
+            return self.run_fragment(input, metrics);
+        }
+        let mut env = Env::new();
+        let mut counter = 0usize;
+        let local_root = self.bind_fragments(&plan.root, &mut env, &mut counter, metrics)?;
+        let local_plan = LogicalPlan::new(local_root, plan.result_type.clone());
+        let config = tqo_exec::PlannerConfig {
+            allow_fast: false,
+            mode: ExecMode::Batch,
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let physical = tqo_exec::lower(&local_plan, config)?;
+        let (result, _) = tqo_exec::execute_mode(&physical, &env, ExecMode::Batch)?;
+        metrics.stratum_time += started.elapsed();
+        Ok(result)
+    }
+
+    /// Execute one DBMS fragment and wire its rows into the stratum.
+    fn run_fragment(&self, input: &PlanNode, metrics: &mut StratumMetrics) -> Result<Relation> {
+        let (result, stats) = self.dbms.execute(input)?;
+        metrics.dbms_time += stats.elapsed;
+        metrics.fragments += 1;
+        let (decoded, bytes) = wire::transfer(&result)?;
+        metrics.transfer_bytes += bytes;
+        metrics.transferred_rows += decoded.len();
+        Ok(decoded)
+    }
+
+    /// Replace every `Tˢ` subtree with a scan of a synthetic base relation
+    /// holding the fragment's wired result; rejects the same plan shapes
+    /// the row walk rejects (bare scans, `Tᴰ`).
+    fn bind_fragments(
+        &self,
+        node: &PlanNode,
+        env: &mut Env,
+        counter: &mut usize,
+        metrics: &mut StratumMetrics,
+    ) -> Result<PlanNode> {
+        match node {
+            PlanNode::TransferS { input } => {
+                let relation = self.run_fragment(input, metrics)?;
+                let name = format!("__frag{}", *counter);
+                *counter += 1;
+                let base = BaseProps::unordered(relation.schema().clone(), relation.len() as u64);
+                env.insert(name.clone(), relation);
+                Ok(PlanNode::Scan { name, base })
+            }
+            PlanNode::TransferD { .. } => Err(Error::Plan {
+                reason: "Tᴰ execution (shipping stratum results into the DBMS) is not \
+                         supported by the simulated DBMS; keep stratum results in the \
+                         stratum"
+                    .into(),
+            }),
+            PlanNode::Scan { name, .. } => Err(Error::Plan {
+                reason: format!(
+                    "scan of `{name}` reached the stratum executor; wrap scans in Tˢ \
+                     (make_layered)"
+                ),
+            }),
+            other => {
+                let mut rebuilt = Vec::with_capacity(other.children().len());
+                for c in other.children() {
+                    rebuilt.push(Arc::new(self.bind_fragments(c, env, counter, metrics)?));
+                }
+                other.with_children(rebuilt)
+            }
+        }
     }
 
     /// Compile a SQL query, wrap its scans in transfers, and execute.
@@ -105,15 +203,7 @@ impl Stratum {
     fn eval(&self, node: &PlanNode, metrics: &mut StratumMetrics) -> Result<Relation> {
         match node {
             // DBMS boundary: ship the fragment, wire the rows back.
-            PlanNode::TransferS { input } => {
-                let (result, stats) = self.dbms.execute(input)?;
-                metrics.dbms_time += stats.elapsed;
-                metrics.fragments += 1;
-                let (decoded, bytes) = wire::transfer(&result)?;
-                metrics.transfer_bytes += bytes;
-                metrics.transferred_rows += decoded.len();
-                Ok(decoded)
-            }
+            PlanNode::TransferS { input } => self.run_fragment(input, metrics),
             PlanNode::TransferD { .. } => Err(Error::Plan {
                 reason: "Tᴰ execution (shipping stratum results into the DBMS) is not \
                          supported by the simulated DBMS; keep stratum results in the \
@@ -312,6 +402,28 @@ mod tests {
         let ours = stratum_sort(&r, &order).unwrap();
         let reference = ops::sort(&r, &order).unwrap();
         assert_eq!(ours, reference);
+    }
+
+    #[test]
+    fn batch_and_row_stratum_modes_agree_exactly() {
+        let batch = Stratum::new(paper::catalog());
+        let row = Stratum::new(paper::catalog()).with_exec_mode(tqo_exec::ExecMode::Row);
+        for sql in [
+            "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+             EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+             COALESCE ORDER BY EmpName",
+            "SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+            "SELECT EmpName FROM EMPLOYEE",
+            "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p \
+             WHERE e.EmpName = p.EmpName",
+        ] {
+            let (b, bm) = batch.run_sql(sql).unwrap();
+            let (r, rm) = row.run_sql(sql).unwrap();
+            assert_eq!(b, r, "stratum engines diverge on {sql}");
+            assert_eq!(bm.fragments, rm.fragments);
+            assert_eq!(bm.transferred_rows, rm.transferred_rows);
+            assert_eq!(bm.transfer_bytes, rm.transfer_bytes);
+        }
     }
 
     #[test]

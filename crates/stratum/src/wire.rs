@@ -87,7 +87,7 @@ fn get_value(buf: &mut Bytes) -> Result<Value> {
             let s = std::str::from_utf8(&bytes).map_err(|e| Error::Storage {
                 reason: format!("wire: bad utf8: {e}"),
             })?;
-            Value::Str(s.to_owned())
+            Value::Str(s.into())
         }
         tag => {
             return Err(Error::Storage {

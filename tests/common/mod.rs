@@ -30,7 +30,7 @@ pub fn arb_temporal(classes: usize, max_rows: usize) -> impl Strategy<Value = Re
             .into_iter()
             .map(|(c, start, dur)| {
                 Tuple::new(vec![
-                    Value::Str(format!("v{c}")),
+                    Value::Str(format!("v{c}").into()),
                     Value::Time(start),
                     Value::Time(start + dur),
                 ])
@@ -46,7 +46,7 @@ pub fn arb_snapshot(max_rows: usize) -> impl Strategy<Value = Relation> {
     prop::collection::vec((0i64..6, 0usize..4), 0..=max_rows).prop_map(|rows| {
         let tuples = rows
             .into_iter()
-            .map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Str(format!("s{b}"))]))
+            .map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Str(format!("s{b}").into())]))
             .collect();
         Relation::new(snapshot_schema(), tuples).expect("generated rows are valid")
     })

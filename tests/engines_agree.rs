@@ -1,7 +1,9 @@
-//! Cross-engine agreement: the reference interpreter, the physical
-//! execution engine (fast and faithful planner modes), and the layered
-//! stratum engine must agree on every query — exactly for faithful modes,
-//! and up to the query's result type for modes using fast algorithms.
+//! Cross-engine agreement: the reference interpreter, the row execution
+//! engine, the vectorized batch execution engine (fast and faithful
+//! planner modes), and the layered stratum engine must agree on every
+//! query — exactly for faithful modes, and up to the query's result type
+//! for modes using fast algorithms. For any one physical plan, the row
+//! and batch engines must agree *exactly*, fast algorithms included.
 
 mod common;
 
@@ -10,9 +12,48 @@ use proptest::prelude::*;
 
 use tqo_core::interp::eval_plan;
 use tqo_core::relation::Relation;
-use tqo_exec::{execute_logical, PlannerConfig};
+use tqo_exec::{execute_logical, execute_mode, lower, ExecMode, PlannerConfig};
 use tqo_storage::{paper, Catalog};
 use tqo_stratum::{make_layered, Stratum};
+
+fn row_config(allow_fast: bool) -> PlannerConfig {
+    PlannerConfig {
+        allow_fast,
+        mode: ExecMode::Row,
+        ..Default::default()
+    }
+}
+
+fn batch_config(allow_fast: bool) -> PlannerConfig {
+    PlannerConfig {
+        allow_fast,
+        mode: ExecMode::Batch,
+        ..Default::default()
+    }
+}
+
+/// Row and batch engines must produce identical relations for the same
+/// physical plan, in both planner modes; returns the fast-mode result.
+fn assert_engines_exact(
+    plan: &tqo_core::plan::LogicalPlan,
+    env: &tqo_core::interp::Env,
+    context: &str,
+) -> Relation {
+    let mut fast = None;
+    for allow_fast in [false, true] {
+        let physical = lower(plan, row_config(allow_fast)).unwrap();
+        let (row, _) = execute_mode(&physical, env, ExecMode::Row).unwrap();
+        let (batch, _) = execute_mode(&physical, env, ExecMode::Batch).unwrap();
+        assert_eq!(
+            row, batch,
+            "row and batch engines diverge (allow_fast={allow_fast}) on {context}"
+        );
+        if allow_fast {
+            fast = Some(batch);
+        }
+    }
+    fast.expect("fast mode executed")
+}
 
 const QUERIES: &[&str] = &[
     "SELECT EmpName FROM EMPLOYEE",
@@ -43,20 +84,20 @@ fn agree_on_catalog(catalog: &Catalog) {
         let plan = tqo_sql::compile(sql, catalog).unwrap();
         let reference = eval_plan(&plan, &env).unwrap();
 
-        // Faithful physical engine: exact agreement.
-        let (faithful, _) = execute_logical(
-            &plan,
-            &env,
-            PlannerConfig {
-                allow_fast: false,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(faithful, reference, "faithful engine diverges on {sql}");
+        // Faithful physical engines: exact agreement with the interpreter.
+        for config in [row_config(false), batch_config(false)] {
+            let (faithful, _) = execute_logical(&plan, &env, config).unwrap();
+            assert_eq!(
+                faithful, reference,
+                "faithful {:?} engine diverges on {sql}",
+                config.mode
+            );
+        }
 
-        // Fast physical engine: agreement at the query's result type.
-        let (fast, _) = execute_logical(&plan, &env, PlannerConfig::default()).unwrap();
+        // Row and batch engines: exact agreement with each other on the
+        // same physical plan, fast algorithms included; fast results agree
+        // with the reference at the query's result type.
+        let fast = assert_engines_exact(&plan, &env, sql);
         assert!(
             plan.result_type.admits(&reference, &fast).unwrap(),
             "fast engine violates ≡SQL on {sql}"
@@ -89,6 +130,61 @@ fn engines_agree_on_generated_workloads() {
             .figure1_workload(2)
             .unwrap();
         agree_on_catalog(&catalog);
+    }
+}
+
+/// The optimizer fixture pool (every plan shape in the rule space) over
+/// generator-driven workloads: interp, row exec, and batch exec must
+/// produce identical relations in faithful mode, the row and batch
+/// engines identical relations in fast mode, and fast results must be
+/// admissible at each plan's result type.
+#[test]
+fn engines_agree_on_fixture_plans_over_generated_relations() {
+    use tqo_storage::{GenConfig, WorkloadGenerator};
+    for seed in [3u64, 11, 42] {
+        let mut generator = WorkloadGenerator::new(seed);
+        let mut env = tqo_core::interp::Env::new();
+        // Dirty temporal relations (overlaps, adjacencies, duplicates)
+        // under honest `unordered` declarations...
+        for name in ["EMP", "PRJ", "A", "B"] {
+            let r = generator
+                .temporal(&GenConfig {
+                    classes: 6,
+                    fragments_per_class: 5,
+                    mean_duration: 6,
+                    mean_gap: 3,
+                    adjacency_prob: 0.35,
+                    overlap_prob: 0.35,
+                    duplicate_prob: 0.2,
+                    ..GenConfig::default()
+                })
+                .unwrap();
+            env.insert(name, r);
+        }
+        // ...a genuinely clean relation for the fixture declaring clean
+        // base properties...
+        env.insert("R", generator.temporal(&GenConfig::clean(8, 4)).unwrap());
+        // ...and conventional relations for the snapshot fixtures.
+        env.insert("S1", generator.conventional(40, 6).unwrap());
+        env.insert("S2", generator.conventional(30, 6).unwrap());
+
+        for (i, plan) in common::optimizer_fixtures(30).into_iter().enumerate() {
+            let context = format!("fixture #{i} (seed {seed})");
+            let reference = eval_plan(&plan, &env).unwrap();
+            for config in [row_config(false), batch_config(false)] {
+                let (faithful, _) = execute_logical(&plan, &env, config).unwrap();
+                assert_eq!(
+                    faithful, reference,
+                    "faithful {:?} engine diverges on {context}",
+                    config.mode
+                );
+            }
+            let fast = assert_engines_exact(&plan, &env, &context);
+            assert!(
+                plan.result_type.admits(&reference, &fast).unwrap(),
+                "fast engines violate ≡SQL on {context}"
+            );
+        }
     }
 }
 
@@ -159,7 +255,11 @@ proptest! {
         let env = catalog.env();
         let plan = tqo_sql::compile(sql, &catalog).unwrap();
         let reference = eval_plan(&plan, &env).unwrap();
-        let (fast, _) = execute_logical(&plan, &env, PlannerConfig::default()).unwrap();
+        for config in [row_config(false), batch_config(false)] {
+            let (faithful, _) = execute_logical(&plan, &env, config).unwrap();
+            prop_assert_eq!(&faithful, &reference);
+        }
+        let fast = assert_engines_exact(&plan, &env, sql);
         prop_assert!(plan.result_type.admits(&reference, &fast).unwrap());
         let stratum = Stratum::new(catalog.clone());
         let (via_stratum, _) = stratum.run(&make_layered(&plan).unwrap()).unwrap();
