@@ -1,16 +1,18 @@
 //! Quick-mode exec throughput: runs the row-vs-batch cases a few times
-//! each and writes `BENCH_exec.json` (rows/sec per operator and engine)
-//! to the current directory — the start of the perf trajectory CI tracks.
+//! each and writes `BENCH_exec.json` (rows/sec per operator and engine,
+//! plus per-operator cardinality-estimation q-errors) to the current
+//! directory — the perf *and* estimation trajectories CI tracks.
 //!
 //! Usage: `exec_quick [rows] [output-path]`; `EXEC_QUICK_ROWS` overrides
 //! the default of 100_000 rows.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use tqo_bench::exec_throughput_workload;
+use tqo_bench::{estimation_workload, exec_throughput_workload};
 use tqo_core::interp::Env;
-use tqo_exec::{execute_mode, ExecMode, PhysicalPlan};
+use tqo_exec::{execute_logical, execute_mode, ExecMode, PhysicalPlan, PlannerConfig};
 
 const ITERS: usize = 5;
 
@@ -100,7 +102,66 @@ fn main() {
         writeln!(json, "      \"wall_speedup\": {wall_speedup:.3}").unwrap();
         writeln!(json, "    }}{}", if i + 1 < cases.len() { "," } else { "" }).unwrap();
     }
-    writeln!(json, "  ]").unwrap();
+    writeln!(json, "  ],").unwrap();
+
+    // Estimation accuracy: per-operator median q-error over the bench
+    // workloads, so estimation quality gets a tracked trajectory alongside
+    // throughput.
+    let est_scale = (rows / 2000).clamp(1, 40);
+    let (cat, est_cases) = estimation_workload(est_scale, 23);
+    let env = cat.env();
+    let mut per_label: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut all: Vec<f64> = Vec::new();
+    for case in &est_cases {
+        let (_, metrics) = execute_logical(&case.plan, &env, PlannerConfig::default())
+            .expect("estimation plan executes");
+        for op in &metrics.operators {
+            if let Some(q) = op.q_error() {
+                // Group on the operator name without the algorithm tag.
+                let label = op.label.split(['[', '(']).next().unwrap_or("?").to_owned();
+                per_label.entry(label).or_default().push(q);
+                all.push(q);
+            }
+        }
+    }
+    // Empty-safe median (shared convention with ExecMetrics): plans that
+    // carried no estimates (e.g. a future engine change breaking the
+    // estimate/metrics join) must degrade to a null datapoint, not crash
+    // the CI bench step.
+    let median = tqo_exec::metrics::median;
+    let fmt_q = |q: Option<f64>| match q {
+        Some(q) => format!("{q:.3}"),
+        None => "null".into(),
+    };
+    writeln!(json, "  \"estimation\": {{").unwrap();
+    writeln!(json, "    \"workload_scale\": {est_scale},").unwrap();
+    writeln!(
+        json,
+        "    \"overall_median_q\": {},",
+        fmt_q(median(&mut all))
+    )
+    .unwrap();
+    writeln!(json, "    \"operators\": [").unwrap();
+    eprintln!("\n{:<22} {:>8} {:>10}", "estimation", "samples", "median q");
+    let labels: Vec<String> = per_label.keys().cloned().collect();
+    for (i, label) in labels.iter().enumerate() {
+        let qs = per_label.get_mut(label).unwrap();
+        let samples = qs.len();
+        let m = median(qs);
+        eprintln!("{label:<22} {samples:>8} {:>10}", fmt_q(m));
+        writeln!(json, "      {{").unwrap();
+        writeln!(json, "        \"label\": \"{label}\",").unwrap();
+        writeln!(json, "        \"samples\": {samples},").unwrap();
+        writeln!(json, "        \"median_q\": {}", fmt_q(m)).unwrap();
+        writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < labels.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "    ]").unwrap();
+    writeln!(json, "  }}").unwrap();
     writeln!(json, "}}").unwrap();
     std::fs::write(&out_path, json).expect("write BENCH_exec.json");
     eprintln!("wrote {out_path}");

@@ -214,6 +214,78 @@ pub fn exec_throughput_workload(rows: usize, seed: u64) -> (tqo_core::interp::En
     (env, cases)
 }
 
+/// One estimation-accuracy case: a logical plan over cataloged (and
+/// therefore statistics-carrying) tables. Lowering attaches per-node row
+/// estimates; executing yields per-operator q-errors.
+pub struct EstimationCase {
+    pub name: &'static str,
+    pub plan: LogicalPlan,
+}
+
+/// The estimation workload `exec_quick` tracks in `BENCH_exec.json`:
+/// selections (equality and range), joins (conventional and temporal),
+/// duplicate elimination, and a dedup/coalesce chain, all over generated
+/// tables whose statistics the catalog has measured. `scale` multiplies
+/// the employee population.
+pub fn estimation_workload(scale: usize, seed: u64) -> (Catalog, Vec<EstimationCase>) {
+    use tqo_core::expr::Expr;
+
+    let mut generator = WorkloadGenerator::new(seed);
+    let cat = generator
+        .figure1_workload(scale.max(1))
+        .expect("workload generation");
+    cat.register(
+        "NUMS",
+        generator
+            .conventional(500 * scale.max(1), 20 * scale.max(1))
+            .expect("generation"),
+    )
+    .expect("register");
+    cat.register(
+        "NUMS2",
+        generator
+            .conventional(300 * scale.max(1), 15 * scale.max(1))
+            .expect("generation"),
+    )
+    .expect("register");
+
+    let scan = |name: &str| PlanBuilder::scan(name, cat.base_props(name).expect("cataloged"));
+    let cases = vec![
+        EstimationCase {
+            name: "select_eq",
+            plan: scan("EMPLOYEE")
+                .select(Expr::eq(Expr::col("EmpName"), Expr::lit("emp3")))
+                .build_multiset(),
+        },
+        EstimationCase {
+            name: "select_range",
+            plan: scan("EMPLOYEE")
+                .select(Expr::lt(Expr::col("T1"), Expr::lit(40i64)))
+                .build_multiset(),
+        },
+        EstimationCase {
+            name: "join_conventional",
+            plan: scan("NUMS")
+                .product(scan("NUMS2"))
+                .select(Expr::eq(Expr::col("1.A"), Expr::col("2.A")))
+                .build_multiset(),
+        },
+        EstimationCase {
+            name: "join_temporal",
+            plan: scan("EMPLOYEE").product_t(scan("PROJECT")).build_multiset(),
+        },
+        EstimationCase {
+            name: "rdup",
+            plan: scan("NUMS").rdup().build_set(),
+        },
+        EstimationCase {
+            name: "dedup_coalesce",
+            plan: scan("EMPLOYEE").rdup_t().coalesce().build_multiset(),
+        },
+    ];
+    (cat, cases)
+}
+
 /// A six-attribute conventional relation `(A: Int, B: Str, C: Int,
 /// D: Float, E: Str, F: Int)` whose `rows` tuples are drawn (with heavy
 /// repetition) from a pool of `distinct` unique rows; deterministic in

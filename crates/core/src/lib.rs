@@ -47,6 +47,7 @@ pub mod relation;
 pub mod rules;
 pub mod schema;
 pub mod sortspec;
+pub mod stats;
 pub mod time;
 pub mod tuple;
 pub mod value;

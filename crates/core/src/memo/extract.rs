@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use crate::cost::CostModel;
+use crate::cost::CostEstimator;
 use crate::enumerate::RuleApplication;
 use crate::error::Result;
 use crate::memo::group::{DerivationStep, ExprId, GroupId, Memo, MemoCtx};
@@ -62,7 +62,7 @@ pub struct Entry {
 fn dominates(a: &Entry, b: &Entry) -> bool {
     a.expr == b.expr
         && a.cost <= b.cost
-        && a.stat.card <= b.stat.card
+        && a.stat.card() <= b.stat.card()
         && (a.stat.dup_free || !b.stat.dup_free)
         && (a.stat.snapshot_dup_free || !b.stat.snapshot_dup_free)
         && (a.stat.coalesced || !b.stat.coalesced)
@@ -72,7 +72,7 @@ type Closure = Rc<HashMap<ExprId, Vec<DerivationStep>>>;
 
 pub struct Extractor<'a> {
     memo: &'a mut Memo,
-    cost_model: &'a CostModel,
+    cost_model: &'a dyn CostEstimator,
     config: MemoConfig,
     cells: HashMap<(GroupId, MemoCtx), Vec<Entry>>,
     /// Cells any sweep has demanded, in discovery order.
@@ -102,7 +102,11 @@ fn chain_to_applications(chain: &[DerivationStep], location: &[usize]) -> Vec<Ru
 }
 
 impl<'a> Extractor<'a> {
-    pub fn new(memo: &'a mut Memo, cost_model: &'a CostModel, config: MemoConfig) -> Extractor<'a> {
+    pub fn new(
+        memo: &'a mut Memo,
+        cost_model: &'a dyn CostEstimator,
+        config: MemoConfig,
+    ) -> Extractor<'a> {
         Extractor {
             memo,
             cost_model,
@@ -227,7 +231,7 @@ impl<'a> Extractor<'a> {
             let stat = self.memo.witness_stat(member, ctx.site)?;
             let Some(work) = self
                 .cost_model
-                .node_cost(&op, stat.card as f64, &[], ctx.site)
+                .estimate_node(&op, &stat, &[], ctx.site, ctx.flags)
             else {
                 return Ok(());
             };
@@ -309,10 +313,10 @@ impl<'a> Extractor<'a> {
                 if ctx.site == Site::Dbms && !matches!(node, PlanNode::Sort { .. }) {
                     stat.order = Order::unordered();
                 }
-                let cards: Vec<f64> = stats.iter().map(|s| s.card as f64).collect();
+                let child_refs: Vec<&StaticProps> = stats.iter().collect();
                 let Some(work) =
                     self.cost_model
-                        .node_cost(&node, stat.card as f64, &cards, ctx.site)
+                        .estimate_node(&node, &stat, &child_refs, ctx.site, ctx.flags)
                 else {
                     continue;
                 };
@@ -352,7 +356,7 @@ fn same_frontier(a: &[Entry], b: &[Entry]) -> bool {
         && a.iter().zip(b).all(|(x, y)| {
             x.expr == y.expr
                 && x.cost == y.cost
-                && x.stat.card == y.stat.card
+                && x.stat.card() == y.stat.card()
                 && x.stat.dup_free == y.stat.dup_free
                 && x.stat.snapshot_dup_free == y.stat.snapshot_dup_free
                 && x.stat.coalesced == y.stat.coalesced

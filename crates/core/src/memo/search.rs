@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use crate::cost::{Cost, CostModel};
+use crate::cost::{Cost, CostEstimator};
 use crate::enumerate::RuleApplication;
 use crate::error::{Error, Result};
 use crate::memo::extract::Extractor;
@@ -51,7 +51,7 @@ pub struct MemoResult {
 pub fn memo_search(
     initial: &LogicalPlan,
     rules: &RuleSet,
-    cost_model: &CostModel,
+    cost_model: &dyn CostEstimator,
     config: MemoConfig,
 ) -> Result<MemoResult> {
     let mut memo = Memo::new();
@@ -80,7 +80,7 @@ pub fn memo_search(
 
     // Branch-and-bound anchor: the input plan is always available, so no
     // optimal plan costs more.
-    let upper = match cost_model.cost(initial)? {
+    let upper = match cost_model.estimate_plan(initial)? {
         c if c.is_valid() => c.0,
         _ => f64::INFINITY,
     };
@@ -116,7 +116,7 @@ pub fn memo_search(
         // whose enumeration always contains plan 0.
         None => Ok(MemoResult {
             best: initial.clone(),
-            cost: cost_model.cost(initial)?,
+            cost: cost_model.estimate_plan(initial)?,
             derivation: Vec::new(),
             stats: stats_snapshot(&memo, truncated),
         }),
@@ -126,6 +126,7 @@ pub fn memo_search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::CostModel;
     use crate::plan::{BaseProps, PlanBuilder};
     use crate::schema::Schema;
     use crate::sortspec::Order;

@@ -3,9 +3,10 @@
 
 use std::fmt::Write as _;
 
+use crate::cost::{CostEstimator, CostModel};
 use crate::error::Result;
-use crate::plan::props::{annotate, Annotations};
-use crate::plan::{LogicalPlan, PlanNode, Site};
+use crate::plan::props::{annotate, Annotations, StaticProps};
+use crate::plan::{LogicalPlan, Path, PlanNode, Site};
 
 /// One-line description of a node (operator plus its parameters).
 pub fn describe(node: &PlanNode) -> String {
@@ -60,7 +61,7 @@ fn render(
                 "  {}  @{site}  order={} card≈{}",
                 props.flags.vector(),
                 props.stat.order,
-                props.stat.card
+                props.stat.card()
             );
         }
     }
@@ -85,6 +86,54 @@ pub fn annotated_to_string(plan: &LogicalPlan) -> Result<String> {
     let ann = annotate(plan)?;
     let mut out = String::new();
     render(&plan.root, &mut Vec::new(), Some(&ann), 0, &mut out);
+    Ok(out)
+}
+
+/// EXPLAIN-style rendering: per node, the chosen site, the estimated
+/// output rows, and the estimated cost contribution under `model` — the
+/// statistics-driven view of a plan next to its shape.
+pub fn explain_with_cost(plan: &LogicalPlan, model: &CostModel) -> Result<String> {
+    let ann = annotate(plan)?;
+    fn render_cost(
+        node: &PlanNode,
+        path: &mut Path,
+        ann: &Annotations,
+        model: &CostModel,
+        indent: usize,
+        out: &mut String,
+    ) {
+        let props = &ann[path.as_slice()];
+        let child_stats: Vec<&StaticProps> = (0..node.children().len())
+            .map(|i| {
+                let mut p = path.clone();
+                p.push(i);
+                &ann[&p].stat
+            })
+            .collect();
+        let cost = model.estimate_node(node, &props.stat, &child_stats, props.site, props.flags);
+        let site = match props.site {
+            Site::Stratum => "stratum",
+            Site::Dbms => "dbms",
+        };
+        let cost_text = match cost {
+            Some(c) => format!("{c:.0}"),
+            None => "INVALID".into(),
+        };
+        let _ = writeln!(
+            out,
+            "{pad}{desc}  @{site}  rows≈{rows}  cost≈{cost_text}",
+            pad = "  ".repeat(indent),
+            desc = describe(node),
+            rows = props.stat.card(),
+        );
+        for (i, c) in node.children().iter().enumerate() {
+            path.push(i);
+            render_cost(c, path, ann, model, indent + 1, out);
+            path.pop();
+        }
+    }
+    let mut out = String::new();
+    render_cost(&plan.root, &mut Vec::new(), &ann, model, 0, &mut out);
     Ok(out)
 }
 

@@ -17,6 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::ops::aggregate::aggregate_schema;
@@ -27,6 +28,7 @@ use crate::ops::temporal::product_t::product_t_schema;
 use crate::plan::{LogicalPlan, Path, PlanNode, Site};
 use crate::schema::{Schema, T1, T2};
 use crate::sortspec::Order;
+use crate::stats::{self, ColumnEstimate, DerivedStats, TableSummary};
 
 /// Statically declared properties of a base relation, carried by `Scan`
 /// nodes so plans are self-contained.
@@ -43,6 +45,10 @@ pub struct BaseProps {
     pub coalesced: bool,
     /// Estimated row count.
     pub card: u64,
+    /// Measured table statistics (catalog-backed scans); `None` for
+    /// declared-only plans, in which case every estimate degrades to the
+    /// constant-factor guesses and `card`.
+    pub stats: Option<Arc<TableSummary>>,
 }
 
 impl BaseProps {
@@ -56,6 +62,7 @@ impl BaseProps {
             snapshot_dup_free: false,
             coalesced: false,
             card,
+            stats: None,
         }
     }
 
@@ -69,7 +76,14 @@ impl BaseProps {
             snapshot_dup_free: true,
             coalesced: true,
             card,
+            stats: None,
         }
+    }
+
+    /// Attach measured statistics.
+    pub fn with_summary(mut self, summary: Arc<TableSummary>) -> BaseProps {
+        self.stats = Some(summary);
+        self
     }
 }
 
@@ -87,13 +101,19 @@ pub struct StaticProps {
     /// The output is guaranteed coalesced (vacuously true for snapshot
     /// relations).
     pub coalesced: bool,
-    /// Estimated output cardinality.
-    pub card: u64,
+    /// Estimated output statistics (Table 1's cardinality column, extended
+    /// to distinct counts, histograms, and temporal overlap).
+    pub stats: DerivedStats,
 }
 
 impl StaticProps {
     pub fn is_temporal(&self) -> bool {
         self.schema.is_temporal()
+    }
+
+    /// Estimated output cardinality.
+    pub fn card(&self) -> u64 {
+        self.stats.rows
     }
 }
 
@@ -236,6 +256,13 @@ fn compute_static(
     Ok(props)
 }
 
+/// `rows · fraction`, truncating like the old integer halving did, floored
+/// at one row (an optimizer that believes in empty intermediates prunes
+/// too aggressively).
+fn scaled_rows(rows: u64, fraction: f64) -> u64 {
+    ((rows as f64 * fraction) as u64).max(1)
+}
+
 /// Table 1, one operation at a time. `pub(crate)` so the memo optimizer's
 /// extraction derives composed-plan properties with the same rules.
 pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<StaticProps> {
@@ -254,18 +281,23 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             } else {
                 true
             },
-            card: base.card,
+            stats: match &base.stats {
+                Some(summary) => DerivedStats::from_summary(summary),
+                None => DerivedStats::unknown(base.card),
+            },
         },
 
-        PlanNode::Select { .. } => {
+        PlanNode::Select { predicate, .. } => {
             let c = &child[0];
+            let sel = stats::selectivity(predicate, &c.schema, &c.stats);
+            let rows = scaled_rows(c.stats.rows, sel);
             StaticProps {
                 schema: c.schema.clone(),
                 order: c.order.clone(),
                 dup_free: c.dup_free,
                 snapshot_dup_free: c.snapshot_dup_free,
                 coalesced: c.coalesced,
-                card: (c.card / 2).max(1),
+                stats: c.stats.scaled_to(rows),
             }
         }
 
@@ -278,12 +310,42 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
                 .filter(|i| i.is_identity())
                 .map(|i| i.alias.clone())
                 .collect();
+            let rows = c.stats.rows;
+            // Column references carry their source column's estimate along
+            // (renaming does not change the values); computed items don't.
+            let columns: Vec<ColumnEstimate> = items
+                .iter()
+                .map(|item| match &item.expr {
+                    crate::expr::Expr::Col(name) => c
+                        .stats
+                        .column(&c.schema, name)
+                        .cloned()
+                        .unwrap_or_else(ColumnEstimate::unknown),
+                    _ => ColumnEstimate::unknown(),
+                })
+                .collect();
+            let temporal_out = schema.is_temporal();
             StaticProps {
                 order: c.order.prefix_on(&kept),
                 dup_free: false, // π generates duplicates
                 snapshot_dup_free: false,
-                coalesced: !schema.is_temporal(), // π destroys coalescing
-                card: c.card,
+                coalesced: !temporal_out, // π destroys coalescing
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: c.stats.distinct_rows.min(rows.max(1)),
+                    columns,
+                    time_range: if temporal_out {
+                        c.stats.time_range
+                    } else {
+                        None
+                    },
+                    avg_duration_milli: if temporal_out {
+                        c.stats.avg_duration_milli
+                    } else {
+                        None
+                    },
+                    overlap: if temporal_out { c.stats.overlap } else { None },
+                },
                 schema,
             }
         }
@@ -292,13 +354,25 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             let (c1, c2) = (&child[0], &child[1]);
             c1.schema
                 .check_union_compatible(&c2.schema, "union ALL plan")?;
+            let rows = c1.stats.rows.saturating_add(c2.stats.rows);
             StaticProps {
                 schema: c1.schema.clone(),
                 order: Order::unordered(),
                 dup_free: false,
                 snapshot_dup_free: false,
                 coalesced: !c1.schema.is_temporal(),
-                card: c1.card.saturating_add(c2.card),
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: c1
+                        .stats
+                        .distinct_rows
+                        .saturating_add(c2.stats.distinct_rows)
+                        .min(rows.max(1)),
+                    columns: union_columns(&c1.stats, &c2.stats, rows),
+                    time_range: union_ranges(c1.stats.time_range, c2.stats.time_range),
+                    avg_duration_milli: weighted_duration(&c1.stats, &c2.stats),
+                    overlap: None,
+                },
             }
         }
 
@@ -306,13 +380,28 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             let (c1, c2) = (&child[0], &child[1]);
             let schema = product_schema(&c1.schema, &c2.schema)?;
             let dup_free = c1.dup_free && c2.dup_free;
+            let rows = c1.stats.rows.saturating_mul(c2.stats.rows);
+            let mut columns: Vec<ColumnEstimate> = Vec::with_capacity(schema.arity());
+            columns.extend(padded_columns(c1).into_iter().map(|c| c.capped(rows)));
+            columns.extend(padded_columns(c2).into_iter().map(|c| c.capped(rows)));
             StaticProps {
                 schema,
                 order: c1.order.map_names(|n| format!("1.{n}")),
                 dup_free,
                 snapshot_dup_free: dup_free, // result is a snapshot relation
                 coalesced: true,
-                card: c1.card.saturating_mul(c2.card),
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: c1
+                        .stats
+                        .distinct_rows
+                        .saturating_mul(c2.stats.distinct_rows)
+                        .min(rows.max(1)),
+                    columns,
+                    time_range: None,
+                    avg_duration_milli: None,
+                    overlap: None,
+                },
             }
         }
 
@@ -331,13 +420,21 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             } else {
                 c1.order.clone()
             };
+            let rows = c1.stats.rows;
             StaticProps {
                 schema,
                 order,
                 dup_free: c1.dup_free,
                 snapshot_dup_free: c1.dup_free,
                 coalesced: true,
-                card: c1.card,
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: c1.stats.distinct_rows,
+                    columns: c1.stats.columns.clone(),
+                    time_range: None,
+                    avg_duration_milli: None,
+                    overlap: None,
+                },
             }
         }
 
@@ -345,12 +442,47 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             let c = &child[0];
             let schema = aggregate_schema(&c.schema, group_by, aggs)?;
             let kept: Vec<String> = group_by.iter().map(|g| demote_name(g)).collect();
+            // Groups = product of group-column distinct counts when all are
+            // known, the paper-era half otherwise. A global aggregate
+            // (no groups) always emits exactly one row.
+            let group_distinct: Option<u64> = group_by
+                .iter()
+                .map(|g| c.stats.distinct_of(&c.schema, g))
+                .try_fold(1u64, |acc, d| d.map(|d| acc.saturating_mul(d.max(1))));
+            let rows = if group_by.is_empty() {
+                1
+            } else {
+                match group_distinct {
+                    Some(groups) => groups.min(c.stats.rows).max(1),
+                    None => (c.stats.rows / 2).max(1),
+                }
+            };
+            // Group columns keep their estimates; aggregate outputs do not.
+            let columns: Vec<ColumnEstimate> = schema
+                .attrs()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    group_by
+                        .get(i)
+                        .and_then(|g| c.stats.column(&c.schema, g).cloned())
+                        .map(|est| est.capped(rows))
+                        .unwrap_or_else(ColumnEstimate::unknown)
+                })
+                .collect();
             StaticProps {
                 order: c.order.map_names(demote_name).prefix_on(&kept),
                 dup_free: true,
                 snapshot_dup_free: true,
                 coalesced: true,
-                card: (c.card / 2).max(1),
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: rows,
+                    columns,
+                    time_range: None,
+                    avg_duration_milli: None,
+                    overlap: None,
+                },
                 schema,
             }
         }
@@ -368,13 +500,21 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             } else {
                 c.order.clone()
             };
+            // Output rows = distinct tuples of the input (exact for
+            // catalog scans, = input rows when blind — the old estimate).
+            let rows = c.stats.distinct_rows.max(1).min(c.stats.rows.max(1));
+            let mut stats = c.stats.scaled_to(rows);
+            stats.distinct_rows = rows;
+            stats.time_range = None;
+            stats.avg_duration_milli = None;
+            stats.overlap = None;
             StaticProps {
                 schema,
                 order,
                 dup_free: true,
                 snapshot_dup_free: true,
                 coalesced: true,
-                card: c.card,
+                stats,
             }
         }
 
@@ -388,13 +528,25 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
                 c1.schema.clone()
             };
             let dup_free = c1.dup_free && c2.dup_free;
+            let rows = c1.stats.rows.saturating_add(c2.stats.rows);
             StaticProps {
                 schema,
                 order: Order::unordered(),
                 dup_free,
                 snapshot_dup_free: dup_free,
                 coalesced: true,
-                card: c1.card.saturating_add(c2.card),
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: c1
+                        .stats
+                        .distinct_rows
+                        .saturating_add(c2.stats.distinct_rows)
+                        .min(rows.max(1)),
+                    columns: union_columns(&c1.stats, &c2.stats, rows),
+                    time_range: None,
+                    avg_duration_milli: None,
+                    overlap: None,
+                },
             }
         }
 
@@ -413,13 +565,23 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
                 dup_free: c.dup_free,
                 snapshot_dup_free: c.snapshot_dup_free,
                 coalesced: c.coalesced,
-                card: c.card,
+                stats: c.stats.clone(),
             }
         }
 
         PlanNode::ProductT { .. } => {
             let (c1, c2) = (&child[0], &child[1]);
             let schema = product_t_schema(&c1.schema, &c2.schema)?;
+            // Pairing probability from the time ranges and mean durations
+            // when both sides have them; the paper-era half otherwise.
+            let pair = stats::overlap_fraction(&c1.stats, &c2.stats).unwrap_or(0.5);
+            let rows = scaled_rows(c1.stats.rows.saturating_mul(c2.stats.rows), pair);
+            // 1.* columns, 2.* columns, then the fresh T1/T2 pair.
+            let mut columns: Vec<ColumnEstimate> = Vec::with_capacity(schema.arity());
+            columns.extend(padded_columns(c1).into_iter().map(|c| c.capped(rows)));
+            columns.extend(padded_columns(c2).into_iter().map(|c| c.capped(rows)));
+            columns.push(ColumnEstimate::unknown());
+            columns.push(ColumnEstimate::unknown());
             StaticProps {
                 schema,
                 order: c1
@@ -429,7 +591,22 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
                 dup_free: c1.dup_free && c2.dup_free,
                 snapshot_dup_free: c1.snapshot_dup_free && c2.snapshot_dup_free,
                 coalesced: false,
-                card: (c1.card.saturating_mul(c2.card) / 2).max(1),
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: rows,
+                    columns,
+                    time_range: intersect_ranges(c1.stats.time_range, c2.stats.time_range),
+                    avg_duration_milli: match (
+                        c1.stats.avg_duration_milli,
+                        c2.stats.avg_duration_milli,
+                    ) {
+                        // Output periods are intersections: at most the
+                        // shorter input's mean, typically about half of it.
+                        (Some(a), Some(b)) => Some(a.min(b) / 2),
+                        _ => None,
+                    },
+                    overlap: None,
+                },
             }
         }
 
@@ -442,25 +619,48 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             }
             c1.schema
                 .check_union_compatible(&c2.schema, "temporal difference plan")?;
+            // Fragmentation upper bound: every right period can split one
+            // surviving left tuple.
+            let rows = c1.stats.rows.saturating_add(c2.stats.rows);
             StaticProps {
                 schema: c1.schema.clone(),
                 order: c1.order.without_time_attrs(),
                 dup_free: c1.snapshot_dup_free,
                 snapshot_dup_free: c1.snapshot_dup_free,
                 coalesced: false,
-                card: c1.card.saturating_add(c2.card),
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: rows,
+                    columns: c1
+                        .stats
+                        .columns
+                        .iter()
+                        .map(|c| c.clone().capped(rows))
+                        .collect(),
+                    time_range: c1.stats.time_range,
+                    avg_duration_milli: c1.stats.avg_duration_milli,
+                    overlap: c1.stats.overlap,
+                },
             }
         }
 
         PlanNode::AggregateT { group_by, aggs, .. } => {
             let c = &child[0];
             let schema = aggregate_t_schema(&c.schema, group_by, aggs)?;
+            let rows = c.stats.rows.saturating_mul(2).max(1);
             StaticProps {
                 order: c.order.without_time_attrs().prefix_on(group_by),
                 dup_free: true,
                 snapshot_dup_free: true,
                 coalesced: false,
-                card: c.card.saturating_mul(2).max(1),
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: rows,
+                    columns: Vec::new(),
+                    time_range: c.stats.time_range,
+                    avg_duration_milli: None,
+                    overlap: Some(1),
+                },
                 schema,
             }
         }
@@ -472,13 +672,25 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
                     context: "rdupT plan",
                 });
             }
+            // On a snapshot-duplicate-free input `rdupᵀ` is the identity;
+            // otherwise the Changeᵀ arithmetic can split every tuple once.
+            let identity = c.snapshot_dup_free || c.stats.overlap == Some(1);
+            let rows = if identity {
+                c.stats.rows.max(1)
+            } else {
+                c.stats.rows.saturating_mul(2).max(1)
+            };
+            let mut stats = c.stats.scaled_to(rows);
+            stats.rows = rows;
+            stats.distinct_rows = rows;
+            stats.overlap = Some(1);
             StaticProps {
                 schema: c.schema.clone(),
                 order: c.order.without_time_attrs(),
                 dup_free: true,
                 snapshot_dup_free: true,
                 coalesced: false,
-                card: c.card.saturating_mul(2).max(1),
+                stats,
             }
         }
 
@@ -491,6 +703,10 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             }
             c1.schema
                 .check_union_compatible(&c2.schema, "temporal union plan")?;
+            let rows = c1
+                .stats
+                .rows
+                .saturating_add(c2.stats.rows.saturating_mul(2));
             StaticProps {
                 schema: c1.schema.clone(),
                 order: Order::unordered(),
@@ -501,7 +717,17 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
                 dup_free: c1.dup_free && c2.snapshot_dup_free,
                 snapshot_dup_free: c1.snapshot_dup_free && c2.snapshot_dup_free,
                 coalesced: false,
-                card: c1.card.saturating_add(c2.card.saturating_mul(2)),
+                stats: DerivedStats {
+                    rows,
+                    distinct_rows: rows,
+                    columns: union_columns(&c1.stats, &c2.stats, rows),
+                    time_range: union_ranges(c1.stats.time_range, c2.stats.time_range),
+                    avg_duration_milli: weighted_duration(&c1.stats, &c2.stats),
+                    overlap: match (c1.stats.overlap, c2.stats.overlap) {
+                        (Some(1), Some(1)) => Some(1),
+                        _ => None,
+                    },
+                },
             }
         }
 
@@ -522,12 +748,92 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
                 dup_free: c.dup_free && c.snapshot_dup_free,
                 snapshot_dup_free: c.snapshot_dup_free,
                 coalesced: true,
-                card: c.card,
+                stats: c.stats.clone(),
             }
         }
 
         PlanNode::TransferS { .. } | PlanNode::TransferD { .. } => child[0].clone(),
     })
+}
+
+/// A child's column estimates padded to its schema arity (blind children
+/// contribute all-unknown columns, so positional concatenation stays
+/// aligned with the composed schema).
+fn padded_columns(c: &StaticProps) -> Vec<ColumnEstimate> {
+    if c.stats.columns.len() == c.schema.arity() {
+        c.stats.columns.clone()
+    } else {
+        vec![ColumnEstimate::unknown(); c.schema.arity()]
+    }
+}
+
+/// Positional merge of two union-compatible inputs' column estimates.
+fn union_columns(a: &DerivedStats, b: &DerivedStats, rows: u64) -> Vec<ColumnEstimate> {
+    if a.columns.len() != b.columns.len() || a.columns.is_empty() {
+        return Vec::new();
+    }
+    a.columns
+        .iter()
+        .zip(&b.columns)
+        .map(|(x, y)| {
+            ColumnEstimate {
+                distinct: match (x.distinct, y.distinct) {
+                    (Some(dx), Some(dy)) => Some(dx.saturating_add(dy).min(rows.max(1))),
+                    _ => None,
+                },
+                nulls: match (x.nulls, y.nulls) {
+                    (Some(nx), Some(ny)) => Some(nx + ny),
+                    _ => None,
+                },
+                min: match (&x.min, &y.min) {
+                    (Some(mx), Some(my)) => Some(if mx <= my { mx.clone() } else { my.clone() }),
+                    _ => None,
+                },
+                max: match (&x.max, &y.max) {
+                    (Some(mx), Some(my)) => Some(if mx >= my { mx.clone() } else { my.clone() }),
+                    _ => None,
+                },
+                histogram: None, // shapes don't merge cheaply
+            }
+        })
+        .collect()
+}
+
+fn union_ranges(
+    a: Option<crate::time::Period>,
+    b: Option<crate::time::Period>,
+) -> Option<crate::time::Period> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(crate::time::Period::of(
+            a.start.min(b.start),
+            a.end.max(b.end),
+        )),
+        _ => None,
+    }
+}
+
+fn intersect_ranges(
+    a: Option<crate::time::Period>,
+    b: Option<crate::time::Period>,
+) -> Option<crate::time::Period> {
+    match (a, b) {
+        (Some(a), Some(b)) => a.intersect(&b),
+        _ => None,
+    }
+}
+
+/// Row-weighted mean duration of two inputs (saturating: maximal-duration
+/// periods like `Period::always()` must not overflow the fixed point).
+fn weighted_duration(a: &DerivedStats, b: &DerivedStats) -> Option<i64> {
+    match (a.avg_duration_milli, b.avg_duration_milli) {
+        (Some(da), Some(db)) => {
+            let (ra, rb) = (a.rows.max(1) as i64, b.rows.max(1) as i64);
+            Some(
+                da.saturating_mul(ra).saturating_add(db.saturating_mul(rb)) / ra.saturating_add(rb),
+            )
+        }
+        _ => None,
+    }
 }
 
 fn demote_name(n: &str) -> String {

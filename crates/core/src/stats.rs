@@ -1,0 +1,552 @@
+//! Data statistics for cardinality estimation.
+//!
+//! The paper defers "heuristics and cost estimation techniques" to future
+//! work (§7). This module supplies the data layer of that missing piece:
+//!
+//! * [`TableSummary`] — measured statistics of a stored relation (row and
+//!   distinct counts, per-column min/max and equi-depth histograms, the
+//!   covered time range, and the snapshot duplicate degree). Storage
+//!   computes one per table and attaches it to the [`BaseProps`] of every
+//!   `Scan`, so plans are self-contained for estimation exactly as they
+//!   are for property inference.
+//! * [`DerivedStats`] — the *estimated* statistics of any plan node's
+//!   output, propagated bottom-up by `plan::props::derive_one`. Table 1's
+//!   cardinality column becomes a formula over real input statistics
+//!   instead of fixed constants; where no statistics are available every
+//!   formula degrades to the original constant-factor guess.
+//! * [`selectivity`] — predicate selectivity from histograms and distinct
+//!   counts (1/NDV for equality, histogram mass for ranges, the classic
+//!   1/max(d₁,d₂) for column-column joins).
+//!
+//! All fields are integers, [`Value`]s, or fixed-point (`*_milli`), so the
+//! structures stay `Eq + Hash` and the memo's hash-consing of `Scan` nodes
+//! keeps working.
+//!
+//! [`BaseProps`]: crate::plan::BaseProps
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use crate::expr::{BinOp, Expr};
+use crate::schema::Schema;
+use crate::time::Period;
+use crate::value::Value;
+
+/// Default number of equi-depth histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 8;
+
+/// An equi-depth histogram over one column's non-null values.
+///
+/// `bounds[i]` is the largest value in bucket `i`; buckets hold
+/// `counts[i]` rows each (equal up to rounding). Values ≤ `bounds[0]`
+/// fall in bucket 0, values in `(bounds[i-1], bounds[i]]` in bucket `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Smallest covered value (bucket 0's lower edge).
+    pub lo: Value,
+    pub bounds: Vec<Value>,
+    pub counts: Vec<u64>,
+    /// Total rows covered (sum of `counts`).
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram from a *sorted* list of non-null
+    /// values. Returns `None` for empty input.
+    pub fn from_sorted(values: &[Value], buckets: usize) -> Option<Histogram> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        let n = values.len();
+        let buckets = buckets.min(n);
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut counts = Vec::with_capacity(buckets);
+        let mut start = 0usize;
+        for b in 0..buckets {
+            // Even split; the last bucket absorbs the remainder.
+            let end = if b + 1 == buckets {
+                n
+            } else {
+                ((b + 1) * n) / buckets
+            };
+            if end <= start {
+                continue;
+            }
+            bounds.push(values[end - 1].clone());
+            counts.push((end - start) as u64);
+            start = end;
+        }
+        Some(Histogram {
+            lo: values[0].clone(),
+            bounds,
+            counts,
+            total: n as u64,
+        })
+    }
+
+    /// Estimated fraction of rows with value strictly below `v`.
+    pub fn fraction_below(&self, v: &Value) -> f64 {
+        if self.total == 0 || v.cmp(&self.lo) != std::cmp::Ordering::Greater {
+            return 0.0;
+        }
+        let mut below = 0u64;
+        for (bound, count) in self.bounds.iter().zip(&self.counts) {
+            match bound.cmp(v) {
+                std::cmp::Ordering::Less => below += count,
+                // The bucket straddles `v`: assume half its mass is below.
+                _ => {
+                    below += count / 2;
+                    break;
+                }
+            }
+        }
+        below as f64 / self.total as f64
+    }
+
+    /// Estimated fraction of rows with value ≤ `v` (coarse: bucket-level).
+    pub fn fraction_le(&self, v: &Value) -> f64 {
+        if self.total == 0 || v.cmp(&self.lo) == std::cmp::Ordering::Less {
+            return 0.0;
+        }
+        let mut le = 0u64;
+        for (bound, count) in self.bounds.iter().zip(&self.counts) {
+            if bound.cmp(v) != std::cmp::Ordering::Greater {
+                le += count;
+            } else {
+                le += count / 2;
+                break;
+            }
+        }
+        (le as f64 / self.total as f64).min(1.0)
+    }
+}
+
+/// Measured statistics of one column of a stored relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnSummary {
+    pub name: String,
+    /// Distinct non-null values.
+    pub distinct: u64,
+    /// NULL count.
+    pub nulls: u64,
+    /// Smallest non-null value (None for all-NULL or empty columns).
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+    pub histogram: Option<Histogram>,
+}
+
+/// Measured statistics of one stored relation, attached to `Scan` nodes so
+/// the estimator sees real data characteristics at the leaves.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TableSummary {
+    pub rows: u64,
+    /// Exact count of distinct tuples (= `rows` for duplicate-free tables).
+    pub distinct_rows: u64,
+    /// Per-column summaries, parallel to the schema.
+    pub columns: Vec<ColumnSummary>,
+    /// For temporal relations: the covered time range.
+    pub time_range: Option<Period>,
+    /// For temporal relations: average period duration ×1000 (fixed point,
+    /// so the summary stays `Eq + Hash`).
+    pub avg_duration_milli: Option<i64>,
+    /// For temporal relations: the maximum number of value-equivalent
+    /// tuples alive at one instant (1 = snapshot-duplicate-free).
+    pub max_class_overlap: u64,
+}
+
+impl TableSummary {
+    pub fn column(&self, name: &str) -> Option<&ColumnSummary> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// Estimated statistics of one column of a plan node's output.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnEstimate {
+    /// Estimated distinct non-null values (None = unknown).
+    pub distinct: Option<u64>,
+    /// Estimated NULL count.
+    pub nulls: Option<u64>,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// The leaf histogram, carried through stat-preserving operators as an
+    /// approximation of the distribution's *shape* (counts are fractions
+    /// of the original table, used only for selectivity ratios).
+    pub histogram: Option<Arc<Histogram>>,
+}
+
+impl ColumnEstimate {
+    pub fn unknown() -> ColumnEstimate {
+        ColumnEstimate::default()
+    }
+
+    pub fn from_summary(s: &ColumnSummary) -> ColumnEstimate {
+        ColumnEstimate {
+            distinct: Some(s.distinct),
+            nulls: Some(s.nulls),
+            min: s.min.clone(),
+            max: s.max.clone(),
+            histogram: s.histogram.clone().map(Arc::new),
+        }
+    }
+
+    /// Cap the distinct estimate by an output row count.
+    pub fn capped(mut self, rows: u64) -> ColumnEstimate {
+        self.distinct = self.distinct.map(|d| d.min(rows.max(1)));
+        self
+    }
+}
+
+/// Estimated output statistics of a plan node — the replacement for
+/// Table 1's scalar cardinality column, propagated bottom-up through
+/// `annotate`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DerivedStats {
+    /// Estimated output rows.
+    pub rows: u64,
+    /// Estimated count of distinct tuples (≤ `rows`; drives `rdup`).
+    pub distinct_rows: u64,
+    /// Per-column estimates, parallel to the output schema. May be empty
+    /// when nothing is known about any column.
+    pub columns: Vec<ColumnEstimate>,
+    /// Estimated covered time range (temporal outputs with known stats).
+    pub time_range: Option<Period>,
+    /// Estimated average period duration ×1000.
+    pub avg_duration_milli: Option<i64>,
+    /// Estimated snapshot duplicate degree (1 = snapshot-dup-free;
+    /// None = unknown).
+    pub overlap: Option<u64>,
+}
+
+impl DerivedStats {
+    /// Statistics-free estimate: `rows` rows, nothing else known. The
+    /// degenerate case every formula reduces to on plans built from bare
+    /// `BaseProps` — preserving the pre-statistics optimizer behaviour.
+    pub fn unknown(rows: u64) -> DerivedStats {
+        DerivedStats {
+            rows,
+            distinct_rows: rows,
+            columns: Vec::new(),
+            time_range: None,
+            avg_duration_milli: None,
+            overlap: None,
+        }
+    }
+
+    /// Leaf statistics from a measured table summary.
+    pub fn from_summary(s: &TableSummary) -> DerivedStats {
+        DerivedStats {
+            rows: s.rows,
+            distinct_rows: s.distinct_rows,
+            columns: s.columns.iter().map(ColumnEstimate::from_summary).collect(),
+            time_range: s.time_range,
+            avg_duration_milli: s.avg_duration_milli,
+            overlap: Some(s.max_class_overlap.max(1)),
+        }
+    }
+
+    /// True when no per-column information is available (estimates then
+    /// fall back to the paper-era constant factors).
+    pub fn is_blind(&self) -> bool {
+        self.columns
+            .iter()
+            .all(|c| c.distinct.is_none() && c.histogram.is_none())
+    }
+
+    /// The column estimate for `name` under `schema`, if any.
+    pub fn column<'a>(&'a self, schema: &Schema, name: &str) -> Option<&'a ColumnEstimate> {
+        let i = schema.index_of(name)?;
+        self.columns.get(i)
+    }
+
+    /// Estimated distinct count of a named column.
+    pub fn distinct_of(&self, schema: &Schema, name: &str) -> Option<u64> {
+        self.column(schema, name).and_then(|c| c.distinct)
+    }
+
+    /// Scale row-dependent fields to a new row count (selections): distinct
+    /// counts cap at the new cardinality, null counts scale proportionally
+    /// (an absolute null count over fewer rows would exceed 100%),
+    /// histograms keep their shape.
+    pub fn scaled_to(&self, rows: u64) -> DerivedStats {
+        let factor = if self.rows == 0 {
+            0.0
+        } else {
+            rows as f64 / self.rows as f64
+        };
+        DerivedStats {
+            rows,
+            distinct_rows: self.distinct_rows.min(rows.max(1)),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone().capped(rows);
+                    c.nulls = c.nulls.map(|n| ((n as f64 * factor) as u64).min(rows));
+                    c
+                })
+                .collect(),
+            time_range: self.time_range,
+            avg_duration_milli: self.avg_duration_milli,
+            overlap: self.overlap,
+        }
+    }
+}
+
+/// Estimated selectivity of `pred` over an input with statistics `input`
+/// and schema `schema`. Falls back to the pre-statistics default of 1/2
+/// whenever the predicate's shape or the available statistics give no
+/// better answer — so plans without statistics price exactly as before.
+pub fn selectivity(pred: &Expr, schema: &Schema, input: &DerivedStats) -> f64 {
+    informed_selectivity(pred, schema, input)
+        .unwrap_or(0.5)
+        .clamp(0.0, 1.0)
+}
+
+/// `Some(fraction)` when the statistics support an estimate, else `None`.
+fn informed_selectivity(pred: &Expr, schema: &Schema, input: &DerivedStats) -> Option<f64> {
+    match pred {
+        Expr::Lit(Value::Bool(b)) => Some(if *b { 1.0 } else { 0.0 }),
+        Expr::Not(inner) => Some(1.0 - informed_selectivity(inner, schema, input)?),
+        Expr::IsNull(inner) => {
+            if let Expr::Col(name) = inner.as_ref() {
+                let c = input.column(schema, name)?;
+                let nulls = c.nulls? as f64;
+                return Some(if input.rows == 0 {
+                    0.0
+                } else {
+                    nulls / input.rows as f64
+                });
+            }
+            None
+        }
+        Expr::Bin { op, left, right } => match op {
+            BinOp::And => {
+                let l = informed_selectivity(left, schema, input);
+                let r = informed_selectivity(right, schema, input);
+                match (l, r) {
+                    (None, None) => None,
+                    (l, r) => Some(l.unwrap_or(0.5) * r.unwrap_or(0.5)),
+                }
+            }
+            BinOp::Or => {
+                let l = informed_selectivity(left, schema, input);
+                let r = informed_selectivity(right, schema, input);
+                match (l, r) {
+                    (None, None) => None,
+                    (l, r) => {
+                        let (l, r) = (l.unwrap_or(0.5), r.unwrap_or(0.5));
+                        Some(l + r - l * r)
+                    }
+                }
+            }
+            BinOp::Eq | BinOp::Ne => {
+                let eq = eq_selectivity(left, right, schema, input)?;
+                Some(if *op == BinOp::Eq { eq } else { 1.0 - eq })
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                range_selectivity(*op, left, right, schema, input)
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Selectivity of `left = right`.
+fn eq_selectivity(left: &Expr, right: &Expr, schema: &Schema, input: &DerivedStats) -> Option<f64> {
+    match (left, right) {
+        // Column = literal: 1/NDV, zero outside the observed [min, max].
+        (Expr::Col(name), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(name)) => {
+            let c = input.column(schema, name)?;
+            if let (Some(min), Some(max)) = (&c.min, &c.max) {
+                if v.cmp(min) == std::cmp::Ordering::Less
+                    || v.cmp(max) == std::cmp::Ordering::Greater
+                {
+                    return Some(0.0);
+                }
+            }
+            c.distinct.map(|d| 1.0 / d.max(1) as f64)
+        }
+        // Column = column (join predicate): 1/max(d₁, d₂).
+        (Expr::Col(a), Expr::Col(b)) => {
+            let da = input.distinct_of(schema, a);
+            let db = input.distinct_of(schema, b);
+            match (da, db) {
+                (None, None) => None,
+                (da, db) => {
+                    let d = da.unwrap_or(1).max(db.unwrap_or(1)).max(1);
+                    Some(1.0 / d as f64)
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Selectivity of a range comparison against a literal, from the column's
+/// histogram (or its min/max when only those are known).
+fn range_selectivity(
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    schema: &Schema,
+    input: &DerivedStats,
+) -> Option<f64> {
+    // Normalize to `col OP lit`.
+    let (name, lit, op) = match (left, right) {
+        (Expr::Col(name), Expr::Lit(v)) => (name, v, op),
+        (Expr::Lit(v), Expr::Col(name)) => {
+            let flipped = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => other,
+            };
+            (name, v, flipped)
+        }
+        _ => return None,
+    };
+    let c = input.column(schema, name)?;
+    if let Some(h) = &c.histogram {
+        return Some(match op {
+            BinOp::Lt => h.fraction_below(lit),
+            BinOp::Le => h.fraction_le(lit),
+            BinOp::Gt => 1.0 - h.fraction_le(lit),
+            BinOp::Ge => 1.0 - h.fraction_below(lit),
+            _ => unreachable!("normalized to a range op"),
+        });
+    }
+    // Min/max only: all-or-nothing when the literal falls outside.
+    let (min, max) = (c.min.as_ref()?, c.max.as_ref()?);
+    let below_min = lit.cmp(min) == std::cmp::Ordering::Less;
+    let above_max = lit.cmp(max) == std::cmp::Ordering::Greater;
+    match op {
+        BinOp::Lt | BinOp::Le => {
+            if below_min {
+                Some(0.0)
+            } else if above_max {
+                Some(1.0)
+            } else {
+                None
+            }
+        }
+        BinOp::Gt | BinOp::Ge => {
+            if above_max {
+                Some(0.0)
+            } else if below_min {
+                Some(1.0)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Expected fraction of pairs with overlapping periods, for two interval
+/// populations with the given time ranges and mean durations — the `×ᵀ`
+/// pairing probability. Intervals with mean durations `d₁`, `d₂` whose
+/// starts spread over a common range of length `L` overlap with
+/// probability ≈ `(d₁+d₂)/L`.
+pub fn overlap_fraction(a: &DerivedStats, b: &DerivedStats) -> Option<f64> {
+    let (ra, rb) = (a.time_range?, b.time_range?);
+    let (da, db) = (a.avg_duration_milli?, b.avg_duration_milli?);
+    let lo = ra.start.min(rb.start);
+    let hi = ra.end.max(rb.end);
+    let span = (hi.saturating_sub(lo)).max(1) as f64 * 1000.0;
+    let sum = da.saturating_add(db).max(1) as f64;
+    Some((sum / span).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn int_vals(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn equi_depth_histogram_buckets_evenly() {
+        let vals = int_vals(&(0..100).collect::<Vec<_>>());
+        let h = Histogram::from_sorted(&vals, 4).unwrap();
+        assert_eq!(h.counts, vec![25, 25, 25, 25]);
+        assert_eq!(h.total, 100);
+        assert!((h.fraction_le(&Value::Int(49)) - 0.5).abs() < 0.26);
+        assert_eq!(h.fraction_le(&Value::Int(1000)), 1.0);
+        assert_eq!(h.fraction_below(&Value::Int(-5)), 0.0);
+    }
+
+    #[test]
+    fn histogram_handles_tiny_and_empty_inputs() {
+        assert!(Histogram::from_sorted(&[], 8).is_none());
+        let h = Histogram::from_sorted(&int_vals(&[7]), 8).unwrap();
+        assert_eq!(h.total, 1);
+        assert_eq!(h.fraction_le(&Value::Int(7)), 1.0);
+    }
+
+    fn stats_with_column(name: &str, distinct: u64, values: &[i64]) -> (Schema, DerivedStats) {
+        let schema = Schema::of(&[(name, DataType::Int)]);
+        let mut sorted = int_vals(values);
+        sorted.sort();
+        let col = ColumnEstimate {
+            distinct: Some(distinct),
+            nulls: Some(0),
+            min: sorted.first().cloned(),
+            max: sorted.last().cloned(),
+            histogram: Histogram::from_sorted(&sorted, 4).map(Arc::new),
+        };
+        let mut st = DerivedStats::unknown(values.len() as u64);
+        st.columns = vec![col];
+        (schema, st)
+    }
+
+    #[test]
+    fn eq_selectivity_is_one_over_ndv() {
+        let (schema, st) = stats_with_column("A", 10, &(0..100).collect::<Vec<_>>());
+        let sel = selectivity(&Expr::eq(Expr::col("A"), Expr::lit(5i64)), &schema, &st);
+        assert!((sel - 0.1).abs() < 1e-9);
+        // Outside the observed range: zero.
+        let sel0 = selectivity(&Expr::eq(Expr::col("A"), Expr::lit(500i64)), &schema, &st);
+        assert_eq!(sel0, 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_uses_histogram() {
+        let (schema, st) = stats_with_column("A", 100, &(0..100).collect::<Vec<_>>());
+        let sel = selectivity(&Expr::lt(Expr::col("A"), Expr::lit(25i64)), &schema, &st);
+        assert!(sel > 0.05 && sel < 0.45, "sel={sel}");
+        let all = selectivity(&Expr::lt(Expr::col("A"), Expr::lit(1000i64)), &schema, &st);
+        assert!(all > 0.95);
+    }
+
+    #[test]
+    fn unknown_predicates_default_to_half() {
+        let schema = Schema::of(&[("A", DataType::Int)]);
+        let st = DerivedStats::unknown(100);
+        let sel = selectivity(&Expr::eq(Expr::col("A"), Expr::lit(5i64)), &schema, &st);
+        assert_eq!(sel, 0.5);
+    }
+
+    #[test]
+    fn join_selectivity_uses_larger_ndv() {
+        let schema = Schema::of(&[("A", DataType::Int), ("B", DataType::Int)]);
+        let mut st = DerivedStats::unknown(100);
+        st.columns = vec![
+            ColumnEstimate {
+                distinct: Some(20),
+                ..ColumnEstimate::unknown()
+            },
+            ColumnEstimate {
+                distinct: Some(5),
+                ..ColumnEstimate::unknown()
+            },
+        ];
+        let sel = selectivity(&Expr::eq(Expr::col("A"), Expr::col("B")), &schema, &st);
+        assert!((sel - 0.05).abs() < 1e-9);
+    }
+}

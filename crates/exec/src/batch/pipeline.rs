@@ -926,6 +926,7 @@ pub fn execute_batch(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMe
             label: node.label.clone(),
             rows_in,
             rows_out: node.rows_out,
+            est_rows: None,
             batches: node.batches,
             elapsed: node.inclusive.saturating_sub(child_time),
         });

@@ -46,10 +46,14 @@ pub fn execute_mode(
     env: &Env,
     mode: ExecMode,
 ) -> Result<(Relation, ExecMetrics)> {
-    match mode {
+    let (result, mut metrics) = match mode {
         ExecMode::Row => execute_row(plan, env),
         ExecMode::Batch => crate::batch::pipeline::execute_batch(plan, env),
-    }
+    }?;
+    // Join the planner's post-order estimates onto the post-order metrics,
+    // so every execution reports estimated-vs-actual q-errors.
+    metrics.attach_estimates(&plan.estimates);
+    Ok((result, metrics))
 }
 
 /// Execute a physical plan with the row-at-a-time engine.
@@ -132,6 +136,7 @@ fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Rela
         label: node.label(),
         rows_in,
         rows_out: out.len(),
+        est_rows: None,
         batches: 1,
         elapsed: started.elapsed(),
     });

@@ -1,6 +1,18 @@
-//! Execution metrics: per-operator row counts, batch counts, and timings.
+//! Execution metrics: per-operator row counts, batch counts, timings, and
+//! estimated-vs-actual cardinality feedback (q-error).
 
 use std::time::Duration;
+
+/// Median of a slice of finite values (sorts in place). `None` when empty.
+/// The one shared definition for q-error summaries — benches and tests
+/// must agree with [`ExecMetrics::median_q_error`] on the convention.
+pub fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    Some(values[values.len() / 2])
+}
 
 /// Metrics for one executed operator instance.
 #[derive(Debug, Clone)]
@@ -11,6 +23,9 @@ pub struct OperatorMetrics {
     pub rows_in: usize,
     /// Output cardinality.
     pub rows_out: usize,
+    /// The planner's estimated output cardinality, when the plan carried
+    /// one — the basis of the q-error feedback loop.
+    pub est_rows: Option<u64>,
     /// Batches produced (1 for the row engine's materialized output).
     pub batches: usize,
     /// Wall-clock time spent in this operator (children excluded).
@@ -26,6 +41,17 @@ impl OperatorMetrics {
             return 0.0;
         }
         self.rows_out as f64 / secs
+    }
+
+    /// The q-error of the cardinality estimate:
+    /// `max(est/actual, actual/est)`, both sides floored at one row so an
+    /// empty-result estimate scores finitely. 1.0 = perfect; `None` when
+    /// the plan carried no estimate for this operator.
+    pub fn q_error(&self) -> Option<f64> {
+        let est = self.est_rows? as f64;
+        let act = self.rows_out as f64;
+        let (est, act) = (est.max(1.0), act.max(1.0));
+        Some((est / act).max(act / est))
     }
 }
 
@@ -56,16 +82,49 @@ impl ExecMetrics {
             .sum()
     }
 
-    /// A compact per-operator report with throughput, so benches and the
-    /// stratum engine can see where time actually goes.
+    /// Attach per-operator row estimates (post-order, parallel to
+    /// `operators`). Ignored when the lengths disagree — e.g. plans built
+    /// without annotations.
+    pub fn attach_estimates(&mut self, estimates: &[Option<u64>]) {
+        if estimates.len() == self.operators.len() {
+            for (op, est) in self.operators.iter_mut().zip(estimates) {
+                op.est_rows = *est;
+            }
+        }
+    }
+
+    /// All per-operator q-errors (operators with estimates only).
+    pub fn q_errors(&self) -> Vec<f64> {
+        self.operators.iter().filter_map(|o| o.q_error()).collect()
+    }
+
+    /// Median q-error across the operators that carried estimates —
+    /// the execution's one-number estimation-quality verdict.
+    pub fn median_q_error(&self) -> Option<f64> {
+        median(&mut self.q_errors())
+    }
+
+    /// A compact per-operator report with throughput and estimation
+    /// feedback, so benches and the stratum engine can see where time —
+    /// and estimation error — actually goes.
     pub fn report(&self) -> String {
         let mut out = String::new();
         for op in &self.operators {
+            let est = match op.est_rows {
+                Some(e) => format!("{e}"),
+                None => "-".into(),
+            };
+            let q = match op.q_error() {
+                Some(q) => format!("{q:.2}"),
+                None => "-".into(),
+            };
             out.push_str(&format!(
-                "{:<30} rows_in={:<8} rows_out={:<8} batches={:<5} time={:<12?} {:>12.0} rows/s\n",
+                "{:<30} rows_in={:<8} rows_out={:<8} est={:<8} q={:<6} batches={:<5} time={:<12?} {:>12.0} rows/s\n",
                 op.label,
                 op.rows_in,
                 op.rows_out,
+                est,
+                q,
                 op.batches,
                 op.elapsed,
                 op.rows_per_sec(),
@@ -79,30 +138,32 @@ impl ExecMetrics {
 mod tests {
     use super::*;
 
+    fn op(label: &str, rows_out: usize, elapsed: Duration) -> OperatorMetrics {
+        OperatorMetrics {
+            label: label.into(),
+            rows_in: 0,
+            rows_out,
+            est_rows: None,
+            batches: 1,
+            elapsed,
+        }
+    }
+
     #[test]
     fn aggregates() {
         let m = ExecMetrics {
             operators: vec![
                 OperatorMetrics {
-                    label: "scan(R)".into(),
-                    rows_in: 0,
                     rows_out: 100,
-                    batches: 1,
-                    elapsed: Duration::from_micros(5),
+                    ..op("scan(R)", 100, Duration::from_micros(5))
                 },
                 OperatorMetrics {
-                    label: "transfer-s".into(),
                     rows_in: 100,
-                    rows_out: 100,
-                    batches: 1,
-                    elapsed: Duration::from_micros(2),
+                    ..op("transfer-s", 100, Duration::from_micros(2))
                 },
                 OperatorMetrics {
-                    label: "sort[stable]".into(),
                     rows_in: 100,
-                    rows_out: 100,
-                    batches: 1,
-                    elapsed: Duration::from_micros(9),
+                    ..op("sort[stable]", 100, Duration::from_micros(9))
                 },
             ],
         };
@@ -115,21 +176,45 @@ mod tests {
 
     #[test]
     fn throughput_is_rows_over_time() {
-        let op = OperatorMetrics {
-            label: "rdup[hash]".into(),
+        let o = OperatorMetrics {
             rows_in: 2000,
-            rows_out: 1000,
             batches: 2,
-            elapsed: Duration::from_millis(100),
+            ..op("rdup[hash]", 1000, Duration::from_millis(100))
         };
-        assert!((op.rows_per_sec() - 10_000.0).abs() < 1e-6);
-        let idle = OperatorMetrics {
-            label: "noop".into(),
-            rows_in: 0,
-            rows_out: 0,
-            batches: 0,
-            elapsed: Duration::ZERO,
-        };
+        assert!((o.rows_per_sec() - 10_000.0).abs() < 1e-6);
+        let idle = op("noop", 0, Duration::ZERO);
         assert_eq!(idle.rows_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        let mut o = op("select", 100, Duration::ZERO);
+        assert_eq!(o.q_error(), None);
+        o.est_rows = Some(400);
+        assert_eq!(o.q_error(), Some(4.0));
+        o.est_rows = Some(25);
+        assert_eq!(o.q_error(), Some(4.0));
+        // Empty actual with a 1-row estimate: perfect under the floor.
+        let mut empty = op("select", 0, Duration::ZERO);
+        empty.est_rows = Some(1);
+        assert_eq!(empty.q_error(), Some(1.0));
+    }
+
+    #[test]
+    fn estimates_attach_and_summarize() {
+        let mut m = ExecMetrics {
+            operators: vec![
+                op("scan(R)", 100, Duration::ZERO),
+                op("select", 10, Duration::ZERO),
+                op("rdup[hash]", 10, Duration::ZERO),
+            ],
+        };
+        // Length mismatch: ignored.
+        m.attach_estimates(&[Some(1)]);
+        assert!(m.q_errors().is_empty());
+        m.attach_estimates(&[Some(100), Some(20), None]);
+        assert_eq!(m.q_errors(), vec![1.0, 2.0]);
+        assert_eq!(m.median_q_error(), Some(2.0));
+        assert!(m.report().contains("q=2.00"));
     }
 }

@@ -180,13 +180,25 @@ impl PhysicalNode {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhysicalPlan {
     pub root: Arc<PhysicalNode>,
+    /// Estimated output rows per node in post-order (the order both
+    /// engines emit [`crate::metrics::OperatorMetrics`]), from the
+    /// optimizer's `DerivedStats`. Empty for hand-built plans; the
+    /// executors then report no estimates.
+    pub estimates: Vec<Option<u64>>,
 }
 
 impl PhysicalPlan {
     pub fn new(root: PhysicalNode) -> PhysicalPlan {
         PhysicalPlan {
             root: Arc::new(root),
+            estimates: Vec::new(),
         }
+    }
+
+    /// Attach post-order per-node row estimates (see [`PhysicalPlan::estimates`]).
+    pub fn with_estimates(mut self, estimates: Vec<Option<u64>>) -> PhysicalPlan {
+        self.estimates = estimates;
+        self
     }
 
     /// Textual EXPLAIN of the physical tree.

@@ -43,15 +43,19 @@ impl Default for PlannerConfig {
     }
 }
 
-/// Lower a logical plan to a physical plan.
+/// Lower a logical plan to a physical plan. Per-node row estimates from
+/// the annotation ride along in post-order, so executed operators can
+/// report estimated-vs-actual q-errors.
 pub fn lower(plan: &LogicalPlan, config: PlannerConfig) -> Result<PhysicalPlan> {
     let ann = annotate(plan)?;
-    let root = lower_node(&plan.root, &mut Vec::new(), &ann, config)?;
-    Ok(PhysicalPlan::new(root))
+    let mut estimates = Vec::new();
+    let root = lower_node(&plan.root, &mut Vec::new(), &ann, config, &mut estimates)?;
+    Ok(PhysicalPlan::new(root).with_estimates(estimates))
 }
 
 /// Optimize a logical plan with the configured search strategy, then lower
-/// the winner to a physical plan.
+/// the winner to a physical plan. The cost model is calibrated to the
+/// engine that will execute the plan (`config.mode`).
 pub fn optimize_and_lower(
     plan: &LogicalPlan,
     rules: &RuleSet,
@@ -59,6 +63,10 @@ pub fn optimize_and_lower(
 ) -> Result<(PhysicalPlan, Optimized)> {
     let optimizer_config = OptimizerConfig {
         strategy: config.strategy,
+        cost_model: tqo_core::cost::CostModel::calibrated(
+            config.mode == crate::executor::ExecMode::Batch,
+        )
+        .with_fast_algorithms(config.allow_fast),
         ..OptimizerConfig::default()
     };
     let optimized = optimize(plan, rules, &optimizer_config)?;
@@ -71,13 +79,16 @@ fn lower_node(
     path: &mut Path,
     ann: &Annotations,
     config: PlannerConfig,
+    estimates: &mut Vec<Option<u64>>,
 ) -> Result<PhysicalNode> {
     let mut lowered_children = Vec::with_capacity(node.children().len());
     for (i, c) in node.children().iter().enumerate() {
         path.push(i);
-        lowered_children.push(Arc::new(lower_node(c, path, ann, config)?));
+        lowered_children.push(Arc::new(lower_node(c, path, ann, config, estimates)?));
         path.pop();
     }
+    // Post-order, after the children: matches both engines' metric order.
+    estimates.push(Some(ann[path.as_slice()].stat.card()));
     let mut kids = lowered_children.into_iter();
     let mut next = || kids.next().expect("child lowered");
 
@@ -137,11 +148,30 @@ fn lower_node(
                 algo,
             }
         }
-        PlanNode::DifferenceT { .. } => PhysicalNode::DifferenceT {
-            left: next(),
-            right: next(),
-            algo: DifferenceTAlgo::TimelineSweep,
-        },
+        PlanNode::DifferenceT { .. } => {
+            // Subtract-union is `≡SM` (needs the reordering and snapshot
+            // licenses) and requires an sdf left argument. Within that
+            // license the choice is statistics-driven: per-left-tuple
+            // subtraction beats the timeline sweep only when the right
+            // side is estimated much smaller than the left.
+            let left = child_stat(ann, path, 0);
+            let right = child_stat(ann, path, 1);
+            let algo = if config.allow_fast
+                && !flags.order_required
+                && !flags.period_preserving
+                && left.snapshot_dup_free
+                && right.card().saturating_mul(16) <= left.card()
+            {
+                DifferenceTAlgo::SubtractUnion
+            } else {
+                DifferenceTAlgo::TimelineSweep
+            };
+            PhysicalNode::DifferenceT {
+                left: next(),
+                right: next(),
+                algo,
+            }
+        }
         PlanNode::AggregateT { group_by, aggs, .. } => PhysicalNode::AggregateT {
             input: next(),
             group_by: group_by.clone(),

@@ -1,4 +1,5 @@
-//! A thread-safe catalog of named tables.
+//! A thread-safe catalog of named tables, and the statistics provider the
+//! optimizer plans against.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -9,8 +10,28 @@ use tqo_core::error::{Error, Result};
 use tqo_core::interp::Env;
 use tqo_core::plan::BaseProps;
 use tqo_core::relation::Relation;
+use tqo_core::stats::TableSummary;
 
+use crate::stats::TableStats;
 use crate::table::Table;
+
+/// The statistics interface planners consume: measured per-table
+/// statistics, computed lazily and cached per table, invalidated by every
+/// mutation path. [`Catalog`] is the storage-backed implementation;
+/// alternative backends (remote catalogs, statistics snapshots) implement
+/// the same trait.
+pub trait StatisticsProvider {
+    /// Measured statistics for `name`, if the table exists.
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>>;
+
+    /// The core-side summary of [`table_stats`] — what `Scan` nodes embed.
+    ///
+    /// [`table_stats`]: StatisticsProvider::table_stats
+    fn table_summary(&self, name: &str) -> Option<Arc<TableSummary>>;
+
+    /// Drop any cached statistics for `name` (after an external mutation).
+    fn invalidate_stats(&self, name: &str);
+}
 
 /// A shared, concurrently readable catalog.
 #[derive(Debug, Clone, Default)]
@@ -56,9 +77,32 @@ impl Catalog {
         self.tables.read().contains_key(name)
     }
 
-    /// Base properties for planning a scan of `name`.
+    /// Base properties for planning a scan of `name`, with the measured
+    /// statistics attached — every catalog-compiled plan estimates from
+    /// data.
     pub fn base_props(&self, name: &str) -> Result<BaseProps> {
-        Ok(self.get(name)?.props().clone())
+        Ok(self.get(name)?.planning_props())
+    }
+
+    /// Mutate a table in place: the closure receives a working copy, the
+    /// catalog swaps it in on success (statistics are invalidated by the
+    /// mutation itself). The write lock is held across the whole
+    /// read-mutate-swap, so concurrent mutations serialize instead of
+    /// losing updates; readers holding the old `Arc` keep a consistent
+    /// pre-mutation view.
+    pub fn with_table_mut(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Table) -> Result<()>,
+    ) -> Result<()> {
+        let mut tables = self.tables.write();
+        let current = tables.get(name).ok_or_else(|| Error::Storage {
+            reason: format!("unknown table `{name}`"),
+        })?;
+        let mut working = (**current).clone();
+        f(&mut working)?;
+        tables.insert(name.to_owned(), Arc::new(working));
+        Ok(())
     }
 
     /// Sorted table names.
@@ -75,6 +119,22 @@ impl Catalog {
             env.insert(name.clone(), table.relation().clone());
         }
         env
+    }
+}
+
+impl StatisticsProvider for Catalog {
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        self.get(name).ok().map(|t| t.stats())
+    }
+
+    fn table_summary(&self, name: &str) -> Option<Arc<TableSummary>> {
+        self.get(name).ok().map(|t| t.summary())
+    }
+
+    fn invalidate_stats(&self, name: &str) {
+        if let Ok(t) = self.get(name) {
+            t.invalidate_stats();
+        }
     }
 }
 
@@ -113,6 +173,10 @@ mod tests {
         let props = cat.base_props("T").unwrap();
         assert!(props.snapshot_dup_free);
         assert_eq!(props.card, 1);
+        // Measured statistics ride along for estimation.
+        let summary = props.stats.expect("summary attached");
+        assert_eq!(summary.rows, 1);
+        assert_eq!(summary.column("E").unwrap().distinct, 1);
     }
 
     #[test]
@@ -132,5 +196,37 @@ mod tests {
         let clone = cat.clone();
         cat.register("T", rel()).unwrap();
         assert!(clone.contains("T"));
+    }
+
+    #[test]
+    fn statistics_provider_caches_and_invalidates() {
+        let cat = Catalog::new();
+        cat.register("T", rel()).unwrap();
+        let stats = cat.table_stats("T").unwrap();
+        assert_eq!(stats.rows, 1);
+        // Second read hits the same cached Arc.
+        assert!(Arc::ptr_eq(&stats, &cat.table_stats("T").unwrap()));
+        cat.invalidate_stats("T");
+        let fresh = cat.table_stats("T").unwrap();
+        assert!(!Arc::ptr_eq(&stats, &fresh));
+        assert_eq!(fresh.rows, 1);
+        assert!(cat.table_stats("MISSING").is_none());
+        assert!(cat.table_summary("T").is_some());
+    }
+
+    #[test]
+    fn with_table_mut_swaps_and_remeasures() {
+        let cat = Catalog::new();
+        cat.register("T", rel()).unwrap();
+        cat.with_table_mut("T", |t| t.insert(vec![tuple!["b", 2i64, 4i64]]))
+            .unwrap();
+        assert_eq!(cat.get("T").unwrap().len(), 2);
+        assert_eq!(cat.table_stats("T").unwrap().distinct("E"), Some(2));
+        // Failed mutations leave the stored table untouched.
+        let before = cat.get("T").unwrap();
+        assert!(cat
+            .with_table_mut("T", |t| t.insert(vec![tuple!["x", 9i64, 3i64]]))
+            .is_err());
+        assert!(Arc::ptr_eq(&before, &cat.get("T").unwrap()));
     }
 }

@@ -21,7 +21,7 @@ pub mod paper;
 pub mod stats;
 pub mod table;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, StatisticsProvider};
 pub use generator::{GenConfig, WorkloadGenerator};
 pub use stats::TableStats;
 pub use table::Table;

@@ -133,6 +133,38 @@ impl crate::table::Table {
     }
 }
 
+/// Catalog-level sequenced mutations. Every path routes through
+/// [`crate::table::Table::replace`], which re-derives the base properties
+/// and invalidates the cached statistics — the invalidation hook the
+/// optimizer's `StatisticsProvider` relies on.
+impl crate::catalog::Catalog {
+    /// Sequenced INSERT into a cataloged table.
+    pub fn insert_sequenced(
+        &self,
+        table: &str,
+        values: Vec<tqo_core::value::Value>,
+        period: Period,
+    ) -> Result<()> {
+        self.with_table_mut(table, |t| t.insert_sequenced(values, period))
+    }
+
+    /// Sequenced DELETE on a cataloged table.
+    pub fn delete_sequenced(&self, table: &str, predicate: &Expr, period: Period) -> Result<()> {
+        self.with_table_mut(table, |t| t.delete_sequenced(predicate, period))
+    }
+
+    /// Sequenced UPDATE on a cataloged table.
+    pub fn update_sequenced(
+        &self,
+        table: &str,
+        predicate: &Expr,
+        period: Period,
+        apply: impl Fn(&Tuple) -> Result<Tuple>,
+    ) -> Result<()> {
+        self.with_table_mut(table, |t| t.update_sequenced(predicate, period, apply))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +271,28 @@ mod tests {
             .unwrap();
         assert_eq!(table.len(), 1);
         assert!(table.props().snapshot_dup_free);
+    }
+
+    #[test]
+    fn catalog_mutations_invalidate_statistics() {
+        use crate::catalog::{Catalog, StatisticsProvider};
+        let cat = Catalog::new();
+        cat.register("D", dept()).unwrap();
+        assert_eq!(cat.table_stats("D").unwrap().distinct("EmpName"), Some(2));
+        cat.insert_sequenced(
+            "D",
+            vec![Value::Str("Mia".into()), Value::Str("Sales".into())],
+            Period::of(4, 9),
+        )
+        .unwrap();
+        // Statistics were recomputed, not served stale.
+        assert_eq!(cat.table_stats("D").unwrap().distinct("EmpName"), Some(3));
+        cat.delete_sequenced("D", &is_john(), Period::of(0, 30))
+            .unwrap();
+        assert_eq!(cat.table_stats("D").unwrap().distinct("EmpName"), Some(2));
+        cat.update_sequenced("D", &is_john(), Period::of(2, 4), |t| Ok(t.clone()))
+            .unwrap();
+        assert!(cat.table_stats("D").is_some());
     }
 
     #[test]

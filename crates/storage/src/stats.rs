@@ -1,25 +1,42 @@
 //! Table statistics for cardinality estimation.
+//!
+//! [`TableStats::compute`] measures everything the optimizer's estimator
+//! consumes: row and distinct-tuple counts, per-column distinct/null
+//! counts with min/max and a small equi-depth histogram, the covered time
+//! range, the mean period duration, and the snapshot duplicate degree.
+//! [`TableStats::summary`] converts to the core-side
+//! [`tqo_core::stats::TableSummary`] that rides on `Scan` nodes.
 
 use std::collections::HashSet;
 
 use tqo_core::error::Result;
 use tqo_core::relation::Relation;
+use tqo_core::stats::{ColumnSummary, Histogram, TableSummary, HISTOGRAM_BUCKETS};
 use tqo_core::time::{Instant, Period};
+use tqo_core::value::Value;
 
 /// Per-column statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
     pub name: String,
-    /// Number of distinct values.
+    /// Number of distinct non-null values.
     pub distinct: usize,
     /// Number of NULLs.
     pub nulls: usize,
+    /// Smallest non-null value (None for empty or all-NULL columns).
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+    /// Equi-depth histogram over the non-null values.
+    pub histogram: Option<Histogram>,
 }
 
 /// Statistics for one stored relation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableStats {
     pub rows: usize,
+    /// Number of distinct tuples (= `rows` for duplicate-free relations).
+    pub distinct_rows: usize,
     pub columns: Vec<ColumnStats>,
     /// For temporal relations: the covered time range.
     pub time_range: Option<Period>,
@@ -35,22 +52,37 @@ impl TableStats {
         let schema = relation.schema();
         let mut columns = Vec::with_capacity(schema.arity());
         for (i, attr) in schema.attrs().iter().enumerate() {
-            let mut distinct = HashSet::new();
             let mut nulls = 0usize;
+            let mut values: Vec<Value> = Vec::with_capacity(relation.len());
             for t in relation.tuples() {
                 let v = t.value(i);
                 if v.is_null() {
                     nulls += 1;
                 } else {
-                    distinct.insert(v);
+                    values.push(v.clone());
                 }
             }
+            values.sort_unstable();
+            // Distinct count from the sorted run (Value's Eq is defined as
+            // its total order's Equal, so this matches a hash-set count).
+            let distinct = values.len() - values.windows(2).filter(|w| w[0] == w[1]).count();
             columns.push(ColumnStats {
                 name: attr.name.clone(),
-                distinct: distinct.len(),
+                distinct,
                 nulls,
+                min: values.first().cloned(),
+                max: values.last().cloned(),
+                histogram: Histogram::from_sorted(&values, HISTOGRAM_BUCKETS),
             });
         }
+
+        let distinct_rows = {
+            let mut seen: HashSet<&[Value]> = HashSet::with_capacity(relation.len());
+            for t in relation.tuples() {
+                seen.insert(t.values());
+            }
+            seen.len()
+        };
 
         let (time_range, avg_duration, max_class_overlap) = if relation.is_temporal() {
             let mut lo: Option<Instant> = None;
@@ -60,7 +92,9 @@ impl TableStats {
                 let p = t.period(schema)?;
                 lo = Some(lo.map_or(p.start, |v| v.min(p.start)));
                 hi = Some(hi.map_or(p.end, |v| v.max(p.end)));
-                total += p.duration();
+                // Saturate: a handful of maximal periods (`Period::always`)
+                // must not overflow the accumulator.
+                total = total.saturating_add(p.duration());
             }
             let range = match (lo, hi) {
                 (Some(a), Some(b)) => Some(Period::of(a, b)),
@@ -71,7 +105,10 @@ impl TableStats {
             } else {
                 Some(total as f64 / relation.len() as f64)
             };
-            // Max simultaneous value-equivalent tuples.
+            // Max simultaneous value-equivalent tuples. Close events sort
+            // before open events at the same instant, so abutting (and any
+            // degenerate zero-duration) periods never count as overlapping
+            // and the live counter cannot dip below zero mid-class.
             let mut max_overlap = 0usize;
             for (_, indices) in relation.value_classes()? {
                 let mut events: Vec<(Instant, i32)> = Vec::with_capacity(indices.len() * 2);
@@ -84,7 +121,7 @@ impl TableStats {
                 let mut live = 0i32;
                 for (_, d) in events {
                     live += d;
-                    max_overlap = max_overlap.max(live as usize);
+                    max_overlap = max_overlap.max(live.max(0) as usize);
                 }
             }
             (range, avg, max_overlap)
@@ -94,6 +131,7 @@ impl TableStats {
 
         Ok(TableStats {
             rows: relation.len(),
+            distinct_rows,
             columns,
             time_range,
             avg_duration,
@@ -108,6 +146,29 @@ impl TableStats {
             .find(|c| c.name == column)
             .map(|c| c.distinct)
     }
+
+    /// Convert to the core-side summary attached to `Scan` nodes.
+    pub fn summary(&self) -> TableSummary {
+        TableSummary {
+            rows: self.rows as u64,
+            distinct_rows: self.distinct_rows as u64,
+            columns: self
+                .columns
+                .iter()
+                .map(|c| ColumnSummary {
+                    name: c.name.clone(),
+                    distinct: c.distinct as u64,
+                    nulls: c.nulls as u64,
+                    min: c.min.clone(),
+                    max: c.max.clone(),
+                    histogram: c.histogram.clone(),
+                })
+                .collect(),
+            time_range: self.time_range,
+            avg_duration_milli: self.avg_duration.map(|d| (d * 1000.0) as i64),
+            max_class_overlap: self.max_class_overlap as u64,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +176,7 @@ mod tests {
     use super::*;
     use tqo_core::schema::Schema;
     use tqo_core::tuple;
+    use tqo_core::tuple::Tuple;
     use tqo_core::value::DataType;
 
     #[test]
@@ -130,6 +192,7 @@ mod tests {
         .unwrap();
         let s = TableStats::compute(&r).unwrap();
         assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct_rows, 3);
         assert_eq!(s.distinct("E"), Some(2));
         assert_eq!(s.time_range, Some(Period::of(1, 9)));
         assert_eq!(s.avg_duration, Some(4.0));
@@ -145,6 +208,7 @@ mod tests {
         .unwrap();
         let s = TableStats::compute(&r).unwrap();
         assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct_rows, 2);
         assert_eq!(s.distinct("A"), Some(2));
         assert!(s.time_range.is_none());
         assert_eq!(s.max_class_overlap, 0);
@@ -155,7 +219,78 @@ mod tests {
         let r = Relation::empty(Schema::temporal(&[("E", DataType::Str)]));
         let s = TableStats::compute(&r).unwrap();
         assert_eq!(s.rows, 0);
+        assert_eq!(s.distinct_rows, 0);
         assert!(s.time_range.is_none());
         assert!(s.avg_duration.is_none());
+        let c = &s.columns[0];
+        assert_eq!(c.distinct, 0);
+        assert!(c.min.is_none() && c.max.is_none() && c.histogram.is_none());
+        // The summary converts without panicking or dividing by zero.
+        let summary = s.summary();
+        assert_eq!(summary.rows, 0);
+        assert!(summary.avg_duration_milli.is_none());
+    }
+
+    #[test]
+    fn all_null_column_has_no_value_stats() {
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                Tuple::new(vec![Value::Null, Value::Str("x".into())]),
+                Tuple::new(vec![Value::Null, Value::Str("y".into())]),
+            ],
+        )
+        .unwrap();
+        let s = TableStats::compute(&r).unwrap();
+        let a = &s.columns[0];
+        assert_eq!(a.distinct, 0);
+        assert_eq!(a.nulls, 2);
+        assert!(a.min.is_none() && a.max.is_none() && a.histogram.is_none());
+        let b = &s.columns[1];
+        assert_eq!(b.distinct, 2);
+        assert_eq!(b.nulls, 0);
+    }
+
+    #[test]
+    fn abutting_periods_do_not_count_as_overlap() {
+        // a: [1,3) then [3,5) — adjacent, never simultaneous. The close
+        // event at 3 sorts before the open event at 3.
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            vec![tuple!["a", 1i64, 3i64], tuple!["a", 3i64, 5i64]],
+        )
+        .unwrap();
+        let s = TableStats::compute(&r).unwrap();
+        assert_eq!(s.max_class_overlap, 1);
+    }
+
+    #[test]
+    fn min_max_and_histogram_reflect_data() {
+        let tuples: Vec<_> = (0..64i64).map(|i| tuple![i % 16, 0i64, 1i64]).collect();
+        let r = Relation::new(Schema::temporal(&[("A", DataType::Int)]), tuples).unwrap();
+        let s = TableStats::compute(&r).unwrap();
+        let a = &s.columns[0];
+        assert_eq!(a.min, Some(Value::Int(0)));
+        assert_eq!(a.max, Some(Value::Int(15)));
+        let h = a.histogram.as_ref().unwrap();
+        assert_eq!(h.total, 64);
+        assert!((h.fraction_le(&Value::Int(7)) - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn summary_round_trips_counts() {
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            vec![tuple!["a", 1i64, 5i64], tuple!["a", 1i64, 5i64]],
+        )
+        .unwrap();
+        let s = TableStats::compute(&r).unwrap();
+        assert_eq!(s.distinct_rows, 1);
+        let sum = s.summary();
+        assert_eq!(sum.rows, 2);
+        assert_eq!(sum.distinct_rows, 1);
+        assert_eq!(sum.column("E").unwrap().distinct, 1);
+        assert_eq!(sum.avg_duration_milli, Some(4000));
+        assert_eq!(sum.max_class_overlap, 2);
     }
 }

@@ -1,8 +1,13 @@
 //! Stored tables: a relation plus its declared invariants.
 
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
 use tqo_core::error::{Error, Result};
 use tqo_core::plan::BaseProps;
 use tqo_core::relation::Relation;
+use tqo_core::stats::TableSummary;
 use tqo_core::tuple::Tuple;
 
 use crate::stats::TableStats;
@@ -10,12 +15,29 @@ use crate::stats::TableStats;
 /// A stored relation. The declared [`BaseProps`] are *verified* on
 /// construction and after every mutation, so `Scan` nodes embedding them
 /// can be trusted by the optimizer.
-#[derive(Debug, Clone)]
+///
+/// Statistics (histograms, distinct counts, time ranges) are computed
+/// lazily on first use and cached; every mutation path invalidates the
+/// cache, so readers never see statistics of a previous version.
+#[derive(Debug)]
 pub struct Table {
     name: String,
     relation: Relation,
     props: BaseProps,
-    stats: TableStats,
+    /// Lazily computed statistics cache. `None` = not yet measured (or
+    /// invalidated by a mutation).
+    stats: RwLock<Option<(Arc<TableStats>, Arc<TableSummary>)>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            name: self.name.clone(),
+            relation: self.relation.clone(),
+            props: self.props.clone(),
+            stats: RwLock::new(self.stats.read().clone()),
+        }
+    }
 }
 
 impl Table {
@@ -25,12 +47,11 @@ impl Table {
     pub fn new(name: impl Into<String>, relation: Relation) -> Result<Table> {
         let name = name.into();
         let props = derive_props(&relation)?;
-        let stats = TableStats::compute(&relation)?;
         Ok(Table {
             name,
             relation,
             props,
-            stats,
+            stats: RwLock::new(None),
         })
     }
 
@@ -42,12 +63,53 @@ impl Table {
         &self.relation
     }
 
+    /// Declared base properties *without* statistics; planners wanting
+    /// statistics-driven estimation use [`Table::planning_props`].
     pub fn props(&self) -> &BaseProps {
         &self.props
     }
 
-    pub fn stats(&self) -> &TableStats {
-        &self.stats
+    /// Base properties with the measured [`TableSummary`] attached — what
+    /// catalog-backed scans embed so the optimizer estimates from data.
+    pub fn planning_props(&self) -> BaseProps {
+        self.props.clone().with_summary(self.summary())
+    }
+
+    /// Measured statistics, computed on first call and cached until the
+    /// next mutation.
+    pub fn stats(&self) -> Arc<TableStats> {
+        self.measured().0
+    }
+
+    /// The core-side summary of [`Table::stats`] (same cache).
+    pub fn summary(&self) -> Arc<TableSummary> {
+        self.measured().1
+    }
+
+    fn measured(&self) -> (Arc<TableStats>, Arc<TableSummary>) {
+        if let Some(cached) = self.stats.read().clone() {
+            return cached;
+        }
+        let stats = Arc::new(
+            TableStats::compute(&self.relation)
+                .expect("statistics over a validated relation cannot fail"),
+        );
+        let summary = Arc::new(stats.summary());
+        let mut slot = self.stats.write();
+        // A racing writer may have filled the slot; either value is
+        // equivalent (the relation is immutable between mutations).
+        slot.get_or_insert((stats, summary)).clone()
+    }
+
+    /// Invalidation hook: drop cached statistics. Called by every mutation
+    /// path; public so external bulk loaders can force re-measurement.
+    pub fn invalidate_stats(&self) {
+        *self.stats.write() = None;
+    }
+
+    /// True when statistics are currently cached (test/diagnostic hook).
+    pub fn stats_cached(&self) -> bool {
+        self.stats.read().is_some()
     }
 
     pub fn len(&self) -> usize {
@@ -64,8 +126,8 @@ impl Table {
         all.extend(tuples);
         let relation = Relation::new(self.relation.schema().clone(), all)?;
         self.props = derive_props(&relation)?;
-        self.stats = TableStats::compute(&relation)?;
         self.relation = relation;
+        self.invalidate_stats();
         Ok(())
     }
 
@@ -79,8 +141,8 @@ impl Table {
             });
         }
         self.props = derive_props(&relation)?;
-        self.stats = TableStats::compute(&relation)?;
         self.relation = relation;
+        self.invalidate_stats();
         Ok(())
     }
 }
@@ -103,6 +165,7 @@ pub fn derive_props(relation: &Relation) -> Result<BaseProps> {
             true
         },
         card: relation.len() as u64,
+        stats: None,
     })
 }
 
@@ -153,5 +216,33 @@ mod tests {
         let ok = Relation::new(schema(), vec![tuple!["b", 2i64, 3i64]]).unwrap();
         t.replace(ok).unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn stats_are_lazy_cached_and_invalidated() {
+        let r = Relation::new(
+            schema(),
+            vec![tuple!["a", 1i64, 5i64], tuple!["b", 2i64, 4i64]],
+        )
+        .unwrap();
+        let mut t = Table::new("T", r).unwrap();
+        assert!(!t.stats_cached(), "stats must not be computed eagerly");
+        assert_eq!(t.stats().distinct("E"), Some(2));
+        assert!(t.stats_cached());
+        // Mutation invalidates; the next read re-measures.
+        t.insert(vec![tuple!["c", 1i64, 2i64]]).unwrap();
+        assert!(!t.stats_cached(), "insert must invalidate the cache");
+        assert_eq!(t.stats().distinct("E"), Some(3));
+        assert_eq!(t.summary().rows, 3);
+    }
+
+    #[test]
+    fn planning_props_attach_summary() {
+        let r = Relation::new(schema(), vec![tuple!["a", 1i64, 5i64]]).unwrap();
+        let t = Table::new("T", r).unwrap();
+        let props = t.planning_props();
+        let summary = props.stats.expect("summary attached");
+        assert_eq!(summary.rows, 1);
+        assert_eq!(props.card, 1);
     }
 }

@@ -60,10 +60,23 @@ pub struct Stratum {
 
 impl Stratum {
     pub fn new(catalog: Catalog) -> Stratum {
+        let exec_mode = ExecMode::default();
         Stratum {
             dbms: SimulatedDbms::new(catalog),
-            optimizer: tqo_core::optimizer::OptimizerConfig::default(),
-            exec_mode: ExecMode::default(),
+            optimizer: tqo_core::optimizer::OptimizerConfig {
+                // Site placement is statistics-driven end to end: plans
+                // compiled against the catalog embed measured table
+                // summaries (row counts, distinct counts, histograms), so
+                // the transfer-cost decision prices estimated rows from
+                // data; the work factors are calibrated to the engine that
+                // will execute the stratum's operators. The stratum runs
+                // faithful algorithms only (results stay bit-identical to
+                // the reference), so the fast-algorithm formulas are off.
+                cost_model: tqo_core::cost::CostModel::calibrated(exec_mode == ExecMode::Batch)
+                    .with_fast_algorithms(false),
+                ..Default::default()
+            },
+            exec_mode,
         }
     }
 
@@ -80,9 +93,19 @@ impl Stratum {
 
     /// Select the engine executing the stratum's local operator tree: the
     /// vectorized batch pipeline (default) or the legacy row-at-a-time
-    /// walk.
+    /// walk. Recalibrates the optimizer's cost model to the chosen engine
+    /// (apply [`Stratum::with_cost_model`] afterwards to override).
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Stratum {
         self.exec_mode = mode;
+        self.optimizer.cost_model = tqo_core::cost::CostModel::calibrated(mode == ExecMode::Batch)
+            .with_fast_algorithms(false);
+        self
+    }
+
+    /// Override the optimizer's cost model (e.g. measured transfer costs
+    /// for a real DBMS connection).
+    pub fn with_cost_model(mut self, model: tqo_core::cost::CostModel) -> Stratum {
+        self.optimizer.cost_model = model;
         self
     }
 

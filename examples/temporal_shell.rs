@@ -7,8 +7,11 @@
 //!
 //! Commands:
 //! * plain temporal SQL — compiled, layered, optimized, executed;
-//! * `\tables` — list catalog tables with their measured invariants;
+//! * `\tables` — list catalog tables with their measured invariants and
+//!   statistics;
 //! * `\explain <sql>` — annotated logical plan (Figure 6 property vectors);
+//! * `\costs <sql>` — EXPLAIN the *optimized* plan with per-node site,
+//!   estimated rows, and estimated cost (the statistics-driven view);
 //! * `\fragments <sql>` — the SQL shipped to the DBMS per `Tˢ` fragment;
 //! * `\plans <sql>` — size of the Figure 5 plan space for the query;
 //! * `\quit` — exit.
@@ -69,19 +72,46 @@ fn dispatch(
         for name in catalog.names() {
             let table = catalog.get(&name)?;
             let p = table.props();
+            let s = table.stats();
             text.push_str(&format!(
-                "{name}: {} rows [{}] dup_free={} snapshot_dup_free={} coalesced={}\n",
+                "{name}: {} rows ({} distinct) [{}] dup_free={} snapshot_dup_free={} \
+                 coalesced={} overlap_degree={}\n",
                 table.len(),
+                s.distinct_rows,
                 p.schema,
                 p.dup_free,
                 p.snapshot_dup_free,
-                p.coalesced
+                p.coalesced,
+                s.max_class_overlap,
             ));
         }
         return Ok(text);
     }
     if let Some(sql) = input.strip_prefix("\\explain ") {
         return Ok(tqo_sql::explain(sql, catalog)?);
+    }
+    if let Some(sql) = input.strip_prefix("\\costs ") {
+        // Compile, layer, optimize, then render the chosen plan with the
+        // statistics-driven estimates: per node, the execution site, the
+        // estimated output rows, and the estimated cost contribution.
+        let plan = tqo_sql::compile(sql, catalog)?;
+        let layered = make_layered(&plan)?;
+        // Match the stratum's own optimizer: batch-calibrated, faithful
+        // algorithms (the stratum never runs the fast variants).
+        let model = tqo_core::cost::CostModel::calibrated(true).with_fast_algorithms(false);
+        let optimized = tqo_core::optimizer::optimize(
+            &layered,
+            &RuleSet::standard(),
+            &tqo_core::optimizer::OptimizerConfig {
+                cost_model: model.clone(),
+                ..Default::default()
+            },
+        )?;
+        let rendered = tqo_core::plan::display::explain_with_cost(&optimized.best, &model)?;
+        return Ok(format!(
+            "{rendered}total estimated cost: {:.0}\n",
+            optimized.cost.0
+        ));
     }
     if let Some(sql) = input.strip_prefix("\\fragments ") {
         let plan = tqo_sql::compile(sql, catalog)?;
