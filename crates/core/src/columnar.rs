@@ -28,10 +28,15 @@ use crate::value::{DataType, Value};
 /// The unboxed payload of one column.
 #[derive(Debug, Clone)]
 pub enum ColumnData {
+    /// 64-bit integers.
     Int(Vec<i64>),
+    /// 64-bit floats.
     Float(Vec<f64>),
+    /// Booleans.
     Bool(Vec<bool>),
+    /// Shared strings (gathers bump refcounts, not bytes).
     Str(Vec<Arc<str>>),
+    /// Instants, stored as raw `i64`.
     Time(Vec<i64>),
 }
 
@@ -87,6 +92,7 @@ impl Column {
         Column { data, nulls: None }
     }
 
+    /// Number of values (null slots included).
     pub fn len(&self) -> usize {
         match &self.data {
             ColumnData::Int(v) | ColumnData::Time(v) => v.len(),
@@ -96,10 +102,12 @@ impl Column {
         }
     }
 
+    /// True when the column holds no values.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// The column's declared data type.
     pub fn dtype(&self) -> DataType {
         match &self.data {
             ColumnData::Int(_) => DataType::Int,
@@ -110,15 +118,18 @@ impl Column {
         }
     }
 
+    /// The unboxed payload.
     pub fn data(&self) -> &ColumnData {
         &self.data
     }
 
     #[inline]
+    /// True when slot `i` is NULL.
     pub fn is_null(&self, i: usize) -> bool {
         self.nulls.as_ref().is_some_and(|n| n[i])
     }
 
+    /// True when the column carries a null mask.
     pub fn has_nulls(&self) -> bool {
         self.nulls.is_some()
     }
@@ -540,22 +551,27 @@ impl ColumnarRelation {
         Relation::new_unchecked((*self.schema).clone(), tuples)
     }
 
+    /// The relation's schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
+    /// All columns, in attribute order.
     pub fn columns(&self) -> &[Arc<Column>] {
         &self.columns
     }
 
+    /// The column of attribute `i`.
     pub fn column(&self, i: usize) -> &Arc<Column> {
         &self.columns[i]
     }
 
+    /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// True when the relation holds no rows.
     pub fn is_empty(&self) -> bool {
         self.rows == 0
     }

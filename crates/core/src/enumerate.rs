@@ -32,7 +32,9 @@ use crate::rules::RuleSet;
 /// One recorded rule application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuleApplication {
+    /// The applied rule's name.
     pub rule: String,
+    /// The strongest equivalence the application preserves.
     pub equivalence: EquivalenceType,
     /// Absolute path of the location the rule fired at.
     pub location: Path,
@@ -44,6 +46,7 @@ pub struct RuleApplication {
 /// An enumerated plan with its derivation provenance.
 #[derive(Debug, Clone)]
 pub struct EnumeratedPlan {
+    /// The enumerated plan.
     pub plan: LogicalPlan,
     /// How this plan was derived (`None` for the initial plan).
     pub derivation: Option<RuleApplication>,
@@ -52,6 +55,7 @@ pub struct EnumeratedPlan {
 /// The enumeration result.
 #[derive(Debug)]
 pub struct Enumeration {
+    /// Every enumerated plan, the initial one first.
     pub plans: Vec<EnumeratedPlan>,
     /// True when the plan budget stopped the closure early.
     pub truncated: bool,

@@ -5,6 +5,7 @@ use std::fmt;
 /// Errors produced by schema validation, expression evaluation, operation
 /// application, and plan manipulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // every variant is documented; field names are self-describing
 pub enum Error {
     /// An attribute referenced by an expression or operation is not part of
     /// the schema it is evaluated against.

@@ -18,21 +18,34 @@ use crate::value::{DataType, Value};
 /// Binary operators over scalars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BinOp {
+    /// `=`
     Eq,
+    /// `<>`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
+    /// Logical conjunction.
     And,
+    /// Logical disjunction.
     Or,
+    /// `+`
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `/`
     Div,
 }
 
 impl BinOp {
+    /// True for the six ordering/equality comparisons.
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
@@ -40,6 +53,7 @@ impl BinOp {
         )
     }
 
+    /// True for `AND`/`OR`.
     pub fn is_logical(self) -> bool {
         matches!(self, BinOp::And | BinOp::Or)
     }
@@ -73,8 +87,11 @@ pub enum Expr {
     Lit(Value),
     /// Binary operation.
     Bin {
+        /// The operator.
         op: BinOp,
+        /// Left operand.
         left: Box<Expr>,
+        /// Right operand.
         right: Box<Expr>,
     },
     /// Logical negation.
@@ -84,14 +101,17 @@ pub enum Expr {
 }
 
 impl Expr {
+    /// An attribute reference.
     pub fn col(name: impl Into<String>) -> Expr {
         Expr::Col(name.into())
     }
 
+    /// A literal.
     pub fn lit(v: impl Into<Value>) -> Expr {
         Expr::Lit(v.into())
     }
 
+    /// A binary operation.
     pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
         Expr::Bin {
             op,
@@ -100,23 +120,28 @@ impl Expr {
         }
     }
 
+    /// `left = right`.
     pub fn eq(left: Expr, right: Expr) -> Expr {
         Expr::bin(BinOp::Eq, left, right)
     }
 
+    /// `left AND right`.
     pub fn and(left: Expr, right: Expr) -> Expr {
         Expr::bin(BinOp::And, left, right)
     }
 
+    /// `left OR right`.
     pub fn or(left: Expr, right: Expr) -> Expr {
         Expr::bin(BinOp::Or, left, right)
     }
 
+    /// `left < right`.
     pub fn lt(left: Expr, right: Expr) -> Expr {
         Expr::bin(BinOp::Lt, left, right)
     }
 
     #[allow(clippy::should_implement_trait)]
+    /// `NOT e`.
     pub fn not(e: Expr) -> Expr {
         Expr::Not(Box::new(e))
     }
@@ -313,11 +338,14 @@ impl fmt::Display for Expr {
 /// One projection item `f_i`: an expression with an output name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ProjItem {
+    /// The expression to evaluate per row.
     pub expr: Expr,
+    /// Output attribute name.
     pub alias: String,
 }
 
 impl ProjItem {
+    /// An item computing `expr` under `alias`.
     pub fn new(expr: Expr, alias: impl Into<String>) -> ProjItem {
         ProjItem {
             expr,
@@ -352,10 +380,15 @@ impl fmt::Display for ProjItem {
 /// Aggregate functions `F_i` supported by `ξ`/`ξᵀ`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AggFunc {
+    /// Row (or non-null argument) count.
     Count,
+    /// Numeric sum, promoting to float when any input is a float.
     Sum,
+    /// Minimum under `Value`'s total order.
     Min,
+    /// Maximum under `Value`'s total order.
     Max,
+    /// Arithmetic mean over non-null inputs.
     Avg,
 }
 
@@ -375,12 +408,16 @@ impl fmt::Display for AggFunc {
 /// and output name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AggItem {
+    /// The aggregate function.
     pub func: AggFunc,
+    /// Argument attribute (`None` for `COUNT(*)`).
     pub arg: Option<String>,
+    /// Output attribute name.
     pub alias: String,
 }
 
 impl AggItem {
+    /// An aggregate of `func` over `arg`, output under `alias`.
     pub fn new(func: AggFunc, arg: Option<&str>, alias: impl Into<String>) -> AggItem {
         AggItem {
             func,
@@ -389,6 +426,7 @@ impl AggItem {
         }
     }
 
+    /// `COUNT(*)` under `alias`.
     pub fn count_star(alias: impl Into<String>) -> AggItem {
         AggItem {
             func: AggFunc::Count,

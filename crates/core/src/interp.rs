@@ -41,15 +41,18 @@ pub struct Env {
 }
 
 impl Env {
+    /// An empty environment.
     pub fn new() -> Env {
         Env::default()
     }
 
+    /// Builder-style [`Env::insert`].
     pub fn with(mut self, name: impl Into<String>, relation: Relation) -> Env {
         self.insert(name, relation);
         self
     }
 
+    /// Bind `name` to `relation`, invalidating any cached transpose.
     pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
         let name = name.into();
         // Invalidate any cached transpose of an overwritten binding.
@@ -57,6 +60,7 @@ impl Env {
         self.relations.insert(name, relation);
     }
 
+    /// The relation bound to `name`.
     pub fn get(&self, name: &str) -> Result<&Relation> {
         self.relations.get(name).ok_or_else(|| Error::Storage {
             reason: format!("unknown base relation `{name}`"),
@@ -78,6 +82,7 @@ impl Env {
         Ok(c)
     }
 
+    /// All bound names, sorted.
     pub fn names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
         names.sort_unstable();

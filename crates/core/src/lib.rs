@@ -31,6 +31,8 @@
 //!   masks, shared strings), the data layout of `tqo-exec`'s vectorized
 //!   batch engine.
 
+#![warn(missing_docs)]
+
 pub mod allen;
 pub mod columnar;
 pub mod cost;

@@ -46,8 +46,11 @@ pub struct Entry {
     /// The expression the subplan's root realizes (identity for switch
     /// detection at the parent).
     pub expr: ExprId,
+    /// The realized subplan.
     pub node: Arc<PlanNode>,
+    /// Its derived static properties.
     pub stat: StaticProps,
+    /// Its total estimated cost.
     pub cost: f64,
     /// Rule applications realized inside this subplan, locations relative
     /// to its root. Applications that swap this entry in at a parent slot
@@ -70,6 +73,7 @@ fn dominates(a: &Entry, b: &Entry) -> bool {
 
 type Closure = Rc<HashMap<ExprId, Vec<DerivationStep>>>;
 
+/// The Bellman-Ford-style Pareto extractor over (group, context) cells.
 pub struct Extractor<'a> {
     memo: &'a mut Memo,
     cost_model: &'a dyn CostEstimator,
@@ -102,6 +106,7 @@ fn chain_to_applications(chain: &[DerivationStep], location: &[usize]) -> Vec<Ru
 }
 
 impl<'a> Extractor<'a> {
+    /// An extractor pricing `memo`'s expressions with `cost_model`.
     pub fn new(
         memo: &'a mut Memo,
         cost_model: &'a dyn CostEstimator,

@@ -17,7 +17,9 @@ use crate::plan::{PlanNode, Site};
 use crate::schema::Schema;
 use crate::value::DataType;
 
+/// Index of an equivalence class in the memo.
 pub type GroupId = usize;
+/// Index of an expression in the memo.
 pub type ExprId = usize;
 
 /// The context of a plan location: the Table 2 operation-property vector
@@ -28,7 +30,9 @@ pub type ExprId = usize;
 /// `a` stays admissible anywhere demands are `b ⊆ a` weaker-or-equal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoCtx {
+    /// The Table 2 operation-property demands at this location.
     pub flags: PropsFlags,
+    /// The execution site of this location.
     pub site: Site,
 }
 
@@ -64,7 +68,9 @@ pub enum Provenance {
     Base,
     /// Produced by a transformation rule at this location.
     Rule {
+        /// The rule's name.
         name: String,
+        /// The strongest equivalence the rule preserves.
         equivalence: crate::equivalence::EquivalenceType,
     },
 }
@@ -72,6 +78,7 @@ pub enum Provenance {
 /// One operator whose children are groups.
 #[derive(Debug)]
 pub struct MemoExpr {
+    /// This expression's id.
     pub id: ExprId,
     /// Operator payload (children are placeholders; use
     /// [`MemoExpr::rebuild`] to attach real subtrees).
@@ -94,6 +101,7 @@ pub struct MemoExpr {
     /// expressions, whose reachability doesn't need it, so extraction can
     /// name the rewrite that swaps them in at a foreign location).
     pub derived_via: Vec<(MemoCtx, String, crate::equivalence::EquivalenceType)>,
+    /// How the expression entered the memo.
     pub provenance: Provenance,
 }
 
@@ -112,6 +120,7 @@ impl MemoExpr {
 /// An equivalence class of expressions.
 #[derive(Debug, Default)]
 pub struct Group {
+    /// The expressions in this class.
     pub members: Vec<ExprId>,
 }
 
@@ -131,13 +140,16 @@ fn group_placeholder(gid: GroupId) -> Arc<PlanNode> {
 /// expression from its predecessor.
 #[derive(Debug, Clone)]
 pub struct DerivationStep {
+    /// The applied rule's name.
     pub rule: String,
+    /// The equivalence the step preserves.
     pub equivalence: crate::equivalence::EquivalenceType,
 }
 
 /// The memo: expressions, groups, and the indexes tying them together.
 #[derive(Debug, Default)]
 pub struct Memo {
+    /// All expressions, dense by [`ExprId`].
     pub exprs: Vec<MemoExpr>,
     groups: Vec<Group>,
     /// Union-find parents over groups.
@@ -172,10 +184,12 @@ pub struct Memo {
 }
 
 impl Memo {
+    /// An empty memo.
     pub fn new() -> Memo {
         Memo::default()
     }
 
+    /// Number of live (canonical) groups.
     pub fn group_count(&self) -> usize {
         (0..self.groups.len())
             .filter(|&g| self.parents[g] == g)

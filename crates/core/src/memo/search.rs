@@ -41,6 +41,7 @@ pub struct MemoResult {
     /// Rule applications realized in `best`, relative to its root
     /// (`parent` indices are not meaningful for memo search and are 0).
     pub derivation: Vec<RuleApplication>,
+    /// Memo-search statistics (groups, expressions, tasks).
     pub stats: MemoStats,
 }
 

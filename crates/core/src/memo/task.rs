@@ -35,7 +35,9 @@ use crate::rules::RuleSet;
 /// One unit of exploration work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Task {
+    /// The expression to explore.
     pub expr: ExprId,
+    /// The context (demands + site) to explore it under.
     pub ctx: MemoCtx,
 }
 
@@ -53,7 +55,10 @@ pub struct ExploreStats {
     pub truncated: bool,
 }
 
+/// The worklist-driven exploration engine closing a memo under a rule
+/// set.
 pub struct Explorer<'a> {
+    /// The memo being closed.
     pub memo: Memo,
     rules: &'a RuleSet,
     config: MemoConfig,
@@ -65,6 +70,7 @@ pub struct Explorer<'a> {
     /// Bindings already rule-matched (per context): re-explorations after a
     /// group change only pay for combinations involving new members.
     seen_bindings: HashSet<(PlanNode, MemoCtx)>,
+    /// Exploration counters.
     pub stats: ExploreStats,
 }
 
@@ -78,6 +84,7 @@ fn child_site(node: &PlanNode, site: Site) -> Site {
 }
 
 impl<'a> Explorer<'a> {
+    /// An explorer over `memo` applying `rules` within `config` budgets.
     pub fn new(memo: Memo, rules: &'a RuleSet, config: MemoConfig) -> Explorer<'a> {
         Explorer {
             memo,
@@ -92,6 +99,7 @@ impl<'a> Explorer<'a> {
         }
     }
 
+    /// Queue a task unless it is already queued or explored.
     pub fn schedule(&mut self, task: Task) {
         let task = Task {
             expr: self.memo.find_expr(task.expr),

@@ -9,6 +9,33 @@ use crate::plan::LogicalPlan;
 use crate::rules::RuleSet;
 
 /// Which plan-search engine drives the optimizer.
+///
+/// Both strategies search the same rule-generated plan space under the
+/// same cost model, so where the exhaustive closure completes they find
+/// equally cheap plans:
+///
+/// ```
+/// use tqo_core::optimizer::{optimize, OptimizerConfig, SearchStrategy};
+/// use tqo_core::plan::{BaseProps, PlanBuilder};
+/// use tqo_core::rules::RuleSet;
+/// use tqo_core::schema::Schema;
+/// use tqo_core::value::DataType;
+///
+/// let schema = Schema::temporal(&[("E", DataType::Str)]);
+/// let plan = PlanBuilder::scan("R", BaseProps::unordered(schema, 100))
+///     .rdup_t()
+///     .rdup_t() // redundant — both strategies eliminate it
+///     .build_multiset();
+/// let rules = RuleSet::standard();
+/// let exhaustive = optimize(&plan, &rules, &OptimizerConfig::default()).unwrap();
+/// let memo = optimize(
+///     &plan,
+///     &rules,
+///     &OptimizerConfig { strategy: SearchStrategy::Memo, ..Default::default() },
+/// )
+/// .unwrap();
+/// assert!((exhaustive.cost.0 - memo.cost.0).abs() <= 1e-9 * exhaustive.cost.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchStrategy {
     /// Figure 5's exhaustive closure: every equivalent plan materialized,
@@ -25,9 +52,13 @@ pub enum SearchStrategy {
 /// Optimizer configuration.
 #[derive(Debug, Clone, Default)]
 pub struct OptimizerConfig {
+    /// The plan-search engine to use.
     pub strategy: SearchStrategy,
+    /// Budgets for the exhaustive Figure 5 closure.
     pub enumeration: EnumerationConfig,
+    /// Budgets for the memo search.
     pub memo: MemoConfig,
+    /// The cost model pricing candidate plans.
     pub cost_model: CostModel,
 }
 

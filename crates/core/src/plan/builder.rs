@@ -46,6 +46,7 @@ impl PlanBuilder {
         PlanBuilder { node }
     }
 
+    /// Apply a selection (`σ`).
     pub fn select(self, predicate: Expr) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::Select {
@@ -55,6 +56,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Apply a projection (`π`).
     pub fn project(self, items: Vec<ProjItem>) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::Project {
@@ -69,6 +71,7 @@ impl PlanBuilder {
         self.project(cols.iter().map(|c| ProjItem::col(c)).collect())
     }
 
+    /// Bag union with `right` (`∪all`).
     pub fn union_all(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::UnionAll {
@@ -78,6 +81,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Cartesian product with `right` (`×`).
     pub fn product(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::Product {
@@ -87,6 +91,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Multiset difference with `right` (`\\`).
     pub fn difference(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::Difference {
@@ -96,6 +101,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Grouped aggregation (`ξ`).
     pub fn aggregate(self, group_by: Vec<String>, aggs: Vec<AggItem>) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::Aggregate {
@@ -106,6 +112,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Duplicate elimination (`rdup`).
     pub fn rdup(self) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::Rdup {
@@ -114,6 +121,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Max-multiplicity union with `right` (`∪max`).
     pub fn union_max(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::UnionMax {
@@ -123,6 +131,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Stable sort under `order`.
     pub fn sort(self, order: Order) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::Sort {
@@ -132,6 +141,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Temporal Cartesian product with `right` (`×ᵀ`).
     pub fn product_t(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::ProductT {
@@ -141,6 +151,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Temporal difference with `right` (`\\ᵀ`).
     pub fn difference_t(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::DifferenceT {
@@ -150,6 +161,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Temporal aggregation (`ξᵀ`).
     pub fn aggregate_t(self, group_by: Vec<String>, aggs: Vec<AggItem>) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::AggregateT {
@@ -160,6 +172,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Temporal duplicate elimination (`rdupᵀ`).
     pub fn rdup_t(self) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::RdupT {
@@ -168,6 +181,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Temporal union with `right` (`∪ᵀ`).
     pub fn union_t(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::UnionT {
@@ -177,6 +191,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Period coalescing (`coalᵀ`).
     pub fn coalesce(self) -> PlanBuilder {
         PlanBuilder {
             node: PlanNode::Coalesce {

@@ -24,7 +24,9 @@ pub use props::{BaseProps, NodeProps, PropsFlags, StaticProps};
 /// stratum or in the underlying conventional DBMS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Site {
+    /// The thin temporal layer on top of the DBMS.
     Stratum,
+    /// The underlying conventional DBMS.
     Dbms,
 }
 
@@ -47,6 +49,7 @@ pub type Path = Vec<usize>;
 /// child. `Scan` is the only leaf and carries the base relation's statically
 /// known properties inline, so plans are self-contained.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // every variant is documented; the field names are uniform
 pub enum PlanNode {
     /// Base-relation access.
     Scan { name: String, base: BaseProps },
@@ -373,7 +376,9 @@ impl PlanNode {
 /// (Definition 5.1) — everything the optimizer needs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LogicalPlan {
+    /// The root operator of the plan tree.
     pub root: Arc<PlanNode>,
+    /// The query's declared result type (list, multiset, set, snapshot…).
     pub result_type: crate::equivalence::ResultType,
     /// Site the root result must be delivered at (the stratum for layered
     /// deployments; also the default for stand-alone use).
@@ -381,6 +386,7 @@ pub struct LogicalPlan {
 }
 
 impl LogicalPlan {
+    /// A plan rooted at `root`, delivered at the stratum.
     pub fn new(root: PlanNode, result_type: crate::equivalence::ResultType) -> LogicalPlan {
         LogicalPlan {
             root: Arc::new(root),
@@ -389,6 +395,7 @@ impl LogicalPlan {
         }
     }
 
+    /// The same plan with a different root tree.
     pub fn with_root(&self, root: PlanNode) -> LogicalPlan {
         LogicalPlan {
             root: Arc::new(root),

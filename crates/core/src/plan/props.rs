@@ -34,6 +34,7 @@ use crate::stats::{self, ColumnEstimate, DerivedStats, TableSummary};
 /// nodes so plans are self-contained.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BaseProps {
+    /// The stored relation's schema.
     pub schema: Schema,
     /// Guaranteed delivery order of the scan (usually unordered).
     pub order: Order,
@@ -90,6 +91,7 @@ impl BaseProps {
 /// Bottom-up properties of a plan node's output (Table 1).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StaticProps {
+    /// The output schema.
     pub schema: Schema,
     /// `Order(r)`: the guaranteed order of the produced list.
     pub order: Order,
@@ -107,6 +109,7 @@ pub struct StaticProps {
 }
 
 impl StaticProps {
+    /// True when the output carries `T1`/`T2`.
     pub fn is_temporal(&self) -> bool {
         self.schema.is_temporal()
     }
@@ -168,8 +171,11 @@ impl PropsFlags {
 /// Everything known about one plan node.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeProps {
+    /// Bottom-up output properties (Table 1).
     pub stat: StaticProps,
+    /// Top-down operation-property demands (Table 2).
     pub flags: PropsFlags,
+    /// The execution site.
     pub site: Site,
 }
 

@@ -71,6 +71,7 @@ impl Relation {
         }
     }
 
+    /// The empty relation of a schema.
     pub fn empty(schema: Schema) -> Relation {
         Relation {
             schema,
@@ -78,14 +79,17 @@ impl Relation {
         }
     }
 
+    /// The relation's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
 
+    /// The tuple list, in relation order.
     pub fn tuples(&self) -> &[Tuple] {
         &self.tuples
     }
 
+    /// Consume into the tuple list (clones when storage is shared).
     pub fn into_tuples(self) -> Vec<Tuple> {
         Arc::try_unwrap(self.tuples).unwrap_or_else(|shared| (*shared).clone())
     }
@@ -101,10 +105,12 @@ impl Relation {
         self.tuples.len()
     }
 
+    /// True when the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
     }
 
+    /// True when the schema carries `T1`/`T2`.
     pub fn is_temporal(&self) -> bool {
         self.schema.is_temporal()
     }

@@ -43,6 +43,7 @@ pub struct RuleMatch {
 }
 
 impl RuleMatch {
+    /// A match producing `replacement`, having inspected `matched` paths.
     pub fn new(replacement: PlanNode, matched: Vec<Path>) -> RuleMatch {
         RuleMatch {
             replacement,
@@ -93,18 +94,22 @@ pub struct RuleSet {
 }
 
 impl RuleSet {
+    /// A set over the given rules.
     pub fn new(rules: Vec<Box<dyn Rule>>) -> RuleSet {
         RuleSet { rules }
     }
 
+    /// The rules, in registration order.
     pub fn rules(&self) -> &[Box<dyn Rule>] {
         &self.rules
     }
 
+    /// Number of rules.
     pub fn len(&self) -> usize {
         self.rules.len()
     }
 
+    /// True when no rules are registered.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }

@@ -21,11 +21,14 @@ pub const T2: &str = "T2";
 /// A named, typed attribute.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Attribute {
+    /// Attribute name.
     pub name: String,
+    /// Declared type.
     pub dtype: DataType,
 }
 
 impl Attribute {
+    /// An attribute `name` of type `dtype`.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Attribute {
         Attribute {
             name: name.into(),
@@ -89,14 +92,17 @@ impl Schema {
         Schema::new(attrs).expect("static temporal schema must be valid")
     }
 
+    /// The attributes, in declaration order.
     pub fn attrs(&self) -> &[Attribute] {
         &self.attrs
     }
 
+    /// Number of attributes.
     pub fn arity(&self) -> usize {
         self.attrs.len()
     }
 
+    /// True for the zero-attribute schema.
     pub fn is_empty(&self) -> bool {
         self.attrs.is_empty()
     }
@@ -114,6 +120,7 @@ impl Schema {
         })
     }
 
+    /// The `i`-th attribute.
     pub fn attr(&self, i: usize) -> &Attribute {
         &self.attrs[i]
     }

@@ -16,7 +16,9 @@ use crate::tuple::Tuple;
 /// Ascending or descending.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SortDir {
+    /// Ascending.
     Asc,
+    /// Descending.
     Desc,
 }
 
@@ -32,11 +34,14 @@ impl fmt::Display for SortDir {
 /// One sort key: attribute name plus direction.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SortKey {
+    /// The attribute to sort on.
     pub attr: String,
+    /// The direction.
     pub dir: SortDir,
 }
 
 impl SortKey {
+    /// `attr ASC`.
     pub fn asc(attr: impl Into<String>) -> SortKey {
         SortKey {
             attr: attr.into(),
@@ -44,6 +49,7 @@ impl SortKey {
         }
     }
 
+    /// `attr DESC`.
     pub fn desc(attr: impl Into<String>) -> SortKey {
         SortKey {
             attr: attr.into(),
@@ -63,10 +69,12 @@ impl fmt::Display for SortKey {
 pub struct Order(pub Vec<SortKey>);
 
 impl Order {
+    /// The empty (no-op) order.
     pub fn unordered() -> Order {
         Order(Vec::new())
     }
 
+    /// An order over the given keys, major first.
     pub fn new(keys: Vec<SortKey>) -> Order {
         Order(keys)
     }
@@ -76,10 +84,12 @@ impl Order {
         Order(attrs.iter().map(|a| SortKey::asc(*a)).collect())
     }
 
+    /// True when no keys are specified.
     pub fn is_unordered(&self) -> bool {
         self.0.is_empty()
     }
 
+    /// The sort keys, major first.
     pub fn keys(&self) -> &[SortKey] {
         &self.0
     }

@@ -44,7 +44,9 @@ pub const HISTOGRAM_BUCKETS: usize = 8;
 pub struct Histogram {
     /// Smallest covered value (bucket 0's lower edge).
     pub lo: Value,
+    /// Largest value of each bucket, ascending.
     pub bounds: Vec<Value>,
+    /// Rows per bucket, parallel to `bounds`.
     pub counts: Vec<u64>,
     /// Total rows covered (sum of `counts`).
     pub total: u64,
@@ -124,6 +126,7 @@ impl Histogram {
 /// Measured statistics of one column of a stored relation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ColumnSummary {
+    /// The column's attribute name.
     pub name: String,
     /// Distinct non-null values.
     pub distinct: u64,
@@ -133,6 +136,7 @@ pub struct ColumnSummary {
     pub min: Option<Value>,
     /// Largest non-null value.
     pub max: Option<Value>,
+    /// Equi-depth histogram of the non-null values, when measured.
     pub histogram: Option<Histogram>,
 }
 
@@ -140,6 +144,7 @@ pub struct ColumnSummary {
 /// the estimator sees real data characteristics at the leaves.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TableSummary {
+    /// Total stored rows.
     pub rows: u64,
     /// Exact count of distinct tuples (= `rows` for duplicate-free tables).
     pub distinct_rows: u64,
@@ -156,6 +161,7 @@ pub struct TableSummary {
 }
 
 impl TableSummary {
+    /// The summary of a named column, if present.
     pub fn column(&self, name: &str) -> Option<&ColumnSummary> {
         self.columns.iter().find(|c| c.name == name)
     }
@@ -168,7 +174,9 @@ pub struct ColumnEstimate {
     pub distinct: Option<u64>,
     /// Estimated NULL count.
     pub nulls: Option<u64>,
+    /// Estimated smallest non-null value.
     pub min: Option<Value>,
+    /// Estimated largest non-null value.
     pub max: Option<Value>,
     /// The leaf histogram, carried through stat-preserving operators as an
     /// approximation of the distribution's *shape* (counts are fractions
@@ -177,10 +185,12 @@ pub struct ColumnEstimate {
 }
 
 impl ColumnEstimate {
+    /// The blind estimate: nothing known.
     pub fn unknown() -> ColumnEstimate {
         ColumnEstimate::default()
     }
 
+    /// Adopt a leaf column's measured summary as the estimate.
     pub fn from_summary(s: &ColumnSummary) -> ColumnEstimate {
         ColumnEstimate {
             distinct: Some(s.distinct),

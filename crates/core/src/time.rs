@@ -26,7 +26,9 @@ pub const TIME_MAX: Instant = i64::MAX / 4;
 /// a valid temporal relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Period {
+    /// Inclusive start instant.
     pub start: Instant,
+    /// Exclusive end instant.
     pub end: Instant,
 }
 
@@ -175,6 +177,7 @@ pub struct CountTimeline {
 }
 
 impl CountTimeline {
+    /// An empty timeline.
     pub fn new() -> Self {
         CountTimeline::default()
     }

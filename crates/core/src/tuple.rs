@@ -17,26 +17,32 @@ pub struct Tuple {
 }
 
 impl Tuple {
+    /// A tuple over the given values.
     pub fn new(values: Vec<Value>) -> Tuple {
         Tuple { values }
     }
 
+    /// All values, in attribute order.
     pub fn values(&self) -> &[Value] {
         &self.values
     }
 
+    /// Consume the tuple into its values.
     pub fn into_values(self) -> Vec<Value> {
         self.values
     }
 
+    /// Number of values.
     pub fn arity(&self) -> usize {
         self.values.len()
     }
 
+    /// The `i`-th value.
     pub fn value(&self, i: usize) -> &Value {
         &self.values[i]
     }
 
+    /// Replace the `i`-th value.
     pub fn set_value(&mut self, i: usize, v: Value) {
         self.values[i] = v;
     }

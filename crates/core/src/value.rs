@@ -54,11 +54,17 @@ impl fmt::Display for DataType {
 /// layouts — bumps a refcount instead of reallocating the payload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Value {
+    /// SQL NULL (equal to itself, sorts first).
     Null,
+    /// 64-bit integer.
     Int(i64),
+    /// 64-bit float (total order via `total_cmp`).
     Float(f64),
+    /// Shared string.
     Str(Arc<str>),
+    /// Boolean.
     Bool(bool),
+    /// Time instant (interchangeable with `Int` in columns).
     Time(Instant),
 }
 
@@ -88,6 +94,7 @@ impl Value {
         }
     }
 
+    /// True for [`Value::Null`].
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -119,6 +126,7 @@ impl Value {
         }
     }
 
+    /// Extract a boolean.
     pub fn as_bool(&self) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
@@ -130,6 +138,7 @@ impl Value {
         }
     }
 
+    /// Extract a string slice.
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),

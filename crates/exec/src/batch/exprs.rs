@@ -42,15 +42,20 @@ pub enum Pred {
     IsNullCol(usize),
     /// `<literal> IS NULL`.
     IsNullLit(bool),
+    /// Conjunction (left short-circuits, as in the row engine).
     And(Box<Pred>, Box<Pred>),
+    /// Disjunction (left short-circuits).
     Or(Box<Pred>, Box<Pred>),
+    /// Negation.
     Not(Box<Pred>),
 }
 
 /// A vector of three-valued booleans: `vals[i]` is meaningful where
 /// `nulls` is absent or `!nulls[i]`.
 pub struct BoolVec {
+    /// Truth value per live row (null slots hold `false`).
     pub vals: Vec<bool>,
+    /// Null mask per live row (`None` = no nulls).
     pub nulls: Option<Vec<bool>>,
 }
 

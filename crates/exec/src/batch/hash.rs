@@ -34,6 +34,7 @@ impl Default for RowTable {
 }
 
 impl RowTable {
+    /// A table sized for about `n` entries.
     pub fn with_capacity(n: usize) -> RowTable {
         let cap = (n * 8 / 7 + 1).next_power_of_two().max(16);
         RowTable {
@@ -49,6 +50,7 @@ impl RowTable {
         self.hashes.len()
     }
 
+    /// True when no entries have been inserted.
     pub fn is_empty(&self) -> bool {
         self.hashes.is_empty()
     }
@@ -99,11 +101,13 @@ impl RowTable {
     }
 
     #[inline]
+    /// The payload of entry `id`.
     pub fn payload(&self, id: u32) -> i64 {
         self.payloads[id as usize]
     }
 
     #[inline]
+    /// Mutable payload of entry `id`.
     pub fn payload_mut(&mut self, id: u32) -> &mut i64 {
         &mut self.payloads[id as usize]
     }
@@ -141,18 +145,22 @@ impl KeyStore {
         }
     }
 
+    /// Number of stored key rows.
     pub fn len(&self) -> usize {
         self.columns.first().map_or(0, Column::len)
     }
 
+    /// True when no key rows are stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// The stored key columns, parallel to the build key layout.
     pub fn columns(&self) -> &[Column] {
         &self.columns
     }
 
+    /// The `k`-th stored key column.
     pub fn column(&self, k: usize) -> &Column {
         &self.columns[k]
     }

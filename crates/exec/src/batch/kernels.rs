@@ -98,10 +98,12 @@ impl ClassIndex {
             .find(h, |e| self.store.eq_row(e, cols, &self.key_idx, row))
     }
 
+    /// Number of classes.
     pub fn len(&self) -> usize {
         self.protos.len()
     }
 
+    /// True when the input had no rows.
     pub fn is_empty(&self) -> bool {
         self.protos.is_empty()
     }
@@ -574,6 +576,30 @@ pub fn rdup_t_sweep(input: &ColumnarRelation) -> Result<ColumnarRelation> {
     ))
 }
 
+/// One class of `coalᵀ`: sort the class's periods, then merge meeting
+/// neighbors. The single definition both the serial kernel and the
+/// parallel engine call, so per-class coalescing cannot drift between
+/// engines.
+pub(crate) fn coalesce_class(mut periods: Vec<Period>) -> Vec<Period> {
+    periods.sort();
+    let mut out = Vec::new();
+    let mut current: Option<Period> = None;
+    for p in periods {
+        match current {
+            None => current = Some(p),
+            Some(c) if c.end == p.start => current = Some(Period::of(c.start, p.end)),
+            Some(c) => {
+                out.push(c);
+                current = Some(p);
+            }
+        }
+    }
+    if let Some(c) = current {
+        out.push(c);
+    }
+    out
+}
+
 /// Sort-merge `coalᵀ`: per-class sorted adjacency merge, list-exact
 /// against `crate::operators::coalesce_sort_merge`.
 pub fn coalesce_sort_merge(input: &ColumnarRelation) -> Result<ColumnarRelation> {
@@ -583,26 +609,12 @@ pub fn coalesce_sort_merge(input: &ColumnarRelation) -> Result<ColumnarRelation>
     let mut t1 = Vec::new();
     let mut t2 = Vec::new();
     for (class, members) in classes.members.iter().enumerate() {
-        let mut periods: Vec<Period> = members
+        let periods: Vec<Period> = members
             .iter()
             .map(|&i| Period::of(s[i as usize], e[i as usize]))
             .collect();
-        periods.sort();
         let proto = classes.protos[class];
-        let mut current: Option<Period> = None;
-        for p in periods {
-            match current {
-                None => current = Some(p),
-                Some(c) if c.end == p.start => current = Some(Period::of(c.start, p.end)),
-                Some(c) => {
-                    protos.push(proto);
-                    t1.push(c.start);
-                    t2.push(c.end);
-                    current = Some(p);
-                }
-            }
-        }
-        if let Some(c) = current {
+        for c in coalesce_class(periods) {
             protos.push(proto);
             t1.push(c.start);
             t2.push(c.end);

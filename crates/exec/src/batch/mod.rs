@@ -46,6 +46,7 @@ pub enum Sel {
 }
 
 impl Sel {
+    /// Number of live rows.
     pub fn len(&self) -> usize {
         match self {
             Sel::Range(s, e) => e - s,
@@ -53,6 +54,7 @@ impl Sel {
         }
     }
 
+    /// True when no rows are live.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -60,7 +62,9 @@ impl Sel {
 
 /// Iterator over a selection's physical row indices.
 pub enum RowIter<'a> {
+    /// Iterating a contiguous window.
     Range(std::ops::Range<usize>),
+    /// Iterating an explicit index list.
     Rows(std::slice::Iter<'a, u32>),
 }
 
@@ -84,6 +88,31 @@ impl Iterator for RowIter<'_> {
 }
 
 /// A column-major chunk of rows flowing through the pipeline.
+///
+/// A batch never owns rows it did not create: it holds `Arc`s to its
+/// source columns plus a selection naming the live rows, so narrowing is
+/// pure metadata:
+///
+/// ```
+/// use std::sync::Arc;
+/// use tqo_core::columnar::ColumnarRelation;
+/// use tqo_core::relation::Relation;
+/// use tqo_core::schema::Schema;
+/// use tqo_core::value::DataType;
+/// use tqo_core::tuple;
+/// use tqo_exec::Batch;
+///
+/// let rel = Relation::new(
+///     Schema::of(&[("A", DataType::Int)]),
+///     vec![tuple![1i64], tuple![2i64], tuple![3i64]],
+/// )
+/// .unwrap();
+/// let table = ColumnarRelation::from_relation(&rel).unwrap();
+/// // A zero-copy window over rows [0, 2), narrowed to physical row 1.
+/// let batch = Batch::slice(&table, 0, 2).with_sel_rows(vec![1]);
+/// assert_eq!(batch.num_rows(), 1);
+/// assert!(Arc::ptr_eq(batch.column(0), table.column(0))); // shared, not copied
+/// ```
 #[derive(Debug, Clone)]
 pub struct Batch {
     schema: Arc<Schema>,
@@ -113,18 +142,22 @@ impl Batch {
         }
     }
 
+    /// The batch's schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
+    /// The shared backing columns (physical layout).
     pub fn columns(&self) -> &[Arc<Column>] {
         &self.columns
     }
 
+    /// The backing column of attribute `i`.
     pub fn column(&self, i: usize) -> &Arc<Column> {
         &self.columns[i]
     }
 
+    /// The live-row selection.
     pub fn sel(&self) -> &Sel {
         &self.sel
     }
@@ -134,6 +167,7 @@ impl Batch {
         self.sel.len()
     }
 
+    /// True when no rows are live.
     pub fn is_empty(&self) -> bool {
         self.sel.is_empty()
     }

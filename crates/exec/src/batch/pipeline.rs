@@ -642,7 +642,7 @@ impl BatchOperator for BlockingOp {
 // Plan translation
 // ---------------------------------------------------------------------------
 
-fn demoted(schema: &Schema) -> Arc<Schema> {
+pub(crate) fn demoted(schema: &Schema) -> Arc<Schema> {
     if schema.is_temporal() {
         Arc::new(schema.demote_time_attrs())
     } else {
@@ -650,7 +650,7 @@ fn demoted(schema: &Schema) -> Arc<Schema> {
     }
 }
 
-fn require_temporal(schema: &Schema, context: &'static str) -> Result<()> {
+pub(crate) fn require_temporal(schema: &Schema, context: &'static str) -> Result<()> {
     if schema.is_temporal() {
         Ok(())
     } else {
@@ -929,6 +929,7 @@ pub fn execute_batch(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMe
             est_rows: None,
             batches: node.batches,
             elapsed: node.inclusive.saturating_sub(child_time),
+            thread_times: Vec::new(),
         });
     }
     Ok((result, ExecMetrics { operators }))

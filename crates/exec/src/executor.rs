@@ -1,14 +1,18 @@
 //! Physical plan execution with per-operator metrics.
 //!
-//! Two engines execute the same physical plans:
+//! Three engines execute the same physical plans:
 //!
 //! * [`ExecMode::Batch`] (the default) — the vectorized pipeline of
 //!   [`crate::batch`]: columnar batches stream through the operator tree,
 //!   base tables are read through the environment's shared columnar cache,
 //!   and only pipeline breakers materialize.
+//! * [`ExecMode::Parallel`] — the morsel-driven parallel engine of
+//!   [`crate::parallel`]: the batch engine's columnar operators split
+//!   across a small worker pool, merged back in deterministic order.
 //! * [`ExecMode::Row`] — the original materialize-everything tree walk,
-//!   retained as the semantic baseline; `tests/engines_agree.rs` holds
-//!   both engines (and the interpreter) to identical results.
+//!   retained as the semantic baseline; `tests/engines_agree.rs` and
+//!   `tests/parallel_agrees.rs` hold all engines (and the interpreter) to
+//!   identical results.
 
 use std::time::Instant;
 
@@ -26,6 +30,21 @@ use crate::physical::{
 use crate::planner::{lower, PlannerConfig};
 
 /// Which engine executes a physical plan.
+///
+/// All engines produce equal (`==`) relations for the same physical plan;
+/// they differ only in data layout and parallelism.
+///
+/// ```
+/// use tqo_exec::ExecMode;
+///
+/// // The default engine is the vectorized batch pipeline…
+/// assert_eq!(ExecMode::default(), ExecMode::Batch);
+/// // …and the parallel engine is the batch engine spread over a worker
+/// // pool. `parallel()` sizes the pool to the host.
+/// let mode = ExecMode::Parallel { threads: 4 };
+/// assert_eq!(mode.threads(), 4);
+/// assert!(matches!(ExecMode::parallel(), ExecMode::Parallel { .. }));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
     /// Row-at-a-time tree walk, materializing every intermediate result.
@@ -33,6 +52,42 @@ pub enum ExecMode {
     /// Vectorized columnar pipeline (~1024-row batches).
     #[default]
     Batch,
+    /// Morsel-driven parallel batch execution on a fixed worker pool
+    /// (see [`crate::parallel`]). `threads` below 1 clamps to 1.
+    Parallel {
+        /// Worker threads executing morsels.
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// The parallel engine sized to the host's available parallelism.
+    pub fn parallel() -> ExecMode {
+        ExecMode::Parallel {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Worker threads this mode executes with (1 for the serial engines).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecMode::Parallel { threads } => (*threads).max(1),
+            _ => 1,
+        }
+    }
+
+    /// The cost-model calibration target for this engine, consumed by
+    /// [`tqo_core::cost::CostModel::calibrated`] so the optimizer prices
+    /// plans for the engine that will actually run them.
+    pub fn engine(&self) -> tqo_core::cost::Engine {
+        match self {
+            ExecMode::Row => tqo_core::cost::Engine::Row,
+            ExecMode::Batch => tqo_core::cost::Engine::Batch,
+            ExecMode::Parallel { threads } => tqo_core::cost::Engine::Parallel {
+                threads: (*threads).max(1),
+            },
+        }
+    }
 }
 
 /// Execute a physical plan with the default (batch) engine.
@@ -49,6 +104,7 @@ pub fn execute_mode(
     let (result, mut metrics) = match mode {
         ExecMode::Row => execute_row(plan, env),
         ExecMode::Batch => crate::batch::pipeline::execute_batch(plan, env),
+        ExecMode::Parallel { threads } => crate::parallel::execute_parallel(plan, env, threads),
     }?;
     // Join the planner's post-order estimates onto the post-order metrics,
     // so every execution reports estimated-vs-actual q-errors.
@@ -139,6 +195,7 @@ fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Rela
         est_rows: None,
         batches: 1,
         elapsed: started.elapsed(),
+        thread_times: Vec::new(),
     });
     Ok(out)
 }

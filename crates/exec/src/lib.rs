@@ -26,10 +26,13 @@
 //! ([`executor::execute_row`], the semantic baseline). For any one
 //! physical plan the two produce identical relations.
 
+#![warn(missing_docs)]
+
 pub mod batch;
 pub mod executor;
 pub mod metrics;
 pub mod operators;
+pub mod parallel;
 pub mod physical;
 pub mod planner;
 
@@ -37,5 +40,6 @@ pub use batch::pipeline::BatchOperator;
 pub use batch::Batch;
 pub use executor::{execute, execute_logical, execute_mode, execute_row, ExecMode};
 pub use metrics::{ExecMetrics, OperatorMetrics};
+pub use parallel::{execute_parallel, WorkerPool, MORSEL_SIZE};
 pub use physical::{PhysicalNode, PhysicalPlan};
 pub use planner::{lower, PlannerConfig};

@@ -1,0 +1,113 @@
+//! Parallel output assembly: the exchange/merge boundary.
+//!
+//! Every parallel operator ends by materializing a [`ColumnarRelation`]
+//! from deterministic, morsel-ordered parts — row-index gathers and
+//! freshly computed period columns. Assembly parallelizes **per output
+//! column** (columns are independent), which keeps the merge bandwidth-
+//! bound work off the critical path without ever reordering rows.
+
+use std::sync::Arc;
+
+use tqo_core::columnar::{Column, ColumnarRelation};
+use tqo_core::schema::Schema;
+use tqo_core::value::DataType;
+
+use super::morsel::{map_tasks, WorkerPool, MORSEL_SIZE};
+
+/// One task per output column when the output is big enough to justify
+/// spawning; small outputs assemble inline on the caller's thread.
+pub(crate) fn column_tasks<T, F>(pool: &WorkerPool, count: usize, rows: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if rows < MORSEL_SIZE {
+        (0..count).map(f).collect()
+    } else {
+        map_tasks(pool, count, f)
+    }
+}
+
+/// A `Time` column from raw instants.
+pub fn time_column(values: &[i64]) -> Column {
+    let mut c = Column::with_capacity(DataType::Time, values.len());
+    for &v in values {
+        c.push_time(v);
+    }
+    c
+}
+
+/// Gather `idx` rows of every column, one parallel task per column.
+pub fn gather_parallel(cols: &[Arc<Column>], idx: &[u32], pool: &WorkerPool) -> Vec<Arc<Column>> {
+    column_tasks(pool, cols.len(), idx.len(), |c| {
+        Arc::new(cols[c].gather(idx))
+    })
+}
+
+/// Materialize `idx` rows of `input` under `schema` (same column layout).
+pub fn gather_relation(
+    input: &ColumnarRelation,
+    schema: Arc<Schema>,
+    idx: &[u32],
+    pool: &WorkerPool,
+) -> ColumnarRelation {
+    ColumnarRelation::new(schema, gather_parallel(input.columns(), idx, pool))
+}
+
+/// Assemble the output of a per-class temporal kernel: explicit attributes
+/// come from prototype rows of `input`, the period from the parallel
+/// `t1`/`t2` vectors. The parallel counterpart of the serial kernels'
+/// `emit_fragments`, assembling one output column per task.
+pub fn fragments_parallel(
+    input: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    protos: &[u32],
+    t1: &[i64],
+    t2: &[i64],
+    pool: &WorkerPool,
+) -> ColumnarRelation {
+    let (i1, i2) = (
+        out_schema.t1_index().expect("temporal output"),
+        out_schema.t2_index().expect("temporal output"),
+    );
+    let columns = column_tasks(pool, out_schema.arity(), t1.len(), |c| {
+        if c == i1 {
+            Arc::new(time_column(t1))
+        } else if c == i2 {
+            Arc::new(time_column(t2))
+        } else {
+            Arc::new(input.column(c).gather(protos))
+        }
+    });
+    ColumnarRelation::new(out_schema, columns)
+}
+
+/// Assemble a `×ᵀ` output: left columns gathered at `lidx`, right columns
+/// at `ridx`, the intersection period appended — the parallel counterpart
+/// of the serial kernels' `product_t_output`.
+#[allow(clippy::too_many_arguments)] // mirrors the serial kernel's signature
+pub fn join_parallel(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    lidx: &[u32],
+    ridx: &[u32],
+    t1: &[i64],
+    t2: &[i64],
+    pool: &WorkerPool,
+) -> ColumnarRelation {
+    let nl = left.columns().len();
+    let nr = right.columns().len();
+    let columns = column_tasks(pool, out_schema.arity(), lidx.len(), |c| {
+        if c < nl {
+            Arc::new(left.column(c).gather(lidx))
+        } else if c < nl + nr {
+            Arc::new(right.column(c - nl).gather(ridx))
+        } else if c == nl + nr {
+            Arc::new(time_column(t1))
+        } else {
+            Arc::new(time_column(t2))
+        }
+    });
+    ColumnarRelation::new(out_schema, columns)
+}

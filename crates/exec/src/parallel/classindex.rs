@@ -1,0 +1,353 @@
+//! Hash-partitioned grouping: the parallel counterpart of
+//! [`crate::batch::kernels::ClassIndex`].
+//!
+//! Grouping (value-equivalence classes, distinct rows, aggregation groups)
+//! is the hash-heavy heart of `rdup`, aggregation, `\`, and every
+//! per-class temporal kernel. The parallel build partitions the **key
+//! space** by hash: per-row hashes are computed in parallel over
+//! contiguous chunks, then each worker owns one partition and scans the
+//! hash array, inserting only the rows whose key hashes into its
+//! partition. Because every key belongs to exactly one partition, the
+//! partitions' tables, class lists, and member lists are disjoint and
+//! built without any synchronization.
+//!
+//! A final (cheap, `O(classes)`) merge step interleaves the partitions'
+//! class lists by first-occurrence row, so the global class order is the
+//! serial engine's first-occurrence order **regardless of the partition
+//! count** — the property that keeps parallel output byte-identical to the
+//! serial engines at any thread count.
+
+use std::sync::Arc;
+
+use tqo_core::columnar::{Column, ColumnarRelation};
+
+use crate::batch::hash::{KeyStore, RowTable};
+
+use super::morsel::{for_each_chunk_mut, for_each_part, WorkerPool};
+
+/// How much per-class detail the build records. Operators ask for the
+/// cheapest level they need: distinct detection only needs the prototype
+/// rows, multiset difference only per-class counts, aggregation and the
+/// per-class temporal kernels the full member lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// First-occurrence rows only.
+    Protos,
+    /// Prototypes plus a member count per class.
+    Counts,
+    /// Prototypes plus full member lists per class, in row order.
+    Members,
+}
+
+/// One key-space partition: a private linear-probe table plus its classes
+/// in local first-occurrence order.
+#[derive(Debug)]
+pub struct Partition {
+    table: RowTable,
+    store: KeyStore,
+    /// First member row of each local class, ascending.
+    protos: Vec<u32>,
+    /// Member rows of each local class, in row order ([`Track::Members`]).
+    members: Vec<Vec<u32>>,
+    /// Member count of each local class ([`Track::Counts`]).
+    counts: Vec<i64>,
+    /// Local class id → global class id (filled by the merge step).
+    global: Vec<u32>,
+}
+
+/// The partitioned class index over a set of key columns.
+#[derive(Debug)]
+pub struct ParClassIndex {
+    parts: Vec<Partition>,
+    key_idx: Vec<usize>,
+    /// Global class id → (partition, local class id).
+    classes: Vec<(u32, u32)>,
+    /// Global first-occurrence row of every class, ascending.
+    protos: Vec<u32>,
+    /// Per-row key hashes (kept so probes skip rehashing).
+    hashes: Vec<u64>,
+}
+
+/// Partition of a row hash. Uses the high half of the hash — the probe
+/// tables index slots with the low bits, so partition and slot choice stay
+/// decorrelated.
+#[inline]
+fn part_of(hash: u64, nparts: usize) -> usize {
+    ((hash >> 32) % nparts as u64) as usize
+}
+
+/// Compute per-row key hashes in parallel (contiguous chunks per worker).
+pub fn hash_rows_parallel(
+    cols: &[Arc<Column>],
+    key_idx: &[usize],
+    rows: usize,
+    pool: &WorkerPool,
+) -> Vec<u64> {
+    let mut hashes = vec![0u64; rows];
+    for_each_chunk_mut(pool, &mut hashes, |start, chunk| {
+        for &k in key_idx {
+            cols[k].hash_range(start, chunk);
+        }
+    });
+    hashes
+}
+
+impl ParClassIndex {
+    /// Build the index over `key_idx` columns of `input` on the pool,
+    /// tracking full member lists.
+    pub fn build(
+        input: &ColumnarRelation,
+        key_idx: Vec<usize>,
+        pool: &WorkerPool,
+    ) -> ParClassIndex {
+        ParClassIndex::build_with(input, key_idx, pool, Track::Members)
+    }
+
+    /// Build the index, recording only the per-class detail `track` asks
+    /// for.
+    pub fn build_with(
+        input: &ColumnarRelation,
+        key_idx: Vec<usize>,
+        pool: &WorkerPool,
+        track: Track,
+    ) -> ParClassIndex {
+        let rows = input.rows();
+        let cols = input.columns();
+        let hashes = hash_rows_parallel(cols, &key_idx, rows, pool);
+
+        // Sub-morsel inputs build one partition inline — partitioning's
+        // spawn and scan overheads only pay off past a few thousand rows.
+        // The partition count never affects the output: the merge below
+        // restores global first-occurrence order regardless.
+        let nparts = if rows < super::morsel::MORSEL_SIZE {
+            1
+        } else {
+            pool.threads()
+        };
+        let mut parts: Vec<Partition> = (0..nparts)
+            .map(|_| Partition {
+                table: RowTable::with_capacity((rows / nparts).max(16)),
+                store: KeyStore::for_keys(input.schema(), &key_idx),
+                protos: Vec::new(),
+                members: Vec::new(),
+                counts: Vec::new(),
+                global: Vec::new(),
+            })
+            .collect();
+        for_each_part(pool, &mut parts, |p, part| {
+            for (row, &h) in hashes.iter().enumerate() {
+                if part_of(h, nparts) != p {
+                    continue;
+                }
+                let (id, inserted) =
+                    part.table
+                        .find_or_insert(h, |e| part.store.eq_row(e, cols, &key_idx, row), 0);
+                if inserted {
+                    part.store.push_row(cols, &key_idx, row);
+                    part.protos.push(row as u32);
+                    match track {
+                        Track::Protos => {}
+                        Track::Counts => part.counts.push(0),
+                        Track::Members => part.members.push(Vec::new()),
+                    }
+                }
+                match track {
+                    Track::Protos => {}
+                    Track::Counts => part.counts[id as usize] += 1,
+                    Track::Members => part.members[id as usize].push(row as u32),
+                }
+            }
+        });
+
+        // Merge: interleave the partitions' (ascending) proto lists into
+        // the global first-occurrence order.
+        let total: usize = parts.iter().map(|p| p.protos.len()).sum();
+        let mut classes = Vec::with_capacity(total);
+        let mut protos = Vec::with_capacity(total);
+        let mut cursor = vec![0usize; nparts];
+        for _ in 0..total {
+            let mut best: Option<(u32, usize)> = None;
+            for (p, part) in parts.iter().enumerate() {
+                if let Some(&proto) = part.protos.get(cursor[p]) {
+                    if best.is_none_or(|(b, _)| proto < b) {
+                        best = Some((proto, p));
+                    }
+                }
+            }
+            let (proto, p) = best.expect("cursor invariant");
+            let local = cursor[p];
+            cursor[p] += 1;
+            parts[p].global.push(classes.len() as u32);
+            classes.push((p as u32, local as u32));
+            protos.push(proto);
+        }
+
+        ParClassIndex {
+            parts,
+            key_idx,
+            classes,
+            protos,
+            hashes,
+        }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when the input had no rows (hence no classes).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Global first-occurrence rows, ascending — the kept rows of a
+    /// distinct operator, the group prototypes of an aggregation.
+    pub fn protos(&self) -> &[u32] {
+        &self.protos
+    }
+
+    /// The key hashes of the indexed rows.
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Member rows of a global class, in row order ([`Track::Members`]
+    /// builds only).
+    pub fn members(&self, class: usize) -> &[u32] {
+        let (p, l) = self.classes[class];
+        &self.parts[p as usize].members[l as usize]
+    }
+
+    /// Member count of a global class ([`Track::Counts`] or
+    /// [`Track::Members`] builds).
+    pub fn count(&self, class: usize) -> i64 {
+        let (p, l) = self.classes[class];
+        let part = &self.parts[p as usize];
+        match part.counts.get(l as usize) {
+            Some(&c) => c,
+            None => part.members[l as usize].len() as i64,
+        }
+    }
+
+    /// Global class id of physical `row` of `cols` (any relation sharing
+    /// the key layout), if its key is present.
+    pub fn find(&self, cols: &[Arc<Column>], row: usize) -> Option<u32> {
+        self.find_hashed(KeyStore::hash_row(cols, &self.key_idx, row), cols, row)
+    }
+
+    /// [`ParClassIndex::find`] with a precomputed hash.
+    pub fn find_hashed(&self, hash: u64, cols: &[Arc<Column>], row: usize) -> Option<u32> {
+        let part = &self.parts[part_of(hash, self.parts.len())];
+        part.table
+            .find(hash, |e| part.store.eq_row(e, cols, &self.key_idx, row))
+            .map(|local| part.global[local as usize])
+    }
+
+    /// The key columns used to build the index.
+    pub fn key_idx(&self) -> &[usize] {
+        &self.key_idx
+    }
+
+    /// Number of key-space partitions (the build pool's width).
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition a hash belongs to.
+    pub fn part_of_hash(&self, hash: u64) -> usize {
+        part_of(hash, self.parts.len())
+    }
+
+    /// Location of a global class: `(partition, local class id)`.
+    pub fn class_location(&self, class: usize) -> (usize, usize) {
+        let (p, l) = self.classes[class];
+        (p as usize, l as usize)
+    }
+
+    /// Number of local classes in a partition.
+    pub fn local_len(&self, part: usize) -> usize {
+        self.parts[part].protos.len()
+    }
+
+    /// Member rows of a partition's local class, in row order.
+    pub fn local_members(&self, part: usize, local: usize) -> &[u32] {
+        &self.parts[part].members[local]
+    }
+
+    /// Global class id of a partition's local class.
+    pub fn global_of(&self, part: usize, local: usize) -> u32 {
+        self.parts[part].global[local]
+    }
+
+    /// Local class id within `part` of physical `row` of `cols`, given its
+    /// precomputed hash (the caller has already routed the row to the
+    /// partition with [`ParClassIndex::part_of_hash`]).
+    pub fn find_local(
+        &self,
+        part: usize,
+        hash: u64,
+        cols: &[Arc<Column>],
+        row: usize,
+    ) -> Option<u32> {
+        let p = &self.parts[part];
+        p.table
+            .find(hash, |e| p.store.eq_row(e, cols, &self.key_idx, row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::relation::Relation;
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    use crate::batch::kernels::ClassIndex;
+
+    fn table(rows: usize) -> ColumnarRelation {
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            (0..rows as i64)
+                .map(|i| tuple![i % 37, format!("s{}", i % 11)])
+                .collect(),
+        )
+        .unwrap();
+        ColumnarRelation::from_relation(&r).unwrap()
+    }
+
+    #[test]
+    fn matches_serial_class_index_at_any_width() {
+        let input = table(5000);
+        let keys = vec![0usize, 1usize];
+        let serial = ClassIndex::build(&input, keys.clone());
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let par = ParClassIndex::build(&input, keys.clone(), &pool);
+            assert_eq!(par.len(), serial.len(), "threads={threads}");
+            assert_eq!(par.protos(), &serial.protos[..], "threads={threads}");
+            for c in 0..par.len() {
+                assert_eq!(par.members(c), &serial.members[c][..], "threads={threads}");
+            }
+            // find agrees with the serial index on every row.
+            let cols = input.columns().to_vec();
+            for row in 0..input.rows() {
+                assert_eq!(
+                    par.find(&cols, row),
+                    serial.find(&cols, row),
+                    "row {row} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_builds_empty_index() {
+        let input = table(0);
+        let pool = WorkerPool::new(4);
+        let par = ParClassIndex::build(&input, vec![0], &pool);
+        assert!(par.is_empty());
+        assert_eq!(par.len(), 0);
+    }
+}

@@ -1,0 +1,685 @@
+//! Parallel operator kernels: partitioned hash operators, parallel sort,
+//! and the per-class temporal kernels over class chunks.
+//!
+//! Every kernel is **list-exact** against its serial counterpart in
+//! [`crate::batch::kernels`] / the row operators: same rows, same order,
+//! at any thread count. The recipes:
+//!
+//! * *partitioned grouping* ([`super::classindex::ParClassIndex`]) —
+//!   rdup, aggregation, and the class-forming temporal kernels hash in
+//!   parallel over disjoint key partitions and merge class lists back
+//!   into global first-occurrence order;
+//! * *chunked per-class work* — once classes exist, the per-class sweeps
+//!   (`rdupᵀ`, `coalᵀ`, timeline `\ᵀ`) are embarrassingly parallel over
+//!   contiguous class ranges, concatenated in class order;
+//! * *partition-then-merge sort* — workers stable-sort contiguous runs,
+//!   a merge picks by `(key, original index)`, which *is* the serial
+//!   stable order.
+
+use std::cmp::Ordering;
+use std::ops::Range;
+use std::sync::Arc;
+
+use tqo_core::columnar::{Column, ColumnarRelation};
+use tqo_core::error::{Error, Result};
+use tqo_core::expr::{AggFunc, AggItem};
+use tqo_core::schema::Schema;
+use tqo_core::sortspec::{Order, SortDir};
+use tqo_core::time::{normalize_periods, CountTimeline, Period};
+use tqo_core::Value;
+
+use crate::batch::kernels::coalesce_class;
+
+use super::assemble::{fragments_parallel, gather_relation};
+use super::classindex::{hash_rows_parallel, ParClassIndex};
+use super::morsel::{for_each_part, for_each_range_mut, map_tasks, WorkerPool};
+
+/// Contiguous ranges splitting `total` items one-per-worker.
+pub(crate) fn chunk_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let c = total.div_ceil(parts.max(1));
+    (0..total.div_ceil(c))
+        .map(|i| i * c..((i + 1) * c).min(total))
+        .collect()
+}
+
+/// Parallel hash `rdup`: partitioned distinct detection; the merged
+/// prototype list *is* the first-occurrence row set, ascending — exactly
+/// the rows the streaming serial operator keeps.
+pub fn rdup_parallel(
+    input: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    pool: &WorkerPool,
+) -> ColumnarRelation {
+    let key_idx: Vec<usize> = (0..input.schema().arity()).collect();
+    let cidx = ParClassIndex::build_with(input, key_idx, pool, super::classindex::Track::Protos);
+    gather_relation(input, out_schema, cidx.protos(), pool)
+}
+
+/// Parallel hash multiset difference: the right side is built into a
+/// partitioned count table; left rows then stream through in row order
+/// consuming counts (their hashes precomputed in parallel), so the
+/// earliest occurrences are the ones removed, as in the serial engines.
+pub fn difference_parallel(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    pool: &WorkerPool,
+) -> ColumnarRelation {
+    let key_idx: Vec<usize> = (0..left.schema().arity()).collect();
+    let ridx = ParClassIndex::build_with(
+        right,
+        key_idx.clone(),
+        pool,
+        super::classindex::Track::Counts,
+    );
+    let mut remaining: Vec<i64> = (0..ridx.len()).map(|c| ridx.count(c)).collect();
+    let hashes = hash_rows_parallel(left.columns(), &key_idx, left.rows(), pool);
+    let mut kept = Vec::with_capacity(left.rows());
+    for (row, &h) in hashes.iter().enumerate() {
+        match ridx.find_hashed(h, left.columns(), row) {
+            Some(g) if remaining[g as usize] > 0 => remaining[g as usize] -= 1,
+            _ => kept.push(row as u32),
+        }
+    }
+    gather_relation(left, out_schema, &kept, pool)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Combinable accumulator state for one aggregate over one partition's
+/// local classes. Each class is owned by exactly one partition and its
+/// members are visited in row order, so per-class accumulation — floating
+/// point included — follows the exact same addition order as the serial
+/// kernel.
+enum AggState {
+    /// `COUNT` per class.
+    Count(Vec<i64>),
+    /// `MIN`/`MAX`: best member row per class (`u32::MAX` = none seen);
+    /// strict comparisons keep the earliest row on ties.
+    Best(Vec<u32>),
+    /// `SUM` with the serial kernel's int/float promotion per class.
+    Sum {
+        acc_i: Vec<i64>,
+        acc_f: Vec<f64>,
+        any: Vec<bool>,
+        float: Vec<bool>,
+    },
+    /// `AVG`: running float sum and non-null count per class.
+    Avg { sum: Vec<f64>, n: Vec<usize> },
+}
+
+fn accumulate_partition(
+    input: &ColumnarRelation,
+    cidx: &ParClassIndex,
+    part: usize,
+    aggs: &[AggItem],
+) -> Result<Vec<AggState>> {
+    let locals = cidx.local_len(part);
+    let mut states = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        let arg = match &agg.arg {
+            Some(a) => Some(input.schema().resolve(a)?),
+            None => None,
+        };
+        let state = match agg.func {
+            AggFunc::Count => {
+                let mut n = vec![0i64; locals];
+                match arg {
+                    None => {
+                        for (l, count) in n.iter_mut().enumerate() {
+                            *count = cidx.local_members(part, l).len() as i64;
+                        }
+                    }
+                    Some(c) => {
+                        let col = input.column(c);
+                        for (l, count) in n.iter_mut().enumerate() {
+                            for &row in cidx.local_members(part, l) {
+                                if !col.is_null(row as usize) {
+                                    *count += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                AggState::Count(n)
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let col = input.column(arg.expect("validated by output_type"));
+                let min = agg.func == AggFunc::Min;
+                let mut best = vec![u32::MAX; locals];
+                for (l, slot) in best.iter_mut().enumerate() {
+                    for &row in cidx.local_members(part, l) {
+                        let row = row as usize;
+                        if col.is_null(row) {
+                            continue;
+                        }
+                        let keep_new = *slot == u32::MAX || {
+                            let ord = col.cmp_at(row, col, *slot as usize);
+                            if min {
+                                ord == Ordering::Less
+                            } else {
+                                ord == Ordering::Greater
+                            }
+                        };
+                        if keep_new {
+                            *slot = row as u32;
+                        }
+                    }
+                }
+                AggState::Best(best)
+            }
+            AggFunc::Sum => {
+                let col = input.column(arg.expect("validated by output_type"));
+                let mut acc_i = vec![0i64; locals];
+                let mut acc_f = vec![0.0f64; locals];
+                let mut any = vec![false; locals];
+                let mut float = vec![false; locals];
+                for l in 0..locals {
+                    for &row in cidx.local_members(part, l) {
+                        match col.value(row as usize) {
+                            Value::Null => {}
+                            Value::Int(v) | Value::Time(v) => {
+                                acc_i[l] += v;
+                                acc_f[l] += v as f64;
+                                any[l] = true;
+                            }
+                            Value::Float(v) => {
+                                acc_f[l] += v;
+                                float[l] = true;
+                                any[l] = true;
+                            }
+                            other => {
+                                return Err(Error::TypeError {
+                                    expected: "numeric",
+                                    found: other.to_string(),
+                                    context: "SUM",
+                                })
+                            }
+                        }
+                    }
+                }
+                AggState::Sum {
+                    acc_i,
+                    acc_f,
+                    any,
+                    float,
+                }
+            }
+            AggFunc::Avg => {
+                let col = input.column(arg.expect("validated by output_type"));
+                let mut sum = vec![0.0f64; locals];
+                let mut n = vec![0usize; locals];
+                for l in 0..locals {
+                    for &row in cidx.local_members(part, l) {
+                        let v = col.value(row as usize);
+                        if v.is_null() {
+                            continue;
+                        }
+                        sum[l] += v.as_float()?;
+                        n[l] += 1;
+                    }
+                }
+                AggState::Avg { sum, n }
+            }
+        };
+        states.push(state);
+    }
+    Ok(states)
+}
+
+/// Parallel hash-grouped aggregation, list-exact against
+/// [`crate::batch::kernels::aggregate`]: partitioned class build,
+/// per-partition accumulation over disjoint groups (each group's values
+/// folded in row order), emission in global first-occurrence group order.
+pub fn aggregate_parallel(
+    input: &ColumnarRelation,
+    group_by: &[String],
+    aggs: &[AggItem],
+    out_schema: Arc<Schema>,
+    pool: &WorkerPool,
+) -> Result<ColumnarRelation> {
+    if group_by.is_empty() {
+        // Grand totals are a single group — nothing to partition.
+        return crate::batch::kernels::aggregate(input, group_by, aggs, out_schema);
+    }
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| input.schema().resolve(g))
+        .collect::<Result<_>>()?;
+    let cidx = ParClassIndex::build(input, key_idx.clone(), pool);
+
+    let nparts = cidx.part_count();
+    let mut states: Vec<Result<Vec<AggState>>> = (0..nparts).map(|_| Ok(Vec::new())).collect();
+    for_each_part(pool, &mut states, |p, slot| {
+        *slot = accumulate_partition(input, &cidx, p, aggs);
+    });
+    let mut part_states = Vec::with_capacity(nparts);
+    for s in states {
+        part_states.push(s?);
+    }
+
+    let groups = cidx.len();
+    let key_cols: Vec<Arc<Column>> = map_tasks(pool, key_idx.len(), |k| {
+        Arc::new(input.column(key_idx[k]).gather(cidx.protos()))
+    });
+    let mut columns: Vec<Arc<Column>> = key_cols;
+    for (k, agg) in aggs.iter().enumerate() {
+        let dtype = agg.output_type(input.schema())?;
+        let arg_col = match &agg.arg {
+            Some(a) => Some(input.column(input.schema().resolve(a)?)),
+            None => None,
+        };
+        let mut out = Column::with_capacity(dtype, groups);
+        for c in 0..groups {
+            let (p, l) = cidx.class_location(c);
+            match &part_states[p][k] {
+                AggState::Count(n) => out.push(&Value::Int(n[l]))?,
+                AggState::Best(best) => {
+                    let b = best[l];
+                    if b == u32::MAX {
+                        out.push(&Value::Null)?;
+                    } else {
+                        out.push_from(arg_col.expect("min/max has an argument"), b as usize);
+                    }
+                }
+                AggState::Sum {
+                    acc_i,
+                    acc_f,
+                    any,
+                    float,
+                } => {
+                    let v = if !any[l] {
+                        Value::Null
+                    } else if float[l] {
+                        Value::Float(acc_f[l])
+                    } else {
+                        Value::Int(acc_i[l])
+                    };
+                    out.push(&v)?;
+                }
+                AggState::Avg { sum, n } => {
+                    let v = if n[l] == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(sum[l] / n[l] as f64)
+                    };
+                    out.push(&v)?;
+                }
+            }
+        }
+        columns.push(Arc::new(out));
+    }
+    Ok(ColumnarRelation::new(out_schema, columns))
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+/// Parallel partition-then-merge stable sort permutation, identical to
+/// [`crate::batch::kernels::sort_indices`]: workers stable-sort contiguous
+/// runs, then a merge picks the smallest head by `(sort key, original
+/// index)` — which is precisely the serial stable order.
+pub fn sort_indices_parallel(
+    input: &ColumnarRelation,
+    order: &Order,
+    pool: &WorkerPool,
+) -> Result<Vec<u32>> {
+    let mut keys = Vec::with_capacity(order.keys().len());
+    for k in order.keys() {
+        keys.push((input.schema().resolve(&k.attr)?, k.dir));
+    }
+    let cmp = |a: u32, b: u32| -> Ordering {
+        for &(c, dir) in &keys {
+            let col = input.column(c);
+            let ord = col.cmp_at(a as usize, col, b as usize);
+            let ord = match dir {
+                SortDir::Asc => ord,
+                SortDir::Desc => ord.reverse(),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    };
+    let n = input.rows();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    if pool.threads() == 1 || n < super::MORSEL_SIZE {
+        idx.sort_by(|&a, &b| cmp(a, b));
+        return Ok(idx);
+    }
+    // Workers sort the exact runs the merge below walks — one set of
+    // boundaries, passed explicitly, so the two cannot drift apart.
+    // The merge is a serial scan over all run heads per pick: O(n·T)
+    // comparator calls, acceptable at pool widths (T ≤ ~16); a loser
+    // tree would be the upgrade path if wide pools ever make it hot.
+    let runs = chunk_ranges(n, pool.threads());
+    for_each_range_mut(pool, &mut idx, &runs, |_, run| {
+        run.sort_by(|&a, &b| cmp(a, b));
+    });
+    let mut heads: Vec<usize> = runs.iter().map(|r| r.start).collect();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<(usize, u32)> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if heads[r] < run.end {
+                let cand = idx[heads[r]];
+                let better = match best {
+                    None => true,
+                    // Ties on the sort key fall back to the original
+                    // index: lower index first = stability.
+                    Some((_, b)) => cmp(cand, b).then(cand.cmp(&b)) == Ordering::Less,
+                };
+                if better {
+                    best = Some((r, cand));
+                }
+            }
+        }
+        let (r, v) = best.expect("n picks from n items");
+        heads[r] += 1;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Per-class temporal kernels
+// ---------------------------------------------------------------------------
+
+/// Per-chunk emission buffers of the class-parallel temporal kernels.
+type ClassEmit = (Vec<u32>, Vec<i64>, Vec<i64>);
+
+fn concat_emits(parts: Vec<ClassEmit>) -> ClassEmit {
+    let total: usize = parts.iter().map(|(p, _, _)| p.len()).sum();
+    let mut protos = Vec::with_capacity(total);
+    let mut t1 = Vec::with_capacity(total);
+    let mut t2 = Vec::with_capacity(total);
+    for (p, a, b) in parts {
+        protos.extend_from_slice(&p);
+        t1.extend_from_slice(&a);
+        t2.extend_from_slice(&b);
+    }
+    (protos, t1, t2)
+}
+
+/// Parallel sweep `rdupᵀ`: partitioned class build, then per-class period
+/// union over contiguous class chunks, concatenated in class order —
+/// list-exact against [`crate::batch::kernels::rdup_t_sweep`].
+pub fn rdup_t_sweep_parallel(
+    input: &ColumnarRelation,
+    pool: &WorkerPool,
+) -> Result<ColumnarRelation> {
+    let (s, e) = input.period_columns()?;
+    let cidx = ParClassIndex::build(input, input.schema().value_indices(), pool);
+    let chunks = chunk_ranges(cidx.len(), pool.threads());
+    let parts = map_tasks(pool, chunks.len(), |k| {
+        let mut out: ClassEmit = Default::default();
+        for c in chunks[k].clone() {
+            let periods: Vec<Period> = cidx
+                .members(c)
+                .iter()
+                .map(|&i| Period::of(s[i as usize], e[i as usize]))
+                .collect();
+            let proto = cidx.protos()[c];
+            for p in normalize_periods(periods) {
+                out.0.push(proto);
+                out.1.push(p.start);
+                out.2.push(p.end);
+            }
+        }
+        out
+    });
+    let (protos, t1, t2) = concat_emits(parts);
+    Ok(fragments_parallel(
+        input,
+        input.schema().clone(),
+        &protos,
+        &t1,
+        &t2,
+        pool,
+    ))
+}
+
+/// Parallel sort-merge `coalᵀ` — list-exact against
+/// [`crate::batch::kernels::coalesce_sort_merge`] (the per-class merge is
+/// literally the same function).
+pub fn coalesce_parallel(input: &ColumnarRelation, pool: &WorkerPool) -> Result<ColumnarRelation> {
+    let (s, e) = input.period_columns()?;
+    let cidx = ParClassIndex::build(input, input.schema().value_indices(), pool);
+    let chunks = chunk_ranges(cidx.len(), pool.threads());
+    let parts = map_tasks(pool, chunks.len(), |k| {
+        let mut out: ClassEmit = Default::default();
+        for c in chunks[k].clone() {
+            let periods: Vec<Period> = cidx
+                .members(c)
+                .iter()
+                .map(|&i| Period::of(s[i as usize], e[i as usize]))
+                .collect();
+            let proto = cidx.protos()[c];
+            for p in coalesce_class(periods) {
+                out.0.push(proto);
+                out.1.push(p.start);
+                out.2.push(p.end);
+            }
+        }
+        out
+    });
+    let (protos, t1, t2) = concat_emits(parts);
+    Ok(fragments_parallel(
+        input,
+        input.schema().clone(),
+        &protos,
+        &t1,
+        &t2,
+        pool,
+    ))
+}
+
+/// Parallel timeline `\ᵀ`: partitioned class build over the left side,
+/// right rows routed to their class per partition (disjoint writes), then
+/// per-class count timelines over class chunks — list-exact against
+/// [`crate::batch::kernels::difference_t`].
+pub fn difference_t_parallel(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    pool: &WorkerPool,
+) -> Result<ColumnarRelation> {
+    left.schema()
+        .check_union_compatible(right.schema(), "temporal difference")?;
+    let (ls, le) = left.period_columns()?;
+    let (rs, re) = right.period_columns()?;
+    let cidx = ParClassIndex::build(left, left.schema().value_indices(), pool);
+
+    // Route right rows to their left class, one worker per partition.
+    let rhashes = hash_rows_parallel(right.columns(), cidx.key_idx(), right.rows(), pool);
+    let mut rmatch: Vec<Vec<Vec<u32>>> = (0..cidx.part_count())
+        .map(|p| vec![Vec::new(); cidx.local_len(p)])
+        .collect();
+    for_each_part(pool, &mut rmatch, |p, lists| {
+        for (j, &h) in rhashes.iter().enumerate() {
+            if cidx.part_of_hash(h) != p {
+                continue;
+            }
+            if let Some(l) = cidx.find_local(p, h, right.columns(), j) {
+                lists[l as usize].push(j as u32);
+            }
+        }
+    });
+
+    let chunks = chunk_ranges(cidx.len(), pool.threads());
+    let parts = map_tasks(pool, chunks.len(), |k| {
+        let mut out: ClassEmit = Default::default();
+        for c in chunks[k].clone() {
+            let (p, l) = cidx.class_location(c);
+            let mut tl = CountTimeline::new();
+            // Same add order as the serial kernel: left members in row
+            // order, then matching right rows in row order.
+            for &i in cidx.members(c) {
+                tl.add(Period::of(ls[i as usize], le[i as usize]), 1);
+            }
+            for &j in &rmatch[p][l] {
+                tl.add(Period::of(rs[j as usize], re[j as usize]), -1);
+            }
+            let proto = cidx.protos()[c];
+            for (period, count) in tl.constant_intervals() {
+                for _ in 0..count.max(0) {
+                    out.0.push(proto);
+                    out.1.push(period.start);
+                    out.2.push(period.end);
+                }
+            }
+        }
+        out
+    });
+    let (protos, t1, t2) = concat_emits(parts);
+    Ok(fragments_parallel(
+        left, out_schema, &protos, &t1, &t2, pool,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::relation::Relation;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    use crate::batch::kernels;
+
+    fn cr(r: &Relation) -> ColumnarRelation {
+        ColumnarRelation::from_relation(r).unwrap()
+    }
+
+    fn dup_heavy(rows: usize) -> ColumnarRelation {
+        let r = Relation::new(
+            Schema::of(&[
+                ("A", DataType::Int),
+                ("B", DataType::Str),
+                ("D", DataType::Float),
+            ]),
+            (0..rows as i64)
+                .map(|i| tuple![i % 23, format!("s{}", i % 7), (i % 13) as f64 * 0.25])
+                .collect(),
+        )
+        .unwrap();
+        cr(&r)
+    }
+
+    fn temporal(rows: usize) -> ColumnarRelation {
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            (0..rows as i64)
+                .map(|i| tuple![format!("v{}", i % 17), i % 29, i % 29 + 1 + (i % 5)])
+                .collect(),
+        )
+        .unwrap();
+        cr(&r)
+    }
+
+    #[test]
+    fn rdup_matches_serial_first_occurrence_order() {
+        let input = dup_heavy(3000);
+        let serial_classes = kernels::ClassIndex::build(&input, (0..3).collect());
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let got = rdup_parallel(&input, input.schema().clone(), &pool);
+            assert_eq!(got.rows(), serial_classes.len());
+            assert_eq!(
+                got.to_relation(),
+                gather_relation(
+                    &input,
+                    input.schema().clone(),
+                    &serial_classes.protos,
+                    &pool
+                )
+                .to_relation(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_serial_kernel_exactly() {
+        let input = dup_heavy(3000);
+        let group = ["A".to_owned(), "B".to_owned()];
+        let aggs = [
+            AggItem::count_star("n"),
+            AggItem::new(AggFunc::Sum, Some("D"), "s"),
+            AggItem::new(AggFunc::Min, Some("D"), "lo"),
+            AggItem::new(AggFunc::Max, Some("A"), "hi"),
+            AggItem::new(AggFunc::Avg, Some("D"), "avg"),
+        ];
+        let out_schema = Arc::new(
+            tqo_core::ops::aggregate::aggregate_schema(input.schema(), &group, &aggs).unwrap(),
+        );
+        let want = kernels::aggregate(&input, &group, &aggs, out_schema.clone())
+            .unwrap()
+            .to_relation();
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let got = aggregate_parallel(&input, &group, &aggs, out_schema.clone(), &pool)
+                .unwrap()
+                .to_relation();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sort_matches_serial_stable_sort() {
+        let input = dup_heavy(5000);
+        let order = Order::asc(&["A", "B"]);
+        let want = kernels::sort_indices(&input, &order).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let got = sort_indices_parallel(&input, &order, &pool).unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn temporal_kernels_match_serial_kernels_exactly() {
+        let l = temporal(2500);
+        let r = temporal(900);
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(
+                rdup_t_sweep_parallel(&l, &pool).unwrap().to_relation(),
+                kernels::rdup_t_sweep(&l).unwrap().to_relation(),
+                "rdupT threads={threads}"
+            );
+            assert_eq!(
+                coalesce_parallel(&l, &pool).unwrap().to_relation(),
+                kernels::coalesce_sort_merge(&l).unwrap().to_relation(),
+                "coalT threads={threads}"
+            );
+            assert_eq!(
+                difference_t_parallel(&l, &r, l.schema().clone(), &pool)
+                    .unwrap()
+                    .to_relation(),
+                kernels::difference_t(&l, &r, l.schema().clone())
+                    .unwrap()
+                    .to_relation(),
+                "diffT threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn difference_consumes_earliest_occurrences() {
+        let l = dup_heavy(2000);
+        let r = dup_heavy(700);
+        let want = tqo_core::ops::difference(&l.to_relation(), &r.to_relation()).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let got = difference_parallel(&l, &r, l.schema().clone(), &pool).to_relation();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+}

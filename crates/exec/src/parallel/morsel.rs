@@ -1,0 +1,363 @@
+//! The morsel scheduler and worker pool.
+//!
+//! Parallelism in the parallel engine is *morsel-driven* (after Leis et
+//! al., SIGMOD 2014): an operator's input is split into fixed-size row
+//! ranges — morsels — and a small pool of workers pulls the next morsel
+//! from a shared atomic counter until none remain. Scheduling is dynamic
+//! (a worker that finishes a cheap morsel immediately takes another), but
+//! results are always reassembled **in morsel order**, which is how every
+//! parallel operator preserves exact equality with the serial engines at
+//! any thread count.
+//!
+//! The pool is built on [`std::thread::scope`]: workers borrow the
+//! operator's inputs directly, no `'static` bounds, no external
+//! dependencies, and a one-thread pool degenerates to an inline call with
+//! zero spawn overhead. Every parallel region records its per-worker busy
+//! time into the pool; the driver drains the accumulated times per
+//! operator ([`WorkerPool::take_times`]) so
+//! [`crate::metrics::OperatorMetrics`] can report the per-thread
+//! breakdown next to the operator's wall-clock time.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tqo_core::error::Result;
+
+/// Rows per morsel. Larger than the batch engine's `BATCH_SIZE` so each
+/// scheduled unit amortizes the pull from the shared counter; small enough
+/// that a typical operator yields many times more morsels than workers,
+/// keeping the dynamic schedule balanced under skew.
+pub const MORSEL_SIZE: usize = 4096;
+
+/// A fixed-size worker pool over scoped threads.
+///
+/// The pool stores its width plus the per-worker busy times of the
+/// parallel regions run since the last [`WorkerPool::take_times`].
+/// Threads are spawned per parallel region (a scoped spawn is a few
+/// microseconds, amortized over morsels measured in milliseconds) and
+/// joined before the region returns, so borrowed inputs never escape.
+#[derive(Debug)]
+pub struct WorkerPool {
+    threads: usize,
+    times: Mutex<Vec<Duration>>,
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool {
+            threads: threads.max(1),
+            times: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Add a region's per-worker busy times to the running totals.
+    fn record(&self, region: &[Duration]) {
+        let mut acc = self.times.lock().expect("pool time sink");
+        if acc.len() < region.len() {
+            acc.resize(region.len(), Duration::ZERO);
+        }
+        for (a, t) in acc.iter_mut().zip(region) {
+            *a += *t;
+        }
+    }
+
+    /// Drain the per-worker busy times accumulated since the last call —
+    /// one entry per worker that did any work.
+    pub fn take_times(&self) -> Vec<Duration> {
+        std::mem::take(&mut *self.times.lock().expect("pool time sink"))
+    }
+
+    /// Run `job(worker_id)` on every worker, recording per-worker busy
+    /// time. A one-thread pool runs the job inline.
+    pub fn run<F>(&self, job: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            let started = Instant::now();
+            job(0);
+            self.record(&[started.elapsed()]);
+            return;
+        }
+        let mut times = vec![Duration::ZERO; self.threads];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|w| {
+                    let job = &job;
+                    s.spawn(move || {
+                        let started = Instant::now();
+                        job(w);
+                        started.elapsed()
+                    })
+                })
+                .collect();
+            for (w, h) in handles.into_iter().enumerate() {
+                times[w] = h.join().expect("worker thread panicked");
+            }
+        });
+        self.record(&times);
+    }
+}
+
+/// Run `count` independent tasks on the pool (workers pull task indices
+/// from a shared counter); results are returned in task order. A single
+/// task runs inline — no reason to pay a spawn for it.
+pub fn map_tasks<T, F>(pool: &WorkerPool, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    if count == 1 {
+        let started = Instant::now();
+        let out = vec![f(0)];
+        pool.record(&[started.elapsed()]);
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(count));
+    pool.run(|_| {
+        let mut local = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            local.push((i, f(i)));
+        }
+        done.lock().expect("task sink").extend(local);
+    });
+    let mut tagged = done.into_inner().expect("task sink");
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// The morsel ranges covering `total` rows.
+pub fn morsels_of(total: usize) -> Vec<Range<usize>> {
+    (0..total.div_ceil(MORSEL_SIZE))
+        .map(|i| i * MORSEL_SIZE..((i + 1) * MORSEL_SIZE).min(total))
+        .collect()
+}
+
+/// Morsel-parallel map over `total` rows: `f(morsel_index, rows)` runs on
+/// the pool, results in morsel order.
+pub fn map_morsels<T, F>(pool: &WorkerPool, total: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let ranges = morsels_of(total);
+    map_tasks(pool, ranges.len(), |i| f(i, ranges[i].clone()))
+}
+
+/// Fallible morsel-parallel map. Every morsel runs (errors do not cancel
+/// in-flight work); the error surfaced is the one from the **earliest**
+/// morsel, so failures are deterministic and match the serial engines'
+/// first-failure semantics.
+pub fn try_map_morsels<T, F>(pool: &WorkerPool, total: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> Result<T> + Sync,
+{
+    let results = map_morsels(pool, total, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Split `data` into one contiguous chunk per worker and run
+/// `f(start_offset, chunk)` on each in parallel — the static-partitioned
+/// counterpart of [`map_morsels`] for filling a preallocated buffer (e.g.
+/// per-row hashes) without scattered writes.
+pub fn for_each_chunk_mut<T, F>(pool: &WorkerPool, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let chunk = n.div_ceil(pool.threads());
+    // Sub-morsel inputs run inline: a spawn costs more than the work.
+    if pool.threads() == 1 || chunk == n || n < MORSEL_SIZE {
+        let started = Instant::now();
+        f(0, data);
+        pool.record(&[started.elapsed()]);
+        return;
+    }
+    let mut times = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, part)| {
+                let f = &f;
+                s.spawn(move || {
+                    let started = Instant::now();
+                    f(i * chunk, part);
+                    started.elapsed()
+                })
+            })
+            .collect();
+        for h in handles {
+            times.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    pool.record(&times);
+}
+
+/// Run `f(range_index, slice)` over explicit contiguous `ranges` of
+/// `data` in parallel, one worker per range. The ranges must tile `data`
+/// from the start (ascending, gap-free) — exactly what
+/// `kernels::chunk_ranges` produces — so callers that later merge per
+/// range (the partition-then-merge sorts) operate on the *same*
+/// boundaries the workers sorted, with no second chunking formula to
+/// drift out of sync.
+pub fn for_each_range_mut<T, F>(pool: &WorkerPool, data: &mut [T], ranges: &[Range<usize>], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert!(ranges.first().is_none_or(|r| r.start == 0));
+    debug_assert!(ranges.windows(2).all(|w| w[0].end == w[1].start));
+    debug_assert!(ranges.last().is_none_or(|r| r.end == data.len()));
+    if ranges.len() <= 1 || pool.threads() == 1 {
+        let started = Instant::now();
+        for (i, r) in ranges.iter().enumerate() {
+            f(i, &mut data[r.clone()]);
+        }
+        pool.record(&[started.elapsed()]);
+        return;
+    }
+    let mut times = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut rest = data;
+        let mut offset = 0;
+        for (i, r) in ranges.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(r.end - offset);
+            rest = tail;
+            offset = r.end;
+            let f = &f;
+            handles.push(s.spawn(move || {
+                let started = Instant::now();
+                f(i, chunk);
+                started.elapsed()
+            }));
+        }
+        for h in handles {
+            times.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    pool.record(&times);
+}
+
+/// Run `f(index, part)` for every element of `parts` in parallel, each
+/// worker owning its element mutably — the build phase of the partitioned
+/// hash operators (one hash-table partition per worker).
+pub fn for_each_part<T, F>(pool: &WorkerPool, parts: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if parts.len() <= 1 || pool.threads() == 1 {
+        let started = Instant::now();
+        for (i, p) in parts.iter_mut().enumerate() {
+            f(i, p);
+        }
+        pool.record(&[started.elapsed()]);
+        return;
+    }
+    let mut times = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter_mut()
+            .enumerate()
+            .map(|(i, part)| {
+                let f = &f;
+                s.spawn(move || {
+                    let started = Instant::now();
+                    f(i, part);
+                    started.elapsed()
+                })
+            })
+            .collect();
+        for h in handles {
+            times.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    pool.record(&times);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_total_exactly() {
+        let m = morsels_of(2 * MORSEL_SIZE + 7);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0], 0..MORSEL_SIZE);
+        assert_eq!(m[2], 2 * MORSEL_SIZE..2 * MORSEL_SIZE + 7);
+        assert!(morsels_of(0).is_empty());
+    }
+
+    #[test]
+    fn map_tasks_preserves_order_at_any_width() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let out = map_tasks(&pool, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+            let times = pool.take_times();
+            assert!(!times.is_empty());
+            assert!(pool.take_times().is_empty(), "times drain");
+        }
+    }
+
+    #[test]
+    fn try_map_reports_earliest_morsel_error() {
+        let pool = WorkerPool::new(4);
+        let total = 3 * MORSEL_SIZE;
+        let failing = [1usize, 2];
+        let r = try_map_morsels(&pool, total, |i, range| {
+            if failing.contains(&i) {
+                Err(tqo_core::error::Error::Plan {
+                    reason: format!("morsel {i}"),
+                })
+            } else {
+                Ok(range.len())
+            }
+        });
+        let err = r.expect_err("must fail").to_string();
+        assert!(err.contains("morsel 1"), "{err}");
+    }
+
+    #[test]
+    fn chunks_and_parts_visit_everything() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0u32; 1000];
+        for_each_chunk_mut(&pool, &mut data, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (start + k) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+
+        let mut parts = vec![0usize; 3];
+        for_each_part(&pool, &mut parts, |i, p| *p = i + 1);
+        assert_eq!(parts, vec![1, 2, 3]);
+    }
+}

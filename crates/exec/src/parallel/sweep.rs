@@ -1,0 +1,273 @@
+//! Parallel temporal Cartesian product (`×ᵀ`).
+//!
+//! The fast algorithm is the endpoint plane sweep of
+//! [`crate::batch::kernels::product_t_sweep`]. Its output is fully
+//! determined by the *global event order* — both sides' periods sorted by
+//! `(start, end)`, left before right on exact ties, original row order
+//! within a side — because at each event the sweep emits every earlier,
+//! overlapping opposite-side period in event order. That declarative view
+//! is what makes the sweep parallelizable without changing a single
+//! output row: sort the merged event sequence once (parallel
+//! partition-then-merge sort on cheap integer keys), cut it into
+//! contiguous event chunks, and let each worker replay the sweep over its
+//! chunk after seeding its active lists with the earlier events that can
+//! still overlap. Chunk outputs concatenate in event order — exactly the
+//! serial emission order.
+//!
+//! The faithful nested-loop algorithm parallelizes trivially over left-row
+//! morsels (its output is left-major).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use tqo_core::columnar::ColumnarRelation;
+use tqo_core::error::Result;
+use tqo_core::schema::Schema;
+
+use super::assemble::join_parallel;
+use super::kernels::chunk_ranges;
+use super::morsel::{for_each_range_mut, map_morsels, map_tasks, WorkerPool};
+
+/// One sweep event: `(start, end, side, original row)`. The derived
+/// lexicographic order is the serial sweep's processing order — `side` 0
+/// (left) before 1 (right) on equal periods, row order within a side.
+type Event = (i64, i64, u8, u32);
+
+/// Per-chunk join emission: `(left rows, right rows, T1, T2)`.
+type JoinEmit = (Vec<u32>, Vec<u32>, Vec<i64>, Vec<i64>);
+
+fn concat_joins(parts: Vec<JoinEmit>) -> JoinEmit {
+    let total: usize = parts.iter().map(|(l, _, _, _)| l.len()).sum();
+    let mut out: JoinEmit = (
+        Vec::with_capacity(total),
+        Vec::with_capacity(total),
+        Vec::with_capacity(total),
+        Vec::with_capacity(total),
+    );
+    for (l, r, a, b) in parts {
+        out.0.extend_from_slice(&l);
+        out.1.extend_from_slice(&r);
+        out.2.extend_from_slice(&a);
+        out.3.extend_from_slice(&b);
+    }
+    out
+}
+
+/// Parallel partition-then-merge sort of the event sequence (total order,
+/// so an unstable sort per run plus a strict merge is exact).
+fn sort_events(events: &mut Vec<Event>, pool: &WorkerPool) {
+    let n = events.len();
+    if pool.threads() == 1 || n < super::MORSEL_SIZE {
+        events.sort_unstable();
+        return;
+    }
+    // Runs are sorted over the same explicit boundaries the merge walks.
+    let runs = chunk_ranges(n, pool.threads());
+    for_each_range_mut(pool, events, &runs, |_, run| run.sort_unstable());
+    let mut heads: Vec<usize> = runs.iter().map(|r| r.start).collect();
+    let mut merged = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<(usize, Event)> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if heads[r] < run.end {
+                let cand = events[heads[r]];
+                if best.is_none_or(|(_, b)| cand < b) {
+                    best = Some((r, cand));
+                }
+            }
+        }
+        let (r, v) = best.expect("n picks from n items");
+        heads[r] += 1;
+        merged.push(v);
+    }
+    *events = merged;
+}
+
+/// Replay the sweep over one contiguous chunk of the event sequence.
+/// Active lists are seeded with every earlier event whose period can still
+/// overlap the chunk (`end > first start`), in event order — the exact
+/// state the serial sweep would hold entering this chunk, minus entries
+/// that could only ever emit empty intersections.
+fn sweep_chunk(events: &[Event], range: Range<usize>) -> JoinEmit {
+    let mut out: JoinEmit = Default::default();
+    if range.is_empty() {
+        return out;
+    }
+    let first_s = events[range.start].0;
+    let mut active_l: Vec<(i64, i64, u32)> = Vec::new();
+    let mut active_r: Vec<(i64, i64, u32)> = Vec::new();
+    for &(s, e, side, i) in &events[..range.start] {
+        if e > first_s {
+            if side == 0 {
+                active_l.push((s, e, i));
+            } else {
+                active_r.push((s, e, i));
+            }
+        }
+    }
+    for &(s, e, side, i) in &events[range] {
+        if side == 0 {
+            active_r.retain(|&(_, rend, _)| rend > s);
+            for &(ras, rae, ri) in &active_r {
+                let ps = s.max(ras);
+                let pe = e.min(rae);
+                if ps < pe {
+                    out.0.push(i);
+                    out.1.push(ri);
+                    out.2.push(ps);
+                    out.3.push(pe);
+                }
+            }
+            active_l.push((s, e, i));
+        } else {
+            active_l.retain(|&(_, lend, _)| lend > s);
+            for &(las, lae, li) in &active_l {
+                let ps = s.max(las);
+                let pe = e.min(lae);
+                if ps < pe {
+                    out.0.push(li);
+                    out.1.push(i);
+                    out.2.push(ps);
+                    out.3.push(pe);
+                }
+            }
+            active_r.push((s, e, i));
+        }
+    }
+    out
+}
+
+/// Parallel plane-sweep `×ᵀ`, list-exact against
+/// [`crate::batch::kernels::product_t_sweep`] at any thread count.
+pub fn product_t_sweep_parallel(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    pool: &WorkerPool,
+) -> Result<ColumnarRelation> {
+    let (ls, le) = left.period_columns()?;
+    let (rs, re) = right.period_columns()?;
+    let mut events: Vec<Event> = Vec::with_capacity(left.rows() + right.rows());
+    for i in 0..left.rows() {
+        events.push((ls[i], le[i], 0, i as u32));
+    }
+    for j in 0..right.rows() {
+        events.push((rs[j], re[j], 1, j as u32));
+    }
+    sort_events(&mut events, pool);
+
+    let chunks = chunk_ranges(events.len(), pool.threads());
+    let parts = map_tasks(pool, chunks.len(), |k| {
+        sweep_chunk(&events, chunks[k].clone())
+    });
+    let (lidx, ridx, t1, t2) = concat_joins(parts);
+    Ok(join_parallel(
+        left, right, out_schema, &lidx, &ridx, &t1, &t2, pool,
+    ))
+}
+
+/// Parallel faithful `×ᵀ`: left-major nested loop over left-row morsels,
+/// list-exact against [`crate::batch::kernels::product_t_nested`].
+pub fn product_t_nested_parallel(
+    left: &ColumnarRelation,
+    right: &ColumnarRelation,
+    out_schema: Arc<Schema>,
+    pool: &WorkerPool,
+) -> Result<ColumnarRelation> {
+    let (ls, le) = left.period_columns()?;
+    let (rs, re) = right.period_columns()?;
+    let parts = map_morsels(pool, left.rows(), |_, rows| {
+        let mut out: JoinEmit = Default::default();
+        for i in rows {
+            for j in 0..right.rows() {
+                let s = ls[i].max(rs[j]);
+                let e = le[i].min(re[j]);
+                if s < e {
+                    out.0.push(i as u32);
+                    out.1.push(j as u32);
+                    out.2.push(s);
+                    out.3.push(e);
+                }
+            }
+        }
+        out
+    });
+    let (lidx, ridx, t1, t2) = concat_joins(parts);
+    Ok(join_parallel(
+        left, right, out_schema, &lidx, &ridx, &t1, &t2, pool,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::relation::Relation;
+    use tqo_core::tuple;
+    use tqo_core::value::DataType;
+
+    use crate::batch::kernels;
+
+    fn temporal(rows: usize, seed: i64) -> ColumnarRelation {
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            (0..rows as i64)
+                .map(|i| {
+                    let s = (i * 7 + seed) % 101;
+                    tuple![format!("v{}", i % 13), s, s + 1 + (i % 9)]
+                })
+                .collect(),
+        )
+        .unwrap();
+        ColumnarRelation::from_relation(&r).unwrap()
+    }
+
+    #[test]
+    fn parallel_sweep_is_list_exact_at_any_width() {
+        let l = temporal(1500, 3);
+        let r = temporal(1100, 17);
+        let out_schema = Arc::new(
+            tqo_core::ops::temporal::product_t::product_t_schema(l.schema(), r.schema()).unwrap(),
+        );
+        let want = kernels::product_t_sweep(&l, &r, out_schema.clone())
+            .unwrap()
+            .to_relation();
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let got = product_t_sweep_parallel(&l, &r, out_schema.clone(), &pool)
+                .unwrap()
+                .to_relation();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_nested_loop_is_list_exact() {
+        let l = temporal(300, 5);
+        let r = temporal(200, 11);
+        let out_schema = Arc::new(
+            tqo_core::ops::temporal::product_t::product_t_schema(l.schema(), r.schema()).unwrap(),
+        );
+        let want = kernels::product_t_nested(&l, &r, out_schema.clone())
+            .unwrap()
+            .to_relation();
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let got = product_t_nested_parallel(&l, &r, out_schema.clone(), &pool)
+                .unwrap()
+                .to_relation();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_sides_produce_empty_output() {
+        let l = temporal(0, 0);
+        let r = temporal(50, 1);
+        let out_schema = Arc::new(
+            tqo_core::ops::temporal::product_t::product_t_schema(l.schema(), r.schema()).unwrap(),
+        );
+        let pool = WorkerPool::new(4);
+        let got = product_t_sweep_parallel(&l, &r, out_schema, &pool).unwrap();
+        assert_eq!(got.rows(), 0);
+    }
+}

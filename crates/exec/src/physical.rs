@@ -47,80 +47,91 @@ pub enum DifferenceTAlgo {
 /// [`tqo_core::plan::PlanNode`]; the temporal operators carry their chosen
 /// algorithm.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field names mirror `PlanNode`; the variants are documented
 pub enum PhysicalNode {
-    Scan {
-        name: String,
-    },
+    /// Read a named base relation.
+    Scan { name: String },
+    /// Filter rows by a predicate (`σ`).
     Select {
         input: Arc<PhysicalNode>,
         predicate: Expr,
     },
+    /// Evaluate projection items per row (`π`).
     Project {
         input: Arc<PhysicalNode>,
         items: Vec<ProjItem>,
     },
+    /// Bag union: left's rows, then right's (`∪all`).
     UnionAll {
         left: Arc<PhysicalNode>,
         right: Arc<PhysicalNode>,
     },
+    /// Left-major Cartesian product (`×`).
     Product {
         left: Arc<PhysicalNode>,
         right: Arc<PhysicalNode>,
     },
+    /// Multiset difference via a hash count table (`\`).
     Difference {
         left: Arc<PhysicalNode>,
         right: Arc<PhysicalNode>,
     },
+    /// Hash-grouped aggregation (`ξ`).
     Aggregate {
         input: Arc<PhysicalNode>,
         group_by: Vec<String>,
         aggs: Vec<AggItem>,
     },
-    Rdup {
-        input: Arc<PhysicalNode>,
-    },
+    /// Hash duplicate elimination (`rdup`).
+    Rdup { input: Arc<PhysicalNode> },
+    /// Set union keeping the larger multiplicity (`∪max`).
     UnionMax {
         left: Arc<PhysicalNode>,
         right: Arc<PhysicalNode>,
     },
+    /// Stable sort (`sort`).
     Sort {
         input: Arc<PhysicalNode>,
         order: Order,
     },
+    /// Temporal Cartesian product (`×ᵀ`) with its chosen algorithm.
     ProductT {
         left: Arc<PhysicalNode>,
         right: Arc<PhysicalNode>,
         algo: ProductTAlgo,
     },
+    /// Temporal difference (`\ᵀ`) with its chosen algorithm.
     DifferenceT {
         left: Arc<PhysicalNode>,
         right: Arc<PhysicalNode>,
         algo: DifferenceTAlgo,
     },
+    /// Temporal aggregation over constant intervals (`ξᵀ`).
     AggregateT {
         input: Arc<PhysicalNode>,
         group_by: Vec<String>,
         aggs: Vec<AggItem>,
     },
+    /// Temporal duplicate elimination (`rdupᵀ`) with its chosen algorithm.
     RdupT {
         input: Arc<PhysicalNode>,
         algo: RdupTAlgo,
     },
+    /// Temporal union (`∪ᵀ`).
     UnionT {
         left: Arc<PhysicalNode>,
         right: Arc<PhysicalNode>,
     },
+    /// Period coalescing (`coalᵀ`) with its chosen algorithm.
     Coalesce {
         input: Arc<PhysicalNode>,
         algo: CoalesceAlgo,
     },
-    /// Transfers execute as identity but are metered (rows moved).
-    TransferS {
-        input: Arc<PhysicalNode>,
-    },
-    TransferD {
-        input: Arc<PhysicalNode>,
-    },
+    /// DBMS→stratum transfer: executes as identity but is metered (rows
+    /// moved).
+    TransferS { input: Arc<PhysicalNode> },
+    /// Stratum→DBMS transfer: executes as identity but is metered.
+    TransferD { input: Arc<PhysicalNode> },
 }
 
 impl PhysicalNode {
@@ -148,6 +159,7 @@ impl PhysicalNode {
         }
     }
 
+    /// The node's children, unary inputs first.
     pub fn children(&self) -> Vec<&Arc<PhysicalNode>> {
         match self {
             PhysicalNode::Scan { .. } => vec![],
@@ -171,6 +183,7 @@ impl PhysicalNode {
         }
     }
 
+    /// Number of operators in the subtree rooted here.
     pub fn size(&self) -> usize {
         1 + self.children().iter().map(|c| c.size()).sum::<usize>()
     }
@@ -179,6 +192,7 @@ impl PhysicalNode {
 /// A rooted physical plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhysicalPlan {
+    /// The root operator.
     pub root: Arc<PhysicalNode>,
     /// Estimated output rows per node in post-order (the order both
     /// engines emit [`crate::metrics::OperatorMetrics`]), from the
@@ -188,6 +202,7 @@ pub struct PhysicalPlan {
 }
 
 impl PhysicalPlan {
+    /// A plan rooted at `root`, with no estimates attached.
     pub fn new(root: PhysicalNode) -> PhysicalPlan {
         PhysicalPlan {
             root: Arc::new(root),

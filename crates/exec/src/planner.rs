@@ -63,10 +63,8 @@ pub fn optimize_and_lower(
 ) -> Result<(PhysicalPlan, Optimized)> {
     let optimizer_config = OptimizerConfig {
         strategy: config.strategy,
-        cost_model: tqo_core::cost::CostModel::calibrated(
-            config.mode == crate::executor::ExecMode::Batch,
-        )
-        .with_fast_algorithms(config.allow_fast),
+        cost_model: tqo_core::cost::CostModel::calibrated(config.mode.engine())
+            .with_fast_algorithms(config.allow_fast),
         ..OptimizerConfig::default()
     };
     let optimized = optimize(plan, rules, &optimizer_config)?;

@@ -20,6 +20,17 @@ use crate::table::Table;
 /// mutation path. [`Catalog`] is the storage-backed implementation;
 /// alternative backends (remote catalogs, statistics snapshots) implement
 /// the same trait.
+///
+/// ```
+/// use tqo_storage::{paper, StatisticsProvider};
+///
+/// let catalog = paper::catalog();
+/// let stats = catalog.table_stats("EMPLOYEE").expect("cataloged");
+/// assert_eq!(stats.rows, 5);
+/// // The core-side summary is what `Scan` nodes embed for the optimizer.
+/// let summary = catalog.table_summary("EMPLOYEE").expect("cataloged");
+/// assert_eq!(summary.rows, 5);
+/// ```
 pub trait StatisticsProvider {
     /// Measured statistics for `name`, if the table exists.
     fn table_stats(&self, name: &str) -> Option<Arc<TableStats>>;

@@ -42,6 +42,11 @@ pub struct StratumMetrics {
     pub transferred_rows: usize,
     /// Number of DBMS fragments executed.
     pub fragments: usize,
+    /// Per-operator metrics of the stratum-local plan (batch and parallel
+    /// modes; empty for the legacy row walk). Parallel-mode operators
+    /// carry their per-thread breakdown — `\timing` in the shell prints
+    /// this report.
+    pub operators: Vec<tqo_exec::OperatorMetrics>,
 }
 
 impl StratumMetrics {
@@ -72,7 +77,7 @@ impl Stratum {
                 // will execute the stratum's operators. The stratum runs
                 // faithful algorithms only (results stay bit-identical to
                 // the reference), so the fast-algorithm formulas are off.
-                cost_model: tqo_core::cost::CostModel::calibrated(exec_mode == ExecMode::Batch)
+                cost_model: tqo_core::cost::CostModel::calibrated(exec_mode.engine())
                     .with_fast_algorithms(false),
                 ..Default::default()
             },
@@ -92,14 +97,20 @@ impl Stratum {
     }
 
     /// Select the engine executing the stratum's local operator tree: the
-    /// vectorized batch pipeline (default) or the legacy row-at-a-time
-    /// walk. Recalibrates the optimizer's cost model to the chosen engine
+    /// vectorized batch pipeline (default), the morsel-parallel engine
+    /// ([`ExecMode::Parallel`]), or the legacy row-at-a-time walk.
+    /// Recalibrates the optimizer's cost model to the chosen engine
     /// (apply [`Stratum::with_cost_model`] afterwards to override).
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Stratum {
         self.exec_mode = mode;
-        self.optimizer.cost_model = tqo_core::cost::CostModel::calibrated(mode == ExecMode::Batch)
-            .with_fast_algorithms(false);
+        self.optimizer.cost_model =
+            tqo_core::cost::CostModel::calibrated(mode.engine()).with_fast_algorithms(false);
         self
+    }
+
+    /// The engine currently executing the stratum's local operators.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Override the optimizer's cost model (e.g. measured transfer costs
@@ -119,17 +130,23 @@ impl Stratum {
         let mut metrics = StratumMetrics::default();
         let result = match self.exec_mode {
             ExecMode::Row => self.eval(&plan.root, &mut metrics)?,
-            ExecMode::Batch => self.eval_pipelined(plan, &mut metrics)?,
+            mode => self.eval_pipelined(plan, &mut metrics, mode)?,
         };
         Ok((result, metrics))
     }
 
-    /// Batch-mode evaluation: execute every DBMS fragment (bottom of the
-    /// layered plan), bind the wired results as synthetic base relations,
-    /// and run the entire stratum-local operator tree through the
-    /// vectorized batch pipeline in one piece. Faithful algorithms only —
-    /// the stratum's semantics stay those of the reference operators.
-    fn eval_pipelined(&self, plan: &LogicalPlan, metrics: &mut StratumMetrics) -> Result<Relation> {
+    /// Pipelined evaluation (batch or parallel mode): execute every DBMS
+    /// fragment (bottom of the layered plan), bind the wired results as
+    /// synthetic base relations, and run the entire stratum-local operator
+    /// tree through the chosen columnar engine in one piece. Faithful
+    /// algorithms only — the stratum's semantics stay those of the
+    /// reference operators.
+    fn eval_pipelined(
+        &self,
+        plan: &LogicalPlan,
+        metrics: &mut StratumMetrics,
+        mode: ExecMode,
+    ) -> Result<Relation> {
         // The root may itself be a transfer (fully-pushed plans).
         if let PlanNode::TransferS { input } = &*plan.root {
             return self.run_fragment(input, metrics);
@@ -140,13 +157,14 @@ impl Stratum {
         let local_plan = LogicalPlan::new(local_root, plan.result_type.clone());
         let config = tqo_exec::PlannerConfig {
             allow_fast: false,
-            mode: ExecMode::Batch,
+            mode,
             ..Default::default()
         };
         let started = Instant::now();
         let physical = tqo_exec::lower(&local_plan, config)?;
-        let (result, _) = tqo_exec::execute_mode(&physical, &env, ExecMode::Batch)?;
+        let (result, exec_metrics) = tqo_exec::execute_mode(&physical, &env, mode)?;
         metrics.stratum_time += started.elapsed();
+        metrics.operators = exec_metrics.operators;
         Ok(result)
     }
 
@@ -428,9 +446,12 @@ mod tests {
     }
 
     #[test]
-    fn batch_and_row_stratum_modes_agree_exactly() {
+    fn batch_row_and_parallel_stratum_modes_agree_exactly() {
         let batch = Stratum::new(paper::catalog());
         let row = Stratum::new(paper::catalog()).with_exec_mode(tqo_exec::ExecMode::Row);
+        let par = Stratum::new(paper::catalog())
+            .with_exec_mode(tqo_exec::ExecMode::Parallel { threads: 4 });
+        assert_eq!(par.exec_mode().threads(), 4);
         for sql in [
             "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
              EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
@@ -442,10 +463,16 @@ mod tests {
         ] {
             let (b, bm) = batch.run_sql(sql).unwrap();
             let (r, rm) = row.run_sql(sql).unwrap();
+            let (p, pm) = par.run_sql(sql).unwrap();
             assert_eq!(b, r, "stratum engines diverge on {sql}");
+            assert_eq!(b, p, "parallel stratum mode diverges on {sql}");
             assert_eq!(bm.fragments, rm.fragments);
             assert_eq!(bm.transferred_rows, rm.transferred_rows);
             assert_eq!(bm.transfer_bytes, rm.transfer_bytes);
+            assert_eq!(pm.fragments, bm.fragments);
+            // Pipelined modes surface the local plan's operator report.
+            assert!(!pm.operators.is_empty());
+            assert!(!bm.operators.is_empty());
         }
     }
 

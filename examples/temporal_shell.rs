@@ -5,7 +5,7 @@
 //! echo 'SELECT EmpName FROM EMPLOYEE' | cargo run --example temporal_shell
 //! ```
 //!
-//! Commands:
+//! Commands (documented with sample sessions in `docs/shell.md`):
 //! * plain temporal SQL — compiled, layered, optimized, executed;
 //! * `\tables` — list catalog tables with their measured invariants and
 //!   statistics;
@@ -14,6 +14,11 @@
 //!   estimated rows, and estimated cost (the statistics-driven view);
 //! * `\fragments <sql>` — the SQL shipped to the DBMS per `Tˢ` fragment;
 //! * `\plans <sql>` — size of the Figure 5 plan space for the query;
+//! * `\threads N` — execute stratum operators on the morsel-parallel
+//!   engine with `N` workers (`\threads 0` returns to the serial batch
+//!   pipeline);
+//! * `\timing` — toggle the per-operator report after each query,
+//!   including the per-thread breakdown under `\threads`;
 //! * `\quit` — exit.
 //!
 //! The catalog starts pre-loaded with the paper's EMPLOYEE and PROJECT.
@@ -22,12 +27,24 @@ use std::io::{self, BufRead, Write};
 
 use tqo_core::enumerate::{enumerate, EnumerationConfig};
 use tqo_core::rules::RuleSet;
+use tqo_exec::ExecMode;
 use tqo_storage::paper;
 use tqo_stratum::{fragments, make_layered, Stratum};
 
+/// Mutable shell state: the layered engine plus display toggles.
+struct Shell {
+    catalog: tqo_storage::Catalog,
+    stratum: Stratum,
+    timing: bool,
+}
+
 fn main() -> io::Result<()> {
     let catalog = paper::catalog();
-    let stratum = Stratum::new(catalog.clone());
+    let mut shell = Shell {
+        stratum: Stratum::new(catalog.clone()),
+        catalog,
+        timing: false,
+    };
     let stdin = io::stdin();
     let mut out = io::stdout();
 
@@ -50,7 +67,7 @@ fn main() -> io::Result<()> {
         if input == "\\quit" || input == "\\q" {
             break;
         }
-        let result = dispatch(input, &catalog, &stratum);
+        let result = dispatch(input, &mut shell);
         match result {
             Ok(text) => writeln!(out, "{text}")?,
             Err(e) => writeln!(out, "error: {e}")?,
@@ -62,11 +79,8 @@ fn main() -> io::Result<()> {
     Ok(())
 }
 
-fn dispatch(
-    input: &str,
-    catalog: &tqo_storage::Catalog,
-    stratum: &Stratum,
-) -> Result<String, Box<dyn std::error::Error>> {
+fn dispatch(input: &str, shell: &mut Shell) -> Result<String, Box<dyn std::error::Error>> {
+    let catalog = &shell.catalog;
     if input == "\\tables" {
         let mut text = String::new();
         for name in catalog.names() {
@@ -87,6 +101,29 @@ fn dispatch(
         }
         return Ok(text);
     }
+    if let Some(arg) = input.strip_prefix("\\threads") {
+        let arg = arg.trim();
+        let threads: usize = if arg.is_empty() { 0 } else { arg.parse()? };
+        let mode = if threads == 0 {
+            ExecMode::Batch
+        } else {
+            ExecMode::Parallel { threads }
+        };
+        shell.stratum = Stratum::new(catalog.clone()).with_exec_mode(mode);
+        return Ok(match mode {
+            ExecMode::Parallel { threads } => {
+                format!("stratum operators now run morsel-parallel on {threads} worker(s)")
+            }
+            _ => "stratum operators back on the serial batch pipeline".into(),
+        });
+    }
+    if input == "\\timing" {
+        shell.timing = !shell.timing;
+        return Ok(format!(
+            "per-operator timing {}",
+            if shell.timing { "on" } else { "off" }
+        ));
+    }
     if let Some(sql) = input.strip_prefix("\\explain ") {
         return Ok(tqo_sql::explain(sql, catalog)?);
     }
@@ -96,9 +133,11 @@ fn dispatch(
         // estimated output rows, and the estimated cost contribution.
         let plan = tqo_sql::compile(sql, catalog)?;
         let layered = make_layered(&plan)?;
-        // Match the stratum's own optimizer: batch-calibrated, faithful
-        // algorithms (the stratum never runs the fast variants).
-        let model = tqo_core::cost::CostModel::calibrated(true).with_fast_algorithms(false);
+        // Match the stratum's own optimizer: calibrated to the engine the
+        // stratum executes with, faithful algorithms (the stratum never
+        // runs the fast variants).
+        let model = tqo_core::cost::CostModel::calibrated(shell.stratum.exec_mode().engine())
+            .with_fast_algorithms(false);
         let optimized = tqo_core::optimizer::optimize(
             &layered,
             &RuleSet::standard(),
@@ -143,8 +182,8 @@ fn dispatch(
     }
 
     // Plain SQL: compile → layer → optimize → run.
-    let (result, metrics, _) = stratum.run_sql_optimized(input)?;
-    Ok(format!(
+    let (result, metrics, _) = shell.stratum.run_sql_optimized(input)?;
+    let mut text = format!(
         "{result}({} rows; {} fragments, {} rows / {} bytes transferred; dbms {:?}, stratum {:?})",
         result.len(),
         metrics.fragments,
@@ -152,5 +191,14 @@ fn dispatch(
         metrics.transfer_bytes,
         metrics.dbms_time,
         metrics.stratum_time
-    ))
+    );
+    if shell.timing && !metrics.operators.is_empty() {
+        let report = tqo_exec::ExecMetrics {
+            operators: metrics.operators.clone(),
+        }
+        .report();
+        text.push_str("\nstratum operators:\n");
+        text.push_str(&report);
+    }
+    Ok(text)
 }

@@ -1,0 +1,252 @@
+//! Engine agreement under parallelism: for any one physical plan the
+//! morsel-parallel engine must produce a relation **equal (`==`)** to the
+//! row and batch engines' output — same rows, same order, same periods —
+//! at every tested thread count (1, 2, 4, 8), across the paper catalog,
+//! the generated-workload pool, the 20-fixture optimizer plan pool, and
+//! the proptest pool. Ordered (coalᵀ/sorted) outputs in particular must be
+//! byte-identical regardless of thread count: parallelism must never be
+//! observable in a result.
+
+mod common;
+
+use common::{arb_snapshot, arb_temporal};
+use proptest::prelude::*;
+
+use tqo_core::relation::Relation;
+use tqo_exec::{execute_mode, lower, ExecMode, PlannerConfig};
+use tqo_storage::{paper, Catalog};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(allow_fast: bool) -> PlannerConfig {
+    PlannerConfig {
+        allow_fast,
+        ..Default::default()
+    }
+}
+
+/// Row ≡ batch ≡ parallel (exactly) for both planner modes, at every
+/// thread count. Returns the fast-mode result for result-type checks.
+fn assert_all_engines_exact(
+    plan: &tqo_core::plan::LogicalPlan,
+    env: &tqo_core::interp::Env,
+    context: &str,
+) -> Relation {
+    let mut fast = None;
+    for allow_fast in [false, true] {
+        let physical = lower(plan, config(allow_fast)).unwrap();
+        let (row, _) = execute_mode(&physical, env, ExecMode::Row).unwrap();
+        let (batch, _) = execute_mode(&physical, env, ExecMode::Batch).unwrap();
+        assert_eq!(
+            row, batch,
+            "row and batch diverge (allow_fast={allow_fast}) on {context}"
+        );
+        for threads in THREADS {
+            let (par, metrics) =
+                execute_mode(&physical, env, ExecMode::Parallel { threads }).unwrap();
+            assert_eq!(
+                par, row,
+                "parallel({threads}) diverges (allow_fast={allow_fast}) on {context}"
+            );
+            // Same post-order operator sequence as the serial engines.
+            assert_eq!(
+                metrics.operators.len(),
+                physical.root.size(),
+                "metrics shape on {context}"
+            );
+        }
+        if allow_fast {
+            fast = Some(batch);
+        }
+    }
+    fast.expect("fast mode executed")
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT EmpName FROM EMPLOYEE",
+    "SELECT DISTINCT EmpName FROM EMPLOYEE",
+    "SELECT EmpName, Dept FROM EMPLOYEE ORDER BY EmpName, Dept DESC",
+    "SELECT Dept, COUNT(*) AS n, MIN(T1) AS lo, AVG(T2) AS m FROM EMPLOYEE GROUP BY Dept",
+    "SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE T1 >= 2 AND Dept = 'Sales'",
+    "VALIDTIME SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+    "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE COALESCE ORDER BY EmpName",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+     EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+     COALESCE ORDER BY EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION ALL \
+     VALIDTIME SELECT EmpName FROM PROJECT",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
+     VALIDTIME SELECT EmpName FROM PROJECT ORDER BY EmpName",
+    "SELECT EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT",
+];
+
+fn agree_on_catalog(catalog: &Catalog) {
+    let env = catalog.env();
+    for sql in QUERIES {
+        let plan = tqo_sql::compile(sql, catalog).unwrap();
+        assert_all_engines_exact(&plan, &env, sql);
+    }
+}
+
+#[test]
+fn parallel_agrees_on_the_paper_catalog() {
+    agree_on_catalog(&paper::catalog());
+}
+
+#[test]
+fn parallel_agrees_on_generated_workloads() {
+    for seed in [1u64, 23] {
+        let catalog = tqo_storage::WorkloadGenerator::new(seed)
+            .figure1_workload(2)
+            .unwrap();
+        agree_on_catalog(&catalog);
+    }
+}
+
+/// Ordered outputs (sorted lists, coalesced periods) must be byte-identical
+/// at any thread count — the strictest reading of the invariant, checked
+/// on a workload large enough that every operator actually splits into
+/// many morsels and classes.
+#[test]
+fn ordered_outputs_are_identical_at_scale() {
+    use tqo_core::schema::Schema;
+    use tqo_core::tuple::Tuple;
+    use tqo_core::value::{DataType, Value};
+    let rows: Vec<Tuple> = (0..40_000i64)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::from(format!("v{}", i % 211)),
+                Value::Time(i % 89),
+                Value::Time(i % 89 + 1 + (i % 7)),
+            ])
+        })
+        .collect();
+    let r = Relation::new(Schema::temporal(&[("E", DataType::Str)]), rows).unwrap();
+    let catalog = Catalog::new();
+    catalog.register("R", r).unwrap();
+    let env = catalog.env();
+    for sql in [
+        "VALIDTIME SELECT E FROM R COALESCE ORDER BY E",
+        "VALIDTIME SELECT DISTINCT E FROM R ORDER BY E DESC",
+        "SELECT E, COUNT(*) AS n FROM R GROUP BY E ORDER BY E",
+    ] {
+        let plan = tqo_sql::compile(sql, &catalog).unwrap();
+        let physical = lower(&plan, config(true)).unwrap();
+        let (batch, _) = execute_mode(&physical, &env, ExecMode::Batch).unwrap();
+        for threads in THREADS {
+            let (par, _) = execute_mode(&physical, &env, ExecMode::Parallel { threads }).unwrap();
+            assert_eq!(
+                par.tuples(),
+                batch.tuples(),
+                "ordered output differs at {threads} threads on {sql}"
+            );
+        }
+    }
+}
+
+/// The optimizer fixture pool (every plan shape in the rule space) over
+/// generator-driven dirty relations.
+#[test]
+fn parallel_agrees_on_fixture_plans_over_generated_relations() {
+    use tqo_storage::{GenConfig, WorkloadGenerator};
+    for seed in [3u64, 42] {
+        let mut generator = WorkloadGenerator::new(seed);
+        let mut env = tqo_core::interp::Env::new();
+        for name in ["EMP", "PRJ", "A", "B"] {
+            let r = generator
+                .temporal(&GenConfig {
+                    classes: 6,
+                    fragments_per_class: 5,
+                    mean_duration: 6,
+                    mean_gap: 3,
+                    adjacency_prob: 0.35,
+                    overlap_prob: 0.35,
+                    duplicate_prob: 0.2,
+                    ..GenConfig::default()
+                })
+                .unwrap();
+            env.insert(name, r);
+        }
+        env.insert("R", generator.temporal(&GenConfig::clean(8, 4)).unwrap());
+        env.insert("S1", generator.conventional(40, 6).unwrap());
+        env.insert("S2", generator.conventional(30, 6).unwrap());
+
+        for (i, plan) in common::optimizer_fixtures(30).into_iter().enumerate() {
+            let context = format!("fixture #{i} (seed {seed})");
+            assert_all_engines_exact(&plan, &env, &context);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random relations through a random choice of the query pool.
+    #[test]
+    fn parallel_agrees_on_random_relations(
+        emp in arb_temporal(4, 12),
+        prj in arb_temporal(4, 10),
+        s in arb_snapshot(10),
+        query_idx in 0usize..4,
+    ) {
+        use tqo_core::schema::Schema;
+        use tqo_core::tuple::Tuple;
+        use tqo_core::value::{DataType, Value};
+        let emp_schema =
+            Schema::temporal(&[("EmpName", DataType::Str), ("Dept", DataType::Str)]);
+        let emp_rel = Relation::new(
+            emp_schema,
+            emp.tuples()
+                .iter()
+                .map(|t| {
+                    Tuple::new(vec![
+                        t.value(0).clone(),
+                        Value::Str("D".into()),
+                        t.value(1).clone(),
+                        t.value(2).clone(),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let prj_schema =
+            Schema::temporal(&[("EmpName", DataType::Str), ("Prj", DataType::Str)]);
+        let prj_rel = Relation::new(
+            prj_schema,
+            prj.tuples()
+                .iter()
+                .map(|t| {
+                    Tuple::new(vec![
+                        t.value(0).clone(),
+                        Value::Str("P".into()),
+                        t.value(1).clone(),
+                        t.value(2).clone(),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let _ = s;
+        let catalog = Catalog::new();
+        catalog.register("EMPLOYEE", emp_rel).unwrap();
+        catalog.register("PROJECT", prj_rel).unwrap();
+
+        let queries = [
+            "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+             EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+             COALESCE ORDER BY EmpName",
+            "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
+             VALIDTIME SELECT EmpName FROM PROJECT ORDER BY EmpName",
+            "VALIDTIME SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+            "SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName",
+        ];
+        let sql = queries[query_idx];
+        let env = catalog.env();
+        let plan = tqo_sql::compile(sql, &catalog).unwrap();
+        assert_all_engines_exact(&plan, &env, sql);
+    }
+}
