@@ -1,8 +1,11 @@
 //! Quick-mode exec throughput: runs the row-vs-batch cases a few times
 //! each and writes `BENCH_exec.json` (rows/sec per operator and engine,
-//! morsel-parallel scaling at 1/2/4 threads, plus per-operator
-//! cardinality-estimation q-errors) to the current directory — the perf
-//! *and* estimation trajectories CI tracks.
+//! morsel-parallel scaling at 1/2/4 threads, per-operator
+//! cardinality-estimation q-errors, plus the adaptive re-optimization
+//! block: plans-switched counts and static-vs-adaptive operator times on
+//! seeded-misestimate workloads) to the current directory — the perf
+//! *and* estimation trajectories CI tracks. The `adaptive` block is also
+//! written standalone as `BENCH_adaptive.json` for the CI artifact.
 //!
 //! The `parallel_scaling` block records, per operator, the speedup of
 //! `ExecMode::Parallel {1, 2, 4}` over single-thread batch, alongside
@@ -173,8 +176,11 @@ fn main() {
 
     // Estimation accuracy: per-operator median q-error over the bench
     // workloads, so estimation quality gets a tracked trajectory alongside
-    // throughput.
-    let est_scale = (rows / 2000).clamp(1, 40);
+    // throughput. Capped at scale 5: the committed block doubles as the
+    // baseline of the q-error regression guard
+    // (`tests/estimation_regression.rs`), which recomputes these medians
+    // at the committed scale on every test run.
+    let est_scale = (rows / 2000).clamp(1, 5);
     let (cat, est_cases) = estimation_workload(est_scale, 23);
     let env = cat.env();
     let mut per_label: BTreeMap<String, Vec<f64>> = BTreeMap::new();
@@ -228,8 +234,82 @@ fn main() {
         .unwrap();
     }
     writeln!(json, "    ]").unwrap();
-    writeln!(json, "  }}").unwrap();
+    writeln!(json, "  }},").unwrap();
+
+    // Adaptive re-optimization: seeded-misestimate workloads executed
+    // static vs adaptive (batch engine). Tracks re-opt event counts,
+    // plans-switched counts, and before/after operator times — the cost
+    // and the payoff of mid-query feedback.
+    let adaptive_scale = (rows / 10_000).clamp(1, 10);
+    let acases = tqo_bench::adaptive_workload(adaptive_scale, 31);
+    let mut ablock = String::new();
+    writeln!(ablock, "  \"adaptive\": {{").unwrap();
+    writeln!(ablock, "    \"workload_scale\": {adaptive_scale},").unwrap();
+    writeln!(
+        ablock,
+        "    \"q_threshold\": {},",
+        tqo_exec::AdaptiveConfig::default().q_threshold
+    )
+    .unwrap();
+    writeln!(ablock, "    \"cases\": [").unwrap();
+    eprintln!(
+        "\n{:<24} {:>8} {:>8} {:>12} {:>14} {:>10}",
+        "adaptive", "reopts", "switched", "static ms", "adaptive ms", "q before"
+    );
+    for (i, case) in acases.iter().enumerate() {
+        let static_config = PlannerConfig::default();
+        let adaptive_config = PlannerConfig {
+            adaptive: Some(tqo_exec::AdaptiveConfig::default()),
+            ..static_config
+        };
+        let mut static_ms = f64::MAX;
+        let mut adaptive_ms = f64::MAX;
+        let mut static_q = 1.0f64;
+        let mut events = 0usize;
+        let mut switched = 0usize;
+        for _ in 0..ITERS {
+            let (s, sm) = execute_logical(&case.plan, &case.env, static_config)
+                .expect("static adaptive-workload run");
+            let (a, am) =
+                execute_logical(&case.plan, &case.env, adaptive_config).expect("adaptive run");
+            assert!(
+                tqo_core::equivalence::equiv_multiset(&s, &a).expect("comparable results"),
+                "adaptive diverged from static on {}",
+                case.name
+            );
+            static_ms = static_ms.min(sm.total_time().as_secs_f64() * 1e3);
+            adaptive_ms = adaptive_ms.min(am.total_time().as_secs_f64() * 1e3);
+            static_q = sm.q_errors().into_iter().fold(static_q, f64::max);
+            events = am.replanned_count();
+            switched = am.plans_switched();
+        }
+        eprintln!(
+            "{:<24} {events:>8} {switched:>8} {static_ms:>12.3} {adaptive_ms:>14.3} {static_q:>10.1}",
+            case.name
+        );
+        writeln!(ablock, "      {{").unwrap();
+        writeln!(ablock, "        \"name\": \"{}\",", case.name).unwrap();
+        writeln!(ablock, "        \"reopt_events\": {events},").unwrap();
+        writeln!(ablock, "        \"plans_switched\": {switched},").unwrap();
+        writeln!(ablock, "        \"static_worst_q\": {static_q:.3},").unwrap();
+        writeln!(ablock, "        \"static_op_ms\": {static_ms:.3},").unwrap();
+        writeln!(ablock, "        \"adaptive_op_ms\": {adaptive_ms:.3}").unwrap();
+        writeln!(
+            ablock,
+            "      }}{}",
+            if i + 1 < acases.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(ablock, "    ]").unwrap();
+    write!(ablock, "  }}").unwrap();
+
+    json.push_str(&ablock);
+    writeln!(json).unwrap();
     writeln!(json, "}}").unwrap();
     std::fs::write(&out_path, json).expect("write BENCH_exec.json");
-    eprintln!("wrote {out_path}");
+    // The adaptive block also ships standalone, for the CI artifact.
+    std::fs::write("BENCH_adaptive.json", format!("{{\n{ablock}\n}}\n"))
+        .expect("write BENCH_adaptive.json");
+    eprintln!("wrote {out_path} and BENCH_adaptive.json");
 }

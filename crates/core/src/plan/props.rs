@@ -86,6 +86,39 @@ impl BaseProps {
         self.stats = Some(summary);
         self
     }
+
+    /// Properties *measured* from an in-memory relation — what the
+    /// adaptive re-optimizer attaches to a checkpointed intermediate and
+    /// the stratum attaches to wired DBMS fragments. Invariants are facts
+    /// about this concrete relation (duplicate-freedom, snapshot
+    /// duplicate-freedom, coalescedness), the statistics are the full
+    /// measured [`TableSummary`], and the delivery order is conservatively
+    /// declared unknown so no rewrite can rely on an order the
+    /// materialization does not guarantee.
+    pub fn measured(relation: &crate::relation::Relation) -> crate::error::Result<BaseProps> {
+        let summary = stats::TableSummary::measure(relation)?;
+        let temporal = relation.is_temporal();
+        let dup_free = summary.distinct_rows == summary.rows;
+        let snapshot_dup_free = if temporal {
+            summary.max_class_overlap <= 1
+        } else {
+            dup_free
+        };
+        let coalesced = if temporal {
+            relation.is_coalesced()?
+        } else {
+            true
+        };
+        Ok(BaseProps {
+            schema: relation.schema().clone(),
+            order: Order::unordered(),
+            dup_free,
+            snapshot_dup_free,
+            coalesced,
+            card: summary.rows,
+            stats: Some(Arc::new(summary)),
+        })
+    }
 }
 
 /// Bottom-up properties of a plan node's output (Table 1).

@@ -25,11 +25,14 @@
 //! [`BaseProps`]: crate::plan::BaseProps
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::sync::Arc;
 
+use crate::error::Result;
 use crate::expr::{BinOp, Expr};
+use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::time::Period;
+use crate::time::{Instant, Period};
 use crate::value::Value;
 
 /// Default number of equi-depth histogram buckets.
@@ -165,6 +168,106 @@ impl TableSummary {
     pub fn column(&self, name: &str) -> Option<&ColumnSummary> {
         self.columns.iter().find(|c| c.name == name)
     }
+
+    /// Measure the summary of any in-memory relation — no catalog needed.
+    ///
+    /// This is the one statistics-computation routine in the system:
+    /// `tqo-storage` wraps it for cataloged tables, and the adaptive
+    /// re-optimizer calls it directly on materialized intermediates so a
+    /// checkpointed pipeline-breaker result re-enters the optimizer with
+    /// *measured* statistics. Handles empty, all-NULL, and single-row
+    /// inputs (no histogram / min / max where nothing was observed).
+    pub fn measure(relation: &Relation) -> Result<TableSummary> {
+        let schema = relation.schema();
+        let mut columns = Vec::with_capacity(schema.arity());
+        for (i, attr) in schema.attrs().iter().enumerate() {
+            let mut nulls = 0u64;
+            let mut values: Vec<Value> = Vec::with_capacity(relation.len());
+            for t in relation.tuples() {
+                let v = t.value(i);
+                if v.is_null() {
+                    nulls += 1;
+                } else {
+                    values.push(v.clone());
+                }
+            }
+            values.sort_unstable();
+            // Distinct count from the sorted run (Value's Eq is defined as
+            // its total order's Equal, so this matches a hash-set count).
+            let distinct =
+                (values.len() - values.windows(2).filter(|w| w[0] == w[1]).count()) as u64;
+            columns.push(ColumnSummary {
+                name: attr.name.clone(),
+                distinct,
+                nulls,
+                min: values.first().cloned(),
+                max: values.last().cloned(),
+                histogram: Histogram::from_sorted(&values, HISTOGRAM_BUCKETS),
+            });
+        }
+
+        let distinct_rows = {
+            let mut seen: HashSet<&[Value]> = HashSet::with_capacity(relation.len());
+            for t in relation.tuples() {
+                seen.insert(t.values());
+            }
+            seen.len() as u64
+        };
+
+        let (time_range, avg_duration_milli, max_class_overlap) = if relation.is_temporal() {
+            let mut lo: Option<Instant> = None;
+            let mut hi: Option<Instant> = None;
+            let mut total: i64 = 0;
+            for t in relation.tuples() {
+                let p = t.period(schema)?;
+                lo = Some(lo.map_or(p.start, |v| v.min(p.start)));
+                hi = Some(hi.map_or(p.end, |v| v.max(p.end)));
+                // Saturate: a handful of maximal periods (`Period::always`)
+                // must not overflow the accumulator.
+                total = total.saturating_add(p.duration());
+            }
+            let range = match (lo, hi) {
+                (Some(a), Some(b)) => Some(Period::of(a, b)),
+                _ => None,
+            };
+            let avg = if relation.is_empty() {
+                None
+            } else {
+                Some((total as f64 / relation.len() as f64 * 1000.0) as i64)
+            };
+            // Max simultaneous value-equivalent tuples. Close events sort
+            // before open events at the same instant, so abutting (and any
+            // degenerate zero-duration) periods never count as overlapping
+            // and the live counter cannot dip below zero mid-class.
+            let mut max_overlap = 0u64;
+            for (_, indices) in relation.value_classes()? {
+                let mut events: Vec<(Instant, i32)> = Vec::with_capacity(indices.len() * 2);
+                for &i in &indices {
+                    let p = relation.tuples()[i].period(schema)?;
+                    events.push((p.start, 1));
+                    events.push((p.end, -1));
+                }
+                events.sort_unstable();
+                let mut live = 0i32;
+                for (_, d) in events {
+                    live += d;
+                    max_overlap = max_overlap.max(live.max(0) as u64);
+                }
+            }
+            (range, avg, max_overlap)
+        } else {
+            (None, None, 0)
+        };
+
+        Ok(TableSummary {
+            rows: relation.len() as u64,
+            distinct_rows,
+            columns,
+            time_range,
+            avg_duration_milli,
+            max_class_overlap,
+        })
+    }
 }
 
 /// Estimated statistics of one column of a plan node's output.
@@ -242,6 +345,15 @@ impl DerivedStats {
             avg_duration_milli: None,
             overlap: None,
         }
+    }
+
+    /// Statistics *measured* from an in-memory relation — what the
+    /// adaptive re-optimizer feeds back into the plan for a checkpointed
+    /// intermediate, with no catalog involved.
+    pub fn measured(relation: &Relation) -> Result<DerivedStats> {
+        Ok(DerivedStats::from_summary(&TableSummary::measure(
+            relation,
+        )?))
     }
 
     /// Leaf statistics from a measured table summary.
@@ -540,6 +652,77 @@ mod tests {
         let st = DerivedStats::unknown(100);
         let sel = selectivity(&Expr::eq(Expr::col("A"), Expr::lit(5i64)), &schema, &st);
         assert_eq!(sel, 0.5);
+    }
+
+    #[test]
+    fn measure_on_empty_relation() {
+        let r = Relation::empty(Schema::temporal(&[("E", DataType::Str)]));
+        let s = TableSummary::measure(&r).unwrap();
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.distinct_rows, 0);
+        assert!(s.time_range.is_none());
+        assert!(s.avg_duration_milli.is_none());
+        assert_eq!(s.max_class_overlap, 0);
+        let c = s.column("E").unwrap();
+        assert_eq!(c.distinct, 0);
+        assert!(c.min.is_none() && c.max.is_none() && c.histogram.is_none());
+        // DerivedStats from the same relation degrade without panicking.
+        let d = DerivedStats::measured(&r).unwrap();
+        assert_eq!(d.rows, 0);
+        assert_eq!(d.overlap, Some(1)); // floored: no class exceeds one
+    }
+
+    #[test]
+    fn measure_on_all_null_column() {
+        use crate::tuple::Tuple;
+        let r = Relation::new(
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            vec![
+                Tuple::new(vec![Value::Null, Value::Str("x".into())]),
+                Tuple::new(vec![Value::Null, Value::Str("x".into())]),
+                Tuple::new(vec![Value::Null, Value::Str("y".into())]),
+            ],
+        )
+        .unwrap();
+        let s = TableSummary::measure(&r).unwrap();
+        let a = s.column("A").unwrap();
+        assert_eq!((a.distinct, a.nulls), (0, 3));
+        assert!(a.min.is_none() && a.max.is_none() && a.histogram.is_none());
+        let b = s.column("B").unwrap();
+        assert_eq!((b.distinct, b.nulls), (2, 0));
+        assert_eq!(s.distinct_rows, 2);
+        // The derived estimate still prices an IS NULL predicate sensibly.
+        let d = DerivedStats::from_summary(&s);
+        let sel = selectivity(
+            &Expr::IsNull(Box::new(Expr::col("A"))),
+            &Schema::of(&[("A", DataType::Int), ("B", DataType::Str)]),
+            &d,
+        );
+        assert!((sel - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_on_single_row_temporal_relation() {
+        use crate::tuple::Tuple;
+        let r = Relation::new(
+            Schema::temporal(&[("E", DataType::Str)]),
+            vec![Tuple::new(vec![
+                Value::Str("a".into()),
+                Value::Time(3),
+                Value::Time(8),
+            ])],
+        )
+        .unwrap();
+        let s = TableSummary::measure(&r).unwrap();
+        assert_eq!(s.rows, 1);
+        assert_eq!(s.distinct_rows, 1);
+        assert_eq!(s.time_range, Some(Period::of(3, 8)));
+        assert_eq!(s.avg_duration_milli, Some(5000));
+        assert_eq!(s.max_class_overlap, 1);
+        let e = s.column("E").unwrap();
+        assert_eq!(e.distinct, 1);
+        assert_eq!(e.min, e.max);
+        assert_eq!(e.histogram.as_ref().unwrap().total, 1);
     }
 
     #[test]

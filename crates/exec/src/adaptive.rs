@@ -1,0 +1,458 @@
+//! Adaptive mid-query re-optimization driven by runtime cardinality
+//! feedback.
+//!
+//! The static optimizer plans once, from estimates; on skewed temporal
+//! data those estimates can be wildly wrong, and the chosen algorithms and
+//! plan shapes wrong with them. This module closes the loop the
+//! statistics layer left open (`est_rows` / `q_error()` were recorded in
+//! [`crate::metrics::OperatorMetrics`] but nothing acted on them):
+//!
+//! 1. **Stage execution.** The plan is executed stage by stage at its
+//!    pipeline breakers — the materialization points (`sort`, hash and
+//!    sweep boundaries) that already exist in every engine. The deepest
+//!    breaker subtree runs first, on whichever engine is active
+//!    (row/batch/parallel).
+//! 2. **Checkpoint.** The completed breaker's materialized output is bound
+//!    as a synthetic base table with *measured* statistics
+//!    ([`tqo_core::stats::TableSummary::measure`]: row and distinct
+//!    counts, histograms, time range, snapshot-overlap degree) and
+//!    measured invariants ([`tqo_core::plan::BaseProps::measured`]).
+//! 3. **Feedback.** The breaker's estimated-vs-actual q-error is compared
+//!    against [`AdaptiveConfig::q_threshold`]. Below the threshold the
+//!    executed subtree is spliced out of the *static physical plan*
+//!    unchanged — an untriggered adaptive run executes exactly the
+//!    operators the static run would, so its result is byte-identical to
+//!    the static result. At or above the threshold (and within
+//!    [`AdaptiveConfig::max_reopt`]), the unexecuted remainder re-enters
+//!    the planner with the measured statistics: lowering re-picks
+//!    algorithms within their equivalence licenses, and when a rule set is
+//!    supplied the memo (or exhaustive) optimizer re-searches the
+//!    remainder's plan space. The executed prefix is pinned by
+//!    construction — it is now a scan leaf, which no rule can rewrite
+//!    away.
+//!
+//! **Result guarantees.** Every re-planning step preserves the query's
+//! declared result type (`≡SQL`), exactly like static optimization; and
+//! because every adaptive decision is a deterministic function of actual
+//! cardinalities — which all engines agree on — an adaptive run produces
+//! byte-identical results across the row, batch, and parallel engines at
+//! any thread count. With re-lowering only (no rule re-entry) in faithful
+//! mode, the adaptive result is byte-identical to the reference
+//! interpreter. See `docs/adaptive.md` for the full invariant table.
+
+use std::sync::Arc;
+
+use tqo_core::cost::CostModel;
+use tqo_core::error::Result;
+use tqo_core::interp::Env;
+use tqo_core::optimizer::{optimize, Optimized, OptimizerConfig};
+use tqo_core::plan::{BaseProps, LogicalPlan, Path, PlanNode};
+use tqo_core::relation::Relation;
+use tqo_core::rules::RuleSet;
+
+use crate::executor::execute_mode;
+use crate::metrics::{ExecMetrics, ReoptEvent};
+use crate::physical::{PhysicalNode, PhysicalPlan};
+use crate::planner::{lower, optimize_and_lower, PlannerConfig};
+
+/// Knobs of the adaptive re-optimization loop, carried on
+/// [`PlannerConfig::adaptive`].
+///
+/// ```
+/// use tqo_exec::adaptive::AdaptiveConfig;
+///
+/// // The default triggers on 2× misestimates, up to four times a query.
+/// let cfg = AdaptiveConfig::default();
+/// assert_eq!(cfg.q_threshold, 2.0);
+/// // q-errors are ≥ 1 by definition, so a threshold of 1.0 re-plans at
+/// // every completed breaker — maximum re-planning pressure.
+/// let eager = AdaptiveConfig { q_threshold: 1.0, ..cfg };
+/// assert!(eager.q_threshold <= cfg.q_threshold);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Re-plan the remainder when a completed pipeline breaker's q-error
+    /// (`max(est/actual, actual/est)`, floored at one row on both sides)
+    /// reaches this threshold. Since q-errors are ≥ 1, a threshold of
+    /// `1.0` re-plans at every breaker.
+    pub q_threshold: f64,
+    /// Maximum number of re-plans per query (checkpoints past the budget
+    /// still execute stage-wise but keep the static remainder).
+    pub max_reopt: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            q_threshold: 2.0,
+            max_reopt: 4,
+        }
+    }
+}
+
+/// True for logical operators the engines materialize at (the batch
+/// pipeline's blocking operators and the row engine's equivalents) —
+/// the only places a mid-query checkpoint is free.
+fn is_breaker(node: &PlanNode) -> bool {
+    matches!(
+        node,
+        PlanNode::Sort { .. }
+            | PlanNode::Aggregate { .. }
+            | PlanNode::AggregateT { .. }
+            | PlanNode::Product { .. }
+            | PlanNode::ProductT { .. }
+            | PlanNode::DifferenceT { .. }
+            | PlanNode::RdupT { .. }
+            | PlanNode::UnionMax { .. }
+            | PlanNode::UnionT { .. }
+            | PlanNode::Coalesce { .. }
+    )
+}
+
+/// The next checkpoint site: the deepest-leftmost non-root breaker with no
+/// breaker strictly below it (its whole subtree completes in one stage).
+/// `None` when the only breaker left is the root — the remainder then runs
+/// to completion.
+fn checkpoint_site(root: &PlanNode) -> Option<Path> {
+    fn walk(node: &PlanNode, path: &mut Path, found: &mut Option<Path>) -> bool {
+        let mut below = false;
+        for (i, c) in node.children().iter().enumerate() {
+            path.push(i);
+            below |= walk(c, path, found);
+            path.pop();
+            if found.is_some() {
+                return true;
+            }
+        }
+        if is_breaker(node) {
+            if !below && !path.is_empty() {
+                *found = Some(path.clone());
+            }
+            return true;
+        }
+        below
+    }
+    let mut found = None;
+    walk(root, &mut Vec::new(), &mut found);
+    found
+}
+
+/// Post-order index of the first node of the subtree at `path` (post-order
+/// is the sequence both engines emit metrics and the planner emits
+/// estimates in; a subtree occupies a contiguous range there).
+fn postorder_start(root: &PhysicalNode, path: &[usize]) -> usize {
+    let mut start = 0;
+    let mut cur = root;
+    for &i in path {
+        let children = cur.children();
+        for c in children.iter().take(i) {
+            start += c.size();
+        }
+        cur = children[i];
+    }
+    start
+}
+
+/// The static remainder: `plan` with the executed subtree at `path`
+/// replaced by a scan of the checkpoint, estimates spliced so the scan
+/// reports the (now known) actual cardinality. Algorithm choices of the
+/// surviving operators are untouched.
+fn splice_checkpoint(
+    plan: &PhysicalPlan,
+    path: &[usize],
+    name: &str,
+    actual_rows: u64,
+) -> Result<PhysicalPlan> {
+    let start = postorder_start(&plan.root, path);
+    let len = plan.root.get(path)?.size();
+    let root = plan.root.replace(
+        path,
+        PhysicalNode::Scan {
+            name: name.to_owned(),
+        },
+    )?;
+    let mut estimates = plan.estimates.clone();
+    if estimates.len() == plan.root.size() {
+        estimates.splice(start..start + len, [Some(actual_rows)]);
+    } else {
+        estimates = Vec::new();
+    }
+    Ok(PhysicalPlan {
+        root: Arc::new(root),
+        estimates,
+    })
+}
+
+/// Execute a logical plan adaptively: lower it, run it stage by stage at
+/// its pipeline breakers, and re-plan the remainder with measured
+/// statistics whenever a checkpoint's q-error reaches the configured
+/// threshold (`config.adaptive`, defaulted when `None`).
+///
+/// With `rules: None` re-planning is *re-lowering only* — algorithm
+/// selection re-runs against measured statistics within the equivalence
+/// licenses, but the plan shape is fixed. With `rules: Some(_)` the
+/// remainder also re-enters the configured search strategy (memo by
+/// default in callers that care about latency), which can restructure it —
+/// move work across the stratum split, reorder joins — exactly as the
+/// static optimizer could have, had it known the true cardinalities.
+pub fn execute_adaptive(
+    plan: &LogicalPlan,
+    env: &Env,
+    rules: Option<&RuleSet>,
+    config: PlannerConfig,
+) -> Result<(Relation, ExecMetrics)> {
+    let physical = lower(plan, config)?;
+    drive(plan.clone(), physical, env, rules, config)
+}
+
+/// Statically optimize with `rules`, then execute the winner adaptively
+/// (re-entering the same rule set at checkpoints). The adaptive analogue
+/// of [`crate::planner::optimize_and_lower`] + execute.
+pub fn optimize_and_execute_adaptive(
+    plan: &LogicalPlan,
+    rules: &RuleSet,
+    env: &Env,
+    config: PlannerConfig,
+) -> Result<(Relation, ExecMetrics, Optimized)> {
+    let (physical, optimized) = optimize_and_lower(plan, rules, config)?;
+    let (result, metrics) = drive(optimized.best.clone(), physical, env, rules.into(), config)?;
+    Ok((result, metrics, optimized))
+}
+
+/// The optimizer configuration a re-plan uses: the caller's search
+/// strategy, the cost model calibrated to the engine that keeps executing.
+fn reopt_config(config: PlannerConfig) -> OptimizerConfig {
+    OptimizerConfig {
+        strategy: config.strategy,
+        cost_model: CostModel::calibrated(config.mode.engine())
+            .with_fast_algorithms(config.allow_fast),
+        ..OptimizerConfig::default()
+    }
+}
+
+fn drive(
+    mut logical: LogicalPlan,
+    mut physical: PhysicalPlan,
+    env: &Env,
+    rules: Option<&RuleSet>,
+    config: PlannerConfig,
+) -> Result<(Relation, ExecMetrics)> {
+    let acfg = config.adaptive.unwrap_or_default();
+    // A private clone: checkpoint bindings must not leak into the caller's
+    // environment (the columnar cache is shared and identity-checked).
+    let mut env = env.clone();
+    let mut metrics = ExecMetrics::default();
+    let mut replans = 0usize;
+
+    for ckpt in 0.. {
+        let Some(path) = checkpoint_site(&logical.root) else {
+            break;
+        };
+        debug_assert_eq!(logical.root.size(), physical.root.size());
+
+        // Execute the stage subtree on the active engine, with its slice
+        // of the post-order estimates so the breaker reports a q-error.
+        let stage_root = Arc::new(physical.root.get(&path)?.clone());
+        let start = postorder_start(&physical.root, &path);
+        let len = stage_root.size();
+        let stage = PhysicalPlan {
+            root: stage_root,
+            estimates: if physical.estimates.len() == physical.root.size() {
+                physical.estimates[start..start + len].to_vec()
+            } else {
+                Vec::new()
+            },
+        };
+        let (rel, stage_metrics) = execute_mode(&stage, &env, config.mode)?;
+        let breaker = stage_metrics.operators.last().expect("stage has operators");
+        let (label, est, q) = (breaker.label.clone(), breaker.est_rows, breaker.q_error());
+        let actual = rel.len();
+        metrics.operators.extend(stage_metrics.operators);
+
+        // Bind the materialized intermediate as a synthetic base table
+        // with measured statistics and invariants. Once the re-plan
+        // budget is spent no future re-plan can consume statistics, so
+        // skip the per-column measurement sweep and bind bare counts.
+        let budget_left = replans < acfg.max_reopt;
+        let name = format!("__adaptive{ckpt}");
+        let base = if budget_left {
+            BaseProps::measured(&rel)?
+        } else {
+            BaseProps::unordered(rel.schema().clone(), rel.len() as u64)
+        };
+        env.insert(name.clone(), rel);
+        logical = logical.with_root(logical.root.replace(
+            &path,
+            PlanNode::Scan {
+                name: name.clone(),
+                base,
+            },
+        )?);
+
+        // The remainder a non-adaptive run would execute: checkpoint scan
+        // spliced in, every surviving algorithm choice untouched.
+        let spliced = splice_checkpoint(&physical, &path, &name, actual as u64)?;
+
+        let triggered = budget_left && q.is_some_and(|q| q >= acfg.q_threshold);
+        if triggered {
+            replans += 1;
+            if let Some(rules) = rules {
+                logical = optimize(&logical, rules, &reopt_config(config))?.best;
+            }
+            physical = lower(&logical, config)?;
+        } else {
+            physical = spliced.clone();
+        }
+        metrics.reopts.push(ReoptEvent {
+            checkpoint: label,
+            est_rows: est,
+            actual_rows: actual,
+            q_error: q,
+            replanned: triggered,
+            plan_changed: triggered && physical.root != spliced.root,
+        });
+    }
+
+    // No non-root breakers left: run the remainder to completion.
+    let (result, final_metrics) = execute_mode(&physical, &env, config.mode)?;
+    metrics.operators.extend(final_metrics.operators);
+    Ok((result, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExecMode;
+    use tqo_core::plan::PlanBuilder;
+    use tqo_core::schema::Schema;
+    use tqo_core::sortspec::Order;
+    use tqo_core::stats::TableSummary;
+    use tqo_core::tuple::Tuple;
+    use tqo_core::value::{DataType, Value};
+
+    fn temporal(rows: usize, classes: usize) -> Relation {
+        let tuples = (0..rows)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Str(format!("v{}", i % classes.max(1)).into()),
+                    Value::Time((i / classes.max(1)) as i64 * 3),
+                    Value::Time((i / classes.max(1)) as i64 * 3 + 2),
+                ])
+            })
+            .collect();
+        Relation::new(Schema::temporal(&[("E", DataType::Str)]), tuples).unwrap()
+    }
+
+    /// Scan with statistics measured from a *stale sample* of the table —
+    /// the seeded-misestimate device the adaptive tests use.
+    fn stale_scan(name: &str, actual: &Relation, sample_rows: usize) -> PlanBuilder {
+        let sample = Relation::new(
+            actual.schema().clone(),
+            actual.tuples()[..sample_rows.min(actual.len())].to_vec(),
+        )
+        .unwrap();
+        let mut base = BaseProps::measured(&sample).unwrap();
+        base.schema = actual.schema().clone();
+        PlanBuilder::scan(name, base)
+    }
+
+    #[test]
+    fn checkpoint_sites_are_deepest_non_root_breakers() {
+        let a = temporal(10, 3);
+        let plan = stale_scan("A", &a, 10)
+            .rdup_t()
+            .coalesce()
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
+        // rdupT is the deepest breaker.
+        assert_eq!(checkpoint_site(&plan.root), Some(vec![0, 0]));
+        // A plan whose only breaker is the root has no checkpoint site.
+        let sort_only = stale_scan("A", &a, 10)
+            .sort(Order::asc(&["E"]))
+            .build_multiset();
+        assert_eq!(checkpoint_site(&sort_only.root), None);
+        // A streaming-only plan has none either.
+        let streaming = stale_scan("A", &a, 10).rdup().build_multiset();
+        assert_eq!(checkpoint_site(&streaming.root), None);
+    }
+
+    #[test]
+    fn untriggered_adaptive_runs_are_byte_identical_to_static() {
+        let a = temporal(200, 10);
+        let b = temporal(40, 10);
+        let env = Env::new().with("A", a.clone()).with("B", b.clone());
+        // Accurate statistics: nothing should trigger at the default 2×.
+        let scan = |n: &str, r: &Relation| PlanBuilder::scan(n, BaseProps::measured(r).unwrap());
+        let plan = scan("A", &a)
+            .rdup_t()
+            .difference_t(scan("B", &b))
+            .coalesce()
+            .build_multiset();
+        for mode in [ExecMode::Row, ExecMode::Batch, ExecMode::parallel()] {
+            let config = PlannerConfig {
+                mode,
+                ..PlannerConfig::default()
+            };
+            let (expected, _) = crate::executor::execute_logical(&plan, &env, config).unwrap();
+            let adaptive_config = PlannerConfig {
+                adaptive: Some(AdaptiveConfig::default()),
+                ..config
+            };
+            let (got, m) = execute_adaptive(&plan, &env, None, adaptive_config).unwrap();
+            assert_eq!(got, expected, "untriggered adaptive diverged ({mode:?})");
+            assert_eq!(m.replanned_count(), 0, "accurate stats must not trigger");
+            assert!(!m.reopts.is_empty(), "breakers still checkpoint");
+        }
+    }
+
+    #[test]
+    fn max_reopt_zero_pins_the_static_plan_even_under_pressure() {
+        let a = temporal(400, 20);
+        let env = Env::new().with("A", a.clone());
+        let plan = stale_scan("A", &a, 8).rdup_t().coalesce().build_multiset();
+        let config = PlannerConfig {
+            adaptive: Some(AdaptiveConfig {
+                q_threshold: 1.0,
+                max_reopt: 0,
+            }),
+            ..PlannerConfig::default()
+        };
+        let (got, m) = execute_adaptive(&plan, &env, None, config).unwrap();
+        let (expected, _) =
+            crate::executor::execute_logical(&plan, &env, PlannerConfig::default()).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(m.replanned_count(), 0);
+    }
+
+    #[test]
+    fn checkpoints_carry_measured_statistics() {
+        // The stale scan claims 8 rows; the checkpointed rdupᵀ output is
+        // re-measured, so the remainder's estimate snaps to the truth and
+        // the final breaker's q-error is ~1.
+        let a = temporal(400, 20);
+        let env = Env::new().with("A", a.clone());
+        let plan = stale_scan("A", &a, 8).rdup_t().coalesce().build_multiset();
+        let config = PlannerConfig {
+            adaptive: Some(AdaptiveConfig {
+                q_threshold: 1.0,
+                max_reopt: 4,
+            }),
+            ..PlannerConfig::default()
+        };
+        let (_, m) = execute_adaptive(&plan, &env, None, config).unwrap();
+        assert_eq!(m.replanned_count(), 1);
+        let coalesce = m
+            .operators
+            .iter()
+            .find(|o| o.label.starts_with("coalesce"))
+            .unwrap();
+        let q = coalesce.q_error().unwrap();
+        assert!(
+            q < 1.5,
+            "post-checkpoint estimate should be measured: q={q}"
+        );
+        // And the checkpoint summary itself is a faithful measurement.
+        let s = TableSummary::measure(env.get("A").unwrap()).unwrap();
+        assert_eq!(s.rows, 400);
+    }
+}

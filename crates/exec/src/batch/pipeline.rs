@@ -932,7 +932,13 @@ pub fn execute_batch(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMe
             thread_times: Vec::new(),
         });
     }
-    Ok((result, ExecMetrics { operators }))
+    Ok((
+        result,
+        ExecMetrics {
+            operators,
+            reopts: Vec::new(),
+        },
+    ))
 }
 
 #[cfg(test)]

@@ -120,12 +120,19 @@ pub fn execute_row(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMetr
 }
 
 /// Lower a logical plan and execute it in one step (engine chosen by
-/// `config.mode`).
+/// `config.mode`). When `config.adaptive` is set, execution is staged at
+/// pipeline breakers and the remainder is re-lowered against measured
+/// checkpoint statistics on large q-errors (see [`crate::adaptive`];
+/// rule-based re-optimization additionally needs
+/// [`crate::adaptive::execute_adaptive`] with a rule set).
 pub fn execute_logical(
     plan: &LogicalPlan,
     env: &Env,
     config: PlannerConfig,
 ) -> Result<(Relation, ExecMetrics)> {
+    if config.adaptive.is_some() {
+        return crate::adaptive::execute_adaptive(plan, env, None, config);
+    }
     let physical = lower(plan, config)?;
     execute_mode(&physical, env, config.mode)
 }

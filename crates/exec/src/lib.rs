@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod batch;
 pub mod executor;
 pub mod metrics;
@@ -36,10 +37,11 @@ pub mod parallel;
 pub mod physical;
 pub mod planner;
 
+pub use adaptive::{execute_adaptive, optimize_and_execute_adaptive, AdaptiveConfig};
 pub use batch::pipeline::BatchOperator;
 pub use batch::Batch;
 pub use executor::{execute, execute_logical, execute_mode, execute_row, ExecMode};
-pub use metrics::{ExecMetrics, OperatorMetrics};
+pub use metrics::{ExecMetrics, OperatorMetrics, ReoptEvent};
 pub use parallel::{execute_parallel, WorkerPool, MORSEL_SIZE};
 pub use physical::{PhysicalNode, PhysicalPlan};
 pub use planner::{lower, PlannerConfig};

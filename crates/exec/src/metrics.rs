@@ -83,11 +83,57 @@ impl OperatorMetrics {
     }
 }
 
+/// One adaptive checkpoint decision: a pipeline breaker completed, its
+/// estimated-vs-actual cardinality was compared, and the unexecuted plan
+/// remainder was (or was not) re-planned (see [`crate::adaptive`]).
+#[derive(Debug, Clone)]
+pub struct ReoptEvent {
+    /// Label of the completed breaker operator (the checkpoint site).
+    pub checkpoint: String,
+    /// The planner's estimate for the breaker's output.
+    pub est_rows: Option<u64>,
+    /// The breaker's actual output cardinality.
+    pub actual_rows: usize,
+    /// `max(est/actual, actual/est)` with both sides floored at one row.
+    pub q_error: Option<f64>,
+    /// True when the q-error reached the threshold within the re-plan
+    /// budget and the remainder was re-planned with measured statistics.
+    pub replanned: bool,
+    /// True when re-planning actually produced a different physical
+    /// remainder than the static plan would have executed.
+    pub plan_changed: bool,
+}
+
+impl ReoptEvent {
+    /// One human-readable line for reports and the shell's `\timing`.
+    pub fn describe(&self) -> String {
+        let est = self.est_rows.map_or_else(|| "-".into(), |e| e.to_string());
+        let q = self
+            .q_error
+            .map_or_else(|| "-".into(), |q| format!("{q:.2}"));
+        let outcome = if !self.replanned {
+            "kept static plan"
+        } else if self.plan_changed {
+            "re-planned: plan CHANGED"
+        } else {
+            "re-planned: same plan"
+        };
+        format!(
+            "reopt @ {:<24} est={est:<8} act={:<8} q={q:<8} {outcome}",
+            self.checkpoint, self.actual_rows,
+        )
+    }
+}
+
 /// Metrics for a whole plan execution.
 #[derive(Debug, Clone, Default)]
 pub struct ExecMetrics {
-    /// Post-order per-operator metrics.
+    /// Post-order per-operator metrics. Under adaptive execution the
+    /// sequence concatenates the executed stages in execution order.
     pub operators: Vec<OperatorMetrics>,
+    /// Adaptive checkpoint decisions, in execution order (empty for
+    /// non-adaptive runs).
+    pub reopts: Vec<ReoptEvent>,
 }
 
 impl ExecMetrics {
@@ -141,6 +187,18 @@ impl ExecMetrics {
         median(&mut self.q_errors())
     }
 
+    /// Checkpoints whose q-error tripped the adaptive threshold and whose
+    /// remainder was re-planned.
+    pub fn replanned_count(&self) -> usize {
+        self.reopts.iter().filter(|e| e.replanned).count()
+    }
+
+    /// Re-plans that produced a physically different remainder than the
+    /// static plan — the "plans switched" count the bench tracks.
+    pub fn plans_switched(&self) -> usize {
+        self.reopts.iter().filter(|e| e.plan_changed).count()
+    }
+
     /// A compact per-operator report with throughput and estimation
     /// feedback, so benches and the stratum engine can see where time —
     /// and estimation error — actually goes.
@@ -173,6 +231,10 @@ impl ExecMetrics {
                 thr,
             ));
         }
+        for e in &self.reopts {
+            out.push_str(&e.describe());
+            out.push('\n');
+        }
         out
     }
 }
@@ -196,6 +258,7 @@ mod tests {
     #[test]
     fn aggregates() {
         let m = ExecMetrics {
+            reopts: Vec::new(),
             operators: vec![
                 OperatorMetrics {
                     rows_out: 100,
@@ -250,6 +313,7 @@ mod tests {
 
         let m = ExecMetrics {
             operators: vec![o.clone(), serial],
+            reopts: Vec::new(),
         };
         assert_eq!(m.total_time(), Duration::from_millis(105));
         assert_eq!(m.total_cpu_time(), Duration::from_millis(365));
@@ -273,6 +337,7 @@ mod tests {
     #[test]
     fn estimates_attach_and_summarize() {
         let mut m = ExecMetrics {
+            reopts: Vec::new(),
             operators: vec![
                 op("scan(R)", 100, Duration::ZERO),
                 op("select", 10, Duration::ZERO),

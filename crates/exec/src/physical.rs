@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use tqo_core::error::{Error, Result};
 use tqo_core::expr::{AggItem, Expr, ProjItem};
 use tqo_core::sortspec::Order;
 
@@ -186,6 +187,133 @@ impl PhysicalNode {
     /// Number of operators in the subtree rooted here.
     pub fn size(&self) -> usize {
         1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Rebuild this node with new children (same arity required) —
+    /// algorithm choices and parameters are kept. Mirrors
+    /// [`tqo_core::plan::PlanNode::with_children`].
+    pub fn with_children(&self, mut new: Vec<Arc<PhysicalNode>>) -> Result<PhysicalNode> {
+        let expect = self.children().len();
+        if new.len() != expect {
+            return Err(Error::Plan {
+                reason: format!(
+                    "physical {} expects {expect} children, got {}",
+                    self.label(),
+                    new.len()
+                ),
+            });
+        }
+        let mut next = || new.remove(0);
+        Ok(match self {
+            PhysicalNode::Scan { name } => PhysicalNode::Scan { name: name.clone() },
+            PhysicalNode::Select { predicate, .. } => PhysicalNode::Select {
+                input: next(),
+                predicate: predicate.clone(),
+            },
+            PhysicalNode::Project { items, .. } => PhysicalNode::Project {
+                input: next(),
+                items: items.clone(),
+            },
+            PhysicalNode::UnionAll { .. } => PhysicalNode::UnionAll {
+                left: next(),
+                right: next(),
+            },
+            PhysicalNode::Product { .. } => PhysicalNode::Product {
+                left: next(),
+                right: next(),
+            },
+            PhysicalNode::Difference { .. } => PhysicalNode::Difference {
+                left: next(),
+                right: next(),
+            },
+            PhysicalNode::Aggregate { group_by, aggs, .. } => PhysicalNode::Aggregate {
+                input: next(),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            PhysicalNode::Rdup { .. } => PhysicalNode::Rdup { input: next() },
+            PhysicalNode::UnionMax { .. } => PhysicalNode::UnionMax {
+                left: next(),
+                right: next(),
+            },
+            PhysicalNode::Sort { order, .. } => PhysicalNode::Sort {
+                input: next(),
+                order: order.clone(),
+            },
+            PhysicalNode::ProductT { algo, .. } => PhysicalNode::ProductT {
+                left: next(),
+                right: next(),
+                algo: *algo,
+            },
+            PhysicalNode::DifferenceT { algo, .. } => PhysicalNode::DifferenceT {
+                left: next(),
+                right: next(),
+                algo: *algo,
+            },
+            PhysicalNode::AggregateT { group_by, aggs, .. } => PhysicalNode::AggregateT {
+                input: next(),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            PhysicalNode::RdupT { algo, .. } => PhysicalNode::RdupT {
+                input: next(),
+                algo: *algo,
+            },
+            PhysicalNode::UnionT { .. } => PhysicalNode::UnionT {
+                left: next(),
+                right: next(),
+            },
+            PhysicalNode::Coalesce { algo, .. } => PhysicalNode::Coalesce {
+                input: next(),
+                algo: *algo,
+            },
+            PhysicalNode::TransferS { .. } => PhysicalNode::TransferS { input: next() },
+            PhysicalNode::TransferD { .. } => PhysicalNode::TransferD { input: next() },
+        })
+    }
+
+    /// The node at `path`, or an error for a dangling path.
+    pub fn get(&self, path: &[usize]) -> Result<&PhysicalNode> {
+        let mut node = self;
+        for &i in path {
+            node = node
+                .children()
+                .get(i)
+                .copied()
+                .map(|c| c.as_ref())
+                .ok_or_else(|| Error::Plan {
+                    reason: format!("dangling physical path index {i}"),
+                })?;
+        }
+        Ok(node)
+    }
+
+    /// A new tree with the subtree at `path` replaced by `subtree`;
+    /// untouched siblings are shared, not cloned. The adaptive executor
+    /// uses this to splice a checkpoint scan over an executed stage
+    /// without disturbing the remainder's algorithm choices.
+    pub fn replace(&self, path: &[usize], subtree: PhysicalNode) -> Result<PhysicalNode> {
+        if path.is_empty() {
+            return Ok(subtree);
+        }
+        let (head, rest) = (path[0], &path[1..]);
+        let children = self.children();
+        let target = children.get(head).ok_or_else(|| Error::Plan {
+            reason: format!("dangling physical path index {head}"),
+        })?;
+        let replaced = target.replace(rest, subtree)?;
+        let new_children: Vec<Arc<PhysicalNode>> = children
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == head {
+                    Arc::new(replaced.clone())
+                } else {
+                    Arc::clone(c)
+                }
+            })
+            .collect();
+        self.with_children(new_children)
     }
 }
 

@@ -31,6 +31,11 @@ pub struct PlannerConfig {
     /// Execution engine [`crate::executor::execute_logical`] dispatches to
     /// (vectorized batch pipeline by default).
     pub mode: crate::executor::ExecMode,
+    /// Adaptive mid-query re-optimization ([`crate::adaptive`]): when set,
+    /// [`crate::executor::execute_logical`] observes actual cardinalities
+    /// at pipeline breakers and re-plans the remainder on large q-errors.
+    /// `None` (the default) executes the static plan unchanged.
+    pub adaptive: Option<crate::adaptive::AdaptiveConfig>,
 }
 
 impl Default for PlannerConfig {
@@ -39,6 +44,7 @@ impl Default for PlannerConfig {
             allow_fast: true,
             strategy: SearchStrategy::default(),
             mode: crate::executor::ExecMode::default(),
+            adaptive: None,
         }
     }
 }

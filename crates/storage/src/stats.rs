@@ -4,15 +4,17 @@
 //! consumes: row and distinct-tuple counts, per-column distinct/null
 //! counts with min/max and a small equi-depth histogram, the covered time
 //! range, the mean period duration, and the snapshot duplicate degree.
-//! [`TableStats::summary`] converts to the core-side
-//! [`tqo_core::stats::TableSummary`] that rides on `Scan` nodes.
-
-use std::collections::HashSet;
+//! The measurement itself lives in core as
+//! [`tqo_core::stats::TableSummary::measure`] — one routine shared by the
+//! catalog and by the adaptive re-optimizer, which summarizes in-memory
+//! intermediates with no catalog in sight. [`TableStats::summary`]
+//! converts back to that core-side [`tqo_core::stats::TableSummary`] that
+//! rides on `Scan` nodes.
 
 use tqo_core::error::Result;
 use tqo_core::relation::Relation;
-use tqo_core::stats::{ColumnSummary, Histogram, TableSummary, HISTOGRAM_BUCKETS};
-use tqo_core::time::{Instant, Period};
+use tqo_core::stats::{ColumnSummary, Histogram, TableSummary};
+use tqo_core::time::Period;
 use tqo_core::value::Value;
 
 /// Per-column statistics.
@@ -48,94 +50,31 @@ pub struct TableStats {
 }
 
 impl TableStats {
+    /// Measure a stored relation's statistics by delegating to the shared
+    /// core routine ([`TableSummary::measure`]) and converting to the
+    /// catalog-side representation. The only representational difference
+    /// is `avg_duration`, which core keeps as a milli fixed point so the
+    /// summary stays `Eq + Hash`.
     pub fn compute(relation: &Relation) -> Result<TableStats> {
-        let schema = relation.schema();
-        let mut columns = Vec::with_capacity(schema.arity());
-        for (i, attr) in schema.attrs().iter().enumerate() {
-            let mut nulls = 0usize;
-            let mut values: Vec<Value> = Vec::with_capacity(relation.len());
-            for t in relation.tuples() {
-                let v = t.value(i);
-                if v.is_null() {
-                    nulls += 1;
-                } else {
-                    values.push(v.clone());
-                }
-            }
-            values.sort_unstable();
-            // Distinct count from the sorted run (Value's Eq is defined as
-            // its total order's Equal, so this matches a hash-set count).
-            let distinct = values.len() - values.windows(2).filter(|w| w[0] == w[1]).count();
-            columns.push(ColumnStats {
-                name: attr.name.clone(),
-                distinct,
-                nulls,
-                min: values.first().cloned(),
-                max: values.last().cloned(),
-                histogram: Histogram::from_sorted(&values, HISTOGRAM_BUCKETS),
-            });
-        }
-
-        let distinct_rows = {
-            let mut seen: HashSet<&[Value]> = HashSet::with_capacity(relation.len());
-            for t in relation.tuples() {
-                seen.insert(t.values());
-            }
-            seen.len()
-        };
-
-        let (time_range, avg_duration, max_class_overlap) = if relation.is_temporal() {
-            let mut lo: Option<Instant> = None;
-            let mut hi: Option<Instant> = None;
-            let mut total: i64 = 0;
-            for t in relation.tuples() {
-                let p = t.period(schema)?;
-                lo = Some(lo.map_or(p.start, |v| v.min(p.start)));
-                hi = Some(hi.map_or(p.end, |v| v.max(p.end)));
-                // Saturate: a handful of maximal periods (`Period::always`)
-                // must not overflow the accumulator.
-                total = total.saturating_add(p.duration());
-            }
-            let range = match (lo, hi) {
-                (Some(a), Some(b)) => Some(Period::of(a, b)),
-                _ => None,
-            };
-            let avg = if relation.is_empty() {
-                None
-            } else {
-                Some(total as f64 / relation.len() as f64)
-            };
-            // Max simultaneous value-equivalent tuples. Close events sort
-            // before open events at the same instant, so abutting (and any
-            // degenerate zero-duration) periods never count as overlapping
-            // and the live counter cannot dip below zero mid-class.
-            let mut max_overlap = 0usize;
-            for (_, indices) in relation.value_classes()? {
-                let mut events: Vec<(Instant, i32)> = Vec::with_capacity(indices.len() * 2);
-                for &i in &indices {
-                    let p = relation.tuples()[i].period(schema)?;
-                    events.push((p.start, 1));
-                    events.push((p.end, -1));
-                }
-                events.sort_unstable();
-                let mut live = 0i32;
-                for (_, d) in events {
-                    live += d;
-                    max_overlap = max_overlap.max(live.max(0) as usize);
-                }
-            }
-            (range, avg, max_overlap)
-        } else {
-            (None, None, 0)
-        };
-
+        let s = TableSummary::measure(relation)?;
         Ok(TableStats {
-            rows: relation.len(),
-            distinct_rows,
-            columns,
-            time_range,
-            avg_duration,
-            max_class_overlap,
+            rows: s.rows as usize,
+            distinct_rows: s.distinct_rows as usize,
+            columns: s
+                .columns
+                .iter()
+                .map(|c| ColumnStats {
+                    name: c.name.clone(),
+                    distinct: c.distinct as usize,
+                    nulls: c.nulls as usize,
+                    min: c.min.clone(),
+                    max: c.max.clone(),
+                    histogram: c.histogram.clone(),
+                })
+                .collect(),
+            time_range: s.time_range,
+            avg_duration: s.avg_duration_milli.map(|m| m as f64 / 1000.0),
+            max_class_overlap: s.max_class_overlap as usize,
         })
     }
 

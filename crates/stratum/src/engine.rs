@@ -47,6 +47,9 @@ pub struct StratumMetrics {
     /// carry their per-thread breakdown — `\timing` in the shell prints
     /// this report.
     pub operators: Vec<tqo_exec::OperatorMetrics>,
+    /// Adaptive checkpoint decisions of the stratum-local plan (adaptive
+    /// mode only; see [`Stratum::with_adaptive`]). `\timing` prints these.
+    pub reopts: Vec<tqo_exec::ReoptEvent>,
 }
 
 impl StratumMetrics {
@@ -61,6 +64,7 @@ pub struct Stratum {
     dbms: SimulatedDbms,
     optimizer: tqo_core::optimizer::OptimizerConfig,
     exec_mode: ExecMode,
+    adaptive: Option<tqo_exec::AdaptiveConfig>,
 }
 
 impl Stratum {
@@ -82,6 +86,7 @@ impl Stratum {
                 ..Default::default()
             },
             exec_mode,
+            adaptive: None,
         }
     }
 
@@ -111,6 +116,26 @@ impl Stratum {
     /// The engine currently executing the stratum's local operators.
     pub fn exec_mode(&self) -> ExecMode {
         self.exec_mode
+    }
+
+    /// Enable adaptive mid-query re-optimization for the stratum-local
+    /// plan (pipelined modes only; the legacy row walk stays static).
+    ///
+    /// The wire transfer is the first checkpoint: every DBMS fragment's
+    /// wired result is bound with *measured* statistics, so the stratum
+    /// remainder re-enters the optimizer with actual — not estimated —
+    /// cardinalities from the far side of the split; further checkpoints
+    /// fire at the stratum's own pipeline breakers
+    /// (see [`tqo_exec::adaptive`]). Results remain `≡SQL`-equivalent to
+    /// the static run at the query's declared result type.
+    pub fn with_adaptive(mut self, config: tqo_exec::AdaptiveConfig) -> Stratum {
+        self.adaptive = Some(config);
+        self
+    }
+
+    /// The adaptive configuration, if adaptivity is enabled.
+    pub fn adaptive(&self) -> Option<tqo_exec::AdaptiveConfig> {
+        self.adaptive
     }
 
     /// Override the optimizer's cost model (e.g. measured transfer costs
@@ -158,13 +183,27 @@ impl Stratum {
         let config = tqo_exec::PlannerConfig {
             allow_fast: false,
             mode,
-            ..Default::default()
+            strategy: self.optimizer.strategy,
+            adaptive: self.adaptive,
         };
         let started = Instant::now();
-        let physical = tqo_exec::lower(&local_plan, config)?;
-        let (result, exec_metrics) = tqo_exec::execute_mode(&physical, &env, mode)?;
+        let (result, exec_metrics) = if self.adaptive.is_some() {
+            // Adaptive: the fragment scans already carry measured wire
+            // statistics; the local remainder re-enters the rule-based
+            // optimizer at its own pipeline breakers.
+            tqo_exec::adaptive::execute_adaptive(
+                &local_plan,
+                &env,
+                Some(&tqo_core::rules::RuleSet::standard()),
+                config,
+            )?
+        } else {
+            let physical = tqo_exec::lower(&local_plan, config)?;
+            tqo_exec::execute_mode(&physical, &env, mode)?
+        };
         metrics.stratum_time += started.elapsed();
         metrics.operators = exec_metrics.operators;
+        metrics.reopts = exec_metrics.reopts;
         Ok(result)
     }
 
@@ -194,7 +233,14 @@ impl Stratum {
                 let relation = self.run_fragment(input, metrics)?;
                 let name = format!("__frag{}", *counter);
                 *counter += 1;
-                let base = BaseProps::unordered(relation.schema().clone(), relation.len() as u64);
+                // Adaptive mode measures the wired rows: the fragment scan
+                // carries actual statistics from the far side of the
+                // split, so the stratum remainder re-plans against truth.
+                let base = if self.adaptive.is_some() {
+                    BaseProps::measured(&relation)?
+                } else {
+                    BaseProps::unordered(relation.schema().clone(), relation.len() as u64)
+                };
                 env.insert(name.clone(), relation);
                 Ok(PlanNode::Scan { name, base })
             }
@@ -473,6 +519,38 @@ mod tests {
             // Pipelined modes surface the local plan's operator report.
             assert!(!pm.operators.is_empty());
             assert!(!bm.operators.is_empty());
+        }
+    }
+
+    #[test]
+    fn adaptive_stratum_admits_the_static_result() {
+        // Adaptive mode re-plans the stratum-local tree against measured
+        // wire statistics; results stay ≡SQL at the query's result type
+        // and the deterministic decisions repeat run over run.
+        let stat = Stratum::new(paper::catalog());
+        let adapt = Stratum::new(paper::catalog()).with_adaptive(tqo_exec::AdaptiveConfig {
+            q_threshold: 1.0,
+            max_reopt: 8,
+        });
+        assert!(adapt.adaptive().is_some());
+        for sql in [
+            "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+             EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+             COALESCE ORDER BY EmpName",
+            "SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+            "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p \
+             WHERE e.EmpName = p.EmpName",
+        ] {
+            let plan = tqo_sql::compile(sql, stat.dbms().catalog()).unwrap();
+            let (s, _) = stat.run_sql(sql).unwrap();
+            let (a1, m1) = adapt.run_sql(sql).unwrap();
+            let (a2, _) = adapt.run_sql(sql).unwrap();
+            assert!(
+                plan.result_type.admits(&s, &a1).unwrap(),
+                "adaptive stratum violates ≡SQL on {sql}"
+            );
+            assert_eq!(a1, a2, "adaptive decisions must be deterministic");
+            assert!(m1.fragments >= 1);
         }
     }
 

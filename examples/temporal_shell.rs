@@ -17,8 +17,13 @@
 //! * `\threads N` — execute stratum operators on the morsel-parallel
 //!   engine with `N` workers (`\threads 0` returns to the serial batch
 //!   pipeline);
+//! * `\adaptive on|off` — adaptive mid-query re-optimization: DBMS
+//!   fragments are bound with measured wire statistics and the stratum
+//!   remainder re-plans at pipeline breakers on large q-errors
+//!   (`docs/adaptive.md`);
 //! * `\timing` — toggle the per-operator report after each query,
-//!   including the per-thread breakdown under `\threads`;
+//!   including the per-thread breakdown under `\threads` and re-opt
+//!   events under `\adaptive`;
 //! * `\quit` — exit.
 //!
 //! The catalog starts pre-loaded with the paper's EMPLOYEE and PROJECT.
@@ -36,6 +41,19 @@ struct Shell {
     catalog: tqo_storage::Catalog,
     stratum: Stratum,
     timing: bool,
+    mode: ExecMode,
+    adaptive: bool,
+}
+
+impl Shell {
+    /// Rebuild the stratum from the current mode/adaptive toggles.
+    fn rebuild(&mut self) {
+        let mut stratum = Stratum::new(self.catalog.clone()).with_exec_mode(self.mode);
+        if self.adaptive {
+            stratum = stratum.with_adaptive(tqo_exec::AdaptiveConfig::default());
+        }
+        self.stratum = stratum;
+    }
 }
 
 fn main() -> io::Result<()> {
@@ -44,6 +62,8 @@ fn main() -> io::Result<()> {
         stratum: Stratum::new(catalog.clone()),
         catalog,
         timing: false,
+        mode: ExecMode::Batch,
+        adaptive: false,
     };
     let stdin = io::stdin();
     let mut out = io::stdout();
@@ -104,17 +124,36 @@ fn dispatch(input: &str, shell: &mut Shell) -> Result<String, Box<dyn std::error
     if let Some(arg) = input.strip_prefix("\\threads") {
         let arg = arg.trim();
         let threads: usize = if arg.is_empty() { 0 } else { arg.parse()? };
-        let mode = if threads == 0 {
+        shell.mode = if threads == 0 {
             ExecMode::Batch
         } else {
             ExecMode::Parallel { threads }
         };
-        shell.stratum = Stratum::new(catalog.clone()).with_exec_mode(mode);
-        return Ok(match mode {
+        shell.rebuild();
+        return Ok(match shell.mode {
             ExecMode::Parallel { threads } => {
                 format!("stratum operators now run morsel-parallel on {threads} worker(s)")
             }
             _ => "stratum operators back on the serial batch pipeline".into(),
+        });
+    }
+    if let Some(arg) = input.strip_prefix("\\adaptive") {
+        shell.adaptive = match arg.trim() {
+            "on" => true,
+            "off" => false,
+            "" => !shell.adaptive,
+            other => return Err(format!("\\adaptive on|off (got `{other}`)").into()),
+        };
+        shell.rebuild();
+        return Ok(if shell.adaptive {
+            let cfg = tqo_exec::AdaptiveConfig::default();
+            format!(
+                "adaptive re-optimization on (q-threshold {}, max {} re-plans; \
+                 \\timing shows re-opt events)",
+                cfg.q_threshold, cfg.max_reopt
+            )
+        } else {
+            "adaptive re-optimization off — static plans only".into()
         });
     }
     if input == "\\timing" {
@@ -192,9 +231,18 @@ fn dispatch(input: &str, shell: &mut Shell) -> Result<String, Box<dyn std::error
         metrics.dbms_time,
         metrics.stratum_time
     );
+    if !metrics.reopts.is_empty() {
+        let switched = metrics.reopts.iter().filter(|e| e.plan_changed).count();
+        let replanned = metrics.reopts.iter().filter(|e| e.replanned).count();
+        text.push_str(&format!(
+            "\n({} checkpoint(s): {replanned} re-planned, {switched} plan(s) switched)",
+            metrics.reopts.len()
+        ));
+    }
     if shell.timing && !metrics.operators.is_empty() {
         let report = tqo_exec::ExecMetrics {
             operators: metrics.operators.clone(),
+            reopts: metrics.reopts.clone(),
         }
         .report();
         text.push_str("\nstratum operators:\n");

@@ -148,6 +148,114 @@ pub fn optimizer_fixtures(scale: u64) -> Vec<LogicalPlan> {
     ]
 }
 
+/// Adaptive re-optimization at maximum re-planning pressure: q-errors are
+/// ≥ 1 by definition, so a threshold of 1.0 re-plans at every completed
+/// pipeline breaker (within the budget).
+pub fn adaptive_pressure_config() -> tqo_exec::AdaptiveConfig {
+    tqo_exec::AdaptiveConfig {
+        q_threshold: 1.0,
+        max_reopt: 8,
+    }
+}
+
+/// True when the suite runs under the CI matrix leg `ADAPTIVE=1`, which
+/// widens the adaptive legs to the full SQL query pool and the layered
+/// stratum engine.
+pub fn adaptive_pressure() -> bool {
+    std::env::var("ADAPTIVE").is_ok_and(|v| v == "1")
+}
+
+/// The adaptive legs of the engine-equality suites, run at maximum
+/// re-planning pressure (`q_threshold = 1.0`):
+///
+/// * **Re-lowering legs** (no rule re-entry): every adaptive decision is a
+///   deterministic function of actual cardinalities, which all engines
+///   agree on — so the row, batch, and parallel engines (threads 1 and 4)
+///   must produce *byte-identical* results; the faithful leg must equal
+///   the reference interpreter exactly, and the fast leg must stay
+///   admissible at the plan's declared result type.
+/// * **Rule re-entry leg** (memo search on every remainder): the chosen
+///   remainder depends on the engine-calibrated cost model, so engines
+///   are held to the result-type contract, exactly as statically
+///   optimized plans are in the rest of the suite.
+pub fn assert_adaptive_agrees(
+    plan: &LogicalPlan,
+    env: &tqo_core::interp::Env,
+    reference: &Relation,
+    context: &str,
+) {
+    use tqo_core::optimizer::SearchStrategy;
+    use tqo_exec::{execute_adaptive, ExecMode, PlannerConfig};
+
+    let rules = tqo_core::rules::RuleSet::standard();
+    let acfg = adaptive_pressure_config();
+    let modes = [
+        ExecMode::Row,
+        ExecMode::Batch,
+        ExecMode::Parallel { threads: 1 },
+        ExecMode::Parallel { threads: 4 },
+    ];
+
+    for allow_fast in [false, true] {
+        let mut first: Option<Relation> = None;
+        for mode in modes {
+            let config = PlannerConfig {
+                allow_fast,
+                mode,
+                strategy: SearchStrategy::Memo,
+                adaptive: Some(acfg),
+            };
+            let (got, metrics) = execute_adaptive(plan, env, None, config)
+                .unwrap_or_else(|e| panic!("adaptive run failed on {context}: {e:?}"));
+            // Under maximum pressure every in-budget checkpoint re-plans.
+            assert!(
+                metrics
+                    .reopts
+                    .iter()
+                    .take(acfg.max_reopt)
+                    .all(|e| e.replanned),
+                "q_threshold=1.0 checkpoint did not re-plan on {context}"
+            );
+            match &first {
+                None => first = Some(got),
+                Some(f) => assert_eq!(
+                    f, &got,
+                    "adaptive engines diverge (allow_fast={allow_fast}, {mode:?}) on {context}"
+                ),
+            }
+        }
+        let got = first.expect("modes executed");
+        if allow_fast {
+            assert!(
+                plan.result_type.admits(reference, &got).unwrap(),
+                "fast adaptive run violates ≡SQL on {context}"
+            );
+        } else {
+            assert_eq!(
+                &got, reference,
+                "faithful adaptive run diverges from the interpreter on {context}"
+            );
+        }
+    }
+
+    // Rule re-entry: the memo optimizer re-searches every remainder with
+    // measured statistics. Held to the result-type contract per engine.
+    for mode in modes {
+        let config = PlannerConfig {
+            allow_fast: true,
+            mode,
+            strategy: SearchStrategy::Memo,
+            adaptive: Some(acfg),
+        };
+        let (got, _) = execute_adaptive(plan, env, Some(&rules), config)
+            .unwrap_or_else(|e| panic!("rule re-entry failed on {context}: {e:?}"));
+        assert!(
+            plan.result_type.admits(reference, &got).unwrap(),
+            "rule re-entry violates ≡SQL ({mode:?}) on {context}"
+        );
+    }
+}
+
 /// All instants worth probing for a set of relations (shared endpoints ± 1).
 pub fn probes(relations: &[&Relation]) -> Vec<i64> {
     let mut pts = Vec::new();

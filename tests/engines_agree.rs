@@ -7,7 +7,7 @@
 
 mod common;
 
-use common::{arb_snapshot, arb_temporal};
+use common::{arb_snapshot, arb_temporal, assert_adaptive_agrees};
 use proptest::prelude::*;
 
 use tqo_core::interp::eval_plan;
@@ -115,6 +115,19 @@ fn agree_on_catalog(catalog: &Catalog) {
             plan.result_type.admits(&reference, &optimized).unwrap(),
             "optimized stratum violates ≡SQL on {sql}"
         );
+
+        // Adaptive legs over the full SQL pool plus the adaptive layered
+        // engine — the CI matrix leg `ADAPTIVE=1` turns these on.
+        if common::adaptive_pressure() {
+            assert_adaptive_agrees(&plan, &env, &reference, sql);
+            let adaptive_stratum =
+                Stratum::new(catalog.clone()).with_adaptive(common::adaptive_pressure_config());
+            let (via_adaptive, _) = adaptive_stratum.run(&layered).unwrap();
+            assert!(
+                plan.result_type.admits(&reference, &via_adaptive).unwrap(),
+                "adaptive stratum violates ≡SQL on {sql}"
+            );
+        }
     }
 }
 
@@ -184,6 +197,10 @@ fn engines_agree_on_fixture_plans_over_generated_relations() {
                 plan.result_type.admits(&reference, &fast).unwrap(),
                 "fast engines violate ≡SQL on {context}"
             );
+            // Every pooled fixture also runs with AdaptiveConfig enabled
+            // at q_threshold = 1.0 — maximum re-planning pressure — and
+            // must still satisfy interp ≡ row ≡ batch ≡ parallel.
+            assert_adaptive_agrees(&plan, &env, &reference, &context);
         }
     }
 }
@@ -261,6 +278,8 @@ proptest! {
         }
         let fast = assert_engines_exact(&plan, &env, sql);
         prop_assert!(plan.result_type.admits(&reference, &fast).unwrap());
+        // The proptest pool runs adaptively at q_threshold = 1.0 too.
+        assert_adaptive_agrees(&plan, &env, &reference, sql);
         let stratum = Stratum::new(catalog.clone());
         let (via_stratum, _) = stratum.run(&make_layered(&plan).unwrap()).unwrap();
         prop_assert_eq!(via_stratum, reference);
