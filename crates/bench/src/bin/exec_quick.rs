@@ -304,12 +304,111 @@ fn main() {
     writeln!(ablock, "    ]").unwrap();
     write!(ablock, "  }}").unwrap();
 
+    // Observability: what the tracing instrumentation costs.
+    //
+    // (a) `disabled_span_ns` — the disabled fast path measured directly:
+    //     ns per span call site with no collector installed (one relaxed
+    //     atomic load; name/args closures never run).
+    // (b) per hot operator, `disabled_overhead_pct` — that fast-path cost
+    //     times the spans the query actually emits, as a percentage of
+    //     untraced wall time. This is the "tracing compiled in but off"
+    //     overhead the ≤ 2% acceptance bound applies to.
+    // (c) `traced_overhead_pct` — measured wall-time overhead with a
+    //     collector installed and recording, for reference (not bounded;
+    //     small negatives are timer noise).
+    let span_iters = 4_000_000u32;
+    let started = Instant::now();
+    for _ in 0..span_iters {
+        let span = std::hint::black_box(tqo_core::trace::span(
+            tqo_core::trace::Category::Exec,
+            "bench",
+        ));
+        drop(span);
+    }
+    let disabled_ns = started.elapsed().as_nanos() as f64 / f64::from(span_iters);
+    let (oenv, ocases) = exec_throughput_workload(rows, 17);
+    for case in &ocases {
+        execute_mode(&case.plan, &oenv, ExecMode::Batch).expect("warms");
+    }
+    let mut oblock = String::new();
+    writeln!(oblock, "  \"observability\": {{").unwrap();
+    writeln!(oblock, "    \"disabled_span_ns\": {disabled_ns:.3},").unwrap();
+    writeln!(oblock, "    \"cases\": [").unwrap();
+    eprintln!(
+        "\n{:<22} {:>8} {:>12} {:>12} {:>11} {:>10}",
+        "observability", "spans", "wall ms", "traced ms", "disabled %", "traced %"
+    );
+    for (i, case) in ocases.iter().enumerate() {
+        let collector = tqo_core::trace::Collector::new();
+        // One traced run to count the spans this query emits…
+        let spans = {
+            let _guard = tqo_core::trace::install(&collector);
+            execute_mode(&case.plan, &oenv, ExecMode::Batch).expect("traced run");
+            collector.finish().events.len()
+        };
+        // …then best-of untraced and traced wall time, *interleaved* so
+        // both see the same cache and clock state (sequencing the two
+        // measurements minutes apart reads as fake double-digit overhead).
+        // The ring is drained between runs, outside the timed region.
+        let mut wall = Duration::MAX;
+        let mut traced_wall = Duration::MAX;
+        for _ in 0..ITERS {
+            let started = Instant::now();
+            execute_mode(&case.plan, &oenv, ExecMode::Batch).expect("untraced run");
+            wall = wall.min(started.elapsed());
+            let started = Instant::now();
+            {
+                let _guard = tqo_core::trace::install(&collector);
+                execute_mode(&case.plan, &oenv, ExecMode::Batch).expect("traced run");
+            }
+            traced_wall = traced_wall.min(started.elapsed());
+            collector.finish();
+        }
+        let disabled_pct = disabled_ns * spans as f64 / wall.as_nanos() as f64 * 100.0;
+        let traced_pct = (traced_wall.as_secs_f64() / wall.as_secs_f64() - 1.0) * 100.0;
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        eprintln!(
+            "{:<22} {spans:>8} {:>12.3} {:>12.3} {disabled_pct:>10.4}% {traced_pct:>9.2}%",
+            case.name,
+            ms(wall),
+            ms(traced_wall)
+        );
+        writeln!(oblock, "      {{").unwrap();
+        writeln!(oblock, "        \"name\": \"{}\",", case.name).unwrap();
+        writeln!(oblock, "        \"spans\": {spans},").unwrap();
+        writeln!(oblock, "        \"batch_wall_ms\": {:.3},", ms(wall)).unwrap();
+        writeln!(
+            oblock,
+            "        \"traced_wall_ms\": {:.3},",
+            ms(traced_wall)
+        )
+        .unwrap();
+        writeln!(
+            oblock,
+            "        \"disabled_overhead_pct\": {disabled_pct:.4},"
+        )
+        .unwrap();
+        writeln!(oblock, "        \"traced_overhead_pct\": {traced_pct:.3}").unwrap();
+        writeln!(
+            oblock,
+            "      }}{}",
+            if i + 1 < ocases.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(oblock, "    ]").unwrap();
+    write!(oblock, "  }}").unwrap();
+
     json.push_str(&ablock);
+    writeln!(json, ",").unwrap();
+    json.push_str(&oblock);
     writeln!(json).unwrap();
     writeln!(json, "}}").unwrap();
     std::fs::write(&out_path, json).expect("write BENCH_exec.json");
-    // The adaptive block also ships standalone, for the CI artifact.
+    // The adaptive and observability blocks also ship standalone, for the
+    // CI artifacts.
     std::fs::write("BENCH_adaptive.json", format!("{{\n{ablock}\n}}\n"))
         .expect("write BENCH_adaptive.json");
-    eprintln!("wrote {out_path} and BENCH_adaptive.json");
+    std::fs::write("BENCH_obs.json", format!("{{\n{oblock}\n}}\n")).expect("write BENCH_obs.json");
+    eprintln!("wrote {out_path}, BENCH_adaptive.json, and BENCH_obs.json");
 }

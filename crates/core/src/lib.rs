@@ -30,6 +30,9 @@
 //! * [`columnar`] — column-major relation storage (typed vectors, null
 //!   masks, shared strings), the data layout of `tqo-exec`'s vectorized
 //!   batch engine.
+//! * [`trace`] — the observability layer: structured spans with a
+//!   per-query ring-buffer collector (Chrome trace-event export) and a
+//!   process-wide counter registry, zero-cost when disabled.
 
 #![warn(missing_docs)]
 
@@ -51,6 +54,7 @@ pub mod schema;
 pub mod sortspec;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod tuple;
 pub mod value;
 

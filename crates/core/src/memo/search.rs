@@ -12,6 +12,7 @@ use crate::memo::MemoConfig;
 use crate::plan::props::PropsFlags;
 use crate::plan::LogicalPlan;
 use crate::rules::RuleSet;
+use crate::trace::{self, counters, Category};
 
 /// Search-space counters for comparing against the exhaustive enumerator.
 #[derive(Debug, Clone, Copy, Default)]
@@ -74,10 +75,27 @@ pub fn memo_search(
         expr: root_expr,
         ctx: root_ctx,
     });
-    explorer.run()?;
+    {
+        let mut span = trace::span(Category::Optimizer, "memo.explore");
+        explorer.run()?;
+        let s = &explorer.stats;
+        let memo = &explorer.memo;
+        span.note_with(|| {
+            format!(
+                "\"groups\": {}, \"exprs\": {}, \"tasks\": {}, \"applications\": {}",
+                memo.group_count(),
+                memo.expr_count(),
+                s.tasks,
+                s.applications
+            )
+        });
+    }
 
     let explore_stats = explorer.stats;
     let mut memo = explorer.memo;
+    counters::MEMO_GROUPS.add(memo.group_count() as u64);
+    counters::MEMO_EXPRS.add(memo.expr_count() as u64);
+    counters::RULES_FIRED.add(explore_stats.applications as u64);
 
     // Branch-and-bound anchor: the input plan is always available, so no
     // optimal plan costs more.
@@ -95,8 +113,10 @@ pub fn memo_search(
         truncated,
     };
 
+    let extract_span = trace::span(Category::Optimizer, "memo.extract");
     let (best, converged) =
         Extractor::new(&mut memo, cost_model, config).best(root_expr, root_ctx, upper)?;
+    drop(extract_span);
     let truncated = explore_stats.truncated || !converged;
     match best {
         Some(entry) => {

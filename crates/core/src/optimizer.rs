@@ -7,6 +7,7 @@ use crate::error::Result;
 use crate::memo::{memo_search, MemoConfig, MemoStats};
 use crate::plan::LogicalPlan;
 use crate::rules::RuleSet;
+use crate::trace::{self, counters, Category};
 
 /// Which plan-search engine drives the optimizer.
 ///
@@ -94,10 +95,16 @@ pub fn optimize(
     rules: &RuleSet,
     config: &OptimizerConfig,
 ) -> Result<Optimized> {
-    match config.strategy {
+    let mut span = trace::span(Category::Optimizer, "optimize");
+    span.note_with(|| format!("\"strategy\": \"{:?}\"", config.strategy));
+    let out = match config.strategy {
         SearchStrategy::Exhaustive => optimize_exhaustive(initial, rules, config),
         SearchStrategy::Memo => optimize_memo(initial, rules, config),
+    };
+    if let Ok(o) = &out {
+        span.note_with(|| format!("\"cost\": {:.0}, \"truncated\": {}", o.cost.0, o.truncated));
     }
+    out
 }
 
 /// Enumerate equivalent plans (Figure 5) and return the cheapest
@@ -107,7 +114,19 @@ pub fn optimize_exhaustive(
     rules: &RuleSet,
     config: &OptimizerConfig,
 ) -> Result<Optimized> {
-    let enumeration = enumerate(initial, rules, config.enumeration)?;
+    let enumeration = {
+        let mut span = trace::span(Category::Optimizer, "enumerate");
+        let e = enumerate(initial, rules, config.enumeration)?;
+        span.note_with(|| {
+            format!(
+                "\"plans\": {}, \"applications\": {}",
+                e.plans.len(),
+                e.applications
+            )
+        });
+        e
+    };
+    counters::RULES_FIRED.add(enumeration.applications as u64);
     let mut best_index = 0;
     let mut best_cost = Cost::INVALID;
     for (i, candidate) in enumeration.plans.iter().enumerate() {

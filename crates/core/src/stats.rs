@@ -38,6 +38,21 @@ use crate::value::Value;
 /// Default number of equi-depth histogram buckets.
 pub const HISTOGRAM_BUCKETS: usize = 8;
 
+/// Median of a slice of finite values (sorts in place); `None` when
+/// empty. **The one shared definition** for every q-error/latency summary
+/// in the workspace (`ExecMetrics::median_q_error`, benches, regression
+/// tests): on even lengths it takes the **upper median** (`values[n/2]`
+/// after sorting), never an interpolated midpoint — summaries stay actual
+/// observed values and different consumers can never disagree by half a
+/// bucket.
+pub fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    Some(values[values.len() / 2])
+}
+
 /// An equi-depth histogram over one column's non-null values.
 ///
 /// `bounds[i]` is the largest value in bucket `i`; buckets hold
@@ -741,5 +756,17 @@ mod tests {
         ];
         let sel = selectivity(&Expr::eq(Expr::col("A"), Expr::col("B")), &schema, &st);
         assert!((sel - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_pins_the_upper_median_convention() {
+        assert_eq!(median(&mut []), None);
+        assert_eq!(median(&mut [7.0]), Some(7.0));
+        // Odd length: the middle element.
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), Some(2.0));
+        // Even length: the UPPER median (values[n/2] after sorting), never
+        // the interpolated midpoint — pinned so benches/tests agree.
+        assert_eq!(median(&mut [1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), Some(3.0));
     }
 }

@@ -1,0 +1,191 @@
+//! Process-wide monotonic counters.
+//!
+//! A tiny static registry of named `AtomicU64`s incremented from hot
+//! paths across the workspace (memo search, statistics cache, morsel
+//! scheduler, adaptive re-planner, stratum wire). Unlike the per-query
+//! [`Collector`](super::Collector), counters are always on — one relaxed
+//! `fetch_add` per increment, no allocation — and accumulate for the
+//! whole process. Dump them with [`snapshot`] / [`to_json`], or from the
+//! shell with `\counters`.
+//!
+//! Counters are monotonic: tests and tools should compare *deltas*, not
+//! absolutes, since other queries in the same process also increment
+//! them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter.
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    const fn new(name: &'static str, help: &'static str) -> Self {
+        Counter {
+            name,
+            help,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's registry name (snake_case, stable).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of what an increment means.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Add `n` to the counter (relaxed; safe from any thread).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+macro_rules! counters {
+    ($($(#[doc = $doc:expr])+ $vis:vis static $ident:ident = ($name:literal, $help:literal);)+) => {
+        $(
+            $(#[doc = $doc])+
+            $vis static $ident: Counter = Counter::new($name, $help);
+        )+
+
+        /// Every registered counter, in declaration order.
+        pub fn all() -> &'static [&'static Counter] {
+            static ALL: &[&Counter] = &[$(&$ident),+];
+            ALL
+        }
+    };
+}
+
+counters! {
+    /// Queries run end to end (stratum `run_sql*` entry points).
+    pub static QUERIES_EXECUTED = (
+        "queries_executed",
+        "queries run end to end through the stratum"
+    );
+    /// Logical expressions added to memo groups during search.
+    pub static MEMO_EXPRS = (
+        "memo_exprs",
+        "logical expressions materialized in memo groups"
+    );
+    /// Equivalence groups created by memo search.
+    pub static MEMO_GROUPS = (
+        "memo_groups",
+        "equivalence groups created by memo search"
+    );
+    /// Successful transformation-rule applications (memo + exhaustive).
+    pub static RULES_FIRED = (
+        "rules_fired",
+        "transformation rule applications during plan search"
+    );
+    /// Table-statistics requests answered from the cache.
+    pub static STATS_CACHE_HITS = (
+        "stats_cache_hits",
+        "table statistics served from the per-table cache"
+    );
+    /// Table-statistics requests that recomputed from rows.
+    pub static STATS_CACHE_MISSES = (
+        "stats_cache_misses",
+        "table statistics recomputed from base rows"
+    );
+    /// Cached statistics discarded because the table mutated.
+    pub static STATS_CACHE_INVALIDATIONS = (
+        "stats_cache_invalidations",
+        "cached table statistics invalidated by mutation"
+    );
+    /// Morsels handed to the parallel engine's worker pool.
+    pub static MORSELS_DISPATCHED = (
+        "morsels_dispatched",
+        "morsels dispatched to parallel workers"
+    );
+    /// Adaptive checkpoints that triggered a mid-query re-plan.
+    pub static REOPTS_TRIGGERED = (
+        "reopts_triggered",
+        "adaptive checkpoints that re-invoked the optimizer"
+    );
+    /// DBMS fragments executed and shipped over the wire.
+    pub static FRAGMENTS_EXECUTED = (
+        "fragments_executed",
+        "DBMS fragments executed for stratum queries"
+    );
+    /// Rows moved DBMS → stratum over the wire.
+    pub static WIRE_ROWS = (
+        "wire_rows",
+        "rows transferred from the DBMS to the stratum"
+    );
+    /// Bytes moved DBMS → stratum over the wire.
+    pub static WIRE_BYTES = (
+        "wire_bytes",
+        "bytes transferred from the DBMS to the stratum"
+    );
+}
+
+/// A point-in-time reading of every counter: `(name, value)` pairs in
+/// declaration order.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    all().iter().map(|c| (c.name(), c.get())).collect()
+}
+
+/// Render every counter as a JSON object (`{"name": value, ...}`),
+/// stable declaration order — the `\counters`/BENCH dump format.
+pub fn to_json() -> String {
+    let mut out = String::from("{");
+    for (i, c) in all().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", c.name(), c.get()));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_monotonic() {
+        let names: Vec<_> = all().iter().map(|c| c.name()).collect();
+        assert!(names.contains(&"memo_exprs"));
+        assert!(names.contains(&"morsels_dispatched"));
+        assert!(names.contains(&"stats_cache_invalidations"));
+        // Unique names.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+        // Every counter carries help text.
+        assert!(all().iter().all(|c| !c.help().is_empty()));
+
+        let before = MEMO_EXPRS.get();
+        MEMO_EXPRS.add(3);
+        MEMO_EXPRS.incr();
+        assert_eq!(MEMO_EXPRS.get() - before, 4);
+    }
+
+    #[test]
+    fn json_dump_covers_every_counter() {
+        let json = to_json();
+        for c in all() {
+            assert!(json.contains(&format!("\"{}\":", c.name())), "{}", c.name());
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -50,6 +50,8 @@ use tqo_core::plan::{BaseProps, LogicalPlan, Path, PlanNode};
 use tqo_core::relation::Relation;
 use tqo_core::rules::RuleSet;
 
+use tqo_core::trace::{self, counters, Category};
+
 use crate::executor::execute_mode;
 use crate::metrics::{ExecMetrics, ReoptEvent};
 use crate::physical::{PhysicalNode, PhysicalPlan};
@@ -249,6 +251,7 @@ fn drive(
             break;
         };
         debug_assert_eq!(logical.root.size(), physical.root.size());
+        let mut ckpt_span = trace::span_with(Category::Adaptive, || format!("checkpoint {ckpt}"));
 
         // Execute the stage subtree on the active engine, with its slice
         // of the post-order estimates so the breaker reports a q-error.
@@ -295,6 +298,7 @@ fn drive(
 
         let triggered = budget_left && q.is_some_and(|q| q >= acfg.q_threshold);
         if triggered {
+            counters::REOPTS_TRIGGERED.incr();
             replans += 1;
             if let Some(rules) = rules {
                 logical = optimize(&logical, rules, &reopt_config(config))?.best;
@@ -303,6 +307,26 @@ fn drive(
         } else {
             physical = spliced.clone();
         }
+        trace::instant_with(
+            Category::Adaptive,
+            || format!("reopt @ {label}"),
+            || {
+                format!(
+                    "\"est\": {}, \"actual\": {actual}, \"q\": {}, \"replanned\": {triggered}, \
+                     \"plan_changed\": {}",
+                    est.map_or_else(|| "null".into(), |e| e.to_string()),
+                    q.map_or_else(|| "null".into(), |q| format!("{q:.2}")),
+                    triggered && physical.root != spliced.root,
+                )
+            },
+        );
+        ckpt_span.note_with(|| {
+            format!(
+                "\"breaker\": \"{}\", \"rows\": {actual}",
+                trace::json_escape(&label)
+            )
+        });
+        drop(ckpt_span);
         metrics.reopts.push(ReoptEvent {
             checkpoint: label,
             est_rows: est,

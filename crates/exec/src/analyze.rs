@@ -1,0 +1,325 @@
+//! `EXPLAIN ANALYZE`: execute a plan, then render it annotated with what
+//! actually happened.
+//!
+//! The renderer joins the physical plan's tree shape with the engines'
+//! post-order [`OperatorMetrics`] and prints, per operator: estimated
+//! rows, actual rows, the q-error between them, **exclusive** wall time
+//! (children subtracted), cpu time with the worker count that produced
+//! it, and output throughput (`—` when the operator finished below the
+//! timer's resolution). The same columns render on all three engines —
+//! row, batch, and morsel-parallel — and through the stratum, so a plan
+//! can be compared across engines line by line.
+//!
+//! Adaptive runs have no single static plan (the remainder is re-lowered
+//! at checkpoints), so they render as a flat list in execution order with
+//! each re-opt decision inlined directly after its checkpoint operator.
+//!
+//! Analysis never perturbs the query: the result relation returned by
+//! [`explain_analyze`] is byte-identical to a plain
+//! [`execute_logical`](crate::executor::execute_logical) run.
+
+use std::time::Duration;
+
+use tqo_core::error::Result;
+use tqo_core::interp::Env;
+use tqo_core::plan::LogicalPlan;
+use tqo_core::relation::Relation;
+
+use crate::executor::execute_mode;
+use crate::metrics::{ExecMetrics, OperatorMetrics};
+use crate::physical::{PhysicalNode, PhysicalPlan};
+use crate::planner::{lower, PlannerConfig};
+
+/// The output of [`explain_analyze`]: the (unperturbed) query result, the
+/// raw metrics, and the rendered report.
+#[derive(Debug)]
+pub struct Analyzed {
+    /// The query result — byte-identical to a plain execution.
+    pub result: Relation,
+    /// The per-operator metrics the report was rendered from.
+    pub metrics: ExecMetrics,
+    /// The executed physical plan (`None` under adaptive execution,
+    /// which stages and re-lowers rather than fixing one plan).
+    pub plan: Option<PhysicalPlan>,
+    /// The annotated report.
+    pub report: String,
+}
+
+/// Lower and execute `plan` on the engine selected by `config.mode`
+/// (adaptively when `config.adaptive` is set), then render the analyze
+/// report.
+pub fn explain_analyze(plan: &LogicalPlan, env: &Env, config: PlannerConfig) -> Result<Analyzed> {
+    if config.adaptive.is_some() {
+        let (result, metrics) = crate::adaptive::execute_adaptive(plan, env, None, config)?;
+        let report = render(None, &metrics, &engine_name(config));
+        return Ok(Analyzed {
+            result,
+            metrics,
+            plan: None,
+            report,
+        });
+    }
+    let physical = lower(plan, config)?;
+    let (result, metrics) = execute_mode(&physical, env, config.mode)?;
+    let report = render(Some(&physical), &metrics, &engine_name(config));
+    Ok(Analyzed {
+        result,
+        metrics,
+        plan: Some(physical),
+        report,
+    })
+}
+
+fn engine_name(config: PlannerConfig) -> String {
+    if config.adaptive.is_some() {
+        format!("{:?}, adaptive", config.mode)
+    } else {
+        format!("{:?}", config.mode)
+    }
+}
+
+/// Render the analyze report for an executed plan.
+///
+/// With `plan` given (and its post-order matching `metrics.operators`),
+/// operators render as an indented tree in plan order. Without it —
+/// adaptive runs, or metrics from a staged execution — operators render
+/// as a flat list in execution order. Re-opt events are inlined after
+/// the checkpoint operator they fired at in both shapes.
+pub fn render(plan: Option<&PhysicalPlan>, metrics: &ExecMetrics, engine: &str) -> String {
+    let mut out = format!("EXPLAIN ANALYZE ({engine} engine)\n");
+    out.push_str(&format!(
+        "{:<44} {:>9} {:>9} {:>7} {:>11} {:>11} {:>4} {:>12}\n",
+        "operator", "est rows", "act rows", "q-err", "time", "cpu", "thr", "rows/s"
+    ));
+    match plan {
+        Some(p) if p.root.size() == metrics.operators.len() => {
+            render_tree(&p.root, 0, &mut PostOrder { offset: 0 }, metrics, &mut out);
+        }
+        _ => {
+            let mut reopt_cursor = 0usize;
+            for op in &metrics.operators {
+                out.push_str(&row(&op.label, 0, op));
+                // A stage always ends at its checkpoint breaker: inline
+                // the decision right where it happened.
+                if metrics
+                    .reopts
+                    .get(reopt_cursor)
+                    .is_some_and(|e| e.checkpoint == op.label)
+                {
+                    out.push_str(&format!(
+                        "  ↳ {}\n",
+                        metrics.reopts[reopt_cursor].describe()
+                    ));
+                    reopt_cursor += 1;
+                }
+            }
+        }
+    }
+    let wall = metrics.total_time();
+    let cpu = metrics.total_cpu_time();
+    out.push_str(&format!(
+        "total: {wall:?} operator wall, {cpu:?} cpu across {} operator(s)",
+        metrics.operators.len()
+    ));
+    if let Some(q) = metrics.median_q_error() {
+        out.push_str(&format!(", median q-error {q:.2}"));
+    }
+    if !metrics.reopts.is_empty() {
+        out.push_str(&format!(
+            ", {} checkpoint(s) / {} re-plan(s)",
+            metrics.reopts.len(),
+            metrics.replanned_count()
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Post-order index bookkeeping for the tree renderer: each subtree of
+/// size `n` occupies `n` consecutive post-order slots, the root taking
+/// the last one.
+struct PostOrder {
+    offset: usize,
+}
+
+fn render_tree(
+    node: &PhysicalNode,
+    depth: usize,
+    po: &mut PostOrder,
+    metrics: &ExecMetrics,
+    out: &mut String,
+) {
+    // The node's post-order index is offset + size - 1; children occupy
+    // the slots before it in declaration order.
+    let index = po.offset + node.size() - 1;
+    let op = &metrics.operators[index];
+    out.push_str(&row(&op.label, depth, op));
+    let mut child_offset = po.offset;
+    for c in node.children() {
+        let mut child_po = PostOrder {
+            offset: child_offset,
+        };
+        render_tree(c, depth + 1, &mut child_po, metrics, out);
+        child_offset += c.size();
+    }
+    po.offset = index + 1;
+}
+
+fn row(label: &str, depth: usize, op: &OperatorMetrics) -> String {
+    let indented = format!("{}{}", "  ".repeat(depth), label);
+    let est = op.est_rows.map_or_else(|| "-".into(), |e| e.to_string());
+    let q = op
+        .q_error()
+        .map_or_else(|| "-".into(), |q| format!("{q:.2}"));
+    let cpu = format!("{:?}", op.cpu_time());
+    let rate = op
+        .throughput()
+        .map_or_else(|| "—".into(), |r| format!("{r:.0}"));
+    format!(
+        "{indented:<44} {est:>9} {:>9} {q:>7} {:>11} {cpu:>11} {:>4} {rate:>12}\n",
+        op.rows_out,
+        format!("{:?}", op.elapsed),
+        op.threads(),
+    )
+}
+
+/// Debug-assertion helper shared by tests: for serial engines every
+/// operator must report `cpu_time == elapsed` (no thread breakdown to
+/// diverge), and on every engine the sum of exclusive operator times can
+/// never exceed `wall` (the measured end-to-end query time).
+pub fn check_time_invariants(metrics: &ExecMetrics, wall: Duration, serial: bool) {
+    if serial {
+        for op in &metrics.operators {
+            assert!(
+                op.thread_times.is_empty() && op.cpu_time() == op.elapsed,
+                "serial operator `{}` must report cpu_time == elapsed",
+                op.label
+            );
+        }
+    }
+    let sum = metrics.total_time();
+    assert!(
+        sum <= wall,
+        "sum of exclusive operator times {sum:?} exceeds query wall time {wall:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExecMode;
+    use crate::metrics::ReoptEvent;
+    use tqo_core::equivalence::ResultType;
+    use tqo_core::plan::PlanBuilder;
+    use tqo_core::sortspec::Order;
+    use tqo_storage::paper;
+
+    fn figure2a() -> LogicalPlan {
+        let cat = paper::catalog();
+        let emp = PlanBuilder::scan("EMPLOYEE", cat.base_props("EMPLOYEE").unwrap())
+            .project_cols(&["EmpName", "T1", "T2"])
+            .rdup_t();
+        let prj = PlanBuilder::scan("PROJECT", cat.base_props("PROJECT").unwrap())
+            .project_cols(&["EmpName", "T1", "T2"]);
+        let root = emp
+            .difference_t(prj)
+            .rdup_t()
+            .coalesce()
+            .sort(Order::asc(&["EmpName"]))
+            .node();
+        LogicalPlan::new(root, ResultType::List(Order::asc(&["EmpName"])))
+    }
+
+    #[test]
+    fn analyze_renders_every_operator_with_columns() {
+        let cat = paper::catalog();
+        for mode in [
+            ExecMode::Row,
+            ExecMode::Batch,
+            ExecMode::Parallel { threads: 2 },
+        ] {
+            let a = explain_analyze(
+                &figure2a(),
+                &cat.env(),
+                PlannerConfig {
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(a.result, paper::figure1_result());
+            let plan = a.plan.as_ref().unwrap();
+            assert_eq!(plan.root.size(), a.metrics.operators.len());
+            for col in ["est rows", "act rows", "q-err", "cpu", "thr", "rows/s"] {
+                assert!(
+                    a.report.contains(col),
+                    "missing column {col}:\n{}",
+                    a.report
+                );
+            }
+            for op in &a.metrics.operators {
+                assert!(
+                    a.report.contains(&op.label),
+                    "missing {}:\n{}",
+                    op.label,
+                    a.report
+                );
+            }
+            // The tree view indents children under the root operator.
+            assert!(a.report.contains("\n  "), "no indentation:\n{}", a.report);
+        }
+    }
+
+    #[test]
+    fn flat_view_inlines_reopts_after_their_checkpoint() {
+        let op = |label: &str| OperatorMetrics {
+            label: label.into(),
+            rows_in: 0,
+            rows_out: 5,
+            est_rows: Some(50),
+            batches: 1,
+            elapsed: Duration::from_micros(3),
+            thread_times: Vec::new(),
+        };
+        let metrics = ExecMetrics {
+            operators: vec![op("scan(R)"), op("rdupT[sweep]"), op("sort[stable]")],
+            reopts: vec![ReoptEvent {
+                checkpoint: "rdupT[sweep]".into(),
+                est_rows: Some(50),
+                actual_rows: 5,
+                q_error: Some(10.0),
+                replanned: true,
+                plan_changed: true,
+            }],
+        };
+        let report = render(None, &metrics, "Batch, adaptive");
+        let reopt_at = report
+            .find("↳ reopt @ rdupT[sweep]")
+            .expect("inlined event");
+        let sort_at = report.find("sort[stable]").unwrap();
+        assert!(
+            reopt_at < sort_at,
+            "re-opt must appear before the next stage:\n{report}"
+        );
+        assert!(report.contains("plan CHANGED"), "{report}");
+    }
+
+    #[test]
+    fn sub_resolution_operators_render_a_dash() {
+        let metrics = ExecMetrics {
+            operators: vec![OperatorMetrics {
+                label: "select".into(),
+                rows_in: 1,
+                rows_out: 1,
+                est_rows: None,
+                batches: 1,
+                elapsed: Duration::ZERO,
+                thread_times: Vec::new(),
+            }],
+            reopts: Vec::new(),
+        };
+        let report = render(None, &metrics, "Row");
+        let line = report.lines().find(|l| l.contains("select")).unwrap();
+        assert!(line.trim_end().ends_with('—'), "{report}");
+    }
+}

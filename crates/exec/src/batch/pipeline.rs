@@ -29,6 +29,7 @@ use tqo_core::ops;
 use tqo_core::relation::Relation;
 use tqo_core::schema::Schema;
 use tqo_core::sortspec::Order;
+use tqo_core::trace::{self, Category};
 use tqo_core::tuple::Tuple;
 
 use crate::metrics::{ExecMetrics, OperatorMetrics};
@@ -90,6 +91,11 @@ impl BatchOperator for Metered {
     }
 
     fn open(&mut self) -> Result<()> {
+        // Blocking operators do their real work in open (build phases), so
+        // it gets its own span; child opens nest inside it.
+        let _span = trace::span_with(Category::Exec, || {
+            format!("{}.open", self.sink.borrow().nodes[self.id].label)
+        });
         let started = Instant::now();
         let result = self.inner.open();
         self.sink.borrow_mut().nodes[self.id].inclusive += started.elapsed();
@@ -97,6 +103,9 @@ impl BatchOperator for Metered {
     }
 
     fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let mut span = trace::span_with(Category::Exec, || {
+            self.sink.borrow().nodes[self.id].label.clone()
+        });
         let started = Instant::now();
         let result = self.inner.next_batch();
         let elapsed = started.elapsed();
@@ -106,6 +115,7 @@ impl BatchOperator for Metered {
         if let Ok(Some(b)) = &result {
             node.rows_out += b.num_rows();
             node.batches += 1;
+            span.note_with(|| format!("\"rows\": {}", b.num_rows()));
         }
         result
     }
@@ -904,6 +914,7 @@ fn build(node: &PhysicalNode, env: &Env, sink: &SharedSink) -> Result<(BoxOp, us
 
 /// Execute a physical plan through the batch pipeline.
 pub fn execute_batch(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMetrics)> {
+    let _span = trace::span(Category::Exec, "batch.pipeline");
     let sink: SharedSink = Rc::new(RefCell::new(Sink::default()));
     let (mut root, _) = build(&plan.root, env, &sink)?;
     root.open()?;

@@ -21,6 +21,7 @@ use tqo_core::interp::Env;
 use tqo_core::ops;
 use tqo_core::plan::LogicalPlan;
 use tqo_core::relation::Relation;
+use tqo_core::trace::{self, Category};
 
 use crate::metrics::{ExecMetrics, OperatorMetrics};
 use crate::operators;
@@ -101,11 +102,20 @@ pub fn execute_mode(
     env: &Env,
     mode: ExecMode,
 ) -> Result<(Relation, ExecMetrics)> {
+    let mut span = trace::span(Category::Exec, "execute");
+    span.note_with(|| {
+        format!(
+            "\"engine\": \"{mode:?}\", \"operators\": {}",
+            plan.root.size()
+        )
+    });
     let (result, mut metrics) = match mode {
         ExecMode::Row => execute_row(plan, env),
         ExecMode::Batch => crate::batch::pipeline::execute_batch(plan, env),
         ExecMode::Parallel { threads } => crate::parallel::execute_parallel(plan, env, threads),
     }?;
+    span.note_with(|| format!("\"rows\": {}", result.len()));
+    drop(span);
     // Join the planner's post-order estimates onto the post-order metrics,
     // so every execution reports estimated-vs-actual q-errors.
     metrics.attach_estimates(&plan.estimates);
@@ -189,19 +199,23 @@ fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Rela
         .collect::<Result<_>>()?;
     let rows_in = inputs.iter().map(Relation::len).sum();
 
+    let mut span = trace::span_with(Category::Exec, || node.label());
     let started = Instant::now();
     let out = match node {
         // Arc-backed storage makes this clone a refcount bump, not a copy.
         PhysicalNode::Scan { name } => env.get(name)?.clone(),
         other => apply_row_op(other, &inputs)?,
     };
+    let elapsed = started.elapsed();
+    span.note_with(|| format!("\"rows_in\": {rows_in}, \"rows_out\": {}", out.len()));
+    drop(span);
     metrics.operators.push(OperatorMetrics {
         label: node.label(),
         rows_in,
         rows_out: out.len(),
         est_rows: None,
         batches: 1,
-        elapsed: started.elapsed(),
+        elapsed,
         thread_times: Vec::new(),
     });
     Ok(out)

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod analyze;
 pub mod batch;
 pub mod executor;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod physical;
 pub mod planner;
 
 pub use adaptive::{execute_adaptive, optimize_and_execute_adaptive, AdaptiveConfig};
+pub use analyze::{explain_analyze, Analyzed};
 pub use batch::pipeline::BatchOperator;
 pub use batch::Batch;
 pub use executor::{execute, execute_logical, execute_mode, execute_row, ExecMode};

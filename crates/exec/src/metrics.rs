@@ -3,16 +3,10 @@
 
 use std::time::Duration;
 
-/// Median of a slice of finite values (sorts in place). `None` when empty.
-/// The one shared definition for q-error summaries — benches and tests
-/// must agree with [`ExecMetrics::median_q_error`] on the convention.
-pub fn median(values: &mut [f64]) -> Option<f64> {
-    if values.is_empty() {
-        return None;
-    }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    Some(values[values.len() / 2])
-}
+/// The workspace-wide median helper (upper median on even lengths),
+/// re-exported from [`tqo_core::stats`] so existing
+/// `tqo_exec::metrics::median` callers keep one shared definition.
+pub use tqo_core::stats::median;
 
 /// Metrics for one executed operator instance.
 #[derive(Debug, Clone)]
@@ -48,11 +42,19 @@ impl OperatorMetrics {
     /// dividing by summed thread time would overstate a parallel
     /// operator's cost by its worker count.
     pub fn rows_per_sec(&self) -> f64 {
+        self.throughput().unwrap_or(0.0)
+    }
+
+    /// Output throughput, or `None` when the operator finished below the
+    /// timer's resolution (`elapsed` is zero) and no meaningful rate
+    /// exists. Reports render `None` as `—` rather than a misleading
+    /// `0 rows/s`.
+    pub fn throughput(&self) -> Option<f64> {
         let secs = self.elapsed.as_secs_f64();
         if secs <= 0.0 {
-            return 0.0;
+            return None;
         }
-        self.rows_out as f64 / secs
+        Some(self.rows_out as f64 / secs)
     }
 
     /// Total busy time across this operator's workers (equals `elapsed`
@@ -218,17 +220,15 @@ impl ExecMetrics {
             } else {
                 format!(" thr={} cpu={:?}", op.threads(), op.cpu_time())
             };
+            // Sub-resolution operators have no meaningful rate: render a
+            // dash, not `0 rows/s`.
+            let rate = match op.throughput() {
+                Some(r) => format!("{r:>12.0} rows/s"),
+                None => format!("{:>12} rows/s", "—"),
+            };
             out.push_str(&format!(
-                "{:<30} rows_in={:<8} rows_out={:<8} est={:<8} q={:<6} batches={:<5} time={:<12?} {:>12.0} rows/s{}\n",
-                op.label,
-                op.rows_in,
-                op.rows_out,
-                est,
-                q,
-                op.batches,
-                op.elapsed,
-                op.rows_per_sec(),
-                thr,
+                "{:<30} rows_in={:<8} rows_out={:<8} est={:<8} q={:<6} batches={:<5} time={:<12?} {rate}{}\n",
+                op.label, op.rows_in, op.rows_out, est, q, op.batches, op.elapsed, thr,
             ));
         }
         for e in &self.reopts {
@@ -289,8 +289,18 @@ mod tests {
             ..op("rdup[hash]", 1000, Duration::from_millis(100))
         };
         assert!((o.rows_per_sec() - 10_000.0).abs() < 1e-6);
+        assert!(o.throughput().is_some());
+        // Sub-resolution timer: rows_per_sec keeps its 0.0 contract but
+        // throughput() reports "no rate" and the report renders a dash.
         let idle = op("noop", 0, Duration::ZERO);
         assert_eq!(idle.rows_per_sec(), 0.0);
+        assert_eq!(idle.throughput(), None);
+        let m = ExecMetrics {
+            operators: vec![idle],
+            reopts: Vec::new(),
+        };
+        assert!(m.report().contains("— rows/s"));
+        assert!(!m.report().contains("0 rows/s"));
     }
 
     #[test]

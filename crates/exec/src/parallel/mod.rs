@@ -52,6 +52,7 @@ use tqo_core::interp::Env;
 use tqo_core::ops;
 use tqo_core::relation::Relation;
 use tqo_core::schema::Schema;
+use tqo_core::trace::{self, Category};
 use tqo_core::tuple::Tuple;
 
 use crate::batch::pipeline::{demoted, require_temporal};
@@ -93,16 +94,25 @@ fn run_node(
     }
     let rows_in = inputs.iter().map(ColumnarRelation::rows).sum();
 
+    let mut span = trace::span_with(Category::Exec, || node.label());
     let started = Instant::now();
     pool.take_times(); // drop any residue, this operator starts clean
     let (out, batches) = apply(node, env, &inputs, pool)?;
+    let elapsed = started.elapsed();
+    span.note_with(|| {
+        format!(
+            "\"rows_in\": {rows_in}, \"rows_out\": {}, \"morsels\": {batches}",
+            out.rows()
+        )
+    });
+    drop(span);
     metrics.operators.push(OperatorMetrics {
         label: node.label(),
         rows_in,
         rows_out: out.rows(),
         est_rows: None,
         batches,
-        elapsed: started.elapsed(),
+        elapsed,
         thread_times: pool.take_times(),
     });
     Ok(out)

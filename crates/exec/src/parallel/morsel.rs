@@ -24,6 +24,21 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tqo_core::error::Result;
+use tqo_core::trace::{self, counters, Category};
+
+/// Worker-side tracing shim: installs the driver's collector (captured
+/// once per parallel region) on the worker thread and wraps the work in a
+/// per-worker busy span, so morsel workers show up as their own lanes of
+/// the same query profile. Inert when tracing is disabled.
+fn traced_worker<R>(
+    collector: &Option<trace::Collector>,
+    worker: usize,
+    work: impl FnOnce() -> R,
+) -> R {
+    let _guard = collector.as_ref().map(trace::install);
+    let _span = trace::span_with(Category::Morsel, || format!("worker {worker}"));
+    work()
+}
 
 /// Rows per morsel. Larger than the batch engine's `BATCH_SIZE` so each
 /// scheduled unit amortizes the pull from the shared counter; small enough
@@ -87,15 +102,19 @@ impl WorkerPool {
             self.record(&[started.elapsed()]);
             return;
         }
+        let collector = trace::current();
         let mut times = vec![Duration::ZERO; self.threads];
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|w| {
                     let job = &job;
+                    let collector = &collector;
                     s.spawn(move || {
-                        let started = Instant::now();
-                        job(w);
-                        started.elapsed()
+                        traced_worker(collector, w, || {
+                            let started = Instant::now();
+                            job(w);
+                            started.elapsed()
+                        })
                     })
                 })
                 .collect();
@@ -157,6 +176,7 @@ where
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
     let ranges = morsels_of(total);
+    counters::MORSELS_DISPATCHED.add(ranges.len() as u64);
     map_tasks(pool, ranges.len(), |i| f(i, ranges[i].clone()))
 }
 
@@ -198,6 +218,7 @@ where
         pool.record(&[started.elapsed()]);
         return;
     }
+    let collector = trace::current();
     let mut times = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = data
@@ -205,10 +226,13 @@ where
             .enumerate()
             .map(|(i, part)| {
                 let f = &f;
+                let collector = &collector;
                 s.spawn(move || {
-                    let started = Instant::now();
-                    f(i * chunk, part);
-                    started.elapsed()
+                    traced_worker(collector, i, || {
+                        let started = Instant::now();
+                        f(i * chunk, part);
+                        started.elapsed()
+                    })
                 })
             })
             .collect();
@@ -242,6 +266,7 @@ where
         pool.record(&[started.elapsed()]);
         return;
     }
+    let collector = trace::current();
     let mut times = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -252,10 +277,13 @@ where
             rest = tail;
             offset = r.end;
             let f = &f;
+            let collector = &collector;
             handles.push(s.spawn(move || {
-                let started = Instant::now();
-                f(i, chunk);
-                started.elapsed()
+                traced_worker(collector, i, || {
+                    let started = Instant::now();
+                    f(i, chunk);
+                    started.elapsed()
+                })
             }));
         }
         for h in handles {
@@ -281,6 +309,7 @@ where
         pool.record(&[started.elapsed()]);
         return;
     }
+    let collector = trace::current();
     let mut times = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = parts
@@ -288,10 +317,13 @@ where
             .enumerate()
             .map(|(i, part)| {
                 let f = &f;
+                let collector = &collector;
                 s.spawn(move || {
-                    let started = Instant::now();
-                    f(i, part);
-                    started.elapsed()
+                    traced_worker(collector, i, || {
+                        let started = Instant::now();
+                        f(i, part);
+                        started.elapsed()
+                    })
                 })
             })
             .collect();

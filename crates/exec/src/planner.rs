@@ -53,9 +53,18 @@ impl Default for PlannerConfig {
 /// the annotation ride along in post-order, so executed operators can
 /// report estimated-vs-actual q-errors.
 pub fn lower(plan: &LogicalPlan, config: PlannerConfig) -> Result<PhysicalPlan> {
+    let mut span = tqo_core::trace::span(tqo_core::trace::Category::Planner, "lower");
     let ann = annotate(plan)?;
     let mut estimates = Vec::new();
     let root = lower_node(&plan.root, &mut Vec::new(), &ann, config, &mut estimates)?;
+    span.note_with(|| {
+        format!(
+            "\"operators\": {}, \"engine\": \"{:?}\", \"fast\": {}",
+            estimates.len(),
+            config.mode,
+            config.allow_fast
+        )
+    });
     Ok(PhysicalPlan::new(root).with_estimates(estimates))
 }
 

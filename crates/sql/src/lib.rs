@@ -31,12 +31,24 @@ pub mod unparser;
 
 use tqo_core::error::Result;
 use tqo_core::plan::LogicalPlan;
+use tqo_core::trace::{self, Category};
 use tqo_storage::Catalog;
 
 /// Parse and bind a query in one step.
 pub fn compile(query: &str, catalog: &Catalog) -> Result<LogicalPlan> {
-    let statement = parser::parse(query)?;
-    binder::bind(&statement, catalog)
+    let statement = {
+        let _span = trace::span(Category::Sql, "parse");
+        parser::parse(query)?
+    };
+    let mut span = trace::span(Category::Sql, "bind");
+    let plan = binder::bind(&statement, catalog)?;
+    span.note_with(|| {
+        format!(
+            "\"result_type\": \"{}\"",
+            trace::json_escape(&format!("{:?}", plan.result_type))
+        )
+    });
+    Ok(plan)
 }
 
 /// EXPLAIN: compile a query and render its logical plan annotated with

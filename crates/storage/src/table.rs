@@ -8,6 +8,7 @@ use tqo_core::error::{Error, Result};
 use tqo_core::plan::BaseProps;
 use tqo_core::relation::Relation;
 use tqo_core::stats::TableSummary;
+use tqo_core::trace::counters;
 use tqo_core::tuple::Tuple;
 
 use crate::stats::TableStats;
@@ -88,8 +89,10 @@ impl Table {
 
     fn measured(&self) -> (Arc<TableStats>, Arc<TableSummary>) {
         if let Some(cached) = self.stats.read().clone() {
+            counters::STATS_CACHE_HITS.incr();
             return cached;
         }
+        counters::STATS_CACHE_MISSES.incr();
         let stats = Arc::new(
             TableStats::compute(&self.relation)
                 .expect("statistics over a validated relation cannot fail"),
@@ -104,7 +107,11 @@ impl Table {
     /// Invalidation hook: drop cached statistics. Called by every mutation
     /// path; public so external bulk loaders can force re-measurement.
     pub fn invalidate_stats(&self) {
-        *self.stats.write() = None;
+        let mut slot = self.stats.write();
+        if slot.is_some() {
+            counters::STATS_CACHE_INVALIDATIONS.incr();
+        }
+        *slot = None;
     }
 
     /// True when statistics are currently cached (test/diagnostic hook).

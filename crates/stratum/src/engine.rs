@@ -21,6 +21,7 @@ use tqo_core::ops;
 use tqo_core::plan::{BaseProps, LogicalPlan, PlanNode};
 use tqo_core::relation::Relation;
 use tqo_core::sortspec::Order;
+use tqo_core::trace::{self, counters, Category};
 use tqo_core::tuple::Tuple;
 use tqo_exec::ExecMode;
 use tqo_storage::Catalog;
@@ -50,6 +51,12 @@ pub struct StratumMetrics {
     /// Adaptive checkpoint decisions of the stratum-local plan (adaptive
     /// mode only; see [`Stratum::with_adaptive`]). `\timing` prints these.
     pub reopts: Vec<tqo_exec::ReoptEvent>,
+    /// The lowered stratum-local physical plan (static pipelined modes
+    /// only; `None` for the legacy row walk, fully-pushed plans, and
+    /// adaptive runs, whose executed plan is staged rather than fixed).
+    /// `operators` is this plan's post-order — what EXPLAIN ANALYZE joins
+    /// against to render the annotated tree.
+    pub local_plan: Option<tqo_exec::PhysicalPlan>,
 }
 
 impl StratumMetrics {
@@ -152,11 +159,21 @@ impl Stratum {
     /// Execute a layered plan (validated first).
     pub fn run(&self, plan: &LogicalPlan) -> Result<(Relation, StratumMetrics)> {
         validate_layered(plan)?;
+        counters::QUERIES_EXECUTED.incr();
+        let mut span = trace::span(Category::Stratum, "stratum.run");
         let mut metrics = StratumMetrics::default();
         let result = match self.exec_mode {
             ExecMode::Row => self.eval(&plan.root, &mut metrics)?,
             mode => self.eval_pipelined(plan, &mut metrics, mode)?,
         };
+        span.note_with(|| {
+            format!(
+                "\"fragments\": {}, \"wire_rows\": {}, \"rows\": {}",
+                metrics.fragments,
+                metrics.transferred_rows,
+                result.len()
+            )
+        });
         Ok((result, metrics))
     }
 
@@ -186,6 +203,7 @@ impl Stratum {
             strategy: self.optimizer.strategy,
             adaptive: self.adaptive,
         };
+        let span = trace::span(Category::Stratum, "stratum.local");
         let started = Instant::now();
         let (result, exec_metrics) = if self.adaptive.is_some() {
             // Adaptive: the fragment scans already carry measured wire
@@ -199,9 +217,12 @@ impl Stratum {
             )?
         } else {
             let physical = tqo_exec::lower(&local_plan, config)?;
-            tqo_exec::execute_mode(&physical, &env, mode)?
+            let out = tqo_exec::execute_mode(&physical, &env, mode)?;
+            metrics.local_plan = Some(physical);
+            out
         };
         metrics.stratum_time += started.elapsed();
+        drop(span);
         metrics.operators = exec_metrics.operators;
         metrics.reopts = exec_metrics.reopts;
         Ok(result)
@@ -209,12 +230,23 @@ impl Stratum {
 
     /// Execute one DBMS fragment and wire its rows into the stratum.
     fn run_fragment(&self, input: &PlanNode, metrics: &mut StratumMetrics) -> Result<Relation> {
+        let mut frag_span = trace::span_with(Category::Stratum, || {
+            format!("fragment {}", metrics.fragments)
+        });
         let (result, stats) = self.dbms.execute(input)?;
         metrics.dbms_time += stats.elapsed;
         metrics.fragments += 1;
+        counters::FRAGMENTS_EXECUTED.incr();
+        frag_span.note_with(|| format!("\"rows\": {}", result.len()));
+        drop(frag_span);
+        let mut wire_span = trace::span(Category::Stratum, "wire");
         let (decoded, bytes) = wire::transfer(&result)?;
+        wire_span.note_with(|| format!("\"rows\": {}, \"bytes\": {bytes}", decoded.len()));
+        drop(wire_span);
         metrics.transfer_bytes += bytes;
         metrics.transferred_rows += decoded.len();
+        counters::WIRE_ROWS.add(decoded.len() as u64);
+        counters::WIRE_BYTES.add(bytes as u64);
         Ok(decoded)
     }
 
@@ -285,6 +317,46 @@ impl Stratum {
         )?;
         let (result, metrics) = self.run(&optimized.best)?;
         Ok((result, metrics, optimized.best))
+    }
+
+    /// `EXPLAIN ANALYZE` through the layer: compile, layer, optimize, and
+    /// execute like [`Stratum::run_sql_optimized`], then render the
+    /// layered report — a header with the fragment/wire volume and the
+    /// DBMS/stratum time split, followed by the stratum-local plan's
+    /// per-operator analyze table (est vs actual rows, q-error, exclusive
+    /// wall time, cpu/threads, throughput; re-opt events inlined under
+    /// adaptive mode). The result is byte-identical to a plain run; the
+    /// legacy row walk carries no per-operator metrics and reports the
+    /// header only.
+    pub fn run_sql_analyzed(&self, sql: &str) -> Result<(Relation, StratumMetrics, String)> {
+        let (result, metrics, _plan) = self.run_sql_optimized(sql)?;
+        let mut report = format!(
+            "stratum: {} fragment(s), {} rows / {} bytes wired; dbms {:?}, stratum {:?}\n",
+            metrics.fragments,
+            metrics.transferred_rows,
+            metrics.transfer_bytes,
+            metrics.dbms_time,
+            metrics.stratum_time,
+        );
+        if metrics.operators.is_empty() {
+            report.push_str("(legacy row walk: no per-operator breakdown)\n");
+        } else {
+            let exec_metrics = tqo_exec::ExecMetrics {
+                operators: metrics.operators.clone(),
+                reopts: metrics.reopts.clone(),
+            };
+            let engine = if self.adaptive.is_some() {
+                format!("{:?}, adaptive", self.exec_mode)
+            } else {
+                format!("{:?}", self.exec_mode)
+            };
+            report.push_str(&tqo_exec::analyze::render(
+                metrics.local_plan.as_ref(),
+                &exec_metrics,
+                &engine,
+            ));
+        }
+        Ok((result, metrics, report))
     }
 
     fn eval(&self, node: &PlanNode, metrics: &mut StratumMetrics) -> Result<Relation> {

@@ -12,6 +12,16 @@
 //! * `\explain <sql>` — annotated logical plan (Figure 6 property vectors);
 //! * `\costs <sql>` — EXPLAIN the *optimized* plan with per-node site,
 //!   estimated rows, and estimated cost (the statistics-driven view);
+//! * `\analyze <sql>` — EXPLAIN ANALYZE: execute the optimized plan and
+//!   render it annotated per operator with estimated vs actual rows,
+//!   q-error, exclusive wall time, cpu time/threads, and throughput
+//!   (re-opt events inlined under `\adaptive`);
+//! * `\profile <sql> [file]` — execute the query with tracing enabled and
+//!   write the profile as Chrome trace-event JSON (default `trace.json`;
+//!   open in `chrome://tracing` or Perfetto);
+//! * `\counters` — dump the process-wide observability counters (memo
+//!   exprs, rules fired, stats-cache traffic, morsels, re-opts, wire
+//!   volume);
 //! * `\fragments <sql>` — the SQL shipped to the DBMS per `Tˢ` fragment;
 //! * `\plans <sql>` — size of the Figure 5 plan space for the query;
 //! * `\threads N` — execute stratum operators on the morsel-parallel
@@ -190,6 +200,45 @@ fn dispatch(input: &str, shell: &mut Shell) -> Result<String, Box<dyn std::error
             "{rendered}total estimated cost: {:.0}\n",
             optimized.cost.0
         ));
+    }
+    if let Some(sql) = input.strip_prefix("\\analyze ") {
+        let (result, _metrics, report) = shell.stratum.run_sql_analyzed(sql)?;
+        return Ok(format!("{report}({} rows)", result.len()));
+    }
+    if let Some(rest) = input.strip_prefix("\\profile ") {
+        // `\profile <sql> [file]`: a trailing bare word with no spaces and
+        // a `.json` suffix names the output file; everything else is SQL.
+        let (sql, path) = match rest.rsplit_once(' ') {
+            Some((sql, last)) if last.ends_with(".json") => (sql.trim(), last),
+            _ => (rest.trim(), "trace.json"),
+        };
+        let collector = tqo_core::trace::Collector::new();
+        let result_len = {
+            let _guard = tqo_core::trace::install(&collector);
+            let (result, _, _) = shell.stratum.run_sql_optimized(sql)?;
+            result.len()
+        };
+        let profile = collector.finish();
+        let events = profile.events.len();
+        let dropped = profile.dropped;
+        std::fs::write(path, profile.to_chrome_json())?;
+        let mut text = format!(
+            "{result_len} rows; {events} trace event(s) written to {path} \
+             (chrome://tracing or ui.perfetto.dev)"
+        );
+        if dropped > 0 {
+            text.push_str(&format!(
+                "\n({dropped} event(s) dropped by the ring buffer)"
+            ));
+        }
+        return Ok(text);
+    }
+    if input == "\\counters" {
+        let mut text = String::new();
+        for c in tqo_core::trace::counters::all() {
+            text.push_str(&format!("{:<28} {:>12}  {}\n", c.name(), c.get(), c.help()));
+        }
+        return Ok(text);
     }
     if let Some(sql) = input.strip_prefix("\\fragments ") {
         let plan = tqo_sql::compile(sql, catalog)?;

@@ -165,6 +165,13 @@ pub fn adaptive_pressure() -> bool {
     std::env::var("ADAPTIVE").is_ok_and(|v| v == "1")
 }
 
+/// True when the suite runs under the CI matrix leg `TRACE=1`, which
+/// widens the traced-vs-untraced byte-identity suite from a sampled
+/// query pool to the full SQL pool and every optimizer fixture plan.
+pub fn trace_widened() -> bool {
+    std::env::var("TRACE").is_ok_and(|v| v == "1")
+}
+
 /// The adaptive legs of the engine-equality suites, run at maximum
 /// re-planning pressure (`q_threshold = 1.0`):
 ///
