@@ -92,6 +92,21 @@ impl Column {
         Column { data, nulls: None }
     }
 
+    /// Approximate footprint in bytes (payload vectors, string bytes,
+    /// null mask), for memory-budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Int(v) | ColumnData::Time(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v
+                .iter()
+                .map(|s| std::mem::size_of::<Arc<str>>() + s.len())
+                .sum(),
+        };
+        data + self.nulls.as_ref().map_or(0, Vec::len)
+    }
+
     /// Number of values (null slots included).
     pub fn len(&self) -> usize {
         match &self.data {
@@ -569,6 +584,12 @@ impl ColumnarRelation {
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Approximate materialized footprint in bytes — the sum of the
+    /// column footprints (see [`Column::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
     }
 
     /// True when the relation holds no rows.

@@ -42,6 +42,23 @@ pub enum Error {
     Storage { reason: String },
     /// Enumeration/optimizer budget exhausted.
     BudgetExhausted { budget: usize },
+    /// The query was cancelled cooperatively via its
+    /// [`QueryContext`](crate::context::QueryContext) token.
+    Cancelled,
+    /// The query ran past its deadline; `limit_ms` is the configured
+    /// timeout in milliseconds.
+    DeadlineExceeded { limit_ms: u64 },
+    /// A memory reservation was denied: granting `requested` bytes on top
+    /// of `used` would exceed the query's `limit`.
+    MemoryBudget {
+        requested: usize,
+        used: usize,
+        limit: usize,
+    },
+    /// A stratum fragment could not be obtained from the DBMS: every
+    /// retry failed (or the link is down) and local fallback was
+    /// disabled.
+    DbmsUnavailable { attempts: u32, reason: String },
 }
 
 impl fmt::Display for Error {
@@ -89,6 +106,24 @@ impl fmt::Display for Error {
             Error::Storage { reason } => write!(f, "storage error: {reason}"),
             Error::BudgetExhausted { budget } => {
                 write!(f, "plan enumeration budget of {budget} plans exhausted")
+            }
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::DeadlineExceeded { limit_ms } => {
+                write!(f, "query deadline of {limit_ms} ms exceeded")
+            }
+            Error::MemoryBudget {
+                requested,
+                used,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "memory budget exhausted: {requested} bytes requested with \
+                     {used} of {limit} bytes in use"
+                )
+            }
+            Error::DbmsUnavailable { attempts, reason } => {
+                write!(f, "DBMS unavailable after {attempts} attempt(s): {reason}")
             }
         }
     }

@@ -33,11 +33,15 @@
 //! * [`trace`] — the observability layer: structured spans with a
 //!   per-query ring-buffer collector (Chrome trace-event export) and a
 //!   process-wide counter registry, zero-cost when disabled.
+//! * [`context`] — per-query resource governance: cooperative
+//!   cancellation, deadlines, and byte-accounted memory budgets checked
+//!   at engine checkpoints, zero-cost when no query is governed.
 
 #![warn(missing_docs)]
 
 pub mod allen;
 pub mod columnar;
+pub mod context;
 pub mod cost;
 pub mod enumerate;
 pub mod equivalence;

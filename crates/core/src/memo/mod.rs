@@ -60,6 +60,15 @@ pub struct MemoConfig {
     /// Maximum entries kept per (group, context) Pareto cell during
     /// extraction.
     pub max_pareto_entries: usize,
+    /// Maximum exploration tasks executed before the closure stops as
+    /// best-effort (`truncated` set, no error) — the anytime knob: the memo
+    /// is valid at every prefix of the worklist, so stopping early yields
+    /// the best plan of the space explored so far.
+    pub max_tasks: usize,
+    /// Wall-clock budget for exploration, in milliseconds. `None` is
+    /// unbudgeted. Like `max_tasks`, exhaustion truncates gracefully rather
+    /// than erroring; the deadline is checked once per task pop.
+    pub time_budget_ms: Option<u64>,
 }
 
 impl Default for MemoConfig {
@@ -68,6 +77,8 @@ impl Default for MemoConfig {
             max_exprs: 20_000,
             max_bindings_per_expr: 1024,
             max_pareto_entries: 32,
+            max_tasks: usize::MAX,
+            time_budget_ms: None,
         }
     }
 }

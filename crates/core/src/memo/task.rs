@@ -112,9 +112,27 @@ impl<'a> Explorer<'a> {
     }
 
     /// Run scheduled tasks (and the re-explorations they trigger) to a
-    /// fixpoint.
+    /// fixpoint — or until a task/time budget truncates the closure.
+    ///
+    /// The memo is valid at every prefix of the worklist, so budget
+    /// exhaustion stops *gracefully*: `stats.truncated` is set and
+    /// extraction proceeds over the space explored so far (the anytime
+    /// property ROADMAP item 3 asks for). Cooperative cancellation via the
+    /// installed [`crate::context::QueryContext`] is different in kind: the
+    /// caller no longer wants any answer, so it is a hard typed error.
     pub fn run(&mut self) -> Result<()> {
+        let started = std::time::Instant::now();
         while let Some(task) = self.queue.pop_front() {
+            crate::context::check_current()?;
+            if self.stats.tasks >= self.config.max_tasks
+                || self
+                    .config
+                    .time_budget_ms
+                    .is_some_and(|ms| started.elapsed().as_millis() as u64 >= ms)
+            {
+                self.stats.truncated = true;
+                break;
+            }
             self.queued.remove(&task);
             let task = Task {
                 expr: self.memo.find_expr(task.expr),

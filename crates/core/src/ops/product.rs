@@ -8,6 +8,7 @@
 //! snapshot relation, even for temporal arguments (the temporal counterpart
 //! `×ᵀ` additionally emits a fresh intersection period).
 
+use crate::context::StridePoll;
 use crate::error::Result;
 use crate::relation::Relation;
 use crate::schema::Schema;
@@ -22,8 +23,12 @@ pub fn product_schema(left: &Schema, right: &Schema) -> Result<Schema> {
 pub fn product(r1: &Relation, r2: &Relation) -> Result<Relation> {
     let schema = product_schema(r1.schema(), r2.schema())?;
     let mut out = Vec::with_capacity(r1.len().saturating_mul(r2.len()));
+    // The quadratic inner loop polls the governance context every stride
+    // so an O(n·m) product stays cancellable mid-operator.
+    let mut poll = StridePoll::new();
     for t1 in r1.tuples() {
         for t2 in r2.tuples() {
+            poll.poll()?;
             out.push(t1.concat(t2));
         }
     }

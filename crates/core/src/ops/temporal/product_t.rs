@@ -11,6 +11,7 @@
 //! Table 1: order `= Order(r1)`, cardinality `≤ n(r1) · n(r2)`, retains
 //! duplicates, destroys coalescing.
 
+use crate::context::StridePoll;
 use crate::error::{Error, Result};
 use crate::relation::Relation;
 use crate::schema::{Attribute, Schema};
@@ -35,9 +36,13 @@ pub fn product_t_schema(left: &Schema, right: &Schema) -> Result<Schema> {
 pub fn product_t(r1: &Relation, r2: &Relation) -> Result<Relation> {
     let schema = product_t_schema(r1.schema(), r2.schema())?;
     let mut out = Vec::new();
+    // Poll the governance context every stride of the quadratic loop so
+    // the faithful nested-loop algorithm stays cancellable mid-operator.
+    let mut poll = StridePoll::new();
     for t1 in r1.tuples() {
         let p1 = t1.period(r1.schema())?;
         for t2 in r2.tuples() {
+            poll.poll()?;
             let p2 = t2.period(r2.schema())?;
             if let Some(p) = p1.intersect(&p2) {
                 let mut values = t1.values().to_vec();

@@ -105,6 +105,14 @@ impl Relation {
         self.tuples.len()
     }
 
+    /// Approximate materialized footprint in bytes, for memory-budget
+    /// accounting at operator materialization points. Walks every tuple
+    /// (string payloads counted), so call it once per materialization,
+    /// not per row.
+    pub fn approx_bytes(&self) -> usize {
+        self.tuples.iter().map(Tuple::approx_bytes).sum()
+    }
+
     /// True when the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()

@@ -134,6 +134,41 @@ counters! {
         "wire_bytes",
         "bytes transferred from the DBMS to the stratum"
     );
+    /// Queries stopped by a cooperative cancellation token.
+    pub static QUERIES_CANCELLED = (
+        "queries_cancelled",
+        "queries stopped by a cooperative cancellation token"
+    );
+    /// Queries stopped because their deadline passed.
+    pub static DEADLINES_EXCEEDED = (
+        "deadlines_exceeded",
+        "queries stopped because their deadline passed"
+    );
+    /// Memory reservations denied by a query's byte budget.
+    pub static BUDGET_DENIALS = (
+        "budget_denials",
+        "memory reservations denied by a query byte budget"
+    );
+    /// Transient faults injected into the stratum wire (tests/chaos).
+    pub static FAULTS_INJECTED = (
+        "faults_injected",
+        "transient faults injected into the stratum wire"
+    );
+    /// Fragment attempts retried after a transient wire fault.
+    pub static WIRE_RETRIES = (
+        "wire_retries",
+        "fragment attempts retried after a transient wire fault"
+    );
+    /// Fragments answered locally because the DBMS was declared down.
+    pub static DBMS_FALLBACKS = (
+        "dbms_fallbacks",
+        "fragments re-planned locally after the DBMS was declared down"
+    );
+    /// Fragments whose SQL unparse failed (shipped as plan-only).
+    pub static UNPARSE_ERRORS = (
+        "unparse_errors",
+        "DBMS fragments whose SQL unparse failed"
+    );
 }
 
 /// A point-in-time reading of every counter: `(name, value)` pairs in

@@ -91,6 +91,9 @@ pub enum Category {
     Adaptive,
     /// Stratum fragments, wire transfers, and placement.
     Stratum,
+    /// Resource governance: cancellations, deadlines, budget denials,
+    /// wire retries, and local fallbacks.
+    Governance,
 }
 
 impl Category {
@@ -104,6 +107,7 @@ impl Category {
             Category::Morsel => "morsel",
             Category::Adaptive => "adaptive",
             Category::Stratum => "stratum",
+            Category::Governance => "governance",
         }
     }
 }

@@ -22,6 +22,11 @@ impl Tuple {
         Tuple { values }
     }
 
+    /// Approximate footprint in bytes (see [`Value::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>() + self.values.iter().map(Value::approx_bytes).sum::<usize>()
+    }
+
     /// All values, in attribute order.
     pub fn values(&self) -> &[Value] {
         &self.values

@@ -69,6 +69,18 @@ pub enum Value {
 }
 
 impl Value {
+    /// Approximate heap + inline footprint in bytes, for memory-budget
+    /// accounting. Shared strings charge their full payload to every
+    /// holder — deliberately conservative (an over- rather than
+    /// under-count) since budgets bound worst-case liveness.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            }
+    }
+
     /// The domain this value belongs to, or `None` for `Null` (which belongs
     /// to all domains).
     pub fn data_type(&self) -> Option<DataType> {

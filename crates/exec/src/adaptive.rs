@@ -42,6 +42,7 @@
 
 use std::sync::Arc;
 
+use tqo_core::context;
 use tqo_core::cost::CostModel;
 use tqo_core::error::Result;
 use tqo_core::interp::Env;
@@ -247,6 +248,10 @@ fn drive(
     let mut replans = 0usize;
 
     for ckpt in 0.. {
+        // Governance checkpoint: between stages is the natural cancellation
+        // point of the adaptive loop (each stage's engine also checks
+        // internally at its own granularity).
+        context::check_current()?;
         let Some(path) = checkpoint_site(&logical.root) else {
             break;
         };

@@ -50,6 +50,12 @@ impl RowTable {
         self.hashes.len()
     }
 
+    /// Approximate footprint in bytes (slot array + hashes + payloads),
+    /// for memory-budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.slots.len() * 4 + self.hashes.len() * 8 + self.payloads.len() * 8
+    }
+
     /// True when no entries have been inserted.
     pub fn is_empty(&self) -> bool {
         self.hashes.is_empty()
@@ -148,6 +154,12 @@ impl KeyStore {
     /// Number of stored key rows.
     pub fn len(&self) -> usize {
         self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Approximate footprint in bytes of the stored key columns, for
+    /// memory-budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(Column::approx_bytes).sum()
     }
 
     /// True when no key rows are stored.

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tqo_core::columnar::ColumnarRelation;
+use tqo_core::context;
 use tqo_core::error::{Error, Result};
 use tqo_core::expr::{Expr, ProjItem};
 use tqo_core::interp::Env;
@@ -91,6 +92,8 @@ impl BatchOperator for Metered {
     }
 
     fn open(&mut self) -> Result<()> {
+        // Governance checkpoint: blocking operators do real work in open.
+        context::check_current()?;
         // Blocking operators do their real work in open (build phases), so
         // it gets its own span; child opens nest inside it.
         let _span = trace::span_with(Category::Exec, || {
@@ -103,6 +106,8 @@ impl BatchOperator for Metered {
     }
 
     fn next_batch(&mut self) -> Result<Option<Batch>> {
+        // Governance checkpoint: one poll per operator per batch.
+        context::check_current()?;
         let mut span = trace::span_with(Category::Exec, || {
             self.sink.borrow().nodes[self.id].label.clone()
         });
@@ -346,6 +351,22 @@ struct RdupOp {
     key_idx: Vec<usize>,
     table: RowTable,
     store: KeyStore,
+    /// Budget reservation tracking the hash state, resized per batch.
+    reserved: Option<context::Reservation>,
+}
+
+impl RdupOp {
+    /// Resize the reservation to the hash state's current footprint.
+    fn charge_state(&mut self) -> Result<()> {
+        let bytes = self.table.approx_bytes() + self.store.approx_bytes();
+        match &mut self.reserved {
+            Some(r) => r.grow_to(bytes),
+            None => {
+                self.reserved = context::reserve_current(bytes)?;
+                Ok(())
+            }
+        }
+    }
 }
 
 impl BatchOperator for RdupOp {
@@ -356,6 +377,7 @@ impl BatchOperator for RdupOp {
     fn open(&mut self) -> Result<()> {
         self.table = RowTable::default();
         self.store = KeyStore::for_keys(&self.child.out_schema(), &self.key_idx);
+        self.reserved = None;
         self.child.open()
     }
 
@@ -378,6 +400,7 @@ impl BatchOperator for RdupOp {
                     kept.push(i as u32);
                 }
             }
+            self.charge_state()?;
             if !kept.is_empty() {
                 return Ok(Some(
                     batch
@@ -389,6 +412,7 @@ impl BatchOperator for RdupOp {
     }
 
     fn close(&mut self) {
+        self.reserved = None;
         self.child.close();
     }
 }
@@ -404,6 +428,8 @@ struct DifferenceOp {
     key_idx: Vec<usize>,
     table: RowTable,
     store: KeyStore,
+    /// Budget reservation tracking the build-side hash state.
+    reserved: Option<context::Reservation>,
 }
 
 impl BatchOperator for DifferenceOp {
@@ -416,6 +442,7 @@ impl BatchOperator for DifferenceOp {
         self.right.open()?;
         self.table = RowTable::default();
         self.store = KeyStore::for_keys(&self.right.out_schema(), &self.key_idx);
+        self.reserved = None;
         while let Some(batch) = self.right.next_batch()? {
             let cols = batch.columns();
             let hashes = super::hash::hash_batch(&batch, &self.key_idx);
@@ -429,6 +456,13 @@ impl BatchOperator for DifferenceOp {
                     self.store.push_row(cols, &self.key_idx, i);
                 }
                 *self.table.payload_mut(id) += 1;
+            }
+            // Re-charge the build state after each batch so the budget
+            // tracks hash growth at batch granularity.
+            let bytes = self.table.approx_bytes() + self.store.approx_bytes();
+            match &mut self.reserved {
+                Some(r) => r.grow_to(bytes)?,
+                None => self.reserved = context::reserve_current(bytes)?,
             }
         }
         Ok(())
@@ -464,6 +498,7 @@ impl BatchOperator for DifferenceOp {
     }
 
     fn close(&mut self) {
+        self.reserved = None;
         self.left.close();
         self.right.close();
     }
@@ -524,6 +559,8 @@ struct BlockingOp {
     /// For `Sort`: the permutation, emitted chunk-wise as selections.
     perm: Option<Vec<u32>>,
     pos: usize,
+    /// Budget reservation for the materialized output, held until close.
+    reserved: Option<context::Reservation>,
 }
 
 fn drain(child: &mut BoxOp) -> Result<ColumnarRelation> {
@@ -543,6 +580,10 @@ impl BlockingOp {
         for c in &mut self.children {
             inputs.push(drain(c)?);
         }
+        // Charge the materialized inputs for the duration of the kernel;
+        // released when `inputs` goes out of scope.
+        let _inputs_reserved =
+            context::reserve_current(inputs.iter().map(ColumnarRelation::approx_bytes).sum())?;
         match &self.kind {
             BlockKind::Sort(order) => {
                 let input = inputs.pop().expect("sort has one child");
@@ -605,6 +646,11 @@ impl BlockingOp {
                 self.out = Some(ColumnarRelation::from_relation(&result)?);
             }
         }
+        // Charge the materialized output (plus the sort permutation)
+        // until close releases it.
+        let bytes = self.out.as_ref().map_or(0, ColumnarRelation::approx_bytes)
+            + self.perm.as_ref().map_or(0, |p| p.len() * 4);
+        self.reserved = context::reserve_current(bytes)?;
         Ok(())
     }
 }
@@ -642,6 +688,7 @@ impl BatchOperator for BlockingOp {
     fn close(&mut self) {
         self.out = None;
         self.perm = None;
+        self.reserved = None;
         for c in &mut self.children {
             c.close();
         }
@@ -695,6 +742,7 @@ fn blocking(children: Vec<BoxOp>, kind: BlockKind, out_schema: Arc<Schema>) -> B
         out: None,
         perm: None,
         pos: 0,
+        reserved: None,
     })
 }
 
@@ -789,6 +837,7 @@ fn build(node: &PhysicalNode, env: &Env, sink: &SharedSink) -> Result<(BoxOp, us
                 key_idx,
                 table: RowTable::default(),
                 store: KeyStore::for_keys(&Schema::default(), &[]),
+                reserved: None,
             })
         }
         PhysicalNode::Aggregate { group_by, aggs, .. } => {
@@ -823,6 +872,7 @@ fn build(node: &PhysicalNode, env: &Env, sink: &SharedSink) -> Result<(BoxOp, us
                 key_idx,
                 table: RowTable::default(),
                 store: KeyStore::for_keys(&Schema::default(), &[]),
+                reserved: None,
             })
         }
         PhysicalNode::UnionMax { .. } => {
@@ -926,7 +976,11 @@ pub fn execute_batch(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMe
         }
     }
     root.close();
-    let result = concat(schema, &batches).to_relation();
+    let columnar = concat(schema, &batches);
+    // Charge the final materialized result while converting to row
+    // layout — the last allocation a budget can deny.
+    let _result_reserved = context::reserve_current(columnar.approx_bytes())?;
+    let result = columnar.to_relation();
 
     let sink = sink.borrow();
     let mut operators = Vec::with_capacity(sink.nodes.len());

@@ -16,6 +16,7 @@
 
 use std::time::Instant;
 
+use tqo_core::context;
 use tqo_core::error::Result;
 use tqo_core::interp::Env;
 use tqo_core::ops;
@@ -125,7 +126,7 @@ pub fn execute_mode(
 /// Execute a physical plan with the row-at-a-time engine.
 pub fn execute_row(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMetrics)> {
     let mut metrics = ExecMetrics::default();
-    let result = run(&plan.root, env, &mut metrics)?;
+    let (result, _reserved) = run(&plan.root, env, &mut metrics)?;
     Ok((result, metrics))
 }
 
@@ -190,21 +191,40 @@ pub(crate) fn apply_row_op(node: &PhysicalNode, inputs: &[Relation]) -> Result<R
     })
 }
 
-fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Relation> {
+/// One node of the row engine's tree walk. Returns the materialized
+/// output together with its memory reservation: child reservations stay
+/// live while the parent consumes the inputs and release when the
+/// `inputs` vector drops, so a governed query's budget tracks the live
+/// intermediates of the walk.
+fn run(
+    node: &PhysicalNode,
+    env: &Env,
+    metrics: &mut ExecMetrics,
+) -> Result<(Relation, Option<context::Reservation>)> {
+    // Per-operator governance checkpoint (cancellation/deadline).
+    context::check_current()?;
     // Evaluate children first so the parent's timing excludes them.
-    let inputs: Vec<Relation> = node
+    // `children` (and with it the child reservations) stays live until
+    // this node's own output has been materialized and charged.
+    let children: Vec<(Relation, Option<context::Reservation>)> = node
         .children()
         .iter()
         .map(|c| run(c, env, metrics))
         .collect::<Result<_>>()?;
+    let inputs: Vec<Relation> = children.iter().map(|(r, _res)| r.clone()).collect();
     let rows_in = inputs.iter().map(Relation::len).sum();
 
     let mut span = trace::span_with(Category::Exec, || node.label());
     let started = Instant::now();
-    let out = match node {
-        // Arc-backed storage makes this clone a refcount bump, not a copy.
-        PhysicalNode::Scan { name } => env.get(name)?.clone(),
-        other => apply_row_op(other, &inputs)?,
+    let (out, reserved) = match node {
+        // Arc-backed storage makes this clone a refcount bump, not a
+        // copy — shared base storage is not charged to the query.
+        PhysicalNode::Scan { name } => (env.get(name)?.clone(), None),
+        other => {
+            let out = apply_row_op(other, &inputs)?;
+            let reserved = context::reserve_current(out.approx_bytes())?;
+            (out, reserved)
+        }
     };
     let elapsed = started.elapsed();
     span.note_with(|| format!("\"rows_in\": {rows_in}, \"rows_out\": {}", out.len()));
@@ -218,7 +238,7 @@ fn run(node: &PhysicalNode, env: &Env, metrics: &mut ExecMetrics) -> Result<Rela
         elapsed,
         thread_times: Vec::new(),
     });
-    Ok(out)
+    Ok((out, reserved))
 }
 
 #[cfg(test)]

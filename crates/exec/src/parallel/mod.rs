@@ -46,6 +46,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tqo_core::columnar::{Column, ColumnarRelation};
+use tqo_core::context;
 use tqo_core::error::{Error, Result};
 use tqo_core::expr::Expr;
 use tqo_core::interp::Env;
@@ -74,7 +75,7 @@ pub fn execute_parallel(
 ) -> Result<(Relation, ExecMetrics)> {
     let pool = WorkerPool::new(threads);
     let mut metrics = ExecMetrics::default();
-    let out = run_node(&plan.root, env, &pool, &mut metrics)?;
+    let (out, _reserved) = run_node(&plan.root, env, &pool, &mut metrics)?;
     Ok((out.to_relation(), metrics))
 }
 
@@ -87,17 +88,28 @@ fn run_node(
     env: &Env,
     pool: &WorkerPool,
     metrics: &mut ExecMetrics,
-) -> Result<ColumnarRelation> {
-    let mut inputs = Vec::with_capacity(node.children().len());
+) -> Result<(ColumnarRelation, Option<context::Reservation>)> {
+    // Per-operator governance checkpoint (cancellation/deadline); the
+    // morsel layer additionally polls per dispatched morsel.
+    context::check_current()?;
+    // Child outputs and their budget reservations stay live until this
+    // node's own output has been materialized and charged.
+    let mut children = Vec::with_capacity(node.children().len());
     for c in node.children() {
-        inputs.push(run_node(c, env, pool, metrics)?);
+        children.push(run_node(c, env, pool, metrics)?);
     }
+    let inputs: Vec<ColumnarRelation> = children.iter().map(|(r, _res)| r.clone()).collect();
     let rows_in = inputs.iter().map(ColumnarRelation::rows).sum();
 
     let mut span = trace::span_with(Category::Exec, || node.label());
     let started = Instant::now();
     pool.take_times(); // drop any residue, this operator starts clean
     let (out, batches) = apply(node, env, &inputs, pool)?;
+    // Charge the materialized output; scans share the cached transpose.
+    let reserved = match node {
+        PhysicalNode::Scan { .. } => None,
+        _ => context::reserve_current(out.approx_bytes())?,
+    };
     let elapsed = started.elapsed();
     span.note_with(|| {
         format!(
@@ -115,7 +127,7 @@ fn run_node(
         elapsed,
         thread_times: pool.take_times(),
     });
-    Ok(out)
+    Ok((out, reserved))
 }
 
 /// Materialize one logical row of a batch as a row-layout tuple (slow

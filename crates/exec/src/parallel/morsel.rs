@@ -23,19 +23,36 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use tqo_core::context::{self, QueryContext};
 use tqo_core::error::Result;
 use tqo_core::trace::{self, counters, Category};
 
-/// Worker-side tracing shim: installs the driver's collector (captured
-/// once per parallel region) on the worker thread and wraps the work in a
-/// per-worker busy span, so morsel workers show up as their own lanes of
-/// the same query profile. Inert when tracing is disabled.
-fn traced_worker<R>(
-    collector: &Option<trace::Collector>,
-    worker: usize,
-    work: impl FnOnce() -> R,
-) -> R {
-    let _guard = collector.as_ref().map(trace::install);
+/// What a parallel region captures from the driver thread and re-installs
+/// on every worker: the trace collector and the governance context. Both
+/// are thread-local installs, so worker threads must inherit them
+/// explicitly for morsel spans to land in the query profile and morsel
+/// checkpoints to observe the query's token/deadline/budget.
+struct WorkerEnv {
+    collector: Option<trace::Collector>,
+    ctx: Option<QueryContext>,
+}
+
+impl WorkerEnv {
+    fn capture() -> WorkerEnv {
+        WorkerEnv {
+            collector: trace::current(),
+            ctx: context::current(),
+        }
+    }
+}
+
+/// Worker-side shim: installs the driver's collector and governance
+/// context (captured once per parallel region) on the worker thread and
+/// wraps the work in a per-worker busy span. Inert when tracing and
+/// governance are disabled.
+fn traced_worker<R>(env: &WorkerEnv, worker: usize, work: impl FnOnce() -> R) -> R {
+    let _trace_guard = env.collector.as_ref().map(trace::install);
+    let _ctx_guard = env.ctx.as_ref().map(context::install);
     let _span = trace::span_with(Category::Morsel, || format!("worker {worker}"));
     work()
 }
@@ -102,15 +119,15 @@ impl WorkerPool {
             self.record(&[started.elapsed()]);
             return;
         }
-        let collector = trace::current();
+        let env = WorkerEnv::capture();
         let mut times = vec![Duration::ZERO; self.threads];
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|w| {
                     let job = &job;
-                    let collector = &collector;
+                    let env = &env;
                     s.spawn(move || {
-                        traced_worker(collector, w, || {
+                        traced_worker(env, w, || {
                             let started = Instant::now();
                             job(w);
                             started.elapsed()
@@ -189,7 +206,14 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> Result<T> + Sync,
 {
-    let results = map_morsels(pool, total, f);
+    // Governance checkpoint at morsel dispatch: each morsel polls the
+    // query context before running, so a cancellation/deadline surfaces
+    // within one morsel and, via earliest-morsel-error selection below,
+    // deterministically at any thread count.
+    let results = map_morsels(pool, total, |i, range| {
+        context::check_current()?;
+        f(i, range)
+    });
     let mut out = Vec::with_capacity(results.len());
     for r in results {
         out.push(r?);
@@ -218,7 +242,7 @@ where
         pool.record(&[started.elapsed()]);
         return;
     }
-    let collector = trace::current();
+    let env = WorkerEnv::capture();
     let mut times = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = data
@@ -226,9 +250,9 @@ where
             .enumerate()
             .map(|(i, part)| {
                 let f = &f;
-                let collector = &collector;
+                let env = &env;
                 s.spawn(move || {
-                    traced_worker(collector, i, || {
+                    traced_worker(env, i, || {
                         let started = Instant::now();
                         f(i * chunk, part);
                         started.elapsed()
@@ -266,7 +290,7 @@ where
         pool.record(&[started.elapsed()]);
         return;
     }
-    let collector = trace::current();
+    let env = WorkerEnv::capture();
     let mut times = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -277,9 +301,9 @@ where
             rest = tail;
             offset = r.end;
             let f = &f;
-            let collector = &collector;
+            let env = &env;
             handles.push(s.spawn(move || {
-                traced_worker(collector, i, || {
+                traced_worker(env, i, || {
                     let started = Instant::now();
                     f(i, chunk);
                     started.elapsed()
@@ -309,7 +333,7 @@ where
         pool.record(&[started.elapsed()]);
         return;
     }
-    let collector = trace::current();
+    let env = WorkerEnv::capture();
     let mut times = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = parts
@@ -317,9 +341,9 @@ where
             .enumerate()
             .map(|(i, part)| {
                 let f = &f;
-                let collector = &collector;
+                let env = &env;
                 s.spawn(move || {
-                    traced_worker(collector, i, || {
+                    traced_worker(env, i, || {
                         let started = Instant::now();
                         f(i, part);
                         started.elapsed()

@@ -12,6 +12,7 @@ use tqo_core::error::{Error, Result};
 use tqo_core::ops;
 use tqo_core::plan::PlanNode;
 use tqo_core::relation::Relation;
+use tqo_core::trace::counters;
 use tqo_storage::Catalog;
 
 /// Statistics of one DBMS fragment execution.
@@ -21,6 +22,10 @@ pub struct DbmsStats {
     pub rows_out: usize,
     /// The SQL the stratum would ship for this fragment (display only).
     pub sql: Option<String>,
+    /// Why unparsing the fragment to SQL failed, when it did. An unparse
+    /// failure means the simulated link executed a fragment a real SQL
+    /// link could not have shipped — surfaced, not silently dropped.
+    pub unparse_error: Option<String>,
 }
 
 /// A conventional DBMS over a catalog.
@@ -43,10 +48,18 @@ impl SimulatedDbms {
     pub fn execute(&self, fragment: &PlanNode) -> Result<(Relation, DbmsStats)> {
         let started = Instant::now();
         let result = self.eval(fragment)?;
+        let (sql, unparse_error) = match tqo_sql::unparser::to_sql(fragment) {
+            Ok(sql) => (Some(sql), None),
+            Err(e) => {
+                counters::UNPARSE_ERRORS.incr();
+                (None, Some(e.to_string()))
+            }
+        };
         let stats = DbmsStats {
             elapsed: started.elapsed(),
             rows_out: result.len(),
-            sql: tqo_sql::unparser::to_sql(fragment).ok(),
+            sql,
+            unparse_error,
         };
         Ok((result, stats))
     }

@@ -15,6 +15,7 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use tqo_core::context;
 use tqo_core::error::{Error, Result};
 use tqo_core::interp::Env;
 use tqo_core::ops;
@@ -27,6 +28,7 @@ use tqo_exec::ExecMode;
 use tqo_storage::Catalog;
 
 use crate::dbms::SimulatedDbms;
+use crate::fault::{is_transient, FaultConfig, FaultInjector, RetryPolicy};
 use crate::splitter::{make_layered, validate_layered};
 use crate::wire;
 
@@ -57,6 +59,13 @@ pub struct StratumMetrics {
     /// `operators` is this plan's post-order — what EXPLAIN ANALYZE joins
     /// against to render the annotated tree.
     pub local_plan: Option<tqo_exec::PhysicalPlan>,
+    /// Fragment attempts repeated after a transient link failure.
+    pub retries: usize,
+    /// Faults injected into the link by a configured [`FaultConfig`].
+    pub faults_injected: usize,
+    /// Fragments answered by local execution after the DBMS was declared
+    /// unavailable (retry budget spent).
+    pub fallbacks: usize,
 }
 
 impl StratumMetrics {
@@ -72,6 +81,8 @@ pub struct Stratum {
     optimizer: tqo_core::optimizer::OptimizerConfig,
     exec_mode: ExecMode,
     adaptive: Option<tqo_exec::AdaptiveConfig>,
+    faults: Option<FaultInjector>,
+    retry: RetryPolicy,
 }
 
 impl Stratum {
@@ -94,7 +105,37 @@ impl Stratum {
             },
             exec_mode,
             adaptive: None,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Inject seeded, deterministic faults into the stratum↔DBMS link:
+    /// transient errors, truncated wire payloads, added latency, or a
+    /// declared outage (see [`FaultConfig`]). Absorbed by the configured
+    /// [`RetryPolicy`]; a faulty run whose retries succeed is
+    /// byte-identical to a clean run.
+    pub fn with_faults(mut self, config: FaultConfig) -> Stratum {
+        self.faults = Some(FaultInjector::new(config));
+        self
+    }
+
+    /// Configure how link failures are absorbed: retry budget, backoff,
+    /// per-fragment timeout, and whether to degrade to local execution
+    /// once the DBMS is declared unavailable.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Stratum {
+        self.retry = policy;
+        self
+    }
+
+    /// The active fault injection, if any.
+    pub fn faults(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref().map(FaultInjector::config)
+    }
+
+    /// The active retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Select the plan-search engine `run_sql_optimized` uses (exhaustive
@@ -229,25 +270,165 @@ impl Stratum {
     }
 
     /// Execute one DBMS fragment and wire its rows into the stratum.
+    /// Fragment dispatch is a governance checkpoint; with faults
+    /// configured the link failure is absorbed here (retries, backoff,
+    /// per-fragment timeout, local fallback).
     fn run_fragment(&self, input: &PlanNode, metrics: &mut StratumMetrics) -> Result<Relation> {
+        context::check_current()?;
         let mut frag_span = trace::span_with(Category::Stratum, || {
             format!("fragment {}", metrics.fragments)
         });
-        let (result, stats) = self.dbms.execute(input)?;
-        metrics.dbms_time += stats.elapsed;
+        let (decoded, bytes) = match &self.faults {
+            None => {
+                let (result, stats) = self.dbms.execute(input)?;
+                metrics.dbms_time += stats.elapsed;
+                frag_span.note_with(|| format!("\"rows\": {}", result.len()));
+                let mut wire_span = trace::span(Category::Stratum, "wire");
+                let out = wire::transfer(&result)?;
+                wire_span.note_with(|| format!("\"rows\": {}, \"bytes\": {}", out.0.len(), out.1));
+                out
+            }
+            Some(inj) => self.fragment_with_faults(input, inj, metrics)?,
+        };
+        drop(frag_span);
         metrics.fragments += 1;
         counters::FRAGMENTS_EXECUTED.incr();
-        frag_span.note_with(|| format!("\"rows\": {}", result.len()));
-        drop(frag_span);
-        let mut wire_span = trace::span(Category::Stratum, "wire");
-        let (decoded, bytes) = wire::transfer(&result)?;
-        wire_span.note_with(|| format!("\"rows\": {}, \"bytes\": {bytes}", decoded.len()));
-        drop(wire_span);
         metrics.transfer_bytes += bytes;
         metrics.transferred_rows += decoded.len();
         counters::WIRE_ROWS.add(decoded.len() as u64);
         counters::WIRE_BYTES.add(bytes as u64);
         Ok(decoded)
+    }
+
+    /// The faulty link: attempt the fragment under injected faults,
+    /// retrying transient failures with exponential backoff within the
+    /// per-fragment timeout; once the retry budget is spent, degrade to
+    /// local execution (if allowed) or surface
+    /// [`Error::DbmsUnavailable`]. Non-transient errors (plan errors,
+    /// cancellation, budget denial) propagate immediately.
+    fn fragment_with_faults(
+        &self,
+        input: &PlanNode,
+        inj: &FaultInjector,
+        metrics: &mut StratumMetrics,
+    ) -> Result<(Relation, usize)> {
+        let started = Instant::now();
+        let mut retry = 0u32;
+        loop {
+            context::check_current()?;
+            if let Some(limit) = self.retry.fragment_timeout {
+                if started.elapsed() >= limit {
+                    return Err(Error::DeadlineExceeded {
+                        limit_ms: limit.as_millis() as u64,
+                    });
+                }
+            }
+            match self.attempt_fragment(input, inj, metrics) {
+                Ok(out) => return Ok(out),
+                Err(e) if is_transient(&e) => {
+                    if retry < self.retry.max_retries {
+                        retry += 1;
+                        metrics.retries += 1;
+                        counters::WIRE_RETRIES.incr();
+                        trace::instant_with(
+                            Category::Governance,
+                            || format!("retry {retry} after transient fault: {e}"),
+                            String::new,
+                        );
+                        let backoff = self.retry.backoff(retry);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        continue;
+                    }
+                    let attempts = retry + 1;
+                    if self.retry.fallback_local {
+                        return self.fragment_fallback(input, metrics, attempts, &e);
+                    }
+                    return Err(Error::DbmsUnavailable {
+                        attempts,
+                        reason: e.to_string(),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt against the (possibly faulty) link: injected outage,
+    /// latency, and transient errors fire before the DBMS call; payload
+    /// truncation corrupts the encoded wire bytes so the fault surfaces
+    /// exactly where a real link failure would — in `wire::decode`.
+    fn attempt_fragment(
+        &self,
+        input: &PlanNode,
+        inj: &FaultInjector,
+        metrics: &mut StratumMetrics,
+    ) -> Result<(Relation, usize)> {
+        let cfg = inj.config();
+        if cfg.dbms_down {
+            return Err(Error::DbmsUnavailable {
+                attempts: 1,
+                reason: "dbms declared down".into(),
+            });
+        }
+        if !cfg.latency.is_zero() {
+            std::thread::sleep(cfg.latency);
+        }
+        if inj.should_error() {
+            metrics.faults_injected += 1;
+            counters::FAULTS_INJECTED.incr();
+            trace::instant(Category::Governance, "injected transient dbms error");
+            return Err(Error::DbmsUnavailable {
+                attempts: 1,
+                reason: "injected transient dbms error".into(),
+            });
+        }
+        let (result, stats) = self.dbms.execute(input)?;
+        metrics.dbms_time += stats.elapsed;
+        let encoded = wire::encode(&result);
+        let size = encoded.len();
+        let encoded = if inj.should_truncate() {
+            metrics.faults_injected += 1;
+            counters::FAULTS_INJECTED.incr();
+            trace::instant(Category::Governance, "injected truncated wire payload");
+            inj.truncate(encoded)
+        } else {
+            encoded
+        };
+        let decoded = wire::decode(result.schema(), encoded)?;
+        Ok((decoded, size))
+    }
+
+    /// Graceful degradation: the DBMS is unavailable, so execute the
+    /// fragment locally. Sound because every DBMS fragment is
+    /// conventional-only over base tables the stratum's catalog can also
+    /// read; the result still rides through the wire so its normalization
+    /// (and the transfer accounting) is identical to the DBMS path.
+    fn fragment_fallback(
+        &self,
+        input: &PlanNode,
+        metrics: &mut StratumMetrics,
+        attempts: u32,
+        cause: &Error,
+    ) -> Result<(Relation, usize)> {
+        metrics.fallbacks += 1;
+        counters::DBMS_FALLBACKS.incr();
+        trace::instant_with(
+            Category::Governance,
+            || {
+                format!(
+                    "dbms unavailable after {attempts} attempt(s) ({cause}); \
+                     executing fragment locally"
+                )
+            },
+            String::new,
+        );
+        let started = Instant::now();
+        let env = self.dbms.catalog().env();
+        let result = tqo_core::interp::eval(input, &env)?;
+        metrics.stratum_time += started.elapsed();
+        wire::transfer(&result)
     }
 
     /// Replace every `Tˢ` subtree with a scan of a synthetic base relation

@@ -1,0 +1,278 @@
+//! Fault injection for the stratum↔DBMS link, and the retry policy that
+//! absorbs it.
+//!
+//! A layered deployment talks to its DBMS over a real connection, which
+//! fails in ways the simulated in-process link of `dbms`/`wire` never
+//! does: transient errors, truncated payloads, latency spikes, outright
+//! outages. [`FaultConfig`] injects exactly those failures — seeded and
+//! deterministic, so a faulty run is reproducible bit for bit — and
+//! [`RetryPolicy`] bounds how the engine responds: bounded retries with
+//! exponential backoff, a per-fragment timeout, and (when the DBMS is
+//! declared down for good) graceful degradation to local execution.
+//!
+//! Determinism: every probabilistic decision is a pure function of
+//! `(seed, draw_index)` via SplitMix64, and fragments are dispatched
+//! sequentially, so the fault sequence of a run depends only on the seed
+//! and the query — never on timing. Because retries re-execute the
+//! fragment against the same catalog and the wire encoding is canonical,
+//! a faulty run that eventually succeeds is **byte-identical** to a clean
+//! run: governance changes whether results arrive, never what they are.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+/// What to inject on the stratum↔DBMS link. All rates are probabilities
+/// in `[0, 1]`, drawn independently per opportunity.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Seed of the deterministic draw stream.
+    pub seed: u64,
+    /// Probability a DBMS call fails with a transient error before
+    /// executing.
+    pub error_rate: f64,
+    /// Probability the wire payload of a successful DBMS call arrives
+    /// truncated (decode then fails cleanly and the attempt retries).
+    pub truncate_rate: f64,
+    /// Latency added to every DBMS call.
+    pub latency: Duration,
+    /// The DBMS is down: every call fails until the retry budget is spent,
+    /// at which point the stratum falls back to local execution (if the
+    /// [`RetryPolicy`] allows) or surfaces
+    /// [`DbmsUnavailable`](tqo_core::error::Error::DbmsUnavailable).
+    pub dbms_down: bool,
+}
+
+impl FaultConfig {
+    /// A moderately hostile link: 30% transient errors, 20% truncations,
+    /// no added latency, DBMS up. Deterministic for `seed`.
+    pub fn with_seed(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            error_rate: 0.3,
+            truncate_rate: 0.2,
+            latency: Duration::ZERO,
+            dbms_down: false,
+        }
+    }
+
+    /// A declared outage: every DBMS call fails.
+    pub fn down() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            error_rate: 0.0,
+            truncate_rate: 0.0,
+            latency: Duration::ZERO,
+            dbms_down: true,
+        }
+    }
+}
+
+/// How the stratum responds to link failures.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries = 3` allows four
+    /// attempts in total).
+    pub max_retries: u32,
+    /// Backoff before the first retry, doubled per subsequent retry.
+    pub base_backoff: Duration,
+    /// Wall-clock budget for one fragment across all its attempts; `None`
+    /// is unbudgeted. Exceeding it surfaces
+    /// [`DeadlineExceeded`](tqo_core::error::Error::DeadlineExceeded).
+    pub fragment_timeout: Option<Duration>,
+    /// When the retry budget is spent on transient failures, re-execute
+    /// the fragment locally instead of failing the query. Sound because
+    /// every DBMS fragment is conventional-only over base tables the
+    /// stratum can also read — slower, but the answer is identical.
+    pub fallback_local: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            fragment_timeout: None,
+            fallback_local: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based), doubling from
+    /// [`RetryPolicy::base_backoff`] and saturating rather than
+    /// overflowing.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32
+            .checked_shl(retry.saturating_sub(1))
+            .unwrap_or(u32::MAX);
+        self.base_backoff.saturating_mul(factor)
+    }
+}
+
+/// SplitMix64 output function: the draw stream is `mix(seed + i·φ)`.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The seeded fault source: hands out deterministic draws keyed by a
+/// monotone counter, so injected faults replay identically for a given
+/// seed and query regardless of timing. Clones share the counter.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    draws: Arc<AtomicU64>,
+}
+
+impl FaultInjector {
+    pub fn new(config: FaultConfig) -> FaultInjector {
+        FaultInjector {
+            config,
+            draws: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Draws consumed so far (diagnostic).
+    pub fn draws(&self) -> u64 {
+        self.draws.load(Ordering::Relaxed)
+    }
+
+    /// One uniform draw in `[0, 1)`, a pure function of
+    /// `(seed, draw_index)`.
+    fn draw(&self) -> f64 {
+        let i = self.draws.fetch_add(1, Ordering::Relaxed);
+        let z = mix(self
+            .config
+            .seed
+            .wrapping_add(i.wrapping_mul(PHI))
+            .wrapping_add(PHI));
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Should this DBMS call fail with an injected transient error?
+    pub fn should_error(&self) -> bool {
+        self.config.error_rate > 0.0 && self.draw() < self.config.error_rate
+    }
+
+    /// Should this wire payload arrive truncated?
+    pub fn should_truncate(&self) -> bool {
+        self.config.truncate_rate > 0.0 && self.draw() < self.config.truncate_rate
+    }
+
+    /// Truncate `bytes` at a deterministic cut point that removes at least
+    /// one byte (so decode is guaranteed to observe the fault).
+    pub fn truncate(&self, bytes: Bytes) -> Bytes {
+        if bytes.is_empty() {
+            return bytes;
+        }
+        let cut = (self.draw() * bytes.len() as f64) as usize;
+        bytes.slice(0..cut.min(bytes.len() - 1))
+    }
+}
+
+/// Is this failure worth retrying? Injected link faults surface as
+/// [`DbmsUnavailable`](tqo_core::error::Error::DbmsUnavailable) and
+/// truncated payloads as wire decode `Storage` errors; anything else
+/// (plan errors, cancellation, budget denial) is deterministic or
+/// caller-initiated and must not be retried.
+pub fn is_transient(e: &tqo_core::error::Error) -> bool {
+    use tqo_core::error::Error;
+    match e {
+        Error::DbmsUnavailable { .. } => true,
+        Error::Storage { reason } => reason.starts_with("wire:"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_stream_is_deterministic_and_uniformish() {
+        let a = FaultInjector::new(FaultConfig::with_seed(42));
+        let b = FaultInjector::new(FaultConfig::with_seed(42));
+        let xs: Vec<f64> = (0..1000).map(|_| a.draw()).collect();
+        let ys: Vec<f64> = (0..1000).map(|_| b.draw()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn rates_are_respected_approximately() {
+        let inj = FaultInjector::new(FaultConfig {
+            error_rate: 0.25,
+            ..FaultConfig::with_seed(7)
+        });
+        let errs = (0..4000).filter(|_| inj.should_error()).count();
+        let frac = errs as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "observed {frac}");
+    }
+
+    #[test]
+    fn zero_rates_never_fire_and_never_draw() {
+        let inj = FaultInjector::new(FaultConfig {
+            error_rate: 0.0,
+            truncate_rate: 0.0,
+            ..FaultConfig::with_seed(1)
+        });
+        for _ in 0..100 {
+            assert!(!inj.should_error());
+            assert!(!inj.should_truncate());
+        }
+        assert_eq!(inj.draws(), 0);
+    }
+
+    #[test]
+    fn truncate_always_removes_bytes() {
+        let inj = FaultInjector::new(FaultConfig::with_seed(3));
+        for len in [1usize, 2, 16, 1000] {
+            let bytes = Bytes::from(vec![0u8; len]);
+            let cut = inj.truncate(bytes);
+            assert!(cut.len() < len, "len {len} not truncated");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        // Deep retries saturate instead of overflowing.
+        let deep = p.backoff(200);
+        assert!(deep >= p.backoff(3));
+    }
+
+    #[test]
+    fn transient_classification() {
+        use tqo_core::error::Error;
+        assert!(is_transient(&Error::DbmsUnavailable {
+            attempts: 1,
+            reason: "injected".into()
+        }));
+        assert!(is_transient(&Error::Storage {
+            reason: "wire: truncated header".into()
+        }));
+        assert!(!is_transient(&Error::Storage {
+            reason: "unknown table `X`".into()
+        }));
+        assert!(!is_transient(&Error::Cancelled));
+        assert!(!is_transient(&Error::Plan { reason: "x".into() }));
+    }
+}

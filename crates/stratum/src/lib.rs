@@ -20,9 +20,11 @@
 
 pub mod dbms;
 pub mod engine;
+pub mod fault;
 pub mod splitter;
 pub mod wire;
 
 pub use dbms::SimulatedDbms;
 pub use engine::{Stratum, StratumMetrics};
+pub use fault::{FaultConfig, RetryPolicy};
 pub use splitter::{fragments, make_layered, validate_layered, Fragment};

@@ -127,15 +127,33 @@ pub fn decode(schema: &Schema, mut bytes: Bytes) -> Result<Relation> {
         });
     }
     let rows = bytes.get_u32() as usize;
-    let mut tuples = Vec::with_capacity(rows);
+    // The row count is untrusted (a truncated or corrupted wire can claim
+    // anything): clamp the up-front allocation to what the remaining bytes
+    // could possibly hold — every value is at least one byte — and let the
+    // per-value underflow guards surface the lie as a clean Err.
+    let plausible = match arity {
+        // Zero-arity rows occupy no wire bytes; grow the vec on demand
+        // rather than trusting the header with an up-front allocation.
+        0 => 0,
+        a => bytes.remaining() / a,
+    };
+    let mut tuples = Vec::with_capacity(rows.min(plausible));
+    let mut poll = tqo_core::context::StridePoll::new();
     for _ in 0..rows {
+        poll.poll()?;
         let mut values = Vec::with_capacity(arity);
         for _ in 0..arity {
             values.push(get_value(&mut bytes)?);
         }
         tuples.push(Tuple::new(values));
     }
-    Relation::new(schema.clone(), tuples)
+    let relation = Relation::new(schema.clone(), tuples)?;
+    // Decoded rows are materialized stratum-side state that lives to the
+    // end of the query (fragment results are bound into the local plan's
+    // environment): charge them to the query's memory budget, denying
+    // gracefully before the engine builds on top of them.
+    tqo_core::context::charge_current(relation.approx_bytes())?;
+    Ok(relation)
 }
 
 /// Round-trip a relation through the wire, returning the payload size —

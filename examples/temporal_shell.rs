@@ -34,17 +34,38 @@
 //! * `\timing` — toggle the per-operator report after each query,
 //!   including the per-thread breakdown under `\threads` and re-opt
 //!   events under `\adaptive`;
+//! * `\timeout <ms>` — per-query deadline: queries exceeding it fail with
+//!   a typed `deadline exceeded` error at the next governance checkpoint
+//!   (`\timeout off` clears; `docs/robustness.md`);
+//! * `\memlimit <bytes[k|m|g]>` — per-query memory budget over the
+//!   engine's accounted allocations (hash tables, sort buffers,
+//!   materialized intermediates, wire decode); exceeding it fails the
+//!   query with a typed budget error, gracefully (`\memlimit off`);
+//! * `\faults <seed>|down|off` — deterministic fault injection on the
+//!   stratum↔DBMS link (seeded transient errors and truncated payloads,
+//!   absorbed by bounded retry; `down` declares an outage so every
+//!   fragment degrades to local execution);
 //! * `\quit` — exit.
 //!
 //! The catalog starts pre-loaded with the paper's EMPLOYEE and PROJECT.
 
 use std::io::{self, BufRead, Write};
+use std::time::Duration;
 
+use tqo_core::context::{self, QueryContext};
 use tqo_core::enumerate::{enumerate, EnumerationConfig};
 use tqo_core::rules::RuleSet;
 use tqo_exec::ExecMode;
 use tqo_storage::paper;
-use tqo_stratum::{fragments, make_layered, Stratum};
+use tqo_stratum::{fragments, make_layered, FaultConfig, Stratum};
+
+/// Fault injection as set by `\faults`.
+#[derive(Clone, Copy, PartialEq)]
+enum Faults {
+    Off,
+    Seeded(u64),
+    Down,
+}
 
 /// Mutable shell state: the layered engine plus display toggles.
 struct Shell {
@@ -53,17 +74,57 @@ struct Shell {
     timing: bool,
     mode: ExecMode,
     adaptive: bool,
+    timeout_ms: Option<u64>,
+    memlimit: Option<usize>,
+    faults: Faults,
 }
 
 impl Shell {
-    /// Rebuild the stratum from the current mode/adaptive toggles.
+    /// Rebuild the stratum from the current mode/adaptive/faults toggles.
     fn rebuild(&mut self) {
         let mut stratum = Stratum::new(self.catalog.clone()).with_exec_mode(self.mode);
         if self.adaptive {
             stratum = stratum.with_adaptive(tqo_exec::AdaptiveConfig::default());
         }
+        match self.faults {
+            Faults::Off => {}
+            Faults::Seeded(seed) => stratum = stratum.with_faults(FaultConfig::with_seed(seed)),
+            Faults::Down => stratum = stratum.with_faults(FaultConfig::down()),
+        }
         self.stratum = stratum;
     }
+
+    /// The governance context of the next query, if `\timeout` or
+    /// `\memlimit` configured one.
+    fn query_context(&self) -> Option<QueryContext> {
+        if self.timeout_ms.is_none() && self.memlimit.is_none() {
+            return None;
+        }
+        let mut ctx = QueryContext::new();
+        if let Some(ms) = self.timeout_ms {
+            ctx = ctx.with_timeout(Duration::from_millis(ms));
+        }
+        if let Some(bytes) = self.memlimit {
+            ctx = ctx.with_memory_limit(bytes);
+        }
+        Some(ctx)
+    }
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix.
+fn parse_bytes(arg: &str) -> Result<usize, Box<dyn std::error::Error>> {
+    let lower = arg.to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => match lower.as_bytes()[lower.len() - 1] {
+            b'k' => (d, 1usize << 10),
+            b'm' => (d, 1usize << 20),
+            _ => (d, 1usize << 30),
+        },
+        None => (lower.as_str(), 1usize),
+    };
+    let n: usize = digits.trim().parse()?;
+    n.checked_mul(mult)
+        .ok_or_else(|| "byte count overflows".into())
 }
 
 fn main() -> io::Result<()> {
@@ -74,6 +135,9 @@ fn main() -> io::Result<()> {
         timing: false,
         mode: ExecMode::Batch,
         adaptive: false,
+        timeout_ms: None,
+        memlimit: None,
+        faults: Faults::Off,
     };
     let stdin = io::stdin();
     let mut out = io::stdout();
@@ -173,6 +237,52 @@ fn dispatch(input: &str, shell: &mut Shell) -> Result<String, Box<dyn std::error
             if shell.timing { "on" } else { "off" }
         ));
     }
+    if let Some(arg) = input.strip_prefix("\\timeout") {
+        let arg = arg.trim();
+        shell.timeout_ms = match arg {
+            "" | "off" | "0" => None,
+            ms => Some(ms.parse()?),
+        };
+        return Ok(match shell.timeout_ms {
+            Some(ms) => format!(
+                "queries now fail with a typed error after {ms} ms \
+                 (checked at every governance checkpoint)"
+            ),
+            None => "per-query deadline off".into(),
+        });
+    }
+    if let Some(arg) = input.strip_prefix("\\memlimit") {
+        let arg = arg.trim();
+        shell.memlimit = match arg {
+            "" | "off" | "0" => None,
+            bytes => Some(parse_bytes(bytes)?),
+        };
+        return Ok(match shell.memlimit {
+            Some(bytes) => format!(
+                "queries are now budgeted to {bytes} accounted byte(s); \
+                 exceeding it is a typed error, not an abort"
+            ),
+            None => "per-query memory budget off".into(),
+        });
+    }
+    if let Some(arg) = input.strip_prefix("\\faults") {
+        shell.faults = match arg.trim() {
+            "" | "off" => Faults::Off,
+            "down" => Faults::Down,
+            seed => Faults::Seeded(seed.parse()?),
+        };
+        shell.rebuild();
+        return Ok(match shell.faults {
+            Faults::Off => "stratum↔DBMS link healthy — fault injection off".into(),
+            Faults::Seeded(seed) => format!(
+                "injecting deterministic link faults (seed {seed}): transient errors \
+                 and truncated payloads, absorbed by bounded retry"
+            ),
+            Faults::Down => "DBMS declared down — every fragment degrades to local \
+                             execution (recorded in dbms_fallbacks)"
+                .into(),
+        });
+    }
     if let Some(sql) = input.strip_prefix("\\explain ") {
         return Ok(tqo_sql::explain(sql, catalog)?);
     }
@@ -202,7 +312,11 @@ fn dispatch(input: &str, shell: &mut Shell) -> Result<String, Box<dyn std::error
         ));
     }
     if let Some(sql) = input.strip_prefix("\\analyze ") {
-        let (result, _metrics, report) = shell.stratum.run_sql_analyzed(sql)?;
+        let ctx = shell.query_context();
+        let (result, _metrics, report) = {
+            let _guard = ctx.as_ref().map(context::install);
+            shell.stratum.run_sql_analyzed(sql)?
+        };
         return Ok(format!("{report}({} rows)", result.len()));
     }
     if let Some(rest) = input.strip_prefix("\\profile ") {
@@ -269,8 +383,13 @@ fn dispatch(input: &str, shell: &mut Shell) -> Result<String, Box<dyn std::error
         ));
     }
 
-    // Plain SQL: compile → layer → optimize → run.
-    let (result, metrics, _) = shell.stratum.run_sql_optimized(input)?;
+    // Plain SQL: compile → layer → optimize → run, governed by the
+    // `\timeout`/`\memlimit` context when one is configured.
+    let ctx = shell.query_context();
+    let (result, metrics, _) = {
+        let _guard = ctx.as_ref().map(context::install);
+        shell.stratum.run_sql_optimized(input)?
+    };
     let mut text = format!(
         "{result}({} rows; {} fragments, {} rows / {} bytes transferred; dbms {:?}, stratum {:?})",
         result.len(),

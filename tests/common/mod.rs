@@ -172,6 +172,14 @@ pub fn trace_widened() -> bool {
     std::env::var("TRACE").is_ok_and(|v| v == "1")
 }
 
+/// True when the suite runs under the CI matrix leg `FAULTS=1`, which
+/// widens the governance suite: more fault seeds, the full query pool on
+/// the fault-injection byte-identity legs, and denser cancellation
+/// sweeps.
+pub fn faults_widened() -> bool {
+    std::env::var("FAULTS").is_ok_and(|v| v == "1")
+}
+
 /// The adaptive legs of the engine-equality suites, run at maximum
 /// re-planning pressure (`q_threshold = 1.0`):
 ///

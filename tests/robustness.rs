@@ -1,0 +1,520 @@
+//! Resource-governance and fault-tolerance invariants
+//! (`docs/robustness.md`, ARCHITECTURE invariant 14):
+//!
+//! * **Governance never changes results, only whether they arrive** — a
+//!   query under a cancellation token, deadline, or memory budget either
+//!   returns the byte-identical clean result or a typed error
+//!   (`Cancelled`, `DeadlineExceeded`, `MemoryBudget`), never a panic and
+//!   never a third outcome.
+//! * Cancellation at **every checkpoint class** (row-loop strides, batch
+//!   `next_batch`, morsel dispatch, adaptive checkpoints, memo task pops,
+//!   stratum fragment dispatch) leaves the engine, catalog, and worker
+//!   pool reusable: the next query on the same objects succeeds
+//!   byte-identically to a fresh run.
+//! * **Fault-injected wire runs are byte-identical to clean runs** once
+//!   retries succeed, across seeds; a declared DBMS outage degrades to
+//!   local fragment execution with the same bytes.
+//! * Memo search under a task/time budget truncates gracefully
+//!   (`truncated` set, best-effort plan returned), while cancellation is
+//!   a hard typed error.
+
+mod common;
+
+use std::time::Duration;
+
+use tqo_core::context::{self, QueryContext};
+use tqo_core::error::Error;
+use tqo_exec::{execute_adaptive, execute_logical, ExecMode, PlannerConfig};
+use tqo_storage::paper;
+use tqo_stratum::{FaultConfig, RetryPolicy, Stratum};
+
+const MODES: [ExecMode; 4] = [
+    ExecMode::Row,
+    ExecMode::Batch,
+    ExecMode::Parallel { threads: 1 },
+    ExecMode::Parallel { threads: 4 },
+];
+
+/// Queries covering every checkpoint class: scans, quadratic row loops
+/// (the join), blocking operators (sort/distinct/aggregate), temporal
+/// set operations, and multi-fragment stratum plans.
+const QUERIES: &[&str] = &[
+    "SELECT EmpName FROM EMPLOYEE",
+    "SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName",
+    "SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+    "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+     EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+     COALESCE ORDER BY EmpName",
+];
+
+fn config(mode: ExecMode) -> PlannerConfig {
+    PlannerConfig {
+        allow_fast: true,
+        mode,
+        ..Default::default()
+    }
+}
+
+/// Is this error one of the typed governance outcomes?
+fn is_governance_error(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::Cancelled | Error::DeadlineExceeded { .. } | Error::MemoryBudget { .. }
+    )
+}
+
+/// Poll budgets for the cancellation sweeps; the `FAULTS=1` CI leg
+/// densifies the sweep so consecutive checkpoints are hit, not sampled.
+fn poll_sweep() -> Vec<u64> {
+    if common::faults_widened() {
+        (1..=64).chain([96, 128, 257, 1025, 4097]).collect()
+    } else {
+        vec![1, 2, 3, 5, 9, 17, 65, 257, 4097]
+    }
+}
+
+/// Fault seeds for the wire byte-identity sweeps; widened under
+/// `FAULTS=1`.
+fn fault_seeds() -> Vec<u64> {
+    if common::faults_widened() {
+        (0..24).chain([42, 0xDEAD, 0xBEEF, u64::MAX]).collect()
+    } else {
+        vec![1, 7, 42, 0xDEAD]
+    }
+}
+
+/// Cancellation swept across poll counts on every engine: each run either
+/// completes byte-identically to the clean run or fails with
+/// `Error::Cancelled`; small poll budgets must actually cancel, and the
+/// environment stays reusable afterwards (same env, clean re-run, same
+/// bytes).
+#[test]
+fn cancellation_sweep_is_binary_and_leaves_engines_reusable() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    for sql in QUERIES {
+        let plan = tqo_sql::compile(sql, &catalog).unwrap();
+        for mode in MODES {
+            let (clean, _) = execute_logical(&plan, &env, config(mode)).unwrap();
+            let mut cancelled_at_least_once = false;
+            for polls in poll_sweep() {
+                let ctx = QueryContext::new().with_cancel_after(polls);
+                let result = {
+                    let _guard = context::install(&ctx);
+                    execute_logical(&plan, &env, config(mode))
+                };
+                match result {
+                    Ok((got, _)) => assert_eq!(
+                        got, clean,
+                        "cancellation perturbed a completed run ({mode:?}, polls={polls}) on {sql}"
+                    ),
+                    Err(Error::Cancelled) => cancelled_at_least_once = true,
+                    Err(other) => {
+                        panic!("non-typed failure ({mode:?}, polls={polls}) on {sql}: {other:?}")
+                    }
+                }
+            }
+            assert!(
+                cancelled_at_least_once,
+                "no poll budget cancelled ({mode:?}) on {sql} — checkpoints missing"
+            );
+            // Reusability: the same env answers the same query again,
+            // byte-identically, with no context installed.
+            let (after, _) = execute_logical(&plan, &env, config(mode)).unwrap();
+            assert_eq!(
+                after, clean,
+                "engine not reusable after cancel ({mode:?}) on {sql}"
+            );
+        }
+    }
+}
+
+/// An already-expired deadline fails every engine (threads 1 and 4
+/// included) with `DeadlineExceeded` carrying the configured limit — and
+/// the engines answer the next query untouched.
+#[test]
+fn expired_deadline_fires_on_every_engine() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let sql = "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p \
+               WHERE e.EmpName = p.EmpName";
+    let plan = tqo_sql::compile(sql, &catalog).unwrap();
+    for mode in MODES {
+        let (clean, _) = execute_logical(&plan, &env, config(mode)).unwrap();
+        let ctx = QueryContext::new().with_timeout(Duration::ZERO);
+        let err = {
+            let _guard = context::install(&ctx);
+            execute_logical(&plan, &env, config(mode)).unwrap_err()
+        };
+        assert_eq!(
+            err,
+            Error::DeadlineExceeded { limit_ms: 0 },
+            "wrong deadline error ({mode:?})"
+        );
+        let (after, _) = execute_logical(&plan, &env, config(mode)).unwrap();
+        assert_eq!(
+            after, clean,
+            "engine not reusable after deadline ({mode:?})"
+        );
+    }
+}
+
+/// Adaptive staged execution is governed at its checkpoints too: an
+/// expired deadline fails it typed, cancellation sweeps stay binary, and
+/// the loop stays reusable.
+#[test]
+fn adaptive_checkpoints_are_governed() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let sql = "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+               EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+               COALESCE ORDER BY EmpName";
+    let plan = tqo_sql::compile(sql, &catalog).unwrap();
+    let acfg = PlannerConfig {
+        adaptive: Some(common::adaptive_pressure_config()),
+        ..config(ExecMode::Batch)
+    };
+    let (clean, _) = execute_adaptive(&plan, &env, None, acfg).unwrap();
+
+    let ctx = QueryContext::new().with_timeout(Duration::ZERO);
+    let err = {
+        let _guard = context::install(&ctx);
+        execute_adaptive(&plan, &env, None, acfg).unwrap_err()
+    };
+    assert_eq!(err, Error::DeadlineExceeded { limit_ms: 0 });
+
+    let mut cancelled = false;
+    for polls in [1u64, 4, 16, 64, 512] {
+        let ctx = QueryContext::new().with_cancel_after(polls);
+        let result = {
+            let _guard = context::install(&ctx);
+            execute_adaptive(&plan, &env, None, acfg)
+        };
+        match result {
+            Ok((got, _)) => assert_eq!(got, clean, "cancel perturbed adaptive (polls={polls})"),
+            Err(Error::Cancelled) => cancelled = true,
+            Err(other) => panic!("non-typed adaptive failure (polls={polls}): {other:?}"),
+        }
+    }
+    assert!(cancelled, "adaptive loop never observed the token");
+    let (after, _) = execute_adaptive(&plan, &env, None, acfg).unwrap();
+    assert_eq!(after, clean, "adaptive loop not reusable");
+}
+
+/// A starved memory budget denies with the typed `MemoryBudget` error —
+/// requested/used/limit populated — and leaves no partial state: the
+/// catalog's tables are unchanged and the next unbudgeted query returns
+/// clean bytes. A generous budget changes nothing.
+#[test]
+fn memory_budget_denies_gracefully_and_leaves_no_partial_state() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let sql = "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+               EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+               COALESCE ORDER BY EmpName";
+    let plan = tqo_sql::compile(sql, &catalog).unwrap();
+    let before_emp = catalog.get("EMPLOYEE").unwrap().relation().clone();
+    for mode in MODES {
+        let (clean, _) = execute_logical(&plan, &env, config(mode)).unwrap();
+
+        let starved = QueryContext::new().with_memory_limit(1);
+        let err = {
+            let _guard = context::install(&starved);
+            execute_logical(&plan, &env, config(mode)).unwrap_err()
+        };
+        match err {
+            Error::MemoryBudget {
+                requested,
+                used,
+                limit,
+            } => {
+                assert_eq!(limit, 1);
+                assert!(requested > 0);
+                assert!(used <= limit);
+            }
+            other => panic!("expected MemoryBudget ({mode:?}), got {other:?}"),
+        }
+        assert!(starved.budget().denials() >= 1);
+
+        // A budget that fits the query must not perturb it.
+        let roomy = QueryContext::new().with_memory_limit(64 << 20);
+        let (got, _) = {
+            let _guard = context::install(&roomy);
+            execute_logical(&plan, &env, config(mode)).unwrap()
+        };
+        assert_eq!(got, clean, "budget accounting perturbed results ({mode:?})");
+        assert!(roomy.budget().peak() > 0, "nothing was charged ({mode:?})");
+
+        // No partial mutations anywhere the next query can observe.
+        let (after, _) = execute_logical(&plan, &env, config(mode)).unwrap();
+        assert_eq!(after, clean);
+    }
+    assert_eq!(
+        catalog.get("EMPLOYEE").unwrap().relation(),
+        &before_emp,
+        "budget denial mutated the catalog"
+    );
+}
+
+/// Memo search under a task or time budget stops gracefully: best-effort
+/// plan, `truncated` flag set, no error. Cancellation during memo search
+/// is the hard typed error instead.
+#[test]
+fn memo_budgets_truncate_gracefully_but_cancellation_is_hard() {
+    use tqo_core::cost::CostModel;
+    use tqo_core::memo::{memo_search, MemoConfig};
+    use tqo_core::rules::RuleSet;
+
+    let catalog = paper::catalog();
+    let plan = tqo_sql::compile(
+        "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+         EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+         COALESCE ORDER BY EmpName",
+        &catalog,
+    )
+    .unwrap();
+    let rules = RuleSet::standard();
+    let model = CostModel::default();
+
+    let full = memo_search(&plan, &rules, &model, MemoConfig::default()).unwrap();
+    assert!(!full.stats.truncated, "default budgets should converge");
+
+    // Task budget: stops after one task, still returns a plan no worse
+    // than the input.
+    let starved = memo_search(
+        &plan,
+        &rules,
+        &model,
+        MemoConfig {
+            max_tasks: 1,
+            ..MemoConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(starved.stats.truncated, "task budget did not truncate");
+    assert!(starved.stats.tasks <= 1);
+    assert!(starved.cost <= model.cost(&plan).unwrap());
+
+    // Time budget of zero: immediate graceful truncation.
+    let timed = memo_search(
+        &plan,
+        &rules,
+        &model,
+        MemoConfig {
+            time_budget_ms: Some(0),
+            ..MemoConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(timed.stats.truncated, "time budget did not truncate");
+
+    // Cancellation mid-search is not best-effort: it is the typed error.
+    let ctx = QueryContext::new().with_cancel_after(1);
+    let err = {
+        let _guard = context::install(&ctx);
+        memo_search(&plan, &rules, &model, MemoConfig::default()).unwrap_err()
+    };
+    assert_eq!(err, Error::Cancelled);
+}
+
+/// The full SQL pool through a fault-injected wire, across seeds: with
+/// enough retry budget every query eventually succeeds, and its bytes are
+/// identical to the fault-free stratum's. Faults and retries are recorded
+/// in the metrics.
+#[test]
+fn fault_injected_runs_are_byte_identical_to_clean_runs() {
+    let clean = Stratum::new(paper::catalog());
+    let mut total_faults = 0usize;
+    for seed in fault_seeds() {
+        let faulty = Stratum::new(paper::catalog())
+            .with_faults(FaultConfig::with_seed(seed))
+            .with_retry(RetryPolicy {
+                max_retries: 40,
+                base_backoff: Duration::ZERO,
+                fragment_timeout: None,
+                fallback_local: false,
+            });
+        for sql in QUERIES {
+            let (want, wm) = clean.run_sql(sql).unwrap();
+            let (got, gm) = faulty
+                .run_sql(sql)
+                .unwrap_or_else(|e| panic!("seed {seed} exhausted retries on {sql}: {e:?}"));
+            assert_eq!(got, want, "faulty wire diverged (seed {seed}) on {sql}");
+            assert_eq!(gm.fragments, wm.fragments);
+            assert_eq!(gm.transferred_rows, wm.transferred_rows);
+            assert_eq!(gm.transfer_bytes, wm.transfer_bytes);
+            assert_eq!(gm.retries >= 1, gm.faults_injected >= 1);
+            total_faults += gm.faults_injected;
+        }
+    }
+    assert!(
+        total_faults > 0,
+        "fault rates of 30%/20% injected nothing across all seeds — injector dead"
+    );
+}
+
+/// The same seed replays the same faults: run-to-run metrics (retries,
+/// injected faults) and results are identical.
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    let sql = "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+               EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+               COALESCE ORDER BY EmpName";
+    let run = || {
+        let s = Stratum::new(paper::catalog())
+            .with_faults(FaultConfig::with_seed(99))
+            .with_retry(RetryPolicy {
+                max_retries: 40,
+                base_backoff: Duration::ZERO,
+                fragment_timeout: None,
+                fallback_local: false,
+            });
+        let (r, m) = s.run_sql(sql).unwrap();
+        (r, m.retries, m.faults_injected)
+    };
+    let (r1, retries1, faults1) = run();
+    let (r2, retries2, faults2) = run();
+    assert_eq!(r1, r2);
+    assert_eq!(retries1, retries2, "retry count not deterministic");
+    assert_eq!(faults1, faults2, "fault count not deterministic");
+}
+
+/// A declared DBMS outage degrades gracefully: every pooled query is
+/// answered by local fragment execution, byte-identical to the healthy
+/// stratum, with the fallback recorded. With fallback disabled the typed
+/// `DbmsUnavailable` error surfaces instead — and the same stratum
+/// recovers when the DBMS comes back.
+#[test]
+fn dbms_outage_degrades_to_local_execution() {
+    let healthy = Stratum::new(paper::catalog());
+    let down = Stratum::new(paper::catalog())
+        .with_faults(FaultConfig::down())
+        .with_retry(RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            fragment_timeout: None,
+            fallback_local: true,
+        });
+    for sql in QUERIES {
+        let (want, wm) = healthy.run_sql(sql).unwrap();
+        let (got, gm) = down.run_sql(sql).unwrap();
+        assert_eq!(got, want, "local fallback diverged on {sql}");
+        assert_eq!(gm.fallbacks, gm.fragments, "every fragment fell back");
+        assert_eq!(gm.fragments, wm.fragments);
+        assert_eq!(
+            gm.transfer_bytes, wm.transfer_bytes,
+            "fallback skipped the wire"
+        );
+    }
+
+    // Fallback disabled: the typed error, carrying the attempt count.
+    let strict = Stratum::new(paper::catalog())
+        .with_faults(FaultConfig::down())
+        .with_retry(RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            fragment_timeout: None,
+            fallback_local: false,
+        });
+    match strict.run_sql(QUERIES[0]).unwrap_err() {
+        Error::DbmsUnavailable { attempts, .. } => assert_eq!(attempts, 3),
+        other => panic!("expected DbmsUnavailable, got {other:?}"),
+    }
+}
+
+/// Governance through the layered engine: cancellation and deadlines on a
+/// `Stratum` surface typed errors and leave the same stratum (and its
+/// catalog) answering byte-identically afterwards.
+#[test]
+fn stratum_cancellation_leaves_catalog_and_engine_reusable() {
+    let sql = "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+               EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+               COALESCE ORDER BY EmpName";
+    for mode in MODES {
+        let stratum = Stratum::new(paper::catalog()).with_exec_mode(mode);
+        let (clean, _) = stratum.run_sql(sql).unwrap();
+
+        let ctx = QueryContext::new().with_cancel_after(1);
+        let err = {
+            let _guard = context::install(&ctx);
+            stratum.run_sql(sql).unwrap_err()
+        };
+        assert_eq!(err, Error::Cancelled, "({mode:?})");
+
+        let ctx = QueryContext::new().with_timeout(Duration::ZERO);
+        let err = {
+            let _guard = context::install(&ctx);
+            stratum.run_sql(sql).unwrap_err()
+        };
+        assert_eq!(err, Error::DeadlineExceeded { limit_ms: 0 }, "({mode:?})");
+
+        let fresh = Stratum::new(paper::catalog()).with_exec_mode(mode);
+        let (again, _) = stratum.run_sql(sql).unwrap();
+        let (fresh_result, _) = fresh.run_sql(sql).unwrap();
+        assert_eq!(
+            again, clean,
+            "stratum not reusable after governance ({mode:?})"
+        );
+        assert_eq!(
+            again, fresh_result,
+            "reused stratum diverges from fresh ({mode:?})"
+        );
+    }
+}
+
+/// Wire decode is budget-accounted: a stratum query under a starved
+/// budget denies at (or before) the wire with the typed error, and the
+/// governance counters move.
+#[test]
+fn stratum_wire_decode_respects_memory_budget() {
+    let stratum = Stratum::new(paper::catalog());
+    let sql = "VALIDTIME SELECT EmpName FROM EMPLOYEE";
+    let ctx = QueryContext::new().with_memory_limit(1);
+    let err = {
+        let _guard = context::install(&ctx);
+        stratum.run_sql(sql).unwrap_err()
+    };
+    assert!(
+        matches!(err, Error::MemoryBudget { .. }),
+        "expected MemoryBudget, got {err:?}"
+    );
+    let (after, _) = stratum.run_sql(sql).unwrap();
+    assert!(
+        !after.is_empty(),
+        "stratum not reusable after budget denial"
+    );
+}
+
+/// Every governance outcome is typed — sweep all three governors across
+/// all engines on one query and assert no other error shape ever
+/// surfaces.
+#[test]
+fn governance_outcomes_are_always_typed() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let plan = tqo_sql::compile(QUERIES[3], &catalog).unwrap();
+    let contexts: Vec<QueryContext> = vec![
+        QueryContext::new().with_cancel_after(2),
+        QueryContext::new().with_timeout(Duration::ZERO),
+        QueryContext::new().with_memory_limit(16),
+        QueryContext::new()
+            .with_cancel_after(5)
+            .with_timeout(Duration::from_secs(3600))
+            .with_memory_limit(1 << 30),
+    ];
+    for mode in MODES {
+        for ctx in &contexts {
+            let result = {
+                let _guard = context::install(ctx);
+                execute_logical(&plan, &env, config(mode))
+            };
+            if let Err(e) = result {
+                assert!(
+                    is_governance_error(&e),
+                    "untyped governance failure ({mode:?}): {e:?}"
+                );
+            }
+        }
+    }
+}
