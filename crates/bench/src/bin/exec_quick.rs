@@ -68,6 +68,8 @@ fn main() {
         execute_mode(&case.plan, &env, ExecMode::Batch).expect("warms");
     }
 
+    // Per case: (name, batch_op_ms, batch_wall_ms) for the `fusion` block.
+    let mut fusion_rows: Vec<(String, f64, f64)> = Vec::with_capacity(cases.len());
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"exec_throughput\",").unwrap();
@@ -113,8 +115,38 @@ fn main() {
         writeln!(json, "      \"op_speedup\": {op_speedup:.3},").unwrap();
         writeln!(json, "      \"wall_speedup\": {wall_speedup:.3}").unwrap();
         writeln!(json, "    }}{}", if i + 1 < cases.len() { "," } else { "" }).unwrap();
+        fusion_rows.push((case.name.to_string(), ms(batch_op), ms(batch_wall)));
     }
     writeln!(json, "  ],").unwrap();
+
+    // Fusion: per case, how much of batch wall time the root operator
+    // itself accounts for. The residue (1 - ratio) is the unfused
+    // scan + sink overhead; the fused selection/sort/sink paths exist to
+    // shrink it, so this ratio is the tracked trajectory for "did a
+    // pipeline change add a materialization boundary?".
+    writeln!(json, "  \"fusion\": {{").unwrap();
+    writeln!(json, "    \"cases\": [").unwrap();
+    eprintln!(
+        "\n{:<22} {:>12} {:>12} {:>10}",
+        "fusion", "op ms", "wall ms", "op/wall"
+    );
+    for (i, (name, op_ms, wall_ms)) in fusion_rows.iter().enumerate() {
+        let ratio = op_ms / wall_ms.max(1e-9);
+        eprintln!("{name:<22} {op_ms:>12.3} {wall_ms:>12.3} {ratio:>10.3}");
+        writeln!(json, "      {{").unwrap();
+        writeln!(json, "        \"name\": \"{name}\",").unwrap();
+        writeln!(json, "        \"batch_op_ms\": {op_ms:.3},").unwrap();
+        writeln!(json, "        \"batch_wall_ms\": {wall_ms:.3},").unwrap();
+        writeln!(json, "        \"op_wall_ratio\": {ratio:.3}").unwrap();
+        writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < fusion_rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "    ]").unwrap();
+    writeln!(json, "  }},").unwrap();
 
     // Morsel-parallel scaling: per operator, best op-time at 1/2/4 worker
     // threads against the single-thread batch baseline. The committed

@@ -107,6 +107,20 @@ impl Column {
         data + self.nulls.as_ref().map_or(0, Vec::len)
     }
 
+    /// Approximate footprint of slot `i` alone (payload plus, for
+    /// strings, the shared bytes), matching [`Column::approx_bytes`]'s
+    /// per-value accounting — summing this over pushed rows keeps an
+    /// incremental byte count consistent with a full recount, without
+    /// the `O(len)` rescan.
+    #[inline]
+    pub fn approx_bytes_at(&self, i: usize) -> usize {
+        match &self.data {
+            ColumnData::Int(_) | ColumnData::Time(_) | ColumnData::Float(_) => 8,
+            ColumnData::Bool(_) => 1,
+            ColumnData::Str(v) => std::mem::size_of::<Arc<str>>() + v[i].len(),
+        }
+    }
+
     /// Number of values (null slots included).
     pub fn len(&self) -> usize {
         match &self.data {
@@ -500,6 +514,174 @@ impl Column {
         // are null, not ordered); this is pure ordering, null-first.
         self.value(i).cmp(v)
     }
+
+    /// Order-preserving `u64` prefixes of every value, for radix-assisted
+    /// sorting. Returns `(prefixes, exact)`. Unsigned ascending order of
+    /// the prefixes never contradicts [`Column::cmp_at`]: `prefix[a] <
+    /// prefix[b]` implies value `a` orders before value `b`. When `exact`
+    /// is true the encoding is also injective on ordering — equal
+    /// prefixes mean equal values — so a sort may skip the comparator
+    /// entirely. Descending order is the caller's bitwise complement
+    /// (`!p`), which flips the whole order including null placement.
+    pub fn sort_prefixes(&self) -> (Vec<u64>, bool) {
+        const SIGN: u64 = 1 << 63;
+        let n = self.len();
+        let (mut out, mut exact): (Vec<u64>, bool) = match &self.data {
+            // i64 ascending == unsigned ascending after flipping the sign.
+            ColumnData::Int(v) | ColumnData::Time(v) => {
+                (v.iter().map(|&x| (x as u64) ^ SIGN).collect(), true)
+            }
+            // `total_cmp` order: flip all bits of negatives, the sign bit
+            // of non-negatives (IEEE 754 totalOrder as unsigned ints).
+            ColumnData::Float(v) => (
+                v.iter()
+                    .map(|&x| {
+                        let b = x.to_bits();
+                        if b & SIGN != 0 {
+                            !b
+                        } else {
+                            b ^ SIGN
+                        }
+                    })
+                    .collect(),
+                true,
+            ),
+            ColumnData::Bool(v) => (v.iter().map(|&x| x as u64).collect(), true),
+            // First eight bytes, big-endian, zero-padded: exact iff every
+            // string fits and is NUL-free (the pad byte must sort strictly
+            // below every real byte for padded order == lexicographic).
+            ColumnData::Str(v) => {
+                let mut exact = true;
+                let out = v
+                    .iter()
+                    .map(|s| {
+                        let b = s.as_bytes();
+                        if b.len() > 8 || b.contains(&0) {
+                            exact = false;
+                        }
+                        let mut buf = [0u8; 8];
+                        let take = b.len().min(8);
+                        buf[..take].copy_from_slice(&b[..take]);
+                        u64::from_be_bytes(buf)
+                    })
+                    .collect();
+                (out, exact)
+            }
+        };
+        if let Some(nulls) = &self.nulls {
+            // Null-first: nulls collapse to 0, everything else keeps its
+            // order in the upper half. The dropped low bit makes the
+            // encoding non-injective, hence inexact.
+            for (p, &is_null) in out.iter_mut().zip(nulls.iter()) {
+                *p = if is_null { 0 } else { (*p >> 1) | SIGN };
+            }
+            exact = false;
+        }
+        debug_assert_eq!(out.len(), n);
+        (out, exact)
+    }
+
+    /// Batched pairwise equality: `ok[k] &= self[ids[k]] == other[rows[k]]`
+    /// under [`Column::eq_at`] semantics, with the dtype dispatched once
+    /// per call instead of per pair — the column-wise verification step of
+    /// hash probes that batch their candidates.
+    pub fn eq_pairs(&self, ids: &[u32], other: &Column, rows: &[u32], ok: &mut [bool]) {
+        debug_assert_eq!(ids.len(), rows.len());
+        debug_assert_eq!(ids.len(), ok.len());
+        if self.has_nulls() || other.has_nulls() {
+            for ((o, &i), &j) in ok.iter_mut().zip(ids).zip(rows) {
+                *o &= self.eq_at(i as usize, other, j as usize);
+            }
+            return;
+        }
+        match (&self.data, &other.data) {
+            (
+                ColumnData::Int(a) | ColumnData::Time(a),
+                ColumnData::Int(b) | ColumnData::Time(b),
+            ) => {
+                for ((o, &i), &j) in ok.iter_mut().zip(ids).zip(rows) {
+                    *o &= a[i as usize] == b[j as usize];
+                }
+            }
+            (ColumnData::Float(a), ColumnData::Float(b)) => {
+                for ((o, &i), &j) in ok.iter_mut().zip(ids).zip(rows) {
+                    *o &= a[i as usize].to_bits() == b[j as usize].to_bits();
+                }
+            }
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+                for ((o, &i), &j) in ok.iter_mut().zip(ids).zip(rows) {
+                    *o &= a[i as usize] == b[j as usize];
+                }
+            }
+            (ColumnData::Str(a), ColumnData::Str(b)) => {
+                for ((o, &i), &j) in ok.iter_mut().zip(ids).zip(rows) {
+                    let (x, y) = (&a[i as usize], &b[j as usize]);
+                    *o &= Arc::ptr_eq(x, y) || x == y;
+                }
+            }
+            _ => panic!("eq_pairs across incompatible column dtypes"),
+        }
+    }
+}
+
+/// Transpose columns into row-layout tuples. `sel` picks physical rows
+/// (`None` = all `rows` in physical order). One dtype dispatch per
+/// column — not per value — so the row layer's tagged enums are built in
+/// tight per-column loops.
+pub fn tuples_from_columns(
+    columns: &[Arc<Column>],
+    sel: Option<&[u32]>,
+    rows: usize,
+) -> Vec<Tuple> {
+    let arity = columns.len();
+    let mut bufs: Vec<Vec<Value>> = (0..rows).map(|_| Vec::with_capacity(arity)).collect();
+    for col in columns {
+        fill_rows(col, sel, &mut bufs);
+    }
+    bufs.into_iter().map(Tuple::new).collect()
+}
+
+/// Append one value per row buffer from `col` (`out[k]` receives row
+/// `sel[k]`, or physical row `k` when dense).
+fn fill_rows(col: &Column, sel: Option<&[u32]>, out: &mut [Vec<Value>]) {
+    if col.has_nulls() {
+        match sel {
+            None => {
+                for (k, row) in out.iter_mut().enumerate() {
+                    row.push(col.value(k));
+                }
+            }
+            Some(idx) => {
+                for (row, &i) in out.iter_mut().zip(idx) {
+                    row.push(col.value(i as usize));
+                }
+            }
+        }
+        return;
+    }
+    macro_rules! fill {
+        ($v:expr, $wrap:expr) => {
+            match sel {
+                None => {
+                    for (row, x) in out.iter_mut().zip($v.iter()) {
+                        row.push($wrap(x));
+                    }
+                }
+                Some(idx) => {
+                    for (row, &i) in out.iter_mut().zip(idx) {
+                        row.push($wrap(&$v[i as usize]));
+                    }
+                }
+            }
+        };
+    }
+    match &col.data {
+        ColumnData::Int(v) => fill!(v, |x: &i64| Value::Int(*x)),
+        ColumnData::Time(v) => fill!(v, |x: &i64| Value::Time(*x)),
+        ColumnData::Float(v) => fill!(v, |x: &f64| Value::Float(*x)),
+        ColumnData::Bool(v) => fill!(v, |x: &bool| Value::Bool(*x)),
+        ColumnData::Str(v) => fill!(v, |x: &Arc<str>| Value::Str(x.clone())),
+    }
 }
 
 /// A whole relation in column-major layout. Columns are individually
@@ -558,11 +740,7 @@ impl ColumnarRelation {
     /// Transpose back to the row layout. The result compares equal (`==`)
     /// to the relation this was built from.
     pub fn to_relation(&self) -> Relation {
-        let mut tuples = Vec::with_capacity(self.rows);
-        for i in 0..self.rows {
-            let values = self.columns.iter().map(|c| c.value(i)).collect();
-            tuples.push(Tuple::new(values));
-        }
+        let tuples = tuples_from_columns(&self.columns, None, self.rows);
         Relation::new_unchecked((*self.schema).clone(), tuples)
     }
 

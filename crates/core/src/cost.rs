@@ -84,10 +84,14 @@ pub enum Engine {
 
 impl CostModel {
     /// A model calibrated to the stratum's execution engine, from the
-    /// measured operator times in `BENCH_exec.json`: batch is ~5–7× faster
-    /// than row on the hot operators (hash rdup 5.6×, grouped aggregation
-    /// 6.8×, plane-sweep `×ᵀ` ~6×), and the morsel-parallel engine scales
-    /// the partitioned operators by roughly `T^0.7` on top of that (the
+    /// measured operator times in `BENCH_exec.json` after the kernel
+    /// rewrites (radix-partitioned hash builds, prefix-assisted sort,
+    /// fused selection-into-breaker pipelines, branch-free predicate and
+    /// sweep emission): batch now runs ~3–5× faster than row across the
+    /// whole fast set — the former laggards (sort, previously ~2×) pulled
+    /// up to the pack — so one flat factor fits the operators much more
+    /// tightly than before. The morsel-parallel engine still scales the
+    /// partitioned operators by roughly `T^0.7` on top of that (the
     /// `parallel_scaling` block tracks the measured curve). Both factors
     /// are clamped above `dbms_factor` because the simulated DBMS stands
     /// in for a mature engine whose own speed the bench does not measure,
@@ -96,8 +100,8 @@ impl CostModel {
     pub fn calibrated(engine: Engine) -> CostModel {
         let stratum_factor = match engine {
             Engine::Row => 1.0,
-            Engine::Batch => 0.4,
-            Engine::Parallel { threads } => (0.4 / (threads.max(1) as f64).powf(0.7)).max(0.26),
+            Engine::Batch => 0.32,
+            Engine::Parallel { threads } => (0.32 / (threads.max(1) as f64).powf(0.7)).max(0.26),
         };
         CostModel {
             stratum_factor,

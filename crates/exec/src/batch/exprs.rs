@@ -21,7 +21,7 @@ use tqo_core::expr::{BinOp, Expr};
 use tqo_core::schema::Schema;
 use tqo_core::value::{DataType, Value};
 
-use super::Batch;
+use super::{Batch, Sel};
 
 /// A compiled predicate over column indices.
 #[derive(Debug, Clone)]
@@ -152,6 +152,73 @@ fn apply(op: BinOp, ord: Ordering) -> bool {
     }
 }
 
+/// Fill `vals[k] = op(left(k), right(k))` with the operator match hoisted
+/// out of the loop: each arm monomorphizes a tight, branch-free compare
+/// loop over plain slices that the compiler can unroll and vectorize,
+/// instead of re-matching `op` (and re-dispatching the dtype) per row.
+#[inline]
+fn fill_cmp<T: Copy>(
+    op: BinOp,
+    vals: &mut [bool],
+    left: impl Fn(usize) -> T + Copy,
+    right: impl Fn(usize) -> T + Copy,
+    ord: impl Fn(T, T) -> Ordering + Copy,
+) {
+    macro_rules! go {
+        ($keep:expr) => {
+            for (k, v) in vals.iter_mut().enumerate() {
+                *v = $keep(ord(left(k), right(k)));
+            }
+        };
+    }
+    match op {
+        BinOp::Eq => go!(|o: Ordering| o == Ordering::Equal),
+        BinOp::Ne => go!(|o: Ordering| o != Ordering::Equal),
+        BinOp::Lt => go!(|o: Ordering| o == Ordering::Less),
+        BinOp::Le => go!(|o: Ordering| o != Ordering::Greater),
+        BinOp::Gt => go!(|o: Ordering| o == Ordering::Greater),
+        BinOp::Ge => go!(|o: Ordering| o != Ordering::Less),
+        _ => unreachable!("compiled comparisons are comparisons"),
+    }
+}
+
+/// [`fill_cmp`] with logical→physical row translation: getters take
+/// physical indices, the selection shape is dispatched once per batch.
+#[inline]
+fn fill_cmp_sel<T: Copy>(
+    op: BinOp,
+    batch: &Batch,
+    vals: &mut [bool],
+    at_l: impl Fn(usize) -> T + Copy,
+    at_r: impl Fn(usize) -> T + Copy,
+    ord: impl Fn(T, T) -> Ordering + Copy,
+) {
+    match batch.sel() {
+        Sel::Range(s, _) => {
+            let s = *s;
+            fill_cmp(op, vals, |k| at_l(s + k), |k| at_r(s + k), ord);
+        }
+        Sel::Rows(rows) => fill_cmp(
+            op,
+            vals,
+            |k| at_l(rows[k] as usize),
+            |k| at_r(rows[k] as usize),
+            ord,
+        ),
+    }
+}
+
+/// A float-comparable view of a literal, exactly where `Value::cmp`
+/// against a `Float` is numeric (`Float` and `Int` operands; `Time` vs
+/// `Float` compares by variant rank and must not take this path).
+fn float_lit(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
 /// Evaluate a compiled predicate over a batch's logical rows.
 pub fn eval(pred: &Pred, batch: &Batch) -> BoolVec {
     let n = batch.num_rows();
@@ -159,11 +226,33 @@ pub fn eval(pred: &Pred, batch: &Batch) -> BoolVec {
     match pred {
         Pred::CmpCols(op, l, r) => {
             let (lc, rc) = (batch.column(*l), batch.column(*r));
-            for (k, i) in batch.rows().enumerate() {
-                if lc.is_null(i) || rc.is_null(i) {
-                    out.set_null(k);
-                } else {
-                    out.vals[k] = apply(*op, lc.cmp_at(i, rc, i));
+            if let (Some(ld), Some(rd)) = (lc.as_i64(), rc.as_i64()) {
+                // Fast path: two non-null Int/Time columns.
+                fill_cmp_sel(
+                    *op,
+                    batch,
+                    &mut out.vals,
+                    |i| ld[i],
+                    |i| rd[i],
+                    |a, b| a.cmp(&b),
+                );
+            } else if let (Some(ld), Some(rd)) = (lc.as_f64(), rc.as_f64()) {
+                // Non-null Float columns: `cmp_at` is `total_cmp`.
+                fill_cmp_sel(
+                    *op,
+                    batch,
+                    &mut out.vals,
+                    |i| ld[i],
+                    |i| rd[i],
+                    |a, b| a.total_cmp(&b),
+                );
+            } else {
+                for (k, i) in batch.rows().enumerate() {
+                    if lc.is_null(i) || rc.is_null(i) {
+                        out.set_null(k);
+                    } else {
+                        out.vals[k] = apply(*op, lc.cmp_at(i, rc, i));
+                    }
                 }
             }
         }
@@ -173,9 +262,24 @@ pub fn eval(pred: &Pred, batch: &Batch) -> BoolVec {
                 out.nulls = Some(vec![true; n]);
             } else if let (Some(data), Ok(lit)) = (lc.as_i64(), v.as_int()) {
                 // Fast path: non-null Int/Time column vs integer literal.
-                for (k, i) in batch.rows().enumerate() {
-                    out.vals[k] = apply(*op, data[i].cmp(&lit));
-                }
+                fill_cmp_sel(
+                    *op,
+                    batch,
+                    &mut out.vals,
+                    |i| data[i],
+                    |_| lit,
+                    |a, b| a.cmp(&b),
+                );
+            } else if let (Some(data), Some(lit)) = (lc.as_f64(), float_lit(v)) {
+                // Non-null Float column vs numeric literal (total order).
+                fill_cmp_sel(
+                    *op,
+                    batch,
+                    &mut out.vals,
+                    |i| data[i],
+                    |_| lit,
+                    |a, b| a.total_cmp(&b),
+                );
             } else {
                 for (k, i) in batch.rows().enumerate() {
                     if lc.is_null(i) {
@@ -190,6 +294,24 @@ pub fn eval(pred: &Pred, batch: &Batch) -> BoolVec {
             let rc = batch.column(*r);
             if v.is_null() {
                 out.nulls = Some(vec![true; n]);
+            } else if let (Some(data), Ok(lit)) = (rc.as_i64(), v.as_int()) {
+                fill_cmp_sel(
+                    *op,
+                    batch,
+                    &mut out.vals,
+                    |_| lit,
+                    |i| data[i],
+                    |a, b| a.cmp(&b),
+                );
+            } else if let (Some(data), Some(lit)) = (rc.as_f64(), float_lit(v)) {
+                fill_cmp_sel(
+                    *op,
+                    batch,
+                    &mut out.vals,
+                    |_| lit,
+                    |i| data[i],
+                    |a, b| a.total_cmp(&b),
+                );
             } else {
                 for (k, i) in batch.rows().enumerate() {
                     if rc.is_null(i) {
@@ -230,38 +352,58 @@ pub fn eval(pred: &Pred, batch: &Batch) -> BoolVec {
         Pred::And(l, r) => {
             let lv = eval(l, batch);
             let rv = eval(r, batch);
-            for k in 0..n {
-                // Mirror Expr::eval: left == FALSE short-circuits; any
-                // remaining null operand nulls the result.
-                if !lv.is_null(k) && !lv.vals[k] {
-                    out.vals[k] = false;
-                } else if lv.is_null(k) || rv.is_null(k) {
-                    out.set_null(k);
-                } else {
-                    out.vals[k] = lv.vals[k] && rv.vals[k];
+            if lv.nulls.is_none() && rv.nulls.is_none() {
+                // Null-free inputs: three-valued logic degenerates to a
+                // branch-free bitwise AND.
+                for ((o, &a), &b) in out.vals.iter_mut().zip(&lv.vals).zip(&rv.vals) {
+                    *o = a & b;
+                }
+            } else {
+                for k in 0..n {
+                    // Mirror Expr::eval: left == FALSE short-circuits; any
+                    // remaining null operand nulls the result.
+                    if !lv.is_null(k) && !lv.vals[k] {
+                        out.vals[k] = false;
+                    } else if lv.is_null(k) || rv.is_null(k) {
+                        out.set_null(k);
+                    } else {
+                        out.vals[k] = lv.vals[k] && rv.vals[k];
+                    }
                 }
             }
         }
         Pred::Or(l, r) => {
             let lv = eval(l, batch);
             let rv = eval(r, batch);
-            for k in 0..n {
-                if !lv.is_null(k) && lv.vals[k] {
-                    out.vals[k] = true;
-                } else if lv.is_null(k) || rv.is_null(k) {
-                    out.set_null(k);
-                } else {
-                    out.vals[k] = lv.vals[k] || rv.vals[k];
+            if lv.nulls.is_none() && rv.nulls.is_none() {
+                for ((o, &a), &b) in out.vals.iter_mut().zip(&lv.vals).zip(&rv.vals) {
+                    *o = a | b;
+                }
+            } else {
+                for k in 0..n {
+                    if !lv.is_null(k) && lv.vals[k] {
+                        out.vals[k] = true;
+                    } else if lv.is_null(k) || rv.is_null(k) {
+                        out.set_null(k);
+                    } else {
+                        out.vals[k] = lv.vals[k] || rv.vals[k];
+                    }
                 }
             }
         }
         Pred::Not(e) => {
             let ev = eval(e, batch);
-            for k in 0..n {
-                if ev.is_null(k) {
-                    out.set_null(k);
-                } else {
-                    out.vals[k] = !ev.vals[k];
+            if ev.nulls.is_none() {
+                for (o, &a) in out.vals.iter_mut().zip(&ev.vals) {
+                    *o = !a;
+                }
+            } else {
+                for k in 0..n {
+                    if ev.is_null(k) {
+                        out.set_null(k);
+                    } else {
+                        out.vals[k] = !ev.vals[k];
+                    }
                 }
             }
         }
@@ -271,14 +413,43 @@ pub fn eval(pred: &Pred, batch: &Batch) -> BoolVec {
 
 /// Filter a batch: physical indices of rows where the predicate is true
 /// (`NULL` counts as not satisfied, as in SQL `WHERE`).
+///
+/// The compaction is branch-free: every candidate index is written at the
+/// output cursor and the cursor advances by the keep flag, so selectivity
+/// never costs branch mispredictions.
 pub fn filter(pred: &Pred, batch: &Batch) -> Vec<u32> {
     let bv = eval(pred, batch);
-    let mut kept = Vec::with_capacity(batch.num_rows());
-    for (k, i) in batch.rows().enumerate() {
-        if bv.vals[k] && !bv.is_null(k) {
-            kept.push(i as u32);
+    let mut kept = vec![0u32; bv.vals.len()];
+    let mut m = 0usize;
+    match (batch.sel(), &bv.nulls) {
+        (Sel::Range(s, _), None) => {
+            let s = *s as u32;
+            for (k, &keep) in bv.vals.iter().enumerate() {
+                kept[m] = s + k as u32;
+                m += keep as usize;
+            }
+        }
+        (Sel::Rows(rows), None) => {
+            for (k, &i) in rows.iter().enumerate() {
+                kept[m] = i;
+                m += bv.vals[k] as usize;
+            }
+        }
+        (Sel::Range(s, _), Some(nulls)) => {
+            let s = *s as u32;
+            for (k, &keep) in bv.vals.iter().enumerate() {
+                kept[m] = s + k as u32;
+                m += (keep & !nulls[k]) as usize;
+            }
+        }
+        (Sel::Rows(rows), Some(nulls)) => {
+            for (k, &i) in rows.iter().enumerate() {
+                kept[m] = i;
+                m += (bv.vals[k] & !nulls[k]) as usize;
+            }
         }
     }
+    kept.truncate(m);
     kept
 }
 

@@ -90,6 +90,27 @@ impl RowTable {
         }
     }
 
+    /// First entry in `hash`'s probe chain with an equal stored hash,
+    /// without key verification — the cheap candidate step of a batched
+    /// probe. The caller must verify the candidate's key itself (and fall
+    /// back to [`RowTable::find`]/[`RowTable::find_or_insert`] on
+    /// mismatch: distinct keys can collide on the full 64-bit hash, and a
+    /// later chain entry may then hold the real match).
+    #[inline]
+    pub fn find_first_hash(&self, hash: u64) -> Option<u32> {
+        let mut i = hash as usize & self.mask;
+        loop {
+            let e = self.slots[i];
+            if e == EMPTY {
+                return None;
+            }
+            if self.hashes[e as usize] == hash {
+                return Some(e);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
     /// Find an existing entry without inserting.
     #[inline]
     pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
@@ -138,6 +159,12 @@ impl RowTable {
 #[derive(Debug)]
 pub struct KeyStore {
     columns: Vec<Column>,
+    /// Incrementally tracked payload bytes of the stored rows, so
+    /// [`KeyStore::approx_bytes`] is `O(1)` per call instead of
+    /// rescanning every stored string — streaming operators recharge
+    /// their budget per batch, and an `O(entries)` recount per batch
+    /// turns the whole build quadratic.
+    bytes: usize,
 }
 
 impl KeyStore {
@@ -148,6 +175,7 @@ impl KeyStore {
                 .iter()
                 .map(|&i| Column::with_capacity(schema.attr(i).dtype, 64))
                 .collect(),
+            bytes: 0,
         }
     }
 
@@ -157,9 +185,16 @@ impl KeyStore {
     }
 
     /// Approximate footprint in bytes of the stored key columns, for
-    /// memory-budget accounting.
+    /// memory-budget accounting. Payload bytes are tracked incrementally
+    /// at push time; only the (cheap, per-column) null-mask lengths are
+    /// summed here.
     pub fn approx_bytes(&self) -> usize {
-        self.columns.iter().map(Column::approx_bytes).sum()
+        self.bytes
+            + self
+                .columns
+                .iter()
+                .map(|c| if c.has_nulls() { c.len() } else { 0 })
+                .sum::<usize>()
     }
 
     /// True when no key rows are stored.
@@ -182,6 +217,7 @@ impl KeyStore {
     pub fn push_row(&mut self, cols: &[Arc<Column>], key_idx: &[usize], row: usize) {
         for (store_col, &src) in self.columns.iter_mut().zip(key_idx) {
             store_col.push_from(&cols[src], row);
+            self.bytes += store_col.approx_bytes_at(store_col.len() - 1);
         }
     }
 
@@ -203,6 +239,41 @@ impl KeyStore {
         }
         h
     }
+}
+
+/// Key-space partition of a row hash. The high half of the hash drives
+/// partition choice while probe tables index slots with the low bits, so
+/// partition and slot choice stay decorrelated. Shared by the serial
+/// radix-partitioned builds and the parallel
+/// [`ParClassIndex`](crate::parallel) so both sides agree on routing.
+#[inline]
+pub fn part_of(hash: u64, nparts: usize) -> usize {
+    ((hash >> 32) % nparts as u64) as usize
+}
+
+/// Two-pass (histogram, scatter) radix partitioning of row ids by hash
+/// partition. Returns `(offsets, ids)` where partition `p`'s rows are
+/// `ids[offsets[p] as usize..offsets[p + 1] as usize]`. The scatter is
+/// stable, so each partition's ids stay ascending — the property that
+/// makes a per-partition build equivalent to a serial first-occurrence
+/// scan restricted to that partition.
+pub fn radix_scatter(hashes: &[u64], nparts: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut counts = vec![0u32; nparts + 1];
+    for &h in hashes {
+        counts[part_of(h, nparts) + 1] += 1;
+    }
+    for p in 0..nparts {
+        counts[p + 1] += counts[p];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut ids = vec![0u32; hashes.len()];
+    for (row, &h) in hashes.iter().enumerate() {
+        let p = part_of(h, nparts);
+        ids[cursor[p] as usize] = row as u32;
+        cursor[p] += 1;
+    }
+    (offsets, ids)
 }
 
 /// Hash a whole batch's live rows over the key columns, column-at-a-time

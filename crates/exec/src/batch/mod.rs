@@ -262,6 +262,47 @@ fn tiles_shared_columns(batches: &[Batch]) -> bool {
     expected == total
 }
 
+/// The fusion handle of [`shared_selection`]: the shared source columns
+/// plus the concatenated selection (`None` = full columns in physical
+/// order).
+pub(crate) type SharedSelection = (Vec<Arc<Column>>, Option<Vec<u32>>);
+
+/// When every batch is a view over one shared set of columns (pointer
+/// identity), return those columns plus the concatenated selection — the
+/// fusion handle that lets a selection-producing pipeline push its
+/// selection vector straight into a breaker's build phase (or the
+/// driver's row conversion) instead of materializing a compacted
+/// intermediate relation. A `None` selection means the stream is exactly
+/// the full shared columns in physical order. Returns `None` overall
+/// when there are no batches or they view differing columns (computed
+/// projections, row-op results) — callers then fall back to [`concat`].
+pub(crate) fn shared_selection(batches: &[Batch]) -> Option<SharedSelection> {
+    let first = batches.first()?;
+    for b in batches {
+        if b.columns().len() != first.columns().len()
+            || !b
+                .columns()
+                .iter()
+                .zip(first.columns())
+                .all(|(a, c)| Arc::ptr_eq(a, c))
+        {
+            return None;
+        }
+    }
+    if tiles_shared_columns(batches) {
+        return Some((first.columns().to_vec(), None));
+    }
+    let total: usize = batches.iter().map(Batch::num_rows).sum();
+    let mut sel = Vec::with_capacity(total);
+    for b in batches {
+        match &b.sel {
+            Sel::Range(s, e) => sel.extend(*s as u32..*e as u32),
+            Sel::Rows(rows) => sel.extend_from_slice(rows),
+        }
+    }
+    Some((first.columns().to_vec(), Some(sel)))
+}
+
 /// Materialize a batch stream into a single columnar relation — the
 /// pipeline-breaker entry point and the sink of the driver.
 pub fn concat(schema: Arc<Schema>, batches: &[Batch]) -> ColumnarRelation {

@@ -388,16 +388,57 @@ impl BatchOperator for RdupOp {
             };
             let cols = batch.columns();
             let hashes = super::hash::hash_batch(&batch, &self.key_idx);
-            let mut kept = Vec::new();
+            // Two-phase probe. Phase 1 resolves each row against the
+            // *frozen* table by hash alone and batches the candidates;
+            // their keys are then verified column-wise — one dtype
+            // dispatch per key column per batch instead of per row.
+            // Rows with no hash-equal entry (new keys, intra-batch
+            // duplicates of them) and the rare failed candidates (full
+            // 64-bit hash collisions) take phase 2: the serial
+            // insert-or-find walk, in original row order, which is the
+            // only phase that mutates the table.
+            let mut cand_rows: Vec<u32> = Vec::new();
+            let mut cand_ids: Vec<u32> = Vec::new();
+            let mut cand_hash: Vec<u64> = Vec::new();
+            let mut pending: Vec<(u32, u64)> = Vec::new();
             for (k, i) in batch.rows().enumerate() {
+                match self.table.find_first_hash(hashes[k]) {
+                    Some(e) => {
+                        cand_rows.push(i as u32);
+                        cand_ids.push(e);
+                        cand_hash.push(hashes[k]);
+                    }
+                    None => pending.push((i as u32, hashes[k])),
+                }
+            }
+            let mut ok = vec![true; cand_rows.len()];
+            for (store_col, &src) in self.store.columns().iter().zip(&self.key_idx) {
+                store_col.eq_pairs(&cand_ids, &cols[src], &cand_rows, &mut ok);
+            }
+            // Verified candidates are duplicates of frozen entries and
+            // drop out. Failed candidates rejoin the pending stream,
+            // re-sorted by row so phase 2 sees original first-occurrence
+            // order (`pending` is built ascending; the sort only ever
+            // runs on a genuine 64-bit hash collision).
+            if ok.iter().any(|&o| !o) {
+                for (k, &o) in ok.iter().enumerate() {
+                    if !o {
+                        pending.push((cand_rows[k], cand_hash[k]));
+                    }
+                }
+                pending.sort_unstable_by_key(|&(row, _)| row);
+            }
+            let mut kept = Vec::new();
+            for &(row, hash) in &pending {
+                let i = row as usize;
                 let (_, inserted) = self.table.find_or_insert(
-                    hashes[k],
+                    hash,
                     |e| self.store.eq_row(e, cols, &self.key_idx, i),
                     0,
                 );
                 if inserted {
                     self.store.push_row(cols, &self.key_idx, i);
-                    kept.push(i as u32);
+                    kept.push(row);
                 }
             }
             self.charge_state()?;
@@ -563,19 +604,76 @@ struct BlockingOp {
     reserved: Option<context::Reservation>,
 }
 
-fn drain(child: &mut BoxOp) -> Result<ColumnarRelation> {
-    let schema = child.out_schema();
+fn drain_batches(child: &mut BoxOp) -> Result<Vec<Batch>> {
     let mut batches = Vec::new();
     while let Some(b) = child.next_batch()? {
         if !b.is_empty() {
             batches.push(b);
         }
     }
+    Ok(batches)
+}
+
+fn drain(child: &mut BoxOp) -> Result<ColumnarRelation> {
+    let schema = child.out_schema();
+    let batches = drain_batches(child)?;
     Ok(concat(schema, &batches))
 }
 
+/// Strictly ascending physical ids — the stream order of every selection
+/// a scan/filter pipeline produces, and the order the fused sort relies
+/// on for stability (id tie-break == stream order).
+fn is_ascending(sel: &[u32]) -> bool {
+    sel.windows(2).all(|w| w[0] < w[1])
+}
+
 impl BlockingOp {
+    /// The sort breaker, with the fused selection-into-breaker path: when
+    /// the drained batches are all views over one shared set of columns
+    /// (a scan/filter/project pipeline), the selection vector feeds the
+    /// sort directly — prefixes are built over the shared columns, the
+    /// selection ids are sorted in place, and the result is emitted as
+    /// selection views over those same columns. No compacted intermediate
+    /// is ever built, so the budget is charged for what is actually
+    /// allocated: the prefix buffer and the permutation.
+    fn compute_sort(&mut self, order: &Order) -> Result<()> {
+        let child = &mut self.children[0];
+        let schema = child.out_schema();
+        let batches = drain_batches(child)?;
+        if let Some((columns, sel)) = super::shared_selection(&batches) {
+            if sel.as_deref().is_none_or(is_ascending) {
+                let input = ColumnarRelation::new(schema, columns);
+                let mut idx = match sel {
+                    Some(s) => s,
+                    None => (0..input.rows() as u32).collect(),
+                };
+                // Charge the sort's working state (prefixes + pairs) for
+                // the kernel's duration, then the permutation until close.
+                let _work_reserved = context::reserve_current(input.rows() * 8 + idx.len() * 12)?;
+                let keys = kernels::SortKeys::new(&input, order)?;
+                keys.sort(&mut idx);
+                self.reserved = context::reserve_current(idx.len() * 4)?;
+                self.perm = Some(idx);
+                self.out = Some(input);
+                return Ok(());
+            }
+        }
+        // Fallback (fresh columns per batch, or a reordered selection):
+        // materialize the compacted input and sort that.
+        let input = concat(schema, &batches);
+        let _inputs_reserved = context::reserve_current(input.approx_bytes())?;
+        let perm = kernels::sort_indices(&input, order)?;
+        self.reserved = context::reserve_current(input.approx_bytes() + perm.len() * 4)?;
+        self.perm = Some(perm);
+        self.out = Some(input);
+        Ok(())
+    }
+
     fn compute(&mut self) -> Result<()> {
+        if let BlockKind::Sort(order) = &self.kind {
+            let order = order.clone();
+            return self.compute_sort(&order);
+        }
         let mut inputs = Vec::with_capacity(self.children.len());
         for c in &mut self.children {
             inputs.push(drain(c)?);
@@ -585,11 +683,7 @@ impl BlockingOp {
         let _inputs_reserved =
             context::reserve_current(inputs.iter().map(ColumnarRelation::approx_bytes).sum())?;
         match &self.kind {
-            BlockKind::Sort(order) => {
-                let input = inputs.pop().expect("sort has one child");
-                self.perm = Some(kernels::sort_indices(&input, order)?);
-                self.out = Some(input);
-            }
+            BlockKind::Sort(_) => unreachable!("handled by compute_sort"),
             BlockKind::Aggregate { group_by, aggs } => {
                 let input = inputs.pop().expect("aggregate has one child");
                 self.out = Some(kernels::aggregate(
@@ -976,11 +1070,29 @@ pub fn execute_batch(plan: &PhysicalPlan, env: &Env) -> Result<(Relation, ExecMe
         }
     }
     root.close();
-    let columnar = concat(schema, &batches);
-    // Charge the final materialized result while converting to row
-    // layout — the last allocation a budget can deny.
-    let _result_reserved = context::reserve_current(columnar.approx_bytes())?;
-    let result = columnar.to_relation();
+    // Fused sink: when the root's batches all view one shared set of
+    // columns (sort/filter/scan pipelines), transpose straight from the
+    // shared columns through the selection — no compacted columnar copy
+    // between the pipeline and the row layout. The budget is charged for
+    // the allocation actually made (the selection vector; the row tuples
+    // are the caller's result either way).
+    let result = match super::shared_selection(&batches) {
+        Some((columns, sel)) => {
+            let _sel_reserved = context::reserve_current(sel.as_ref().map_or(0, |s| s.len() * 4))?;
+            let rows = sel
+                .as_ref()
+                .map_or_else(|| columns.first().map_or(0, |c| c.len()), Vec::len);
+            let tuples = tqo_core::columnar::tuples_from_columns(&columns, sel.as_deref(), rows);
+            Relation::new_unchecked((*schema).clone(), tuples)
+        }
+        None => {
+            let columnar = concat(schema, &batches);
+            // Charge the final materialized result while converting to
+            // row layout — the last allocation a budget can deny.
+            let _result_reserved = context::reserve_current(columnar.approx_bytes())?;
+            columnar.to_relation()
+        }
+    };
 
     let sink = sink.borrow();
     let mut operators = Vec::with_capacity(sink.nodes.len());

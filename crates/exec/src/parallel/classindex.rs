@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use tqo_core::columnar::{Column, ColumnarRelation};
 
-use crate::batch::hash::{KeyStore, RowTable};
+use crate::batch::hash::{part_of, radix_scatter, KeyStore, RowTable};
 
 use super::morsel::{for_each_chunk_mut, for_each_part, WorkerPool};
 
@@ -66,14 +66,6 @@ pub struct ParClassIndex {
     protos: Vec<u32>,
     /// Per-row key hashes (kept so probes skip rehashing).
     hashes: Vec<u64>,
-}
-
-/// Partition of a row hash. Uses the high half of the hash — the probe
-/// tables index slots with the low bits, so partition and slot choice stay
-/// decorrelated.
-#[inline]
-fn part_of(hash: u64, nparts: usize) -> usize {
-    ((hash >> 32) % nparts as u64) as usize
 }
 
 /// Compute per-row key hashes in parallel (contiguous chunks per worker).
@@ -134,11 +126,19 @@ impl ParClassIndex {
                 global: Vec::new(),
             })
             .collect();
+        // Radix-scatter the row ids by partition once (two passes over the
+        // hash array) so each worker walks only its own rows — without the
+        // scatter every worker re-scans the full hash array and build work
+        // grows as `O(rows × partitions)`. The scatter is stable, so each
+        // partition's ids stay ascending and the per-partition build is a
+        // serial first-occurrence scan restricted to that partition.
+        let (offsets, ids) = radix_scatter(&hashes, nparts);
+        let offsets = &offsets;
+        let ids = &ids;
         for_each_part(pool, &mut parts, |p, part| {
-            for (row, &h) in hashes.iter().enumerate() {
-                if part_of(h, nparts) != p {
-                    continue;
-                }
+            for &row in &ids[offsets[p] as usize..offsets[p + 1] as usize] {
+                let row = row as usize;
+                let h = hashes[row];
                 let (id, inserted) =
                     part.table
                         .find_or_insert(h, |e| part.store.eq_row(e, cols, &key_idx, row), 0);

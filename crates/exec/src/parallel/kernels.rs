@@ -24,11 +24,12 @@ use tqo_core::columnar::{Column, ColumnarRelation};
 use tqo_core::error::{Error, Result};
 use tqo_core::expr::{AggFunc, AggItem};
 use tqo_core::schema::Schema;
-use tqo_core::sortspec::{Order, SortDir};
+use tqo_core::sortspec::Order;
 use tqo_core::time::{normalize_periods, CountTimeline, Period};
 use tqo_core::Value;
 
-use crate::batch::kernels::coalesce_class;
+use crate::batch::hash::radix_scatter;
+use crate::batch::kernels::{coalesce_class, SortKeys};
 
 use super::assemble::{fragments_parallel, gather_relation};
 use super::classindex::{hash_rows_parallel, ParClassIndex};
@@ -325,33 +326,21 @@ pub fn aggregate_parallel(
 /// [`crate::batch::kernels::sort_indices`]: workers stable-sort contiguous
 /// runs, then a merge picks the smallest head by `(sort key, original
 /// index)` — which is precisely the serial stable order.
+///
+/// Runs sort through the same prefix-assisted [`SortKeys`] kernel as the
+/// serial engine (one `u64` prefix per row settles most comparisons), and
+/// the merge compares via its `cmp` — so the serial and parallel sorts
+/// share one definition of the sort order.
 pub fn sort_indices_parallel(
     input: &ColumnarRelation,
     order: &Order,
     pool: &WorkerPool,
 ) -> Result<Vec<u32>> {
-    let mut keys = Vec::with_capacity(order.keys().len());
-    for k in order.keys() {
-        keys.push((input.schema().resolve(&k.attr)?, k.dir));
-    }
-    let cmp = |a: u32, b: u32| -> Ordering {
-        for &(c, dir) in &keys {
-            let col = input.column(c);
-            let ord = col.cmp_at(a as usize, col, b as usize);
-            let ord = match dir {
-                SortDir::Asc => ord,
-                SortDir::Desc => ord.reverse(),
-            };
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    };
+    let keys = SortKeys::new(input, order)?;
     let n = input.rows();
     let mut idx: Vec<u32> = (0..n as u32).collect();
     if pool.threads() == 1 || n < super::MORSEL_SIZE {
-        idx.sort_by(|&a, &b| cmp(a, b));
+        keys.sort(&mut idx);
         return Ok(idx);
     }
     // Workers sort the exact runs the merge below walks — one set of
@@ -360,8 +349,9 @@ pub fn sort_indices_parallel(
     // comparator calls, acceptable at pool widths (T ≤ ~16); a loser
     // tree would be the upgrade path if wide pools ever make it hot.
     let runs = chunk_ranges(n, pool.threads());
+    let keys_ref = &keys;
     for_each_range_mut(pool, &mut idx, &runs, |_, run| {
-        run.sort_by(|&a, &b| cmp(a, b));
+        keys_ref.sort(run);
     });
     let mut heads: Vec<usize> = runs.iter().map(|r| r.start).collect();
     let mut out = Vec::with_capacity(n);
@@ -374,7 +364,7 @@ pub fn sort_indices_parallel(
                     None => true,
                     // Ties on the sort key fall back to the original
                     // index: lower index first = stability.
-                    Some((_, b)) => cmp(cand, b).then(cand.cmp(&b)) == Ordering::Less,
+                    Some((_, b)) => keys.cmp(cand, b).then(cand.cmp(&b)) == Ordering::Less,
                 };
                 if better {
                     best = Some((r, cand));
@@ -497,18 +487,21 @@ pub fn difference_t_parallel(
     let (rs, re) = right.period_columns()?;
     let cidx = ParClassIndex::build(left, left.schema().value_indices(), pool);
 
-    // Route right rows to their left class, one worker per partition.
+    // Route right rows to their left class, one worker per partition. A
+    // stable radix scatter hands each worker just its own rows (ascending,
+    // so per-class lists keep row order) instead of every worker
+    // re-scanning the full right hash array.
     let rhashes = hash_rows_parallel(right.columns(), cidx.key_idx(), right.rows(), pool);
+    let (roffsets, rids) = radix_scatter(&rhashes, cidx.part_count());
+    let (roffsets, rids) = (&roffsets, &rids);
     let mut rmatch: Vec<Vec<Vec<u32>>> = (0..cidx.part_count())
         .map(|p| vec![Vec::new(); cidx.local_len(p)])
         .collect();
     for_each_part(pool, &mut rmatch, |p, lists| {
-        for (j, &h) in rhashes.iter().enumerate() {
-            if cidx.part_of_hash(h) != p {
-                continue;
-            }
-            if let Some(l) = cidx.find_local(p, h, right.columns(), j) {
-                lists[l as usize].push(j as u32);
+        for &j in &rids[roffsets[p] as usize..roffsets[p + 1] as usize] {
+            let h = rhashes[j as usize];
+            if let Some(l) = cidx.find_local(p, h, right.columns(), j as usize) {
+                lists[l as usize].push(j);
             }
         }
     });

@@ -24,6 +24,8 @@ use tqo_core::columnar::ColumnarRelation;
 use tqo_core::error::Result;
 use tqo_core::schema::Schema;
 
+use crate::batch::kernels;
+
 use super::assemble::join_parallel;
 use super::kernels::chunk_ranges;
 use super::morsel::{for_each_range_mut, map_morsels, map_tasks, WorkerPool};
@@ -106,31 +108,19 @@ fn sweep_chunk(events: &[Event], range: Range<usize>) -> JoinEmit {
         }
     }
     for &(s, e, side, i) in &events[range] {
+        // Emission goes through the serial sweep's branch-free
+        // `emit_overlaps` kernel: identical pair order, no per-pair branch.
         if side == 0 {
             active_r.retain(|&(_, rend, _)| rend > s);
-            for &(ras, rae, ri) in &active_r {
-                let ps = s.max(ras);
-                let pe = e.min(rae);
-                if ps < pe {
-                    out.0.push(i);
-                    out.1.push(ri);
-                    out.2.push(ps);
-                    out.3.push(pe);
-                }
-            }
+            kernels::emit_overlaps(
+                &active_r, s, e, i, true, &mut out.0, &mut out.1, &mut out.2, &mut out.3,
+            );
             active_l.push((s, e, i));
         } else {
             active_l.retain(|&(_, lend, _)| lend > s);
-            for &(las, lae, li) in &active_l {
-                let ps = s.max(las);
-                let pe = e.min(lae);
-                if ps < pe {
-                    out.0.push(li);
-                    out.1.push(i);
-                    out.2.push(ps);
-                    out.3.push(pe);
-                }
-            }
+            kernels::emit_overlaps(
+                &active_l, s, e, i, false, &mut out.0, &mut out.1, &mut out.2, &mut out.3,
+            );
             active_r.push((s, e, i));
         }
     }

@@ -1,0 +1,382 @@
+//! Kernel equivalence on adversarial layouts.
+//!
+//! The PR-8 kernel rewrites (radix-partitioned hash builds, fused
+//! selection-into-breaker pipelines, prefix-assisted cache-conscious
+//! sort, branch-free predicate/sweep kernels) promise to change *time
+//! only, never bytes* (ARCHITECTURE invariant 15). This suite drives
+//! each rewritten kernel through the layouts most likely to break that
+//! promise — all-duplicate keys collapsing every row into one radix
+//! bucket, empty inputs, selections of density 0% and 100% feeding
+//! breakers and sinks, sort inputs past the radix threshold with heavy
+//! ties, strings sharing long prefixes (inexact sort prefixes forcing
+//! refinement), floats including NaN and -0.0, and nulls under DESC —
+//! asserting `row ≡ batch ≡ parallel` **exactly** at threads 1, 2, 4, 8.
+
+mod common;
+
+use std::f64;
+
+use tqo_core::expr::{AggFunc, AggItem, BinOp, Expr};
+use tqo_core::interp::Env;
+use tqo_core::plan::{BaseProps, LogicalPlan, PlanBuilder};
+use tqo_core::relation::Relation;
+use tqo_core::schema::Schema;
+use tqo_core::sortspec::{Order, SortKey};
+use tqo_core::tuple::Tuple;
+use tqo_core::value::{DataType, Value};
+use tqo_exec::{execute_mode, lower, ExecMode, PlannerConfig};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(allow_fast: bool) -> PlannerConfig {
+    PlannerConfig {
+        allow_fast,
+        ..Default::default()
+    }
+}
+
+/// The acceptance oracle: one physical plan, three engines, exact `==`
+/// at every thread count, in both planner modes.
+fn assert_kernels_exact(plan: &LogicalPlan, env: &Env, context: &str) -> Relation {
+    let mut fast = None;
+    for allow_fast in [false, true] {
+        let physical = lower(plan, config(allow_fast)).unwrap();
+        let (row, _) = execute_mode(&physical, env, ExecMode::Row).unwrap();
+        let (batch, _) = execute_mode(&physical, env, ExecMode::Batch).unwrap();
+        assert_eq!(
+            row, batch,
+            "row and batch diverge (allow_fast={allow_fast}) on {context}"
+        );
+        for threads in THREADS {
+            let (par, _) = execute_mode(&physical, env, ExecMode::Parallel { threads }).unwrap();
+            assert_eq!(
+                par, row,
+                "parallel({threads}) diverges (allow_fast={allow_fast}) on {context}"
+            );
+        }
+        if allow_fast {
+            fast = Some(batch);
+        }
+    }
+    fast.expect("fast mode executed")
+}
+
+fn scan(name: &str, env: &Env) -> PlanBuilder {
+    let base = BaseProps::measured(env.get(name).unwrap()).unwrap();
+    PlanBuilder::scan(name, base)
+}
+
+/// `(K: Int, S: Str, F: Float)` snapshot rows.
+fn kv_schema() -> Schema {
+    Schema::of(&[
+        ("K", DataType::Int),
+        ("S", DataType::Str),
+        ("F", DataType::Float),
+    ])
+}
+
+fn kv_rel(rows: Vec<(i64, &str, f64)>) -> Relation {
+    let tuples = rows
+        .into_iter()
+        .map(|(k, s, f)| Tuple::new(vec![Value::Int(k), Value::Str(s.into()), Value::Float(f)]))
+        .collect();
+    Relation::new(kv_schema(), tuples).unwrap()
+}
+
+fn temporal_rel(rows: Vec<(&str, i64, i64)>) -> Relation {
+    let tuples = rows
+        .into_iter()
+        .map(|(e, s, t)| Tuple::new(vec![Value::Str(e.into()), Value::Time(s), Value::Time(t)]))
+        .collect();
+    Relation::new(Schema::temporal(&[("E", DataType::Str)]), tuples).unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Radix-partitioned hash builds: rdup / aggregate / difference
+// ---------------------------------------------------------------------
+
+/// Every row shares one key, so every row hashes into the *same* radix
+/// bucket: maximal skew for the partitioned build, and the first-kept-
+/// occurrence order is the whole answer.
+#[test]
+fn all_duplicate_keys_collapse_identically() {
+    let rel = kv_rel((0..3000).map(|_| (7, "same", 1.5)).collect());
+    let env = Env::new().with("D", rel);
+    let plan = scan("D", &env).rdup().build_multiset();
+    let out = assert_kernels_exact(&plan, &env, "rdup over all-duplicate keys");
+    assert_eq!(out.tuples().len(), 1);
+
+    let plan = scan("D", &env)
+        .aggregate(vec!["K".into(), "S".into()], vec![AggItem::count_star("n")])
+        .build_multiset();
+    let out = assert_kernels_exact(&plan, &env, "aggregate over all-duplicate keys");
+    assert_eq!(out.tuples().len(), 1);
+}
+
+/// 70k rows — past the serial radix threshold, so the partitioned hash
+/// build runs — over a tiny key domain: 51 classes crowd into few radix
+/// buckets, with intra-batch duplicates interleaved across batch
+/// boundaries.
+#[test]
+fn skewed_buckets_preserve_first_occurrence_order() {
+    let rel = kv_rel(
+        (0..70_000)
+            .map(|i| ((i % 17) as i64, "x", (i % 3) as f64))
+            .collect(),
+    );
+    let env = Env::new().with("D", rel);
+    let plan = scan("D", &env).rdup().build_multiset();
+    let out = assert_kernels_exact(&plan, &env, "rdup over skewed buckets");
+    assert_eq!(out.tuples().len(), 17 * 3);
+
+    let plan = scan("D", &env)
+        .difference(scan("D", &env).select(Expr::eq(Expr::col("K"), Expr::lit(3i64))))
+        .build_set();
+    assert_kernels_exact(&plan, &env, "difference over skewed buckets");
+}
+
+#[test]
+fn empty_inputs_flow_through_every_breaker() {
+    let env = Env::new()
+        .with("E0", kv_rel(vec![]))
+        .with("T0", temporal_rel(vec![]))
+        .with("T1", temporal_rel(vec![("a", 0, 5), ("b", 2, 9)]));
+    for (plan, context) in [
+        (scan("E0", &env).rdup().build_multiset(), "rdup on empty"),
+        (
+            scan("E0", &env)
+                .aggregate(vec!["K".into()], vec![AggItem::count_star("n")])
+                .build_multiset(),
+            "aggregate on empty",
+        ),
+        (
+            scan("E0", &env)
+                .sort(Order::asc(&["K", "S"]))
+                .build_list(Order::asc(&["K", "S"])),
+            "sort on empty",
+        ),
+        (
+            scan("T0", &env)
+                .product_t(scan("T1", &env))
+                .build_multiset(),
+            "product_t with empty left",
+        ),
+        (
+            scan("T1", &env).difference_t(scan("T0", &env)).build_set(),
+            "difference_t with empty right",
+        ),
+        (
+            scan("T0", &env).coalesce().build_multiset(),
+            "coalesce on empty",
+        ),
+    ] {
+        let out = assert_kernels_exact(&plan, &env, context);
+        if !context.contains("difference_t") {
+            assert_eq!(out.tuples().len(), 0, "{context}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused selection pipelines at the density extremes
+// ---------------------------------------------------------------------
+
+/// A predicate that keeps nothing and one that keeps everything, each
+/// feeding a sort breaker and the materializing sink — the fused
+/// selection-vector path must agree with row-at-a-time on both extremes.
+#[test]
+fn selection_density_extremes_feed_breakers_exactly() {
+    let rel = kv_rel(
+        (0..4000)
+            .map(|i| ((i % 11) as i64, "pfx", (i % 7) as f64 - 3.0))
+            .collect(),
+    );
+    let env = Env::new().with("D", rel);
+    for (pred, keeps, label) in [
+        (Expr::lt(Expr::col("K"), Expr::lit(-1i64)), 0usize, "0%"),
+        (Expr::lt(Expr::col("K"), Expr::lit(99i64)), 4000, "100%"),
+    ] {
+        let plan = scan("D", &env)
+            .select(pred.clone())
+            .sort(Order::asc(&["K", "F"]))
+            .build_list(Order::asc(&["K", "F"]));
+        let out = assert_kernels_exact(&plan, &env, &format!("select {label} into sort"));
+        assert_eq!(out.tuples().len(), keeps);
+
+        let plan = scan("D", &env).select(pred).rdup().build_multiset();
+        assert_kernels_exact(&plan, &env, &format!("select {label} into rdup"));
+    }
+}
+
+/// Branch-free comparison kernels across dtypes, including the float
+/// fast path with NaN and -0.0 (total-order semantics must match the
+/// row engine's `Value::cmp` exactly).
+#[test]
+fn branch_free_predicates_match_on_float_edge_cases() {
+    let mut rows: Vec<(i64, &str, f64)> = vec![
+        (1, "a", f64::NAN),
+        (2, "b", -0.0),
+        (3, "c", 0.0),
+        (4, "d", f64::INFINITY),
+        (5, "e", f64::NEG_INFINITY),
+        (6, "f", -1.25),
+    ];
+    for i in 0..2000 {
+        rows.push((i % 9, "g", (i % 5) as f64 * 0.5 - 1.0));
+    }
+    let env = Env::new().with("D", kv_rel(rows));
+    for (pred, label) in [
+        (
+            Expr::bin(BinOp::Ge, Expr::col("F"), Expr::lit(0.0f64)),
+            "F >= 0.0",
+        ),
+        (
+            Expr::lt(Expr::col("F"), Expr::lit(Value::Float(f64::NAN))),
+            "F < NaN",
+        ),
+        (
+            Expr::bin(BinOp::Ne, Expr::lit(-0.0f64), Expr::col("F")),
+            "-0.0 <> F (lit-col)",
+        ),
+        (
+            Expr::and(
+                Expr::lt(Expr::col("K"), Expr::lit(7i64)),
+                Expr::bin(BinOp::Le, Expr::col("F"), Expr::lit(1i64)),
+            ),
+            "int lit against float col under AND",
+        ),
+    ] {
+        let plan = scan("D", &env).select(pred).build_multiset();
+        assert_kernels_exact(&plan, &env, label);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache-conscious sort: radix path, ties, prefixes, nulls, DESC
+// ---------------------------------------------------------------------
+
+/// Past the radix threshold (4096 rows) with only 5 distinct keys:
+/// every partition is full of ties, so stability (original row order
+/// within equal keys) is the entire observable behavior.
+#[test]
+fn radix_sort_is_stable_under_heavy_ties() {
+    let rel = kv_rel(
+        (0..10_000)
+            .map(|i| ((i % 5) as i64, "t", i as f64))
+            .collect(),
+    );
+    let env = Env::new().with("D", rel);
+    let order = Order::asc(&["K"]);
+    let plan = scan("D", &env).sort(order.clone()).build_list(order);
+    let out = assert_kernels_exact(&plan, &env, "radix sort with 5-key ties");
+    // Within each key, F (the original row index) must stay ascending.
+    let mut last = [-1.0f64; 5];
+    for t in out.tuples() {
+        let (Value::Int(k), Value::Float(f)) = (&t.values()[0], &t.values()[2]) else {
+            panic!("unexpected row shape");
+        };
+        assert!(*f > last[*k as usize], "instability at key {k}");
+        last[*k as usize] = *f;
+    }
+}
+
+/// Strings sharing an 8+ byte prefix make every sort prefix equal and
+/// inexact, forcing the refinement comparator; DESC on the second key
+/// exercises the complemented-prefix path.
+#[test]
+fn shared_prefix_strings_force_refinement() {
+    let schema = Schema::of(&[("S", DataType::Str), ("K", DataType::Int)]);
+    let tuples: Vec<Tuple> = (0..6000)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Str(format!("sharedprefix-{:04}", i % 50).into()),
+                Value::Int((i % 13) as i64),
+            ])
+        })
+        .collect();
+    let env = Env::new().with("D", Relation::new(schema, tuples).unwrap());
+    let order = Order::new(vec![SortKey::asc("S"), SortKey::desc("K")]);
+    let plan = scan("D", &env).sort(order.clone()).build_list(order);
+    assert_kernels_exact(&plan, &env, "sort on shared-prefix strings with DESC");
+}
+
+#[test]
+fn nulls_sort_identically_under_desc() {
+    let schema = Schema::of(&[("K", DataType::Int), ("S", DataType::Str)]);
+    let tuples: Vec<Tuple> = (0..5000)
+        .map(|i| {
+            let k = if i % 4 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i % 6) as i64)
+            };
+            Tuple::new(vec![k, Value::Str(format!("r{i}").into())])
+        })
+        .collect();
+    let env = Env::new().with("D", Relation::new(schema, tuples).unwrap());
+    for order in [
+        Order::new(vec![SortKey::desc("K"), SortKey::asc("S")]),
+        Order::asc(&["K", "S"]),
+    ] {
+        let plan = scan("D", &env).sort(order.clone()).build_list(order);
+        assert_kernels_exact(&plan, &env, "sort with nulls under DESC/ASC");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch-free sweep kernels: temporal product / rdup / coalesce
+// ---------------------------------------------------------------------
+
+/// Many identical periods (every event ties) plus containment chains:
+/// the sweep's emission order under ties is the adversarial case for
+/// the branch-free `emit_overlaps` rewrite, serial and chunked.
+#[test]
+fn sweep_kernels_agree_on_degenerate_periods() {
+    let mut rows: Vec<(&str, i64, i64)> = Vec::new();
+    for i in 0..400 {
+        rows.push((["a", "b", "c"][i % 3], 10, 20)); // all-identical periods
+        rows.push(("d", 10 - (i % 5) as i64, 20 + (i % 5) as i64)); // nesting
+    }
+    let env = Env::new()
+        .with("L", temporal_rel(rows.clone()))
+        .with("R", temporal_rel(rows));
+    let plan = scan("L", &env).product_t(scan("R", &env)).build_multiset();
+    assert_kernels_exact(&plan, &env, "product_t over tied periods");
+
+    let plan = scan("L", &env).rdup_t().build_multiset();
+    assert_kernels_exact(&plan, &env, "rdup_t over tied periods");
+
+    let plan = scan("L", &env).coalesce().build_multiset();
+    assert_kernels_exact(&plan, &env, "coalesce over tied periods");
+
+    let plan = scan("L", &env)
+        .difference_t(scan("R", &env).select(Expr::eq(Expr::col("E"), Expr::lit("d"))))
+        .build_set();
+    assert_kernels_exact(&plan, &env, "difference_t over tied periods");
+}
+
+/// Aggregation with MIN/MAX/SUM/AVG over the skewed key domain — the
+/// radix-partitioned group build must keep group emission order.
+#[test]
+fn aggregate_functions_agree_over_radix_groups() {
+    let rel = kv_rel(
+        (0..4500)
+            .map(|i| ((i % 23) as i64, "k", (i as f64) * 0.25))
+            .collect(),
+    );
+    let env = Env::new().with("D", rel);
+    let plan = scan("D", &env)
+        .aggregate(
+            vec!["K".into()],
+            vec![
+                AggItem::count_star("n"),
+                AggItem::new(AggFunc::Min, Some("F"), "lo"),
+                AggItem::new(AggFunc::Max, Some("F"), "hi"),
+                AggItem::new(AggFunc::Sum, Some("K"), "sk"),
+                AggItem::new(AggFunc::Avg, Some("F"), "m"),
+            ],
+        )
+        .build_multiset();
+    let out = assert_kernels_exact(&plan, &env, "grouped aggregates over radix build");
+    assert_eq!(out.tuples().len(), 23);
+}
