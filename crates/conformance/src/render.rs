@@ -1,0 +1,117 @@
+//! Canonical result rendering: the byte representation every engine leg
+//! is compared on, and the FNV-1a digest used for large pinned results.
+
+use tqo_core::relation::Relation;
+use tqo_core::schema::Schema;
+use tqo_core::value::{DataType, Value};
+
+/// How a `query` directive orders its result before comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortMode {
+    /// Compare in engine order (only sound for `ORDER BY` queries).
+    NoSort,
+    /// Sort rendered rows lexicographically before comparison.
+    RowSort,
+}
+
+/// Render one value. Strings are rendered raw (fixture values contain no
+/// whitespace), floats always carry a decimal point, and `NULL` is the
+/// literal word — the same canonical forms the corpus files pin.
+pub fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".into(),
+        Value::Int(i) => i.to_string(),
+        Value::Time(t) => t.to_string(),
+        Value::Bool(b) => if *b { "true" } else { "false" }.into(),
+        Value::Str(s) => s.to_string(),
+        Value::Float(f) => {
+            let text = format!("{f}");
+            if text.contains('.') || text.contains("inf") || text.contains("NaN") {
+                text
+            } else {
+                format!("{text}.0")
+            }
+        }
+    }
+}
+
+/// Render a relation as canonical row lines (one row per line, values
+/// space-separated), applying `sort`.
+pub fn render_rows(rel: &Relation, sort: SortMode) -> Vec<String> {
+    let mut rows: Vec<String> = rel
+        .tuples()
+        .iter()
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(render_value)
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    if sort == SortMode::RowSort {
+        rows.sort();
+    }
+    rows
+}
+
+/// The single-character type code of a column, as used in `query <types>`
+/// directives: `I` integer (and time instants), `R` real, `T` text, `B`
+/// boolean.
+pub fn type_code(dtype: DataType) -> char {
+    match dtype {
+        DataType::Int | DataType::Time => 'I',
+        DataType::Float => 'R',
+        DataType::Str => 'T',
+        DataType::Bool => 'B',
+    }
+}
+
+/// The full type string of a schema.
+pub fn type_string(schema: &Schema) -> String {
+    schema.attrs().iter().map(|a| type_code(a.dtype)).collect()
+}
+
+/// FNV-1a 64-bit digest (the corpus pins large results as
+/// `<n> values hashing to <hex>` instead of row-by-row).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of a rendered row block: every row line followed by `\n`.
+pub fn digest_rows(rows: &[String]) -> u64 {
+    let mut text = String::new();
+    for r in rows {
+        text.push_str(r);
+        text.push('\n');
+    }
+    fnv1a(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_rendering_is_canonical() {
+        assert_eq!(render_value(&Value::Null), "NULL");
+        assert_eq!(render_value(&Value::Int(-3)), "-3");
+        assert_eq!(render_value(&Value::Time(7)), "7");
+        assert_eq!(render_value(&Value::Float(2.5)), "2.5");
+        assert_eq!(render_value(&Value::Float(4.0)), "4.0");
+        assert_eq!(render_value(&Value::Bool(true)), "true");
+        assert_eq!(render_value(&Value::Str("John".into())), "John");
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

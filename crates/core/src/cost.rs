@@ -234,6 +234,8 @@ impl CostModel {
             // Hash duplicate elimination: one probe per input row.
             PlanNode::Rdup { .. } => c0,
             PlanNode::Sort { .. } => nlogn(c0),
+            // Prefix truncation: one pass over the kept prefix.
+            PlanNode::Limit { .. } => out_card,
             // Temporal operations: priced by the algorithm the Table 2
             // flags license (the same gates the physical planner applies).
             PlanNode::ProductT { .. } => {

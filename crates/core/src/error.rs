@@ -38,6 +38,10 @@ pub enum Error {
     Plan { reason: String },
     /// SQL front-end errors are forwarded through this variant.
     Parse { reason: String },
+    /// A syntactically valid construct the engine does not (yet) support.
+    /// Distinct from `Parse` so conformance tests can pin the construct
+    /// name without depending on free-text error phrasing.
+    Unsupported { construct: String },
     /// Catalog / storage errors forwarded from substrates.
     Storage { reason: String },
     /// Enumeration/optimizer budget exhausted.
@@ -103,6 +107,9 @@ impl fmt::Display for Error {
             }
             Error::Plan { reason } => write!(f, "plan error: {reason}"),
             Error::Parse { reason } => write!(f, "parse error: {reason}"),
+            Error::Unsupported { construct } => {
+                write!(f, "unsupported construct: {construct}")
+            }
             Error::Storage { reason } => write!(f, "storage error: {reason}"),
             Error::BudgetExhausted { budget } => {
                 write!(f, "plan enumeration budget of {budget} plans exhausted")

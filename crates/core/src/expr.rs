@@ -98,6 +98,11 @@ pub enum Expr {
     Not(Box<Expr>),
     /// NULL test.
     IsNull(Box<Expr>),
+    /// A NULL literal carrying a declared type. `Lit(Value::Null)` infers
+    /// as `Int`; the outer-join padding projections need NULLs that keep
+    /// the padded column's domain so the two union branches stay
+    /// union-compatible.
+    NullOf(DataType),
 }
 
 impl Expr {
@@ -158,7 +163,7 @@ impl Expr {
             Expr::Col(name) => {
                 out.insert(name.clone());
             }
-            Expr::Lit(_) => {}
+            Expr::Lit(_) | Expr::NullOf(_) => {}
             Expr::Bin { left, right, .. } => {
                 left.collect_attrs(out);
                 right.collect_attrs(out);
@@ -180,6 +185,7 @@ impl Expr {
         match self {
             Expr::Col(name) => Expr::Col(f(name)),
             Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::NullOf(t) => Expr::NullOf(*t),
             Expr::Bin { op, left, right } => Expr::Bin {
                 op: *op,
                 left: Box::new(left.map_names(f)),
@@ -199,6 +205,7 @@ impl Expr {
                 Ok(tuple.value(i).clone())
             }
             Expr::Lit(v) => Ok(v.clone()),
+            Expr::NullOf(_) => Ok(Value::Null),
             Expr::Not(e) => match e.eval(schema, tuple)? {
                 Value::Null => Ok(Value::Null),
                 v => Ok(Value::Bool(!v.as_bool()?)),
@@ -302,6 +309,7 @@ impl Expr {
         match self {
             Expr::Col(name) => Ok(schema.attr(schema.resolve(name)?).dtype),
             Expr::Lit(v) => Ok(v.data_type().unwrap_or(DataType::Int)),
+            Expr::NullOf(t) => Ok(*t),
             Expr::Not(_) | Expr::IsNull(_) => Ok(DataType::Bool),
             Expr::Bin { op, left, right } => {
                 if op.is_comparison() || op.is_logical() {
@@ -328,6 +336,7 @@ impl fmt::Display for Expr {
             Expr::Col(name) => f.write_str(name),
             Expr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
             Expr::Lit(v) => write!(f, "{v}"),
+            Expr::NullOf(_) => f.write_str("NULL"),
             Expr::Bin { op, left, right } => write!(f, "({left} {op} {right})"),
             Expr::Not(e) => write!(f, "NOT {e}"),
             Expr::IsNull(e) => write!(f, "{e} IS NULL"),

@@ -119,6 +119,11 @@ pub fn eval(node: &PlanNode, env: &Env) -> Result<Relation> {
         PlanNode::Rdup { input } => ops::rdup(&eval(input, env)?),
         PlanNode::UnionMax { left, right } => ops::union_max(&eval(left, env)?, &eval(right, env)?),
         PlanNode::Sort { input, order } => ops::sort(&eval(input, env)?, order),
+        PlanNode::Limit {
+            input,
+            limit,
+            offset,
+        } => ops::limit(&eval(input, env)?, *limit, *offset),
         PlanNode::ProductT { left, right } => ops::product_t(&eval(left, env)?, &eval(right, env)?),
         PlanNode::DifferenceT { left, right } => {
             ops::difference_t(&eval(left, env)?, &eval(right, env)?)

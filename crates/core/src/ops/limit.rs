@@ -1,0 +1,73 @@
+//! Prefix truncation `limit_{n,k}(r)`.
+//!
+//! Not part of the paper's algebra: `LIMIT n OFFSET k` truncates the
+//! argument list to tuples `k .. k+n`. It is order-sensitive by
+//! definition — the binder places it at the plan root, above the final
+//! `sort`, so the prefix it keeps is well defined. Order and coalescing
+//! of the argument are retained; cardinality is `min(n, max(0, n(r)-k))`.
+
+use crate::error::Result;
+use crate::relation::Relation;
+
+/// Apply `limit`: skip the first `offset` tuples, then keep at most
+/// `limit` (all remaining tuples when `limit` is `None`).
+pub fn limit(r: &Relation, limit: Option<usize>, offset: usize) -> Result<Relation> {
+    let schema = r.schema().clone();
+    let tuples = r.tuples();
+    let start = offset.min(tuples.len());
+    let end = match limit {
+        Some(n) => start.saturating_add(n).min(tuples.len()),
+        None => tuples.len(),
+    };
+    Ok(Relation::new_unchecked(schema, tuples[start..end].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::of(&[("A", DataType::Int)]),
+            vec![
+                tuple![1i64],
+                tuple![2i64],
+                tuple![3i64],
+                tuple![4i64],
+                tuple![5i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keeps_prefix_in_order() {
+        let got = limit(&rel(), Some(2), 0).unwrap();
+        assert_eq!(got.tuples(), &[tuple![1i64], tuple![2i64]]);
+    }
+
+    #[test]
+    fn offset_skips() {
+        let got = limit(&rel(), Some(2), 3).unwrap();
+        assert_eq!(got.tuples(), &[tuple![4i64], tuple![5i64]]);
+    }
+
+    #[test]
+    fn offset_without_limit() {
+        let got = limit(&rel(), None, 4).unwrap();
+        assert_eq!(got.tuples(), &[tuple![5i64]]);
+    }
+
+    #[test]
+    fn over_length_bounds_are_clamped() {
+        assert!(limit(&rel(), Some(10), 9).unwrap().is_empty());
+        assert_eq!(limit(&rel(), Some(100), 0).unwrap().len(), 5);
+        assert_eq!(
+            limit(&rel(), Some(usize::MAX), usize::MAX).unwrap().len(),
+            0
+        );
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod aggregate;
 pub mod difference;
+pub mod limit;
 pub mod product;
 pub mod project;
 pub mod rdup;
@@ -32,6 +33,7 @@ pub mod union_all;
 
 pub use aggregate::aggregate;
 pub use difference::difference;
+pub use limit::limit;
 pub use product::product;
 pub use project::project;
 pub use rdup::rdup;

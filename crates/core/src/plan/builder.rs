@@ -141,6 +141,17 @@ impl PlanBuilder {
         }
     }
 
+    /// Prefix truncation (`LIMIT n OFFSET k`).
+    pub fn limit(self, limit: Option<usize>, offset: usize) -> PlanBuilder {
+        PlanBuilder {
+            node: PlanNode::Limit {
+                input: Arc::new(self.node),
+                limit,
+                offset,
+            },
+        }
+    }
+
     /// Temporal Cartesian product with `right` (`×ᵀ`).
     pub fn product_t(self, right: PlanBuilder) -> PlanBuilder {
         PlanBuilder {

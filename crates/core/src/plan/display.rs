@@ -27,6 +27,10 @@ pub fn describe(node: &PlanNode) -> String {
         PlanNode::Rdup { .. } => "rdup".into(),
         PlanNode::UnionMax { .. } => "∪".into(),
         PlanNode::Sort { order, .. } => format!("sort{order}"),
+        PlanNode::Limit { limit, offset, .. } => match limit {
+            Some(n) => format!("limit[{n} offset {offset}]"),
+            None => format!("limit[∞ offset {offset}]"),
+        },
         PlanNode::ProductT { .. } => "×T".into(),
         PlanNode::DifferenceT { .. } => "\\T".into(),
         PlanNode::AggregateT { group_by, aggs, .. } => {

@@ -93,6 +93,14 @@ pub enum PlanNode {
     },
     /// Sorting `sort_A`.
     Sort { input: Arc<PlanNode>, order: Order },
+    /// Prefix truncation: skip `offset` tuples, keep at most `limit`.
+    /// Order-sensitive by definition; placed at the plan root above the
+    /// final `sort` by the binder (`LIMIT n [OFFSET k]`).
+    Limit {
+        input: Arc<PlanNode>,
+        limit: Option<usize>,
+        offset: usize,
+    },
     /// Temporal Cartesian product `×ᵀ`.
     ProductT {
         left: Arc<PlanNode>,
@@ -139,6 +147,7 @@ impl PlanNode {
             PlanNode::Rdup { .. } => "rdup",
             PlanNode::UnionMax { .. } => "∪",
             PlanNode::Sort { .. } => "sort",
+            PlanNode::Limit { .. } => "limit",
             PlanNode::ProductT { .. } => "×T",
             PlanNode::DifferenceT { .. } => "\\T",
             PlanNode::AggregateT { .. } => "ξT",
@@ -159,6 +168,7 @@ impl PlanNode {
             | PlanNode::Aggregate { input, .. }
             | PlanNode::Rdup { input }
             | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. }
             | PlanNode::AggregateT { input, .. }
             | PlanNode::RdupT { input }
             | PlanNode::Coalesce { input }
@@ -225,6 +235,11 @@ impl PlanNode {
             PlanNode::Sort { order, .. } => PlanNode::Sort {
                 input: next(),
                 order: order.clone(),
+            },
+            PlanNode::Limit { limit, offset, .. } => PlanNode::Limit {
+                input: next(),
+                limit: *limit,
+                offset: *offset,
             },
             PlanNode::ProductT { .. } => PlanNode::ProductT {
                 left: next(),
@@ -349,6 +364,7 @@ impl PlanNode {
                 | PlanNode::Coalesce { .. }
                 | PlanNode::DifferenceT { .. }
                 | PlanNode::UnionT { .. }
+                | PlanNode::Limit { .. }
         )
     }
 

@@ -608,6 +608,26 @@ pub(crate) fn derive_one(node: &PlanNode, child: &[StaticProps]) -> Result<Stati
             }
         }
 
+        PlanNode::Limit { limit, offset, .. } => {
+            let c = &child[0];
+            // Truncation keeps a contiguous prefix: order, duplicate-freedom,
+            // and coalescing of the argument survive; cardinality is capped.
+            let avail = c.stats.rows.saturating_sub(*offset as u64);
+            let rows = match limit {
+                Some(n) => avail.min(*n as u64),
+                None => avail,
+            }
+            .max(1);
+            StaticProps {
+                schema: c.schema.clone(),
+                order: c.order.clone(),
+                dup_free: c.dup_free,
+                snapshot_dup_free: c.snapshot_dup_free,
+                coalesced: c.coalesced,
+                stats: c.stats.scaled_to(rows),
+            }
+        }
+
         PlanNode::ProductT { .. } => {
             let (c1, c2) = (&child[0], &child[1]);
             let schema = product_t_schema(&c1.schema, &c2.schema)?;
@@ -941,6 +961,18 @@ pub fn child_flags(
             order_required: false,
             ..f
         }],
+
+        // The prefix a limit keeps depends on the exact input list: its
+        // order, its duplicates, and (over temporal inputs) its exact
+        // periods. Everything below is pinned.
+        PlanNode::Limit { .. } => {
+            let input_temporal = child_stat(0).schema.is_temporal();
+            vec![PropsFlags {
+                order_required: true,
+                duplicates_relevant: true,
+                period_preserving: f.period_preserving || input_temporal,
+            }]
+        }
 
         // Below temporal duplicate elimination, duplicates are not
         // relevant. The conventional rdup over a temporal input compares

@@ -219,6 +219,68 @@ impl BatchOperator for FilterOp {
     }
 }
 
+/// Prefix truncation: drop the first `offset` rows, forward at most
+/// `limit`, then stop pulling from the child entirely (early exit —
+/// upstream batches past the cutoff are never produced).
+struct LimitOp {
+    child: BoxOp,
+    limit: Option<usize>,
+    offset: usize,
+    skipped: usize,
+    emitted: usize,
+}
+
+impl BatchOperator for LimitOp {
+    fn out_schema(&self) -> Arc<Schema> {
+        self.child.out_schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.skipped = 0;
+        self.emitted = 0;
+        self.child.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        loop {
+            if let Some(n) = self.limit {
+                if self.emitted >= n {
+                    return Ok(None);
+                }
+            }
+            let Some(batch) = self.child.next_batch()? else {
+                return Ok(None);
+            };
+            let rows = batch.num_rows();
+            let skip = self.offset.saturating_sub(self.skipped).min(rows);
+            self.skipped += skip;
+            let avail = rows - skip;
+            let take = match self.limit {
+                Some(n) => avail.min(n - self.emitted),
+                None => avail,
+            };
+            if take == 0 {
+                continue;
+            }
+            self.emitted += take;
+            if skip == 0 && take == rows {
+                return Ok(Some(batch));
+            }
+            let sel: Vec<u32> = batch
+                .rows()
+                .skip(skip)
+                .take(take)
+                .map(|i| i as u32)
+                .collect();
+            return Ok(Some(batch.with_sel_rows(sel)));
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
 /// Projection. Column-reference projections reuse the child's column
 /// `Arc`s under the new schema (zero row copies); computed items densify.
 struct ProjectOp {
@@ -985,6 +1047,13 @@ fn build(node: &PhysicalNode, env: &Env, sink: &SharedSink) -> Result<(BoxOp, us
             }
             blocking(vec![child], BlockKind::Sort(order.clone()), schema)
         }
+        PhysicalNode::Limit { limit, offset, .. } => Box::new(LimitOp {
+            child: next(),
+            limit: *limit,
+            offset: *offset,
+            skipped: 0,
+            emitted: 0,
+        }),
         PhysicalNode::ProductT { algo, .. } => {
             let left = next();
             let right = next();

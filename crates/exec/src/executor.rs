@@ -165,6 +165,7 @@ pub(crate) fn apply_row_op(node: &PhysicalNode, inputs: &[Relation]) -> Result<R
         PhysicalNode::Rdup { .. } => ops::rdup(&inputs[0])?,
         PhysicalNode::UnionMax { .. } => ops::union_max(&inputs[0], &inputs[1])?,
         PhysicalNode::Sort { order, .. } => ops::sort(&inputs[0], order)?,
+        PhysicalNode::Limit { limit, offset, .. } => ops::limit(&inputs[0], *limit, *offset)?,
         PhysicalNode::ProductT { algo, .. } => match algo {
             ProductTAlgo::NestedLoop => ops::product_t(&inputs[0], &inputs[1])?,
             ProductTAlgo::PlaneSweep => operators::product_t_plane_sweep(&inputs[0], &inputs[1])?,

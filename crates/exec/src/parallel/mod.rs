@@ -325,6 +325,21 @@ fn apply(
                 1,
             )
         }
+        PhysicalNode::Limit { limit, offset, .. } => {
+            // The input is fully materialized (and deterministically
+            // ordered) at this point: truncation is an index gather.
+            let input = &inputs[0];
+            let start = (*offset).min(input.rows());
+            let end = match limit {
+                Some(n) => start.saturating_add(*n).min(input.rows()),
+                None => input.rows(),
+            };
+            let sel: Vec<u32> = (start..end).map(|i| i as u32).collect();
+            (
+                assemble::gather_relation(input, input.schema().clone(), &sel, pool),
+                1,
+            )
+        }
         PhysicalNode::ProductT { algo, .. } => {
             let (left, right) = (&inputs[0], &inputs[1]);
             let out_schema = Arc::new(ops::temporal::product_t::product_t_schema(

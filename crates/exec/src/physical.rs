@@ -95,6 +95,12 @@ pub enum PhysicalNode {
         input: Arc<PhysicalNode>,
         order: Order,
     },
+    /// Prefix truncation (`LIMIT n OFFSET k`).
+    Limit {
+        input: Arc<PhysicalNode>,
+        limit: Option<usize>,
+        offset: usize,
+    },
     /// Temporal Cartesian product (`×ᵀ`) with its chosen algorithm.
     ProductT {
         left: Arc<PhysicalNode>,
@@ -149,6 +155,10 @@ impl PhysicalNode {
             PhysicalNode::Rdup { .. } => "rdup[hash]".into(),
             PhysicalNode::UnionMax { .. } => "union-max".into(),
             PhysicalNode::Sort { .. } => "sort[stable]".into(),
+            PhysicalNode::Limit { limit, offset, .. } => match limit {
+                Some(n) => format!("limit[{n} offset {offset}]"),
+                None => format!("limit[all offset {offset}]"),
+            },
             PhysicalNode::ProductT { algo, .. } => format!("product-t[{algo:?}]"),
             PhysicalNode::DifferenceT { algo, .. } => format!("difference-t[{algo:?}]"),
             PhysicalNode::AggregateT { .. } => "aggregate-t[sweep]".into(),
@@ -169,6 +179,7 @@ impl PhysicalNode {
             | PhysicalNode::Aggregate { input, .. }
             | PhysicalNode::Rdup { input }
             | PhysicalNode::Sort { input, .. }
+            | PhysicalNode::Limit { input, .. }
             | PhysicalNode::AggregateT { input, .. }
             | PhysicalNode::RdupT { input, .. }
             | PhysicalNode::Coalesce { input, .. }
@@ -239,6 +250,11 @@ impl PhysicalNode {
             PhysicalNode::Sort { order, .. } => PhysicalNode::Sort {
                 input: next(),
                 order: order.clone(),
+            },
+            PhysicalNode::Limit { limit, offset, .. } => PhysicalNode::Limit {
+                input: next(),
+                limit: *limit,
+                offset: *offset,
             },
             PhysicalNode::ProductT { algo, .. } => PhysicalNode::ProductT {
                 left: next(),

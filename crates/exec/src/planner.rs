@@ -148,6 +148,11 @@ fn lower_node(
             input: next(),
             order: order.clone(),
         },
+        PlanNode::Limit { limit, offset, .. } => PhysicalNode::Limit {
+            input: next(),
+            limit: *limit,
+            offset: *offset,
+        },
         PlanNode::ProductT { .. } => {
             // Plane sweep reorders the output pairs: needs ¬OrderRequired.
             let algo = if config.allow_fast && !flags.order_required {

@@ -32,6 +32,18 @@ pub enum SqlExpr {
         func: AggFunc,
         arg: Option<Box<SqlExpr>>,
     },
+    /// `expr [NOT] IN (SELECT …)` — membership in a one-column subquery.
+    InSubquery {
+        expr: Box<SqlExpr>,
+        query: Box<Statement>,
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT …)` — possibly correlated via equality
+    /// predicates in the subquery's WHERE clause.
+    Exists {
+        query: Box<Statement>,
+        negated: bool,
+    },
 }
 
 /// Binary operators.
@@ -84,6 +96,27 @@ impl TableRef {
     }
 }
 
+/// The join flavors of the explicit `JOIN … ON` syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN` — equivalent to the comma form plus the ON predicate.
+    Inner,
+    /// `LEFT [OUTER] JOIN` — preserves the left side, NULL-padding the
+    /// right attributes where (or, under `VALIDTIME`, *when*) no match
+    /// exists.
+    Left,
+    /// `RIGHT [OUTER] JOIN` — mirror image of `Left`.
+    Right,
+}
+
+/// An explicit `JOIN` clause: `FROM t1 <kind> JOIN t2 ON <on>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: SqlExpr,
+}
+
 /// A single SELECT block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectQuery {
@@ -92,8 +125,13 @@ pub struct SelectQuery {
     pub distinct: bool,
     pub items: Vec<SelectItem>,
     pub from: Vec<TableRef>,
+    /// Explicit `JOIN … ON` clause; mutually exclusive with a two-table
+    /// comma list in `from`.
+    pub join: Option<JoinClause>,
     pub predicate: Option<SqlExpr>,
     pub group_by: Vec<String>,
+    /// `HAVING` predicate over the grouped result.
+    pub having: Option<SqlExpr>,
     /// Trailing `COALESCE` clause.
     pub coalesce: bool,
 }
@@ -104,7 +142,7 @@ pub struct SelectQuery {
 /// sorting *down* is the optimizer's job, not the language's).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
-    Select(SelectQuery),
+    Select(Box<SelectQuery>),
     /// `left EXCEPT [ALL] right`.
     Except {
         left: Box<Statement>,
@@ -122,6 +160,12 @@ pub enum Statement {
         inner: Box<Statement>,
         keys: Vec<OrderItem>,
     },
+    /// `inner LIMIT n [OFFSET k]` (outermost only, wrapping any ORDER BY).
+    Limit {
+        inner: Box<Statement>,
+        limit: Option<usize>,
+        offset: usize,
+    },
 }
 
 impl Statement {
@@ -132,7 +176,9 @@ impl Statement {
             Statement::Except { left, right, .. } | Statement::Union { left, right, .. } => {
                 left.is_valid_time() || right.is_valid_time()
             }
-            Statement::OrderBy { inner, .. } => inner.is_valid_time(),
+            Statement::OrderBy { inner, .. } | Statement::Limit { inner, .. } => {
+                inner.is_valid_time()
+            }
         }
     }
 
@@ -143,7 +189,9 @@ impl Statement {
             // A set operation's result duplicates depend on its own kind;
             // treat non-ALL set ops as distinct-producing.
             Statement::Except { all, .. } | Statement::Union { all, .. } => !all,
-            Statement::OrderBy { inner, .. } => inner.outermost_distinct(),
+            Statement::OrderBy { inner, .. } | Statement::Limit { inner, .. } => {
+                inner.outermost_distinct()
+            }
         }
     }
 }
@@ -153,7 +201,7 @@ mod tests {
     use super::*;
 
     fn simple(valid_time: bool, distinct: bool) -> Statement {
-        Statement::Select(SelectQuery {
+        Statement::Select(Box::new(SelectQuery {
             valid_time,
             distinct,
             items: vec![SelectItem::Wildcard],
@@ -161,10 +209,12 @@ mod tests {
                 name: "R".into(),
                 alias: None,
             }],
+            join: None,
             predicate: None,
             group_by: vec![],
+            having: None,
             coalesce: false,
-        })
+        }))
     }
 
     #[test]

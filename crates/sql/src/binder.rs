@@ -7,8 +7,17 @@
 //!
 //! `VALIDTIME` blocks bind to the temporal operations; the `COALESCE`
 //! clause binds to the `rdupᵀ; coalᵀ` idiom.
+//!
+//! The derived constructs lower onto the extended algebra rather than
+//! extending it: `HAVING` is a selection over `ξ`/`ξᵀ` (with hidden
+//! aggregate items projected away), `IN`/`EXISTS` subqueries become
+//! semijoins built from `×`/`×ᵀ` + `σ` + `π` (negated forms subtract the
+//! semijoin with `\`/`\ᵀ`), and the outer joins union the matched product
+//! with a NULL-padded anti part. Every lowering therefore inherits the
+//! optimizer's transformation rules and all execution engines for free.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use tqo_core::equivalence::ResultType;
 use tqo_core::error::{Error, Result};
@@ -22,10 +31,20 @@ use crate::ast::*;
 
 /// Bind a parsed statement against a catalog.
 pub fn bind(stmt: &Statement, catalog: &Catalog) -> Result<LogicalPlan> {
-    let (node, _) = bind_statement(stmt, catalog)?;
+    // Peel the outermost LIMIT: it truncates the finished (ordered) result,
+    // so it binds above the ORDER BY sort and outside the result type.
+    let (core, limit) = match stmt {
+        Statement::Limit {
+            inner,
+            limit,
+            offset,
+        } => (inner.as_ref(), Some((*limit, *offset))),
+        other => (other, None),
+    };
+    let (node, _) = bind_statement(core, catalog)?;
 
     // Definition 5.1: the outermost clauses fix the result type.
-    let (node, result_type) = match stmt {
+    let (node, result_type) = match core {
         Statement::OrderBy { keys, .. } => {
             let order = Order::new(
                 keys.iter()
@@ -41,8 +60,17 @@ pub fn bind(stmt: &Statement, catalog: &Catalog) -> Result<LogicalPlan> {
             };
             (sorted, ResultType::List(order))
         }
-        _ if stmt.outermost_distinct() => (node, ResultType::Set),
+        _ if core.outermost_distinct() => (node, ResultType::Set),
         _ => (node, ResultType::Multiset),
+    };
+
+    let node = match limit {
+        Some((l, o)) => PlanNode::Limit {
+            input: Arc::new(node),
+            limit: l,
+            offset: o,
+        },
+        None => node,
     };
 
     Ok(LogicalPlan::new(node, result_type))
@@ -52,6 +80,9 @@ fn bind_statement(stmt: &Statement, catalog: &Catalog) -> Result<(PlanNode, bool
     match stmt {
         Statement::Select(q) => bind_select(q, catalog),
         Statement::OrderBy { inner, .. } => bind_statement(inner, catalog),
+        Statement::Limit { .. } => Err(Error::Unsupported {
+            construct: "LIMIT in a nested query".into(),
+        }),
         Statement::Except { left, right, all } => {
             let (l, lt) = bind_statement(left, catalog)?;
             let (r, rt) = bind_statement(right, catalog)?;
@@ -185,7 +216,7 @@ fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
             reason: "FROM clause required".into(),
         });
     }
-    if q.from.len() > 2 {
+    if q.from.len() + usize::from(q.join.is_some()) > 2 {
         return Err(Error::Parse {
             reason: "at most two tables per SELECT block are supported; nest set \
                      operations or views for more"
@@ -193,64 +224,34 @@ fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
         });
     }
 
-    // FROM: scans, possibly combined by a (temporal) product.
-    let mut scans = Vec::new();
-    for t in &q.from {
-        let base = catalog.base_props(&t.name)?;
-        scans.push((t.visible_name().to_owned(), base));
-    }
-
-    let (mut node, scope) = if scans.len() == 1 {
-        let (vis, base) = scans.pop().expect("one scan");
-        let schema = base.schema.clone();
-        let temporal = schema.is_temporal();
-        let node = PlanBuilder::scan(q.from[0].name.clone(), base).node();
-        (
-            node,
-            Scope {
-                tables: vec![(vis, String::new(), schema)],
-                has_fresh_period: temporal,
-            },
-        )
-    } else {
-        let (vis2, base2) = scans.pop().expect("two scans");
-        let (vis1, base1) = scans.pop().expect("two scans");
-        let (s1, s2) = (base1.schema.clone(), base2.schema.clone());
-        let left = PlanBuilder::scan(q.from[0].name.clone(), base1);
-        let right = PlanBuilder::scan(q.from[1].name.clone(), base2);
-        if q.valid_time {
-            if !s1.is_temporal() || !s2.is_temporal() {
-                return Err(Error::NotTemporal {
-                    context: "VALIDTIME product",
-                });
-            }
-            let node = left.product_t(right).node();
-            (
-                node,
-                Scope {
-                    tables: vec![(vis1, "1.".into(), s1), (vis2, "2.".into(), s2)],
-                    has_fresh_period: true,
-                },
-            )
-        } else {
-            let node = left.product(right).node();
-            (
-                node,
-                Scope {
-                    tables: vec![(vis1, "1.".into(), s1), (vis2, "2.".into(), s2)],
-                    has_fresh_period: false,
-                },
-            )
-        }
+    let (mut node, scope) = match &q.join {
+        Some(j) => bind_join(q, j, catalog)?,
+        None => bind_from(q, catalog)?,
     };
 
-    // WHERE.
+    // WHERE: plain conjuncts become one selection; subquery conjuncts
+    // ([NOT] IN / [NOT] EXISTS) each lower to a semijoin or anti-join.
     if let Some(pred) = &q.predicate {
-        let predicate = bind_scalar(pred, &scope)?;
-        node = PlanNode::Select {
-            input: std::sync::Arc::new(node),
-            predicate,
-        };
+        let mut plain = Vec::new();
+        let mut subs = Vec::new();
+        split_where(pred, &mut plain, &mut subs);
+        let mut bound: Option<Expr> = None;
+        for c in plain {
+            let e = bind_scalar(c, &scope)?;
+            bound = Some(match bound {
+                None => e,
+                Some(p) => Expr::and(p, e),
+            });
+        }
+        if let Some(predicate) = bound {
+            node = PlanNode::Select {
+                input: Arc::new(node),
+                predicate,
+            };
+        }
+        for sp in subs {
+            node = bind_subquery_conjunct(node, &scope, q.valid_time, sp, catalog)?;
+        }
     }
 
     // Aggregation?
@@ -263,7 +264,7 @@ fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
             }
         )
     });
-    if !q.group_by.is_empty() || has_aggs {
+    if !q.group_by.is_empty() || has_aggs || q.having.is_some() {
         node = bind_aggregate(q, node, &scope)?;
         let temporal_out = q.valid_time;
         // DISTINCT over an aggregation is a no-op (groups are unique).
@@ -327,6 +328,535 @@ fn bind_select(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, bool)> {
 
     let node = maybe_coalesce(q, node)?;
     Ok((node, q.valid_time))
+}
+
+/// Bind the plain `FROM` list: one scan, or two combined by a product.
+fn bind_from(q: &SelectQuery, catalog: &Catalog) -> Result<(PlanNode, Scope)> {
+    let mut scans = Vec::new();
+    for t in &q.from {
+        let base = catalog.base_props(&t.name)?;
+        scans.push((t.visible_name().to_owned(), base));
+    }
+
+    if scans.len() == 1 {
+        let (vis, base) = scans.pop().expect("one scan");
+        let schema = base.schema.clone();
+        let temporal = schema.is_temporal();
+        let node = PlanBuilder::scan(q.from[0].name.clone(), base).node();
+        Ok((
+            node,
+            Scope {
+                tables: vec![(vis, String::new(), schema)],
+                has_fresh_period: temporal,
+            },
+        ))
+    } else {
+        let (vis2, base2) = scans.pop().expect("two scans");
+        let (vis1, base1) = scans.pop().expect("two scans");
+        let (s1, s2) = (base1.schema.clone(), base2.schema.clone());
+        let left = PlanBuilder::scan(q.from[0].name.clone(), base1);
+        let right = PlanBuilder::scan(q.from[1].name.clone(), base2);
+        let node = if q.valid_time {
+            if !s1.is_temporal() || !s2.is_temporal() {
+                return Err(Error::NotTemporal {
+                    context: "VALIDTIME product",
+                });
+            }
+            left.product_t(right).node()
+        } else {
+            left.product(right).node()
+        };
+        Ok((
+            node,
+            Scope {
+                tables: vec![(vis1, "1.".into(), s1), (vis2, "2.".into(), s2)],
+                has_fresh_period: q.valid_time,
+            },
+        ))
+    }
+}
+
+/// Bind an explicit `JOIN … ON`. Inner joins are the product plus a
+/// selection; outer joins union that matched part with a NULL-padded anti
+/// part:
+///
+/// ```text
+///   L LEFT JOIN R ON p  =  σ_p(L × R)  ∪  pad(L \ π_L(σ_p(L × R)))
+/// ```
+///
+/// Under `VALIDTIME` the product, projection, and difference are their
+/// temporal counterparts, so the anti part carries exactly the sub-periods
+/// of each preserved tuple with no overlapping match. Those fragments
+/// surface with the other side's attributes as typed NULLs and the
+/// fragment period serving as both the preserved period and the fresh
+/// `T1`/`T2`.
+fn bind_join(q: &SelectQuery, j: &JoinClause, catalog: &Catalog) -> Result<(PlanNode, Scope)> {
+    let (t1, t2) = (&q.from[0], &j.table);
+    let base1 = catalog.base_props(&t1.name)?;
+    let base2 = catalog.base_props(&t2.name)?;
+    let (s1, s2) = (base1.schema.clone(), base2.schema.clone());
+    if q.valid_time && (!s1.is_temporal() || !s2.is_temporal()) {
+        return Err(Error::NotTemporal {
+            context: "VALIDTIME join",
+        });
+    }
+    let scope = Scope {
+        tables: vec![
+            (t1.visible_name().to_owned(), "1.".into(), s1.clone()),
+            (t2.visible_name().to_owned(), "2.".into(), s2.clone()),
+        ],
+        has_fresh_period: q.valid_time,
+    };
+    let scan1 = PlanBuilder::scan(t1.name.clone(), base1).node();
+    let scan2 = PlanBuilder::scan(t2.name.clone(), base2).node();
+    let joined = if q.valid_time {
+        PlanNode::ProductT {
+            left: Arc::new(scan1.clone()),
+            right: Arc::new(scan2.clone()),
+        }
+    } else {
+        PlanNode::Product {
+            left: Arc::new(scan1.clone()),
+            right: Arc::new(scan2.clone()),
+        }
+    };
+    let matched = PlanNode::Select {
+        input: Arc::new(joined),
+        predicate: bind_scalar(&j.on, &scope)?,
+    };
+    let (preserved, preserved_schema, prefix) = match j.kind {
+        JoinKind::Inner => return Ok((matched, scope)),
+        JoinKind::Left => (scan1, s1, "1."),
+        JoinKind::Right => (scan2, s2, "2."),
+    };
+
+    // Which (fragments of) preserved tuples found a partner?
+    let matched_schema = schema_of(&matched)?;
+    let onto_preserved: Vec<ProjItem> = preserved_schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if q.valid_time && (a.name == T1 || a.name == T2) {
+                ProjItem::col(&a.name)
+            } else {
+                ProjItem::new(Expr::col(format!("{prefix}{}", a.name)), a.name.clone())
+            }
+        })
+        .collect();
+    let matched_p = PlanNode::Project {
+        input: Arc::new(matched.clone()),
+        items: onto_preserved,
+    };
+    let anti = if q.valid_time {
+        PlanNode::DifferenceT {
+            left: Arc::new(preserved),
+            right: Arc::new(matched_p),
+        }
+    } else {
+        PlanNode::Difference {
+            left: Arc::new(preserved),
+            right: Arc::new(matched_p),
+        }
+    };
+    let anti_schema = schema_of(&anti)?;
+    // Pad the anti part out to the matched schema: preserved attributes
+    // come through, the other side's become typed NULLs.
+    let padded_items: Vec<ProjItem> = matched_schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if let Some(base) = a.name.strip_prefix(prefix) {
+                // The conventional difference demotes the preserved side's
+                // period attributes; pick up whichever name survived.
+                let source = if anti_schema.index_of(base).is_some() {
+                    base.to_owned()
+                } else {
+                    format!("1.{base}")
+                };
+                ProjItem::new(Expr::col(source), a.name.clone())
+            } else if a.name == T1 || a.name == T2 {
+                ProjItem::col(&a.name)
+            } else {
+                ProjItem::new(Expr::NullOf(a.dtype), a.name.clone())
+            }
+        })
+        .collect();
+    let padded = PlanNode::Project {
+        input: Arc::new(anti),
+        items: padded_items,
+    };
+    let node = PlanNode::UnionAll {
+        left: Arc::new(matched),
+        right: Arc::new(padded),
+    };
+    Ok((node, scope))
+}
+
+/// One subquery conjunct peeled off a WHERE clause.
+enum SubPred<'a> {
+    In {
+        expr: &'a SqlExpr,
+        query: &'a Statement,
+        negated: bool,
+    },
+    Exists {
+        query: &'a Statement,
+        negated: bool,
+    },
+}
+
+/// Flatten a predicate's top-level conjunction, separating subquery
+/// membership tests from plain scalar conjuncts.
+fn split_where<'a>(pred: &'a SqlExpr, plain: &mut Vec<&'a SqlExpr>, subs: &mut Vec<SubPred<'a>>) {
+    match pred {
+        SqlExpr::Binary {
+            op: SqlBinOp::And,
+            left,
+            right,
+        } => {
+            split_where(left, plain, subs);
+            split_where(right, plain, subs);
+        }
+        SqlExpr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => subs.push(SubPred::In {
+            expr: expr.as_ref(),
+            query: query.as_ref(),
+            negated: *negated,
+        }),
+        SqlExpr::Exists { query, negated } => subs.push(SubPred::Exists {
+            query: query.as_ref(),
+            negated: *negated,
+        }),
+        other => plain.push(other),
+    }
+}
+
+fn bind_subquery_conjunct(
+    node: PlanNode,
+    scope: &Scope,
+    valid_time: bool,
+    sp: SubPred<'_>,
+    catalog: &Catalog,
+) -> Result<PlanNode> {
+    match sp {
+        SubPred::In {
+            expr,
+            query,
+            negated,
+        } => bind_in(node, scope, valid_time, expr, query, negated, catalog),
+        SubPred::Exists { query, negated } => {
+            bind_exists(node, scope, valid_time, query, negated, catalog)
+        }
+    }
+}
+
+/// The output schema of a plan fragment, via the property derivation.
+fn schema_of(node: &PlanNode) -> Result<Schema> {
+    let plan = LogicalPlan::new(node.clone(), ResultType::Multiset);
+    let ann = tqo_core::plan::props::annotate(&plan)?;
+    let root: Vec<usize> = Vec::new();
+    Ok(ann
+        .get(&root)
+        .expect("root is always annotated")
+        .stat
+        .schema
+        .clone())
+}
+
+/// Lower a membership test onto the algebra: keep the `node` tuples (or,
+/// negated, drop them) that find a partner in `sub` under the equality
+/// conditions `conds`, each pairing an expression over `node`'s schema
+/// with a column of `sub`.
+///
+/// The positive form is the classic semijoin rewrite
+/// `π_node(σ_eq(node × sub))`; sequenced, the temporal product restricts
+/// each qualifying tuple to the sub-periods where a partner overlaps. The
+/// negated form subtracts the semijoin from `node` with `\` (or `\ᵀ`,
+/// which removes exactly the covered sub-periods).
+fn semi_or_anti(
+    node: PlanNode,
+    node_schema: &Schema,
+    sub: PlanNode,
+    conds: Vec<(Expr, String)>,
+    sequenced: bool,
+    negated: bool,
+) -> Result<PlanNode> {
+    // node × sub: node's attributes surface prefixed `1.`, sub's `2.`
+    // (plus a fresh intersection period when sequenced).
+    let joined = if sequenced {
+        PlanNode::ProductT {
+            left: Arc::new(node.clone()),
+            right: Arc::new(sub),
+        }
+    } else {
+        PlanNode::Product {
+            left: Arc::new(node.clone()),
+            right: Arc::new(sub),
+        }
+    };
+    let mut pred: Option<Expr> = None;
+    for (outer, sub_col) in conds {
+        let lhs = outer.map_names(&|n| format!("1.{n}"));
+        let e = Expr::eq(lhs, Expr::col(format!("2.{sub_col}")));
+        pred = Some(match pred {
+            None => e,
+            Some(p) => Expr::and(p, e),
+        });
+    }
+    let selected = PlanNode::Select {
+        input: Arc::new(joined),
+        predicate: pred.expect("at least one membership condition"),
+    };
+    // Back onto node's schema.
+    let items: Vec<ProjItem> = node_schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if sequenced && (a.name == T1 || a.name == T2) {
+                ProjItem::col(&a.name)
+            } else {
+                ProjItem::new(Expr::col(format!("1.{}", a.name)), a.name.clone())
+            }
+        })
+        .collect();
+    let semi = PlanNode::Project {
+        input: Arc::new(selected),
+        items,
+    };
+    if !negated {
+        return Ok(semi);
+    }
+    if sequenced {
+        return Ok(PlanNode::DifferenceT {
+            left: Arc::new(node),
+            right: Arc::new(semi),
+        });
+    }
+    let diff = PlanNode::Difference {
+        left: Arc::new(node),
+        right: Arc::new(semi),
+    };
+    if !node_schema.is_temporal() {
+        return Ok(diff);
+    }
+    // The conventional difference demoted the period attributes; restore
+    // them so the surrounding clauses keep resolving.
+    let restore: Vec<ProjItem> = node_schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if a.name == T1 || a.name == T2 {
+                ProjItem::new(Expr::col(format!("1.{}", a.name)), a.name.clone())
+            } else {
+                ProjItem::col(&a.name)
+            }
+        })
+        .collect();
+    Ok(PlanNode::Project {
+        input: Arc::new(diff),
+        items: restore,
+    })
+}
+
+/// Lower `expr [NOT] IN (SELECT …)`.
+fn bind_in(
+    node: PlanNode,
+    scope: &Scope,
+    valid_time: bool,
+    expr: &SqlExpr,
+    query: &Statement,
+    negated: bool,
+    catalog: &Catalog,
+) -> Result<PlanNode> {
+    let outer = bind_scalar(expr, scope)?;
+    let (sub, _) = bind_statement(query, catalog)?;
+    let node_schema = schema_of(&node)?;
+    let sub_schema = schema_of(&sub)?;
+    let sequenced = valid_time && node_schema.is_temporal() && sub_schema.is_temporal();
+    // The membership column: the subquery must produce exactly one value
+    // column (plus, possibly, its period).
+    let value_cols: Vec<String> = sub_schema
+        .attrs()
+        .iter()
+        .filter(|a| a.name != T1 && a.name != T2)
+        .map(|a| a.name.clone())
+        .collect();
+    if value_cols.len() != 1 {
+        return Err(Error::Parse {
+            reason: format!(
+                "IN subquery must produce exactly one column, got {}",
+                value_cols.len()
+            ),
+        });
+    }
+    let m = value_cols.into_iter().next().expect("one column");
+    // Deduplicate the membership set so the semijoin cannot multiply rows.
+    let sub = if sequenced {
+        PlanNode::RdupT {
+            input: Arc::new(sub),
+        }
+    } else {
+        let sub = if sub_schema.is_temporal() {
+            // Conventional IN ignores the members' periods.
+            PlanNode::Project {
+                input: Arc::new(sub),
+                items: vec![ProjItem::col(&m)],
+            }
+        } else {
+            sub
+        };
+        PlanNode::Rdup {
+            input: Arc::new(sub),
+        }
+    };
+    semi_or_anti(
+        node,
+        &node_schema,
+        sub,
+        vec![(outer, m)],
+        sequenced,
+        negated,
+    )
+}
+
+/// Lower `[NOT] EXISTS (SELECT …)` by decorrelation: the subquery's WHERE
+/// conjuncts split into local filters (pushed into the subquery) and
+/// equality correlations (which become the semijoin condition).
+fn bind_exists(
+    node: PlanNode,
+    scope: &Scope,
+    valid_time: bool,
+    query: &Statement,
+    negated: bool,
+    catalog: &Catalog,
+) -> Result<PlanNode> {
+    let subq = match query {
+        Statement::Select(q) => q,
+        _ => {
+            return Err(Error::Unsupported {
+                construct: "EXISTS over a set operation, ORDER BY, or LIMIT".into(),
+            })
+        }
+    };
+    if subq.from.len() != 1
+        || subq.join.is_some()
+        || !subq.group_by.is_empty()
+        || subq.having.is_some()
+        || subq.coalesce
+    {
+        return Err(Error::Unsupported {
+            construct: "EXISTS subquery must be a plain single-table SELECT".into(),
+        });
+    }
+    let base = catalog.base_props(&subq.from[0].name)?;
+    let sub_schema = base.schema.clone();
+    let sub_scope = Scope {
+        tables: vec![(
+            subq.from[0].visible_name().to_owned(),
+            String::new(),
+            sub_schema.clone(),
+        )],
+        has_fresh_period: sub_schema.is_temporal(),
+    };
+    let mut sub_node = PlanBuilder::scan(subq.from[0].name.clone(), base).node();
+
+    // Split the subquery's WHERE: conjuncts that bind in the subquery's
+    // own scope stay local; equality conjuncts straddling the scopes
+    // become correlation pairs.
+    let mut local: Option<Expr> = None;
+    let mut pairs: Vec<(Expr, Expr)> = Vec::new();
+    if let Some(pred) = &subq.predicate {
+        let mut plain = Vec::new();
+        let mut subs = Vec::new();
+        split_where(pred, &mut plain, &mut subs);
+        if !subs.is_empty() {
+            return Err(Error::Unsupported {
+                construct: "nested subquery inside EXISTS".into(),
+            });
+        }
+        for c in plain {
+            if let Ok(e) = bind_scalar(c, &sub_scope) {
+                local = Some(match local {
+                    None => e,
+                    Some(p) => Expr::and(p, e),
+                });
+                continue;
+            }
+            let pair = match c {
+                SqlExpr::Binary {
+                    op: SqlBinOp::Eq,
+                    left,
+                    right,
+                } => {
+                    let try_pair = |o: &SqlExpr, s: &SqlExpr| match (
+                        bind_scalar(o, scope),
+                        bind_scalar(s, &sub_scope),
+                    ) {
+                        (Ok(o), Ok(s)) => Some((o, s)),
+                        _ => None,
+                    };
+                    try_pair(left, right).or_else(|| try_pair(right, left))
+                }
+                _ => None,
+            };
+            match pair {
+                Some(p) => pairs.push(p),
+                None => {
+                    return Err(Error::Unsupported {
+                        construct: "non-equality correlation in EXISTS".into(),
+                    })
+                }
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return Err(Error::Unsupported {
+            construct: "uncorrelated EXISTS".into(),
+        });
+    }
+    if let Some(predicate) = local {
+        sub_node = PlanNode::Select {
+            input: Arc::new(sub_node),
+            predicate,
+        };
+    }
+
+    let node_schema = schema_of(&node)?;
+    let sequenced =
+        valid_time && subq.valid_time && node_schema.is_temporal() && sub_schema.is_temporal();
+    // Project the correlated sides out under synthetic names, keep the
+    // period when sequenced, and deduplicate the membership set.
+    let mut items: Vec<ProjItem> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (_, s))| ProjItem::new(s.clone(), format!("__sq{i}")))
+        .collect();
+    if sequenced {
+        items.push(ProjItem::col(T1));
+        items.push(ProjItem::col(T2));
+    }
+    let projected = PlanNode::Project {
+        input: Arc::new(sub_node),
+        items,
+    };
+    let sub_plan = if sequenced {
+        PlanNode::RdupT {
+            input: Arc::new(projected),
+        }
+    } else {
+        PlanNode::Rdup {
+            input: Arc::new(projected),
+        }
+    };
+    let conds: Vec<(Expr, String)> = pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (o, _))| (o, format!("__sq{i}")))
+        .collect();
+    semi_or_anti(node, &node_schema, sub_plan, conds, sequenced, negated)
 }
 
 /// The `COALESCE` clause: bind the Böhlen idiom `coalᵀ(rdupᵀ(·))` unless a
@@ -415,19 +945,153 @@ fn bind_aggregate(q: &SelectQuery, input: PlanNode, scope: &Scope) -> Result<Pla
         }
     }
 
-    Ok(if q.valid_time {
+    // HAVING: a selection over the grouped result. Aggregates it mentions
+    // reuse a select-list item when one matches; otherwise they are
+    // computed as hidden `__h{n}` items and projected away afterwards.
+    let visible: Vec<String> = aggs.iter().map(|a| a.alias.clone()).collect();
+    let mut hidden = 0usize;
+    let having = match &q.having {
+        Some(h) => Some(bind_having(h, scope, &group_by, &mut aggs, &mut hidden)?),
+        None => None,
+    };
+
+    let mut node = if q.valid_time {
         PlanNode::AggregateT {
             input: std::sync::Arc::new(input),
-            group_by,
+            group_by: group_by.clone(),
             aggs,
         }
     } else {
         PlanNode::Aggregate {
             input: std::sync::Arc::new(input),
-            group_by,
+            group_by: group_by.clone(),
             aggs,
         }
+    };
+    if let Some(predicate) = having {
+        node = PlanNode::Select {
+            input: std::sync::Arc::new(node),
+            predicate,
+        };
+        if hidden > 0 {
+            let mut items: Vec<ProjItem> = group_by.iter().map(|g| ProjItem::col(g)).collect();
+            items.extend(visible.iter().map(|a| ProjItem::col(a)));
+            if q.valid_time {
+                items.push(ProjItem::col(T1));
+                items.push(ProjItem::col(T2));
+            }
+            node = PlanNode::Project {
+                input: std::sync::Arc::new(node),
+                items,
+            };
+        }
+    }
+    Ok(node)
+}
+
+/// Rewrite a `HAVING` predicate into an expression over the aggregate
+/// output. Aggregate calls resolve to existing [`AggItem`]s when one with
+/// the same function and argument exists, otherwise a hidden item is
+/// appended; bare names resolve to select-list aggregate aliases or
+/// grouping columns.
+fn bind_having(
+    h: &SqlExpr,
+    scope: &Scope,
+    group_by: &[String],
+    aggs: &mut Vec<AggItem>,
+    hidden: &mut usize,
+) -> Result<Expr> {
+    Ok(match h {
+        SqlExpr::Agg { func, arg } => {
+            let arg_name = match arg {
+                None => None,
+                Some(e) => match e.as_ref() {
+                    SqlExpr::Column { qualifier, name } => {
+                        Some(scope.resolve(qualifier.as_deref(), name)?)
+                    }
+                    other => {
+                        return Err(Error::Parse {
+                            reason: format!(
+                                "aggregate arguments must be plain columns, found {other:?}"
+                            ),
+                        })
+                    }
+                },
+            };
+            match aggs.iter().find(|a| a.func == *func && a.arg == arg_name) {
+                Some(existing) => Expr::col(existing.alias.clone()),
+                None => {
+                    let alias = format!("__h{hidden}");
+                    *hidden += 1;
+                    aggs.push(AggItem {
+                        func: *func,
+                        arg: arg_name,
+                        alias: alias.clone(),
+                    });
+                    Expr::col(alias)
+                }
+            }
+        }
+        SqlExpr::Column { qualifier, name } => {
+            // A bare name may denote a select-list aggregate alias …
+            if qualifier.is_none() {
+                if let Some(a) = aggs.iter().find(|a| a.alias == *name) {
+                    return Ok(Expr::col(a.alias.clone()));
+                }
+            }
+            // … or a grouping column.
+            let resolved = scope.resolve(qualifier.as_deref(), name)?;
+            if !group_by.contains(&resolved) {
+                return Err(Error::Parse {
+                    reason: format!(
+                        "HAVING column `{name}` must be a grouping column or an aggregate"
+                    ),
+                });
+            }
+            Expr::col(resolved)
+        }
+        SqlExpr::Int(v) => Expr::lit(*v),
+        SqlExpr::Float(v) => Expr::lit(*v),
+        SqlExpr::Str(s) => Expr::lit(s.as_str()),
+        SqlExpr::Bool(b) => Expr::lit(*b),
+        SqlExpr::Null => Expr::Lit(tqo_core::value::Value::Null),
+        SqlExpr::Not(e) => Expr::not(bind_having(e, scope, group_by, aggs, hidden)?),
+        SqlExpr::IsNull { expr, negated } => {
+            let inner = Expr::IsNull(Box::new(bind_having(expr, scope, group_by, aggs, hidden)?));
+            if *negated {
+                Expr::not(inner)
+            } else {
+                inner
+            }
+        }
+        SqlExpr::Binary { op, left, right } => Expr::bin(
+            bin_op(*op),
+            bind_having(left, scope, group_by, aggs, hidden)?,
+            bind_having(right, scope, group_by, aggs, hidden)?,
+        ),
+        SqlExpr::InSubquery { .. } | SqlExpr::Exists { .. } => {
+            return Err(Error::Unsupported {
+                construct: "subquery in HAVING".into(),
+            })
+        }
     })
+}
+
+fn bin_op(op: SqlBinOp) -> BinOp {
+    match op {
+        SqlBinOp::Eq => BinOp::Eq,
+        SqlBinOp::Ne => BinOp::Ne,
+        SqlBinOp::Lt => BinOp::Lt,
+        SqlBinOp::Le => BinOp::Le,
+        SqlBinOp::Gt => BinOp::Gt,
+        SqlBinOp::Ge => BinOp::Ge,
+        SqlBinOp::And => BinOp::And,
+        SqlBinOp::Or => BinOp::Or,
+        SqlBinOp::Add => BinOp::Add,
+        SqlBinOp::Sub => BinOp::Sub,
+        SqlBinOp::Mul => BinOp::Mul,
+        SqlBinOp::Div => BinOp::Div,
+    }
 }
 
 fn bind_scalar(expr: &SqlExpr, scope: &Scope) -> Result<Expr> {
@@ -449,28 +1113,21 @@ fn bind_scalar(expr: &SqlExpr, scope: &Scope) -> Result<Expr> {
                 inner
             }
         }
-        SqlExpr::Binary { op, left, right } => {
-            let op = match op {
-                SqlBinOp::Eq => BinOp::Eq,
-                SqlBinOp::Ne => BinOp::Ne,
-                SqlBinOp::Lt => BinOp::Lt,
-                SqlBinOp::Le => BinOp::Le,
-                SqlBinOp::Gt => BinOp::Gt,
-                SqlBinOp::Ge => BinOp::Ge,
-                SqlBinOp::And => BinOp::And,
-                SqlBinOp::Or => BinOp::Or,
-                SqlBinOp::Add => BinOp::Add,
-                SqlBinOp::Sub => BinOp::Sub,
-                SqlBinOp::Mul => BinOp::Mul,
-                SqlBinOp::Div => BinOp::Div,
-            };
-            Expr::bin(op, bind_scalar(left, scope)?, bind_scalar(right, scope)?)
-        }
+        SqlExpr::Binary { op, left, right } => Expr::bin(
+            bin_op(*op),
+            bind_scalar(left, scope)?,
+            bind_scalar(right, scope)?,
+        ),
         SqlExpr::Agg { .. } => {
             return Err(Error::Parse {
                 reason: "aggregate calls are only allowed in the select list of a grouped \
                          query"
                     .into(),
+            })
+        }
+        SqlExpr::InSubquery { .. } | SqlExpr::Exists { .. } => {
+            return Err(Error::Unsupported {
+                construct: "subquery outside a top-level WHERE conjunct".into(),
             })
         }
     })
@@ -590,6 +1247,146 @@ mod tests {
             &cat,
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn limit_offset_truncate_the_ordered_result() {
+        let (plan, result) = run("SELECT EmpName FROM EMPLOYEE ORDER BY EmpName LIMIT 2 OFFSET 1");
+        assert!(matches!(*plan.root, PlanNode::Limit { .. }));
+        assert_eq!(result.len(), 2);
+        for t in result.tuples() {
+            assert_eq!(t.value(0), &tqo_core::value::Value::from("Anna"));
+        }
+        let (_, bare) = run("SELECT EmpName FROM EMPLOYEE LIMIT 3");
+        assert_eq!(bare.len(), 3);
+        let (_, off) = run("SELECT EmpName FROM EMPLOYEE OFFSET 4");
+        assert_eq!(off.len(), 1);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        // Sales has three rows, Advertising two.
+        let (_, result) =
+            run("SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept HAVING n > 2");
+        assert_eq!(result.len(), 1);
+        assert_eq!(
+            result.tuples()[0].value(0),
+            &tqo_core::value::Value::from("Sales")
+        );
+    }
+
+    #[test]
+    fn having_hidden_aggregate_is_projected_away() {
+        let (_, result) = run("SELECT Dept FROM EMPLOYEE GROUP BY Dept HAVING COUNT(*) > 2");
+        assert_eq!(result.schema().names(), vec!["Dept"]);
+        assert_eq!(result.len(), 1);
+    }
+
+    #[test]
+    fn validtime_having() {
+        let (_, result) =
+            run("VALIDTIME SELECT Dept FROM EMPLOYEE GROUP BY Dept HAVING COUNT(*) >= 2");
+        assert!(result.is_temporal());
+        assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn in_subquery_semijoin() {
+        // Only John worked on P1.
+        let (_, result) = run("SELECT EmpName, Dept FROM EMPLOYEE \
+             WHERE EmpName IN (SELECT EmpName FROM PROJECT WHERE Prj = 'P1')");
+        assert_eq!(result.len(), 2);
+        let (_, neg) = run("SELECT EmpName, Dept FROM EMPLOYEE \
+             WHERE EmpName NOT IN (SELECT EmpName FROM PROJECT WHERE Prj = 'P1')");
+        assert_eq!(neg.len(), 3);
+    }
+
+    #[test]
+    fn sequenced_not_in_matches_figure1_except() {
+        // NOT IN under sequenced semantics subtracts, per employee, the
+        // periods the name appears in PROJECT — the Figure 1 result.
+        let (_, result) = run("VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+             WHERE EmpName NOT IN (VALIDTIME SELECT EmpName FROM PROJECT) \
+             COALESCE ORDER BY EmpName");
+        assert_eq!(result, paper::figure1_result());
+    }
+
+    #[test]
+    fn exists_decorrelates() {
+        let (_, result) = run("SELECT EmpName, Dept FROM EMPLOYEE e \
+             WHERE EXISTS (SELECT Prj FROM PROJECT p \
+                           WHERE p.EmpName = e.EmpName AND p.Prj = 'P1')");
+        assert_eq!(result.len(), 2);
+        let (_, neg) = run("SELECT EmpName, Dept FROM EMPLOYEE e \
+             WHERE NOT EXISTS (SELECT Prj FROM PROJECT p \
+                               WHERE p.EmpName = e.EmpName AND p.Prj = 'P1')");
+        assert_eq!(neg.len(), 3);
+    }
+
+    #[test]
+    fn exists_requires_correlation() {
+        let cat = paper::catalog();
+        let err = bind(
+            &parse("SELECT EmpName FROM EMPLOYEE WHERE EXISTS (SELECT Prj FROM PROJECT)").unwrap(),
+            &cat,
+        );
+        assert!(matches!(err, Err(Error::Unsupported { .. })));
+    }
+
+    #[test]
+    fn subquery_under_or_is_unsupported() {
+        let cat = paper::catalog();
+        let err = bind(
+            &parse(
+                "SELECT EmpName FROM EMPLOYEE \
+                 WHERE Dept = 'Sales' OR EmpName IN (SELECT EmpName FROM PROJECT)",
+            )
+            .unwrap(),
+            &cat,
+        );
+        assert!(matches!(err, Err(Error::Unsupported { .. })));
+    }
+
+    #[test]
+    fn inner_join_on() {
+        let (_, result) = run("SELECT e.EmpName, p.Prj FROM EMPLOYEE e \
+             INNER JOIN PROJECT p ON e.EmpName = p.EmpName");
+        // John: 2 employee rows × 4 projects; Anna: 3 × 4.
+        assert_eq!(result.len(), 20);
+    }
+
+    #[test]
+    fn left_join_pads_non_matching_rows() {
+        let (_, result) = run("SELECT e.EmpName, p.Prj FROM EMPLOYEE e \
+             LEFT JOIN PROJECT p ON e.EmpName = p.EmpName AND p.Prj = 'P0'");
+        // Nothing matches: every employee row survives NULL-padded.
+        assert_eq!(result.len(), 5);
+        for t in result.tuples() {
+            assert!(t.value(1).is_null());
+        }
+    }
+
+    #[test]
+    fn validtime_left_join_pads_uncovered_periods() {
+        let (_, result) = run("VALIDTIME SELECT e.EmpName AS EmpName, p.Prj AS Prj \
+             FROM EMPLOYEE e LEFT JOIN PROJECT p ON e.EmpName = p.EmpName");
+        assert!(result.is_temporal());
+        // John's [1,8) employee period is only partly covered by his
+        // project periods, so NULL-padded fragments must appear.
+        let prj = result.schema().index_of("Prj").expect("Prj column");
+        assert!(result.tuples().iter().any(|t| t.value(prj).is_null()));
+        assert!(result.tuples().iter().any(|t| !t.value(prj).is_null()));
+    }
+
+    #[test]
+    fn right_join_mirrors_left() {
+        let (_, result) = run("SELECT e.Dept, p.Prj FROM EMPLOYEE e \
+             RIGHT JOIN PROJECT p ON e.EmpName = p.EmpName AND e.Dept = 'Nowhere'");
+        // Nothing matches: every project row survives NULL-padded.
+        assert_eq!(result.len(), 8);
+        for t in result.tuples() {
+            assert!(t.value(0).is_null());
+        }
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub enum Token {
     All,
     True,
     False,
+    Having,
+    Exists,
+    In,
+    Left,
+    Right,
+    Outer,
+    Inner,
+    Join,
+    On,
+    Limit,
+    Offset,
     // Temporal extensions.
     ValidTime,
     Coalesce,
@@ -87,6 +98,17 @@ fn keyword(word: &str) -> Option<Token> {
         "ALL" => Token::All,
         "TRUE" => Token::True,
         "FALSE" => Token::False,
+        "HAVING" => Token::Having,
+        "EXISTS" => Token::Exists,
+        "IN" => Token::In,
+        "LEFT" => Token::Left,
+        "RIGHT" => Token::Right,
+        "OUTER" => Token::Outer,
+        "INNER" => Token::Inner,
+        "JOIN" => Token::Join,
+        "ON" => Token::On,
+        "LIMIT" => Token::Limit,
+        "OFFSET" => Token::Offset,
         "VALIDTIME" => Token::ValidTime,
         "COALESCE" => Token::Coalesce,
         _ => return None,

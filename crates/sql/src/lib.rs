@@ -24,6 +24,7 @@
 //! DBMS).
 
 pub mod ast;
+pub mod ast_unparser;
 pub mod binder;
 pub mod lexer;
 pub mod parser;

@@ -1,14 +1,17 @@
 //! Recursive-descent parser for the temporal SQL dialect.
 //!
 //! ```text
-//! statement  := set_expr [ORDER BY order_list]
+//! statement  := set_expr [ORDER BY order_list] [LIMIT int [OFFSET int] | OFFSET int]
 //! set_expr   := select (UNION [ALL] select | EXCEPT [ALL] select)*
-//! select     := [VALIDTIME] SELECT [DISTINCT] items FROM tables
-//!               [WHERE expr] [GROUP BY idents] [COALESCE]
+//! select     := [VALIDTIME] SELECT [DISTINCT] items FROM tables [join]
+//!               [WHERE expr] [GROUP BY idents] [HAVING expr] [COALESCE]
 //!             | '(' statement ')'
+//! join       := [INNER | LEFT [OUTER] | RIGHT [OUTER]] JOIN table ON expr
 //! items      := '*' | item (',' item)*        item := expr [AS ident]
 //! tables     := table (',' table)*            table := ident [AS ident]
-//! expr       := or_expr (with standard precedence; IS [NOT] NULL postfix)
+//! expr       := or_expr (with standard precedence; IS [NOT] NULL and
+//!               [NOT] IN '(' statement ')' postfix; [NOT] EXISTS
+//!               '(' statement ')' primary)
 //! ```
 
 use tqo_core::error::{Error, Result};
@@ -87,9 +90,9 @@ impl Parser {
         }
     }
 
-    // statement := set_expr [ORDER BY order_list]
+    // statement := set_expr [ORDER BY order_list] [LIMIT int [OFFSET int] | OFFSET int]
     fn statement(&mut self) -> Result<Statement> {
-        let inner = self.set_expr()?;
+        let mut stmt = self.set_expr()?;
         if self.eat(&Token::Order) {
             self.expect(Token::By)?;
             let mut keys = Vec::new();
@@ -106,12 +109,45 @@ impl Parser {
                     break;
                 }
             }
-            return Ok(Statement::OrderBy {
-                inner: Box::new(inner),
+            stmt = Statement::OrderBy {
+                inner: Box::new(stmt),
                 keys,
-            });
+            };
         }
-        Ok(inner)
+        if self.eat(&Token::Limit) {
+            let limit = self.count_literal("LIMIT")?;
+            let offset = if self.eat(&Token::Offset) {
+                self.count_literal("OFFSET")?
+            } else {
+                0
+            };
+            stmt = Statement::Limit {
+                inner: Box::new(stmt),
+                limit: Some(limit),
+                offset,
+            };
+        } else if self.eat(&Token::Offset) {
+            let offset = self.count_literal("OFFSET")?;
+            stmt = Statement::Limit {
+                inner: Box::new(stmt),
+                limit: None,
+                offset,
+            };
+        }
+        Ok(stmt)
+    }
+
+    /// A non-negative integer literal, as used by `LIMIT`/`OFFSET`.
+    fn count_literal(&mut self, clause: &str) -> Result<usize> {
+        match self.advance() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as usize),
+            other => Err(Error::Parse {
+                reason: format!(
+                    "{clause} expects a non-negative integer, found {}",
+                    other.map_or("end of input".to_string(), |t| t.to_string())
+                ),
+            }),
+        }
     }
 
     // set_expr := select ((UNION|EXCEPT) [ALL] select)*
@@ -147,7 +183,7 @@ impl Parser {
             self.expect(Token::RParen)?;
             Ok(inner)
         } else {
-            Ok(Statement::Select(self.select()?))
+            Ok(Statement::Select(Box::new(self.select()?)))
         }
     }
 
@@ -177,18 +213,38 @@ impl Parser {
         self.expect(Token::From)?;
         let mut from = Vec::new();
         loop {
-            let name = self.ident()?;
-            let alias = if self.eat(&Token::As) {
-                Some(self.ident()?)
-            } else if let Some(Token::Ident(_)) = self.peek() {
-                Some(self.ident()?)
-            } else {
-                None
-            };
-            from.push(TableRef { name, alias });
+            from.push(self.table_ref()?);
             if !self.eat(&Token::Comma) {
                 break;
             }
+        }
+
+        // Explicit JOIN clause: only after a single table reference.
+        let mut join = None;
+        if matches!(
+            self.peek(),
+            Some(Token::Inner | Token::Left | Token::Right | Token::Join)
+        ) {
+            if from.len() != 1 {
+                return Err(Error::Parse {
+                    reason: "JOIN cannot be combined with a comma-separated FROM list".into(),
+                });
+            }
+            let kind = if self.eat(&Token::Left) {
+                self.eat(&Token::Outer);
+                JoinKind::Left
+            } else if self.eat(&Token::Right) {
+                self.eat(&Token::Outer);
+                JoinKind::Right
+            } else {
+                self.eat(&Token::Inner);
+                JoinKind::Inner
+            };
+            self.expect(Token::Join)?;
+            let table = self.table_ref()?;
+            self.expect(Token::On)?;
+            let on = self.expr()?;
+            join = Some(JoinClause { kind, table, on });
         }
 
         let predicate = if self.eat(&Token::Where) {
@@ -208,6 +264,12 @@ impl Parser {
             }
         }
 
+        let having = if self.eat(&Token::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
         let coalesce = self.eat(&Token::Coalesce);
 
         Ok(SelectQuery {
@@ -215,10 +277,25 @@ impl Parser {
             distinct,
             items,
             from,
+            join,
             predicate,
             group_by,
+            having,
             coalesce,
         })
+    }
+
+    /// `table := ident [AS ident | ident]`.
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat(&Token::As) {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(_)) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
     }
 
     // Expressions, lowest precedence first.
@@ -254,7 +331,25 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<SqlExpr> {
         if self.eat(&Token::Not) {
-            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+            // Fold negation into the subquery predicates so `NOT EXISTS` /
+            // `NOT a IN (…)` and their prefix-NOT spellings build the same
+            // AST (which the unparser then reproduces canonically).
+            Ok(match self.not_expr()? {
+                SqlExpr::Exists { query, negated } => SqlExpr::Exists {
+                    query,
+                    negated: !negated,
+                },
+                SqlExpr::InSubquery {
+                    expr,
+                    query,
+                    negated,
+                } => SqlExpr::InSubquery {
+                    expr,
+                    query,
+                    negated: !negated,
+                },
+                other => SqlExpr::Not(Box::new(other)),
+            })
         } else {
             self.comparison()
         }
@@ -286,6 +381,27 @@ impl Parser {
             self.expect(Token::Null)?;
             return Ok(SqlExpr::IsNull {
                 expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN '(' statement ')' postfix.
+        let in_negated = if self.eat(&Token::In) {
+            Some(false)
+        } else if self.peek() == Some(&Token::Not)
+            && self.tokens.get(self.pos + 1) == Some(&Token::In)
+        {
+            self.pos += 2;
+            Some(true)
+        } else {
+            None
+        };
+        if let Some(negated) = in_negated {
+            self.expect(Token::LParen)?;
+            let query = self.statement()?;
+            self.expect(Token::RParen)?;
+            return Ok(SqlExpr::InSubquery {
+                expr: Box::new(left),
+                query: Box::new(query),
                 negated,
             });
         }
@@ -366,6 +482,15 @@ impl Parser {
                 let e = self.expr()?;
                 self.expect(Token::RParen)?;
                 Ok(e)
+            }
+            Some(Token::Exists) => {
+                self.expect(Token::LParen)?;
+                let query = self.statement()?;
+                self.expect(Token::RParen)?;
+                Ok(SqlExpr::Exists {
+                    query: Box::new(query),
+                    negated: false,
+                })
             }
             Some(Token::Ident(name)) => {
                 // Aggregate call?

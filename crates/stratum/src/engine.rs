@@ -584,6 +584,7 @@ impl Stratum {
             PlanNode::Rdup { .. } => ops::rdup(&inputs[0])?,
             PlanNode::UnionMax { .. } => ops::union_max(&inputs[0], &inputs[1])?,
             PlanNode::Sort { order, .. } => stratum_sort(&inputs[0], order)?,
+            PlanNode::Limit { limit, offset, .. } => ops::limit(&inputs[0], *limit, *offset)?,
             PlanNode::ProductT { .. } => ops::product_t(&inputs[0], &inputs[1])?,
             PlanNode::DifferenceT { .. } => ops::difference_t(&inputs[0], &inputs[1])?,
             PlanNode::AggregateT { group_by, aggs, .. } => {

@@ -1,0 +1,81 @@
+//! Conformance suite driver: walks the committed `.slt` corpus under
+//! `tests/slt/` and the planner snapshots under `tests/snapshots/`.
+//!
+//! Bless flows (see `docs/sql.md`):
+//!
+//! * `UPDATE_SLT=1 cargo test --test conformance` rewrites every
+//!   expected result block (and `?` type strings) from the reference
+//!   interpreter.
+//! * `UPDATE_SNAPSHOTS=1 cargo test --test conformance` rewrites the
+//!   planner snapshots.
+
+use std::path::PathBuf;
+
+use tqo_conformance::{check_snapshots, run_slt_file};
+
+fn repo_dir(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(sub)
+}
+
+fn flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1")
+}
+
+/// The corpus floor: the suite must keep at least this many pinned
+/// queries (a shrinking corpus is a silent loss of coverage).
+const CORPUS_FLOOR: usize = 150;
+
+#[test]
+fn slt_corpus() {
+    let bless = flag("UPDATE_SLT");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(repo_dir("tests/slt"))
+        .expect("tests/slt exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "slt"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .slt files found");
+
+    let mut failures = Vec::new();
+    let (mut queries, mut statements, mut errors, mut skipped) = (0, 0, 0, 0);
+    for path in &files {
+        match run_slt_file(path, bless) {
+            Err(e) => failures.push(e),
+            Ok(outcome) => {
+                queries += outcome.queries;
+                statements += outcome.statements;
+                errors += outcome.errors;
+                skipped += outcome.stratum_skipped;
+                failures.extend(outcome.failures);
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} conformance failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    println!(
+        "conformance: {queries} queries + {statements} statements + {errors} error cases \
+         across {} files ({skipped} stratum legs skipped)",
+        files.len()
+    );
+    assert!(
+        queries + errors >= CORPUS_FLOOR,
+        "corpus has {queries} queries + {errors} error cases; the floor is {CORPUS_FLOOR}"
+    );
+}
+
+#[test]
+fn planner_snapshots() {
+    let bless = flag("UPDATE_SNAPSHOTS");
+    let failures = check_snapshots(&repo_dir("tests/snapshots"), bless).expect("snapshot dir");
+    assert!(
+        failures.is_empty(),
+        "{} snapshot failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -82,6 +82,21 @@ const QUERIES: &[&str] = &[
     "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
      VALIDTIME SELECT EmpName FROM PROJECT ORDER BY EmpName",
     "SELECT EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT",
+    // HAVING, subqueries, outer joins, LIMIT/OFFSET.
+    "SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept HAVING n > 2",
+    "VALIDTIME SELECT Dept FROM EMPLOYEE GROUP BY Dept HAVING COUNT(*) >= 2",
+    "SELECT EmpName, Dept FROM EMPLOYEE \
+     WHERE EmpName IN (SELECT EmpName FROM PROJECT WHERE Prj = 'P1')",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+     WHERE EmpName NOT IN (VALIDTIME SELECT EmpName FROM PROJECT) \
+     COALESCE ORDER BY EmpName",
+    "SELECT EmpName, Dept FROM EMPLOYEE e \
+     WHERE EXISTS (SELECT Prj FROM PROJECT p WHERE p.EmpName = e.EmpName)",
+    "VALIDTIME SELECT e.EmpName AS EmpName, p.Prj AS Prj FROM EMPLOYEE e \
+     LEFT JOIN PROJECT p ON e.EmpName = p.EmpName",
+    "SELECT Dept, p.Prj AS Prj FROM EMPLOYEE e \
+     RIGHT JOIN PROJECT p ON e.EmpName = p.EmpName",
+    "SELECT EmpName FROM EMPLOYEE ORDER BY EmpName LIMIT 3 OFFSET 1",
 ];
 
 fn agree_on_catalog(catalog: &Catalog) {

@@ -128,6 +128,14 @@ const SQL_CORPUS: &[&str] = &[
     "SELECT * FROM EMPLOYEE WHERE T1 + 1 * 2 > 3 OR NOT Dept = 'x' AND T2 < 50",
     "(SELECT EmpName FROM EMPLOYEE UNION SELECT EmpName FROM PROJECT) ORDER BY EmpName DESC",
     "SELECT EmpName AS who FROM EMPLOYEE WHERE EmpName IS NOT NULL ORDER BY who ASC",
+    "SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept HAVING n > 2",
+    "SELECT EmpName FROM EMPLOYEE WHERE EmpName NOT IN \
+     (VALIDTIME SELECT EmpName FROM PROJECT WHERE Prj = 'P1')",
+    "SELECT EmpName FROM EMPLOYEE e WHERE EXISTS \
+     (SELECT Prj FROM PROJECT p WHERE p.EmpName = e.EmpName)",
+    "VALIDTIME SELECT e.EmpName AS who, p.Prj AS what FROM EMPLOYEE e \
+     LEFT JOIN PROJECT p ON e.EmpName = p.EmpName",
+    "SELECT EmpName FROM EMPLOYEE ORDER BY EmpName LIMIT 3 OFFSET 1",
 ];
 
 /// One seeded byte-level mutation: truncate, delete a range, duplicate a
@@ -273,4 +281,280 @@ fn hostile_row_count_header_is_clamped() {
         "hostile header took {:?} — allocation not clamped",
         started.elapsed()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: parse(unparse(ast)) == ast.
+// ---------------------------------------------------------------------------
+
+/// Seeded generator of random *parser-canonical* statements. Two shapes
+/// the parser can never produce are excluded by construction: `NOT`
+/// directly wrapping a subquery predicate (negation is folded into the
+/// `negated` flags) and `ORDER BY`/`LIMIT` nested in the wrong order.
+mod ast_gen {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use tqo_core::expr::AggFunc;
+    use tqo_core::sortspec::SortDir;
+    use tqo_sql::ast::*;
+
+    const IDENTS: &[&str] = &["a", "b", "c", "EmpName", "Dept", "Prj", "x1", "col_2"];
+    const TABLES: &[&str] = &["R", "S", "EMPLOYEE", "PROJECT", "T_0"];
+    const STRINGS: &[&str] = &["", "x", "it's", "Sales"];
+    const FLOATS: &[f64] = &[0.5, 1.5, 2.25, 10.75];
+
+    fn ident(rng: &mut StdRng) -> String {
+        IDENTS[rng.gen_range(0..IDENTS.len())].to_string()
+    }
+
+    fn column(rng: &mut StdRng) -> SqlExpr {
+        SqlExpr::Column {
+            qualifier: if rng.gen_range(0u8..4) == 0 {
+                Some(TABLES[rng.gen_range(0..TABLES.len())].to_lowercase())
+            } else {
+                None
+            },
+            name: ident(rng),
+        }
+    }
+
+    fn literal(rng: &mut StdRng) -> SqlExpr {
+        match rng.gen_range(0u8..5) {
+            0 => SqlExpr::Int(rng.gen_range(-999i64..=999)),
+            1 => SqlExpr::Float(FLOATS[rng.gen_range(0..FLOATS.len())]),
+            2 => SqlExpr::Str(STRINGS[rng.gen_range(0..STRINGS.len())].to_string()),
+            3 => SqlExpr::Bool(rng.gen_range(0u8..2) == 0),
+            _ => SqlExpr::Null,
+        }
+    }
+
+    const BIN_OPS: &[SqlBinOp] = &[
+        SqlBinOp::Eq,
+        SqlBinOp::Ne,
+        SqlBinOp::Lt,
+        SqlBinOp::Le,
+        SqlBinOp::Gt,
+        SqlBinOp::Ge,
+        SqlBinOp::And,
+        SqlBinOp::Or,
+        SqlBinOp::Add,
+        SqlBinOp::Sub,
+        SqlBinOp::Mul,
+        SqlBinOp::Div,
+    ];
+
+    /// A scalar expression without subqueries.
+    fn scalar(rng: &mut StdRng, depth: u8) -> SqlExpr {
+        if depth == 0 {
+            return if rng.gen_range(0u8..2) == 0 {
+                column(rng)
+            } else {
+                literal(rng)
+            };
+        }
+        match rng.gen_range(0u8..6) {
+            0 => column(rng),
+            1 => literal(rng),
+            2 => SqlExpr::Binary {
+                op: BIN_OPS[rng.gen_range(0..BIN_OPS.len())],
+                left: Box::new(scalar(rng, depth - 1)),
+                right: Box::new(scalar(rng, depth - 1)),
+            },
+            3 => SqlExpr::Not(Box::new(scalar(rng, depth - 1))),
+            4 => SqlExpr::IsNull {
+                expr: Box::new(scalar(rng, depth - 1)),
+                negated: rng.gen_range(0u8..2) == 0,
+            },
+            _ => SqlExpr::Agg {
+                func: match rng.gen_range(0u8..5) {
+                    0 => AggFunc::Count,
+                    1 => AggFunc::Sum,
+                    2 => AggFunc::Min,
+                    3 => AggFunc::Max,
+                    _ => AggFunc::Avg,
+                },
+                arg: if rng.gen_range(0u8..3) == 0 {
+                    None
+                } else {
+                    Some(Box::new(scalar(rng, depth - 1)))
+                },
+            },
+        }
+    }
+
+    /// A WHERE-shaped predicate: a scalar, optionally conjoined with
+    /// subquery membership tests.
+    fn predicate(rng: &mut StdRng, depth: u8) -> SqlExpr {
+        let mut p = scalar(rng, depth);
+        if depth == 0 {
+            return p;
+        }
+        for _ in 0..rng.gen_range(0u8..3) {
+            let sub = if rng.gen_range(0u8..2) == 0 {
+                SqlExpr::InSubquery {
+                    expr: Box::new(scalar(rng, 1)),
+                    query: Box::new(statement(rng, depth - 1)),
+                    negated: rng.gen_range(0u8..2) == 0,
+                }
+            } else {
+                SqlExpr::Exists {
+                    query: Box::new(statement(rng, depth - 1)),
+                    negated: rng.gen_range(0u8..2) == 0,
+                }
+            };
+            p = SqlExpr::Binary {
+                op: SqlBinOp::And,
+                left: Box::new(p),
+                right: Box::new(sub),
+            };
+        }
+        p
+    }
+
+    fn table(rng: &mut StdRng) -> TableRef {
+        TableRef {
+            name: TABLES[rng.gen_range(0..TABLES.len())].to_string(),
+            alias: if rng.gen_range(0u8..2) == 0 {
+                Some(TABLES[rng.gen_range(0..TABLES.len())].to_lowercase())
+            } else {
+                None
+            },
+        }
+    }
+
+    fn select(rng: &mut StdRng, depth: u8) -> SelectQuery {
+        let items = if rng.gen_range(0u8..3) == 0 {
+            vec![SelectItem::Wildcard]
+        } else {
+            (0..rng.gen_range(1usize..=3))
+                .map(|_| SelectItem::Expr {
+                    expr: scalar(rng, depth.min(2)),
+                    alias: if rng.gen_range(0u8..2) == 0 {
+                        Some(ident(rng))
+                    } else {
+                        None
+                    },
+                })
+                .collect()
+        };
+        let two_tables = rng.gen_range(0u8..3) == 0;
+        let from = if two_tables {
+            vec![table(rng), table(rng)]
+        } else {
+            vec![table(rng)]
+        };
+        // The parser only accepts JOIN after a single table reference.
+        let join = if !two_tables && rng.gen_range(0u8..3) == 0 {
+            Some(JoinClause {
+                kind: match rng.gen_range(0u8..3) {
+                    0 => JoinKind::Inner,
+                    1 => JoinKind::Left,
+                    _ => JoinKind::Right,
+                },
+                table: table(rng),
+                on: scalar(rng, depth.min(2)),
+            })
+        } else {
+            None
+        };
+        SelectQuery {
+            valid_time: rng.gen_range(0u8..3) == 0,
+            distinct: rng.gen_range(0u8..3) == 0,
+            items,
+            from,
+            join,
+            predicate: if rng.gen_range(0u8..2) == 0 {
+                Some(predicate(rng, depth))
+            } else {
+                None
+            },
+            group_by: (0..rng.gen_range(0usize..=2)).map(|_| ident(rng)).collect(),
+            having: if rng.gen_range(0u8..4) == 0 {
+                Some(scalar(rng, depth.min(2)))
+            } else {
+                None
+            },
+            coalesce: rng.gen_range(0u8..5) == 0,
+        }
+    }
+
+    /// A full statement: a set-expression core, optionally wrapped in
+    /// `ORDER BY` and then `LIMIT`/`OFFSET` (the only nesting order the
+    /// parser produces).
+    pub fn statement(rng: &mut StdRng, depth: u8) -> Statement {
+        let mut stmt = if depth > 0 && rng.gen_range(0u8..4) == 0 {
+            let mk = |rng: &mut StdRng, d| Box::new(statement(rng, d));
+            let (left, right) = (mk(rng, depth - 1), mk(rng, depth - 1));
+            let all = rng.gen_range(0u8..2) == 0;
+            if rng.gen_range(0u8..2) == 0 {
+                Statement::Union { left, right, all }
+            } else {
+                Statement::Except { left, right, all }
+            }
+        } else {
+            Statement::Select(Box::new(select(rng, depth)))
+        };
+        if rng.gen_range(0u8..4) == 0 {
+            stmt = Statement::OrderBy {
+                inner: Box::new(stmt),
+                keys: (0..rng.gen_range(1usize..=2))
+                    .map(|_| OrderItem {
+                        column: ident(rng),
+                        dir: if rng.gen_range(0u8..2) == 0 {
+                            SortDir::Asc
+                        } else {
+                            SortDir::Desc
+                        },
+                    })
+                    .collect(),
+            };
+        }
+        if rng.gen_range(0u8..4) == 0 {
+            stmt = Statement::Limit {
+                inner: Box::new(stmt),
+                limit: if rng.gen_range(0u8..3) == 0 {
+                    None
+                } else {
+                    Some(rng.gen_range(0usize..100))
+                },
+                offset: if rng.gen_range(0u8..2) == 0 {
+                    0
+                } else {
+                    rng.gen_range(1usize..50)
+                },
+            };
+        }
+        stmt
+    }
+}
+
+/// For any statement the parser can produce, rendering it back to SQL and
+/// re-parsing must reproduce the identical AST — the unparser's contract.
+#[test]
+fn unparse_parse_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+    for case in 0..1500 {
+        let stmt = ast_gen::statement(&mut rng, 3);
+        let text = tqo_sql::ast_unparser::unparse(&stmt);
+        let reparsed = tqo_sql::parser::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: unparsed `{text}` fails to parse: {e}"));
+        assert_eq!(
+            stmt, reparsed,
+            "case {case}: round trip diverged via `{text}`"
+        );
+    }
+}
+
+/// Unparsed statements must also re-unparse to the identical text — the
+/// canonical form is a fixed point.
+#[test]
+fn unparse_is_a_fixed_point() {
+    let mut rng = StdRng::seed_from_u64(0xF1C5);
+    for _ in 0..500 {
+        let stmt = ast_gen::statement(&mut rng, 3);
+        let text = tqo_sql::ast_unparser::unparse(&stmt);
+        if let Ok(reparsed) = tqo_sql::parser::parse(&text) {
+            assert_eq!(text, tqo_sql::ast_unparser::unparse(&reparsed));
+        }
+    }
 }
