@@ -9,12 +9,15 @@
 //! | reference | interpreter | pinned block in the file |
 //! | faithful | row, batch, parallel{1,4} | `==` reference relation |
 //! | fast | row, batch, parallel{1,4} | byte-identical rendering |
+//! | scheduler | stage graph via the shared multi-query pool | `==` reference relation |
 //! | optimizer | memo + exhaustive, via interpreter | byte-identical rendering |
 //! | stratum | layered + layered-optimized | byte-identical rendering |
 //! | adaptive | q_threshold = 1.0 (faithful row, fast parallel-4) | byte-identical rendering |
 //!
-//! `modes engines` keeps only the first three rows — used by generated
-//! fixtures where planner legs would dominate runtime.
+//! `modes engines` keeps only the first four rows — used by generated
+//! fixtures where planner legs would dominate runtime. The scheduler
+//! leg runs for every record, so the corpus floor doubles as the
+//! concurrency oracle (ARCHITECTURE invariant 16).
 //!
 //! With `UPDATE_SLT=1` the runner rewrites each record's expected block
 //! (and fixes `?`/stale type strings) from the reference interpreter,
@@ -28,7 +31,10 @@ use tqo_core::equivalence::ResultType;
 use tqo_core::interp::{eval_plan, Env};
 use tqo_core::optimizer::{optimize, OptimizerConfig, SearchStrategy};
 use tqo_core::rules::RuleSet;
-use tqo_exec::{execute_adaptive, execute_mode, lower, AdaptiveConfig, ExecMode, PlannerConfig};
+use tqo_exec::{
+    execute_adaptive, execute_mode, lower, AdaptiveConfig, ExecMode, PlannerConfig, Scheduler,
+    SubmitOptions,
+};
 use tqo_storage::Catalog;
 use tqo_stratum::{make_layered, Stratum};
 
@@ -274,6 +280,25 @@ fn run_matrix(
                 ));
             }
         }
+    }
+
+    // Multi-query scheduler: the faithful plan, cut into a stage graph
+    // and executed through the shared process-wide pool, must reproduce
+    // the interpreter byte-for-byte. Every corpus query runs this leg,
+    // so the ≥150-query floor doubles as the concurrency oracle.
+    let faithful = lower(
+        &plan,
+        PlannerConfig {
+            allow_fast: false,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("lower(scheduler): {e}"))?;
+    let (got, _) = Scheduler::global()
+        .run(&faithful, env, SubmitOptions::default())
+        .map_err(|e| format!("scheduler: {e}"))?;
+    if got != reference {
+        return Err("scheduler run differs from the interpreter".into());
     }
 
     if modes == ModeSet::Engines {

@@ -36,12 +36,16 @@ use crate::fixtures::Fixture;
 use crate::render::SortMode;
 
 /// Which legs of the mode matrix a file runs (its `modes` header).
+/// The multi-query `scheduler` leg runs under both sets, so the whole
+/// corpus doubles as the shared-pool concurrency oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModeSet {
-    /// Everything: engines, optimizer strategies, stratum, adaptive.
+    /// Everything: engines, scheduler, optimizer strategies, stratum,
+    /// adaptive.
     All,
-    /// Engine legs only (row/batch/parallel × faithful/fast) — for large
-    /// generated fixtures where the planner legs would dominate runtime.
+    /// Engine + scheduler legs only (row/batch/parallel ×
+    /// faithful/fast, shared-pool stage graphs) — for large generated
+    /// fixtures where the planner legs would dominate runtime.
     Engines,
 }
 

@@ -63,6 +63,11 @@ pub enum Error {
     /// retry failed (or the link is down) and local fallback was
     /// disabled.
     DbmsUnavailable { attempts: u32, reason: String },
+    /// The multi-query scheduler declined to admit the query: `active`
+    /// queries were already running against an admission limit of
+    /// `limit`. Typed so serving front-ends can surface back-pressure
+    /// distinctly from execution failures (clients should retry later).
+    AdmissionRejected { active: usize, limit: usize },
 }
 
 impl fmt::Display for Error {
@@ -131,6 +136,13 @@ impl fmt::Display for Error {
             }
             Error::DbmsUnavailable { attempts, reason } => {
                 write!(f, "DBMS unavailable after {attempts} attempt(s): {reason}")
+            }
+            Error::AdmissionRejected { active, limit } => {
+                write!(
+                    f,
+                    "admission rejected: {active} of {limit} concurrent queries already \
+                     admitted; retry later"
+                )
             }
         }
     }

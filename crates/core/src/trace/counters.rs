@@ -169,6 +169,31 @@ counters! {
         "unparse_errors",
         "DBMS fragments whose SQL unparse failed"
     );
+    /// Queries admitted by the shared pipeline scheduler.
+    pub static QUERIES_ADMITTED = (
+        "queries_admitted",
+        "queries admitted by the multi-query scheduler"
+    );
+    /// Queries the scheduler's admission control turned away.
+    pub static QUERIES_REJECTED = (
+        "queries_rejected",
+        "queries rejected by scheduler admission control"
+    );
+    /// Pipeline-stage tasks executed by scheduler workers.
+    pub static SCHED_TASKS = (
+        "sched_tasks",
+        "pipeline-stage tasks executed by the shared worker pool"
+    );
+    /// TCP connections accepted by the serving front-end.
+    pub static SERVE_CONNECTIONS = (
+        "serve_connections",
+        "connections accepted by the tqo-serve front-end"
+    );
+    /// Requests handled by the serving front-end (all kinds).
+    pub static SERVE_REQUESTS = (
+        "serve_requests",
+        "wire requests handled by the tqo-serve front-end"
+    );
 }
 
 /// A point-in-time reading of every counter: `(name, value)` pairs in

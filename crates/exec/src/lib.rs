@@ -45,5 +45,6 @@ pub use batch::Batch;
 pub use executor::{execute, execute_logical, execute_mode, execute_row, ExecMode};
 pub use metrics::{ExecMetrics, OperatorMetrics, ReoptEvent};
 pub use parallel::{execute_parallel, WorkerPool, MORSEL_SIZE};
+pub use parallel::{QueryHandle, Scheduler, SchedulerConfig, StageGraph, SubmitOptions};
 pub use physical::{PhysicalNode, PhysicalPlan};
 pub use planner::{lower, PlannerConfig};

@@ -38,9 +38,13 @@ pub mod assemble;
 pub mod classindex;
 pub mod kernels;
 pub mod morsel;
+pub mod sched;
+pub mod stage;
 pub mod sweep;
 
 pub use morsel::{WorkerPool, MORSEL_SIZE};
+pub use sched::{QueryHandle, Scheduler, SchedulerConfig, SubmitOptions};
+pub use stage::{Stage, StageGraph};
 
 use std::sync::Arc;
 use std::time::Instant;

@@ -1,0 +1,215 @@
+//! Lowering physical plans into partition-pipeline task graphs.
+//!
+//! The multi-query scheduler ([`super::sched`]) does not execute whole
+//! plans: it executes **stages**. A stage is a maximal breaker-bounded
+//! fragment of a physical plan — the same boundaries the adaptive
+//! executor checkpoints at ([`crate::adaptive`]) — and the stage graph
+//! is the plan rewritten so each breaker subtree becomes its own
+//! runnable unit whose output downstream stages consume through a
+//! synthetic scan binding.
+//!
+//! The cut is byte-preserving by construction: a breaker fully
+//! materializes its output anyway, so executing the subtree separately
+//! and re-reading the materialized relation through `scan(__qN_stageK)`
+//! feeds every downstream operator exactly the input it would have seen
+//! inline. This is the same argument that makes an untriggered adaptive
+//! run byte-identical to a static one, and `tests/serve_stress.rs` holds
+//! the scheduler to it under concurrency.
+
+use std::sync::Arc;
+
+use tqo_core::error::Result;
+
+use crate::physical::{PhysicalNode, PhysicalPlan};
+
+/// One breaker-bounded fragment of a physical plan, executable as soon
+/// as every stage in `deps` has completed and bound its output.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Index of this stage in [`StageGraph::stages`] (topological:
+    /// dependencies always have smaller ids).
+    pub id: usize,
+    /// The fragment to execute. Dependency outputs appear as
+    /// `scan(<binding>)` leaves (see [`StageGraph::binding`]).
+    pub plan: PhysicalPlan,
+    /// Stage ids whose outputs this fragment scans.
+    pub deps: Vec<usize>,
+}
+
+/// A physical plan decomposed into pipeline stages at its breakers.
+///
+/// `stages` is in topological order; the **last** stage produces the
+/// query result. A plan with no internal breakers lowers to exactly one
+/// stage containing the whole tree.
+#[derive(Debug, Clone)]
+pub struct StageGraph {
+    /// Breaker-bounded fragments, dependencies before dependents.
+    pub stages: Vec<Stage>,
+    prefix: String,
+}
+
+/// Pipeline breakers: operators that fully materialize their output
+/// before anything downstream can consume a row. The set mirrors the
+/// adaptive executor's checkpoint sites, translated to physical nodes.
+fn is_breaker(node: &PhysicalNode) -> bool {
+    matches!(
+        node,
+        PhysicalNode::Sort { .. }
+            | PhysicalNode::Aggregate { .. }
+            | PhysicalNode::AggregateT { .. }
+            | PhysicalNode::Product { .. }
+            | PhysicalNode::ProductT { .. }
+            | PhysicalNode::DifferenceT { .. }
+            | PhysicalNode::RdupT { .. }
+            | PhysicalNode::UnionMax { .. }
+            | PhysicalNode::UnionT { .. }
+            | PhysicalNode::Coalesce { .. }
+    )
+}
+
+impl StageGraph {
+    /// Decompose `plan` into breaker-bounded stages. `prefix` namespaces
+    /// the inter-stage bindings (`{prefix}stage{id}`) so concurrent
+    /// queries sharing one scheduler never collide in the environment or
+    /// its columnar cache — the scheduler passes a per-query prefix.
+    ///
+    /// Estimates are not threaded through to the fragments (stage
+    /// operators report no estimates); results are unaffected.
+    pub fn lower(plan: &PhysicalPlan, prefix: &str) -> Result<StageGraph> {
+        let mut graph = StageGraph {
+            stages: Vec::new(),
+            prefix: prefix.to_owned(),
+        };
+        let (root, deps) = graph.cut(&plan.root)?;
+        let id = graph.stages.len();
+        graph.stages.push(Stage {
+            id,
+            plan: PhysicalPlan {
+                root,
+                estimates: Vec::new(),
+            },
+            deps,
+        });
+        Ok(graph)
+    }
+
+    /// The environment binding stage `id`'s output is published under.
+    pub fn binding(&self, id: usize) -> String {
+        format!("{}stage{id}", self.prefix)
+    }
+
+    /// Recursively rebuild `node` with breaker subtrees cut into stages;
+    /// returns the rewritten node plus the stage ids the rewritten
+    /// fragment scans.
+    fn cut(&mut self, node: &Arc<PhysicalNode>) -> Result<(Arc<PhysicalNode>, Vec<usize>)> {
+        let mut deps = Vec::new();
+        let children = node.children();
+        let rebuilt = if children.is_empty() {
+            Arc::clone(node)
+        } else {
+            let mut new_children = Vec::with_capacity(children.len());
+            let mut changed = false;
+            for c in children {
+                let (nc, d) = self.cut(c)?;
+                changed |= !Arc::ptr_eq(&nc, c);
+                new_children.push(nc);
+                deps.extend(d);
+            }
+            if changed {
+                Arc::new(node.with_children(new_children)?)
+            } else {
+                Arc::clone(node)
+            }
+        };
+        if is_breaker(node) {
+            let id = self.stages.len();
+            self.stages.push(Stage {
+                id,
+                plan: PhysicalPlan {
+                    root: rebuilt,
+                    estimates: Vec::new(),
+                },
+                deps,
+            });
+            Ok((
+                Arc::new(PhysicalNode::Scan {
+                    name: self.binding(id),
+                }),
+                vec![id],
+            ))
+        } else {
+            Ok((rebuilt, deps))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqo_core::expr::Expr;
+    use tqo_core::sortspec::Order;
+
+    fn scan(name: &str) -> Arc<PhysicalNode> {
+        Arc::new(PhysicalNode::Scan { name: name.into() })
+    }
+
+    #[test]
+    fn pipeline_without_breakers_is_one_stage() {
+        let plan = PhysicalPlan::new(PhysicalNode::Select {
+            input: scan("R"),
+            predicate: Expr::eq(Expr::col("E"), Expr::lit("a")),
+        });
+        let g = StageGraph::lower(&plan, "__q0_").unwrap();
+        assert_eq!(g.stages.len(), 1);
+        assert!(g.stages[0].deps.is_empty());
+        assert_eq!(g.stages[0].plan.root, plan.root);
+    }
+
+    #[test]
+    fn breakers_cut_into_dependent_stages() {
+        // sort(select(product(R, S))): product and sort are breakers.
+        let plan = PhysicalPlan::new(PhysicalNode::Sort {
+            input: Arc::new(PhysicalNode::Select {
+                input: Arc::new(PhysicalNode::Product {
+                    left: scan("R"),
+                    right: scan("S"),
+                }),
+                predicate: Expr::eq(Expr::col("E"), Expr::lit("a")),
+            }),
+            order: Order::asc(&["E"]),
+        });
+        let g = StageGraph::lower(&plan, "__q7_").unwrap();
+        assert_eq!(g.stages.len(), 3);
+        // Stage 0: the product subtree, no deps.
+        assert_eq!(g.stages[0].plan.root.label(), "product");
+        assert!(g.stages[0].deps.is_empty());
+        // Stage 1: sort(select(scan(__q7_stage0))).
+        assert_eq!(g.stages[1].deps, vec![0]);
+        assert_eq!(g.stages[1].plan.root.label(), "sort[stable]");
+        let inner = &g.stages[1].plan.root.children()[0];
+        assert_eq!(inner.children()[0].label(), "scan(__q7_stage0)");
+        // Final stage: just re-reads the root breaker's binding.
+        assert_eq!(g.stages[2].deps, vec![1]);
+        assert_eq!(g.stages[2].plan.root.label(), "scan(__q7_stage1)");
+    }
+
+    #[test]
+    fn binary_breakers_collect_deps_from_both_sides() {
+        // union-max over two sorted inputs: three breakers below the root.
+        let plan = PhysicalPlan::new(PhysicalNode::UnionMax {
+            left: Arc::new(PhysicalNode::Sort {
+                input: scan("R"),
+                order: Order::asc(&["E"]),
+            }),
+            right: Arc::new(PhysicalNode::Sort {
+                input: scan("S"),
+                order: Order::asc(&["E"]),
+            }),
+        });
+        let g = StageGraph::lower(&plan, "__q1_").unwrap();
+        assert_eq!(g.stages.len(), 4);
+        assert_eq!(g.stages[2].deps, vec![0, 1]);
+        assert_eq!(g.stages[2].plan.root.label(), "union-max");
+        assert_eq!(g.stages[3].deps, vec![2]);
+    }
+}

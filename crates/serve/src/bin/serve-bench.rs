@@ -1,0 +1,190 @@
+//! Closed-loop serving benchmark: hammers an in-process server with a
+//! mixed read+mutation workload at 1, 8, and 64 concurrent clients and
+//! writes `BENCH_serve.json` (sustained QPS, p50/p99 latency, error
+//! counts per level).
+//!
+//! Each client thread is closed-loop: connect once, then issue requests
+//! back to back for the measured window — ~87% queries drawn round-robin
+//! from a fixed SQL pool, ~13% sequenced insert+delete pairs against a
+//! scratch `AUDIT` table — recording one latency sample per request.
+//! Admission rejections are retried (that is the protocol's contract:
+//! back-pressure, not failure) and counted separately.
+//!
+//! On a single-core host the QPS across levels measures scheduling
+//! overhead, not parallel speedup — `host_parallelism` is committed next
+//! to the numbers so they read correctly.
+//!
+//! Usage: `serve-bench [output-path]`; `SERVE_BENCH_SECS` overrides the
+//! ~1.5 s measured window per level.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tqo_core::error::Error;
+use tqo_core::time::Period;
+use tqo_core::value::Value;
+use tqo_exec::SchedulerConfig;
+use tqo_serve::{serve, Client, ServerConfig};
+use tqo_storage::paper;
+
+const LEVELS: &[usize] = &[1, 8, 64];
+
+const QUERIES: &[&str] = &[
+    "SELECT EmpName FROM EMPLOYEE",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE",
+    "SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE T1 >= 2 AND Dept = 'Sales'",
+    "SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+    "VALIDTIME SELECT EmpName FROM AUDIT WHERE Dept = 'Sales'",
+    "SELECT EmpName, Dept FROM EMPLOYEE ORDER BY EmpName, Dept DESC",
+];
+
+/// One client thread's tallies.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    ops: u64,
+    mutations: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn client_loop(addr: std::net::SocketAddr, thread: usize, stop: &AtomicBool) -> Tally {
+    let mut tally = Tally::default();
+    let Ok(mut client) = Client::connect(addr) else {
+        tally.errors += 1;
+        return tally;
+    };
+    let who = format!("bench{thread}");
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        let started = Instant::now();
+        // Every 8th op is a mutation pair; the rest walk the query pool.
+        let result = if i % 8 == 7 {
+            tally.mutations += 1;
+            client
+                .insert(
+                    "AUDIT",
+                    vec![Value::from(who.as_str()), Value::from("Bench")],
+                    Period::of(1, 5),
+                )
+                .and_then(|()| {
+                    client.delete(
+                        "AUDIT",
+                        "EmpName",
+                        Value::from(who.as_str()),
+                        Period::of(1, 5),
+                    )
+                })
+        } else {
+            client.query(QUERIES[i % QUERIES.len()]).map(|_| ())
+        };
+        match result {
+            Ok(()) => {}
+            Err(Error::AdmissionRejected { .. }) => {
+                tally.rejected += 1;
+                continue; // Back-pressure: retry without counting the op.
+            }
+            Err(_) => tally.errors += 1,
+        }
+        tally
+            .latencies_us
+            .push(started.elapsed().as_micros() as u64);
+        tally.ops += 1;
+        i += 1;
+    }
+    tally
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let secs: f64 = std::env::var("SERVE_BENCH_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.5);
+
+    let catalog = paper::catalog();
+    catalog
+        .register("AUDIT", paper::employee())
+        .expect("register scratch table");
+    let scheduler = SchedulerConfig::default();
+    let workers = scheduler.workers;
+    let mut server = serve(
+        catalog,
+        ServerConfig {
+            scheduler,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start bench server");
+    let addr = server.addr();
+
+    let mut levels_json = String::new();
+    for (li, &clients) in LEVELS.iter().enumerate() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let threads: Vec<_> = (0..clients)
+            .map(|t| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || client_loop(addr, t, &stop))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        let tallies: Vec<Tally> = threads
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        let elapsed = started.elapsed().as_secs_f64();
+
+        let mut latencies: Vec<u64> = tallies
+            .iter()
+            .flat_map(|t| t.latencies_us.iter().copied())
+            .collect();
+        latencies.sort_unstable();
+        let ops: u64 = tallies.iter().map(|t| t.ops).sum();
+        let mutations: u64 = tallies.iter().map(|t| t.mutations).sum();
+        let rejected: u64 = tallies.iter().map(|t| t.rejected).sum();
+        let errors: u64 = tallies.iter().map(|t| t.errors).sum();
+        let qps = ops as f64 / elapsed;
+        let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+
+        println!(
+            "serve-bench: {clients:>2} client(s): {ops} ops in {elapsed:.2}s \
+             -> {qps:.0} qps, p50 {p50} us, p99 {p99} us \
+             ({mutations} mutation pairs, {rejected} rejected, {errors} errors)"
+        );
+        if li > 0 {
+            levels_json.push_str(",\n");
+        }
+        write!(
+            levels_json,
+            "    {{\"clients\": {clients}, \"ops\": {ops}, \"mutation_pairs\": {mutations}, \
+             \"qps\": {qps:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+             \"admission_rejected\": {rejected}, \"errors\": {errors}}}"
+        )
+        .expect("format level");
+    }
+    server.stop();
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"host_parallelism\": {host},\n  \
+         \"scheduler_workers\": {workers},\n  \"window_secs\": {secs},\n  \
+         \"levels\": [\n{levels_json}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_serve.json");
+    println!("serve-bench: wrote {out_path}");
+}

@@ -1,0 +1,44 @@
+//! Stand-alone serving front-end over the paper catalog.
+//!
+//! Usage: `tqo-serve [addr] [workers] [max_queries]`
+//!
+//! Defaults: `127.0.0.1:7878`, host parallelism, 64 queries. Prints the
+//! bound address (tests and scripts parse the `listening on` line) and
+//! runs until a client sends a shutdown request or the process is
+//! killed. The served catalog is Figure 1's EMPLOYEE/PROJECT.
+
+use tqo_exec::SchedulerConfig;
+use tqo_serve::{serve, ServerConfig};
+use tqo_storage::paper;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7878".into());
+    let mut scheduler = SchedulerConfig::default();
+    if let Some(w) = args.next().and_then(|s| s.parse().ok()) {
+        scheduler.workers = w;
+    }
+    if let Some(m) = args.next().and_then(|s| s.parse().ok()) {
+        scheduler.max_queries = m;
+    }
+
+    let server = match serve(
+        paper::catalog(),
+        ServerConfig {
+            addr,
+            scheduler,
+            faults: None,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tqo-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("tqo-serve: listening on {}", server.addr());
+    // Blocks until a client shutdown request flips the flag and the
+    // accept loop drains every session.
+    server.wait();
+    println!("tqo-serve: drained, bye");
+}

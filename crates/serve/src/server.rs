@@ -1,0 +1,352 @@
+//! The concurrent TCP server: sessions, dispatch, graceful shutdown.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use tqo_core::context::QueryContext;
+use tqo_core::error::{Error, Result};
+use tqo_core::expr::Expr;
+use tqo_core::trace::counters;
+use tqo_exec::{lower, PlannerConfig, Scheduler, SchedulerConfig, SubmitOptions};
+use tqo_storage::Catalog;
+use tqo_stratum::fault::FaultInjector;
+use tqo_stratum::FaultConfig;
+
+use crate::protocol::{
+    decode_request, encode_response, encode_response_faulted, write_frame, Request, Response,
+};
+
+/// How often blocked reads and the accept loop re-check the shutdown
+/// flag. Purely a drain-latency knob; correctness never depends on it.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Scheduler sizing shared by every connection's queries.
+    pub scheduler: SchedulerConfig,
+    /// Seeded wire faults injected into responses (chaos legs only):
+    /// `should_error` fails a query with an injected typed error,
+    /// `should_truncate` mutilates the row payload inside an intact
+    /// frame.
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+            faults: None,
+        }
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::stop`]) stops
+/// accepting, drains in-flight sessions, and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+/// Everything a session thread needs, shared across connections.
+struct Inner {
+    catalog: Catalog,
+    scheduler: Scheduler,
+    faults: Option<FaultInjector>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Bind and start serving `catalog` — returns once the listener is
+/// accepting. Queries execute through the server's own multi-query
+/// [`Scheduler`]; mutations go through the catalog's sequenced
+/// primitives. Results are byte-identical to serial single-query runs
+/// (ARCHITECTURE invariant 16).
+pub fn serve(catalog: Catalog, config: ServerConfig) -> Result<Server> {
+    let listener = TcpListener::bind(&config.addr).map_err(io_err)?;
+    listener.set_nonblocking(true).map_err(io_err)?;
+    let addr = listener.local_addr().map_err(io_err)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let inner = Arc::new(Inner {
+        catalog,
+        scheduler: Scheduler::new(config.scheduler.clone()),
+        faults: config.faults.map(FaultInjector::new),
+        shutdown: Arc::clone(&shutdown),
+    });
+    let accept = thread::Builder::new()
+        .name("tqo-serve-accept".into())
+        .spawn(move || accept_loop(listener, inner))
+        .map_err(|e| Error::Storage {
+            reason: format!("serve: spawn accept loop: {e}"),
+        })?;
+    Ok(Server {
+        addr,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+impl Server {
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the server exits on its own — i.e. until a client's
+    /// shutdown request flips the flag (the stand-alone binary's run
+    /// loop). Unlike [`Server::stop`], this does not initiate shutdown.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop accepting, drain in-flight sessions, join every thread.
+    /// Idempotent.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::Storage {
+        reason: format!("serve io: {e}"),
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let sessions: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::default();
+    let mut next_session = 0u64;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counters::SERVE_CONNECTIONS.incr();
+                let inner = Arc::clone(&inner);
+                let id = next_session;
+                next_session += 1;
+                let handle = thread::Builder::new()
+                    .name(format!("tqo-serve-session-{id}"))
+                    .spawn(move || session(stream, &inner))
+                    .expect("spawn session thread");
+                sessions.lock().expect("session registry").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+    // Drain: sessions observe the flag at their next read poll and
+    // return; then the shared scheduler finishes resident queries.
+    for h in sessions.lock().expect("session registry").drain(..) {
+        let _ = h.join();
+    }
+    inner.scheduler.shutdown();
+}
+
+/// One connection: sequential request/response frames until EOF, a fatal
+/// transport error, or server shutdown.
+fn session(stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    loop {
+        let payload = match read_frame(&mut stream, &inner.shutdown) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // EOF or shutdown drain.
+            Err(_) => return,   // Transport failure; session over.
+        };
+        counters::SERVE_REQUESTS.incr();
+        let (resp, shutdown_after) = match decode_request(payload) {
+            Ok(Request::Shutdown) => (Response::Done, true),
+            Ok(req) => (handle(req, inner), false),
+            // A malformed request still gets a framed, typed answer.
+            Err(e) => (Response::Fail(e), false),
+        };
+        let frame = encode(resp, inner);
+        if write_frame(&mut stream, &frame).is_err() {
+            return;
+        }
+        if shutdown_after {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Encode a response, routing `Rows` through the fault injector when
+/// one is configured.
+fn encode(resp: Response, inner: &Inner) -> Bytes {
+    match (&resp, &inner.faults) {
+        (Response::Rows(_), Some(f)) if f.should_truncate() => {
+            counters::FAULTS_INJECTED.incr();
+            encode_response_faulted(&resp, |b| f.truncate(b))
+        }
+        _ => encode_response(&resp),
+    }
+}
+
+/// Execute one request. Every failure path returns a typed
+/// [`Response::Fail`]; nothing here panics the session.
+fn handle(req: Request, inner: &Inner) -> Response {
+    match run(req, inner) {
+        Ok(resp) => resp,
+        Err(e) => Response::Fail(e),
+    }
+}
+
+fn run(req: Request, inner: &Inner) -> Result<Response> {
+    match req {
+        Request::Ping => Ok(Response::Pong),
+        Request::Shutdown => Ok(Response::Done), // Handled in `session`.
+        Request::Query {
+            sql,
+            mode,
+            timeout_ms,
+            memory_limit,
+            cancel_polls,
+        } => {
+            // Injected pre-execution fault: the same transient shape the
+            // stratum link produces, surfaced typed to the client.
+            if let Some(f) = &inner.faults {
+                if f.should_error() {
+                    counters::FAULTS_INJECTED.incr();
+                    return Err(Error::Storage {
+                        reason: "injected serve fault (transient)".into(),
+                    });
+                }
+            }
+            let mut ctx = QueryContext::new();
+            if timeout_ms > 0 {
+                ctx = ctx.with_timeout(Duration::from_millis(timeout_ms));
+            }
+            if memory_limit > 0 {
+                ctx = ctx.with_memory_limit(memory_limit as usize);
+            }
+            if cancel_polls > 0 {
+                ctx = ctx.with_cancel_after(cancel_polls);
+            }
+            let logical = tqo_sql::compile(&sql, &inner.catalog)?;
+            let physical = lower(
+                &logical,
+                PlannerConfig {
+                    mode,
+                    ..PlannerConfig::default()
+                },
+            )?;
+            // Snapshot the catalog at admission: the query sees a
+            // consistent environment however mutations interleave.
+            let env = inner.catalog.env();
+            let (rows, _metrics) = inner.scheduler.run(
+                &physical,
+                &env,
+                SubmitOptions {
+                    ctx,
+                    mode,
+                    ..SubmitOptions::default()
+                },
+            )?;
+            Ok(Response::Rows(rows))
+        }
+        Request::Insert {
+            table,
+            values,
+            period,
+        } => {
+            inner
+                .catalog
+                .with_table_mut(&table, |t| t.insert_sequenced(values, period))?;
+            Ok(Response::Done)
+        }
+        Request::Delete {
+            table,
+            column,
+            value,
+            period,
+        } => {
+            let predicate = Expr::eq(Expr::col(column), Expr::lit(value));
+            inner
+                .catalog
+                .with_table_mut(&table, |t| t.delete_sequenced(&predicate, period))?;
+            Ok(Response::Done)
+        }
+    }
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF before a
+/// frame starts or on shutdown drain; short reads inside a frame keep
+/// accumulating across timeout polls.
+fn read_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> std::io::Result<Option<Bytes>> {
+    let mut header = [0u8; 4];
+    if !read_exact_polling(stream, &mut header, shutdown, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    if !read_exact_polling(stream, &mut payload, shutdown, false)? {
+        return Ok(None);
+    }
+    Ok(Some(Bytes::from(payload)))
+}
+
+/// Fill `buf`, polling the shutdown flag between timeouts. Returns
+/// `false` on EOF-at-start (`allow_eof`) or shutdown with nothing read.
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    allow_eof: bool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if allow_eof && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) && filled == 0 {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}

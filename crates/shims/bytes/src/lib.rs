@@ -66,6 +66,7 @@ pub trait Buf {
     fn remaining(&self) -> usize;
     fn get_u8(&mut self) -> u8;
     fn get_u32(&mut self) -> u32;
+    fn get_u64(&mut self) -> u64;
     fn get_i64(&mut self) -> i64;
     fn get_f64(&mut self) -> f64;
     fn copy_to_bytes(&mut self, len: usize) -> Bytes;
@@ -82,6 +83,10 @@ impl Buf for Bytes {
 
     fn get_u32(&mut self) -> u32 {
         u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
     }
 
     fn get_i64(&mut self) -> i64 {
@@ -127,6 +132,7 @@ impl BytesMut {
 pub trait BufMut {
     fn put_u8(&mut self, v: u8);
     fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
     fn put_i64(&mut self, v: i64);
     fn put_f64(&mut self, v: f64);
     fn put_slice(&mut self, src: &[u8]);
@@ -138,6 +144,10 @@ impl BufMut for BytesMut {
     }
 
     fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
         self.data.extend_from_slice(&v.to_be_bytes());
     }
 

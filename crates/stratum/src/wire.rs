@@ -13,7 +13,10 @@ use tqo_core::schema::Schema;
 use tqo_core::tuple::Tuple;
 use tqo_core::value::Value;
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+/// Append one value's tagged binary form to `buf`. Public so other wire
+/// speakers (the serving front-end's request/response protocol) encode
+/// values identically to transfers.
+pub fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Bool(b) => {
@@ -40,7 +43,9 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut Bytes) -> Result<Value> {
+/// Decode one value from `buf` (inverse of [`put_value`]); truncations
+/// and unknown tags surface as typed `Storage` errors.
+pub fn get_value(buf: &mut Bytes) -> Result<Value> {
     if buf.remaining() < 1 {
         return Err(Error::Storage {
             reason: "wire: truncated value tag".into(),

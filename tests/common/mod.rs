@@ -289,3 +289,48 @@ pub fn probes(relations: &[&Relation]) -> Vec<i64> {
     }
     out
 }
+
+/// The engines-agree SQL pool over the paper catalog: every construct
+/// the front end supports, conventional and VALIDTIME. The serving
+/// stress tests replay this exact pool concurrently and hold each
+/// response to byte-identity with its serial run.
+pub const SQL_POOL: &[&str] = &[
+    "SELECT EmpName FROM EMPLOYEE",
+    "SELECT DISTINCT EmpName FROM EMPLOYEE",
+    "SELECT EmpName, Dept FROM EMPLOYEE ORDER BY EmpName, Dept DESC",
+    "SELECT Dept, COUNT(*) AS n, MIN(T1) AS lo FROM EMPLOYEE GROUP BY Dept",
+    "SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE T1 >= 2 AND Dept = 'Sales'",
+    "VALIDTIME SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept",
+    "VALIDTIME SELECT e.EmpName FROM EMPLOYEE e, PROJECT p WHERE e.EmpName = p.EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE COALESCE ORDER BY EmpName",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+     EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+     COALESCE ORDER BY EmpName",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION ALL \
+     VALIDTIME SELECT EmpName FROM PROJECT",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE UNION \
+     VALIDTIME SELECT EmpName FROM PROJECT ORDER BY EmpName",
+    "SELECT EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT",
+    // HAVING, subqueries, outer joins, LIMIT/OFFSET.
+    "SELECT Dept, COUNT(*) AS n FROM EMPLOYEE GROUP BY Dept HAVING n > 2",
+    "VALIDTIME SELECT Dept FROM EMPLOYEE GROUP BY Dept HAVING COUNT(*) >= 2",
+    "SELECT EmpName, Dept FROM EMPLOYEE \
+     WHERE EmpName IN (SELECT EmpName FROM PROJECT WHERE Prj = 'P1')",
+    "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+     WHERE EmpName NOT IN (VALIDTIME SELECT EmpName FROM PROJECT) \
+     COALESCE ORDER BY EmpName",
+    "SELECT EmpName, Dept FROM EMPLOYEE e \
+     WHERE NOT EXISTS (SELECT Prj FROM PROJECT p \
+                       WHERE p.EmpName = e.EmpName AND p.Prj = 'P1')",
+    "SELECT e.EmpName, p.Prj FROM EMPLOYEE e \
+     INNER JOIN PROJECT p ON e.EmpName = p.EmpName",
+    "VALIDTIME SELECT e.EmpName AS EmpName, p.Prj AS Prj FROM EMPLOYEE e \
+     LEFT JOIN PROJECT p ON e.EmpName = p.EmpName",
+    "SELECT Dept, p.Prj AS Prj FROM EMPLOYEE e \
+     RIGHT JOIN PROJECT p ON e.EmpName = p.EmpName",
+    "SELECT EmpName FROM EMPLOYEE ORDER BY EmpName LIMIT 3 OFFSET 1",
+    "VALIDTIME SELECT EmpName FROM EMPLOYEE ORDER BY EmpName, T1 LIMIT 4",
+];

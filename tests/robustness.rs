@@ -518,3 +518,124 @@ fn governance_outcomes_are_always_typed() {
         }
     }
 }
+
+/// Serving leg (ARCHITECTURE invariant 16): governance trips (deadline,
+/// memory budget, deterministic cancellation) and seeded wire faults
+/// through the TCP front-end, under 4-client concurrent load, only ever
+/// produce the byte-identical clean answer or a typed error — and the
+/// serving pool stays fully reusable afterwards. Swept across fault
+/// seeds; `FAULTS=1` widens the sweep.
+#[test]
+fn serving_governance_and_faults_stay_typed_under_load() {
+    use std::sync::Arc;
+    use tqo_exec::SchedulerConfig;
+    use tqo_serve::{serve, Client, QueryOpts, ServerConfig};
+
+    // Serial oracle through the exact pipeline the server runs.
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let oracle: Arc<Vec<_>> = Arc::new(
+        QUERIES
+            .iter()
+            .map(|sql| {
+                let plan = tqo_sql::compile(sql, &catalog).unwrap();
+                execute_logical(&plan, &env, PlannerConfig::default())
+                    .unwrap()
+                    .0
+            })
+            .collect(),
+    );
+
+    // Per-request governance variants: clean, starved budget, instant
+    // cancel, and an expired deadline.
+    fn variants() -> [QueryOpts; 4] {
+        [
+            QueryOpts::default(),
+            QueryOpts {
+                memory_limit: 1,
+                ..QueryOpts::default()
+            },
+            QueryOpts {
+                cancel_polls: 1,
+                ..QueryOpts::default()
+            },
+            QueryOpts {
+                timeout_ms: 1,
+                ..QueryOpts::default()
+            },
+        ]
+    }
+
+    for seed in fault_seeds() {
+        let server = serve(
+            paper::catalog(),
+            ServerConfig {
+                scheduler: SchedulerConfig {
+                    workers: 2,
+                    max_queries: 64,
+                },
+                faults: Some(FaultConfig::with_seed(seed)),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start serving front-end");
+        let addr = server.addr();
+
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let oracle = Arc::clone(&oracle);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for (i, sql) in QUERIES.iter().enumerate() {
+                        for (v, opts) in variants().into_iter().enumerate() {
+                            match client.query_with(sql, opts) {
+                                // Governance and faults gate *whether* the
+                                // answer arrives, never *what* it is.
+                                Ok(rel) => assert_eq!(
+                                    rel, oracle[i],
+                                    "seed {seed} thread {t} variant {v}: {sql} \
+                                     diverged under serving governance"
+                                ),
+                                Err(e) => assert!(
+                                    is_governance_error(&e)
+                                        || matches!(
+                                            &e,
+                                            Error::Storage { .. } | Error::AdmissionRejected { .. }
+                                        ),
+                                    "seed {seed} thread {t} variant {v}: \
+                                     untyped serving failure on {sql}: {e:?}"
+                                ),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in threads {
+            h.join().expect("serving client thread");
+        }
+
+        // Reusable: a fresh connection retries each query through the
+        // still-active injector until a clean, byte-identical answer.
+        let mut client = Client::connect(addr).expect("reconnect");
+        for (i, sql) in QUERIES.iter().enumerate() {
+            let mut attempts = 0;
+            let rel = loop {
+                attempts += 1;
+                assert!(
+                    attempts <= 200,
+                    "seed {seed}: {sql} exhausted retries after governance trips"
+                );
+                match client.query(sql) {
+                    Ok(rel) => break rel,
+                    Err(Error::Storage { .. }) | Err(Error::AdmissionRejected { .. }) => continue,
+                    Err(e) => panic!("seed {seed}: unexpected post-load error {e:?}"),
+                }
+            };
+            assert_eq!(
+                rel, oracle[i],
+                "seed {seed}: serving pool not reusable after governance trips"
+            );
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Scheduler fairness and admission suite.
+//!
+//! Drives the multi-query scheduler in its deterministic mode
+//! (`workers: 0` + [`Scheduler::step`], which runs exactly one stage
+//! task per call and reports which query it served) so every scheduling
+//! decision is observable and reproducible: the service metric is
+//! rows-based, not wall-clock, so pick order is a pure function of the
+//! submitted plans.
+//!
+//! Covered contracts from the serving ISSUE:
+//! - admission control rejects the (max+1)-th query with the *typed*
+//!   [`Error::AdmissionRejected`] carrying the live census, and the slot
+//!   comes back once a resident query is waited out;
+//! - a long-running query cannot starve a short one: the short query's
+//!   wait is bounded by its own stage count plus one tie-breaking pick
+//!   per resident query, not by the long query's remaining work;
+//! - weighted shares: a higher-weight query overtakes an identical
+//!   lower-weight one submitted earlier;
+//! - per-query cancellation kills only its own tasks — siblings finish
+//!   byte-identical to serial and the pool stays usable.
+
+mod common;
+
+use tqo_core::context::QueryContext;
+use tqo_core::error::Error;
+use tqo_core::relation::Relation;
+use tqo_exec::{
+    execute_mode, lower, ExecMode, PlannerConfig, Scheduler, SchedulerConfig, StageGraph,
+    SubmitOptions,
+};
+use tqo_storage::{paper, Catalog};
+
+/// A multi-breaker query (dedup, difference, coalesce, sort) — the
+/// "long scan" role: it lowers to several stage tasks.
+const HEAVY: &str = "VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE \
+     EXCEPT VALIDTIME SELECT DISTINCT EmpName FROM PROJECT \
+     COALESCE ORDER BY EmpName";
+
+/// A small query with one breaker — the "short query" role.
+const SHORT: &str = "SELECT DISTINCT EmpName FROM EMPLOYEE";
+
+fn plan(catalog: &Catalog, sql: &str) -> tqo_exec::PhysicalPlan {
+    let logical = tqo_sql::compile(sql, catalog).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    lower(&logical, PlannerConfig::default()).unwrap_or_else(|e| panic!("{sql}: {e}"))
+}
+
+fn serial(catalog: &Catalog, sql: &str) -> Relation {
+    let physical = plan(catalog, sql);
+    execute_mode(&physical, &catalog.env(), ExecMode::Batch)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+        .0
+}
+
+fn stepper() -> Scheduler {
+    Scheduler::new(SchedulerConfig {
+        workers: 0,
+        max_queries: 64,
+    })
+}
+
+#[test]
+fn admission_rejection_is_typed_and_slot_recovers() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let physical = plan(&catalog, SHORT);
+    let scheduler = Scheduler::new(SchedulerConfig {
+        workers: 0,
+        max_queries: 2,
+    });
+
+    let a = scheduler
+        .submit(&physical, &env, SubmitOptions::default())
+        .expect("first admit");
+    let b = scheduler
+        .submit(&physical, &env, SubmitOptions::default())
+        .expect("second admit");
+    // The third submission must fail with the typed census, not a
+    // generic error and not a block.
+    match scheduler.submit(&physical, &env, SubmitOptions::default()) {
+        Err(Error::AdmissionRejected { active, limit }) => {
+            assert_eq!((active, limit), (2, 2));
+        }
+        other => panic!("expected typed admission rejection, got {other:?}"),
+    }
+
+    // Drain one query; its slot must come back.
+    while !a.is_finished() {
+        scheduler.step();
+    }
+    let expected = serial(&catalog, SHORT);
+    assert_eq!(a.wait().expect("query a").0, expected);
+    let c = scheduler
+        .submit(&physical, &env, SubmitOptions::default())
+        .expect("slot reclaimed after wait");
+    while !b.is_finished() || !c.is_finished() {
+        scheduler.step();
+    }
+    assert_eq!(b.wait().expect("query b").0, expected);
+    assert_eq!(c.wait().expect("query c").0, expected);
+}
+
+#[test]
+fn short_query_wait_is_bounded_under_long_load() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let heavy = plan(&catalog, HEAVY);
+    let short = plan(&catalog, SHORT);
+    let heavy_stages = StageGraph::lower(&heavy, "__probe_")
+        .expect("lower heavy")
+        .stages
+        .len();
+    let short_stages = StageGraph::lower(&short, "__probe_")
+        .expect("lower short")
+        .stages
+        .len();
+    assert!(
+        heavy_stages >= 3,
+        "HEAVY must be multi-stage, got {heavy_stages}"
+    );
+
+    let scheduler = stepper();
+    const LONG_QUERIES: usize = 3;
+    let longs: Vec<_> = (0..LONG_QUERIES)
+        .map(|_| {
+            scheduler
+                .submit(&heavy, &env, SubmitOptions::default())
+                .expect("admit long query")
+        })
+        .collect();
+    // Let the long queries accrue some service before the short one
+    // arrives — the starvation-prone regime for a FIFO queue.
+    for _ in 0..LONG_QUERIES {
+        scheduler.step().expect("long work available");
+    }
+
+    let handle = scheduler
+        .submit(&short, &env, SubmitOptions::default())
+        .expect("admit short query");
+    let remaining_long = LONG_QUERIES * heavy_stages - LONG_QUERIES;
+    // Fair-share bound: the short query needs `short_stages` tasks of
+    // its own and can lose at most one tie-break pick to each resident
+    // query (they all sit at the entry vtime floor); FIFO would instead
+    // make it wait out all remaining long work.
+    let bound = short_stages + LONG_QUERIES + 1;
+    assert!(
+        remaining_long > bound,
+        "test not meaningful: {remaining_long} long tasks vs bound {bound}"
+    );
+    let mut steps = 0;
+    while !handle.is_finished() {
+        scheduler.step().expect("work available");
+        steps += 1;
+        assert!(
+            steps <= bound,
+            "short query starved: {steps} picks and counting \
+             (bound {bound}, {remaining_long} long tasks outstanding)"
+        );
+    }
+    assert_eq!(
+        handle.wait().expect("short query").0,
+        serial(&catalog, SHORT)
+    );
+
+    // The long queries still finish, byte-identical to serial.
+    while scheduler.step().is_some() {}
+    let expected = serial(&catalog, HEAVY);
+    for h in longs {
+        assert_eq!(h.wait().expect("long query").0, expected);
+    }
+}
+
+#[test]
+fn higher_weight_query_overtakes_equal_plan() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let heavy = plan(&catalog, HEAVY);
+    let scheduler = stepper();
+
+    // Submit the light query FIRST so id-order tie-breaking favours it;
+    // only its 4x weight can let the second query finish first.
+    let light = scheduler
+        .submit(
+            &heavy,
+            &env,
+            SubmitOptions {
+                weight: 1.0,
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admit light");
+    let favoured = scheduler
+        .submit(
+            &heavy,
+            &env,
+            SubmitOptions {
+                weight: 4.0,
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admit favoured");
+
+    let mut winner = None;
+    while scheduler.step().is_some() {
+        if winner.is_none() {
+            if favoured.is_finished() {
+                winner = Some("favoured");
+            } else if light.is_finished() {
+                winner = Some("light");
+            }
+        }
+    }
+    assert_eq!(
+        winner,
+        Some("favoured"),
+        "weight-4 query should overtake the earlier weight-1 twin"
+    );
+    let expected = serial(&catalog, HEAVY);
+    assert_eq!(favoured.wait().expect("favoured").0, expected);
+    assert_eq!(light.wait().expect("light").0, expected);
+}
+
+#[test]
+fn cancellation_kills_only_its_own_tasks() {
+    let catalog = paper::catalog();
+    let env = catalog.env();
+    let heavy = plan(&catalog, HEAVY);
+    let scheduler = stepper();
+
+    let victim = scheduler
+        .submit(
+            &heavy,
+            &env,
+            SubmitOptions {
+                ctx: QueryContext::new(),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admit victim");
+    let bystander = scheduler
+        .submit(&heavy, &env, SubmitOptions::default())
+        .expect("admit bystander");
+
+    scheduler.step().expect("first task");
+    victim.cancel();
+    while scheduler.step().is_some() {}
+
+    // The victim dies with the typed cancellation error; the bystander —
+    // same plan, same pool, in flight at the same time — is untouched.
+    match victim.wait() {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled for the victim, got {other:?}"),
+    }
+    assert_eq!(
+        bystander.wait().expect("bystander").0,
+        serial(&catalog, HEAVY),
+        "cancellation bled into a sibling query"
+    );
+
+    // The pool is reusable after the cancellation.
+    let again = scheduler
+        .submit(&heavy, &env, SubmitOptions::default())
+        .expect("admit after cancellation");
+    while !again.is_finished() {
+        scheduler.step();
+    }
+    assert_eq!(
+        again.wait().expect("post-cancel query").0,
+        serial(&catalog, HEAVY)
+    );
+}

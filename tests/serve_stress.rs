@@ -1,0 +1,357 @@
+//! Serving stress suite: the concurrent oracle for ARCHITECTURE
+//! invariant 16 — **concurrency never changes results, only latency**.
+//!
+//! Eight client threads replay the engines-agree SQL pool through the
+//! multi-query scheduler and the TCP front-end while mutations churn a
+//! scratch table, and every single response is held to byte-identity
+//! with its serial single-query run. A second leg seeds wire faults and
+//! deterministic cancellations mid-load and asserts the pool stays
+//! typed-error-clean and fully reusable afterwards.
+//!
+//! CI runs this suite with `--test-threads=1`: each test owns its
+//! server, port, and scheduler, and the assertions are about *internal*
+//! concurrency, not test-runner concurrency.
+
+mod common;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use tqo_core::error::Error;
+use tqo_core::relation::Relation;
+use tqo_core::time::Period;
+use tqo_core::value::Value;
+use tqo_exec::{execute_logical, ExecMode, PlannerConfig, SchedulerConfig};
+use tqo_serve::{serve, Client, QueryOpts, Server, ServerConfig};
+use tqo_storage::{paper, Catalog};
+use tqo_stratum::FaultConfig;
+
+/// Client thread count for every concurrent leg (the ISSUE's oracle
+/// width).
+const CLIENTS: usize = 8;
+
+/// Engines the client threads cycle through; each response is compared
+/// against the serial oracle computed with the *same* engine.
+const MODES: &[ExecMode] = &[
+    ExecMode::Batch,
+    ExecMode::Row,
+    ExecMode::Parallel { threads: 2 },
+];
+
+/// The read query the mutation leg replays against the churning scratch
+/// table. Its predicate excludes every scratch row (those use
+/// department `Stress`), so the answer must stay byte-identical to the
+/// pristine serial run *while* inserts and deletes land around it.
+const AUDIT_READ: &str = "VALIDTIME SELECT EmpName FROM AUDIT WHERE Dept = 'Sales'";
+
+/// Full-table scan used for the quiesced end-state check.
+const AUDIT_ALL: &str = "VALIDTIME SELECT EmpName, Dept FROM AUDIT ORDER BY EmpName, Dept";
+
+/// The paper catalog plus a scratch `AUDIT` copy of EMPLOYEE that the
+/// mutation threads are allowed to churn.
+fn serving_catalog() -> Catalog {
+    let catalog = paper::catalog();
+    catalog
+        .register("AUDIT", paper::employee())
+        .expect("register AUDIT scratch table");
+    catalog
+}
+
+/// Serial single-query runs of `queries` on `catalog` under `mode` —
+/// the oracle every concurrent response is compared against, computed
+/// through the exact pipeline the server uses (compile, lower with the
+/// same `PlannerConfig`, execute).
+fn serial_oracle(catalog: &Catalog, queries: &[&str], mode: ExecMode) -> Vec<Relation> {
+    let env = catalog.env();
+    queries
+        .iter()
+        .map(|sql| {
+            let plan = tqo_sql::compile(sql, catalog).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let config = PlannerConfig {
+                mode,
+                ..PlannerConfig::default()
+            };
+            execute_logical(&plan, &env, config)
+                .unwrap_or_else(|e| panic!("{sql}: {e}"))
+                .0
+        })
+        .collect()
+}
+
+/// Issue `sql` treating admission rejection as back-pressure: retry
+/// until the scheduler admits it (the protocol's documented contract).
+fn query_admitted(client: &mut Client, sql: &str, opts: QueryOpts) -> Result<Relation, Error> {
+    loop {
+        match client.query_with(sql, opts.clone()) {
+            Err(Error::AdmissionRejected { .. }) => continue,
+            other => return other,
+        }
+    }
+}
+
+fn start(config: ServerConfig) -> Server {
+    serve(serving_catalog(), config).expect("start serving front-end")
+}
+
+/// Tentpole oracle: 8 clients replay the whole SQL pool across all
+/// three engines, with sequenced mutations churning `AUDIT` in the
+/// background, and **every** response must be byte-identical to its
+/// serial single-query run. After the load drains, the scratch table
+/// must be byte-identically back to its initial state (every insert was
+/// paired with a delete).
+#[test]
+fn concurrent_pool_is_byte_identical_to_serial() {
+    let pristine = serving_catalog();
+    let oracles: Vec<Vec<Relation>> = MODES
+        .iter()
+        .map(|&mode| serial_oracle(&pristine, common::SQL_POOL, mode))
+        .collect();
+    let audit_oracle = serial_oracle(&pristine, &[AUDIT_READ, AUDIT_ALL], ExecMode::Batch);
+
+    let server = start(ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 2,
+            max_queries: 64,
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let oracles = Arc::new(oracles);
+    let audit_reads = Arc::new(AtomicU64::new(0));
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let oracles = Arc::clone(&oracles);
+            let audit_oracle = audit_oracle[0].clone();
+            let audit_reads = Arc::clone(&audit_reads);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let who = format!("stress{t}");
+                for round in 0..2 {
+                    let mode_idx = (t + round) % MODES.len();
+                    let opts = QueryOpts {
+                        mode: MODES[mode_idx],
+                        ..QueryOpts::default()
+                    };
+                    for (i, sql) in common::SQL_POOL.iter().enumerate() {
+                        // Sprinkle sequenced mutation pairs between the
+                        // reads: thread-unique rows, inserted and then
+                        // deleted, with an oracle read of the churning
+                        // table in between.
+                        if i % 6 == t % 6 {
+                            client
+                                .insert(
+                                    "AUDIT",
+                                    vec![Value::from(who.as_str()), Value::from("Stress")],
+                                    Period::of(1, 9),
+                                )
+                                .expect("insert scratch row");
+                            let rel = query_admitted(&mut client, AUDIT_READ, opts.clone())
+                                .expect("audit read under churn");
+                            assert_eq!(
+                                rel, audit_oracle,
+                                "thread {t}: audit read drifted under concurrent mutation"
+                            );
+                            audit_reads.fetch_add(1, Ordering::Relaxed);
+                            client
+                                .delete(
+                                    "AUDIT",
+                                    "EmpName",
+                                    Value::from(who.as_str()),
+                                    Period::of(1, 9),
+                                )
+                                .expect("delete scratch row");
+                        }
+                        let rel = query_admitted(&mut client, sql, opts.clone())
+                            .unwrap_or_else(|e| panic!("thread {t}: {sql}: {e}"));
+                        assert_eq!(
+                            rel, oracles[mode_idx][i],
+                            "thread {t} mode {:?}: {sql} diverged from serial run",
+                            MODES[mode_idx]
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in threads {
+        h.join().expect("client thread");
+    }
+    assert!(
+        audit_reads.load(Ordering::Relaxed) > 0,
+        "mutation leg never exercised the churning table"
+    );
+
+    // Quiesced: every insert was paired with a delete, so the scratch
+    // table must read back byte-identically to its pristine state.
+    let mut client = Client::connect(addr).expect("connect for quiesce check");
+    let rel = client.query(AUDIT_ALL).expect("quiesced audit scan");
+    assert_eq!(
+        rel, audit_oracle[1],
+        "AUDIT did not return to initial state"
+    );
+    drop(server);
+}
+
+/// No cross-query bleed: each client hammers a *different* query with a
+/// thread-specific predicate, all in flight simultaneously through one
+/// shared scheduler. Any leakage of another query's stage results (the
+/// per-query binding namespace failing) shows up as a wrong answer.
+#[test]
+fn concurrent_distinct_queries_do_not_bleed() {
+    let queries: Vec<String> = (0..CLIENTS)
+        .map(|t| match t % 4 {
+            0 => "SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales'".into(),
+            1 => "SELECT EmpName FROM PROJECT WHERE Prj = 'P1'".into(),
+            2 => "VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Advertising'".into(),
+            _ => "VALIDTIME SELECT DISTINCT EmpName FROM PROJECT WHERE Prj = 'P2'".into(),
+        })
+        .collect();
+    let pristine = serving_catalog();
+    let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let oracle = serial_oracle(&pristine, &refs, ExecMode::Batch);
+
+    let server = start(ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 2,
+            max_queries: 64,
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let queries = Arc::new(queries);
+    let oracle = Arc::new(oracle);
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let queries = Arc::clone(&queries);
+            let oracle = Arc::clone(&oracle);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..40 {
+                    let rel = query_admitted(&mut client, &queries[t], QueryOpts::default())
+                        .expect("bleed-leg query");
+                    assert_eq!(
+                        rel, oracle[t],
+                        "thread {t}: answer bled across concurrent queries"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in threads {
+        h.join().expect("client thread");
+    }
+}
+
+/// Chaos leg: seeded wire faults (injected errors + payload truncation)
+/// plus deterministic mid-query cancellations, all under 8-client load.
+/// Every outcome must be either a byte-identical result or a *typed*
+/// error — never a wrong answer, never a desynchronized connection —
+/// and afterwards the same pool must be fully reusable.
+#[test]
+fn pool_survives_faults_and_cancellations_mid_load() {
+    let pristine = serving_catalog();
+    let oracle = Arc::new(serial_oracle(&pristine, common::SQL_POOL, ExecMode::Batch));
+
+    let server = start(ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 2,
+            max_queries: 64,
+        },
+        faults: Some(FaultConfig::with_seed(0xC0FFEE)),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let cancelled = Arc::new(AtomicU64::new(0));
+    let faulted = Arc::new(AtomicU64::new(0));
+    let clean = Arc::new(AtomicU64::new(0));
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let oracle = Arc::clone(&oracle);
+            let cancelled = Arc::clone(&cancelled);
+            let faulted = Arc::clone(&faulted);
+            let clean = Arc::clone(&clean);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..2 {
+                    for (i, sql) in common::SQL_POOL.iter().enumerate() {
+                        // Every third request asks the governance layer
+                        // to cancel deterministically at the first
+                        // checkpoint; the rest run clean (modulo the
+                        // server's seeded faults).
+                        let opts = QueryOpts {
+                            cancel_polls: u64::from((i + round + t) % 3 == 0),
+                            ..QueryOpts::default()
+                        };
+                        match client.query_with(sql, opts) {
+                            Ok(rel) => {
+                                // A fault can truncate but never corrupt:
+                                // any response that decodes is the exact
+                                // serial answer.
+                                assert_eq!(
+                                    rel, oracle[i],
+                                    "thread {t}: {sql} diverged under fault load"
+                                );
+                                clean.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(Error::Cancelled) => {
+                                cancelled.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(Error::AdmissionRejected { .. }) => {}
+                            Err(Error::Storage { reason }) => {
+                                // Injected serve fault or truncated
+                                // payload — both decode to typed storage
+                                // errors without desynchronizing the
+                                // session (the next request still works).
+                                assert!(
+                                    reason.contains("injected")
+                                        || reason.contains("truncated")
+                                        || reason.contains("wire"),
+                                    "thread {t}: unexpected storage error: {reason}"
+                                );
+                                faulted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("thread {t}: {sql}: untyped failure {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in threads {
+        h.join().expect("client thread");
+    }
+    assert!(
+        cancelled.load(Ordering::Relaxed) > 0,
+        "chaos leg never observed a cancellation"
+    );
+    assert!(
+        faulted.load(Ordering::Relaxed) > 0,
+        "chaos leg never observed an injected fault"
+    );
+    assert!(
+        clean.load(Ordering::Relaxed) > 0,
+        "chaos leg never observed a clean response"
+    );
+
+    // Reusable: after the chaos drains, every pool query must still
+    // come back byte-identical on a fresh connection (retrying through
+    // the still-active fault injector).
+    let mut client = Client::connect(addr).expect("reconnect after chaos");
+    for (i, sql) in common::SQL_POOL.iter().enumerate() {
+        let mut attempts = 0;
+        let rel = loop {
+            attempts += 1;
+            assert!(attempts <= 200, "{sql}: no clean response in 200 attempts");
+            match client.query(sql) {
+                Ok(rel) => break rel,
+                Err(Error::Storage { .. }) | Err(Error::AdmissionRejected { .. }) => continue,
+                Err(e) => panic!("{sql}: unexpected post-chaos error {e}"),
+            }
+        };
+        assert_eq!(rel, oracle[i], "{sql}: pool not reusable after chaos");
+    }
+}
